@@ -1,0 +1,121 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared helpers for the table/figure reproduction harnesses: LoC
+/// counting over the source tree, table formatting, and the
+/// instruction-level performance model used for Figure 5 (see DESIGN.md
+/// §5 — the evaluation host is single-core, so speedups come from
+/// per-task retired-instruction accounting, not wall clock).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BENCH_BENCHUTILS_H
+#define BENCH_BENCHUTILS_H
+
+#include "interp/Interpreter.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace benchutil {
+
+/// Counts non-empty, non-comment-only lines of the given files.
+inline uint64_t countLoCFile(const std::filesystem::path &P) {
+  std::ifstream In(P);
+  uint64_t N = 0;
+  std::string Line;
+  while (std::getline(In, Line)) {
+    size_t First = Line.find_first_not_of(" \t");
+    if (First == std::string::npos)
+      continue;
+    if (Line.compare(First, 2, "//") == 0)
+      continue;
+    ++N;
+  }
+  return N;
+}
+
+/// LoC of every .h/.cpp file directly inside (or matching a prefix in)
+/// a directory under the source tree.
+inline uint64_t countLoC(const std::string &RelDir,
+                         const std::string &Prefix = "") {
+  namespace fs = std::filesystem;
+  fs::path Root = fs::path(NOELLE_REPRO_SOURCE_DIR) / RelDir;
+  uint64_t Total = 0;
+  if (!fs::exists(Root))
+    return 0;
+  for (const auto &Entry : fs::directory_iterator(Root)) {
+    if (!Entry.is_regular_file())
+      continue;
+    auto Ext = Entry.path().extension().string();
+    if (Ext != ".h" && Ext != ".cpp")
+      continue;
+    if (!Prefix.empty() &&
+        Entry.path().filename().string().rfind(Prefix, 0) != 0)
+      continue;
+    Total += countLoCFile(Entry.path());
+  }
+  return Total;
+}
+
+/// Simple fixed-width table printing.
+inline void printRow(const std::vector<std::string> &Cells,
+                     const std::vector<int> &Widths) {
+  std::string Line;
+  for (size_t I = 0; I < Cells.size(); ++I) {
+    std::string C = Cells[I];
+    int W = I < Widths.size() ? Widths[I] : 16;
+    if (static_cast<int>(C.size()) < W)
+      C += std::string(W - C.size(), ' ');
+    Line += C + "  ";
+  }
+  std::printf("%s\n", Line.c_str());
+}
+
+inline void printSeparator(const std::vector<int> &Widths) {
+  std::string Line;
+  for (int W : Widths)
+    Line += std::string(W, '-') + "  ";
+  std::printf("%s\n", Line.c_str());
+}
+
+//===----------------------------------------------------------------------===//
+// The Figure-5 performance model.
+//===----------------------------------------------------------------------===//
+
+struct PerfModel {
+  /// Instructions charged per task spawn/join in a dispatch.
+  uint64_t SpawnCostPerTask = 500;
+  /// Instructions charged per synchronization op on the critical path
+  /// (ss-wait or queue op; derived from core-to-core latency at ~10
+  /// interpreted instructions per 100ns).
+  uint64_t SyncCost = 20;
+};
+
+/// Simulated execution time (in instruction units) of a program run:
+/// serial work runs as-is; each parallel region contributes its critical
+/// path: max over tasks, but never less than the serialized segment work
+/// (HELIX's bound), plus spawn and sync costs.
+inline uint64_t simulatedTime(const nir::ExecutionEngine &E,
+                              const PerfModel &M = {}) {
+  uint64_t Total = E.getInstructionsExecuted();
+  uint64_t TaskTotal = 0;
+  uint64_t Critical = 0;
+  for (const auto &R : E.getDispatchRecords()) {
+    TaskTotal += R.TotalTaskInstructions;
+    uint64_t Region =
+        std::max(R.MaxTaskInstructions + R.MaxTaskSyncOps * M.SyncCost,
+                 R.TotalSegmentInstructions);
+    Region += R.NumTasks * M.SpawnCostPerTask;
+    Critical += Region;
+  }
+  return Total - TaskTotal + Critical;
+}
+
+} // namespace benchutil
+
+#endif // BENCH_BENCHUTILS_H

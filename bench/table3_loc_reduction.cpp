@@ -1,0 +1,83 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Regenerates the paper's Table 3: lines of code of the ten custom
+/// tools when built upon NOELLE. Our NOELLE-based implementations are
+/// measured from this repository; the "LLVM-only" column reports the
+/// paper's numbers (re-implementing all ten tools twice is the point the
+/// table argues against). The shape to reproduce: every tool lands in
+/// the few-dozen-to-few-hundred-LoC range, a 33-99% reduction.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtils.h"
+
+#include <cstdio>
+
+using benchutil::countLoC;
+
+int main() {
+  struct Row {
+    const char *Tool;
+    const char *Description;
+    uint64_t PaperLLVMLoC;
+    uint64_t PaperNoelleLoC;
+    uint64_t OurLoC;
+  };
+
+  std::vector<Row> Rows = {
+      {"TIME", "compare optimization for timing-speculative uarch", 510, 92,
+       countLoC("src/xforms", "TimeSqueezer")},
+      {"COOS", "OS-routine injection replacing hardware interrupts", 1641,
+       495, countLoC("src/xforms", "COOS")},
+      {"LICM", "loop invariant code motion", 2317, 170,
+       countLoC("src/xforms", "LICM")},
+      {"DOALL", "DOALL parallelizing compiler", 5512, 321,
+       countLoC("src/xforms", "DOALL")},
+      {"DEAD", "dead function elimination", 7512, 61,
+       countLoC("src/xforms", "DeadFunctionEliminator")},
+      {"DSWP", "DSWP parallelizing compiler", 8525, 775,
+       countLoC("src/xforms", "DSWP")},
+      {"HELIX", "HELIX parallelizing compiler", 15453, 958,
+       countLoC("src/xforms", "HELIX")},
+      {"PRVJ", "pseudo-random value generator selection", 17863, 456,
+       countLoC("src/xforms", "PRVJeeves")},
+      {"CARAT", "memory guard injection and optimization", 21899, 595,
+       countLoC("src/xforms", "CARAT")},
+      {"PERS", "speculation-minimizing parallelization (planner)", 33998,
+       22706, countLoC("src/xforms", "Perspective")},
+  };
+
+  std::printf("Table 3: custom tools built upon NOELLE\n");
+  std::printf("(ours measured from src/xforms; paper columns for "
+              "comparison; shared parallelization utils counted "
+              "separately)\n\n");
+  std::vector<int> W = {7, 52, 12, 14, 10, 12};
+  benchutil::printRow({"Tool", "Description", "LLVM (paper)",
+                       "NOELLE (paper)", "Ours", "Reduction"},
+                      W);
+  benchutil::printSeparator(W);
+  for (const auto &R : Rows) {
+    double Reduction =
+        100.0 * (1.0 - static_cast<double>(R.OurLoC) /
+                           static_cast<double>(R.PaperLLVMLoC));
+    char Buf[16];
+    std::snprintf(Buf, sizeof(Buf), "%.1f%%", Reduction);
+    benchutil::printRow({R.Tool, R.Description,
+                         std::to_string(R.PaperLLVMLoC),
+                         std::to_string(R.PaperNoelleLoC),
+                         std::to_string(R.OurLoC), Buf},
+                        W);
+  }
+  benchutil::printSeparator(W);
+  benchutil::printRow(
+      {"(shared)", "ParallelizationUtils (ENV/T codegen shared by 3 tools)",
+       "-", "-",
+       std::to_string(countLoC("src/xforms", "ParallelizationUtils")), "-"},
+      W);
+  benchutil::printRow(
+      {"(base)", "src/baselines: the LLVM-level analyses (Alg. 1 etc.)",
+       "-", "-", std::to_string(countLoC("src/baselines")), "-"},
+      W);
+  return 0;
+}

@@ -1,0 +1,96 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Invariant explorer: the paper's Section 2.5 in executable form. For
+/// each loop of a program, compare LLVM's Algorithm 1 (low-level
+/// operand/alias/dominator reasoning) against NOELLE's Algorithm 2
+/// (PDG-powered) invariant detection, then run LICM and show the dynamic
+/// instruction savings.
+///
+/// Build & run:  ./build/examples/example_invariant_explorer
+///
+//===----------------------------------------------------------------------===//
+
+#include "baselines/LLVMBaselines.h"
+#include "frontend/MiniC.h"
+#include "interp/Interpreter.h"
+#include "xforms/LICM.h"
+
+#include <cstdio>
+
+using namespace noelle;
+
+int main() {
+  const char *Source = R"(
+    int table[16];
+    int out[256];
+    void kernel(int *dst, int n) {
+      for (int i = 0; i < n; i = i + 1) {
+        int base = table[0] * 100 + table[1];  // invariant loads + math
+        int idx = i % 16;
+        dst[i] = base + table[idx] * i;
+      }
+    }
+    int main() {
+      for (int t = 0; t < 16; t = t + 1) table[t] = t * t + 1;
+      kernel(out, 256);
+      int s = 0;
+      for (int i = 0; i < 256; i = i + 1) s = s + out[i];
+      return s % 1000003;
+    }
+  )";
+
+  nir::Context Ctx;
+  auto M = minic::compileMiniCOrDie(Ctx, Source);
+
+  // Reference run.
+  int64_t Expected;
+  uint64_t InstrsBefore;
+  {
+    nir::ExecutionEngine E(*M);
+    Expected = E.runMain();
+    InstrsBefore = E.getInstructionsExecuted();
+  }
+  std::printf("reference: result=%lld, %llu dynamic instructions\n\n",
+              static_cast<long long>(Expected),
+              static_cast<unsigned long long>(InstrsBefore));
+
+  // Per-loop comparison of the two algorithms.
+  Noelle N(*M);
+  nir::BasicAliasAnalysis BasicAA;
+  for (LoopContent *LC : N.getLoopContents()) {
+    auto &LS = LC->getLoopStructure();
+    auto &DT = N.getDominators(*LS.getFunction());
+    auto LLVMInv = baselines::findInvariantsLLVM(LS, DT, BasicAA);
+    auto NoelleInv = LC->getInvariantManager().getInvariants();
+    std::printf("loop @%s/%s: Algorithm 1 (LLVM) finds %zu invariants, "
+                "Algorithm 2 (NOELLE) finds %zu\n",
+                LS.getFunction()->getName().c_str(),
+                LS.getHeader()->getName().c_str(), LLVMInv.size(),
+                NoelleInv.size());
+    for (nir::Instruction *I : NoelleInv) {
+      bool AlsoLLVM = false;
+      for (nir::Instruction *J : LLVMInv)
+        AlsoLLVM |= I == J;
+      if (!AlsoLLVM)
+        std::printf("    only Algorithm 2: %s %s\n",
+                    I->getOpcodeName().c_str(), I->getName().c_str());
+    }
+  }
+
+  // Apply LICM and measure.
+  LICM Tool(N);
+  auto R = Tool.run();
+  nir::ExecutionEngine E(*M);
+  int64_t After = E.runMain();
+  std::printf("\nLICM hoisted %u instruction(s) across %u loop(s)\n",
+              R.InstructionsHoisted, R.LoopsVisited);
+  std::printf("after LICM: result=%lld (%s), %llu dynamic instructions "
+              "(%.1f%% saved)\n",
+              static_cast<long long>(After),
+              After == Expected ? "correct" : "WRONG",
+              static_cast<unsigned long long>(E.getInstructionsExecuted()),
+              100.0 * (1.0 - static_cast<double>(E.getInstructionsExecuted()) /
+                                 static_cast<double>(InstrsBefore)));
+  return After == Expected ? 0 : 1;
+}

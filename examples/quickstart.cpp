@@ -1,0 +1,100 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Quickstart: compile a small program, load NOELLE, and explore its
+/// core abstractions — the PDG, the loop bundle (L), the aSCCDAG, and
+/// the call graph.
+///
+/// Build & run:  ./build/examples/example_quickstart
+///
+//===----------------------------------------------------------------------===//
+
+#include "frontend/MiniC.h"
+#include "noelle/Noelle.h"
+
+#include <cstdio>
+
+using namespace noelle;
+
+int main() {
+  // 1) Compile a program to NIR (the LLVM-IR stand-in of this repo).
+  const char *Source = R"(
+    int data[64];
+    int scale(int x) { return x * 3; }
+    int main() {
+      int sum = 0;
+      for (int i = 0; i < 64; i = i + 1) {
+        data[i] = scale(i);
+        sum = sum + data[i];
+      }
+      return sum;
+    }
+  )";
+  nir::Context Ctx;
+  auto M = minic::compileMiniCOrDie(Ctx, Source);
+  std::printf("compiled: %llu IR instructions\n",
+              static_cast<unsigned long long>(M->getNumInstructions()));
+
+  // 2) Load NOELLE. Abstractions are computed on demand: nothing has
+  //    been analyzed yet.
+  Noelle N(*M);
+
+  // 3) The whole-program PDG.
+  PDG &G = N.getPDG();
+  std::printf("PDG: %llu nodes, %llu edges (%llu memory pairs queried, "
+              "%llu disproved)\n",
+              static_cast<unsigned long long>(G.getNumNodes()),
+              static_cast<unsigned long long>(G.getNumEdges()),
+              static_cast<unsigned long long>(G.getStats().MemoryPairsQueried),
+              static_cast<unsigned long long>(
+                  G.getStats().MemoryPairsDisproved));
+
+  // 4) Loops, bundled with their dependence graph, aSCCDAG, invariants,
+  //    induction variables, and reductions.
+  for (LoopContent *LC : N.getLoopContents()) {
+    auto &LS = LC->getLoopStructure();
+    std::printf("loop in @%s (header %s):\n",
+                LS.getFunction()->getName().c_str(),
+                LS.getHeader()->getName().c_str());
+    std::printf("  %zu SCCs in the aSCCDAG:", LC->getSCCDAG().getSCCs().size());
+    unsigned Seq = 0, Red = 0, Ind = 0;
+    for (const auto &S : LC->getSCCDAG().getSCCs()) {
+      switch (S->getAttribute()) {
+      case SCC::Attribute::Independent:
+        ++Ind;
+        break;
+      case SCC::Attribute::Sequential:
+        ++Seq;
+        break;
+      case SCC::Attribute::Reducible:
+        ++Red;
+        break;
+      }
+    }
+    std::printf(" %u independent, %u sequential, %u reducible\n", Ind, Seq,
+                Red);
+    std::printf("  %zu induction variable(s); governing IV: %s\n",
+                LC->getIVManager().getInductionVariables().size(),
+                LC->getIVManager().getGoverningIV() ? "yes" : "no");
+    std::printf("  %zu invariant instruction(s), %zu reduction(s)\n",
+                LC->getInvariantManager().getInvariants().size(),
+                LC->getReductionManager().getReductions().size());
+    std::printf("  environment: %zu live-in(s), %zu live-out(s)\n",
+                LC->getEnvironment().getLiveIns().size(),
+                LC->getEnvironment().getLiveOuts().size());
+  }
+
+  // 5) The complete call graph.
+  CallGraph &CG = N.getCallGraph();
+  std::printf("call graph: %zu edges, %zu island(s)\n",
+              CG.getEdges().size(), CG.getIslands().size());
+
+  // 6) What did this session actually compute? The demand-driven manager
+  //    tracked every request (this is how bench/table4 regenerates the
+  //    paper's Table 4).
+  std::printf("abstractions requested:");
+  for (const auto &A : N.getRequestedAbstractions())
+    std::printf(" %s", A.c_str());
+  std::printf("\n");
+  return 0;
+}

@@ -1,0 +1,396 @@
+#include "analysis/AliasAnalysis.h"
+
+#include "ir/Instructions.h"
+
+#include <algorithm>
+
+using namespace nir;
+
+//===----------------------------------------------------------------------===//
+// Shared ModRef logic.
+//===----------------------------------------------------------------------===//
+
+ModRefResult AliasAnalysis::getModRef(const Instruction *I,
+                                      const Value *Ptr) {
+  switch (I->getKind()) {
+  case Value::Kind::Load: {
+    const auto *L = cast<LoadInst>(I);
+    return alias(L->getPointerOperand(), Ptr) == AliasResult::NoAlias
+               ? ModRefResult::NoModRef
+               : ModRefResult::Ref;
+  }
+  case Value::Kind::Store: {
+    const auto *S = cast<StoreInst>(I);
+    return alias(S->getPointerOperand(), Ptr) == AliasResult::NoAlias
+               ? ModRefResult::NoModRef
+               : ModRefResult::Mod;
+  }
+  case Value::Kind::Call: {
+    if (I->getMetadata("noelle.pure") == "true")
+      return ModRefResult::NoModRef;
+    if (I->getMetadata("noelle.readonly") == "true")
+      return ModRefResult::Ref;
+    return ModRefResult::ModRef;
+  }
+  default:
+    return ModRefResult::NoModRef;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// NoAliasAnalysis
+//===----------------------------------------------------------------------===//
+
+AliasResult NoAliasAnalysis::alias(const Value *P1, const Value *P2) {
+  if (P1 == P2)
+    return AliasResult::MustAlias;
+  return AliasResult::MayAlias;
+}
+
+//===----------------------------------------------------------------------===//
+// BasicAliasAnalysis
+//===----------------------------------------------------------------------===//
+
+const Value *BasicAliasAnalysis::getUnderlyingObject(const Value *P,
+                                                     int64_t &Offset,
+                                                     bool &OffsetKnown) {
+  Offset = 0;
+  OffsetKnown = true;
+  while (true) {
+    if (const auto *G = dyn_cast<GEPInst>(P)) {
+      if (const auto *CI = dyn_cast<ConstantInt>(G->getIndex()))
+        Offset += CI->getValue() * static_cast<int64_t>(G->getScale());
+      else
+        OffsetKnown = false;
+      P = G->getBase();
+      continue;
+    }
+    if (const auto *C = dyn_cast<CastInst>(P)) {
+      if (C->getOp() == CastInst::Op::Bitcast) {
+        P = C->getValueOperand();
+        continue;
+      }
+    }
+    return P;
+  }
+}
+
+bool BasicAliasAnalysis::isNonEscapingLocal(const Value *Obj) {
+  if (!isa<AllocaInst>(Obj))
+    return false;
+  // The address escapes if it is stored anywhere or passed to a call.
+  // Walk the transitive gep/cast closure of the address.
+  std::vector<const Value *> Work = {Obj};
+  std::set<const Value *> Visited;
+  while (!Work.empty()) {
+    const Value *V = Work.back();
+    Work.pop_back();
+    if (!Visited.insert(V).second)
+      continue;
+    for (const auto &U : V->uses()) {
+      const User *Usr = U.TheUser;
+      if (const auto *S = dyn_cast<StoreInst>(Usr)) {
+        if (S->getValueOperand() == V)
+          return false; // Address itself is stored.
+        continue;       // Storing through the address is fine.
+      }
+      if (isa<CallInst>(Usr))
+        return false;
+      if (isa<GEPInst>(Usr) || isa<CastInst>(Usr) || isa<PhiInst>(Usr) ||
+          isa<SelectInst>(Usr))
+        Work.push_back(cast<Value>(Usr));
+      // Loads, cmps etc. do not leak the address.
+    }
+  }
+  return true;
+}
+
+AliasResult BasicAliasAnalysis::alias(const Value *P1, const Value *P2) {
+  if (P1 == P2)
+    return AliasResult::MustAlias;
+
+  int64_t Off1 = 0, Off2 = 0;
+  bool Known1 = false, Known2 = false;
+  const Value *Obj1 = getUnderlyingObject(P1, Off1, Known1);
+  const Value *Obj2 = getUnderlyingObject(P2, Off2, Known2);
+
+  auto IsIdentifiedObject = [](const Value *V) {
+    return isa<AllocaInst>(V) || isa<GlobalVariable>(V);
+  };
+
+  if (Obj1 == Obj2) {
+    if (Known1 && Known2) {
+      if (Off1 == Off2)
+        return AliasResult::MustAlias;
+      // Disjoint constant offsets off the same object cannot overlap for
+      // our fixed-size scalar accesses (at most 8 bytes).
+      if (Off1 + 8 <= Off2 || Off2 + 8 <= Off1)
+        return AliasResult::NoAlias;
+      return AliasResult::MayAlias;
+    }
+    return AliasResult::MayAlias;
+  }
+
+  // Two distinct identified objects never overlap.
+  if (IsIdentifiedObject(Obj1) && IsIdentifiedObject(Obj2))
+    return AliasResult::NoAlias;
+
+  // A non-escaping alloca cannot alias pointers born elsewhere.
+  if ((IsIdentifiedObject(Obj1) && isNonEscapingLocal(Obj1)) ||
+      (IsIdentifiedObject(Obj2) && isNonEscapingLocal(Obj2)))
+    return AliasResult::NoAlias;
+
+  return AliasResult::MayAlias;
+}
+
+//===----------------------------------------------------------------------===//
+// AndersenAliasAnalysis
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+bool isAllocationCall(const CallInst *C) {
+  const Function *F = C->getCalledFunction();
+  return F && (F->getName() == "malloc" || F->getName() == "calloc" ||
+               F->getName() == "noelle_malloc");
+}
+
+bool isPointerish(const Value *V) {
+  return V->getType()->isPointer() || V->getType()->isFunction();
+}
+
+} // namespace
+
+AndersenAliasAnalysis::AndersenAliasAnalysis(Module &M) : M(M) {
+  // Seed address-of constraints.
+  for (const auto &G : M.getGlobals())
+    PointsTo[G.get()].insert(G.get());
+  for (const auto &F : M.getFunctions()) {
+    PointsTo[F.get()].insert(F.get());
+    if (!F->isDeclaration())
+      addConstraintEdgesForFunction(*F);
+  }
+  solve();
+}
+
+void AndersenAliasAnalysis::addConstraintEdgesForFunction(Function &F) {
+  for (const auto &BB : F.getBlocks()) {
+    for (const auto &IPtr : BB->getInstList()) {
+      Instruction *I = IPtr.get();
+      switch (I->getKind()) {
+      case Value::Kind::Alloca:
+        PointsTo[I].insert(I);
+        break;
+      case Value::Kind::GEP:
+        // Field-insensitive: the result aliases the base object.
+        CopyEdges[cast<GEPInst>(I)->getBase()].insert(I);
+        break;
+      case Value::Kind::Cast: {
+        auto *C = cast<CastInst>(I);
+        if (isPointerish(C) && isPointerish(C->getValueOperand()))
+          CopyEdges[C->getValueOperand()].insert(I);
+        break;
+      }
+      case Value::Kind::Phi: {
+        auto *P = cast<PhiInst>(I);
+        if (isPointerish(P))
+          for (unsigned K = 0, E = P->getNumIncoming(); K != E; ++K)
+            CopyEdges[P->getIncomingValue(K)].insert(I);
+        break;
+      }
+      case Value::Kind::Select: {
+        auto *S = cast<SelectInst>(I);
+        if (isPointerish(S)) {
+          CopyEdges[S->getTrueValue()].insert(I);
+          CopyEdges[S->getFalseValue()].insert(I);
+        }
+        break;
+      }
+      case Value::Kind::Load:
+        if (isPointerish(I))
+          LoadCons.push_back({cast<LoadInst>(I)->getPointerOperand(), I});
+        break;
+      case Value::Kind::Store: {
+        auto *S = cast<StoreInst>(I);
+        if (isPointerish(S->getValueOperand()))
+          StoreCons.push_back(
+              {S->getPointerOperand(), S->getValueOperand()});
+        break;
+      }
+      case Value::Kind::Call: {
+        auto *C = cast<CallInst>(I);
+        if (isAllocationCall(C)) {
+          PointsTo[I].insert(I); // The call site is the abstract object.
+          break;
+        }
+        if (Function *Callee = C->getCalledFunction()) {
+          if (!Callee->isDeclaration()) {
+            for (unsigned A = 0; A < C->getNumArgs() &&
+                                 A < Callee->getNumArgs();
+                 ++A)
+              if (isPointerish(C->getArg(A)))
+                CopyEdges[C->getArg(A)].insert(Callee->getArg(A));
+            if (isPointerish(C))
+              for (const auto &CBB : Callee->getBlocks())
+                if (auto *R = dyn_cast_or_null<RetInst>(CBB->getTerminator()))
+                  if (R->hasReturnValue())
+                    CopyEdges[R->getReturnValue()].insert(I);
+          }
+          // External callees: returned pointers are fresh objects.
+          if (Callee->isDeclaration() && isPointerish(I))
+            PointsTo[I].insert(I);
+          break;
+        }
+        // Indirect call: bind against every arity-compatible function
+        // whose address is taken somewhere in the module. This is the
+        // sound closure Andersen refines as it runs (re-running solve
+        // after binding everything keeps the implementation simple).
+        for (const auto &Cand : M.getFunctions()) {
+          if (Cand->isDeclaration())
+            continue;
+          if (Cand->getNumArgs() != C->getNumArgs())
+            continue;
+          // Conservative: bind args and returns through a may-edge guarded
+          // by the points-to of the callee operand at solve time. We
+          // over-approximate by binding all candidates here; the call
+          // graph consumer intersects with the points-to set.
+          for (unsigned A = 0; A < C->getNumArgs(); ++A)
+            if (isPointerish(C->getArg(A)))
+              CopyEdges[C->getArg(A)].insert(Cand->getArg(A));
+          if (isPointerish(C))
+            for (const auto &CBB : Cand->getBlocks())
+              if (auto *R = dyn_cast_or_null<RetInst>(CBB->getTerminator()))
+                if (R->hasReturnValue())
+                  CopyEdges[R->getReturnValue()].insert(I);
+        }
+        break;
+      }
+      default:
+        break;
+      }
+    }
+  }
+}
+
+void AndersenAliasAnalysis::solve() {
+  bool Changed = true;
+  auto Propagate = [&](const std::set<const Value *> &Src,
+                       std::set<const Value *> &Dst) {
+    size_t Before = Dst.size();
+    Dst.insert(Src.begin(), Src.end());
+    return Dst.size() != Before;
+  };
+
+  while (Changed) {
+    Changed = false;
+    for (auto &[Src, Dsts] : CopyEdges) {
+      auto It = PointsTo.find(Src);
+      if (It == PointsTo.end())
+        continue;
+      for (const Value *Dst : Dsts)
+        Changed |= Propagate(It->second, PointsTo[Dst]);
+    }
+    for (auto &[Ptr, Dst] : LoadCons) {
+      auto It = PointsTo.find(Ptr);
+      if (It == PointsTo.end())
+        continue;
+      for (const Value *Obj : It->second)
+        Changed |= Propagate(Contents[Obj], PointsTo[Dst]);
+    }
+    for (auto &[Ptr, Src] : StoreCons) {
+      auto ItP = PointsTo.find(Ptr);
+      auto ItS = PointsTo.find(Src);
+      if (ItP == PointsTo.end() || ItS == PointsTo.end())
+        continue;
+      for (const Value *Obj : ItP->second)
+        Changed |= Propagate(ItS->second, Contents[Obj]);
+    }
+  }
+}
+
+const std::set<const Value *> &
+AndersenAliasAnalysis::getPointsTo(const Value *P) const {
+  auto It = PointsTo.find(P);
+  return It == PointsTo.end() ? EmptySet : It->second;
+}
+
+AliasResult AndersenAliasAnalysis::alias(const Value *P1, const Value *P2) {
+  if (P1 == P2)
+    return AliasResult::MustAlias;
+
+  // Resolve through gep chains first for field-sensitivity on constant
+  // offsets off the same object (Andersen alone is field-insensitive).
+  int64_t Off1 = 0, Off2 = 0;
+  bool Known1 = false, Known2 = false;
+  const Value *O1 = P1;
+  const Value *O2 = P2;
+  {
+    // Local copy of the underlying-object walk (kept simple here).
+    auto Walk = [](const Value *P, int64_t &Off, bool &Known) {
+      Off = 0;
+      Known = true;
+      while (true) {
+        if (const auto *G = dyn_cast<GEPInst>(P)) {
+          if (const auto *CI = dyn_cast<ConstantInt>(G->getIndex()))
+            Off += CI->getValue() * static_cast<int64_t>(G->getScale());
+          else
+            Known = false;
+          P = G->getBase();
+          continue;
+        }
+        return P;
+      }
+    };
+    O1 = Walk(P1, Off1, Known1);
+    O2 = Walk(P2, Off2, Known2);
+  }
+
+  const auto &S1 = getPointsTo(O1);
+  const auto &S2 = getPointsTo(O2);
+  if (S1.empty() || S2.empty())
+    return AliasResult::MayAlias; // Unknown pointer provenance.
+
+  std::vector<const Value *> Inter;
+  std::set_intersection(S1.begin(), S1.end(), S2.begin(), S2.end(),
+                        std::back_inserter(Inter));
+  if (Inter.empty())
+    return AliasResult::NoAlias;
+
+  // Same unique object: constant distinct offsets cannot overlap (scalar
+  // accesses are at most 8 bytes wide).
+  if (S1.size() == 1 && S2.size() == 1 && *S1.begin() == *S2.begin() &&
+      Known1 && Known2) {
+    if (Off1 == Off2)
+      return AliasResult::MustAlias;
+    if (Off1 + 8 <= Off2 || Off2 + 8 <= Off1)
+      return AliasResult::NoAlias;
+  }
+  return AliasResult::MayAlias;
+}
+
+std::vector<Function *>
+AndersenAliasAnalysis::getIndirectCallees(const CallInst *Call) const {
+  std::vector<Function *> Out;
+  for (const Value *Obj : getPointsTo(Call->getCalleeOperand())) {
+    auto *F = const_cast<Function *>(dyn_cast<Function>(Obj));
+    if (F && F->getNumArgs() == Call->getNumArgs())
+      Out.push_back(F);
+  }
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Factory
+//===----------------------------------------------------------------------===//
+
+std::unique_ptr<AliasAnalysis> nir::createAliasAnalysis(const std::string &Name,
+                                                        Module &M) {
+  if (Name == "none")
+    return std::make_unique<NoAliasAnalysis>();
+  if (Name == "basic" || Name == "llvm")
+    return std::make_unique<BasicAliasAnalysis>();
+  if (Name == "andersen" || Name == "noelle")
+    return std::make_unique<AndersenAliasAnalysis>(M);
+  assert(false && "unknown alias analysis name");
+  return std::make_unique<NoAliasAnalysis>();
+}

@@ -1,0 +1,54 @@
+#include "analysis/CFG.h"
+
+#include <algorithm>
+#include <set>
+
+using namespace nir;
+
+namespace {
+
+void postOrderVisit(BasicBlock *BB, std::set<BasicBlock *> &Visited,
+                    std::vector<BasicBlock *> &Out) {
+  if (!Visited.insert(BB).second)
+    return;
+  for (BasicBlock *Succ : BB->successors())
+    postOrderVisit(Succ, Visited, Out);
+  Out.push_back(BB);
+}
+
+} // namespace
+
+std::vector<BasicBlock *> nir::postOrder(Function &F) {
+  std::vector<BasicBlock *> Out;
+  if (F.getNumBlocks() == 0)
+    return Out;
+  std::set<BasicBlock *> Visited;
+  postOrderVisit(&F.getEntryBlock(), Visited, Out);
+  return Out;
+}
+
+std::vector<BasicBlock *> nir::reversePostOrder(Function &F) {
+  auto Out = postOrder(F);
+  std::reverse(Out.begin(), Out.end());
+  return Out;
+}
+
+std::vector<BasicBlock *> nir::reachableBlocks(Function &F) {
+  return postOrder(F);
+}
+
+bool nir::isReachable(BasicBlock *From, BasicBlock *To) {
+  std::set<BasicBlock *> Visited;
+  std::vector<BasicBlock *> Work = {From};
+  while (!Work.empty()) {
+    BasicBlock *BB = Work.back();
+    Work.pop_back();
+    if (BB == To)
+      return true;
+    if (!Visited.insert(BB).second)
+      continue;
+    for (BasicBlock *Succ : BB->successors())
+      Work.push_back(Succ);
+  }
+  return false;
+}

@@ -1,0 +1,33 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// CFG helpers: traversal orders and reachability over basic blocks.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ANALYSIS_CFG_H
+#define ANALYSIS_CFG_H
+
+#include "ir/Function.h"
+
+#include <vector>
+
+namespace nir {
+
+/// Blocks of \p F in reverse post-order from the entry (a topological
+/// order ignoring back edges). Unreachable blocks are excluded.
+std::vector<BasicBlock *> reversePostOrder(Function &F);
+
+/// Blocks of \p F in post-order from the entry.
+std::vector<BasicBlock *> postOrder(Function &F);
+
+/// Blocks reachable from the entry of \p F.
+std::vector<BasicBlock *> reachableBlocks(Function &F);
+
+/// True if \p To is reachable from \p From following CFG edges (inclusive:
+/// a block reaches itself).
+bool isReachable(BasicBlock *From, BasicBlock *To);
+
+} // namespace nir
+
+#endif // ANALYSIS_CFG_H

@@ -1,0 +1,242 @@
+#include "analysis/Dominators.h"
+
+#include "analysis/CFG.h"
+#include "ir/Instructions.h"
+
+#include <algorithm>
+#include <functional>
+
+using namespace nir;
+
+//===----------------------------------------------------------------------===//
+// DominatorTree
+//===----------------------------------------------------------------------===//
+
+DominatorTree::DominatorTree(Function &F) : F(F) {
+  auto RPO = reversePostOrder(F);
+  for (unsigned I = 0; I < RPO.size(); ++I)
+    RPOIndex[RPO[I]] = I;
+
+  if (RPO.empty())
+    return;
+
+  BasicBlock *Entry = RPO.front();
+  IDom[Entry] = Entry; // Temporarily self, fixed to null at the end.
+
+  auto Intersect = [&](BasicBlock *A, BasicBlock *B) {
+    while (A != B) {
+      while (RPOIndex.at(A) > RPOIndex.at(B))
+        A = IDom.at(A);
+      while (RPOIndex.at(B) > RPOIndex.at(A))
+        B = IDom.at(B);
+    }
+    return A;
+  };
+
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (BasicBlock *BB : RPO) {
+      if (BB == Entry)
+        continue;
+      BasicBlock *NewIDom = nullptr;
+      for (BasicBlock *Pred : BB->predecessors()) {
+        if (!RPOIndex.count(Pred) || !IDom.count(Pred))
+          continue; // Unreachable or not yet processed.
+        NewIDom = NewIDom ? Intersect(NewIDom, Pred) : Pred;
+      }
+      if (!NewIDom)
+        continue;
+      auto It = IDom.find(BB);
+      if (It == IDom.end() || It->second != NewIDom) {
+        IDom[BB] = NewIDom;
+        Changed = true;
+      }
+    }
+  }
+
+  // Dominance frontiers (Cooper et al.).
+  for (BasicBlock *BB : RPO) {
+    auto Preds = BB->predecessors();
+    // Keep only reachable predecessors.
+    Preds.erase(std::remove_if(Preds.begin(), Preds.end(),
+                               [&](BasicBlock *P) {
+                                 return !RPOIndex.count(P);
+                               }),
+                Preds.end());
+    if (Preds.size() < 2)
+      continue;
+    for (BasicBlock *Pred : Preds) {
+      BasicBlock *Runner = Pred;
+      while (Runner != IDom.at(BB)) {
+        Frontier[Runner].insert(BB);
+        Runner = IDom.at(Runner);
+      }
+    }
+  }
+
+  IDom[Entry] = nullptr;
+}
+
+BasicBlock *DominatorTree::getIDom(BasicBlock *BB) const {
+  auto It = IDom.find(BB);
+  return It == IDom.end() ? nullptr : It->second;
+}
+
+bool DominatorTree::dominates(BasicBlock *A, BasicBlock *B) const {
+  if (!RPOIndex.count(A) || !RPOIndex.count(B))
+    return false;
+  while (B) {
+    if (A == B)
+      return true;
+    B = getIDom(B);
+  }
+  return false;
+}
+
+bool DominatorTree::dominates(const Instruction *A,
+                              const Instruction *B) const {
+  BasicBlock *ABB = A->getParent();
+  BasicBlock *BBB = B->getParent();
+  assert(ABB && BBB && "dominance query on unlinked instructions");
+  if (ABB != BBB)
+    return strictlyDominates(ABB, BBB);
+  if (isa<PhiInst>(A) && !isa<PhiInst>(B))
+    return true;
+  if (!isa<PhiInst>(A) && isa<PhiInst>(B))
+    return false;
+  for (const auto &I : ABB->getInstList()) {
+    if (I.get() == A)
+      return true;
+    if (I.get() == B)
+      return false;
+  }
+  return false;
+}
+
+std::vector<BasicBlock *> DominatorTree::getChildren(BasicBlock *BB) const {
+  std::vector<BasicBlock *> Out;
+  for (const auto &[Child, Parent] : IDom)
+    if (Parent == BB)
+      Out.push_back(Child);
+  return Out;
+}
+
+const std::set<BasicBlock *> &
+DominatorTree::getDominanceFrontier(BasicBlock *BB) const {
+  auto It = Frontier.find(BB);
+  return It == Frontier.end() ? EmptyFrontier : It->second;
+}
+
+//===----------------------------------------------------------------------===//
+// PostDominatorTree
+//===----------------------------------------------------------------------===//
+
+PostDominatorTree::PostDominatorTree(Function &F) {
+  // Post-order over the reversed CFG, starting from every exit block.
+  std::vector<BasicBlock *> Exits;
+  for (auto &BB : F.getBlocks())
+    if (BB->successors().empty())
+      Exits.push_back(BB.get());
+
+  // Reverse-CFG reverse post-order via iterative DFS from the virtual sink
+  // (i.e. from all exits).
+  std::vector<BasicBlock *> Order; // post-order on reverse CFG
+  std::set<BasicBlock *> Visited;
+  std::function<void(BasicBlock *)> Visit = [&](BasicBlock *BB) {
+    if (!Visited.insert(BB).second)
+      return;
+    for (BasicBlock *Pred : BB->predecessors())
+      Visit(Pred);
+    Order.push_back(BB);
+  };
+  for (BasicBlock *E : Exits)
+    Visit(E);
+  std::reverse(Order.begin(), Order.end()); // now RPO on reverse CFG
+
+  std::map<BasicBlock *, unsigned> Index;
+  for (unsigned I = 0; I < Order.size(); ++I)
+    Index[Order[I]] = I;
+  for (BasicBlock *BB : Order)
+    Known.insert(BB);
+
+  // The virtual sink is represented by null; exits' IPDom is the sink.
+  std::map<BasicBlock *, BasicBlock *> Doms;
+  for (BasicBlock *E : Exits)
+    Doms[E] = E; // temporarily self (roots of the forest under the sink)
+
+  auto Intersect = [&](BasicBlock *A, BasicBlock *B) -> BasicBlock * {
+    // null means the virtual sink, which is the ancestor of everything.
+    if (!A || !B)
+      return nullptr;
+    while (A != B) {
+      while (Index.at(A) > Index.at(B)) {
+        BasicBlock *Next = Doms.at(A);
+        if (Next == A)
+          return nullptr; // reached a root: join is the sink
+        A = Next;
+      }
+      while (Index.at(B) > Index.at(A)) {
+        BasicBlock *Next = Doms.at(B);
+        if (Next == B)
+          return nullptr;
+        B = Next;
+      }
+    }
+    return A;
+  };
+
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (BasicBlock *BB : Order) {
+      if (Doms.count(BB) && Doms[BB] == BB)
+        continue; // exit roots keep the sink as parent
+      BasicBlock *NewDom = nullptr;
+      bool First = true;
+      bool AnyProcessed = false;
+      for (BasicBlock *Succ : BB->successors()) {
+        if (!Doms.count(Succ))
+          continue;
+        AnyProcessed = true;
+        if (First) {
+          NewDom = Succ;
+          First = false;
+        } else {
+          NewDom = Intersect(NewDom, Succ);
+        }
+      }
+      if (!AnyProcessed)
+        continue;
+      auto It = Doms.find(BB);
+      if (It == Doms.end() || It->second != NewDom) {
+        Doms[BB] = NewDom ? NewDom : BB; // self marks "sink parent"... but
+        // only exits may be roots; a null join means the sink, encoded
+        // distinctly below.
+        if (!NewDom)
+          Doms[BB] = BB;
+        Changed = true;
+      }
+    }
+  }
+
+  for (auto &[BB, D] : Doms)
+    IPDom[BB] = (D == BB) ? nullptr : D;
+}
+
+BasicBlock *PostDominatorTree::getIPDom(BasicBlock *BB) const {
+  auto It = IPDom.find(BB);
+  return It == IPDom.end() ? nullptr : It->second;
+}
+
+bool PostDominatorTree::postDominates(BasicBlock *A, BasicBlock *B) const {
+  if (!Known.count(A) || !Known.count(B))
+    return false;
+  BasicBlock *Cur = B;
+  while (Cur) {
+    if (Cur == A)
+      return true;
+    Cur = getIPDom(Cur);
+  }
+  return false;
+}

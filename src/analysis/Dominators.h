@@ -1,0 +1,86 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Dominator and post-dominator trees (Cooper-Harvey-Kennedy iterative
+/// algorithm), dominance frontiers, and instruction-level dominance
+/// queries. Unlike LLVM's function-pass-managed analyses, these objects
+/// are plain values whose lifetime is controlled by their user — the
+/// property NOELLE introduces to avoid the stale-pointer bugs described in
+/// the paper (Section 2.2, "Other abstractions").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ANALYSIS_DOMINATORS_H
+#define ANALYSIS_DOMINATORS_H
+
+#include "ir/Function.h"
+
+#include <map>
+#include <set>
+#include <vector>
+
+namespace nir {
+
+/// Immediate-dominator tree for a function's CFG.
+class DominatorTree {
+public:
+  explicit DominatorTree(Function &F);
+
+  /// The immediate dominator of \p BB, or null for the entry block and
+  /// unreachable blocks.
+  BasicBlock *getIDom(BasicBlock *BB) const;
+
+  /// True if \p A dominates \p B (reflexive).
+  bool dominates(BasicBlock *A, BasicBlock *B) const;
+
+  /// True if \p A strictly dominates \p B.
+  bool strictlyDominates(BasicBlock *A, BasicBlock *B) const {
+    return A != B && dominates(A, B);
+  }
+
+  /// Instruction-level dominance: \p A dominates \p B if A's block
+  /// strictly dominates B's, or they share a block and A comes first.
+  /// Phi ordering within the phi group is considered simultaneous; a phi
+  /// dominates every non-phi of its block.
+  bool dominates(const Instruction *A, const Instruction *B) const;
+
+  /// Children of \p BB in the dominator tree.
+  std::vector<BasicBlock *> getChildren(BasicBlock *BB) const;
+
+  /// The dominance frontier of \p BB (used by mem2reg's phi placement).
+  const std::set<BasicBlock *> &getDominanceFrontier(BasicBlock *BB) const;
+
+  /// True if the block was reachable when the tree was built.
+  bool isReachableFromEntry(BasicBlock *BB) const {
+    return RPOIndex.count(BB) != 0;
+  }
+
+private:
+  Function &F;
+  std::map<BasicBlock *, BasicBlock *> IDom;
+  std::map<BasicBlock *, unsigned> RPOIndex;
+  std::map<BasicBlock *, std::set<BasicBlock *>> Frontier;
+  std::set<BasicBlock *> EmptyFrontier;
+};
+
+/// Immediate post-dominator tree. Computed over the reversed CFG with a
+/// virtual sink joining all exit blocks.
+class PostDominatorTree {
+public:
+  explicit PostDominatorTree(Function &F);
+
+  /// The immediate post-dominator of \p BB, or null if BB is an exit or
+  /// post-dominated only by the virtual sink.
+  BasicBlock *getIPDom(BasicBlock *BB) const;
+
+  /// True if \p A post-dominates \p B (reflexive).
+  bool postDominates(BasicBlock *A, BasicBlock *B) const;
+
+private:
+  std::map<BasicBlock *, BasicBlock *> IPDom; // null value = virtual sink
+  std::set<BasicBlock *> Known;
+};
+
+} // namespace nir
+
+#endif // ANALYSIS_DOMINATORS_H

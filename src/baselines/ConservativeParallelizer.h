@@ -1,0 +1,51 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A model of gcc/icc auto-parallelization for Figure 5's baselines:
+/// DOALL-style transformation gated on what production compilers can
+/// prove — weak (intraprocedural) alias analysis, no interprocedural
+/// mod/ref, do-while-only induction variables, and no speculation. On
+/// the paper's irregular benchmarks these conditions almost never hold,
+/// which is why the gcc/icc series in Figure 5 sits at 1.0x.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BASELINES_CONSERVATIVEPARALLELIZER_H
+#define BASELINES_CONSERVATIVEPARALLELIZER_H
+
+#include "xforms/DOALL.h"
+
+namespace baselines {
+
+struct ConservativeOptions {
+  unsigned NumCores = 4;
+  /// "gcc" and "icc" differ only marginally for our purposes; icc
+  /// additionally recognizes simple sum reductions.
+  bool AllowReductions = false;
+  const char *Name = "gcc";
+};
+
+struct ConservativeDecision {
+  std::string FunctionName;
+  unsigned LoopID = 0;
+  bool Parallelized = false;
+  std::string Reason;
+};
+
+/// Runs the conservative auto-parallelizer over a module. Internally it
+/// reuses the DOALL mechanics but under an "llvm"-strength PDG and
+/// do-while-only IV detection.
+class ConservativeParallelizer {
+public:
+  ConservativeParallelizer(nir::Module &M, ConservativeOptions Opts = {});
+
+  std::vector<ConservativeDecision> run();
+
+private:
+  nir::Module &M;
+  ConservativeOptions Opts;
+};
+
+} // namespace baselines
+
+#endif // BASELINES_CONSERVATIVEPARALLELIZER_H

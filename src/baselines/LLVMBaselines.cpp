@@ -1,0 +1,163 @@
+#include "baselines/LLVMBaselines.h"
+
+#include "ir/Instructions.h"
+
+#include <set>
+
+using namespace baselines;
+using nir::AliasResult;
+using nir::BinaryInst;
+using nir::BranchInst;
+using nir::CallInst;
+using nir::CmpInst;
+using nir::ConstantInt;
+using nir::LoadInst;
+using nir::ModRefResult;
+using nir::StoreInst;
+
+namespace {
+
+/// Operand check shared by every case of Algorithm 1: no operand may be
+/// defined inside the loop (values the fixed-point already hoisted are
+/// passed in \p AlreadyInvariant).
+bool operandsOutsideLoop(const Instruction *I, const LoopStructure &L,
+                         const std::set<const Instruction *> &AlreadyInvariant) {
+  for (const Value *Op : I->operands()) {
+    const auto *OpI = nir::dyn_cast<Instruction>(Op);
+    if (!OpI)
+      continue;
+    if (L.contains(OpI) && !AlreadyInvariant.count(OpI))
+      return false;
+  }
+  return true;
+}
+
+bool isInvariantLLVMImpl(const Instruction *I, const LoopStructure &L,
+                         const DominatorTree &DT, AliasAnalysis &AA,
+                         const std::set<const Instruction *> &Hoisted) {
+  // Phis, terminators, and allocas are never hoisted.
+  if (nir::isa<nir::PhiInst>(I) || I->isTerminator() ||
+      nir::isa<nir::AllocaInst>(I))
+    return false;
+
+  if (!operandsOutsideLoop(I, L, Hoisted))
+    return false;
+
+  if (const auto *Load = nir::dyn_cast<LoadInst>(I)) {
+    // "if I is a load: check if any other instruction of L can modify
+    // the same memory location accessed by I."
+    for (const auto *BB : L.getBlocks())
+      for (const auto &J : BB->getInstList()) {
+        if (J.get() == I)
+          continue;
+        if (!J->mayWriteToMemory())
+          continue;
+        if (AA.getModRef(J.get(), Load->getPointerOperand()) !=
+            ModRefResult::NoModRef)
+          return false;
+      }
+    return true;
+  }
+
+  if (const auto *Store = nir::dyn_cast<StoreInst>(I)) {
+    // "if I is a store: conservatively ensure no memory use precedes the
+    // store, and no def/use would be invalidated by hoisting it."
+    for (const auto *BB : L.getBlocks())
+      for (const auto &J : BB->getInstList()) {
+        if (J.get() == I)
+          continue;
+        if (!J->mayReadOrWriteMemory())
+          continue;
+        if (AA.getModRef(J.get(), Store->getPointerOperand()) ==
+            ModRefResult::NoModRef)
+          continue;
+        if (!DT.dominates(I, J.get()))
+          return false;
+      }
+    // LLVM additionally requires the nearest dominating memory access to
+    // be outside the loop; our conservative stand-in rejects any
+    // aliasing access in the loop (handled above).
+    return true;
+  }
+
+  if (const auto *Call = nir::dyn_cast<CallInst>(I)) {
+    // "if I is a call: it must not modify any memory, only access memory
+    // via arguments, and no sub-loop may modify that memory."
+    if (Call->getMetadata("noelle.pure") != "true")
+      return false;
+    return true;
+  }
+
+  // Pure arithmetic with out-of-loop operands.
+  return true;
+}
+
+} // namespace
+
+bool baselines::isInvariantLLVM(const Instruction *I, const LoopStructure &L,
+                                const DominatorTree &DT, AliasAnalysis &AA) {
+  std::set<const Instruction *> None;
+  return isInvariantLLVMImpl(I, L, DT, AA, None);
+}
+
+std::vector<Instruction *>
+baselines::findInvariantsLLVM(const LoopStructure &L, const DominatorTree &DT,
+                              AliasAnalysis &AA) {
+  std::set<const Instruction *> Hoisted;
+  std::vector<Instruction *> Out;
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (auto *BB : L.getBlocks())
+      for (const auto &I : BB->getInstList()) {
+        if (Hoisted.count(I.get()))
+          continue;
+        if (isInvariantLLVMImpl(I.get(), L, DT, AA, Hoisted)) {
+          Hoisted.insert(I.get());
+          Out.push_back(I.get());
+          Changed = true;
+        }
+      }
+  }
+  return Out;
+}
+
+PhiInst *baselines::findGoverningIVLLVM(const LoopStructure &L) {
+  // LLVM's detection expects the rotated (do-while) form: the latch is an
+  // exiting block and its condition compares the incremented IV against
+  // an out-of-loop bound.
+  if (!L.isDoWhileForm())
+    return nullptr;
+
+  for (auto *Latch : L.getLatches()) {
+    const auto *Br = nir::dyn_cast_or_null<BranchInst>(Latch->getTerminator());
+    if (!Br || !Br->isConditional())
+      continue;
+    const auto *Cmp = nir::dyn_cast<CmpInst>(Br->getCondition());
+    if (!Cmp)
+      continue;
+    for (const Value *Side : {Cmp->getLHS(), Cmp->getRHS()}) {
+      const auto *Step = nir::dyn_cast<BinaryInst>(Side);
+      if (!Step || (Step->getOp() != BinaryInst::Op::Add &&
+                    Step->getOp() != BinaryInst::Op::Sub))
+        continue;
+      // One operand is a header phi, the other a constant.
+      for (const Value *Op : {Step->getLHS(), Step->getRHS()}) {
+        auto *Phi =
+            nir::dyn_cast<PhiInst>(const_cast<Value *>(Op));
+        if (!Phi || Phi->getParent() != L.getHeader())
+          continue;
+        const Value *Other =
+            Step->getLHS() == Phi ? Step->getRHS() : Step->getLHS();
+        if (!nir::isa<ConstantInt>(Other))
+          continue;
+        // The phi's in-loop incoming must be this step instruction.
+        for (unsigned K = 0; K < Phi->getNumIncoming(); ++K)
+          if (L.contains(Phi->getIncomingBlock(K)) &&
+              Phi->getIncomingValue(K) == Step)
+            return Phi;
+      }
+    }
+  }
+  return nullptr;
+}

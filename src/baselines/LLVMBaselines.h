@@ -1,0 +1,50 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Faithful models of the *LLVM-level* analyses the paper compares NOELLE
+/// against (Figures 3 and 4, §4.3):
+///  - Algorithm 1: LLVM's low-level loop-invariance test built on operand
+///    checks, dominators, and pairwise alias queries;
+///  - LLVM's induction-variable detection, which requires loops in
+///    do-while (rotated) shape;
+///  - the weak alias stack ("basic" AA, no interprocedural summaries).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BASELINES_LLVMBASELINES_H
+#define BASELINES_LLVMBASELINES_H
+
+#include "analysis/AliasAnalysis.h"
+#include "analysis/Dominators.h"
+#include "analysis/LoopInfo.h"
+
+namespace baselines {
+
+using nir::AliasAnalysis;
+using nir::DominatorTree;
+using nir::Instruction;
+using nir::LoopStructure;
+using nir::PhiInst;
+using nir::Value;
+
+/// The paper's Algorithm 1: isInvariant_llvm(I, L, DT, AA). Operand
+/// loop-locality first, then per-opcode memory checks through pairwise
+/// alias/dominance queries.
+bool isInvariantLLVM(const Instruction *I, const LoopStructure &L,
+                     const DominatorTree &DT, AliasAnalysis &AA);
+
+/// All instructions of \p L that Algorithm 1 classifies as invariant
+/// (fixed-point iteration, mirroring LLVM's hoisting loop in LICM).
+std::vector<Instruction *> findInvariantsLLVM(const LoopStructure &L,
+                                              const DominatorTree &DT,
+                                              AliasAnalysis &AA);
+
+/// LLVM-style governing-IV detection. Only recognizes loops in do-while
+/// shape (the latch is an exiting block) with the canonical
+/// phi/increment/compare pattern rooted in the latch — the reason LLVM
+/// finds 11 governing IVs where NOELLE finds 385 (§4.3).
+PhiInst *findGoverningIVLLVM(const LoopStructure &L);
+
+} // namespace baselines
+
+#endif // BASELINES_LLVMBASELINES_H

@@ -1,0 +1,615 @@
+#include "benchmarks/Suite.h"
+
+using namespace bench;
+
+namespace {
+
+std::vector<Benchmark> buildSuite() {
+  std::vector<Benchmark> S;
+
+  //===------------------------------------------------------------------===//
+  // PARSEC-like kernels
+  //===------------------------------------------------------------------===//
+
+  S.push_back({"blackscholes", "PARSEC", R"(
+    // Option pricing over independent options (PARSEC blackscholes):
+    // pure DOALL over doubles with transcendental calls.
+    double sptprice[512];
+    double strike[512];
+    double rate[512];
+    double volatility[512];
+    double otime[512];
+    double prices[512];
+    int main() {
+      for (int i = 0; i < 512; i = i + 1) {
+        sptprice[i] = 90.0 + (double)(i % 40);
+        strike[i] = 95.0 + (double)(i % 30);
+        rate[i] = 0.02 + 0.0001 * (double)(i % 7);
+        volatility[i] = 0.2 + 0.001 * (double)(i % 13);
+        otime[i] = 0.5 + 0.01 * (double)(i % 17);
+      }
+      price(sptprice, strike, rate, volatility, otime, prices, 512);
+      double total = 0.0;
+      for (int i = 0; i < 512; i = i + 1) total = total + prices[i];
+      return (int)total;
+    }
+  )",
+               "DOALL-friendly double kernel behind pointer params"});
+  // (body continues in the helper below)
+  S.back().Source = R"(
+    double sptprice[512];
+    double strike[512];
+    double rate[512];
+    double volatility[512];
+    double otime[512];
+    double prices[512];
+    void price(double *sp, double *st, double *ra, double *vo,
+               double *ot, double *out, int n) {
+      for (int i = 0; i < n; i = i + 1) {
+        double s = sp[i];
+        double k = st[i];
+        double r = ra[i];
+        double v = vo[i];
+        double t = ot[i];
+        double sq = sqrt(t);
+        double d1 = (log(s / k) + (r + 0.5 * v * v) * t) / (v * sq);
+        double d2 = d1 - v * sq;
+        // Polynomial CNDF approximation.
+        double n1 = 1.0 / (1.0 + 0.2316419 * fabs(d1));
+        double n2 = 1.0 / (1.0 + 0.2316419 * fabs(d2));
+        double c1 = 0.3989423 * exp(-0.5 * d1 * d1) *
+                    (0.3193815 * n1 + 0.7818 * n1 * n1 * n1);
+        double c2 = 0.3989423 * exp(-0.5 * d2 * d2) *
+                    (0.3193815 * n2 + 0.7818 * n2 * n2 * n2);
+        double nd1 = c1;
+        if (d1 >= 0.0) nd1 = 1.0 - c1;
+        double nd2 = c2;
+        if (d2 >= 0.0) nd2 = 1.0 - c2;
+        out[i] = s * nd1 - k * exp(-r * t) * nd2;
+      }
+    }
+    int main() {
+      for (int i = 0; i < 512; i = i + 1) {
+        sptprice[i] = 90.0 + (double)(i % 40);
+        strike[i] = 95.0 + (double)(i % 30);
+        rate[i] = 0.02 + 0.0001 * (double)(i % 7);
+        volatility[i] = 0.2 + 0.001 * (double)(i % 13);
+        otime[i] = 0.5 + 0.01 * (double)(i % 17);
+      }
+      price(sptprice, strike, rate, volatility, otime, prices, 512);
+      double total = 0.0;
+      for (int i = 0; i < 512; i = i + 1) total = total + prices[i];
+      return (int)total;
+    }
+  )";
+
+  S.push_back({"swaptions", "PARSEC", R"(
+    // Monte-Carlo style per-path simulation (PARSEC swaptions): the
+    // outer loop is DOALL; each path runs an inner recurrence privately.
+    double results[256];
+    int main() {
+      for (int p = 0; p < 256; p = p + 1) {
+        int seed = p * 2654435761 + 12345;
+        double acc = 0.0;
+        double ratepath = 0.05;
+        for (int s = 0; s < 60; s = s + 1) {
+          seed = (seed * 1103515245 + 12345) % 2147483647;
+          if (seed < 0) seed = -seed;
+          double shock = (double)(seed % 1000) / 1000.0 - 0.5;
+          ratepath = ratepath + 0.001 * shock;
+          acc = acc + ratepath;
+        }
+        results[p] = acc / 60.0;
+      }
+      double total = 0.0;
+      for (int p = 0; p < 256; p = p + 1) total = total + results[p];
+      return (int)(total * 1000.0);
+    }
+  )",
+               "DOALL outer loop with private inner recurrences"});
+
+  S.push_back({"streamcluster", "PARSEC", R"(
+    // Distance evaluation of points against centers (PARSEC
+    // streamcluster): DOALL over points, reduction of total cost.
+    double px[256];
+    double py[256];
+    double cx[16];
+    double cy[16];
+    double cost[256];
+    double wcfg[2];
+    void assigncost(double *x, double *y, double *centx, double *centy,
+                    double *out, int n, int k) {
+      for (int i = 0; i < n; i = i + 1) {
+        double wx = wcfg[0] + 1.0;   // invariant weight loads
+        double wy = wcfg[1] + 1.0;
+        double best = 1000000000.0;
+        for (int c = 0; c < k; c = c + 1) {
+          double dx = (x[i] - centx[c]) * wx;
+          double dy = (y[i] - centy[c]) * wy;
+          double d = dx * dx + dy * dy;
+          if (d < best) best = d;
+        }
+        out[i] = best;
+      }
+    }
+    int main() {
+      wcfg[0] = 0.5;
+      wcfg[1] = 0.25;
+      for (int i = 0; i < 256; i = i + 1) {
+        px[i] = (double)(i % 50) * 0.7;
+        py[i] = (double)(i % 37) * 1.3;
+      }
+      for (int c = 0; c < 16; c = c + 1) {
+        cx[c] = (double)(c * 3);
+        cy[c] = (double)(c * 5);
+      }
+      assigncost(px, py, cx, cy, cost, 256, 16);
+      double total = 0.0;
+      for (int i = 0; i < 256; i = i + 1) total = total + cost[i];
+      return (int)total;
+    }
+  )",
+               "DOALL with inner min-search"});
+
+  S.push_back({"fluidanimate", "PARSEC", R"(
+    // Grid stencil stepping from one array into another (PARSEC
+    // fluidanimate's neighbor averaging): DOALL per cell.
+    double grid[1024];
+    double next[1024];
+    double visc[1];
+    void relax(double *from, double *to, int n) {
+      for (int i = 1; i < n - 1; i = i + 1) {
+        double v = visc[0] * 0.25;     // invariant parameter load
+        to[i] = v * from[i - 1] + (1.0 - 2.0 * v) * from[i] +
+                v * from[i + 1];
+      }
+    }
+    void copyback(double *from, double *to, int n) {
+      for (int i = 1; i < n - 1; i = i + 1) to[i] = from[i];
+    }
+    int main() {
+      visc[0] = 1.0;
+      for (int i = 0; i < 1024; i = i + 1)
+        grid[i] = (double)((i * 7) % 100) * 0.01;
+      for (int step = 0; step < 8; step = step + 1) {
+        relax(grid, next, 1024);
+        copyback(next, grid, 1024);
+      }
+      double total = 0.0;
+      for (int i = 0; i < 1024; i = i + 1) total = total + grid[i];
+      return (int)(total * 100.0);
+    }
+  )",
+               "double-buffered stencil, DOALL inner loops"});
+
+  S.push_back({"canneal", "PARSEC", R"(
+    // Annealing-style walk (PARSEC canneal): the RNG state is a
+    // sequential recurrence but cost evaluation is heavy per iteration:
+    // HELIX can overlap the evaluations.
+    int placement[512];
+    int main() {
+      for (int i = 0; i < 512; i = i + 1) placement[i] = (i * 13) % 512;
+      int rng = 42;
+      int accepted = 0;
+      for (int iter = 0; iter < 384; iter = iter + 1) {
+        rng = (rng * 1103515245 + 12345) % 2147483647;
+        if (rng < 0) rng = -rng;
+        int a = rng % 512;
+        int cost = 0;
+        int base = a * 31;
+        cost = cost + (base * base + 7) % 1009;
+        cost = cost + ((base + 11) * (base + 3)) % 2003;
+        cost = cost + ((base + 5) * (base + 17)) % 4001;
+        accepted = accepted + cost % 2;
+      }
+      return accepted;
+    }
+  )",
+               "sequential RNG + heavy independent evaluation (HELIX)"});
+
+  S.push_back({"dedup", "PARSEC", R"(
+    // Chunk -> hash -> accumulate pipeline (PARSEC dedup): classic DSWP
+    // with a recurrence per stage.
+    int data[512];
+    int main() {
+      for (int i = 0; i < 512; i = i + 1) data[i] = (i * 131) % 251;
+      int h = 5381;
+      int unique = 0;
+      for (int i = 0; i < 512; i = i + 1) {
+        h = (h * 33 + data[i]) % 1000003;      // stage 1: rolling hash
+        unique = (unique + h % 7) % 65521;      // stage 2: dedup count
+      }
+      return unique;
+    }
+  )",
+               "two-stage pipeline (DSWP)"});
+
+  S.push_back({"ferret", "PARSEC", R"(
+    // Feature-extraction -> ranking pipeline (PARSEC ferret): two
+    // heavyweight sequential stages; DSWP's showcase.
+    int querydata[256];
+    int main() {
+      for (int i = 0; i < 256; i = i + 1) querydata[i] = (i * 151 + 7) % 509;
+      int fingerprint = 99991;
+      int rank = 0;
+      for (int i = 0; i < 256; i = i + 1) {
+        // Stage 1: an expensive feature hash chained across queries.
+        int f = fingerprint;
+        f = (f * 31 + querydata[i]) % 1000003;
+        f = (f * 33 + (f >> 3)) % 1000003;
+        f = (f * 37 + (f >> 5)) % 1000003;
+        f = (f * 41 + (f >> 7)) % 1000003;
+        f = (f * 43 + (f >> 2)) % 1000003;
+        f = (f * 47 + (f >> 4)) % 1000003;
+        f = (f * 53 + (f >> 6)) % 1000003;
+        f = (f * 59 + (f >> 8)) % 1000003;
+        f = (f * 61 + (f >> 9)) % 1000003;
+        f = (f * 67 + (f >> 2)) % 1000003;
+        f = (f * 71 + (f >> 3)) % 1000003;
+        f = (f * 73 + (f >> 5)) % 1000003;
+        fingerprint = f;
+        // Stage 2: an expensive ranking update chained on its own state.
+        int r = rank;
+        r = (r + f % 97) % 524287;
+        r = (r * 3 + (r >> 1)) % 524287;
+        r = (r * 5 + (r >> 2)) % 524287;
+        r = (r * 7 + (r >> 3)) % 524287;
+        r = (r * 11 + (r >> 4)) % 524287;
+        r = (r * 13 + (r >> 5)) % 524287;
+        r = (r * 17 + (r >> 6)) % 524287;
+        r = (r * 19 + (r >> 7)) % 524287;
+        r = (r * 23 + (r >> 8)) % 524287;
+        r = (r * 29 + (r >> 9)) % 524287;
+        r = (r * 31 + (r >> 2)) % 524287;
+        r = (r * 37 + (r >> 3)) % 524287;
+        rank = r;
+      }
+      return rank + fingerprint % 1009;
+    }
+  )",
+               "two heavyweight chained stages (DSWP showcase)"});
+
+  //===------------------------------------------------------------------===//
+  // MiBench-like kernels
+  //===------------------------------------------------------------------===//
+
+  S.push_back({"crc", "MiBench", R"(
+    // CRC over a buffer (MiBench CRC32): a tight register recurrence
+    // with tiny per-iteration work. The paper calls this one out: no
+    // technique speeds it up without memory-object cloning.
+    int buf[2048];
+    int main() {
+      for (int i = 0; i < 2048; i = i + 1) buf[i] = (i * 7 + 3) % 256;
+      int crc = 65535;
+      int i = 0;
+      do {
+        crc = ((crc << 1) ^ (crc / 2) ^ buf[i]) % 65536;
+        i = i + 1;
+      } while (i < 2048);
+      return crc;
+    }
+  )",
+               "tiny-body recurrence: no profitable parallelism"});
+
+  S.push_back({"dijkstra", "MiBench", R"(
+    // Single-source shortest paths, O(V^2) (MiBench dijkstra): the
+    // outer loop is inherently sequential; inner scans are small.
+    int dist[128];
+    int done[128];
+    int weight[128];
+    int main() {
+      for (int i = 0; i < 128; i = i + 1) {
+        dist[i] = 1000000;
+        done[i] = 0;
+        weight[i] = (i * 37 + 5) % 97 + 1;
+      }
+      dist[0] = 0;
+      for (int round = 0; round < 128; round = round + 1) {
+        int best = 1000001;
+        int bestv = 0;
+        for (int v = 0; v < 128; v = v + 1) {
+          if (done[v] == 0 && dist[v] < best) {
+            best = dist[v];
+            bestv = v;
+          }
+        }
+        done[bestv] = 1;
+        for (int v = 0; v < 128; v = v + 1) {
+          int w = (weight[bestv] + weight[v]) % 61 + 1;
+          int cand = dist[bestv] + w;
+          if (cand < dist[v]) dist[v] = cand;
+        }
+      }
+      int sum = 0;
+      for (int v = 0; v < 128; v = v + 1) sum = sum + dist[v];
+      return sum;
+    }
+  )",
+               "irregular, mostly sequential"});
+
+  S.push_back({"fft", "MiBench", R"(
+    // Direct DFT magnitude (MiBench fft stand-in): O(n^2) outer loop is
+    // DOALL with private inner accumulation.
+    double signal[256];
+    double mag[128];
+    void dft(double *sig, double *out, int n, int bins) {
+      for (int k = 0; k < bins; k = k + 1) {
+        double re = 0.0;
+        double im = 0.0;
+        for (int t = 0; t < n; t = t + 1) {
+          double ang = 6.2831853 * (double)k * (double)t / (double)n;
+          re = re + sig[t] * cos(ang);
+          im = im - sig[t] * sin(ang);
+        }
+        out[k] = re * re + im * im;
+      }
+    }
+    int main() {
+      for (int i = 0; i < 256; i = i + 1)
+        signal[i] = sin((double)i * 0.1) + 0.5 * sin((double)i * 0.3);
+      dft(signal, mag, 256, 128);
+      double total = 0.0;
+      for (int k = 0; k < 128; k = k + 1) total = total + mag[k];
+      return (int)total;
+    }
+  )",
+               "DOALL outer loop, heavy trig inner loop"});
+
+  S.push_back({"susan", "MiBench", R"(
+    // Image smoothing stencil (MiBench susan): DOALL over pixels of a
+    // 2D image stored row-major.
+    int img[1024];
+    int out[1024];
+    int cfg[2];
+    void smooth(int *src, int *dst, int n) {
+      for (int p = 33; p < n - 33; p = p + 1) {
+        int centerweight = cfg[0] * 2 + cfg[1];  // invariant config load
+        int acc = src[p] * centerweight;
+        acc = acc + src[p - 1] * 2 + src[p + 1] * 2;
+        acc = acc + src[p - 32] * 2 + src[p + 32] * 2;
+        acc = acc + src[p - 33] + src[p - 31];
+        acc = acc + src[p + 31] + src[p + 33];
+        dst[p] = acc / 16;
+      }
+    }
+    int main() {
+      cfg[0] = 2;
+      cfg[1] = 0;
+      for (int i = 0; i < 1024; i = i + 1) img[i] = (i * 29) % 256;
+      smooth(img, out, 1024);
+      int sum = 0;
+      for (int p = 0; p < 1024; p = p + 1) sum = sum + out[p];
+      return sum % 1000003;
+    }
+  )",
+               "2D stencil, DOALL"});
+
+  S.push_back({"sha", "MiBench", R"(
+    // Block-chained digest (MiBench sha): each block mixes sequentially
+    // into the running digest; per-block expansion has real work.
+    int msg[1024];
+    int main() {
+      for (int i = 0; i < 1024; i = i + 1) msg[i] = (i * 101 + 7) % 256;
+      int h = 1732584193;
+      for (int b = 0; b < 1024; b = b + 1) {
+        int w = msg[b];
+        int t1 = ((w << 3) ^ (w / 4) + b) % 1000003;
+        int t2 = (t1 * 5 + (t1 / 8)) % 1000003;
+        h = ((h << 5) ^ h / 2) % 1000003 + t2;
+      }
+      return h % 999983;
+    }
+  )",
+               "chained digest recurrence (HELIX candidate)"});
+
+  S.push_back({"adpcm", "MiBench", R"(
+    // ADPCM decode (MiBench adpcm): predictor state is a recurrence;
+    // the quantization math per sample is moderate.
+    int samples[1024];
+    int decoded[1024];
+    int main() {
+      for (int i = 0; i < 1024; i = i + 1) samples[i] = (i * 17) % 16;
+      int pred = 0;
+      int step = 7;
+      for (int i = 0; i < 1024; i = i + 1) {
+        int delta = samples[i];
+        int diff = (step * delta) / 4 + step / 8;
+        if (delta >= 8) pred = pred - diff;
+        else pred = pred + diff;
+        if (pred > 32767) pred = 32767;
+        if (pred < -32768) pred = -32768;
+        step = (step * (90 + delta * 2)) / 88 + 1;
+        if (step < 7) step = 7;
+        if (step > 2048) step = 2048;
+        decoded[i] = pred;
+      }
+      int sum = 0;
+      for (int i = 0; i < 1024; i = i + 1) sum = sum + decoded[i];
+      return sum % 1000003;
+    }
+  )",
+               "predictor recurrence with conditional updates"});
+
+  S.push_back({"stringsearch", "MiBench", R"(
+    // Count pattern occurrences in a text (MiBench stringsearch):
+    // DOALL over starting positions with a match reduction.
+    char text[4096];
+    int main() {
+      for (int i = 0; i < 4096; i = i + 1)
+        text[i] = 'a' + (i * 31 + i / 7) % 4;
+      int matches = 0;
+      for (int i = 0; i < 4090; i = i + 1) {
+        int ok = 1;
+        if (text[i] != 'a') ok = 0;
+        if (text[i + 1] != 'b') ok = 0;
+        if (text[i + 2] != 'a') ok = 0;
+        matches = matches + ok;
+      }
+      return matches;
+    }
+  )",
+               "DOALL scan with a sum reduction"});
+
+  S.push_back({"basicmath", "MiBench", R"(
+    // Independent cubic evaluations (MiBench basicmath): DOALL with
+    // double math.
+    double roots[512];
+    int main() {
+      for (int i = 0; i < 512; i = i + 1) {
+        double a = 1.0 + (double)(i % 11) * 0.1;
+        double b = -3.0 + (double)(i % 7) * 0.2;
+        double c = 2.0 + (double)(i % 5) * 0.3;
+        // Newton iterations on a*x^3 + b*x + c.
+        double x = 1.0;
+        for (int it = 0; it < 12; it = it + 1) {
+          double f = a * x * x * x + b * x + c;
+          double fp = 3.0 * a * x * x + b;
+          x = x - f / fp;
+        }
+        roots[i] = x;
+      }
+      double total = 0.0;
+      for (int i = 0; i < 512; i = i + 1) total = total + roots[i];
+      return (int)(total * 100.0);
+    }
+  )",
+               "DOALL with private Newton iterations"});
+
+  //===------------------------------------------------------------------===//
+  // SPEC-CPU2017-like kernels (loop-carried heavy; §4.4 expects only
+  // 1-5% gains without speculation)
+  //===------------------------------------------------------------------===//
+
+  S.push_back({"mcf", "SPEC", R"(
+    // Pointer-chasing over an index-linked structure (SPEC mcf):
+    // the traversal order is a loop-carried dependence.
+    int next[2048];
+    int value[2048];
+    int main() {
+      for (int i = 0; i < 2048; i = i + 1) {
+        next[i] = (i * 1021 + 17) % 2048;
+        value[i] = (i * 53) % 997;
+      }
+      int node = 0;
+      int acc = 0;
+      for (int step = 0; step < 12288; step = step + 1) {
+        acc = (acc + value[node]) % 1000003;
+        node = next[node];
+      }
+      return acc;
+    }
+  )",
+               "pointer chase: sequential"});
+
+  S.push_back({"lbm", "SPEC", R"(
+    // In-place lattice update (SPEC lbm simplified): the in-place
+    // sweep carries dependences between neighboring cells.
+    double cells[2048];
+    int main() {
+      for (int i = 0; i < 2048; i = i + 1)
+        cells[i] = (double)((i * 13) % 100) * 0.01;
+      for (int t = 0; t < 12; t = t + 1) {
+        for (int i = 1; i < 2047; i = i + 1) {
+          cells[i] = 0.4 * cells[i - 1] + 0.6 * cells[i]; // carried
+        }
+      }
+      double total = 0.0;
+      for (int i = 0; i < 2048; i = i + 1) total = total + cells[i];
+      return (int)(total * 10.0);
+    }
+  )",
+               "in-place sweep: loop-carried stencil"});
+
+  S.push_back({"nab", "SPEC", R"(
+    // Force accumulation through an indirection table (SPEC nab): the
+    // scatter through idx[] defeats static disambiguation.
+    int idx[1024];
+    int force[256];
+    int main() {
+      for (int i = 0; i < 1024; i = i + 1) idx[i] = (i * 179) % 256;
+      for (int i = 0; i < 256; i = i + 1) force[i] = 0;
+      for (int round = 0; round < 4; round = round + 1) {
+        for (int i = 0; i < 1024; i = i + 1) {
+          int f = (i * i + 3 + round) % 211;
+          force[idx[i]] = force[idx[i]] + f;   // indirect scatter
+        }
+      }
+      int sum = 0;
+      for (int i = 0; i < 256; i = i + 1) sum = sum + force[i];
+      return sum;
+    }
+  )",
+               "indirect scatter: statically sequential"});
+
+  S.push_back({"imagick", "SPEC", R"(
+    // Error-diffusion style filter (SPEC imagick stand-in): each pixel
+    // depends on the previous pixel's output.
+    int img[2048];
+    int outp[2048];
+    int main() {
+      for (int i = 0; i < 2048; i = i + 1) img[i] = (i * 41) % 256;
+      int carry = 0;
+      for (int pass = 0; pass < 6; pass = pass + 1) {
+        for (int i = 0; i < 2048; i = i + 1) {
+          int v = img[i] + carry + outp[i] / 4;
+          int q = 0;
+          if (v > 127) q = 255;
+          carry = (v - q) / 2;
+          outp[i] = q;
+        }
+      }
+      int sum = 0;
+      for (int i = 0; i < 2048; i = i + 1) sum = sum + outp[i];
+      return sum % 1000003;
+    }
+  )",
+               "error diffusion: carried recurrence"});
+
+  S.push_back({"xz", "SPEC", R"(
+    // Match-length scanning with an adaptive state (SPEC xz stand-in):
+    // sequential state machine over the input.
+    int data[4096];
+    int main() {
+      for (int i = 0; i < 4096; i = i + 1) data[i] = (i * 2654435761) % 256;
+      int state = 0;
+      int out = 0;
+      int pass = 0;
+      do {
+        int i = 0;
+        do {
+          int sym = data[i];
+          state = (state * 31 + sym + pass) % 4096;
+          if (state % 16 == 0) out = out + 1;
+          i = i + 1;
+        } while (i < 4096);
+        pass = pass + 1;
+      } while (pass < 4);
+      return out * 17 + state % 97;
+    }
+  )",
+               "adaptive state machine: sequential"});
+
+  return S;
+}
+
+} // namespace
+
+const std::vector<Benchmark> &bench::getBenchmarkSuite() {
+  static const std::vector<Benchmark> Suite = buildSuite();
+  return Suite;
+}
+
+std::vector<const Benchmark *> bench::getSuite(const std::string &Name) {
+  std::vector<const Benchmark *> Out;
+  for (const auto &B : getBenchmarkSuite())
+    if (B.Suite == Name)
+      Out.push_back(&B);
+  return Out;
+}
+
+const Benchmark *bench::findBenchmark(const std::string &Name) {
+  for (const auto &B : getBenchmarkSuite())
+    if (B.Name == Name)
+      return &B;
+  return nullptr;
+}

@@ -1,0 +1,43 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The benchmark suite standing in for the paper's 41 benchmarks from
+/// SPEC CPU2017, PARSEC 3.0, and MiBench. Each entry is a MiniC kernel
+/// modeled on the code patterns of the original benchmark (regular
+/// array loops, reductions, recurrences, stencils, pipelines, pointer
+/// indirection), sized so interpretation stays fast while the hot loop
+/// dominates execution.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BENCHMARKS_SUITE_H
+#define BENCHMARKS_SUITE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace bench {
+
+struct Benchmark {
+  std::string Name;
+  std::string Suite; ///< "PARSEC", "MiBench", or "SPEC"
+  std::string Source; ///< MiniC
+  /// What the paper's evaluation expects of this kernel (documentation
+  /// only; the harnesses measure, they do not assume).
+  std::string Character;
+};
+
+/// All benchmarks, grouped by suite (PARSEC first, then MiBench, then
+/// SPEC-like).
+const std::vector<Benchmark> &getBenchmarkSuite();
+
+/// The subset from one suite.
+std::vector<const Benchmark *> getSuite(const std::string &Name);
+
+/// Lookup by name; null if absent.
+const Benchmark *findBenchmark(const std::string &Name);
+
+} // namespace bench
+
+#endif // BENCHMARKS_SUITE_H

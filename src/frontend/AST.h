@@ -1,0 +1,166 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The MiniC abstract syntax tree. MiniC is the C subset used as the
+/// frontend of this reproduction: int (64-bit), double, char, pointers,
+/// arrays, functions, function pointers, and full control flow.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FRONTEND_AST_H
+#define FRONTEND_AST_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace minic {
+
+/// A MiniC type: a base kind plus pointer depth (e.g. int** has depth 2).
+struct CType {
+  enum class Base { Void, Int, Double, Char, FuncPtr };
+  Base TheBase = Base::Int;
+  unsigned PtrDepth = 0;
+
+  /// For FuncPtr: the signature.
+  std::vector<CType> ParamTypes;
+  std::shared_ptr<CType> RetType;
+
+  bool isPointer() const { return PtrDepth > 0 || TheBase == Base::FuncPtr; }
+  bool isDouble() const { return TheBase == Base::Double && PtrDepth == 0; }
+  bool isInt() const {
+    return (TheBase == Base::Int || TheBase == Base::Char) && PtrDepth == 0;
+  }
+  bool isVoid() const { return TheBase == Base::Void && PtrDepth == 0; }
+
+  static CType makeInt() { return CType{Base::Int, 0, {}, nullptr}; }
+  static CType makeDouble() { return CType{Base::Double, 0, {}, nullptr}; }
+  static CType makeVoid() { return CType{Base::Void, 0, {}, nullptr}; }
+
+  CType pointee() const {
+    CType T = *this;
+    if (T.PtrDepth > 0)
+      --T.PtrDepth;
+    return T;
+  }
+  CType pointerTo() const {
+    CType T = *this;
+    ++T.PtrDepth;
+    return T;
+  }
+
+  /// Element size in bytes when this type is the pointee of an indexed
+  /// pointer (char* steps by 1, everything else by 8).
+  uint64_t elementSize() const {
+    return (TheBase == Base::Char && PtrDepth == 0) ? 1 : 8;
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+struct Expr {
+  enum class Kind {
+    IntLit,
+    FloatLit,
+    Var,
+    Unary,    // -  !  *  &
+    Binary,   // arithmetic / comparison / logical / bitwise
+    Assign,   // lhs = rhs (also an expression)
+    Index,    // base[idx]
+    Call,     // callee(args) — direct or through a function pointer
+    CastExpr, // (int)e or (double)e
+  };
+  Kind K;
+  unsigned Line = 0;
+
+  // Literals.
+  long long IntValue = 0;
+  double FloatValue = 0;
+
+  // Var / direct call name.
+  std::string Name;
+
+  // Unary/Binary operator spelling ("-", "!", "*", "&", "+", "<", "&&"...).
+  std::string Op;
+
+  std::unique_ptr<Expr> LHS, RHS; // Unary uses LHS only.
+  std::vector<std::unique_ptr<Expr>> Args;
+  CType CastTo;
+
+  explicit Expr(Kind K) : K(K) {}
+};
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+struct Stmt {
+  enum class Kind {
+    Block,
+    Decl, // local variable declaration (with optional init / array size)
+    ExprStmt,
+    If,
+    While,
+    DoWhile,
+    For,
+    Return,
+    Break,
+    Continue,
+  };
+  Kind K;
+  unsigned Line = 0;
+
+  // Decl.
+  CType DeclType;
+  std::string DeclName;
+  long long ArraySize = 0; ///< >0 for local arrays
+  std::unique_ptr<Expr> Init;
+
+  std::unique_ptr<Expr> Cond;
+  std::unique_ptr<Expr> E; // ExprStmt / Return value / For-step
+  std::unique_ptr<Stmt> Then, Else, Body;
+  std::unique_ptr<Stmt> ForInit; // Decl or ExprStmt
+  std::vector<std::unique_ptr<Stmt>> Stmts; // Block
+
+  explicit Stmt(Kind K) : K(K) {}
+};
+
+//===----------------------------------------------------------------------===//
+// Top level
+//===----------------------------------------------------------------------===//
+
+struct Param {
+  CType Ty;
+  std::string Name;
+};
+
+struct FunctionDecl {
+  CType RetTy;
+  std::string Name;
+  std::vector<Param> Params;
+  std::unique_ptr<Stmt> Body; ///< null = extern declaration
+  unsigned Line = 0;
+};
+
+struct GlobalDecl {
+  CType Ty;
+  std::string Name;
+  long long ArraySize = 0; ///< >0 for arrays
+  std::vector<double> FloatInit;
+  std::vector<long long> IntInit;
+  bool HasScalarInit = false;
+  long long ScalarIntInit = 0;
+  double ScalarFloatInit = 0;
+  unsigned Line = 0;
+};
+
+struct TranslationUnit {
+  std::vector<GlobalDecl> Globals;
+  std::vector<FunctionDecl> Functions;
+};
+
+} // namespace minic
+
+#endif // FRONTEND_AST_H

@@ -1,0 +1,222 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// mem2reg: promotes scalar, non-escaping allocas to SSA registers using
+/// iterated dominance frontiers for phi placement and a dominator-tree
+/// walk for renaming. This is what turns the frontend's load/store soup
+/// into the SSA form NOELLE's abstractions (IV, SCCDAG, PDG) rely on.
+///
+//===----------------------------------------------------------------------===//
+
+#include "frontend/MiniC.h"
+
+#include "analysis/Dominators.h"
+#include "ir/Instructions.h"
+#include "ir/Utils.h"
+
+#include <map>
+#include <set>
+
+using namespace nir;
+
+namespace {
+
+/// An alloca is promotable if it holds a scalar and its address is used
+/// only as the direct pointer of loads and stores.
+bool isPromotable(const AllocaInst *A) {
+  Type *Ty = A->getAllocatedType();
+  if (Ty->isArray() || Ty->isVoid())
+    return false;
+  for (const auto &U : A->uses()) {
+    const User *Usr = U.TheUser;
+    if (isa<LoadInst>(Usr))
+      continue;
+    if (const auto *S = dyn_cast<StoreInst>(Usr)) {
+      if (S->getValueOperand() == A)
+        return false; // Address escapes by being stored.
+      continue;
+    }
+    return false; // gep, call, phi... -> address escapes.
+  }
+  return true;
+}
+
+class Promoter {
+public:
+  Promoter(Function &F, const DominatorTree &DT) : F(F), DT(DT) {}
+
+  void run() {
+    for (auto &BB : F.getBlocks())
+      for (auto &I : BB->getInstList())
+        if (auto *A = dyn_cast<AllocaInst>(I.get()))
+          if (isPromotable(A))
+            Allocas.push_back(A);
+    if (Allocas.empty())
+      return;
+
+    placePhis();
+    rename(&F.getEntryBlock(), {});
+    cleanup();
+  }
+
+private:
+  void placePhis() {
+    Context &Ctx = F.getParent()->getContext();
+    for (AllocaInst *A : Allocas) {
+      // Blocks containing a store to A.
+      std::vector<BasicBlock *> DefBlocks;
+      for (const auto &U : A->uses())
+        if (auto *S = dyn_cast<StoreInst>(U.TheUser))
+          if (S->getPointerOperand() == A)
+            DefBlocks.push_back(S->getParent());
+
+      // Iterated dominance frontier.
+      std::set<BasicBlock *> PhiBlocks;
+      std::vector<BasicBlock *> Work = DefBlocks;
+      while (!Work.empty()) {
+        BasicBlock *BB = Work.back();
+        Work.pop_back();
+        for (BasicBlock *DF : DT.getDominanceFrontier(BB))
+          if (PhiBlocks.insert(DF).second)
+            Work.push_back(DF);
+      }
+
+      for (BasicBlock *BB : PhiBlocks) {
+        auto *Phi = new PhiInst(A->getAllocatedType());
+        Phi->setName(A->getName());
+        BB->insert(BB->front(), std::unique_ptr<Instruction>(Phi));
+        PhiAlloca[Phi] = A;
+        (void)Ctx;
+      }
+    }
+  }
+
+  /// Depth-first renaming over the dominator tree.
+  void rename(BasicBlock *BB,
+              std::map<AllocaInst *, Value *> Incoming) {
+    Context &Ctx = F.getParent()->getContext();
+
+    // Phis at the top of this block define new current values.
+    for (auto &I : BB->getInstList()) {
+      auto *Phi = dyn_cast<PhiInst>(I.get());
+      if (!Phi)
+        break;
+      auto It = PhiAlloca.find(Phi);
+      if (It != PhiAlloca.end())
+        Incoming[It->second] = Phi;
+    }
+
+    std::vector<Instruction *> ToErase;
+    for (auto &I : BB->getInstList()) {
+      if (auto *L = dyn_cast<LoadInst>(I.get())) {
+        auto *A = dyn_cast<AllocaInst>(L->getPointerOperand());
+        if (!A || !isTracked(A))
+          continue;
+        Value *Cur = Incoming.count(A) ? Incoming[A]
+                                       : Ctx.getUndef(A->getAllocatedType());
+        L->replaceAllUsesWith(Cur);
+        ToErase.push_back(L);
+        continue;
+      }
+      if (auto *S = dyn_cast<StoreInst>(I.get())) {
+        auto *A = dyn_cast<AllocaInst>(S->getPointerOperand());
+        if (!A || !isTracked(A))
+          continue;
+        Incoming[A] = S->getValueOperand();
+        ToErase.push_back(S);
+      }
+    }
+
+    // Feed successors' placed phis.
+    for (BasicBlock *Succ : BB->successors()) {
+      for (auto &I : Succ->getInstList()) {
+        auto *Phi = dyn_cast<PhiInst>(I.get());
+        if (!Phi)
+          break;
+        auto It = PhiAlloca.find(Phi);
+        if (It == PhiAlloca.end())
+          continue;
+        AllocaInst *A = It->second;
+        Value *Cur = Incoming.count(A) ? Incoming[A]
+                                       : Ctx.getUndef(A->getAllocatedType());
+        if (Phi->getBlockIndex(BB) < 0)
+          Phi->addIncoming(Cur, BB);
+      }
+    }
+
+    for (Instruction *I : ToErase)
+      I->eraseFromParent();
+
+    for (BasicBlock *Child : DT.getChildren(BB))
+      rename(Child, Incoming);
+  }
+
+  bool isTracked(AllocaInst *A) const {
+    return std::find(Allocas.begin(), Allocas.end(), A) != Allocas.end();
+  }
+
+  void cleanup() {
+    // Dead-phi elimination: placed phis are live only if some non-phi
+    // instruction (transitively) uses them. Phis used only by other dead
+    // phis — including mutual cycles across loop headers — are artifacts
+    // of phi placement and must go, or they masquerade as loop-carried
+    // dependences.
+    std::set<PhiInst *> Live;
+    std::vector<PhiInst *> Work;
+    for (const auto &[Phi, A] : PhiAlloca) {
+      for (const auto &U : Phi->uses()) {
+        auto *UserPhi = dyn_cast<PhiInst>(static_cast<Value *>(U.TheUser));
+        if (!UserPhi || !PhiAlloca.count(UserPhi)) {
+          if (Live.insert(Phi).second)
+            Work.push_back(Phi);
+          break;
+        }
+      }
+    }
+    while (!Work.empty()) {
+      PhiInst *P = Work.back();
+      Work.pop_back();
+      for (const Value *Op : P->operands()) {
+        auto *OpPhi = dyn_cast<PhiInst>(const_cast<Value *>(Op));
+        if (OpPhi && PhiAlloca.count(OpPhi) && Live.insert(OpPhi).second)
+          Work.push_back(OpPhi);
+      }
+    }
+
+    std::vector<PhiInst *> Dead;
+    for (const auto &[Phi, A] : PhiAlloca)
+      if (!Live.count(Phi))
+        Dead.push_back(Phi);
+    // Break cycles among the dead first, then erase.
+    for (PhiInst *P : Dead)
+      P->dropAllOperands();
+    for (PhiInst *P : Dead) {
+      if (P->hasUses())
+        P->replaceAllUsesWith(
+            F.getParent()->getContext().getUndef(P->getType()));
+      P->eraseFromParent();
+    }
+
+    for (AllocaInst *A : Allocas) {
+      assert(!A->hasUses() && "promoted alloca still has users");
+      A->eraseFromParent();
+    }
+  }
+
+  Function &F;
+  const DominatorTree &DT;
+  std::vector<AllocaInst *> Allocas;
+  std::map<PhiInst *, AllocaInst *> PhiAlloca;
+};
+
+} // namespace
+
+void minic::promoteMemoryToRegisters(nir::Module &M) {
+  for (const auto &F : M.getFunctions()) {
+    if (F->isDeclaration())
+      continue;
+    DominatorTree DT(*F);
+    Promoter P(*F, DT);
+    P.run();
+  }
+}

@@ -1,0 +1,53 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Public entry points of the MiniC frontend: parse MiniC source to an
+/// AST, lower it to NIR, and (by default) promote locals to SSA form.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FRONTEND_MINIC_H
+#define FRONTEND_MINIC_H
+
+#include "frontend/AST.h"
+#include "ir/Module.h"
+
+#include <memory>
+#include <string>
+
+namespace minic {
+
+/// Parses MiniC source. Returns null and fills \p Error on failure.
+std::unique_ptr<TranslationUnit> parseMiniC(const std::string &Source,
+                                            std::string &Error);
+
+struct CompileOptions {
+  bool RunMem2Reg = true; ///< Promote scalar locals to SSA registers.
+  std::string ModuleName = "minic";
+};
+
+/// Compiles MiniC source to an NIR module. Returns null and fills
+/// \p Error on failure.
+std::unique_ptr<nir::Module> compileMiniC(nir::Context &Ctx,
+                                          const std::string &Source,
+                                          std::string &Error,
+                                          CompileOptions Opts = {});
+
+/// Aborting convenience wrapper for fixtures and benchmarks.
+std::unique_ptr<nir::Module> compileMiniCOrDie(nir::Context &Ctx,
+                                               const std::string &Source,
+                                               CompileOptions Opts = {});
+
+/// Lowers a parsed translation unit to NIR (no mem2reg).
+std::unique_ptr<nir::Module> codegen(nir::Context &Ctx,
+                                     const TranslationUnit &TU,
+                                     const std::string &ModuleName,
+                                     std::string &Error);
+
+/// Promotes scalar, non-escaping allocas of every function to SSA
+/// registers (classic dominance-frontier phi placement + renaming).
+void promoteMemoryToRegisters(nir::Module &M);
+
+} // namespace minic
+
+#endif // FRONTEND_MINIC_H

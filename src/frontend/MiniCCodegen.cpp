@@ -1,0 +1,869 @@
+#include "frontend/MiniC.h"
+
+#include "ir/IRBuilder.h"
+#include "ir/Utils.h"
+#include "ir/Verifier.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+
+using namespace minic;
+using nir::BasicBlock;
+using nir::BinaryInst;
+using nir::CastInst;
+using nir::CmpInst;
+using nir::Context;
+using nir::Function;
+using nir::GlobalVariable;
+using nir::IRBuilder;
+using nir::Type;
+using nir::Value;
+
+namespace {
+
+/// A typed IR value during expression lowering.
+struct RValue {
+  Value *V = nullptr;
+  CType Ty;
+};
+
+/// A variable's storage: its address and what lives there.
+struct Storage {
+  Value *Addr = nullptr; ///< alloca or global (ptr-typed)
+  CType Ty;              ///< the variable's MiniC type
+  bool IsArray = false;  ///< arrays decay to pointers on use
+};
+
+class Codegen {
+public:
+  Codegen(Context &Ctx, const TranslationUnit &TU,
+          const std::string &ModuleName)
+      : Ctx(Ctx), TU(TU), B(Ctx) {
+    M = std::make_unique<nir::Module>(Ctx, ModuleName);
+  }
+
+  std::unique_ptr<nir::Module> run(std::string &Error) {
+    declareBuiltins();
+    for (const auto &G : TU.Globals)
+      emitGlobal(G);
+    // Declare all functions first so calls can be resolved in any order.
+    for (const auto &F : TU.Functions)
+      declareFunction(F);
+    for (const auto &F : TU.Functions)
+      if (F.Body)
+        emitFunction(F);
+    if (failed()) {
+      Error = Err;
+      return nullptr;
+    }
+    return std::move(M);
+  }
+
+private:
+  bool failed() const { return !Err.empty(); }
+  void fail(unsigned Line, const std::string &Msg) {
+    if (Err.empty()) {
+      std::ostringstream OS;
+      OS << "line " << Line << ": " << Msg;
+      Err = OS.str();
+    }
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Types
+  //===--------------------------------------------------------------------===//
+
+  Type *lowerType(const CType &T) {
+    if (T.isPointer())
+      return Ctx.getPtrTy();
+    switch (T.TheBase) {
+    case CType::Base::Void:
+      return Ctx.getVoidTy();
+    case CType::Base::Int:
+      return Ctx.getInt64Ty();
+    case CType::Base::Double:
+      return Ctx.getDoubleTy();
+    case CType::Base::Char:
+      return Ctx.getInt8Ty();
+    case CType::Base::FuncPtr:
+      return Ctx.getPtrTy();
+    }
+    return Ctx.getInt64Ty();
+  }
+
+  /// Element IR type for arrays of \p T.
+  Type *lowerElemType(const CType &T) { return lowerType(T); }
+
+  //===--------------------------------------------------------------------===//
+  // Builtins & declarations
+  //===--------------------------------------------------------------------===//
+
+  void declareBuiltins() {
+    auto Declare = [&](const char *Name, CType Ret, std::vector<CType> Ps) {
+      if (M->getFunction(Name))
+        return;
+      std::vector<Type *> IRPs;
+      for (auto &P : Ps)
+        IRPs.push_back(lowerType(P));
+      M->createFunction(Ctx.getFunctionTy(lowerType(Ret), IRPs), Name);
+      Signatures[Name] = {Ret, std::move(Ps)};
+    };
+    CType I = CType::makeInt();
+    CType D = CType::makeDouble();
+    CType V = CType::makeVoid();
+    CType P = CType::makeInt().pointerTo();
+    Declare("print_i64", V, {I});
+    Declare("print_f64", V, {D});
+    Declare("print_char", V, {I});
+    Declare("malloc", P, {I});
+    Declare("free", V, {P});
+    Declare("sqrt", D, {D});
+    Declare("fabs", D, {D});
+    Declare("exp", D, {D});
+    Declare("log", D, {D});
+    Declare("sin", D, {D});
+    Declare("cos", D, {D});
+    Declare("pow", D, {D, D});
+    Declare("floor", D, {D});
+    Declare("clock_ns", I, {});
+    Declare("abort_if_false", V, {I});
+  }
+
+  void declareFunction(const FunctionDecl &FD) {
+    if (Function *Existing = M->getFunction(FD.Name)) {
+      (void)Existing; // Re-declaration; signature assumed consistent.
+      return;
+    }
+    std::vector<Type *> Params;
+    for (const auto &P : FD.Params)
+      Params.push_back(lowerType(P.Ty));
+    M->createFunction(Ctx.getFunctionTy(lowerType(FD.RetTy), Params),
+                      FD.Name);
+    std::vector<CType> PTys;
+    for (const auto &P : FD.Params)
+      PTys.push_back(P.Ty);
+    Signatures[FD.Name] = {FD.RetTy, std::move(PTys)};
+  }
+
+  void emitGlobal(const GlobalDecl &GD) {
+    Type *Elem = lowerElemType(GD.Ty);
+    uint64_t N = GD.ArraySize > 0 ? static_cast<uint64_t>(GD.ArraySize) : 1;
+    Type *ValTy = GD.ArraySize > 0 ? Ctx.getArrayTy(Elem, N) : Elem;
+    GlobalVariable *G = M->createGlobal(ValTy, GD.Name);
+
+    std::vector<int64_t> Words;
+    auto PushValue = [&](long long IV, double FV) {
+      if (GD.Ty.isDouble()) {
+        int64_t Bits;
+        std::memcpy(&Bits, &FV, 8);
+        Words.push_back(Bits);
+      } else {
+        Words.push_back(IV);
+      }
+    };
+    if (GD.HasScalarInit)
+      PushValue(GD.ScalarIntInit, GD.ScalarFloatInit);
+    for (size_t K = 0; K < GD.IntInit.size(); ++K)
+      PushValue(GD.IntInit[K], GD.FloatInit[K]);
+    if (!Words.empty())
+      G->setInitWords(std::move(Words));
+
+    Storage S;
+    S.Addr = G;
+    S.Ty = GD.Ty;
+    S.IsArray = GD.ArraySize > 0;
+    GlobalVars[GD.Name] = S;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Function bodies
+  //===--------------------------------------------------------------------===//
+
+  void emitFunction(const FunctionDecl &FD) {
+    CurFn = M->getFunction(FD.Name);
+    CurRetTy = FD.RetTy;
+    ScopeStack.clear();
+    ScopeStack.emplace_back();
+    BreakTargets.clear();
+    ContinueTargets.clear();
+
+    BasicBlock *Entry = CurFn->createBlock("entry");
+    B.setInsertPoint(Entry);
+
+    // Spill parameters into allocas so mem2reg has uniform input.
+    for (unsigned I = 0; I < FD.Params.size(); ++I) {
+      const Param &P = FD.Params[I];
+      CurFn->getArg(I)->setName(P.Name);
+      auto *Slot = B.createAlloca(lowerType(P.Ty), P.Name + ".addr");
+      B.createStore(CurFn->getArg(I), Slot);
+      Storage S;
+      S.Addr = Slot;
+      S.Ty = P.Ty;
+      currentScope()[P.Name] = S;
+    }
+
+    emitStmt(*FD.Body);
+
+    // Implicit return for fall-through paths.
+    if (!B.getInsertBlock()->getTerminator()) {
+      if (FD.RetTy.isVoid())
+        B.createRetVoid();
+      else if (FD.RetTy.isDouble())
+        B.createRet(B.getDouble(0));
+      else
+        B.createRet(Ctx.getUndef(lowerType(FD.RetTy)));
+    }
+
+    nir::removeUnreachableBlocks(*CurFn);
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Statements
+  //===--------------------------------------------------------------------===//
+
+  void emitStmt(const Stmt &S) {
+    if (failed())
+      return;
+    switch (S.K) {
+    case Stmt::Kind::Block: {
+      ScopeStack.emplace_back();
+      for (const auto &Sub : S.Stmts)
+        emitStmt(*Sub);
+      popScope();
+      return;
+    }
+    case Stmt::Kind::Decl: {
+      Storage St;
+      St.Ty = S.DeclType;
+      if (S.ArraySize > 0) {
+        St.IsArray = true;
+        St.Addr = B.createAlloca(
+            Ctx.getArrayTy(lowerElemType(S.DeclType),
+                           static_cast<uint64_t>(S.ArraySize)),
+            S.DeclName);
+      } else {
+        St.Addr = B.createAlloca(lowerType(S.DeclType), S.DeclName);
+      }
+      if (currentScope().count(S.DeclName)) {
+        fail(S.Line, "redeclaration of '" + S.DeclName + "'");
+        return;
+      }
+      currentScope()[S.DeclName] = St;
+      if (S.Init) {
+        RValue Init = emitExpr(*S.Init);
+        Init = coerce(Init, S.DeclType, S.Line);
+        B.createStore(Init.V, St.Addr);
+      }
+      return;
+    }
+    case Stmt::Kind::ExprStmt:
+      emitExpr(*S.E);
+      return;
+    case Stmt::Kind::If: {
+      BasicBlock *ThenBB = CurFn->createBlock("if.then");
+      BasicBlock *MergeBB = CurFn->createBlock("if.end");
+      BasicBlock *ElseBB =
+          S.Else ? CurFn->createBlock("if.else") : MergeBB;
+      emitCondBr(*S.Cond, ThenBB, ElseBB);
+      B.setInsertPoint(ThenBB);
+      emitStmt(*S.Then);
+      if (!B.getInsertBlock()->getTerminator())
+        B.createBr(MergeBB);
+      if (S.Else) {
+        B.setInsertPoint(ElseBB);
+        emitStmt(*S.Else);
+        if (!B.getInsertBlock()->getTerminator())
+          B.createBr(MergeBB);
+      }
+      B.setInsertPoint(MergeBB);
+      return;
+    }
+    case Stmt::Kind::While: {
+      BasicBlock *CondBB = CurFn->createBlock("while.cond");
+      BasicBlock *BodyBB = CurFn->createBlock("while.body");
+      BasicBlock *EndBB = CurFn->createBlock("while.end");
+      B.createBr(CondBB);
+      B.setInsertPoint(CondBB);
+      emitCondBr(*S.Cond, BodyBB, EndBB);
+      BreakTargets.push_back(EndBB);
+      ContinueTargets.push_back(CondBB);
+      B.setInsertPoint(BodyBB);
+      emitStmt(*S.Body);
+      if (!B.getInsertBlock()->getTerminator())
+        B.createBr(CondBB);
+      BreakTargets.pop_back();
+      ContinueTargets.pop_back();
+      B.setInsertPoint(EndBB);
+      return;
+    }
+    case Stmt::Kind::DoWhile: {
+      BasicBlock *BodyBB = CurFn->createBlock("do.body");
+      BasicBlock *CondBB = CurFn->createBlock("do.cond");
+      BasicBlock *EndBB = CurFn->createBlock("do.end");
+      B.createBr(BodyBB);
+      BreakTargets.push_back(EndBB);
+      ContinueTargets.push_back(CondBB);
+      B.setInsertPoint(BodyBB);
+      emitStmt(*S.Body);
+      if (!B.getInsertBlock()->getTerminator())
+        B.createBr(CondBB);
+      BreakTargets.pop_back();
+      ContinueTargets.pop_back();
+      B.setInsertPoint(CondBB);
+      emitCondBr(*S.Cond, BodyBB, EndBB);
+      B.setInsertPoint(EndBB);
+      return;
+    }
+    case Stmt::Kind::For: {
+      ScopeStack.emplace_back();
+      if (S.ForInit)
+        emitStmt(*S.ForInit);
+      BasicBlock *CondBB = CurFn->createBlock("for.cond");
+      BasicBlock *BodyBB = CurFn->createBlock("for.body");
+      BasicBlock *StepBB = CurFn->createBlock("for.step");
+      BasicBlock *EndBB = CurFn->createBlock("for.end");
+      B.createBr(CondBB);
+      B.setInsertPoint(CondBB);
+      if (S.Cond)
+        emitCondBr(*S.Cond, BodyBB, EndBB);
+      else
+        B.createBr(BodyBB);
+      BreakTargets.push_back(EndBB);
+      ContinueTargets.push_back(StepBB);
+      B.setInsertPoint(BodyBB);
+      emitStmt(*S.Body);
+      if (!B.getInsertBlock()->getTerminator())
+        B.createBr(StepBB);
+      B.setInsertPoint(StepBB);
+      if (S.E)
+        emitExpr(*S.E);
+      B.createBr(CondBB);
+      BreakTargets.pop_back();
+      ContinueTargets.pop_back();
+      popScope();
+      B.setInsertPoint(EndBB);
+      return;
+    }
+    case Stmt::Kind::Return: {
+      if (S.E) {
+        RValue V = emitExpr(*S.E);
+        V = coerce(V, CurRetTy, S.Line);
+        B.createRet(V.V);
+      } else {
+        B.createRetVoid();
+      }
+      startDeadBlock();
+      return;
+    }
+    case Stmt::Kind::Break: {
+      if (BreakTargets.empty()) {
+        fail(S.Line, "'break' outside a loop");
+        return;
+      }
+      B.createBr(BreakTargets.back());
+      startDeadBlock();
+      return;
+    }
+    case Stmt::Kind::Continue: {
+      if (ContinueTargets.empty()) {
+        fail(S.Line, "'continue' outside a loop");
+        return;
+      }
+      B.createBr(ContinueTargets.back());
+      startDeadBlock();
+      return;
+    }
+    }
+  }
+
+  /// After an unconditional transfer, subsequent statements in the same
+  /// source block are unreachable; park them in a fresh block that
+  /// removeUnreachableBlocks will discard.
+  void startDeadBlock() {
+    BasicBlock *Dead = CurFn->createBlock("dead");
+    B.setInsertPoint(Dead);
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Conditions (short-circuit aware)
+  //===--------------------------------------------------------------------===//
+
+  void emitCondBr(const Expr &E, BasicBlock *TrueBB, BasicBlock *FalseBB) {
+    if (E.K == Expr::Kind::Binary && E.Op == "&&") {
+      BasicBlock *Mid = CurFn->createBlock("and.rhs");
+      emitCondBr(*E.LHS, Mid, FalseBB);
+      B.setInsertPoint(Mid);
+      emitCondBr(*E.RHS, TrueBB, FalseBB);
+      return;
+    }
+    if (E.K == Expr::Kind::Binary && E.Op == "||") {
+      BasicBlock *Mid = CurFn->createBlock("or.rhs");
+      emitCondBr(*E.LHS, TrueBB, Mid);
+      B.setInsertPoint(Mid);
+      emitCondBr(*E.RHS, TrueBB, FalseBB);
+      return;
+    }
+    if (E.K == Expr::Kind::Unary && E.Op == "!") {
+      emitCondBr(*E.LHS, FalseBB, TrueBB);
+      return;
+    }
+    Value *C = emitBool(E);
+    B.createCondBr(C, TrueBB, FalseBB);
+  }
+
+  /// Lowers an expression to an i1.
+  Value *emitBool(const Expr &E) {
+    // Comparisons produce i1 directly.
+    if (E.K == Expr::Kind::Binary && isComparisonOp(E.Op))
+      return emitComparison(E);
+    RValue V = emitExpr(E);
+    if (V.Ty.isDouble())
+      return B.createCmp(CmpInst::Pred::FNE, V.V, B.getDouble(0));
+    if (V.V->getType() == Ctx.getInt1Ty())
+      return V.V;
+    Value *IntV = toInt64(V);
+    return B.createCmp(CmpInst::Pred::NE, IntV, B.getInt64(0));
+  }
+
+  static bool isComparisonOp(const std::string &Op) {
+    return Op == "==" || Op == "!=" || Op == "<" || Op == "<=" ||
+           Op == ">" || Op == ">=";
+  }
+
+  Value *emitComparison(const Expr &E) {
+    RValue L = emitExpr(*E.LHS);
+    RValue R = emitExpr(*E.RHS);
+    bool FP = L.Ty.isDouble() || R.Ty.isDouble();
+    if (FP) {
+      L = coerce(L, CType::makeDouble(), E.Line);
+      R = coerce(R, CType::makeDouble(), E.Line);
+    } else {
+      L.V = toInt64(L);
+      R.V = toInt64(R);
+    }
+    CmpInst::Pred P;
+    if (E.Op == "==")
+      P = FP ? CmpInst::Pred::FEQ : CmpInst::Pred::EQ;
+    else if (E.Op == "!=")
+      P = FP ? CmpInst::Pred::FNE : CmpInst::Pred::NE;
+    else if (E.Op == "<")
+      P = FP ? CmpInst::Pred::FLT : CmpInst::Pred::SLT;
+    else if (E.Op == "<=")
+      P = FP ? CmpInst::Pred::FLE : CmpInst::Pred::SLE;
+    else if (E.Op == ">")
+      P = FP ? CmpInst::Pred::FGT : CmpInst::Pred::SGT;
+    else
+      P = FP ? CmpInst::Pred::FGE : CmpInst::Pred::SGE;
+    return B.createCmp(P, L.V, R.V);
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Expressions
+  //===--------------------------------------------------------------------===//
+
+  /// Widens chars/bools to i64 for arithmetic.
+  Value *toInt64(const RValue &V) {
+    Type *Ty = V.V->getType();
+    if (Ty == Ctx.getInt64Ty() || Ty->isPointer() || Ty->isFunction())
+      return V.V;
+    if (Ty == Ctx.getInt8Ty() || Ty == Ctx.getInt1Ty() ||
+        Ty == Ctx.getInt32Ty())
+      return B.createCast(CastInst::Op::ZExt, V.V, Ctx.getInt64Ty());
+    return V.V;
+  }
+
+  /// Converts \p V to MiniC type \p To (int<->double, char widening,
+  /// pointer passthrough).
+  RValue coerce(RValue V, const CType &To, unsigned Line) {
+    Type *ToIR = lowerType(To);
+    Type *FromIR = V.V->getType();
+    if (FromIR == ToIR || To.isPointer()) {
+      V.Ty = To;
+      return V;
+    }
+    if (To.isDouble() && !V.Ty.isDouble()) {
+      Value *I = toInt64(V);
+      V.V = B.createCast(CastInst::Op::SIToFP, I, Ctx.getDoubleTy());
+      V.Ty = To;
+      return V;
+    }
+    if (!To.isDouble() && V.Ty.isDouble()) {
+      V.V = B.createCast(CastInst::Op::FPToSI, V.V, Ctx.getInt64Ty());
+      if (ToIR == Ctx.getInt8Ty())
+        V.V = B.createCast(CastInst::Op::Trunc, V.V, Ctx.getInt8Ty());
+      V.Ty = To;
+      return V;
+    }
+    if (ToIR == Ctx.getInt64Ty()) {
+      V.V = toInt64(V);
+      V.Ty = To;
+      return V;
+    }
+    if (ToIR == Ctx.getInt8Ty() && FromIR == Ctx.getInt64Ty()) {
+      V.V = B.createCast(CastInst::Op::Trunc, V.V, Ctx.getInt8Ty());
+      V.Ty = To;
+      return V;
+    }
+    if (ToIR == Ctx.getInt1Ty()) {
+      V.V = B.createCmp(CmpInst::Pred::NE, toInt64(V), B.getInt64(0));
+      V.Ty = To;
+      return V;
+    }
+    fail(Line, "unsupported conversion");
+    return V;
+  }
+
+  /// The address of an lvalue expression and the pointee's type.
+  RValue emitLValue(const Expr &E) {
+    switch (E.K) {
+    case Expr::Kind::Var: {
+      const Storage *S = lookup(E.Name);
+      if (!S) {
+        fail(E.Line, "unknown variable '" + E.Name + "'");
+        return {Ctx.getUndef(Ctx.getPtrTy()), CType::makeInt()};
+      }
+      if (S->IsArray) {
+        fail(E.Line, "array '" + E.Name + "' is not assignable");
+        return {Ctx.getUndef(Ctx.getPtrTy()), CType::makeInt()};
+      }
+      return {S->Addr, S->Ty};
+    }
+    case Expr::Kind::Unary:
+      if (E.Op == "*") {
+        RValue P = emitExpr(*E.LHS);
+        if (!P.Ty.isPointer()) {
+          fail(E.Line, "dereference of a non-pointer");
+          return {Ctx.getUndef(Ctx.getPtrTy()), CType::makeInt()};
+        }
+        return {P.V, P.Ty.pointee()};
+      }
+      break;
+    case Expr::Kind::Index: {
+      RValue Base = emitIndexedAddress(E);
+      return Base;
+    }
+    default:
+      break;
+    }
+    fail(E.Line, "expression is not assignable");
+    return {Ctx.getUndef(Ctx.getPtrTy()), CType::makeInt()};
+  }
+
+  /// Address computation for base[idx].
+  RValue emitIndexedAddress(const Expr &E) {
+    RValue Base = emitExpr(*E.LHS);
+    if (!Base.Ty.isPointer()) {
+      fail(E.Line, "indexing a non-pointer value");
+      return {Ctx.getUndef(Ctx.getPtrTy()), CType::makeInt()};
+    }
+    RValue Idx = emitExpr(*E.RHS);
+    Value *IdxV = toInt64(Idx);
+    CType ElemTy = Base.Ty.pointee();
+    uint64_t Scale = ElemTy.elementSize();
+    Value *Addr = B.createGEP(Base.V, IdxV, Scale);
+    return {Addr, ElemTy};
+  }
+
+  const Storage *lookup(const std::string &Name) const {
+    for (auto It = ScopeStack.rbegin(); It != ScopeStack.rend(); ++It) {
+      auto Found = It->find(Name);
+      if (Found != It->end())
+        return &Found->second;
+    }
+    auto G = GlobalVars.find(Name);
+    if (G != GlobalVars.end())
+      return &G->second;
+    return nullptr;
+  }
+
+  std::map<std::string, Storage> &currentScope() {
+    assert(!ScopeStack.empty() && "no active scope");
+    return ScopeStack.back();
+  }
+
+  void popScope() {
+    assert(!ScopeStack.empty() && "scope stack underflow");
+    ScopeStack.pop_back();
+  }
+
+  RValue emitExpr(const Expr &E) {
+    if (failed())
+      return {Ctx.getUndef(Ctx.getInt64Ty()), CType::makeInt()};
+    switch (E.K) {
+    case Expr::Kind::IntLit:
+      return {Ctx.getInt64(E.IntValue), CType::makeInt()};
+    case Expr::Kind::FloatLit:
+      return {Ctx.getConstantFP(E.FloatValue), CType::makeDouble()};
+    case Expr::Kind::Var: {
+      // A function name used as a value becomes a function pointer.
+      if (!lookup(E.Name)) {
+        if (Function *F = M->getFunction(E.Name)) {
+          CType FP;
+          FP.TheBase = CType::Base::FuncPtr;
+          auto SigIt = Signatures.find(E.Name);
+          if (SigIt != Signatures.end()) {
+            FP.RetType = std::make_shared<CType>(SigIt->second.first);
+            FP.ParamTypes = SigIt->second.second;
+          }
+          Value *AsPtr =
+              B.createCast(CastInst::Op::Bitcast, F, Ctx.getPtrTy());
+          return {AsPtr, FP};
+        }
+        fail(E.Line, "unknown identifier '" + E.Name + "'");
+        return {Ctx.getUndef(Ctx.getInt64Ty()), CType::makeInt()};
+      }
+      const Storage *S = lookup(E.Name);
+      if (S->IsArray) {
+        // Array decays to a pointer to its first element.
+        return {S->Addr, S->Ty.pointerTo()};
+      }
+      Value *L = B.createLoad(lowerType(S->Ty), S->Addr, E.Name);
+      return {L, S->Ty};
+    }
+    case Expr::Kind::Unary: {
+      if (E.Op == "-") {
+        RValue V = emitExpr(*E.LHS);
+        if (V.Ty.isDouble())
+          return {B.createBinary(BinaryInst::Op::FSub, B.getDouble(0), V.V),
+                  V.Ty};
+        return {B.createSub(B.getInt64(0), toInt64(V)), CType::makeInt()};
+      }
+      if (E.Op == "!") {
+        Value *C = emitBool(*E.LHS);
+        Value *NotC = B.createBinary(BinaryInst::Op::Xor,
+                                     B.createCast(CastInst::Op::ZExt, C,
+                                                  Ctx.getInt64Ty()),
+                                     B.getInt64(1));
+        return {NotC, CType::makeInt()};
+      }
+      if (E.Op == "*") {
+        RValue LV = emitLValue(E);
+        Value *L = B.createLoad(lowerType(LV.Ty), LV.V);
+        return {L, LV.Ty};
+      }
+      if (E.Op == "&") {
+        RValue LV = emitLValue(*E.LHS);
+        return {LV.V, LV.Ty.pointerTo()};
+      }
+      fail(E.Line, "unknown unary operator '" + E.Op + "'");
+      return {Ctx.getUndef(Ctx.getInt64Ty()), CType::makeInt()};
+    }
+    case Expr::Kind::Binary:
+      return emitBinary(E);
+    case Expr::Kind::Assign: {
+      RValue LV = emitLValue(*E.LHS);
+      RValue RV = emitExpr(*E.RHS);
+      RV = coerce(RV, LV.Ty, E.Line);
+      B.createStore(RV.V, LV.V);
+      return RV;
+    }
+    case Expr::Kind::Index: {
+      RValue Addr = emitIndexedAddress(E);
+      Value *L = B.createLoad(lowerType(Addr.Ty), Addr.V);
+      RValue Out{L, Addr.Ty};
+      return Out;
+    }
+    case Expr::Kind::Call:
+      return emitCall(E);
+    case Expr::Kind::CastExpr: {
+      RValue V = emitExpr(*E.LHS);
+      return coerce(V, E.CastTo, E.Line);
+    }
+    }
+    fail(E.Line, "unsupported expression");
+    return {Ctx.getUndef(Ctx.getInt64Ty()), CType::makeInt()};
+  }
+
+  RValue emitBinary(const Expr &E) {
+    // Logical operators in value position: compute via control flow.
+    if (E.Op == "&&" || E.Op == "||") {
+      BasicBlock *RhsBB = CurFn->createBlock("logic.rhs");
+      BasicBlock *EndBB = CurFn->createBlock("logic.end");
+      Value *LC = emitBool(*E.LHS);
+      BasicBlock *LhsEnd = B.getInsertBlock();
+      if (E.Op == "&&")
+        B.createCondBr(LC, RhsBB, EndBB);
+      else
+        B.createCondBr(LC, EndBB, RhsBB);
+      B.setInsertPoint(RhsBB);
+      Value *RC = emitBool(*E.RHS);
+      Value *RInt = B.createCast(CastInst::Op::ZExt, RC, Ctx.getInt64Ty());
+      BasicBlock *RhsEnd = B.getInsertBlock();
+      B.createBr(EndBB);
+      B.setInsertPoint(EndBB);
+      auto *Phi = B.createPhi(Ctx.getInt64Ty(), "logic");
+      Phi->addIncoming(B.getInt64(E.Op == "&&" ? 0 : 1), LhsEnd);
+      Phi->addIncoming(RInt, RhsEnd);
+      return {Phi, CType::makeInt()};
+    }
+
+    if (isComparisonOp(E.Op)) {
+      Value *C = emitComparison(E);
+      Value *I = B.createCast(CastInst::Op::ZExt, C, Ctx.getInt64Ty());
+      return {I, CType::makeInt()};
+    }
+
+    RValue L = emitExpr(*E.LHS);
+    RValue R = emitExpr(*E.RHS);
+
+    // Pointer arithmetic: p + i / p - i.
+    if (L.Ty.isPointer() && (E.Op == "+" || E.Op == "-")) {
+      Value *Idx = toInt64(R);
+      if (E.Op == "-")
+        Idx = B.createSub(B.getInt64(0), Idx);
+      Value *Addr = B.createGEP(L.V, Idx, L.Ty.pointee().elementSize());
+      return {Addr, L.Ty};
+    }
+
+    bool FP = L.Ty.isDouble() || R.Ty.isDouble();
+    if (FP) {
+      L = coerce(L, CType::makeDouble(), E.Line);
+      R = coerce(R, CType::makeDouble(), E.Line);
+      BinaryInst::Op Op;
+      if (E.Op == "+")
+        Op = BinaryInst::Op::FAdd;
+      else if (E.Op == "-")
+        Op = BinaryInst::Op::FSub;
+      else if (E.Op == "*")
+        Op = BinaryInst::Op::FMul;
+      else if (E.Op == "/")
+        Op = BinaryInst::Op::FDiv;
+      else {
+        fail(E.Line, "operator '" + E.Op + "' not valid on double");
+        return L;
+      }
+      return {B.createBinary(Op, L.V, R.V), CType::makeDouble()};
+    }
+
+    Value *LI = toInt64(L);
+    Value *RI = toInt64(R);
+    BinaryInst::Op Op;
+    if (E.Op == "+")
+      Op = BinaryInst::Op::Add;
+    else if (E.Op == "-")
+      Op = BinaryInst::Op::Sub;
+    else if (E.Op == "*")
+      Op = BinaryInst::Op::Mul;
+    else if (E.Op == "/")
+      Op = BinaryInst::Op::SDiv;
+    else if (E.Op == "%")
+      Op = BinaryInst::Op::SRem;
+    else if (E.Op == "&")
+      Op = BinaryInst::Op::And;
+    else if (E.Op == "|")
+      Op = BinaryInst::Op::Or;
+    else if (E.Op == "^")
+      Op = BinaryInst::Op::Xor;
+    else if (E.Op == "<<")
+      Op = BinaryInst::Op::Shl;
+    else if (E.Op == ">>")
+      Op = BinaryInst::Op::AShr;
+    else {
+      fail(E.Line, "unknown binary operator '" + E.Op + "'");
+      return L;
+    }
+    return {B.createBinary(Op, LI, RI), CType::makeInt()};
+  }
+
+  RValue emitCall(const Expr &E) {
+    // Direct call: callee is a bare function name.
+    if (E.LHS->K == Expr::Kind::Var && !lookup(E.LHS->Name)) {
+      Function *F = M->getFunction(E.LHS->Name);
+      if (!F) {
+        fail(E.Line, "call to unknown function '" + E.LHS->Name + "'");
+        return {Ctx.getUndef(Ctx.getInt64Ty()), CType::makeInt()};
+      }
+      auto SigIt = Signatures.find(E.LHS->Name);
+      std::vector<Value *> Args;
+      for (size_t I = 0; I < E.Args.size(); ++I) {
+        RValue A = emitExpr(*E.Args[I]);
+        if (SigIt != Signatures.end() && I < SigIt->second.second.size())
+          A = coerce(A, SigIt->second.second[I], E.Line);
+        else
+          A.V = toInt64(A);
+        Args.push_back(A.V);
+      }
+      Value *R = B.createCall(F, Args);
+      CType RetTy = SigIt != Signatures.end() ? SigIt->second.first
+                                              : CType::makeInt();
+      return {R, RetTy};
+    }
+
+    // Indirect call through a function-pointer value.
+    RValue Callee = emitExpr(*E.LHS);
+    if (Callee.Ty.TheBase != CType::Base::FuncPtr) {
+      fail(E.Line, "called value is not a function pointer");
+      return {Ctx.getUndef(Ctx.getInt64Ty()), CType::makeInt()};
+    }
+    CType RetTy = Callee.Ty.RetType ? *Callee.Ty.RetType : CType::makeInt();
+    std::vector<Value *> Args;
+    for (size_t I = 0; I < E.Args.size(); ++I) {
+      RValue A = emitExpr(*E.Args[I]);
+      if (I < Callee.Ty.ParamTypes.size())
+        A = coerce(A, Callee.Ty.ParamTypes[I], E.Line);
+      else
+        A.V = toInt64(A);
+      Args.push_back(A.V);
+    }
+    Value *R = B.createIndirectCall(lowerType(RetTy), Callee.V, Args);
+    return {R, RetTy};
+  }
+
+  Context &Ctx;
+  const TranslationUnit &TU;
+  std::unique_ptr<nir::Module> M;
+  IRBuilder B;
+
+  Function *CurFn = nullptr;
+  CType CurRetTy;
+  std::vector<std::map<std::string, Storage>> ScopeStack;
+  std::map<std::string, Storage> GlobalVars;
+  std::map<std::string, std::pair<CType, std::vector<CType>>> Signatures;
+  std::vector<BasicBlock *> BreakTargets;
+  std::vector<BasicBlock *> ContinueTargets;
+  std::string Err;
+};
+
+} // namespace
+
+std::unique_ptr<nir::Module> minic::codegen(nir::Context &Ctx,
+                                            const TranslationUnit &TU,
+                                            const std::string &ModuleName,
+                                            std::string &Error) {
+  Codegen CG(Ctx, TU, ModuleName);
+  return CG.run(Error);
+}
+
+std::unique_ptr<nir::Module> minic::compileMiniC(nir::Context &Ctx,
+                                                 const std::string &Source,
+                                                 std::string &Error,
+                                                 CompileOptions Opts) {
+  auto TU = parseMiniC(Source, Error);
+  if (!TU)
+    return nullptr;
+  auto M = codegen(Ctx, *TU, Opts.ModuleName, Error);
+  if (!M)
+    return nullptr;
+  if (Opts.RunMem2Reg)
+    promoteMemoryToRegisters(*M);
+  auto Problems = nir::verifyModule(*M);
+  if (!Problems.empty()) {
+    Error = "internal error: generated IR fails verification: " + Problems[0];
+    return nullptr;
+  }
+  return M;
+}
+
+std::unique_ptr<nir::Module> minic::compileMiniCOrDie(nir::Context &Ctx,
+                                                      const std::string &Source,
+                                                      CompileOptions Opts) {
+  std::string Error;
+  auto M = compileMiniC(Ctx, Source, Error, Opts);
+  if (!M) {
+    std::fprintf(stderr, "MiniC compile error: %s\n", Error.c_str());
+    std::abort();
+  }
+  return M;
+}

@@ -1,0 +1,874 @@
+#include "interp/Interpreter.h"
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <set>
+
+using namespace nir;
+
+namespace {
+
+/// Tag prefix for function values stored in runtime slots. Host heap
+/// addresses never carry the top byte 0xFE.
+constexpr uint64_t FunctionTag = 0xFE00000000000000ull;
+
+/// Live stack-frame memory regions, for CARAT's validity checks.
+struct FrameRegistry {
+  std::mutex Mutex;
+  std::set<std::pair<uint64_t, uint64_t>> Regions; // (start, size)
+
+  void add(uint64_t Start, uint64_t Size) {
+    if (!Size)
+      return;
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Regions.insert({Start, Size});
+  }
+  void remove(uint64_t Start, uint64_t Size) {
+    if (!Size)
+      return;
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Regions.erase({Start, Size});
+  }
+  bool contains(uint64_t Addr, uint64_t Bytes) {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    for (const auto &[Start, Size] : Regions)
+      if (Addr >= Start && Addr + Bytes <= Start + Size)
+        return true;
+    return false;
+  }
+};
+
+FrameRegistry &frameRegistry() {
+  static FrameRegistry R;
+  return R;
+}
+
+thread_local uint64_t ThreadRetired = 0;
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Decoded representation
+//===----------------------------------------------------------------------===//
+
+namespace nir {
+
+namespace {
+
+struct Operand {
+  bool IsImm = false;
+  RuntimeValue Imm;
+  uint32_t Reg = 0;
+};
+
+struct DecodedInst {
+  Value::Kind K;
+  uint8_t Sub = 0;       ///< binary op / cmp pred / cast op
+  int32_t ResultReg = -1;
+  std::vector<Operand> Ops;
+  uint64_t Aux = 0;      ///< gep scale / alloca frame offset
+  uint8_t MemSize = 8;   ///< load/store access width
+  Type::Kind MemTy = Type::Kind::Int64;
+  int32_t Succ0 = -1, Succ1 = -1;
+  Function *DirectCallee = nullptr;
+  const Instruction *Orig = nullptr;
+  uint32_t IdxInBlock = 0; ///< non-phi index, for partial retirement
+};
+
+struct PhiCopy {
+  int32_t ResultReg;
+  std::map<uint32_t, Operand> ByPredBlock;
+};
+
+struct DecodedBlock {
+  const BasicBlock *BB = nullptr;
+  std::vector<PhiCopy> Phis;
+  std::vector<DecodedInst> Insts;
+  uint64_t InstCount = 0; ///< including phis, for retirement accounting
+};
+
+} // namespace
+
+struct ExecutionEngine::DecodedFunction {
+  Function *F = nullptr;
+  std::vector<DecodedBlock> Blocks;
+  uint32_t NumRegs = 0;
+  uint64_t FrameBytes = 0;
+};
+
+//===----------------------------------------------------------------------===//
+// Decoding
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+uint8_t memSizeOf(const Type *Ty) {
+  switch (Ty->getKind()) {
+  case Type::Kind::Int1:
+  case Type::Kind::Int8:
+    return 1;
+  case Type::Kind::Int32:
+    return 4;
+  default:
+    return 8;
+  }
+}
+
+} // namespace
+
+ExecutionEngine::DecodedFunction &ExecutionEngine::getDecoded(Function *F) {
+  std::lock_guard<std::mutex> Lock(DecodeMutex);
+  auto It = Decoded.find(F);
+  if (It != Decoded.end())
+    return *It->second;
+
+  auto DF = std::make_unique<DecodedFunction>();
+  DF->F = F;
+
+  // Register numbering: arguments first, then value-producing
+  // instructions.
+  std::map<const Value *, uint32_t> RegOf;
+  uint32_t NextReg = 0;
+  for (unsigned I = 0; I < F->getNumArgs(); ++I)
+    RegOf[F->getArg(I)] = NextReg++;
+  for (const auto &BB : F->getBlocks())
+    for (const auto &Inst : BB->getInstList())
+      if (!Inst->getType()->isVoid())
+        RegOf[Inst.get()] = NextReg++;
+  DF->NumRegs = NextReg;
+
+  // Block numbering.
+  std::map<const BasicBlock *, uint32_t> BlockIdx;
+  uint32_t NextBlock = 0;
+  for (const auto &BB : F->getBlocks())
+    BlockIdx[BB.get()] = NextBlock++;
+
+  auto MakeOperand = [&](const Value *V) -> Operand {
+    Operand Op;
+    if (const auto *CI = dyn_cast<ConstantInt>(V)) {
+      Op.IsImm = true;
+      Op.Imm = RuntimeValue::ofInt(CI->getValue());
+      return Op;
+    }
+    if (const auto *CF = dyn_cast<ConstantFP>(V)) {
+      Op.IsImm = true;
+      Op.Imm = RuntimeValue::ofFloat(CF->getValue());
+      return Op;
+    }
+    if (isa<UndefValue>(V)) {
+      Op.IsImm = true;
+      Op.Imm = RuntimeValue::ofInt(0);
+      return Op;
+    }
+    if (const auto *G = dyn_cast<GlobalVariable>(V)) {
+      Op.IsImm = true;
+      Op.Imm = RuntimeValue::ofPtr(getGlobalAddress(G));
+      return Op;
+    }
+    if (const auto *Fn = dyn_cast<Function>(V)) {
+      Op.IsImm = true;
+      Op.Imm = RuntimeValue::ofPtr(encodeFunction(Fn));
+      return Op;
+    }
+    auto It = RegOf.find(V);
+    assert(It != RegOf.end() && "operand is not a register or constant");
+    Op.Reg = It->second;
+    return Op;
+  };
+
+  for (const auto &BB : F->getBlocks()) {
+    DecodedBlock DB;
+    DB.BB = BB.get();
+    DB.InstCount = BB->size();
+    for (const auto &InstPtr : BB->getInstList()) {
+      const Instruction *I = InstPtr.get();
+      if (const auto *Phi = dyn_cast<PhiInst>(I)) {
+        PhiCopy PC;
+        PC.ResultReg = static_cast<int32_t>(RegOf.at(Phi));
+        for (unsigned K = 0, E = Phi->getNumIncoming(); K != E; ++K)
+          PC.ByPredBlock[BlockIdx.at(Phi->getIncomingBlock(K))] =
+              MakeOperand(Phi->getIncomingValue(K));
+        DB.Phis.push_back(std::move(PC));
+        continue;
+      }
+
+      DecodedInst DI;
+      DI.K = I->getKind();
+      DI.Orig = I;
+      if (!I->getType()->isVoid())
+        DI.ResultReg = static_cast<int32_t>(RegOf.at(I));
+
+      switch (I->getKind()) {
+      case Value::Kind::Alloca: {
+        const auto *A = cast<AllocaInst>(I);
+        // 8-byte align each allocation within the frame.
+        DF->FrameBytes = (DF->FrameBytes + 7) & ~uint64_t(7);
+        DI.Aux = DF->FrameBytes;
+        DF->FrameBytes += A->getAllocationSize();
+        break;
+      }
+      case Value::Kind::Load: {
+        const auto *L = cast<LoadInst>(I);
+        DI.Ops.push_back(MakeOperand(L->getPointerOperand()));
+        DI.MemSize = memSizeOf(L->getType());
+        DI.MemTy = L->getType()->getKind();
+        break;
+      }
+      case Value::Kind::Store: {
+        const auto *S = cast<StoreInst>(I);
+        DI.Ops.push_back(MakeOperand(S->getValueOperand()));
+        DI.Ops.push_back(MakeOperand(S->getPointerOperand()));
+        DI.MemSize = memSizeOf(S->getValueOperand()->getType());
+        DI.MemTy = S->getValueOperand()->getType()->getKind();
+        break;
+      }
+      case Value::Kind::GEP: {
+        const auto *G = cast<GEPInst>(I);
+        DI.Ops.push_back(MakeOperand(G->getBase()));
+        DI.Ops.push_back(MakeOperand(G->getIndex()));
+        DI.Aux = G->getScale();
+        break;
+      }
+      case Value::Kind::Binary: {
+        const auto *B = cast<BinaryInst>(I);
+        DI.Sub = static_cast<uint8_t>(B->getOp());
+        DI.Ops.push_back(MakeOperand(B->getLHS()));
+        DI.Ops.push_back(MakeOperand(B->getRHS()));
+        break;
+      }
+      case Value::Kind::Cmp: {
+        const auto *C = cast<CmpInst>(I);
+        DI.Sub = static_cast<uint8_t>(C->getPred());
+        DI.Ops.push_back(MakeOperand(C->getLHS()));
+        DI.Ops.push_back(MakeOperand(C->getRHS()));
+        break;
+      }
+      case Value::Kind::Cast: {
+        const auto *C = cast<CastInst>(I);
+        DI.Sub = static_cast<uint8_t>(C->getOp());
+        DI.Ops.push_back(MakeOperand(C->getValueOperand()));
+        DI.MemTy = C->getValueOperand()->getType()->getKind();
+        DI.MemSize = memSizeOf(C->getType());
+        break;
+      }
+      case Value::Kind::Select: {
+        const auto *S = cast<SelectInst>(I);
+        DI.Ops.push_back(MakeOperand(S->getCondition()));
+        DI.Ops.push_back(MakeOperand(S->getTrueValue()));
+        DI.Ops.push_back(MakeOperand(S->getFalseValue()));
+        break;
+      }
+      case Value::Kind::Branch: {
+        const auto *B = cast<BranchInst>(I);
+        if (B->isConditional()) {
+          DI.Ops.push_back(MakeOperand(B->getCondition()));
+          DI.Succ0 = static_cast<int32_t>(BlockIdx.at(B->getSuccessor(0)));
+          DI.Succ1 = static_cast<int32_t>(BlockIdx.at(B->getSuccessor(1)));
+        } else {
+          DI.Succ0 = static_cast<int32_t>(BlockIdx.at(B->getSuccessor(0)));
+        }
+        break;
+      }
+      case Value::Kind::Call: {
+        const auto *C = cast<CallInst>(I);
+        DI.DirectCallee = C->getCalledFunction();
+        if (!DI.DirectCallee)
+          DI.Ops.push_back(MakeOperand(C->getCalleeOperand()));
+        for (unsigned A = 0, E = C->getNumArgs(); A != E; ++A)
+          DI.Ops.push_back(MakeOperand(C->getArg(A)));
+        break;
+      }
+      case Value::Kind::Ret: {
+        const auto *R = cast<RetInst>(I);
+        if (R->hasReturnValue())
+          DI.Ops.push_back(MakeOperand(R->getReturnValue()));
+        break;
+      }
+      case Value::Kind::Unreachable:
+        break;
+      default:
+        assert(false && "unhandled instruction kind while decoding");
+      }
+      DI.IdxInBlock = static_cast<uint32_t>(DB.Insts.size());
+      DB.Insts.push_back(std::move(DI));
+    }
+    DF->Blocks.push_back(std::move(DB));
+  }
+
+  auto &Ref = *DF;
+  Decoded[F] = std::move(DF);
+  return Ref;
+}
+
+//===----------------------------------------------------------------------===//
+// Engine lifecycle
+//===----------------------------------------------------------------------===//
+
+ExecutionEngine::ExecutionEngine(Module &M, Options Opts)
+    : M(M), Opts(Opts) {
+  // Lay out globals.
+  uint64_t Total = 0;
+  for (const auto &G : M.getGlobals()) {
+    Total = (Total + 7) & ~uint64_t(7);
+    Total += std::max<uint64_t>(G->getStoreSize(), 8);
+  }
+  GlobalStorage.resize(Total + 8, 0);
+  uint64_t Offset = 0;
+  for (const auto &G : M.getGlobals()) {
+    Offset = (Offset + 7) & ~uint64_t(7);
+    uint64_t Addr = reinterpret_cast<uint64_t>(GlobalStorage.data()) + Offset;
+    GlobalAddr[G.get()] = Addr;
+    const auto &Init = G->getInitWords();
+    for (size_t W = 0; W < Init.size() && W * 8 < G->getStoreSize(); ++W)
+      std::memcpy(GlobalStorage.data() + Offset + W * 8, &Init[W], 8);
+    Offset += std::max<uint64_t>(G->getStoreSize(), 8);
+  }
+
+  Heap.resize(Opts.HeapBytes);
+
+  // Function id table for function-pointer encoding.
+  uint64_t Id = 0;
+  for (const auto &F : M.getFunctions()) {
+    FunctionIds[F.get()] = Id++;
+    FunctionById.push_back(F.get());
+  }
+
+  installDefaultLibrary();
+}
+
+ExecutionEngine::~ExecutionEngine() = default;
+
+uint64_t ExecutionEngine::heapAlloc(uint64_t Bytes) {
+  uint64_t Aligned = (Bytes + 15) & ~uint64_t(15);
+  uint64_t Old = HeapTop.fetch_add(Aligned);
+  if (Old + Aligned > Heap.size()) {
+    std::fprintf(stderr, "interpreter heap exhausted\n");
+    std::abort();
+  }
+  return reinterpret_cast<uint64_t>(Heap.data()) + Old;
+}
+
+uint64_t
+ExecutionEngine::getGlobalAddress(const GlobalVariable *G) const {
+  auto It = GlobalAddr.find(G);
+  assert(It != GlobalAddr.end() && "global not laid out");
+  return It->second;
+}
+
+bool ExecutionEngine::isValidAddress(uint64_t Addr, uint64_t Bytes) const {
+  uint64_t GBase = reinterpret_cast<uint64_t>(GlobalStorage.data());
+  if (Addr >= GBase && Addr + Bytes <= GBase + GlobalStorage.size())
+    return true;
+  uint64_t HBase = reinterpret_cast<uint64_t>(Heap.data());
+  if (Addr >= HBase && Addr + Bytes <= HBase + HeapTop.load())
+    return true;
+  return frameRegistry().contains(Addr, Bytes);
+}
+
+uint64_t ExecutionEngine::encodeFunction(const Function *F) const {
+  auto It = FunctionIds.find(F);
+  assert(It != FunctionIds.end() && "function not registered");
+  return FunctionTag | It->second;
+}
+
+Function *ExecutionEngine::decodeFunction(uint64_t Encoded) const {
+  if ((Encoded & 0xFF00000000000000ull) != FunctionTag)
+    return nullptr;
+  uint64_t Id = Encoded & ~FunctionTag;
+  return Id < FunctionById.size() ? FunctionById[Id] : nullptr;
+}
+
+void ExecutionEngine::registerExternal(const std::string &Name,
+                                       ExternalFn Fn) {
+  Externals[Name] = std::move(Fn);
+}
+
+void ExecutionEngine::appendOutput(const std::string &S) {
+  std::lock_guard<std::mutex> Lock(OutputMutex);
+  Output += S;
+}
+
+void ExecutionEngine::resetThreadRetired() { ThreadRetired = 0; }
+
+uint64_t ExecutionEngine::readThreadRetired() { return ThreadRetired; }
+
+void ExecutionEngine::recordDispatch(const DispatchRecord &R) {
+  std::lock_guard<std::mutex> Lock(DispatchMutex);
+  Dispatches.push_back(R);
+}
+
+std::vector<DispatchRecord> ExecutionEngine::getDispatchRecords() const {
+  std::lock_guard<std::mutex> Lock(DispatchMutex);
+  return Dispatches;
+}
+
+void ExecutionEngine::clearDispatchRecords() {
+  std::lock_guard<std::mutex> Lock(DispatchMutex);
+  Dispatches.clear();
+}
+
+//===----------------------------------------------------------------------===//
+// Execution
+//===----------------------------------------------------------------------===//
+
+struct ExecutionEngine::Frame {
+  std::vector<RuntimeValue> Regs;
+  std::unique_ptr<uint8_t[]> FrameMem;
+  uint64_t FrameBase = 0;
+  uint64_t FrameSize = 0;
+};
+
+RuntimeValue
+ExecutionEngine::execute(DecodedFunction &DF,
+                         const std::vector<RuntimeValue> &Args,
+                         unsigned Depth) {
+  if (Depth > Opts.MaxCallDepth) {
+    std::fprintf(stderr, "interpreter: call depth limit exceeded in @%s\n",
+                 DF.F->getName().c_str());
+    std::abort();
+  }
+
+  Frame Fr;
+  Fr.Regs.resize(DF.NumRegs);
+  for (size_t I = 0; I < Args.size() && I < DF.NumRegs; ++I)
+    Fr.Regs[I] = Args[I];
+  if (DF.FrameBytes) {
+    Fr.FrameMem = std::make_unique<uint8_t[]>(DF.FrameBytes);
+    std::memset(Fr.FrameMem.get(), 0, DF.FrameBytes);
+    Fr.FrameBase = reinterpret_cast<uint64_t>(Fr.FrameMem.get());
+    Fr.FrameSize = DF.FrameBytes;
+    frameRegistry().add(Fr.FrameBase, Fr.FrameSize);
+  }
+
+  auto Val = [&](const Operand &Op) -> RuntimeValue {
+    return Op.IsImm ? Op.Imm : Fr.Regs[Op.Reg];
+  };
+
+  uint32_t CurB = 0;
+  RuntimeValue Result;
+  // Retirement is accumulated locally and flushed on return: a shared
+  // atomic bumped per block would serialize parallel tasks on one cache
+  // line and erase the speedups Figure 5 measures.
+  uint64_t Retired = 0;
+  uint64_t PartialCounted = 0; ///< instructions already counted in CurB
+
+  auto EnterBlock = [&](uint32_t Target, uint32_t From) {
+    DecodedBlock &DB = DF.Blocks[Target];
+    if (!DB.Phis.empty()) {
+      // Simultaneous phi semantics: read everything, then write.
+      // (Phi temps are small; a fixed stack buffer covers common cases.)
+      RuntimeValue Temps[64];
+      std::vector<RuntimeValue> Overflow;
+      RuntimeValue *T = Temps;
+      if (DB.Phis.size() > 64) {
+        Overflow.resize(DB.Phis.size());
+        T = Overflow.data();
+      }
+      for (size_t I = 0; I < DB.Phis.size(); ++I) {
+        auto It = DB.Phis[I].ByPredBlock.find(From);
+        assert(It != DB.Phis[I].ByPredBlock.end() &&
+               "phi has no incoming value for the executed edge");
+        T[I] = Val(It->second);
+      }
+      for (size_t I = 0; I < DB.Phis.size(); ++I)
+        Fr.Regs[DB.Phis[I].ResultReg] = T[I];
+    }
+    CurB = Target;
+  };
+
+  for (;;) {
+    DecodedBlock &DB = DF.Blocks[CurB];
+    if (Observer)
+      Observer->onBlockExecuted(DB.BB);
+    if (Opts.MaxInstructions && Retired > Opts.MaxInstructions) {
+      std::fprintf(stderr, "interpreter: instruction budget exceeded\n");
+      std::abort();
+    }
+
+    bool Transferred = false;
+    for (DecodedInst &DI : DB.Insts) {
+      switch (DI.K) {
+      case Value::Kind::Alloca:
+        Fr.Regs[DI.ResultReg] = RuntimeValue::ofPtr(Fr.FrameBase + DI.Aux);
+        break;
+      case Value::Kind::Load: {
+        uint64_t Addr = Val(DI.Ops[0]).P;
+        RuntimeValue R;
+        switch (DI.MemSize) {
+        case 8:
+          std::memcpy(&R.I, reinterpret_cast<void *>(Addr), 8);
+          break;
+        case 4: {
+          int32_t V;
+          std::memcpy(&V, reinterpret_cast<void *>(Addr), 4);
+          R.I = V;
+          break;
+        }
+        default: {
+          uint8_t V;
+          std::memcpy(&V, reinterpret_cast<void *>(Addr), 1);
+          R.I = V;
+          break;
+        }
+        }
+        Fr.Regs[DI.ResultReg] = R;
+        break;
+      }
+      case Value::Kind::Store: {
+        RuntimeValue V = Val(DI.Ops[0]);
+        uint64_t Addr = Val(DI.Ops[1]).P;
+        switch (DI.MemSize) {
+        case 8:
+          std::memcpy(reinterpret_cast<void *>(Addr), &V.I, 8);
+          break;
+        case 4: {
+          int32_t S = static_cast<int32_t>(V.I);
+          std::memcpy(reinterpret_cast<void *>(Addr), &S, 4);
+          break;
+        }
+        default: {
+          uint8_t S = static_cast<uint8_t>(V.I);
+          std::memcpy(reinterpret_cast<void *>(Addr), &S, 1);
+          break;
+        }
+        }
+        break;
+      }
+      case Value::Kind::GEP: {
+        uint64_t Base = Val(DI.Ops[0]).P;
+        int64_t Index = Val(DI.Ops[1]).I;
+        Fr.Regs[DI.ResultReg] = RuntimeValue::ofPtr(
+            Base + static_cast<uint64_t>(Index * static_cast<int64_t>(DI.Aux)));
+        break;
+      }
+      case Value::Kind::Binary: {
+        RuntimeValue L = Val(DI.Ops[0]);
+        RuntimeValue R = Val(DI.Ops[1]);
+        RuntimeValue Out;
+        switch (static_cast<BinaryInst::Op>(DI.Sub)) {
+        case BinaryInst::Op::Add:
+          Out.I = L.I + R.I;
+          break;
+        case BinaryInst::Op::Sub:
+          Out.I = L.I - R.I;
+          break;
+        case BinaryInst::Op::Mul:
+          Out.I = L.I * R.I;
+          break;
+        case BinaryInst::Op::SDiv:
+          Out.I = R.I ? L.I / R.I : 0;
+          break;
+        case BinaryInst::Op::SRem:
+          Out.I = R.I ? L.I % R.I : 0;
+          break;
+        case BinaryInst::Op::And:
+          Out.I = L.I & R.I;
+          break;
+        case BinaryInst::Op::Or:
+          Out.I = L.I | R.I;
+          break;
+        case BinaryInst::Op::Xor:
+          Out.I = L.I ^ R.I;
+          break;
+        case BinaryInst::Op::Shl:
+          Out.I = L.I << (R.I & 63);
+          break;
+        case BinaryInst::Op::AShr:
+          Out.I = L.I >> (R.I & 63);
+          break;
+        case BinaryInst::Op::FAdd:
+          Out.F = L.F + R.F;
+          break;
+        case BinaryInst::Op::FSub:
+          Out.F = L.F - R.F;
+          break;
+        case BinaryInst::Op::FMul:
+          Out.F = L.F * R.F;
+          break;
+        case BinaryInst::Op::FDiv:
+          Out.F = L.F / R.F;
+          break;
+        }
+        Fr.Regs[DI.ResultReg] = Out;
+        break;
+      }
+      case Value::Kind::Cmp: {
+        RuntimeValue L = Val(DI.Ops[0]);
+        RuntimeValue R = Val(DI.Ops[1]);
+        bool B = false;
+        switch (static_cast<CmpInst::Pred>(DI.Sub)) {
+        case CmpInst::Pred::EQ:
+          B = L.I == R.I;
+          break;
+        case CmpInst::Pred::NE:
+          B = L.I != R.I;
+          break;
+        case CmpInst::Pred::SLT:
+          B = L.I < R.I;
+          break;
+        case CmpInst::Pred::SLE:
+          B = L.I <= R.I;
+          break;
+        case CmpInst::Pred::SGT:
+          B = L.I > R.I;
+          break;
+        case CmpInst::Pred::SGE:
+          B = L.I >= R.I;
+          break;
+        case CmpInst::Pred::FEQ:
+          B = L.F == R.F;
+          break;
+        case CmpInst::Pred::FNE:
+          B = L.F != R.F;
+          break;
+        case CmpInst::Pred::FLT:
+          B = L.F < R.F;
+          break;
+        case CmpInst::Pred::FLE:
+          B = L.F <= R.F;
+          break;
+        case CmpInst::Pred::FGT:
+          B = L.F > R.F;
+          break;
+        case CmpInst::Pred::FGE:
+          B = L.F >= R.F;
+          break;
+        }
+        Fr.Regs[DI.ResultReg] = RuntimeValue::ofInt(B ? 1 : 0);
+        break;
+      }
+      case Value::Kind::Cast: {
+        RuntimeValue V = Val(DI.Ops[0]);
+        RuntimeValue Out = V;
+        switch (static_cast<CastInst::Op>(DI.Sub)) {
+        case CastInst::Op::SExt: {
+          // Canonical i8/i1 are zero-extended; re-sign-extend from width.
+          if (DI.MemTy == Type::Kind::Int8)
+            Out.I = static_cast<int8_t>(V.I);
+          else if (DI.MemTy == Type::Kind::Int1)
+            Out.I = (V.I & 1) ? -1 : 0;
+          else
+            Out.I = V.I; // i32 held sign-extended already
+          break;
+        }
+        case CastInst::Op::ZExt:
+          if (DI.MemTy == Type::Kind::Int32)
+            Out.I = static_cast<uint32_t>(V.I);
+          else
+            Out.I = V.I; // i8/i1 canonical form is zero-extended
+          break;
+        case CastInst::Op::Trunc:
+          switch (DI.MemSize) {
+          case 4:
+            Out.I = static_cast<int32_t>(V.I);
+            break;
+          case 1:
+            Out.I = V.I & 0xFF;
+            break;
+          default:
+            Out.I = V.I;
+          }
+          break;
+        case CastInst::Op::SIToFP:
+          Out.F = static_cast<double>(V.I);
+          break;
+        case CastInst::Op::FPToSI:
+          Out.I = static_cast<int64_t>(V.F);
+          break;
+        case CastInst::Op::PtrToInt:
+        case CastInst::Op::IntToPtr:
+        case CastInst::Op::Bitcast:
+          Out = V;
+          break;
+        }
+        Fr.Regs[DI.ResultReg] = Out;
+        break;
+      }
+      case Value::Kind::Select: {
+        bool C = Val(DI.Ops[0]).I & 1;
+        Fr.Regs[DI.ResultReg] = C ? Val(DI.Ops[1]) : Val(DI.Ops[2]);
+        break;
+      }
+      case Value::Kind::Branch: {
+        Retired += DB.InstCount - PartialCounted;
+        PartialCounted = 0;
+        uint32_t From = CurB;
+        if (DI.Succ1 >= 0) {
+          bool C = Val(DI.Ops[0]).I & 1;
+          if (Observer)
+            Observer->onBranchExecuted(cast<BranchInst>(DI.Orig), C ? 0 : 1);
+          EnterBlock(C ? DI.Succ0 : DI.Succ1, From);
+        } else {
+          EnterBlock(DI.Succ0, From);
+        }
+        Transferred = true;
+        break;
+      }
+      case Value::Kind::Call: {
+        const auto *CI = cast<CallInst>(DI.Orig);
+        Function *Callee = DI.DirectCallee;
+        size_t ArgStart = 0;
+        if (!Callee) {
+          Callee = decodeFunction(Val(DI.Ops[0]).P);
+          ArgStart = 1;
+          if (!Callee) {
+            std::fprintf(stderr,
+                         "interpreter: indirect call to invalid target\n");
+            std::abort();
+          }
+        }
+        std::vector<RuntimeValue> CallArgs;
+        CallArgs.reserve(DI.Ops.size() - ArgStart);
+        for (size_t A = ArgStart; A < DI.Ops.size(); ++A)
+          CallArgs.push_back(Val(DI.Ops[A]));
+
+        RuntimeValue R;
+        if (Callee->isDeclaration()) {
+          // Flush retirement (including the partially executed current
+          // block) so runtime externals such as ss_wait/ss_signal observe
+          // an up-to-date per-thread counter.
+          uint64_t SoFar = DB.Phis.size() + DI.IdxInBlock + 1;
+          Retired += SoFar - PartialCounted;
+          PartialCounted = SoFar;
+          InstructionsRetired.fetch_add(Retired, std::memory_order_relaxed);
+          ThreadRetired += Retired;
+          Retired = 0;
+          R = callExternal(Callee, CI, CallArgs);
+        } else {
+          if (Observer)
+            Observer->onCallExecuted(CI, Callee);
+          R = execute(getDecoded(Callee), CallArgs, Depth + 1);
+        }
+        if (DI.ResultReg >= 0)
+          Fr.Regs[DI.ResultReg] = R;
+        break;
+      }
+      case Value::Kind::Ret:
+        if (!DI.Ops.empty())
+          Result = Val(DI.Ops[0]);
+        if (Fr.FrameSize)
+          frameRegistry().remove(Fr.FrameBase, Fr.FrameSize);
+        Retired += DB.InstCount - PartialCounted;
+        InstructionsRetired.fetch_add(Retired, std::memory_order_relaxed);
+        ThreadRetired += Retired;
+        return Result;
+      case Value::Kind::Unreachable:
+        std::fprintf(stderr, "interpreter: reached 'unreachable' in @%s\n",
+                     DF.F->getName().c_str());
+        std::abort();
+      default:
+        assert(false && "unhandled instruction kind while executing");
+      }
+      if (Transferred)
+        break;
+    }
+    assert(Transferred && "block fell through without a terminator");
+  }
+}
+
+RuntimeValue
+ExecutionEngine::runFunction(Function *F,
+                             const std::vector<RuntimeValue> &Args) {
+  assert(!F->isDeclaration() && "cannot run a declaration directly");
+  return execute(getDecoded(F), Args, 0);
+}
+
+int64_t ExecutionEngine::runMain() {
+  Function *Main = M.getFunction("main");
+  assert(Main && "module has no @main");
+  return runFunction(Main, {}).I;
+}
+
+//===----------------------------------------------------------------------===//
+// External library
+//===----------------------------------------------------------------------===//
+
+RuntimeValue
+ExecutionEngine::callExternal(Function *F, const CallInst *Call,
+                              const std::vector<RuntimeValue> &Args) {
+  auto It = Externals.find(F->getName());
+  if (It == Externals.end()) {
+    std::fprintf(stderr, "interpreter: no implementation for external @%s\n",
+                 F->getName().c_str());
+    std::abort();
+  }
+  return It->second(*this, Call, Args);
+}
+
+void ExecutionEngine::installDefaultLibrary() {
+  auto Simple = [this](const std::string &Name,
+                       std::function<RuntimeValue(
+                           ExecutionEngine &, const std::vector<RuntimeValue> &)>
+                           Fn) {
+    Externals[Name] = [Fn](ExecutionEngine &E, const CallInst *,
+                           const std::vector<RuntimeValue> &A) {
+      return Fn(E, A);
+    };
+  };
+
+  Simple("print_i64",
+         [](ExecutionEngine &E, const std::vector<RuntimeValue> &A) {
+           E.appendOutput(std::to_string(A[0].I) + "\n");
+           return RuntimeValue();
+         });
+  Simple("print_f64",
+         [](ExecutionEngine &E, const std::vector<RuntimeValue> &A) {
+           char Buf[64];
+           std::snprintf(Buf, sizeof(Buf), "%.6f\n", A[0].F);
+           E.appendOutput(Buf);
+           return RuntimeValue();
+         });
+  Simple("print_char",
+         [](ExecutionEngine &E, const std::vector<RuntimeValue> &A) {
+           E.appendOutput(std::string(1, static_cast<char>(A[0].I)));
+           return RuntimeValue();
+         });
+  Simple("malloc", [](ExecutionEngine &E, const std::vector<RuntimeValue> &A) {
+    return RuntimeValue::ofPtr(E.heapAlloc(static_cast<uint64_t>(A[0].I)));
+  });
+  Simple("free", [](ExecutionEngine &, const std::vector<RuntimeValue> &) {
+    return RuntimeValue(); // Bump allocator: free is a no-op.
+  });
+  Simple("sqrt", [](ExecutionEngine &, const std::vector<RuntimeValue> &A) {
+    return RuntimeValue::ofFloat(std::sqrt(A[0].F));
+  });
+  Simple("fabs", [](ExecutionEngine &, const std::vector<RuntimeValue> &A) {
+    return RuntimeValue::ofFloat(std::fabs(A[0].F));
+  });
+  Simple("exp", [](ExecutionEngine &, const std::vector<RuntimeValue> &A) {
+    return RuntimeValue::ofFloat(std::exp(A[0].F));
+  });
+  Simple("log", [](ExecutionEngine &, const std::vector<RuntimeValue> &A) {
+    return RuntimeValue::ofFloat(std::log(A[0].F));
+  });
+  Simple("sin", [](ExecutionEngine &, const std::vector<RuntimeValue> &A) {
+    return RuntimeValue::ofFloat(std::sin(A[0].F));
+  });
+  Simple("cos", [](ExecutionEngine &, const std::vector<RuntimeValue> &A) {
+    return RuntimeValue::ofFloat(std::cos(A[0].F));
+  });
+  Simple("pow", [](ExecutionEngine &, const std::vector<RuntimeValue> &A) {
+    return RuntimeValue::ofFloat(std::pow(A[0].F, A[1].F));
+  });
+  Simple("floor", [](ExecutionEngine &, const std::vector<RuntimeValue> &A) {
+    return RuntimeValue::ofFloat(std::floor(A[0].F));
+  });
+  Simple("clock_ns", [](ExecutionEngine &, const std::vector<RuntimeValue> &) {
+    auto Now = std::chrono::steady_clock::now().time_since_epoch();
+    return RuntimeValue::ofInt(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Now).count());
+  });
+  Simple("abort_if_false",
+         [](ExecutionEngine &, const std::vector<RuntimeValue> &A) {
+           if (!(A[0].I & 1)) {
+             std::fprintf(stderr, "abort_if_false: assertion failed\n");
+             std::abort();
+           }
+           return RuntimeValue();
+         });
+}
+
+} // namespace nir

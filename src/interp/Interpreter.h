@@ -1,0 +1,191 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// ExecutionEngine: an interpreter for NIR. It is the "target machine" of
+/// this reproduction — profilers observe it and the parallel runtime
+/// executes transformed task functions on it from multiple host threads.
+///
+/// Functions are lazily decoded into a dense register-machine form so the
+/// per-instruction dispatch cost is low enough for real speedup
+/// measurements (Figure 5).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef INTERP_INTERPRETER_H
+#define INTERP_INTERPRETER_H
+
+#include "ir/Instructions.h"
+#include "ir/Module.h"
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace nir {
+
+/// A runtime value: one 64-bit slot interpreted per the static type.
+union RuntimeValue {
+  int64_t I;
+  double F;
+  uint64_t P; ///< Host address, or a tagged function reference.
+
+  RuntimeValue() : I(0) {}
+  static RuntimeValue ofInt(int64_t V) {
+    RuntimeValue R;
+    R.I = V;
+    return R;
+  }
+  static RuntimeValue ofFloat(double V) {
+    RuntimeValue R;
+    R.F = V;
+    return R;
+  }
+  static RuntimeValue ofPtr(uint64_t V) {
+    RuntimeValue R;
+    R.P = V;
+    return R;
+  }
+};
+
+class ExecutionEngine;
+
+/// Observation points used by NOELLE's profilers. All callbacks run on
+/// the executing thread; implementations must be cheap.
+class ExecutionObserver {
+public:
+  virtual ~ExecutionObserver() = default;
+  /// A basic block began executing.
+  virtual void onBlockExecuted(const BasicBlock *BB) {}
+  /// A conditional branch executed; \p Taken is the successor index.
+  virtual void onBranchExecuted(const BranchInst *Br, unsigned Taken) {}
+  /// A call is about to run (direct calls to defined functions only).
+  virtual void onCallExecuted(const CallInst *Call, const Function *Callee) {}
+};
+
+/// External (declared) function implementation. Receives the evaluated
+/// arguments and the engine for memory access.
+using ExternalFn =
+    std::function<RuntimeValue(ExecutionEngine &, const CallInst *,
+                               const std::vector<RuntimeValue> &)>;
+
+/// Per-parallel-region accounting used by the performance model (the
+/// evaluation host may have a single core, so Figure-5 speedups are
+/// computed from per-task instruction counts rather than wall clock).
+struct DispatchRecord {
+  uint64_t NumTasks = 0;
+  uint64_t MaxTaskInstructions = 0;   ///< critical path of the region
+  uint64_t TotalTaskInstructions = 0; ///< work moved into tasks
+  uint64_t MaxTaskSyncOps = 0;        ///< ss-wait/queue ops on that path
+  uint64_t TotalTaskSyncOps = 0;
+  /// Instructions retired inside sequential segments (wait..signal),
+  /// summed over all tasks: a lower bound on HELIX's serialized time.
+  uint64_t TotalSegmentInstructions = 0;
+};
+
+/// Interprets a Module. Thread-safe for concurrent runFunction calls:
+/// decoding is guarded by a mutex, heap allocation is atomic, and frames
+/// are thread-local by construction.
+class ExecutionEngine {
+public:
+  struct Options {
+    uint64_t HeapBytes = 64ull << 20; ///< malloc arena size
+    uint64_t MaxCallDepth = 4096;
+    uint64_t MaxInstructions = 0; ///< 0 = unlimited; else trap guard
+  };
+
+  explicit ExecutionEngine(Module &M) : ExecutionEngine(M, Options{}) {}
+  ExecutionEngine(Module &M, Options Opts);
+  ~ExecutionEngine();
+
+  Module &getModule() const { return M; }
+
+  /// Runs \p F with the given arguments and returns its result (undefined
+  /// slot if void).
+  RuntimeValue runFunction(Function *F,
+                           const std::vector<RuntimeValue> &Args);
+
+  /// Runs @main() and returns its integer result.
+  int64_t runMain();
+
+  /// Registers an implementation for a declared function; overrides the
+  /// built-in library for that name.
+  void registerExternal(const std::string &Name, ExternalFn Fn);
+
+  /// Installs (or clears, with null) the profiling observer.
+  void setObserver(ExecutionObserver *O) { Observer = O; }
+
+  /// Total instructions retired across all threads since construction.
+  uint64_t getInstructionsExecuted() const { return InstructionsRetired; }
+
+  /// Instructions retired by the calling thread (reset + read around a
+  /// task to attribute work to it).
+  static void resetThreadRetired();
+  static uint64_t readThreadRetired();
+
+  /// Parallel-region accounting (appended by the parallel runtime).
+  void recordDispatch(const DispatchRecord &R);
+  std::vector<DispatchRecord> getDispatchRecords() const;
+  void clearDispatchRecords();
+
+  /// Bump-allocates \p Bytes from the shared heap (the engine's malloc).
+  uint64_t heapAlloc(uint64_t Bytes);
+
+  /// Address of a global's storage.
+  uint64_t getGlobalAddress(const GlobalVariable *G) const;
+
+  /// True if [Addr, Addr+Bytes) lies inside memory this engine manages
+  /// (globals, heap, or a live frame). Used by the CARAT guard runtime.
+  bool isValidAddress(uint64_t Addr, uint64_t Bytes) const;
+
+  /// Encodes a Function as a runtime pointer value (for function
+  /// pointers stored in memory) and decodes it back.
+  uint64_t encodeFunction(const Function *F) const;
+  Function *decodeFunction(uint64_t Encoded) const;
+
+  /// Captured output of print_* library calls (tests compare this).
+  const std::string &getOutput() const { return Output; }
+  void appendOutput(const std::string &S);
+  void clearOutput() { Output.clear(); }
+
+private:
+  struct DecodedFunction;
+  struct Frame;
+
+  DecodedFunction &getDecoded(Function *F);
+  RuntimeValue execute(DecodedFunction &DF,
+                       const std::vector<RuntimeValue> &Args,
+                       unsigned Depth);
+  RuntimeValue callExternal(Function *F, const CallInst *Call,
+                            const std::vector<RuntimeValue> &Args);
+  void installDefaultLibrary();
+
+  Module &M;
+  Options Opts;
+
+  std::vector<uint8_t> GlobalStorage;
+  std::map<const GlobalVariable *, uint64_t> GlobalAddr;
+
+  std::vector<uint8_t> Heap;
+  std::atomic<uint64_t> HeapTop{0};
+
+  std::map<std::string, ExternalFn> Externals;
+  std::map<const Function *, std::unique_ptr<DecodedFunction>> Decoded;
+  std::map<const Function *, uint64_t> FunctionIds;
+  std::vector<Function *> FunctionById;
+  mutable std::mutex DecodeMutex;
+  std::mutex OutputMutex;
+
+  ExecutionObserver *Observer = nullptr;
+  std::atomic<uint64_t> InstructionsRetired{0};
+  std::string Output;
+  mutable std::mutex DispatchMutex;
+  std::vector<DispatchRecord> Dispatches;
+};
+
+} // namespace nir
+
+#endif // INTERP_INTERPRETER_H

@@ -1,0 +1,99 @@
+#include "ir/BasicBlock.h"
+
+#include "ir/Function.h"
+#include "ir/Instructions.h"
+
+using namespace nir;
+
+Instruction *BasicBlock::push_back(std::unique_ptr<Instruction> I) {
+  Instruction *Raw = I.get();
+  Raw->setParent(this);
+  Insts.push_back(std::move(I));
+  return Raw;
+}
+
+Instruction *BasicBlock::insert(Instruction *Pos,
+                                std::unique_ptr<Instruction> I) {
+  Instruction *Raw = I.get();
+  Raw->setParent(this);
+  Insts.insert(findIter(Pos), std::move(I));
+  return Raw;
+}
+
+Instruction *BasicBlock::getFirstNonPhi() const {
+  for (const auto &I : Insts)
+    if (!isa<PhiInst>(I.get()))
+      return I.get();
+  return nullptr;
+}
+
+std::vector<BasicBlock *> BasicBlock::successors() const {
+  std::vector<BasicBlock *> Result;
+  Instruction *Term = getTerminator();
+  if (auto *Br = dyn_cast_or_null<BranchInst>(Term))
+    for (unsigned I = 0, E = Br->getNumSuccessors(); I != E; ++I)
+      Result.push_back(Br->getSuccessor(I));
+  return Result;
+}
+
+std::vector<BasicBlock *> BasicBlock::predecessors() const {
+  std::vector<BasicBlock *> Result;
+  for (const auto &U : uses()) {
+    auto *Br = dyn_cast<BranchInst>(U.TheUser);
+    if (!Br)
+      continue; // Phi references are not CFG edges.
+    BasicBlock *Pred = Br->getParent();
+    if (std::find(Result.begin(), Result.end(), Pred) == Result.end())
+      Result.push_back(Pred);
+  }
+  return Result;
+}
+
+void BasicBlock::eraseFromParent() {
+  assert(Parent && "block is not linked into a function");
+  Parent->eraseBlock(this);
+}
+
+BasicBlock *BasicBlock::splitBefore(Instruction *Pos,
+                                    const std::string &NewName) {
+  assert(Pos->getParent() == this && "split point not in this block");
+  Function *F = Parent;
+  assert(F && "cannot split an unlinked block");
+
+  auto NewBB = std::make_unique<BasicBlock>(getType(), NewName);
+  BasicBlock *NewRaw = NewBB.get();
+
+  // Insert the new block right after this one.
+  BasicBlock *After = nullptr;
+  bool FoundSelf = false;
+  for (auto &B : F->getBlocks()) {
+    if (FoundSelf) {
+      After = B.get();
+      break;
+    }
+    if (B.get() == this)
+      FoundSelf = true;
+  }
+  F->insertBlock(std::move(NewBB), After);
+
+  // Move [Pos, end) to the new block.
+  auto It = findIter(Pos);
+  while (It != Insts.end()) {
+    std::unique_ptr<Instruction> Owned = std::move(*It);
+    It = Insts.erase(It);
+    Owned->setParent(NewRaw);
+    NewRaw->getInstList().push_back(std::move(Owned));
+  }
+
+  // Terminate this block with a jump to the new one.
+  push_back(std::make_unique<BranchInst>(getType(), NewRaw));
+  return NewRaw;
+}
+
+BasicBlock::InstListT::iterator BasicBlock::findIter(const Instruction *I) {
+  for (auto It = Insts.begin(), E = Insts.end(); It != E; ++It)
+    if (It->get() == I)
+      return It;
+  assert(false && "instruction not found in its parent block");
+  return Insts.end();
+}

@@ -1,0 +1,97 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// BasicBlock: a straight-line instruction sequence ending (when complete)
+/// in a terminator, plus CFG navigation helpers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IR_BASICBLOCK_H
+#define IR_BASICBLOCK_H
+
+#include "ir/Instruction.h"
+
+#include <list>
+#include <memory>
+
+namespace nir {
+
+class Function;
+
+/// A node of the control-flow graph. Owns its instructions.
+class BasicBlock : public Value {
+public:
+  using InstListT = std::list<std::unique_ptr<Instruction>>;
+
+  BasicBlock(Type *VoidTy, const std::string &Name)
+      : Value(Kind::BasicBlock, VoidTy) {
+    setName(Name);
+  }
+
+  /// Releases all operand references held by this block's instructions, so
+  /// that blocks can be destroyed in any order.
+  ~BasicBlock() override {
+    for (auto &I : Insts)
+      I->dropAllOperands();
+  }
+
+  Function *getParent() const { return Parent; }
+  void setParent(Function *F) { Parent = F; }
+
+  /// Appends \p I (taking ownership) and returns it.
+  Instruction *push_back(std::unique_ptr<Instruction> I);
+
+  /// Inserts \p I (taking ownership) before \p Pos and returns it.
+  Instruction *insert(Instruction *Pos, std::unique_ptr<Instruction> I);
+
+  /// Iteration over instructions in program order.
+  InstListT &getInstList() { return Insts; }
+  const InstListT &getInstList() const { return Insts; }
+
+  bool empty() const { return Insts.empty(); }
+  size_t size() const { return Insts.size(); }
+
+  Instruction *front() const { return Insts.front().get(); }
+  Instruction *back() const { return Insts.back().get(); }
+
+  /// The block terminator, or null if the block is still under
+  /// construction.
+  Instruction *getTerminator() const {
+    if (Insts.empty() || !Insts.back()->isTerminator())
+      return nullptr;
+    return Insts.back().get();
+  }
+
+  /// The first instruction that is not a phi, or null in an empty block.
+  Instruction *getFirstNonPhi() const;
+
+  /// Successor blocks, from the terminator.
+  std::vector<BasicBlock *> successors() const;
+
+  /// Predecessor blocks, derived from this block's uses in terminators.
+  std::vector<BasicBlock *> predecessors() const;
+
+  /// Unlinks and destroys this block. It must have no users.
+  void eraseFromParent();
+
+  /// Splits this block before \p Pos: instructions from \p Pos onward move
+  /// to a new block named \p NewName, this block gets an unconditional
+  /// branch to it, and phis/CFG users are left untouched (callers fix
+  /// successor phis if needed). Returns the new block.
+  BasicBlock *splitBefore(Instruction *Pos, const std::string &NewName);
+
+  static bool classof(const Value *V) {
+    return V->getKind() == Kind::BasicBlock;
+  }
+
+private:
+  friend class Instruction;
+  InstListT::iterator findIter(const Instruction *I);
+
+  Function *Parent = nullptr;
+  InstListT Insts;
+};
+
+} // namespace nir
+
+#endif // IR_BASICBLOCK_H

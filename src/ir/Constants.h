@@ -1,0 +1,122 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Constant values: integers, floating point, undef, and global variables.
+/// Primitive constants are interned by Context; globals are owned by their
+/// Module.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IR_CONSTANTS_H
+#define IR_CONSTANTS_H
+
+#include "ir/Value.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace nir {
+
+class Module;
+
+/// An integer constant of type i1/i8/i32/i64.
+class ConstantInt : public Value {
+public:
+  int64_t getValue() const { return Val; }
+  bool isZero() const { return Val == 0; }
+  bool isOne() const { return Val == 1; }
+
+  static bool classof(const Value *V) {
+    return V->getKind() == Kind::ConstantInt;
+  }
+
+private:
+  friend class Context;
+  ConstantInt(Type *Ty, int64_t Val) : Value(Kind::ConstantInt, Ty), Val(Val) {
+    assert(Ty->isInteger() && "ConstantInt requires an integer type");
+  }
+  int64_t Val;
+};
+
+/// A double-precision floating point constant.
+class ConstantFP : public Value {
+public:
+  double getValue() const { return Val; }
+
+  static bool classof(const Value *V) {
+    return V->getKind() == Kind::ConstantFP;
+  }
+
+private:
+  friend class Context;
+  ConstantFP(Type *Ty, double Val) : Value(Kind::ConstantFP, Ty), Val(Val) {}
+  double Val;
+};
+
+/// An undefined value of a given type.
+class UndefValue : public Value {
+public:
+  static bool classof(const Value *V) { return V->getKind() == Kind::Undef; }
+
+private:
+  friend class Context;
+  explicit UndefValue(Type *Ty) : Value(Kind::Undef, Ty) {}
+};
+
+/// A module-level variable. Its Value type is ptr (its address); the
+/// pointee layout is described by the value type. Storage is
+/// zero-initialized unless initializer words are provided.
+class GlobalVariable : public Value {
+public:
+  GlobalVariable(Type *PtrTy, Type *ValueTy, const std::string &Name)
+      : Value(Kind::GlobalVariable, PtrTy), ValueTy(ValueTy) {
+    setName(Name);
+  }
+
+  /// The layout of the storage this global names.
+  Type *getValueType() const { return ValueTy; }
+
+  /// Storage size in bytes.
+  uint64_t getStoreSize() const { return ValueTy->getStoreSize(); }
+
+  /// Optional initializer, one 64-bit word per 8-byte slot (doubles are
+  /// bit-cast). Empty means zero-initialized.
+  const std::vector<int64_t> &getInitWords() const { return InitWords; }
+  void setInitWords(std::vector<int64_t> Words) {
+    InitWords = std::move(Words);
+  }
+
+  Module *getParent() const { return Parent; }
+  void setParent(Module *M) { Parent = M; }
+
+  static bool classof(const Value *V) {
+    return V->getKind() == Kind::GlobalVariable;
+  }
+
+private:
+  Type *ValueTy;
+  std::vector<int64_t> InitWords;
+  Module *Parent = nullptr;
+};
+
+/// A formal parameter of a Function.
+class Argument : public Value {
+public:
+  Argument(Type *Ty, const std::string &Name, unsigned ArgNo)
+      : Value(Kind::Argument, Ty), ArgNo(ArgNo) {
+    setName(Name);
+  }
+
+  unsigned getArgNo() const { return ArgNo; }
+
+  static bool classof(const Value *V) {
+    return V->getKind() == Kind::Argument;
+  }
+
+private:
+  unsigned ArgNo;
+};
+
+} // namespace nir
+
+#endif // IR_CONSTANTS_H

@@ -1,0 +1,68 @@
+#include "ir/Context.h"
+
+#include "ir/Constants.h"
+
+using namespace nir;
+
+Context::Context()
+    : VoidTy(Type::Kind::Void), Int1Ty(Type::Kind::Int1),
+      Int8Ty(Type::Kind::Int8), Int32Ty(Type::Kind::Int32),
+      Int64Ty(Type::Kind::Int64), DoubleTy(Type::Kind::Double),
+      PtrTy(Type::Kind::Ptr) {}
+
+Context::~Context() = default;
+
+Type *Context::getArrayTy(Type *Elem, uint64_t NumElements) {
+  auto Key = std::make_pair(Elem, NumElements);
+  auto It = ArrayTypes.find(Key);
+  if (It != ArrayTypes.end())
+    return It->second;
+  auto *T = new Type(Type::Kind::Array);
+  T->ContainedTypes.push_back(Elem);
+  T->ArrayLength = NumElements;
+  OwnedTypes.emplace_back(T);
+  ArrayTypes[Key] = T;
+  return T;
+}
+
+Type *Context::getFunctionTy(Type *Ret, const std::vector<Type *> &Params) {
+  auto Key = std::make_pair(Ret, Params);
+  auto It = FunctionTypes.find(Key);
+  if (It != FunctionTypes.end())
+    return It->second;
+  auto *T = new Type(Type::Kind::Function);
+  T->ContainedTypes.push_back(Ret);
+  T->ParamTypes = Params;
+  OwnedTypes.emplace_back(T);
+  FunctionTypes[Key] = T;
+  return T;
+}
+
+ConstantInt *Context::getConstantInt(Type *Ty, int64_t Value) {
+  assert(Ty->isInteger() && "integer constant requires an integer type");
+  auto Key = std::make_pair(Ty, Value);
+  auto It = IntConsts.find(Key);
+  if (It != IntConsts.end())
+    return It->second.get();
+  auto *C = new ConstantInt(Ty, Value);
+  IntConsts[Key] = std::unique_ptr<ConstantInt>(C);
+  return C;
+}
+
+ConstantFP *Context::getConstantFP(double Value) {
+  auto It = FPConsts.find(Value);
+  if (It != FPConsts.end())
+    return It->second.get();
+  auto *C = new ConstantFP(&DoubleTy, Value);
+  FPConsts[Value] = std::unique_ptr<ConstantFP>(C);
+  return C;
+}
+
+UndefValue *Context::getUndef(Type *Ty) {
+  auto It = Undefs.find(Ty);
+  if (It != Undefs.end())
+    return It->second.get();
+  auto *U = new UndefValue(Ty);
+  Undefs[Ty] = std::unique_ptr<UndefValue>(U);
+  return U;
+}

@@ -1,0 +1,84 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Context owns and uniques all types and primitive constants for a
+/// compilation session, mirroring LLVMContext.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IR_CONTEXT_H
+#define IR_CONTEXT_H
+
+#include "ir/Type.h"
+
+#include <map>
+#include <memory>
+#include <vector>
+
+namespace nir {
+
+class ConstantInt;
+class ConstantFP;
+class UndefValue;
+
+/// Owns types and interned constants. Every Module is created against a
+/// Context, and all IR entities of that module live as long as the Context
+/// plus their Module.
+class Context {
+public:
+  Context();
+  ~Context();
+
+  Context(const Context &) = delete;
+  Context &operator=(const Context &) = delete;
+
+  Type *getVoidTy() { return &VoidTy; }
+  Type *getInt1Ty() { return &Int1Ty; }
+  Type *getInt8Ty() { return &Int8Ty; }
+  Type *getInt32Ty() { return &Int32Ty; }
+  Type *getInt64Ty() { return &Int64Ty; }
+  Type *getDoubleTy() { return &DoubleTy; }
+  Type *getPtrTy() { return &PtrTy; }
+
+  /// Returns the uniqued array type [NumElements x Elem].
+  Type *getArrayTy(Type *Elem, uint64_t NumElements);
+
+  /// Returns the uniqued function type Ret(Params...).
+  Type *getFunctionTy(Type *Ret, const std::vector<Type *> &Params);
+
+  /// Returns the interned integer constant of the given type and value.
+  ConstantInt *getConstantInt(Type *Ty, int64_t Value);
+
+  /// Returns the interned floating-point constant.
+  ConstantFP *getConstantFP(double Value);
+
+  /// Returns the interned undef value of the given type.
+  UndefValue *getUndef(Type *Ty);
+
+  /// Shorthands for common constants.
+  ConstantInt *getInt64(int64_t V) { return getConstantInt(&Int64Ty, V); }
+  ConstantInt *getInt32(int64_t V) { return getConstantInt(&Int32Ty, V); }
+  ConstantInt *getInt1(bool V) { return getConstantInt(&Int1Ty, V); }
+  ConstantInt *getTrue() { return getInt1(true); }
+  ConstantInt *getFalse() { return getInt1(false); }
+
+private:
+  Type VoidTy;
+  Type Int1Ty;
+  Type Int8Ty;
+  Type Int32Ty;
+  Type Int64Ty;
+  Type DoubleTy;
+  Type PtrTy;
+
+  std::vector<std::unique_ptr<Type>> OwnedTypes;
+  std::map<std::pair<Type *, uint64_t>, Type *> ArrayTypes;
+  std::map<std::pair<Type *, std::vector<Type *>>, Type *> FunctionTypes;
+  std::map<std::pair<Type *, int64_t>, std::unique_ptr<ConstantInt>> IntConsts;
+  std::map<double, std::unique_ptr<ConstantFP>> FPConsts;
+  std::map<Type *, std::unique_ptr<UndefValue>> Undefs;
+};
+
+} // namespace nir
+
+#endif // IR_CONTEXT_H

@@ -1,0 +1,50 @@
+#include "ir/Function.h"
+
+#include "ir/Module.h"
+
+using namespace nir;
+
+BasicBlock *Function::createBlock(const std::string &Name) {
+  assert(Parent && "createBlock requires the function to be in a module");
+  Type *VoidTy = Parent->getContext().getVoidTy();
+  return insertBlock(std::make_unique<BasicBlock>(VoidTy, Name));
+}
+
+BasicBlock *Function::insertBlock(std::unique_ptr<BasicBlock> BB,
+                                  BasicBlock *Pos) {
+  BasicBlock *Raw = BB.get();
+  Raw->setParent(this);
+  if (!Pos) {
+    Blocks.push_back(std::move(BB));
+    return Raw;
+  }
+  for (auto It = Blocks.begin(), E = Blocks.end(); It != E; ++It)
+    if (It->get() == Pos) {
+      Blocks.insert(It, std::move(BB));
+      return Raw;
+    }
+  assert(false && "insertion position not found in function");
+  return Raw;
+}
+
+void Function::eraseBlock(BasicBlock *BB) {
+  // Drop instructions in reverse to release operand uses before defs die.
+  while (!BB->getInstList().empty()) {
+    Instruction *Last = BB->getInstList().back().get();
+    assert(!Last->hasUses() && "erasing a block whose values are still used");
+    Last->eraseFromParent();
+  }
+  for (auto It = Blocks.begin(), E = Blocks.end(); It != E; ++It)
+    if (It->get() == BB) {
+      Blocks.erase(It);
+      return;
+    }
+  assert(false && "block not found in its parent function");
+}
+
+uint64_t Function::getNumInstructions() const {
+  uint64_t N = 0;
+  for (const auto &BB : Blocks)
+    N += BB->size();
+  return N;
+}

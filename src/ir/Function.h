@@ -1,0 +1,95 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Function: a named, typed code object owning its arguments and basic
+/// blocks. Functions without blocks are declarations resolved by name in
+/// the interpreter's external-function bridge.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IR_FUNCTION_H
+#define IR_FUNCTION_H
+
+#include "ir/BasicBlock.h"
+#include "ir/Constants.h"
+
+#include <list>
+#include <memory>
+
+namespace nir {
+
+class Module;
+
+/// A function definition or declaration. The Value type is the function
+/// type; taking the address of a Function yields a ptr-typed value via the
+/// frontend (function values may be stored/loaded for indirect calls).
+class Function : public Value {
+public:
+  using BlockListT = std::list<std::unique_ptr<BasicBlock>>;
+
+  Function(Type *FnTy, const std::string &Name)
+      : Value(Kind::Function, FnTy) {
+    setName(Name);
+    auto &Params = FnTy->getParamTypes();
+    Args.reserve(Params.size());
+    for (unsigned I = 0; I < Params.size(); ++I)
+      Args.push_back(
+          std::make_unique<Argument>(Params[I], "arg" + std::to_string(I), I));
+  }
+
+  /// Drops every operand reference inside this function first, so blocks,
+  /// arguments, and cross-block values can be destroyed in any order.
+  ~Function() override {
+    for (auto &BB : Blocks)
+      for (auto &I : BB->getInstList())
+        I->dropAllOperands();
+  }
+
+  Module *getParent() const { return Parent; }
+  void setParent(Module *M) { Parent = M; }
+
+  Type *getFunctionType() const { return getType(); }
+  Type *getReturnType() const { return getType()->getReturnType(); }
+
+  unsigned getNumArgs() const { return static_cast<unsigned>(Args.size()); }
+  Argument *getArg(unsigned I) const { return Args[I].get(); }
+
+  /// True if this function has no body (external / runtime function).
+  bool isDeclaration() const { return Blocks.empty(); }
+
+  BasicBlock &getEntryBlock() const {
+    assert(!Blocks.empty() && "declaration has no entry block");
+    return *Blocks.front();
+  }
+
+  /// Appends a new empty block and returns it.
+  BasicBlock *createBlock(const std::string &Name);
+
+  /// Inserts \p BB (taking ownership) before \p Pos (or at the end when
+  /// \p Pos is null).
+  BasicBlock *insertBlock(std::unique_ptr<BasicBlock> BB,
+                          BasicBlock *Pos = nullptr);
+
+  /// Unlinks and destroys \p BB.
+  void eraseBlock(BasicBlock *BB);
+
+  BlockListT &getBlocks() { return Blocks; }
+  const BlockListT &getBlocks() const { return Blocks; }
+  size_t getNumBlocks() const { return Blocks.size(); }
+
+  /// Total number of instructions across all blocks.
+  uint64_t getNumInstructions() const;
+
+  static bool classof(const Value *V) {
+    return V->getKind() == Kind::Function;
+  }
+
+private:
+  Module *Parent = nullptr;
+  std::vector<std::unique_ptr<Argument>> Args;
+  BlockListT Blocks;
+};
+
+} // namespace nir
+
+#endif // IR_FUNCTION_H

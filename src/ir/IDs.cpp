@@ -1,0 +1,40 @@
+#include "ir/IDs.h"
+
+#include <string>
+
+using namespace nir;
+
+void nir::assignDeterministicIDs(Module &M) {
+  uint64_t FnID = 0, BBID = 0, InstID = 0;
+  for (const auto &F : M.getFunctions()) {
+    F->setMetadata(FunctionIDKey, std::to_string(FnID++));
+    for (const auto &BB : F->getBlocks()) {
+      BB->setMetadata(BlockIDKey, std::to_string(BBID++));
+      for (const auto &I : BB->getInstList())
+        I->setMetadata(InstIDKey, std::to_string(InstID++));
+    }
+  }
+}
+
+void nir::clearDeterministicIDs(Module &M) {
+  for (const auto &F : M.getFunctions()) {
+    F->removeMetadata(FunctionIDKey);
+    for (const auto &BB : F->getBlocks()) {
+      BB->removeMetadata(BlockIDKey);
+      for (const auto &I : BB->getInstList())
+        I->removeMetadata(InstIDKey);
+    }
+  }
+}
+
+std::map<uint64_t, Instruction *> nir::buildInstructionIndex(Module &M) {
+  std::map<uint64_t, Instruction *> Index;
+  for (const auto &F : M.getFunctions())
+    for (const auto &BB : F->getBlocks())
+      for (const auto &I : BB->getInstList()) {
+        std::string ID = I->getMetadata(InstIDKey);
+        if (!ID.empty())
+          Index[std::stoull(ID)] = I.get();
+      }
+  return Index;
+}

@@ -1,0 +1,153 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// IRBuilder: convenience factory that creates instructions at an insertion
+/// point, mirroring llvm::IRBuilder.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IR_IRBUILDER_H
+#define IR_IRBUILDER_H
+
+#include "ir/Instructions.h"
+#include "ir/Module.h"
+
+namespace nir {
+
+/// Creates instructions at a (block, position) insertion point. The
+/// position is either "append to block end" or "before an instruction".
+class IRBuilder {
+public:
+  explicit IRBuilder(Context &Ctx) : Ctx(Ctx) {}
+
+  IRBuilder(Context &Ctx, BasicBlock *BB) : Ctx(Ctx) { setInsertPoint(BB); }
+
+  Context &getContext() const { return Ctx; }
+
+  /// Append new instructions at the end of \p BB.
+  void setInsertPoint(BasicBlock *BB) {
+    InsertBlock = BB;
+    InsertBefore = nullptr;
+  }
+
+  /// Insert new instructions before \p I.
+  void setInsertPoint(Instruction *I) {
+    InsertBlock = I->getParent();
+    InsertBefore = I;
+  }
+
+  BasicBlock *getInsertBlock() const { return InsertBlock; }
+
+  AllocaInst *createAlloca(Type *AllocatedTy, const std::string &Name = "") {
+    return insert(new AllocaInst(Ctx.getPtrTy(), AllocatedTy), Name);
+  }
+
+  LoadInst *createLoad(Type *Ty, Value *Ptr, const std::string &Name = "") {
+    return insert(new LoadInst(Ty, Ptr), Name);
+  }
+
+  StoreInst *createStore(Value *Val, Value *Ptr) {
+    return insert(new StoreInst(Ctx.getVoidTy(), Val, Ptr), "");
+  }
+
+  GEPInst *createGEP(Value *Base, Value *Index, uint64_t Scale,
+                     const std::string &Name = "") {
+    return insert(new GEPInst(Ctx.getPtrTy(), Base, Index, Scale), Name);
+  }
+
+  BinaryInst *createBinary(BinaryInst::Op Op, Value *L, Value *R,
+                           const std::string &Name = "") {
+    return insert(new BinaryInst(Op, L, R), Name);
+  }
+
+  BinaryInst *createAdd(Value *L, Value *R, const std::string &Name = "") {
+    return createBinary(BinaryInst::Op::Add, L, R, Name);
+  }
+  BinaryInst *createSub(Value *L, Value *R, const std::string &Name = "") {
+    return createBinary(BinaryInst::Op::Sub, L, R, Name);
+  }
+  BinaryInst *createMul(Value *L, Value *R, const std::string &Name = "") {
+    return createBinary(BinaryInst::Op::Mul, L, R, Name);
+  }
+  BinaryInst *createFAdd(Value *L, Value *R, const std::string &Name = "") {
+    return createBinary(BinaryInst::Op::FAdd, L, R, Name);
+  }
+  BinaryInst *createFMul(Value *L, Value *R, const std::string &Name = "") {
+    return createBinary(BinaryInst::Op::FMul, L, R, Name);
+  }
+
+  CmpInst *createCmp(CmpInst::Pred P, Value *L, Value *R,
+                     const std::string &Name = "") {
+    return insert(new CmpInst(Ctx.getInt1Ty(), P, L, R), Name);
+  }
+
+  CastInst *createCast(CastInst::Op Op, Value *V, Type *DestTy,
+                       const std::string &Name = "") {
+    return insert(new CastInst(Op, V, DestTy), Name);
+  }
+
+  SelectInst *createSelect(Value *C, Value *T, Value *F,
+                           const std::string &Name = "") {
+    return insert(new SelectInst(C, T, F), Name);
+  }
+
+  PhiInst *createPhi(Type *Ty, const std::string &Name = "") {
+    return insert(new PhiInst(Ty), Name);
+  }
+
+  BranchInst *createBr(BasicBlock *Target) {
+    return insert(new BranchInst(Ctx.getVoidTy(), Target), "");
+  }
+
+  BranchInst *createCondBr(Value *Cond, BasicBlock *Then, BasicBlock *Else) {
+    return insert(new BranchInst(Ctx.getVoidTy(), Cond, Then, Else), "");
+  }
+
+  CallInst *createCall(Function *Callee, const std::vector<Value *> &Args,
+                       const std::string &Name = "") {
+    return insert(
+        new CallInst(Callee->getReturnType(), Callee, Args), Name);
+  }
+
+  CallInst *createIndirectCall(Type *RetTy, Value *Callee,
+                               const std::vector<Value *> &Args,
+                               const std::string &Name = "") {
+    return insert(new CallInst(RetTy, Callee, Args), Name);
+  }
+
+  RetInst *createRet(Value *V) {
+    return insert(new RetInst(Ctx.getVoidTy(), V), "");
+  }
+
+  RetInst *createRetVoid() {
+    return insert(new RetInst(Ctx.getVoidTy()), "");
+  }
+
+  UnreachableInst *createUnreachable() {
+    return insert(new UnreachableInst(Ctx.getVoidTy()), "");
+  }
+
+  ConstantInt *getInt64(int64_t V) { return Ctx.getInt64(V); }
+  ConstantInt *getInt1(bool V) { return Ctx.getInt1(V); }
+  ConstantFP *getDouble(double V) { return Ctx.getConstantFP(V); }
+
+private:
+  template <typename InstT> InstT *insert(InstT *I, const std::string &Name) {
+    assert(InsertBlock && "no insertion point set");
+    if (!Name.empty())
+      I->setName(Name);
+    if (InsertBefore)
+      InsertBlock->insert(InsertBefore, std::unique_ptr<Instruction>(I));
+    else
+      InsertBlock->push_back(std::unique_ptr<Instruction>(I));
+    return I;
+  }
+
+  Context &Ctx;
+  BasicBlock *InsertBlock = nullptr;
+  Instruction *InsertBefore = nullptr;
+};
+
+} // namespace nir
+
+#endif // IR_IRBUILDER_H

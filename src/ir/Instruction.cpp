@@ -1,0 +1,441 @@
+#include "ir/Instruction.h"
+
+#include "ir/Instructions.h"
+#include "ir/Module.h"
+
+using namespace nir;
+
+Function *Instruction::getFunction() const {
+  return Parent ? Parent->getParent() : nullptr;
+}
+
+Module *Instruction::getModule() const {
+  Function *F = getFunction();
+  return F ? F->getParent() : nullptr;
+}
+
+bool Instruction::mayReadFromMemory() const {
+  switch (getKind()) {
+  case Kind::Load:
+    return true;
+  case Kind::Call: {
+    // Calls conservatively read memory unless marked pure via metadata.
+    return getMetadata("noelle.pure") != "true";
+  }
+  default:
+    return false;
+  }
+}
+
+bool Instruction::mayWriteToMemory() const {
+  switch (getKind()) {
+  case Kind::Store:
+    return true;
+  case Kind::Call:
+    return getMetadata("noelle.pure") != "true" &&
+           getMetadata("noelle.readonly") != "true";
+  default:
+    return false;
+  }
+}
+
+bool Instruction::mayHaveSideEffects() const {
+  return mayWriteToMemory() || isTerminator() || getKind() == Kind::Call;
+}
+
+void Instruction::eraseFromParent() {
+  assert(Parent && "instruction is not linked into a block");
+  assert(!hasUses() && "erasing an instruction that still has users");
+  auto It = Parent->findIter(this);
+  Parent->getInstList().erase(It); // unique_ptr destroys *this.
+}
+
+Instruction *Instruction::removeFromParent() {
+  assert(Parent && "instruction is not linked into a block");
+  auto It = Parent->findIter(this);
+  Instruction *Raw = It->release();
+  Parent->getInstList().erase(It);
+  Raw->Parent = nullptr;
+  return Raw;
+}
+
+void Instruction::moveBefore(Instruction *Pos) {
+  assert(Pos->getParent() && "destination instruction is unlinked");
+  Instruction *Self = removeFromParent();
+  Self->insertBefore(Pos);
+}
+
+void Instruction::moveBeforeTerminator(BasicBlock *BB) {
+  Instruction *Term = BB->getTerminator();
+  Instruction *Self = Parent ? removeFromParent() : this;
+  if (Term)
+    Self->insertBefore(Term);
+  else
+    Self->insertAtEnd(BB);
+}
+
+void Instruction::insertBefore(Instruction *Pos) {
+  assert(!Parent && "instruction is already linked");
+  BasicBlock *BB = Pos->getParent();
+  assert(BB && "insertion point is unlinked");
+  BB->insert(Pos, std::unique_ptr<Instruction>(this));
+}
+
+void Instruction::insertAtEnd(BasicBlock *BB) {
+  assert(!Parent && "instruction is already linked");
+  BB->push_back(std::unique_ptr<Instruction>(this));
+}
+
+Instruction *Instruction::getNextInst() const {
+  assert(Parent && "instruction is not linked into a block");
+  auto It = Parent->findIter(this);
+  ++It;
+  return It == Parent->getInstList().end() ? nullptr : It->get();
+}
+
+Instruction *Instruction::getPrevInst() const {
+  assert(Parent && "instruction is not linked into a block");
+  auto It = Parent->findIter(this);
+  if (It == Parent->getInstList().begin())
+    return nullptr;
+  --It;
+  return It->get();
+}
+
+Instruction *Instruction::clone() const {
+  Instruction *New = nullptr;
+  switch (getKind()) {
+  case Kind::Alloca: {
+    auto *A = cast<AllocaInst>(this);
+    New = new AllocaInst(getType(), A->getAllocatedType());
+    break;
+  }
+  case Kind::Load: {
+    auto *L = cast<LoadInst>(this);
+    New = new LoadInst(getType(), L->getPointerOperand());
+    break;
+  }
+  case Kind::Store: {
+    auto *S = cast<StoreInst>(this);
+    New = new StoreInst(getType(), S->getValueOperand(),
+                        S->getPointerOperand());
+    break;
+  }
+  case Kind::GEP: {
+    auto *G = cast<GEPInst>(this);
+    New = new GEPInst(getType(), G->getBase(), G->getIndex(), G->getScale());
+    break;
+  }
+  case Kind::Binary: {
+    auto *B = cast<BinaryInst>(this);
+    New = new BinaryInst(B->getOp(), B->getLHS(), B->getRHS());
+    break;
+  }
+  case Kind::Cmp: {
+    auto *C = cast<CmpInst>(this);
+    New = new CmpInst(getType(), C->getPred(), C->getLHS(), C->getRHS());
+    break;
+  }
+  case Kind::Cast: {
+    auto *C = cast<CastInst>(this);
+    New = new CastInst(C->getOp(), C->getValueOperand(), getType());
+    break;
+  }
+  case Kind::Select: {
+    auto *S = cast<SelectInst>(this);
+    New = new SelectInst(S->getCondition(), S->getTrueValue(),
+                         S->getFalseValue());
+    break;
+  }
+  case Kind::Phi: {
+    auto *P = cast<PhiInst>(this);
+    auto *NewPhi = new PhiInst(getType());
+    for (unsigned I = 0, E = P->getNumIncoming(); I != E; ++I)
+      NewPhi->addIncoming(P->getIncomingValue(I), P->getIncomingBlock(I));
+    New = NewPhi;
+    break;
+  }
+  case Kind::Branch: {
+    auto *B = cast<BranchInst>(this);
+    if (B->isConditional())
+      New = new BranchInst(getType(), B->getCondition(), B->getSuccessor(0),
+                           B->getSuccessor(1));
+    else
+      New = new BranchInst(getType(), B->getSuccessor(0));
+    break;
+  }
+  case Kind::Call: {
+    auto *C = cast<CallInst>(this);
+    std::vector<Value *> Args;
+    for (unsigned I = 0, E = C->getNumArgs(); I != E; ++I)
+      Args.push_back(C->getArg(I));
+    New = new CallInst(getType(), C->getCalleeOperand(), Args);
+    break;
+  }
+  case Kind::Ret: {
+    auto *R = cast<RetInst>(this);
+    if (R->hasReturnValue())
+      New = new RetInst(getType(), R->getReturnValue());
+    else
+      New = new RetInst(getType());
+    break;
+  }
+  case Kind::Unreachable:
+    New = new UnreachableInst(getType());
+    break;
+  default:
+    assert(false && "unknown instruction kind in clone");
+    return nullptr;
+  }
+  New->setName(getName());
+  for (const auto &[K, V] : getAllMetadata())
+    New->setMetadata(K, V);
+  return New;
+}
+
+std::string Instruction::getOpcodeName() const {
+  switch (getKind()) {
+  case Kind::Alloca:
+    return "alloca";
+  case Kind::Load:
+    return "load";
+  case Kind::Store:
+    return "store";
+  case Kind::GEP:
+    return "gep";
+  case Kind::Binary:
+    return BinaryInst::opName(cast<BinaryInst>(this)->getOp());
+  case Kind::Cmp:
+    return std::string("cmp ") +
+           CmpInst::predName(cast<CmpInst>(this)->getPred());
+  case Kind::Cast:
+    return CastInst::opName(cast<CastInst>(this)->getOp());
+  case Kind::Select:
+    return "select";
+  case Kind::Phi:
+    return "phi";
+  case Kind::Branch:
+    return "br";
+  case Kind::Call:
+    return "call";
+  case Kind::Ret:
+    return "ret";
+  case Kind::Unreachable:
+    return "unreachable";
+  default:
+    return "<unknown>";
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Out-of-line members of concrete instructions.
+//===----------------------------------------------------------------------===//
+
+const char *BinaryInst::opName(Op O) {
+  switch (O) {
+  case Op::Add:
+    return "add";
+  case Op::Sub:
+    return "sub";
+  case Op::Mul:
+    return "mul";
+  case Op::SDiv:
+    return "sdiv";
+  case Op::SRem:
+    return "srem";
+  case Op::And:
+    return "and";
+  case Op::Or:
+    return "or";
+  case Op::Xor:
+    return "xor";
+  case Op::Shl:
+    return "shl";
+  case Op::AShr:
+    return "ashr";
+  case Op::FAdd:
+    return "fadd";
+  case Op::FSub:
+    return "fsub";
+  case Op::FMul:
+    return "fmul";
+  case Op::FDiv:
+    return "fdiv";
+  }
+  return "<binop>";
+}
+
+CmpInst::Pred CmpInst::getSwappedPred(Pred P) {
+  switch (P) {
+  case Pred::EQ:
+  case Pred::NE:
+  case Pred::FEQ:
+  case Pred::FNE:
+    return P;
+  case Pred::SLT:
+    return Pred::SGT;
+  case Pred::SLE:
+    return Pred::SGE;
+  case Pred::SGT:
+    return Pred::SLT;
+  case Pred::SGE:
+    return Pred::SLE;
+  case Pred::FLT:
+    return Pred::FGT;
+  case Pred::FLE:
+    return Pred::FGE;
+  case Pred::FGT:
+    return Pred::FLT;
+  case Pred::FGE:
+    return Pred::FLE;
+  }
+  return P;
+}
+
+CmpInst::Pred CmpInst::getInversePred(Pred P) {
+  switch (P) {
+  case Pred::EQ:
+    return Pred::NE;
+  case Pred::NE:
+    return Pred::EQ;
+  case Pred::SLT:
+    return Pred::SGE;
+  case Pred::SLE:
+    return Pred::SGT;
+  case Pred::SGT:
+    return Pred::SLE;
+  case Pred::SGE:
+    return Pred::SLT;
+  case Pred::FEQ:
+    return Pred::FNE;
+  case Pred::FNE:
+    return Pred::FEQ;
+  case Pred::FLT:
+    return Pred::FGE;
+  case Pred::FLE:
+    return Pred::FGT;
+  case Pred::FGT:
+    return Pred::FLE;
+  case Pred::FGE:
+    return Pred::FLT;
+  }
+  return P;
+}
+
+const char *CmpInst::predName(Pred P) {
+  switch (P) {
+  case Pred::EQ:
+    return "eq";
+  case Pred::NE:
+    return "ne";
+  case Pred::SLT:
+    return "slt";
+  case Pred::SLE:
+    return "sle";
+  case Pred::SGT:
+    return "sgt";
+  case Pred::SGE:
+    return "sge";
+  case Pred::FEQ:
+    return "feq";
+  case Pred::FNE:
+    return "fne";
+  case Pred::FLT:
+    return "flt";
+  case Pred::FLE:
+    return "fle";
+  case Pred::FGT:
+    return "fgt";
+  case Pred::FGE:
+    return "fge";
+  }
+  return "<pred>";
+}
+
+const char *CastInst::opName(Op O) {
+  switch (O) {
+  case Op::SExt:
+    return "sext";
+  case Op::ZExt:
+    return "zext";
+  case Op::Trunc:
+    return "trunc";
+  case Op::SIToFP:
+    return "sitofp";
+  case Op::FPToSI:
+    return "fptosi";
+  case Op::PtrToInt:
+    return "ptrtoint";
+  case Op::IntToPtr:
+    return "inttoptr";
+  case Op::Bitcast:
+    return "bitcast";
+  }
+  return "<cast>";
+}
+
+BasicBlock *PhiInst::getIncomingBlock(unsigned I) const {
+  return cast<BasicBlock>(getOperand(2 * I + 1));
+}
+
+void PhiInst::setIncomingBlock(unsigned I, BasicBlock *BB) {
+  setOperand(2 * I + 1, BB);
+}
+
+void PhiInst::addIncoming(Value *V, BasicBlock *BB) {
+  assert(V->getType() == getType() && "phi incoming type mismatch");
+  addOperand(V);
+  addOperand(BB);
+}
+
+void PhiInst::removeIncoming(unsigned I) {
+  unsigned N = getNumIncoming();
+  assert(I < N && "incoming index out of range");
+  // Shift subsequent pairs down, then drop the last pair.
+  for (unsigned J = I; J + 1 < N; ++J) {
+    setOperand(2 * J, getOperand(2 * (J + 1)));
+    setOperand(2 * J + 1, getOperand(2 * (J + 1) + 1));
+  }
+  removeLastOperand();
+  removeLastOperand();
+}
+
+Value *PhiInst::getIncomingValueForBlock(const BasicBlock *BB) const {
+  int Idx = getBlockIndex(BB);
+  assert(Idx >= 0 && "block is not an incoming edge of this phi");
+  return getIncomingValue(static_cast<unsigned>(Idx));
+}
+
+int PhiInst::getBlockIndex(const BasicBlock *BB) const {
+  for (unsigned I = 0, E = getNumIncoming(); I != E; ++I)
+    if (getIncomingBlock(I) == BB)
+      return static_cast<int>(I);
+  return -1;
+}
+
+BranchInst::BranchInst(Type *VoidTy, BasicBlock *Target)
+    : Instruction(Kind::Branch, VoidTy) {
+  addOperand(Target);
+}
+
+BranchInst::BranchInst(Type *VoidTy, Value *Cond, BasicBlock *Then,
+                       BasicBlock *Else)
+    : Instruction(Kind::Branch, VoidTy) {
+  addOperand(Cond);
+  addOperand(Then);
+  addOperand(Else);
+}
+
+BasicBlock *BranchInst::getSuccessor(unsigned I) const {
+  assert(I < getNumSuccessors() && "successor index out of range");
+  return cast<BasicBlock>(getOperand(isConditional() ? I + 1 : 0));
+}
+
+void BranchInst::setSuccessor(unsigned I, BasicBlock *BB) {
+  assert(I < getNumSuccessors() && "successor index out of range");
+  setOperand(isConditional() ? I + 1 : 0, BB);
+}
+
+Function *CallInst::getCalledFunction() const {
+  return dyn_cast<Function>(getCalleeOperand());
+}

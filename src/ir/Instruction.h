@@ -1,0 +1,102 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Instruction: base class for all NIR instructions, with parent-block
+/// linkage, list manipulation, and memory-behaviour queries.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IR_INSTRUCTION_H
+#define IR_INSTRUCTION_H
+
+#include "ir/Value.h"
+
+namespace nir {
+
+class BasicBlock;
+class Function;
+class Module;
+
+/// An operation inside a BasicBlock. Ownership lives in the parent block's
+/// instruction list; the parent pointer is maintained by the block.
+class Instruction : public User {
+public:
+  BasicBlock *getParent() const { return Parent; }
+  void setParent(BasicBlock *BB) { Parent = BB; }
+
+  /// The function containing this instruction, or null if unlinked.
+  Function *getFunction() const;
+
+  /// The module containing this instruction, or null if unlinked.
+  Module *getModule() const;
+
+  /// True for branch / return / unreachable.
+  bool isTerminator() const {
+    return getKind() == Kind::Branch || getKind() == Kind::Ret ||
+           getKind() == Kind::Unreachable;
+  }
+
+  /// True if executing this instruction may read from memory.
+  bool mayReadFromMemory() const;
+
+  /// True if executing this instruction may write to memory.
+  bool mayWriteToMemory() const;
+
+  /// True if this reads or writes memory.
+  bool mayReadOrWriteMemory() const {
+    return mayReadFromMemory() || mayWriteToMemory();
+  }
+
+  /// True if this instruction has side effects beyond producing a value
+  /// (stores, calls to unknown functions, terminators).
+  bool mayHaveSideEffects() const;
+
+  /// Unlinks this instruction from its parent block and destroys it.
+  /// All operand uses are dropped; the instruction must have no users.
+  void eraseFromParent();
+
+  /// Unlinks from the parent block without destroying; ownership passes to
+  /// the caller.
+  Instruction *removeFromParent();
+
+  /// Moves this instruction immediately before \p Pos (possibly in another
+  /// block).
+  void moveBefore(Instruction *Pos);
+
+  /// Moves this instruction to the end of \p BB, before its terminator if
+  /// one exists.
+  void moveBeforeTerminator(BasicBlock *BB);
+
+  /// Inserts this (currently unlinked) instruction before \p Pos.
+  void insertBefore(Instruction *Pos);
+
+  /// Inserts this (currently unlinked) instruction at the end of \p BB.
+  void insertAtEnd(BasicBlock *BB);
+
+  /// The instruction after this one in its block, or null if last.
+  Instruction *getNextInst() const;
+
+  /// The instruction before this one in its block, or null if first.
+  Instruction *getPrevInst() const;
+
+  /// Creates an unlinked copy of this instruction with identical operands
+  /// and metadata. The caller owns the result.
+  Instruction *clone() const;
+
+  /// Human-readable opcode name ("load", "add", ...).
+  std::string getOpcodeName() const;
+
+  static bool classof(const Value *V) {
+    return V->getKind() >= Kind::InstFirst && V->getKind() <= Kind::InstLast;
+  }
+
+protected:
+  Instruction(Kind K, Type *Ty) : User(K, Ty) {}
+
+private:
+  BasicBlock *Parent = nullptr;
+};
+
+} // namespace nir
+
+#endif // IR_INSTRUCTION_H

@@ -1,0 +1,342 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Concrete instruction classes of NIR: memory (alloca/load/store/gep),
+/// arithmetic, comparisons, casts, select, phi, control flow, and calls.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IR_INSTRUCTIONS_H
+#define IR_INSTRUCTIONS_H
+
+#include "ir/Constants.h"
+#include "ir/Instruction.h"
+
+namespace nir {
+
+class BasicBlock;
+class Function;
+
+/// Reserves stack storage with the layout of the allocated type; yields a
+/// pointer to it. Allocation happens once per function activation.
+class AllocaInst : public Instruction {
+public:
+  AllocaInst(Type *PtrTy, Type *AllocatedTy)
+      : Instruction(Kind::Alloca, PtrTy), AllocatedTy(AllocatedTy) {}
+
+  Type *getAllocatedType() const { return AllocatedTy; }
+  uint64_t getAllocationSize() const { return AllocatedTy->getStoreSize(); }
+
+  static bool classof(const Value *V) { return V->getKind() == Kind::Alloca; }
+
+private:
+  Type *AllocatedTy;
+};
+
+/// Reads a value of the result type from the pointer operand.
+class LoadInst : public Instruction {
+public:
+  LoadInst(Type *LoadedTy, Value *Ptr) : Instruction(Kind::Load, LoadedTy) {
+    assert(Ptr->getType()->isPointer() && "load requires a pointer operand");
+    addOperand(Ptr);
+  }
+
+  Value *getPointerOperand() const { return getOperand(0); }
+
+  static bool classof(const Value *V) { return V->getKind() == Kind::Load; }
+};
+
+/// Writes the value operand through the pointer operand.
+class StoreInst : public Instruction {
+public:
+  StoreInst(Type *VoidTy, Value *Val, Value *Ptr)
+      : Instruction(Kind::Store, VoidTy) {
+    assert(Ptr->getType()->isPointer() && "store requires a pointer operand");
+    addOperand(Val);
+    addOperand(Ptr);
+  }
+
+  Value *getValueOperand() const { return getOperand(0); }
+  Value *getPointerOperand() const { return getOperand(1); }
+
+  static bool classof(const Value *V) { return V->getKind() == Kind::Store; }
+};
+
+/// Pointer arithmetic: result = base + index * scale (bytes).
+class GEPInst : public Instruction {
+public:
+  GEPInst(Type *PtrTy, Value *Base, Value *Index, uint64_t Scale)
+      : Instruction(Kind::GEP, PtrTy), Scale(Scale) {
+    assert(Base->getType()->isPointer() && "gep base must be a pointer");
+    assert(Index->getType()->isInteger() && "gep index must be an integer");
+    addOperand(Base);
+    addOperand(Index);
+  }
+
+  Value *getBase() const { return getOperand(0); }
+  Value *getIndex() const { return getOperand(1); }
+  uint64_t getScale() const { return Scale; }
+
+  static bool classof(const Value *V) { return V->getKind() == Kind::GEP; }
+
+private:
+  uint64_t Scale;
+};
+
+/// Two-operand arithmetic and bitwise operations.
+class BinaryInst : public Instruction {
+public:
+  enum class Op {
+    Add,
+    Sub,
+    Mul,
+    SDiv,
+    SRem,
+    And,
+    Or,
+    Xor,
+    Shl,
+    AShr,
+    FAdd,
+    FSub,
+    FMul,
+    FDiv,
+  };
+
+  BinaryInst(Op TheOp, Value *LHS, Value *RHS)
+      : Instruction(Kind::Binary, LHS->getType()), TheOp(TheOp) {
+    assert(LHS->getType() == RHS->getType() &&
+           "binary operands must share a type");
+    addOperand(LHS);
+    addOperand(RHS);
+  }
+
+  Op getOp() const { return TheOp; }
+  Value *getLHS() const { return getOperand(0); }
+  Value *getRHS() const { return getOperand(1); }
+
+  bool isFloatingPoint() const { return TheOp >= Op::FAdd; }
+
+  /// True for add/mul/and/or/xor/fadd/fmul.
+  bool isCommutative() const {
+    switch (TheOp) {
+    case Op::Add:
+    case Op::Mul:
+    case Op::And:
+    case Op::Or:
+    case Op::Xor:
+    case Op::FAdd:
+    case Op::FMul:
+      return true;
+    default:
+      return false;
+    }
+  }
+
+  /// True for operations that form a reduction when self-accumulating
+  /// (associative + commutative).
+  bool isAssociative() const {
+    switch (TheOp) {
+    case Op::Add:
+    case Op::Mul:
+    case Op::And:
+    case Op::Or:
+    case Op::Xor:
+    // FP reductions are allowed as in -ffast-math, matching the paper's
+    // parallelizing transformations.
+    case Op::FAdd:
+    case Op::FMul:
+      return true;
+    default:
+      return false;
+    }
+  }
+
+  static const char *opName(Op O);
+
+  static bool classof(const Value *V) { return V->getKind() == Kind::Binary; }
+
+private:
+  Op TheOp;
+};
+
+/// Integer and floating comparisons, yielding i1.
+class CmpInst : public Instruction {
+public:
+  enum class Pred { EQ, NE, SLT, SLE, SGT, SGE, FEQ, FNE, FLT, FLE, FGT, FGE };
+
+  CmpInst(Type *I1Ty, Pred P, Value *LHS, Value *RHS)
+      : Instruction(Kind::Cmp, I1Ty), ThePred(P) {
+    addOperand(LHS);
+    addOperand(RHS);
+  }
+
+  Pred getPred() const { return ThePred; }
+  void setPred(Pred P) { ThePred = P; }
+  Value *getLHS() const { return getOperand(0); }
+  Value *getRHS() const { return getOperand(1); }
+
+  /// The predicate with operands swapped (e.g. SLT -> SGT).
+  static Pred getSwappedPred(Pred P);
+
+  /// The logically negated predicate (e.g. SLT -> SGE).
+  static Pred getInversePred(Pred P);
+
+  static const char *predName(Pred P);
+
+  static bool classof(const Value *V) { return V->getKind() == Kind::Cmp; }
+
+private:
+  Pred ThePred;
+};
+
+/// Value conversions between integer widths, double, and pointers.
+class CastInst : public Instruction {
+public:
+  enum class Op { SExt, ZExt, Trunc, SIToFP, FPToSI, PtrToInt, IntToPtr, Bitcast };
+
+  CastInst(Op TheOp, Value *Val, Type *DestTy)
+      : Instruction(Kind::Cast, DestTy), TheOp(TheOp) {
+    addOperand(Val);
+  }
+
+  Op getOp() const { return TheOp; }
+  Value *getValueOperand() const { return getOperand(0); }
+
+  static const char *opName(Op O);
+
+  static bool classof(const Value *V) { return V->getKind() == Kind::Cast; }
+
+private:
+  Op TheOp;
+};
+
+/// Ternary select: cond ? true-value : false-value.
+class SelectInst : public Instruction {
+public:
+  SelectInst(Value *Cond, Value *TrueV, Value *FalseV)
+      : Instruction(Kind::Select, TrueV->getType()) {
+    assert(TrueV->getType() == FalseV->getType() &&
+           "select arms must share a type");
+    addOperand(Cond);
+    addOperand(TrueV);
+    addOperand(FalseV);
+  }
+
+  Value *getCondition() const { return getOperand(0); }
+  Value *getTrueValue() const { return getOperand(1); }
+  Value *getFalseValue() const { return getOperand(2); }
+
+  static bool classof(const Value *V) { return V->getKind() == Kind::Select; }
+};
+
+/// SSA phi node. Operands alternate [value0, block0, value1, block1, ...].
+class PhiInst : public Instruction {
+public:
+  explicit PhiInst(Type *Ty) : Instruction(Kind::Phi, Ty) {}
+
+  unsigned getNumIncoming() const { return getNumOperands() / 2; }
+
+  Value *getIncomingValue(unsigned I) const { return getOperand(2 * I); }
+  BasicBlock *getIncomingBlock(unsigned I) const;
+
+  void setIncomingValue(unsigned I, Value *V) { setOperand(2 * I, V); }
+  void setIncomingBlock(unsigned I, BasicBlock *BB);
+
+  void addIncoming(Value *V, BasicBlock *BB);
+
+  /// Removes the incoming edge at index \p I.
+  void removeIncoming(unsigned I);
+
+  /// The incoming value for predecessor \p BB; asserts if absent.
+  Value *getIncomingValueForBlock(const BasicBlock *BB) const;
+
+  /// Index of the incoming edge from \p BB, or -1.
+  int getBlockIndex(const BasicBlock *BB) const;
+
+  static bool classof(const Value *V) { return V->getKind() == Kind::Phi; }
+};
+
+/// Conditional or unconditional branch.
+/// Unconditional: operands = [target]. Conditional: [cond, then, else].
+class BranchInst : public Instruction {
+public:
+  /// Unconditional branch.
+  BranchInst(Type *VoidTy, BasicBlock *Target);
+
+  /// Conditional branch.
+  BranchInst(Type *VoidTy, Value *Cond, BasicBlock *Then, BasicBlock *Else);
+
+  bool isConditional() const { return getNumOperands() == 3; }
+
+  Value *getCondition() const {
+    assert(isConditional() && "no condition on an unconditional branch");
+    return getOperand(0);
+  }
+  void setCondition(Value *C) {
+    assert(isConditional());
+    setOperand(0, C);
+  }
+
+  unsigned getNumSuccessors() const { return isConditional() ? 2 : 1; }
+  BasicBlock *getSuccessor(unsigned I) const;
+  void setSuccessor(unsigned I, BasicBlock *BB);
+
+  static bool classof(const Value *V) { return V->getKind() == Kind::Branch; }
+};
+
+/// Direct or indirect call. Operands = [callee, args...].
+class CallInst : public Instruction {
+public:
+  CallInst(Type *RetTy, Value *Callee, const std::vector<Value *> &Args)
+      : Instruction(Kind::Call, RetTy) {
+    addOperand(Callee);
+    for (auto *A : Args)
+      addOperand(A);
+  }
+
+  Value *getCalleeOperand() const { return getOperand(0); }
+
+  /// The statically-known callee, or null for indirect calls.
+  Function *getCalledFunction() const;
+
+  bool isIndirect() const { return getCalledFunction() == nullptr; }
+
+  unsigned getNumArgs() const { return getNumOperands() - 1; }
+  Value *getArg(unsigned I) const { return getOperand(I + 1); }
+  void setArg(unsigned I, Value *V) { setOperand(I + 1, V); }
+
+  static bool classof(const Value *V) { return V->getKind() == Kind::Call; }
+};
+
+/// Function return, with an optional value.
+class RetInst : public Instruction {
+public:
+  explicit RetInst(Type *VoidTy) : Instruction(Kind::Ret, VoidTy) {}
+  RetInst(Type *VoidTy, Value *RetVal) : Instruction(Kind::Ret, VoidTy) {
+    addOperand(RetVal);
+  }
+
+  bool hasReturnValue() const { return getNumOperands() == 1; }
+  Value *getReturnValue() const {
+    assert(hasReturnValue() && "void return has no value");
+    return getOperand(0);
+  }
+
+  static bool classof(const Value *V) { return V->getKind() == Kind::Ret; }
+};
+
+/// Marks an unreachable program point.
+class UnreachableInst : public Instruction {
+public:
+  explicit UnreachableInst(Type *VoidTy)
+      : Instruction(Kind::Unreachable, VoidTy) {}
+
+  static bool classof(const Value *V) {
+    return V->getKind() == Kind::Unreachable;
+  }
+};
+
+} // namespace nir
+
+#endif // IR_INSTRUCTIONS_H

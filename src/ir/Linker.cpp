@@ -1,0 +1,53 @@
+#include "ir/Linker.h"
+
+#include "ir/Parser.h"
+
+#include <set>
+
+using namespace nir;
+
+std::unique_ptr<Module>
+nir::linkModules(Context &Ctx, const std::vector<const Module *> &Mods,
+                 std::string &Error) {
+  // Conflict detection up front, so diagnostics mention symbol names rather
+  // than parse positions.
+  std::set<std::string> DefinedFns;
+  std::set<std::string> InitializedGlobals;
+  for (const Module *M : Mods) {
+    for (const auto &F : M->getFunctions()) {
+      if (F->isDeclaration())
+        continue;
+      if (!DefinedFns.insert(F->getName()).second) {
+        Error = "duplicate definition of function @" + F->getName();
+        return nullptr;
+      }
+    }
+    for (const auto &G : M->getGlobals()) {
+      if (G->getInitWords().empty())
+        continue;
+      if (!InitializedGlobals.insert(G->getName()).second) {
+        Error = "duplicate initialized global @" + G->getName();
+        return nullptr;
+      }
+    }
+  }
+
+  // Linking by print + reparse: the textual format round-trips losslessly
+  // (including metadata), and the parser resolves declarations against
+  // definitions regardless of order.
+  std::string Combined;
+  for (const Module *M : Mods)
+    Combined += M->str() + "\n";
+
+  auto Linked = parseModule(Ctx, Combined, Error);
+  if (!Linked)
+    return nullptr;
+
+  // Merge module metadata explicitly: later modules win.
+  for (const Module *M : Mods)
+    for (const auto &[K, V] : M->getAllModuleMetadata())
+      Linked->setModuleMetadata(K, V);
+  if (!Mods.empty())
+    Linked->setName(Mods.front()->getName() + ".linked");
+  return Linked;
+}

@@ -1,0 +1,31 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Module linker: merges NIR modules into one whole-program module while
+/// preserving NOELLE metadata (substrate of noelle-whole-IR and
+/// noelle-linker).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IR_LINKER_H
+#define IR_LINKER_H
+
+#include "ir/Module.h"
+
+#include <memory>
+
+namespace nir {
+
+/// Links the given modules into a single whole-program module:
+///  - declarations in one module bind to definitions in another;
+///  - duplicate function definitions or duplicate initialized globals are
+///    an error;
+///  - module metadata merges key-wise, later modules winning on conflicts.
+/// Returns null and fills \p Error on failure.
+std::unique_ptr<Module> linkModules(Context &Ctx,
+                                    const std::vector<const Module *> &Mods,
+                                    std::string &Error);
+
+} // namespace nir
+
+#endif // IR_LINKER_H

@@ -1,0 +1,349 @@
+#include "ir/Module.h"
+
+#include "ir/Instructions.h"
+
+#include <map>
+#include <set>
+#include <sstream>
+
+using namespace nir;
+
+Function *Module::createFunction(Type *FnTy, const std::string &Name) {
+  assert(!getFunction(Name) && "function with this name already exists");
+  auto F = std::make_unique<Function>(FnTy, Name);
+  Function *Raw = F.get();
+  Raw->setParent(this);
+  Functions.push_back(std::move(F));
+  return Raw;
+}
+
+Function *Module::getFunction(const std::string &Name) const {
+  for (const auto &F : Functions)
+    if (F->getName() == Name)
+      return F.get();
+  return nullptr;
+}
+
+void Module::eraseFunction(Function *F) {
+  // Neutralize the body first: replace produced values with undef for
+  // any (necessarily dead) users, then drop every operand reference so
+  // blocks and instructions can be destroyed in any order (branches
+  // reference blocks; phis reference values across blocks).
+  for (auto &BB : F->getBlocks())
+    for (auto &I : BB->getInstList())
+      if (I->hasUses())
+        I->replaceAllUsesWith(getContext().getUndef(I->getType()));
+  for (auto &BB : F->getBlocks())
+    for (auto &I : BB->getInstList())
+      I->dropAllOperands();
+  while (!F->getBlocks().empty())
+    F->eraseBlock(F->getBlocks().back().get());
+  for (auto It = Functions.begin(), E = Functions.end(); It != E; ++It)
+    if (It->get() == F) {
+      assert(!F->hasUses() && "erasing a function that is still referenced");
+      Functions.erase(It);
+      return;
+    }
+  assert(false && "function not found in module");
+}
+
+GlobalVariable *Module::createGlobal(Type *ValueTy, const std::string &Name) {
+  assert(!getGlobal(Name) && "global with this name already exists");
+  auto G =
+      std::make_unique<GlobalVariable>(Ctx.getPtrTy(), ValueTy, Name);
+  GlobalVariable *Raw = G.get();
+  Raw->setParent(this);
+  Globals.push_back(std::move(G));
+  return Raw;
+}
+
+GlobalVariable *Module::getGlobal(const std::string &Name) const {
+  for (const auto &G : Globals)
+    if (G->getName() == Name)
+      return G.get();
+  return nullptr;
+}
+
+uint64_t Module::getNumInstructions() const {
+  uint64_t N = 0;
+  for (const auto &F : Functions)
+    N += F->getNumInstructions();
+  return N;
+}
+
+//===----------------------------------------------------------------------===//
+// Textual printer.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Assigns unique printable names to every value in a function.
+class ValueNamer {
+public:
+  explicit ValueNamer(const Function &F) {
+    for (unsigned I = 0; I < F.getNumArgs(); ++I)
+      assign(F.getArg(I));
+    for (const auto &BB : F.getBlocks()) {
+      assignBlock(BB.get());
+      for (const auto &Inst : BB->getInstList())
+        if (!Inst->getType()->isVoid())
+          assign(Inst.get());
+    }
+  }
+
+  std::string nameOf(const Value *V) const {
+    auto It = Names.find(V);
+    assert(It != Names.end() && "value was never named");
+    return It->second;
+  }
+
+  std::string blockName(const BasicBlock *BB) const { return nameOf(BB); }
+
+private:
+  void assign(const Value *V) { Names[V] = unique(V->getName(), "v"); }
+  void assignBlock(const BasicBlock *BB) {
+    Names[BB] = unique(BB->getName(), "bb");
+  }
+
+  std::string unique(const std::string &Hint, const char *Fallback) {
+    std::string Base = Hint.empty() ? Fallback : Hint;
+    std::string Candidate = Base;
+    unsigned Suffix = 0;
+    while (Used.count(Candidate))
+      Candidate = Base + "." + std::to_string(++Suffix);
+    Used.insert(Candidate);
+    return Candidate;
+  }
+
+  std::map<const Value *, std::string> Names;
+  std::set<std::string> Used;
+};
+
+std::string escapeString(const std::string &S) {
+  std::string Out;
+  for (char C : S) {
+    if (C == '"' || C == '\\')
+      Out += '\\';
+    if (C == '\n') {
+      Out += "\\n";
+      continue;
+    }
+    Out += C;
+  }
+  return Out;
+}
+
+/// Renders an operand reference. Constants are printed bare because the
+/// surrounding instruction syntax fixes the expected type.
+std::string operandRef(const Value *V, const ValueNamer &Namer) {
+  if (auto *CI = dyn_cast<ConstantInt>(V))
+    return std::to_string(CI->getValue());
+  if (auto *CF = dyn_cast<ConstantFP>(V)) {
+    std::ostringstream OS;
+    OS.precision(17);
+    double D = CF->getValue();
+    OS << D;
+    std::string S = OS.str();
+    // Guarantee a float-looking token so the parser round-trips the type.
+    if (S.find('.') == std::string::npos &&
+        S.find('e') == std::string::npos &&
+        S.find("inf") == std::string::npos &&
+        S.find("nan") == std::string::npos)
+      S += ".0";
+    return S;
+  }
+  if (isa<UndefValue>(V))
+    return "undef";
+  if (isa<GlobalVariable>(V) || isa<Function>(V))
+    return "@" + V->getName();
+  if (auto *BB = dyn_cast<BasicBlock>(V))
+    return Namer.blockName(BB);
+  return "%" + Namer.nameOf(V);
+}
+
+/// Type of \p V as printed in operand positions: function values decay to
+/// "ptr" so that function pointers round-trip.
+std::string printedTypeOf(const Value *V) {
+  return V->getType()->isFunction() ? "ptr" : V->getType()->str();
+}
+
+void printMetadata(std::ostream &OS, const Value &V, const char *Indent) {
+  for (const auto &[K, Val] : V.getAllMetadata())
+    OS << Indent << "!\"" << escapeString(K) << "\" = \"" << escapeString(Val)
+       << "\"\n";
+}
+
+void printInstruction(std::ostream &OS, const Instruction &I,
+                      const ValueNamer &Namer) {
+  OS << "  ";
+  if (!I.getType()->isVoid())
+    OS << "%" << Namer.nameOf(&I) << " = ";
+
+  auto Ref = [&](const Value *V) { return operandRef(V, Namer); };
+
+  switch (I.getKind()) {
+  case Value::Kind::Alloca:
+    OS << "alloca " << cast<AllocaInst>(&I)->getAllocatedType()->str();
+    break;
+  case Value::Kind::Load: {
+    auto &L = *cast<LoadInst>(&I);
+    OS << "load " << L.getType()->str() << ", " << Ref(L.getPointerOperand());
+    break;
+  }
+  case Value::Kind::Store: {
+    auto &S = *cast<StoreInst>(&I);
+    OS << "store " << printedTypeOf(S.getValueOperand()) << " "
+       << Ref(S.getValueOperand()) << ", " << Ref(S.getPointerOperand());
+    break;
+  }
+  case Value::Kind::GEP: {
+    auto &G = *cast<GEPInst>(&I);
+    OS << "gep " << Ref(G.getBase()) << ", "
+       << G.getIndex()->getType()->str() << " " << Ref(G.getIndex())
+       << ", scale " << G.getScale();
+    break;
+  }
+  case Value::Kind::Binary: {
+    auto &B = *cast<BinaryInst>(&I);
+    OS << BinaryInst::opName(B.getOp()) << " " << B.getType()->str() << " "
+       << Ref(B.getLHS()) << ", " << Ref(B.getRHS());
+    break;
+  }
+  case Value::Kind::Cmp: {
+    auto &C = *cast<CmpInst>(&I);
+    OS << "cmp " << CmpInst::predName(C.getPred()) << " "
+       << C.getLHS()->getType()->str() << " " << Ref(C.getLHS()) << ", "
+       << Ref(C.getRHS());
+    break;
+  }
+  case Value::Kind::Cast: {
+    auto &C = *cast<CastInst>(&I);
+    OS << CastInst::opName(C.getOp()) << " "
+       << printedTypeOf(C.getValueOperand()) << " "
+       << Ref(C.getValueOperand()) << " to " << C.getType()->str();
+    break;
+  }
+  case Value::Kind::Select: {
+    auto &S = *cast<SelectInst>(&I);
+    OS << "select " << Ref(S.getCondition()) << ", " << S.getType()->str()
+       << " " << Ref(S.getTrueValue()) << ", " << Ref(S.getFalseValue());
+    break;
+  }
+  case Value::Kind::Phi: {
+    auto &P = *cast<PhiInst>(&I);
+    OS << "phi " << P.getType()->str();
+    for (unsigned K = 0, E = P.getNumIncoming(); K != E; ++K) {
+      OS << (K ? ", " : " ") << "[" << Ref(P.getIncomingValue(K)) << ", "
+         << Namer.blockName(P.getIncomingBlock(K)) << "]";
+    }
+    break;
+  }
+  case Value::Kind::Branch: {
+    auto &B = *cast<BranchInst>(&I);
+    if (B.isConditional())
+      OS << "br " << Ref(B.getCondition()) << ", label "
+         << Namer.blockName(B.getSuccessor(0)) << ", label "
+         << Namer.blockName(B.getSuccessor(1));
+    else
+      OS << "br label " << Namer.blockName(B.getSuccessor(0));
+    break;
+  }
+  case Value::Kind::Call: {
+    auto &C = *cast<CallInst>(&I);
+    OS << "call " << C.getType()->str() << " ";
+    if (auto *F = C.getCalledFunction())
+      OS << "@" << F->getName();
+    else
+      OS << Ref(C.getCalleeOperand());
+    OS << "(";
+    for (unsigned K = 0, E = C.getNumArgs(); K != E; ++K) {
+      if (K)
+        OS << ", ";
+      OS << printedTypeOf(C.getArg(K)) << " " << Ref(C.getArg(K));
+    }
+    OS << ")";
+    break;
+  }
+  case Value::Kind::Ret: {
+    auto &R = *cast<RetInst>(&I);
+    if (R.hasReturnValue())
+      OS << "ret " << printedTypeOf(R.getReturnValue()) << " "
+         << Ref(R.getReturnValue());
+    else
+      OS << "ret void";
+    break;
+  }
+  case Value::Kind::Unreachable:
+    OS << "unreachable";
+    break;
+  default:
+    assert(false && "unknown instruction kind in printer");
+  }
+
+  // Inline metadata, printed as !"k"="v" suffixes.
+  for (const auto &[K, V] : I.getAllMetadata())
+    OS << " !\"" << escapeString(K) << "\"=\"" << escapeString(V) << "\"";
+  OS << "\n";
+}
+
+} // namespace
+
+void Module::print(std::ostream &OS) const {
+  OS << "module \"" << escapeString(Name) << "\"\n";
+  for (const auto &[K, V] : ModuleMetadata)
+    OS << "meta \"" << escapeString(K) << "\" = \"" << escapeString(V)
+       << "\"\n";
+
+  for (const auto &G : Globals) {
+    OS << "global @" << G->getName() << " : " << G->getValueType()->str();
+    if (!G->getInitWords().empty()) {
+      OS << " = [";
+      for (size_t I = 0; I < G->getInitWords().size(); ++I) {
+        if (I)
+          OS << ", ";
+        OS << G->getInitWords()[I];
+      }
+      OS << "]";
+    }
+    OS << "\n";
+  }
+
+  for (const auto &F : Functions) {
+    if (!F->isDeclaration())
+      continue;
+    OS << "declare @" << F->getName() << "(";
+    for (unsigned I = 0; I < F->getNumArgs(); ++I) {
+      if (I)
+        OS << ", ";
+      OS << F->getArg(I)->getType()->str();
+    }
+    OS << ") -> " << F->getReturnType()->str() << "\n";
+  }
+
+  for (const auto &F : Functions) {
+    if (F->isDeclaration())
+      continue;
+    ValueNamer Namer(*F);
+    OS << "\nfunc @" << F->getName() << "(";
+    for (unsigned I = 0; I < F->getNumArgs(); ++I) {
+      if (I)
+        OS << ", ";
+      OS << "%" << Namer.nameOf(F->getArg(I)) << ": "
+         << F->getArg(I)->getType()->str();
+    }
+    OS << ") -> " << F->getReturnType()->str() << " {\n";
+    printMetadata(OS, *F, "  ");
+    for (const auto &BB : F->getBlocks()) {
+      OS << Namer.blockName(BB.get()) << ":\n";
+      for (const auto &I : BB->getInstList())
+        printInstruction(OS, *I, Namer);
+    }
+    OS << "}\n";
+  }
+}
+
+std::string Module::str() const {
+  std::ostringstream OS;
+  print(OS);
+  return OS.str();
+}

@@ -1,0 +1,98 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Module: a whole program (or linkable fragment) of NIR — functions,
+/// globals, and module-level metadata such as compilation options.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IR_MODULE_H
+#define IR_MODULE_H
+
+#include "ir/Context.h"
+#include "ir/Function.h"
+
+#include <ostream>
+
+namespace nir {
+
+/// The top-level IR container.
+class Module {
+public:
+  explicit Module(Context &Ctx, const std::string &Name = "module")
+      : Ctx(Ctx), Name(Name) {}
+
+  /// Drops every operand reference in the whole module first, so functions
+  /// and globals that reference each other can be destroyed in any order.
+  ~Module() {
+    for (auto &F : Functions)
+      for (auto &BB : F->getBlocks())
+        for (auto &I : BB->getInstList())
+          I->dropAllOperands();
+  }
+
+  Context &getContext() const { return Ctx; }
+  const std::string &getName() const { return Name; }
+  void setName(const std::string &N) { Name = N; }
+
+  /// Creates a function with the given type; a body makes it a definition.
+  Function *createFunction(Type *FnTy, const std::string &Name);
+
+  /// Finds a function by name, or null.
+  Function *getFunction(const std::string &Name) const;
+
+  /// Unlinks and destroys \p F. It must have no remaining users.
+  void eraseFunction(Function *F);
+
+  /// Creates a global variable with the given pointee layout.
+  GlobalVariable *createGlobal(Type *ValueTy, const std::string &Name);
+
+  /// Finds a global by name, or null.
+  GlobalVariable *getGlobal(const std::string &Name) const;
+
+  const std::vector<std::unique_ptr<Function>> &getFunctions() const {
+    return Functions;
+  }
+  const std::vector<std::unique_ptr<GlobalVariable>> &getGlobals() const {
+    return Globals;
+  }
+
+  /// Module-level named metadata (e.g. link options, embedded profiles).
+  void setModuleMetadata(const std::string &Key, const std::string &V) {
+    ModuleMetadata[Key] = V;
+  }
+  std::string getModuleMetadata(const std::string &Key) const {
+    auto It = ModuleMetadata.find(Key);
+    return It == ModuleMetadata.end() ? std::string() : It->second;
+  }
+  bool hasModuleMetadata(const std::string &Key) const {
+    return ModuleMetadata.count(Key) != 0;
+  }
+  void removeModuleMetadata(const std::string &Key) {
+    ModuleMetadata.erase(Key);
+  }
+  const std::map<std::string, std::string> &getAllModuleMetadata() const {
+    return ModuleMetadata;
+  }
+
+  /// Total instruction count over all function definitions.
+  uint64_t getNumInstructions() const;
+
+  /// Prints the module in textual IR form.
+  void print(std::ostream &OS) const;
+
+  /// Renders the module as a string (the "serialized binary" for size
+  /// measurements).
+  std::string str() const;
+
+private:
+  Context &Ctx;
+  std::string Name;
+  std::vector<std::unique_ptr<Function>> Functions;
+  std::vector<std::unique_ptr<GlobalVariable>> Globals;
+  std::map<std::string, std::string> ModuleMetadata;
+};
+
+} // namespace nir
+
+#endif // IR_MODULE_H

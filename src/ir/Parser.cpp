@@ -1,0 +1,837 @@
+#include "ir/Parser.h"
+
+#include "ir/Instructions.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <sstream>
+
+using namespace nir;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Lexer
+//===----------------------------------------------------------------------===//
+
+enum class TokKind {
+  End,
+  Ident,     // foo, label names, keywords
+  LocalRef,  // %name
+  GlobalRef, // @name
+  Integer,   // 42, -7
+  Float,     // 3.5, -1e9
+  String,    // "..."
+  LParen,
+  RParen,
+  LBracket,
+  RBracket,
+  LBrace,
+  RBrace,
+  Comma,
+  Colon,
+  Equals,
+  Bang,
+  Arrow, // ->
+};
+
+struct Token {
+  TokKind Kind = TokKind::End;
+  std::string Text;
+  int64_t IntVal = 0;
+  double FloatVal = 0;
+  unsigned Line = 0;
+};
+
+class Lexer {
+public:
+  explicit Lexer(const std::string &Text) : Text(Text) {}
+
+  Token next() {
+    skipWhitespaceAndComments();
+    Token T;
+    T.Line = Line;
+    if (Pos >= Text.size()) {
+      T.Kind = TokKind::End;
+      return T;
+    }
+    char C = Text[Pos];
+    if (C == '%' || C == '@') {
+      ++Pos;
+      T.Kind = C == '%' ? TokKind::LocalRef : TokKind::GlobalRef;
+      T.Text = lexIdentBody();
+      return T;
+    }
+    if (std::isalpha(static_cast<unsigned char>(C)) || C == '_' || C == '.') {
+      T.Kind = TokKind::Ident;
+      T.Text = lexIdentBody();
+      return T;
+    }
+    if (std::isdigit(static_cast<unsigned char>(C)) ||
+        (C == '-' && Pos + 1 < Text.size() &&
+         (std::isdigit(static_cast<unsigned char>(Text[Pos + 1])) ||
+          Text[Pos + 1] == '.'))) {
+      return lexNumber();
+    }
+    if (C == '"')
+      return lexString();
+    ++Pos;
+    switch (C) {
+    case '(':
+      T.Kind = TokKind::LParen;
+      return T;
+    case ')':
+      T.Kind = TokKind::RParen;
+      return T;
+    case '[':
+      T.Kind = TokKind::LBracket;
+      return T;
+    case ']':
+      T.Kind = TokKind::RBracket;
+      return T;
+    case '{':
+      T.Kind = TokKind::LBrace;
+      return T;
+    case '}':
+      T.Kind = TokKind::RBrace;
+      return T;
+    case ',':
+      T.Kind = TokKind::Comma;
+      return T;
+    case ':':
+      T.Kind = TokKind::Colon;
+      return T;
+    case '=':
+      T.Kind = TokKind::Equals;
+      return T;
+    case '!':
+      T.Kind = TokKind::Bang;
+      return T;
+    case '-':
+      if (Pos < Text.size() && Text[Pos] == '>') {
+        ++Pos;
+        T.Kind = TokKind::Arrow;
+        return T;
+      }
+      break;
+    default:
+      break;
+    }
+    T.Kind = TokKind::End;
+    T.Text = std::string(1, C);
+    return T;
+  }
+
+private:
+  void skipWhitespaceAndComments() {
+    while (Pos < Text.size()) {
+      char C = Text[Pos];
+      if (C == '\n') {
+        ++Line;
+        ++Pos;
+      } else if (std::isspace(static_cast<unsigned char>(C))) {
+        ++Pos;
+      } else if (C == ';') {
+        while (Pos < Text.size() && Text[Pos] != '\n')
+          ++Pos;
+      } else {
+        break;
+      }
+    }
+  }
+
+  std::string lexIdentBody() {
+    size_t Start = Pos;
+    while (Pos < Text.size() &&
+           (std::isalnum(static_cast<unsigned char>(Text[Pos])) ||
+            Text[Pos] == '_' || Text[Pos] == '.'))
+      ++Pos;
+    return Text.substr(Start, Pos - Start);
+  }
+
+  Token lexNumber() {
+    Token T;
+    T.Line = Line;
+    size_t Start = Pos;
+    if (Text[Pos] == '-')
+      ++Pos;
+    bool IsFloat = false;
+    while (Pos < Text.size()) {
+      char C = Text[Pos];
+      if (std::isdigit(static_cast<unsigned char>(C))) {
+        ++Pos;
+      } else if (C == '.' || C == 'e' || C == 'E') {
+        IsFloat = true;
+        ++Pos;
+        if (Pos < Text.size() && (Text[Pos] == '+' || Text[Pos] == '-') &&
+            (C == 'e' || C == 'E'))
+          ++Pos;
+      } else {
+        break;
+      }
+    }
+    std::string S = Text.substr(Start, Pos - Start);
+    if (IsFloat) {
+      T.Kind = TokKind::Float;
+      T.FloatVal = std::strtod(S.c_str(), nullptr);
+    } else {
+      T.Kind = TokKind::Integer;
+      T.IntVal = std::strtoll(S.c_str(), nullptr, 10);
+    }
+    return T;
+  }
+
+  Token lexString() {
+    Token T;
+    T.Line = Line;
+    T.Kind = TokKind::String;
+    ++Pos; // opening quote
+    while (Pos < Text.size() && Text[Pos] != '"') {
+      char C = Text[Pos++];
+      if (C == '\\' && Pos < Text.size()) {
+        char E = Text[Pos++];
+        if (E == 'n')
+          T.Text += '\n';
+        else
+          T.Text += E;
+      } else {
+        T.Text += C;
+      }
+    }
+    if (Pos < Text.size())
+      ++Pos; // closing quote
+    return T;
+  }
+
+  const std::string &Text;
+  size_t Pos = 0;
+  unsigned Line = 1;
+};
+
+//===----------------------------------------------------------------------===//
+// Parser
+//===----------------------------------------------------------------------===//
+
+/// Placeholder for a %value referenced before its definition.
+class ForwardRef : public Value {
+public:
+  explicit ForwardRef(Type *Ty) : Value(Kind::Undef, Ty) {}
+};
+
+class Parser {
+public:
+  Parser(Context &Ctx, const std::string &Text) : Ctx(Ctx) {
+    Lexer Lex(Text);
+    for (;;) {
+      Token T = Lex.next();
+      Toks.push_back(T);
+      if (T.Kind == TokKind::End)
+        break;
+    }
+  }
+
+  std::unique_ptr<Module> run(std::string &Error) {
+    auto M = std::make_unique<Module>(Ctx);
+    TheModule = M.get();
+    while (!failed() && peek().Kind != TokKind::End) {
+      const Token &T = peek();
+      if (T.Kind == TokKind::Ident && T.Text == "module") {
+        advance();
+        M->setName(expectString("module name"));
+      } else if (T.Kind == TokKind::Ident && T.Text == "meta") {
+        advance();
+        std::string K = expectString("metadata key");
+        expect(TokKind::Equals, "=");
+        std::string V = expectString("metadata value");
+        M->setModuleMetadata(K, V);
+      } else if (T.Kind == TokKind::Ident && T.Text == "global") {
+        parseGlobal();
+      } else if (T.Kind == TokKind::Ident && T.Text == "declare") {
+        parseDeclare();
+      } else if (T.Kind == TokKind::Ident && T.Text == "func") {
+        parseFunction();
+      } else {
+        fail("unexpected token at top level: '" + T.Text + "'");
+      }
+    }
+    if (failed()) {
+      Error = ErrorMsg;
+      return nullptr;
+    }
+    return M;
+  }
+
+private:
+  const Token &peek(unsigned Ahead = 0) const {
+    size_t I = Cursor + Ahead;
+    return I < Toks.size() ? Toks[I] : Toks.back();
+  }
+  Token advance() { return Toks[std::min(Cursor++, Toks.size() - 1)]; }
+
+  bool failed() const { return !ErrorMsg.empty(); }
+
+  void fail(const std::string &Msg) {
+    if (ErrorMsg.empty()) {
+      std::ostringstream OS;
+      OS << "line " << peek().Line << ": " << Msg;
+      ErrorMsg = OS.str();
+    }
+  }
+
+  Token expect(TokKind K, const char *What) {
+    if (peek().Kind != K) {
+      fail(std::string("expected ") + What);
+      return Token{};
+    }
+    return advance();
+  }
+
+  std::string expectString(const char *What) {
+    return expect(TokKind::String, What).Text;
+  }
+
+  std::string expectIdent(const char *What) {
+    return expect(TokKind::Ident, What).Text;
+  }
+
+  bool consumeIdent(const char *Kw) {
+    if (peek().Kind == TokKind::Ident && peek().Text == Kw) {
+      advance();
+      return true;
+    }
+    return false;
+  }
+
+  Type *parseType() {
+    if (peek().Kind == TokKind::LBracket) {
+      advance();
+      Token N = expect(TokKind::Integer, "array length");
+      if (!consumeIdent("x"))
+        fail("expected 'x' in array type");
+      Type *Elem = parseType();
+      expect(TokKind::RBracket, "]");
+      if (failed())
+        return Ctx.getInt64Ty();
+      return Ctx.getArrayTy(Elem, static_cast<uint64_t>(N.IntVal));
+    }
+    std::string Name = expectIdent("type");
+    if (Name == "void")
+      return Ctx.getVoidTy();
+    if (Name == "i1")
+      return Ctx.getInt1Ty();
+    if (Name == "i8")
+      return Ctx.getInt8Ty();
+    if (Name == "i32")
+      return Ctx.getInt32Ty();
+    if (Name == "i64")
+      return Ctx.getInt64Ty();
+    if (Name == "double")
+      return Ctx.getDoubleTy();
+    if (Name == "ptr")
+      return Ctx.getPtrTy();
+    fail("unknown type '" + Name + "'");
+    return Ctx.getInt64Ty();
+  }
+
+  void parseGlobal() {
+    advance(); // 'global'
+    std::string Name = expect(TokKind::GlobalRef, "@name").Text;
+    expect(TokKind::Colon, ":");
+    Type *ValueTy = parseType();
+    if (failed())
+      return;
+    GlobalVariable *G = TheModule->getGlobal(Name);
+    if (G) {
+      // Re-declaration (e.g. while linking): types must agree.
+      if (G->getValueType() != ValueTy) {
+        fail("conflicting types for global @" + Name);
+        return;
+      }
+    } else {
+      G = TheModule->createGlobal(ValueTy, Name);
+    }
+    if (peek().Kind == TokKind::Equals) {
+      advance();
+      expect(TokKind::LBracket, "[");
+      std::vector<int64_t> Words;
+      if (peek().Kind != TokKind::RBracket) {
+        for (;;) {
+          Token V = advance();
+          if (V.Kind == TokKind::Integer)
+            Words.push_back(V.IntVal);
+          else if (V.Kind == TokKind::Float) {
+            int64_t Bits;
+            double D = V.FloatVal;
+            static_assert(sizeof(Bits) == sizeof(D));
+            std::memcpy(&Bits, &D, sizeof(Bits));
+            Words.push_back(Bits);
+          } else {
+            fail("expected constant in global initializer");
+            return;
+          }
+          if (peek().Kind != TokKind::Comma)
+            break;
+          advance();
+        }
+      }
+      expect(TokKind::RBracket, "]");
+      if (!G->getInitWords().empty() && G->getInitWords() != Words) {
+        fail("conflicting initializers for global @" + Name);
+        return;
+      }
+      G->setInitWords(std::move(Words));
+    }
+  }
+
+  void parseDeclare() {
+    advance(); // 'declare'
+    std::string Name = expect(TokKind::GlobalRef, "@name").Text;
+    expect(TokKind::LParen, "(");
+    std::vector<Type *> Params;
+    if (peek().Kind != TokKind::RParen) {
+      for (;;) {
+        Params.push_back(parseType());
+        if (peek().Kind != TokKind::Comma)
+          break;
+        advance();
+      }
+    }
+    expect(TokKind::RParen, ")");
+    expect(TokKind::Arrow, "->");
+    Type *Ret = parseType();
+    if (failed())
+      return;
+    Type *FnTy = Ctx.getFunctionTy(Ret, Params);
+    if (Function *Existing = TheModule->getFunction(Name)) {
+      // Re-declaration (e.g. while linking): types must agree.
+      if (Existing->getFunctionType() != FnTy)
+        fail("conflicting types for function @" + Name);
+      return;
+    }
+    TheModule->createFunction(FnTy, Name);
+  }
+
+  void parseFunction() {
+    advance(); // 'func'
+    std::string Name = expect(TokKind::GlobalRef, "@name").Text;
+    expect(TokKind::LParen, "(");
+    std::vector<Type *> Params;
+    std::vector<std::string> ParamNames;
+    if (peek().Kind != TokKind::RParen) {
+      for (;;) {
+        std::string PName = expect(TokKind::LocalRef, "%param").Text;
+        expect(TokKind::Colon, ":");
+        Params.push_back(parseType());
+        ParamNames.push_back(PName);
+        if (peek().Kind != TokKind::Comma)
+          break;
+        advance();
+      }
+    }
+    expect(TokKind::RParen, ")");
+    expect(TokKind::Arrow, "->");
+    Type *Ret = parseType();
+    expect(TokKind::LBrace, "{");
+    if (failed())
+      return;
+
+    Function *F = TheModule->getFunction(Name);
+    if (F) {
+      if (!F->isDeclaration()) {
+        fail("redefinition of function @" + Name);
+        return;
+      }
+    } else {
+      F = TheModule->createFunction(Ctx.getFunctionTy(Ret, Params), Name);
+    }
+    CurFn = F;
+    Locals.clear();
+    Pending.clear();
+    BlockMap.clear();
+
+    for (unsigned I = 0; I < F->getNumArgs(); ++I) {
+      F->getArg(I)->setName(ParamNames[I]);
+      Locals[ParamNames[I]] = F->getArg(I);
+    }
+
+    // Pre-scan for labels so blocks exist (in definition order) before any
+    // branch references them.
+    for (size_t I = Cursor; I < Toks.size(); ++I) {
+      if (Toks[I].Kind == TokKind::RBrace)
+        break;
+      if (Toks[I].Kind == TokKind::Ident && I + 1 < Toks.size() &&
+          Toks[I + 1].Kind == TokKind::Colon &&
+          // Exclude "%x : T" param-like patterns (none in bodies) and
+          // ensure it's a line-leading label: previous token ends a line.
+          isLabelPosition(I)) {
+        if (!BlockMap.count(Toks[I].Text))
+          BlockMap[Toks[I].Text] = F->createBlock(Toks[I].Text);
+      }
+    }
+
+    BasicBlock *CurBB = nullptr;
+    while (!failed() && peek().Kind != TokKind::RBrace &&
+           peek().Kind != TokKind::End) {
+      if (peek().Kind == TokKind::Ident && peek(1).Kind == TokKind::Colon &&
+          BlockMap.count(peek().Text)) {
+        CurBB = BlockMap[peek().Text];
+        advance();
+        advance();
+        continue;
+      }
+      if (peek().Kind == TokKind::Bang) {
+        // Function-level metadata: !"k" = "v"
+        advance();
+        std::string K = expectString("metadata key");
+        expect(TokKind::Equals, "=");
+        std::string V = expectString("metadata value");
+        F->setMetadata(K, V);
+        continue;
+      }
+      if (!CurBB) {
+        fail("instruction before any block label");
+        return;
+      }
+      parseInstruction(CurBB);
+    }
+    expect(TokKind::RBrace, "}");
+
+    for (auto &[Nm, FR] : Pending) {
+      if (FR->hasUses()) {
+        fail("use of undefined value %" + Nm);
+        FR->replaceAllUsesWith(Ctx.getUndef(FR->getType()));
+      }
+      delete FR;
+    }
+    Pending.clear();
+  }
+
+  /// A token at index \p I is a label if it starts a line (different line
+  /// from the previous non-end token) or begins the body.
+  bool isLabelPosition(size_t I) const {
+    if (I == 0)
+      return true;
+    const Token &Prev = Toks[I - 1];
+    return Prev.Kind == TokKind::LBrace || Prev.Line < Toks[I].Line;
+  }
+
+  Value *lookupOperand(const std::string &Name, Type *ExpectedTy) {
+    auto It = Locals.find(Name);
+    if (It != Locals.end())
+      return It->second;
+    auto P = Pending.find(Name);
+    if (P != Pending.end())
+      return P->second;
+    auto *FR = new ForwardRef(ExpectedTy);
+    Pending[Name] = FR;
+    return FR;
+  }
+
+  void defineLocal(const std::string &Name, Value *V) {
+    if (Locals.count(Name)) {
+      fail("redefinition of %" + Name);
+      return;
+    }
+    Locals[Name] = V;
+    auto P = Pending.find(Name);
+    if (P != Pending.end()) {
+      P->second->replaceAllUsesWith(V);
+      delete P->second;
+      Pending.erase(P);
+    }
+  }
+
+  /// Parses an operand whose type is known from context.
+  Value *parseOperand(Type *ExpectedTy) {
+    const Token &T = peek();
+    switch (T.Kind) {
+    case TokKind::LocalRef:
+      advance();
+      return lookupOperand(T.Text, ExpectedTy);
+    case TokKind::GlobalRef: {
+      advance();
+      if (auto *G = TheModule->getGlobal(T.Text))
+        return G;
+      if (auto *F = TheModule->getFunction(T.Text))
+        return F;
+      fail("unknown global @" + T.Text);
+      return Ctx.getUndef(ExpectedTy);
+    }
+    case TokKind::Integer:
+      advance();
+      if (ExpectedTy->isDouble())
+        return Ctx.getConstantFP(static_cast<double>(T.IntVal));
+      if (ExpectedTy->isInteger())
+        return Ctx.getConstantInt(ExpectedTy, T.IntVal);
+      fail("integer literal where non-integer operand expected");
+      return Ctx.getUndef(ExpectedTy);
+    case TokKind::Float:
+      advance();
+      if (!ExpectedTy->isDouble()) {
+        fail("float literal where non-double operand expected");
+        return Ctx.getUndef(ExpectedTy);
+      }
+      return Ctx.getConstantFP(T.FloatVal);
+    case TokKind::Ident:
+      if (T.Text == "undef") {
+        advance();
+        return Ctx.getUndef(ExpectedTy);
+      }
+      if (T.Text == "true" || T.Text == "false") {
+        advance();
+        return Ctx.getInt1(T.Text == "true");
+      }
+      fail("unexpected identifier '" + T.Text + "' as operand");
+      return Ctx.getUndef(ExpectedTy);
+    default:
+      fail("expected operand");
+      return Ctx.getUndef(ExpectedTy);
+    }
+  }
+
+  BasicBlock *parseBlockRef() {
+    std::string Name = expectIdent("block label");
+    auto It = BlockMap.find(Name);
+    if (It == BlockMap.end()) {
+      fail("unknown block label '" + Name + "'");
+      return nullptr;
+    }
+    return It->second;
+  }
+
+  void parseInstruction(BasicBlock *BB) {
+    std::string ResultName;
+    bool HasResult = false;
+    if (peek().Kind == TokKind::LocalRef) {
+      ResultName = advance().Text;
+      expect(TokKind::Equals, "=");
+      HasResult = true;
+    }
+    std::string Op = expectIdent("opcode");
+    if (failed())
+      return;
+
+    Instruction *I = parseOpcode(Op, BB);
+    if (failed() || !I)
+      return;
+    BB->push_back(std::unique_ptr<Instruction>(I));
+
+    if (HasResult) {
+      I->setName(ResultName);
+      defineLocal(ResultName, I);
+    }
+
+    // Optional trailing metadata suffixes: !"k"="v".
+    while (peek().Kind == TokKind::Bang) {
+      advance();
+      std::string K = expectString("metadata key");
+      expect(TokKind::Equals, "=");
+      std::string V = expectString("metadata value");
+      I->setMetadata(K, V);
+    }
+  }
+
+  Instruction *parseOpcode(const std::string &Op, BasicBlock *BB) {
+    using BOp = BinaryInst::Op;
+    using COp = CastInst::Op;
+
+    static const std::map<std::string, BOp> BinOps = {
+        {"add", BOp::Add},   {"sub", BOp::Sub},   {"mul", BOp::Mul},
+        {"sdiv", BOp::SDiv}, {"srem", BOp::SRem}, {"and", BOp::And},
+        {"or", BOp::Or},     {"xor", BOp::Xor},   {"shl", BOp::Shl},
+        {"ashr", BOp::AShr}, {"fadd", BOp::FAdd}, {"fsub", BOp::FSub},
+        {"fmul", BOp::FMul}, {"fdiv", BOp::FDiv}};
+    static const std::map<std::string, COp> CastOps = {
+        {"sext", COp::SExt},         {"zext", COp::ZExt},
+        {"trunc", COp::Trunc},       {"sitofp", COp::SIToFP},
+        {"fptosi", COp::FPToSI},     {"ptrtoint", COp::PtrToInt},
+        {"inttoptr", COp::IntToPtr}, {"bitcast", COp::Bitcast}};
+    static const std::map<std::string, CmpInst::Pred> Preds = {
+        {"eq", CmpInst::Pred::EQ},   {"ne", CmpInst::Pred::NE},
+        {"slt", CmpInst::Pred::SLT}, {"sle", CmpInst::Pred::SLE},
+        {"sgt", CmpInst::Pred::SGT}, {"sge", CmpInst::Pred::SGE},
+        {"feq", CmpInst::Pred::FEQ}, {"fne", CmpInst::Pred::FNE},
+        {"flt", CmpInst::Pred::FLT}, {"fle", CmpInst::Pred::FLE},
+        {"fgt", CmpInst::Pred::FGT}, {"fge", CmpInst::Pred::FGE}};
+
+    if (Op == "alloca") {
+      Type *Ty = parseType();
+      return new AllocaInst(Ctx.getPtrTy(), Ty);
+    }
+    if (Op == "load") {
+      Type *Ty = parseType();
+      expect(TokKind::Comma, ",");
+      Value *Ptr = parseOperand(Ctx.getPtrTy());
+      return new LoadInst(Ty, Ptr);
+    }
+    if (Op == "store") {
+      Type *Ty = parseType();
+      Value *V = parseOperand(Ty);
+      expect(TokKind::Comma, ",");
+      Value *Ptr = parseOperand(Ctx.getPtrTy());
+      return new StoreInst(Ctx.getVoidTy(), V, Ptr);
+    }
+    if (Op == "gep") {
+      Value *Base = parseOperand(Ctx.getPtrTy());
+      expect(TokKind::Comma, ",");
+      Type *IdxTy = parseType();
+      Value *Idx = parseOperand(IdxTy);
+      expect(TokKind::Comma, ",");
+      if (!consumeIdent("scale"))
+        fail("expected 'scale' in gep");
+      Token S = expect(TokKind::Integer, "scale value");
+      return new GEPInst(Ctx.getPtrTy(), Base, Idx,
+                         static_cast<uint64_t>(S.IntVal));
+    }
+    if (auto It = BinOps.find(Op); It != BinOps.end()) {
+      Type *Ty = parseType();
+      Value *L = parseOperand(Ty);
+      expect(TokKind::Comma, ",");
+      Value *R = parseOperand(Ty);
+      return new BinaryInst(It->second, L, R);
+    }
+    if (Op == "cmp") {
+      std::string PredName = expectIdent("cmp predicate");
+      auto It = Preds.find(PredName);
+      if (It == Preds.end()) {
+        fail("unknown cmp predicate '" + PredName + "'");
+        return nullptr;
+      }
+      Type *Ty = parseType();
+      Value *L = parseOperand(Ty);
+      expect(TokKind::Comma, ",");
+      Value *R = parseOperand(Ty);
+      return new CmpInst(Ctx.getInt1Ty(), It->second, L, R);
+    }
+    if (auto It = CastOps.find(Op); It != CastOps.end()) {
+      Type *SrcTy = parseType();
+      Value *V = parseOperand(SrcTy);
+      if (!consumeIdent("to"))
+        fail("expected 'to' in cast");
+      Type *DstTy = parseType();
+      return new CastInst(It->second, V, DstTy);
+    }
+    if (Op == "select") {
+      Value *C = parseOperand(Ctx.getInt1Ty());
+      expect(TokKind::Comma, ",");
+      Type *Ty = parseType();
+      Value *T = parseOperand(Ty);
+      expect(TokKind::Comma, ",");
+      Value *F = parseOperand(Ty);
+      return new SelectInst(C, T, F);
+    }
+    if (Op == "phi") {
+      Type *Ty = parseType();
+      auto *P = new PhiInst(Ty);
+      for (;;) {
+        expect(TokKind::LBracket, "[");
+        Value *V = parseOperand(Ty);
+        expect(TokKind::Comma, ",");
+        BasicBlock *In = parseBlockRef();
+        expect(TokKind::RBracket, "]");
+        if (failed()) {
+          delete P;
+          return nullptr;
+        }
+        P->addIncoming(V, In);
+        if (peek().Kind != TokKind::Comma)
+          break;
+        advance();
+      }
+      return P;
+    }
+    if (Op == "br") {
+      if (consumeIdent("label")) {
+        BasicBlock *T = parseBlockRef();
+        if (failed())
+          return nullptr;
+        return new BranchInst(Ctx.getVoidTy(), T);
+      }
+      Value *C = parseOperand(Ctx.getInt1Ty());
+      expect(TokKind::Comma, ",");
+      if (!consumeIdent("label"))
+        fail("expected 'label'");
+      BasicBlock *T = parseBlockRef();
+      expect(TokKind::Comma, ",");
+      if (!consumeIdent("label"))
+        fail("expected 'label'");
+      BasicBlock *E = parseBlockRef();
+      if (failed())
+        return nullptr;
+      return new BranchInst(Ctx.getVoidTy(), C, T, E);
+    }
+    if (Op == "call") {
+      Type *RetTy = parseType();
+      Value *Callee = nullptr;
+      if (peek().Kind == TokKind::GlobalRef) {
+        std::string Name = advance().Text;
+        Callee = TheModule->getFunction(Name);
+        if (!Callee) {
+          fail("call to unknown function @" + Name);
+          return nullptr;
+        }
+      } else {
+        Callee = parseOperand(Ctx.getPtrTy());
+      }
+      expect(TokKind::LParen, "(");
+      std::vector<Value *> Args;
+      if (peek().Kind != TokKind::RParen) {
+        for (;;) {
+          Type *ArgTy = parseType();
+          Args.push_back(parseOperand(ArgTy));
+          if (peek().Kind != TokKind::Comma)
+            break;
+          advance();
+        }
+      }
+      expect(TokKind::RParen, ")");
+      return new CallInst(RetTy, Callee, Args);
+    }
+    if (Op == "ret") {
+      if (consumeIdent("void"))
+        return new RetInst(Ctx.getVoidTy());
+      Type *Ty = parseType();
+      Value *V = parseOperand(Ty);
+      return new RetInst(Ctx.getVoidTy(), V);
+    }
+    if (Op == "unreachable")
+      return new UnreachableInst(Ctx.getVoidTy());
+
+    fail("unknown opcode '" + Op + "'");
+    return nullptr;
+  }
+
+  Context &Ctx;
+  Module *TheModule = nullptr;
+  Function *CurFn = nullptr;
+  std::vector<Token> Toks;
+  size_t Cursor = 0;
+  std::string ErrorMsg;
+  std::map<std::string, Value *> Locals;
+  std::map<std::string, ForwardRef *> Pending;
+  std::map<std::string, BasicBlock *> BlockMap;
+};
+
+} // namespace
+
+std::unique_ptr<Module> nir::parseModule(Context &Ctx,
+                                         const std::string &Text,
+                                         std::string &Error) {
+  Parser P(Ctx, Text);
+  return P.run(Error);
+}
+
+std::unique_ptr<Module> nir::parseModuleOrDie(Context &Ctx,
+                                              const std::string &Text) {
+  std::string Error;
+  auto M = parseModule(Ctx, Text, Error);
+  if (!M) {
+    std::fprintf(stderr, "IR parse error: %s\n", Error.c_str());
+    std::abort();
+  }
+  return M;
+}

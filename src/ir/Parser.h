@@ -1,0 +1,31 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parser for the NIR textual format produced by Module::print. Supports
+/// round-tripping: parse(print(M)) is structurally identical to M.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IR_PARSER_H
+#define IR_PARSER_H
+
+#include "ir/Module.h"
+
+#include <memory>
+#include <string>
+
+namespace nir {
+
+/// Parses \p Text into a new Module. On failure returns null and fills
+/// \p Error with a line-numbered diagnostic.
+std::unique_ptr<Module> parseModule(Context &Ctx, const std::string &Text,
+                                    std::string &Error);
+
+/// Convenience overload that asserts on parse errors; for tests and
+/// internal fixtures.
+std::unique_ptr<Module> parseModuleOrDie(Context &Ctx,
+                                         const std::string &Text);
+
+} // namespace nir
+
+#endif // IR_PARSER_H

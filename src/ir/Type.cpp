@@ -1,0 +1,61 @@
+#include "ir/Type.h"
+
+#include <sstream>
+
+using namespace nir;
+
+uint64_t Type::getStoreSize() const {
+  switch (TheKind) {
+  case Kind::Void:
+    return 0;
+  case Kind::Int1:
+  case Kind::Int8:
+    return 1;
+  case Kind::Int32:
+    return 4;
+  case Kind::Int64:
+  case Kind::Double:
+  case Kind::Ptr:
+  case Kind::Function:
+    return 8;
+  case Kind::Array:
+    return ArrayLength * ContainedTypes[0]->getStoreSize();
+  }
+  return 0;
+}
+
+std::string Type::str() const {
+  switch (TheKind) {
+  case Kind::Void:
+    return "void";
+  case Kind::Int1:
+    return "i1";
+  case Kind::Int8:
+    return "i8";
+  case Kind::Int32:
+    return "i32";
+  case Kind::Int64:
+    return "i64";
+  case Kind::Double:
+    return "double";
+  case Kind::Ptr:
+    return "ptr";
+  case Kind::Array: {
+    std::ostringstream OS;
+    OS << "[" << ArrayLength << " x " << ContainedTypes[0]->str() << "]";
+    return OS.str();
+  }
+  case Kind::Function: {
+    std::ostringstream OS;
+    OS << ContainedTypes[0]->str() << "(";
+    for (size_t I = 0; I < ParamTypes.size(); ++I) {
+      if (I)
+        OS << ", ";
+      OS << ParamTypes[I]->str();
+    }
+    OS << ")";
+    return OS.str();
+  }
+  }
+  return "<?>";
+}

@@ -1,0 +1,112 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The NIR type system: primitive types (void, i1, i8, i32, i64, double),
+/// an opaque pointer type, array types, and function types. Types are
+/// uniqued and owned by a Context.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IR_TYPE_H
+#define IR_TYPE_H
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace nir {
+
+class Context;
+
+/// A uniqued, immutable type. Obtain instances through Context.
+class Type {
+public:
+  enum class Kind {
+    Void,
+    Int1,
+    Int8,
+    Int32,
+    Int64,
+    Double,
+    Ptr,      ///< Opaque pointer (modern-LLVM style).
+    Array,    ///< [N x Elem]; used for globals and allocas.
+    Function, ///< Ret(Args...).
+  };
+
+  Kind getKind() const { return TheKind; }
+
+  bool isVoid() const { return TheKind == Kind::Void; }
+  bool isInteger() const {
+    return TheKind == Kind::Int1 || TheKind == Kind::Int8 ||
+           TheKind == Kind::Int32 || TheKind == Kind::Int64;
+  }
+  bool isDouble() const { return TheKind == Kind::Double; }
+  bool isPointer() const { return TheKind == Kind::Ptr; }
+  bool isArray() const { return TheKind == Kind::Array; }
+  bool isFunction() const { return TheKind == Kind::Function; }
+
+  /// Bit width for integer types.
+  unsigned getIntegerBitWidth() const {
+    switch (TheKind) {
+    case Kind::Int1:
+      return 1;
+    case Kind::Int8:
+      return 8;
+    case Kind::Int32:
+      return 32;
+    case Kind::Int64:
+      return 64;
+    default:
+      assert(false && "not an integer type");
+      return 0;
+    }
+  }
+
+  /// Size in bytes when stored in memory (the interpreter's ABI).
+  uint64_t getStoreSize() const;
+
+  /// Array element type; valid only for arrays.
+  Type *getArrayElementType() const {
+    assert(isArray() && "not an array type");
+    return ContainedTypes[0];
+  }
+
+  /// Array element count; valid only for arrays.
+  uint64_t getArrayNumElements() const {
+    assert(isArray() && "not an array type");
+    return ArrayLength;
+  }
+
+  /// Function return type; valid only for function types.
+  Type *getReturnType() const {
+    assert(isFunction() && "not a function type");
+    return ContainedTypes[0];
+  }
+
+  /// Function parameter types; valid only for function types.
+  const std::vector<Type *> &getParamTypes() const {
+    assert(isFunction() && "not a function type");
+    return ParamTypes;
+  }
+
+  unsigned getNumParams() const {
+    return static_cast<unsigned>(getParamTypes().size());
+  }
+
+  /// Renders the type in textual IR syntax (e.g. "i64", "[16 x double]").
+  std::string str() const;
+
+private:
+  friend class Context;
+  explicit Type(Kind K) : TheKind(K) {}
+
+  Kind TheKind;
+  std::vector<Type *> ContainedTypes; ///< [elem] for arrays, [ret] for fns.
+  std::vector<Type *> ParamTypes;     ///< Function parameters.
+  uint64_t ArrayLength = 0;
+};
+
+} // namespace nir
+
+#endif // IR_TYPE_H

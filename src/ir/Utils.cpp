@@ -1,0 +1,112 @@
+#include "ir/Utils.h"
+
+#include "ir/Instructions.h"
+#include "ir/Module.h"
+
+#include <set>
+
+using namespace nir;
+
+unsigned nir::removeUnreachableBlocks(Function &F) {
+  if (F.isDeclaration())
+    return 0;
+
+  // Reachability from the entry.
+  std::set<BasicBlock *> Reachable;
+  std::vector<BasicBlock *> Work = {&F.getEntryBlock()};
+  while (!Work.empty()) {
+    BasicBlock *BB = Work.back();
+    Work.pop_back();
+    if (!Reachable.insert(BB).second)
+      continue;
+    for (BasicBlock *Succ : BB->successors())
+      Work.push_back(Succ);
+  }
+
+  std::vector<BasicBlock *> Dead;
+  for (auto &BB : F.getBlocks())
+    if (!Reachable.count(BB.get()))
+      Dead.push_back(BB.get());
+  if (Dead.empty())
+    return 0;
+
+  // Remove phi edges coming from dead blocks.
+  for (BasicBlock *BB : Reachable)
+    for (auto &I : BB->getInstList()) {
+      auto *Phi = dyn_cast<PhiInst>(I.get());
+      if (!Phi)
+        continue;
+      for (int K = static_cast<int>(Phi->getNumIncoming()) - 1; K >= 0; --K)
+        if (!Reachable.count(Phi->getIncomingBlock(K)))
+          Phi->removeIncoming(static_cast<unsigned>(K));
+    }
+
+  // Detach dead instructions from each other, then delete blocks.
+  Context &Ctx = F.getParent()->getContext();
+  for (BasicBlock *BB : Dead)
+    for (auto &I : BB->getInstList())
+      if (I->hasUses())
+        I->replaceAllUsesWith(Ctx.getUndef(I->getType()));
+  for (BasicBlock *BB : Dead)
+    for (auto &I : BB->getInstList())
+      I->dropAllOperands();
+  for (BasicBlock *BB : Dead) {
+    while (!BB->getInstList().empty())
+      BB->getInstList().pop_back();
+    F.eraseBlock(BB);
+  }
+  return static_cast<unsigned>(Dead.size());
+}
+
+unsigned nir::removeDeadInstructions(Function &F) {
+  unsigned Removed = 0;
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (auto &BB : F.getBlocks()) {
+      std::vector<Instruction *> Dead;
+      for (auto &I : BB->getInstList()) {
+        if (I->hasUses() || I->isTerminator())
+          continue;
+        if (I->mayWriteToMemory() || isa<CallInst>(I.get()))
+          continue;
+        Dead.push_back(I.get());
+      }
+      for (Instruction *I : Dead) {
+        I->eraseFromParent();
+        ++Removed;
+        Changed = true;
+      }
+    }
+  }
+  return Removed;
+}
+
+void nir::cloneFunctionBody(Function &Src, Function &Dst,
+                            std::map<const Value *, Value *> &ValueMap) {
+  assert(Dst.getBlocks().empty() && "destination must be empty");
+
+  for (unsigned I = 0; I < Src.getNumArgs() && I < Dst.getNumArgs(); ++I)
+    ValueMap[Src.getArg(I)] = Dst.getArg(I);
+
+  // First pass: create blocks and cloned instructions (operands still
+  // reference the originals).
+  for (const auto &BB : Src.getBlocks()) {
+    BasicBlock *NewBB = Dst.createBlock(BB->getName());
+    ValueMap[BB.get()] = NewBB;
+    for (const auto &I : BB->getInstList()) {
+      Instruction *Cloned = I->clone();
+      NewBB->push_back(std::unique_ptr<Instruction>(Cloned));
+      ValueMap[I.get()] = Cloned;
+    }
+  }
+
+  // Second pass: remap operands.
+  for (const auto &BB : Dst.getBlocks())
+    for (const auto &I : BB->getInstList())
+      for (unsigned OpIdx = 0; OpIdx < I->getNumOperands(); ++OpIdx) {
+        auto It = ValueMap.find(I->getOperand(OpIdx));
+        if (It != ValueMap.end())
+          I->setOperand(OpIdx, It->second);
+      }
+}

@@ -1,0 +1,33 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// CFG-mutation utilities shared by the frontend and the loop builder.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IR_UTILS_H
+#define IR_UTILS_H
+
+#include "ir/Function.h"
+
+#include <map>
+
+namespace nir {
+
+/// Deletes every block not reachable from the entry, fixing up phis in
+/// surviving blocks. Returns the number of blocks removed.
+unsigned removeUnreachableBlocks(Function &F);
+
+/// Removes trivially dead instructions (no users, no side effects),
+/// iterating to a fixed point. Returns the number removed.
+unsigned removeDeadInstructions(Function &F);
+
+/// Clones \p Src's body into \p Dst (which must be an empty definition
+/// with the same signature), remapping arguments. Extra mappings (e.g.
+/// replacing loads of live-ins) can be seeded via \p ValueMap.
+void cloneFunctionBody(Function &Src, Function &Dst,
+                       std::map<const Value *, Value *> &ValueMap);
+
+} // namespace nir
+
+#endif // IR_UTILS_H

@@ -1,0 +1,23 @@
+#include "ir/Value.h"
+
+using namespace nir;
+
+Value::~Value() {
+  assert(Uses.empty() && "destroying a value that still has users");
+}
+
+std::vector<User *> Value::users() const {
+  std::vector<User *> Result;
+  for (const auto &U : Uses)
+    if (std::find(Result.begin(), Result.end(), U.TheUser) == Result.end())
+      Result.push_back(U.TheUser);
+  return Result;
+}
+
+void Value::replaceAllUsesWith(Value *New) {
+  assert(New != this && "RAUW with self would loop forever");
+  // setOperand mutates Uses; iterate over a snapshot.
+  auto Snapshot = Uses;
+  for (const auto &U : Snapshot)
+    U.TheUser->setOperand(U.OperandIdx, New);
+}

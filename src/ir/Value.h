@@ -1,0 +1,199 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Value and User: the base of the NIR class hierarchy with def-use
+/// tracking. Every operand link is recorded on the used Value so that
+/// replaceAllUsesWith and user iteration work as in LLVM.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IR_VALUE_H
+#define IR_VALUE_H
+
+#include "ir/Type.h"
+#include "support/Casting.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace nir {
+
+class User;
+
+/// Base class of everything that can appear as an operand: constants,
+/// arguments, globals, functions, basic blocks, and instructions.
+class Value {
+public:
+  /// Discriminator for LLVM-style RTTI. Instruction kinds must stay
+  /// contiguous between InstFirst and InstLast.
+  enum class Kind {
+    Argument,
+    BasicBlock,
+    Function,
+    GlobalVariable,
+    ConstantInt,
+    ConstantFP,
+    Undef,
+    // --- instructions ---
+    InstFirst,
+    Alloca = InstFirst,
+    Load,
+    Store,
+    GEP,
+    Binary,
+    Cmp,
+    Cast,
+    Select,
+    Phi,
+    Branch,
+    Call,
+    Ret,
+    Unreachable,
+    InstLast = Unreachable,
+  };
+
+  /// One recorded use of this value: which user, at which operand slot.
+  struct UseRecord {
+    User *TheUser;
+    unsigned OperandIdx;
+  };
+
+  virtual ~Value();
+
+  Kind getKind() const { return TheKind; }
+  Type *getType() const { return Ty; }
+
+  const std::string &getName() const { return Name; }
+  void setName(const std::string &N) { Name = N; }
+  bool hasName() const { return !Name.empty(); }
+
+  /// All (user, operand-slot) pairs that reference this value.
+  const std::vector<UseRecord> &uses() const { return Uses; }
+
+  /// Deduplicated list of users.
+  std::vector<User *> users() const;
+
+  unsigned getNumUses() const { return static_cast<unsigned>(Uses.size()); }
+  bool hasUses() const { return !Uses.empty(); }
+
+  /// Rewrites every use of this value to refer to \p New instead.
+  void replaceAllUsesWith(Value *New);
+
+  /// Attached string metadata (used for profiles, PDG embedding, IDs).
+  void setMetadata(const std::string &Key, const std::string &V) {
+    Metadata[Key] = V;
+  }
+  /// Returns the metadata string for \p Key, or empty if absent.
+  std::string getMetadata(const std::string &Key) const {
+    auto It = Metadata.find(Key);
+    return It == Metadata.end() ? std::string() : It->second;
+  }
+  bool hasMetadata(const std::string &Key) const {
+    return Metadata.count(Key) != 0;
+  }
+  void removeMetadata(const std::string &Key) { Metadata.erase(Key); }
+  const std::map<std::string, std::string> &getAllMetadata() const {
+    return Metadata;
+  }
+  void clearMetadata() { Metadata.clear(); }
+
+  static bool classof(const Value *) { return true; }
+
+protected:
+  Value(Kind K, Type *Ty) : TheKind(K), Ty(Ty) {}
+
+private:
+  friend class User;
+  void addUse(User *U, unsigned Idx) { Uses.push_back({U, Idx}); }
+  void removeUse(User *U, unsigned Idx) {
+    auto It = std::find_if(Uses.begin(), Uses.end(), [&](const UseRecord &R) {
+      return R.TheUser == U && R.OperandIdx == Idx;
+    });
+    assert(It != Uses.end() && "removing a use that was never recorded");
+    Uses.erase(It);
+  }
+
+  Kind TheKind;
+  Type *Ty;
+  std::string Name;
+  std::vector<UseRecord> Uses;
+  std::map<std::string, std::string> Metadata;
+};
+
+/// A Value that references other Values as operands.
+class User : public Value {
+public:
+  ~User() override { dropAllOperands(); }
+
+  unsigned getNumOperands() const {
+    return static_cast<unsigned>(Operands.size());
+  }
+
+  Value *getOperand(unsigned Idx) const {
+    assert(Idx < Operands.size() && "operand index out of range");
+    return Operands[Idx];
+  }
+
+  /// Replaces the operand at \p Idx, updating use lists on both sides.
+  void setOperand(unsigned Idx, Value *V) {
+    assert(Idx < Operands.size() && "operand index out of range");
+    if (Operands[Idx])
+      Operands[Idx]->removeUse(this, Idx);
+    Operands[Idx] = V;
+    if (V)
+      V->addUse(this, Idx);
+  }
+
+  /// Replaces every operand equal to \p Old with \p New.
+  void replaceUsesOfWith(Value *Old, Value *New) {
+    for (unsigned I = 0, E = getNumOperands(); I != E; ++I)
+      if (Operands[I] == Old)
+        setOperand(I, New);
+  }
+
+  const std::vector<Value *> &operands() const { return Operands; }
+
+  static bool classof(const Value *V) {
+    return V->getKind() >= Kind::InstFirst && V->getKind() <= Kind::InstLast;
+  }
+
+protected:
+  User(Kind K, Type *Ty) : Value(K, Ty) {}
+
+  /// Appends an operand slot.
+  void addOperand(Value *V) {
+    Operands.push_back(V);
+    if (V)
+      V->addUse(this, static_cast<unsigned>(Operands.size() - 1));
+  }
+
+  /// Removes the trailing operand slot.
+  void removeLastOperand() {
+    assert(!Operands.empty() && "no operand to remove");
+    if (Operands.back())
+      Operands.back()->removeUse(this,
+                                 static_cast<unsigned>(Operands.size() - 1));
+    Operands.pop_back();
+  }
+
+  /// Detaches all operands (used by the destructor and by bulk teardown in
+  /// BasicBlock/Function/Module destructors).
+public:
+  void dropAllOperands() {
+    for (unsigned I = 0, E = getNumOperands(); I != E; ++I)
+      if (Operands[I]) {
+        Operands[I]->removeUse(this, I);
+        Operands[I] = nullptr;
+      }
+  }
+
+private:
+  std::vector<Value *> Operands;
+};
+
+} // namespace nir
+
+#endif // IR_VALUE_H

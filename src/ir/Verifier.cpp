@@ -1,0 +1,107 @@
+#include "ir/Verifier.h"
+
+#include "ir/Instructions.h"
+
+#include <set>
+#include <sstream>
+
+using namespace nir;
+
+namespace {
+
+void verifyFunction(const Function &F, std::vector<std::string> &Out) {
+  auto Report = [&](const std::string &Msg) {
+    Out.push_back("@" + F.getName() + ": " + Msg);
+  };
+
+  std::set<const BasicBlock *> Blocks;
+  for (const auto &BB : F.getBlocks())
+    Blocks.insert(BB.get());
+
+  for (const auto &BB : F.getBlocks()) {
+    const std::string BBName = BB->getName().empty() ? "<bb>" : BB->getName();
+
+    if (BB->empty()) {
+      Report("block '" + BBName + "' is empty");
+      continue;
+    }
+    if (!BB->getTerminator())
+      Report("block '" + BBName + "' lacks a terminator");
+
+    bool SeenNonPhi = false;
+    unsigned Index = 0;
+    for (const auto &IPtr : BB->getInstList()) {
+      const Instruction &I = *IPtr;
+      ++Index;
+
+      if (I.getParent() != BB.get())
+        Report("instruction with stale parent link in '" + BBName + "'");
+
+      if (I.isTerminator() && Index != BB->size())
+        Report("terminator in the middle of block '" + BBName + "'");
+
+      if (isa<PhiInst>(&I)) {
+        if (SeenNonPhi)
+          Report("phi after non-phi in block '" + BBName + "'");
+      } else {
+        SeenNonPhi = true;
+      }
+
+      for (const auto *Op : I.operands()) {
+        if (!Op) {
+          Report("null operand in block '" + BBName + "'");
+          continue;
+        }
+        if (const auto *OpInst = dyn_cast<Instruction>(Op)) {
+          if (!OpInst->getParent() ||
+              OpInst->getParent()->getParent() != &F)
+            Report("operand instruction from another function in '" +
+                   BBName + "'");
+        }
+        if (const auto *OpBB = dyn_cast<BasicBlock>(Op)) {
+          if (!Blocks.count(OpBB))
+            Report("reference to a block outside this function in '" +
+                   BBName + "'");
+        }
+      }
+
+      if (const auto *Phi = dyn_cast<PhiInst>(&I)) {
+        auto Preds = BB->predecessors();
+        std::set<const BasicBlock *> PredSet(Preds.begin(), Preds.end());
+        std::set<const BasicBlock *> Incoming;
+        for (unsigned K = 0, E = Phi->getNumIncoming(); K != E; ++K) {
+          const BasicBlock *In = Phi->getIncomingBlock(K);
+          if (!Incoming.insert(In).second)
+            Report("phi has duplicate incoming block in '" + BBName + "'");
+          if (!PredSet.count(In))
+            Report("phi incoming block is not a predecessor in '" + BBName +
+                   "'");
+        }
+        for (const auto *P : PredSet)
+          if (!Incoming.count(P))
+            Report("phi is missing an incoming value for a predecessor in '" +
+                   BBName + "'");
+      }
+    }
+  }
+
+  // The entry block must not be a branch target (loops need a preheader
+  // above them; our frontend guarantees this and transformations keep it).
+  if (!F.getBlocks().empty()) {
+    const BasicBlock &Entry = F.getEntryBlock();
+    if (!Entry.predecessors().empty())
+      Report("entry block has predecessors");
+  }
+}
+
+} // namespace
+
+std::vector<std::string> nir::verifyModule(const Module &M) {
+  std::vector<std::string> Out;
+  for (const auto &F : M.getFunctions())
+    if (!F->isDeclaration())
+      verifyFunction(*F, Out);
+  return Out;
+}
+
+bool nir::moduleVerifies(const Module &M) { return verifyModule(M).empty(); }

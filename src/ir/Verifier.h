@@ -1,0 +1,36 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// IR verifier: structural well-formedness checks run after parsing and
+/// after every transformation in tests.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IR_VERIFIER_H
+#define IR_VERIFIER_H
+
+#include "ir/Module.h"
+
+#include <string>
+#include <vector>
+
+namespace nir {
+
+/// Checks structural invariants of \p M:
+///  - every block ends in exactly one terminator (and only at the end);
+///  - phis appear only at block starts and cover each predecessor exactly
+///    once;
+///  - every instruction operand that is an instruction belongs to the same
+///    function;
+///  - SSA dominance is NOT checked here (the dominator-based check lives in
+///    analysis tests) but use-before-def within a straight block is;
+///  - entry blocks have no predecessors via branches.
+/// Returns all violations found; empty means the module verified.
+std::vector<std::string> verifyModule(const Module &M);
+
+/// Convenience predicate.
+bool moduleVerifies(const Module &M);
+
+} // namespace nir
+
+#endif // IR_VERIFIER_H

@@ -1,0 +1,105 @@
+#include "noelle/Architecture.h"
+
+#include <atomic>
+#include <chrono>
+#include <sstream>
+#include <thread>
+
+using namespace noelle;
+
+Architecture::Architecture(bool MeasureLatencies) {
+  LogicalCores = std::max(1u, std::thread::hardware_concurrency());
+  // Without a portable SMT query, assume 2-way SMT when core count is
+  // even and greater than two (matching the evaluation platform's
+  // 12-core / 24-thread Haswell), else 1:1.
+  PhysicalCores =
+      (LogicalCores > 2 && LogicalCores % 2 == 0) ? LogicalCores / 2
+                                                  : LogicalCores;
+  NUMANodes = 1;
+
+  if (!MeasureLatencies)
+    return;
+
+  // Ping-pong latency between core 0 and each other core: two threads
+  // alternate on an atomic flag; latency = round-trip time / 2.
+  LatencyNs.assign(LogicalCores,
+                   std::vector<double>(LogicalCores, 0.0));
+  constexpr int Rounds = 20000;
+  for (unsigned Other = 1; Other < std::min(LogicalCores, 8u); ++Other) {
+    std::atomic<int> Flag{0};
+    auto Start = std::chrono::steady_clock::now();
+    std::thread Pong([&] {
+      for (int I = 0; I < Rounds; ++I) {
+        while (Flag.load(std::memory_order_acquire) != 1)
+          ;
+        Flag.store(0, std::memory_order_release);
+      }
+    });
+    for (int I = 0; I < Rounds; ++I) {
+      Flag.store(1, std::memory_order_release);
+      while (Flag.load(std::memory_order_acquire) != 0)
+        ;
+    }
+    Pong.join();
+    auto End = std::chrono::steady_clock::now();
+    double Ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    End - Start)
+                    .count() /
+                (2.0 * Rounds);
+    LatencyNs[0][Other] = LatencyNs[Other][0] = Ns;
+  }
+  // Fill unmeasured pairs with the max measured latency (conservative).
+  double MaxNs = 0;
+  for (auto &Row : LatencyNs)
+    for (double V : Row)
+      MaxNs = std::max(MaxNs, V);
+  for (unsigned A = 0; A < LogicalCores; ++A)
+    for (unsigned B = 0; B < LogicalCores; ++B)
+      if (A != B && LatencyNs[A][B] == 0)
+        LatencyNs[A][B] = MaxNs;
+}
+
+double Architecture::getCoreToCoreLatencyNs(unsigned A, unsigned B) const {
+  if (LatencyNs.empty() || A >= LogicalCores || B >= LogicalCores)
+    return 0;
+  return LatencyNs[A][B];
+}
+
+std::string Architecture::str() const {
+  std::ostringstream OS;
+  OS << "logical_cores " << LogicalCores << "\n";
+  OS << "physical_cores " << PhysicalCores << "\n";
+  OS << "numa_nodes " << NUMANodes << "\n";
+  if (!LatencyNs.empty()) {
+    OS << "latency_ns";
+    for (unsigned B = 0; B < LogicalCores; ++B)
+      OS << " " << LatencyNs[0][B];
+    OS << "\n";
+  }
+  return OS.str();
+}
+
+Architecture Architecture::fromString(const std::string &Text) {
+  Architecture A(false);
+  std::istringstream IS(Text);
+  std::string Key;
+  while (IS >> Key) {
+    if (Key == "logical_cores")
+      IS >> A.LogicalCores;
+    else if (Key == "physical_cores")
+      IS >> A.PhysicalCores;
+    else if (Key == "numa_nodes")
+      IS >> A.NUMANodes;
+    else if (Key == "latency_ns") {
+      A.LatencyNs.assign(A.LogicalCores,
+                         std::vector<double>(A.LogicalCores, 0.0));
+      for (unsigned B = 0; B < A.LogicalCores; ++B) {
+        double V = 0;
+        IS >> V;
+        A.LatencyNs[0][B] = V;
+        A.LatencyNs[B][0] = V;
+      }
+    }
+  }
+  return A;
+}

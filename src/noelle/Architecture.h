@@ -1,0 +1,51 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// NOELLE's architecture abstraction (AR): logical/physical core counts,
+/// NUMA layout, and measured core-to-core communication latency — the
+/// data noelle-arch collects (the paper measures these with hwloc plus
+/// ping-pong microbenchmarks; we measure the host the same way).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NOELLE_ARCHITECTURE_H
+#define NOELLE_ARCHITECTURE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace noelle {
+
+/// A description of the machine the parallel runtime will use.
+class Architecture {
+public:
+  /// Queries core counts and (optionally) measures latencies.
+  /// \p MeasureLatencies runs short ping-pong probes between thread
+  /// pairs; disable for fast construction in tests.
+  explicit Architecture(bool MeasureLatencies = false);
+
+  unsigned getNumLogicalCores() const { return LogicalCores; }
+  unsigned getNumPhysicalCores() const { return PhysicalCores; }
+  unsigned getNumNUMANodes() const { return NUMANodes; }
+
+  /// Measured one-way communication latency between two logical cores in
+  /// nanoseconds; 0 when not measured.
+  double getCoreToCoreLatencyNs(unsigned A, unsigned B) const;
+
+  /// Serializes to the textual form noelle-arch writes.
+  std::string str() const;
+
+  /// Parses the noelle-arch output format.
+  static Architecture fromString(const std::string &Text);
+
+private:
+  unsigned LogicalCores = 1;
+  unsigned PhysicalCores = 1;
+  unsigned NUMANodes = 1;
+  std::vector<std::vector<double>> LatencyNs; ///< [a][b], may be empty
+};
+
+} // namespace noelle
+
+#endif // NOELLE_ARCHITECTURE_H

@@ -1,0 +1,104 @@
+#include "noelle/CallGraph.h"
+
+#include "ir/Instructions.h"
+
+using namespace noelle;
+
+CallGraph::CallGraph(Module &M, nir::AndersenAliasAnalysis &AA) : M(M) {
+  std::map<std::pair<Function *, Function *>, CallGraphEdge *> Existing;
+
+  auto AddEdge = [&](Function *Caller, Function *Callee, bool Must,
+                     const CallInst *Site) {
+    auto Key = std::make_pair(Caller, Callee);
+    auto It = Existing.find(Key);
+    CallGraphEdge *E;
+    if (It != Existing.end()) {
+      E = It->second;
+      // A may sub-edge does not downgrade a must edge, but an additional
+      // must sub-edge upgrades the relation.
+      E->IsMust = E->IsMust || Must;
+    } else {
+      auto NewE = std::make_unique<CallGraphEdge>();
+      NewE->Caller = Caller;
+      NewE->Callee = Callee;
+      NewE->IsMust = Must;
+      E = NewE.get();
+      Edges.push_back(std::move(NewE));
+      Existing[Key] = E;
+      Out[Caller].push_back(E);
+      In[Callee].push_back(E);
+    }
+    E->CallSites.push_back(Site);
+  };
+
+  for (const auto &F : M.getFunctions()) {
+    for (const auto &BB : F->getBlocks())
+      for (const auto &I : BB->getInstList()) {
+        const auto *C = nir::dyn_cast<CallInst>(I.get());
+        if (!C)
+          continue;
+        if (Function *Direct = C->getCalledFunction()) {
+          AddEdge(F.get(), Direct, /*Must=*/true, C);
+          continue;
+        }
+        for (Function *Target : AA.getIndirectCallees(C))
+          AddEdge(F.get(), Target, /*Must=*/false, C);
+      }
+  }
+}
+
+std::vector<CallGraphEdge *> CallGraph::getCallees(Function *F) const {
+  auto It = Out.find(F);
+  return It == Out.end() ? std::vector<CallGraphEdge *>() : It->second;
+}
+
+std::vector<CallGraphEdge *> CallGraph::getCallers(Function *F) const {
+  auto It = In.find(F);
+  return It == In.end() ? std::vector<CallGraphEdge *>() : It->second;
+}
+
+bool CallGraph::mayInvoke(Function *Caller, Function *Callee) const {
+  for (const auto *E : getCallees(Caller))
+    if (E->Callee == Callee)
+      return true;
+  return false;
+}
+
+std::set<Function *>
+CallGraph::getReachableFrom(const std::vector<Function *> &Roots) const {
+  std::set<Function *> Reached;
+  std::vector<Function *> Work = Roots;
+  while (!Work.empty()) {
+    Function *F = Work.back();
+    Work.pop_back();
+    if (!Reached.insert(F).second)
+      continue;
+    for (const auto *E : getCallees(F))
+      Work.push_back(E->Callee);
+  }
+  return Reached;
+}
+
+std::vector<std::set<Function *>> CallGraph::getIslands() const {
+  std::vector<std::set<Function *>> Islands;
+  std::set<Function *> Visited;
+  for (const auto &F : M.getFunctions()) {
+    if (Visited.count(F.get()))
+      continue;
+    std::set<Function *> Island;
+    std::vector<Function *> Work = {F.get()};
+    while (!Work.empty()) {
+      Function *Cur = Work.back();
+      Work.pop_back();
+      if (!Island.insert(Cur).second)
+        continue;
+      Visited.insert(Cur);
+      for (const auto *E : getCallees(Cur))
+        Work.push_back(E->Callee);
+      for (const auto *E : getCallers(Cur))
+        Work.push_back(E->Caller);
+    }
+    Islands.push_back(std::move(Island));
+  }
+  return Islands;
+}

@@ -1,0 +1,71 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// NOELLE's complete program call graph (CG): unlike LLVM's, indirect
+/// calls are resolved to their possible callees via points-to analysis,
+/// so a *missing* edge proves a function cannot invoke another — the
+/// property DeadFunctionEliminator relies on. Edges are may/must and
+/// carry sub-edges naming the exact call instructions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NOELLE_CALLGRAPH_H
+#define NOELLE_CALLGRAPH_H
+
+#include "analysis/AliasAnalysis.h"
+#include "ir/Module.h"
+
+#include <map>
+#include <memory>
+#include <set>
+#include <vector>
+
+namespace noelle {
+
+using nir::CallInst;
+using nir::Function;
+using nir::Module;
+
+/// One caller->callee relation, with the call sites inducing it.
+struct CallGraphEdge {
+  Function *Caller = nullptr;
+  Function *Callee = nullptr;
+  bool IsMust = false; ///< proven to hold (direct call); may otherwise
+  std::vector<const CallInst *> CallSites; ///< sub-edges
+};
+
+/// The complete call graph of a module.
+class CallGraph {
+public:
+  /// Builds the graph; indirect callees come from \p AA (Andersen).
+  CallGraph(Module &M, nir::AndersenAliasAnalysis &AA);
+
+  const std::vector<std::unique_ptr<CallGraphEdge>> &getEdges() const {
+    return Edges;
+  }
+
+  /// Out-edges of \p F (functions it may invoke).
+  std::vector<CallGraphEdge *> getCallees(Function *F) const;
+
+  /// In-edges of \p F (functions that may invoke it).
+  std::vector<CallGraphEdge *> getCallers(Function *F) const;
+
+  /// True if an edge Caller -> Callee exists.
+  bool mayInvoke(Function *Caller, Function *Callee) const;
+
+  /// Functions transitively reachable from \p Roots (inclusive).
+  std::set<Function *> getReachableFrom(const std::vector<Function *> &Roots) const;
+
+  /// Disconnected islands of the undirected call graph — the ISL
+  /// abstraction applied to the CG.
+  std::vector<std::set<Function *>> getIslands() const;
+
+private:
+  Module &M;
+  std::vector<std::unique_ptr<CallGraphEdge>> Edges;
+  std::map<Function *, std::vector<CallGraphEdge *>> Out, In;
+};
+
+} // namespace noelle
+
+#endif // NOELLE_CALLGRAPH_H

@@ -1,0 +1,196 @@
+#include "noelle/DataFlow.h"
+
+#include "analysis/CFG.h"
+#include "ir/Instructions.h"
+
+#include <algorithm>
+
+using namespace noelle;
+using nir::PhiInst;
+
+DataFlowResult::DataFlowResult(std::vector<Value *> Universe)
+    : Universe(std::move(Universe)) {
+  for (unsigned I = 0; I < this->Universe.size(); ++I)
+    Index[this->Universe[I]] = I;
+}
+
+unsigned DataFlowResult::indexOf(const Value *V) const {
+  auto It = Index.find(V);
+  assert(It != Index.end() && "value not in data-flow universe");
+  return It->second;
+}
+
+std::vector<Value *> DataFlowResult::outValues(const Instruction *I) const {
+  std::vector<Value *> Result;
+  out(I).forEachSetBit([&](unsigned Idx) { Result.push_back(Universe[Idx]); });
+  return Result;
+}
+
+std::vector<Value *> DataFlowResult::inValues(const Instruction *I) const {
+  std::vector<Value *> Result;
+  in(I).forEachSetBit([&](unsigned Idx) { Result.push_back(Universe[Idx]); });
+  return Result;
+}
+
+std::unique_ptr<DataFlowResult>
+DataFlowEngine::solve(Function &F, const DataFlowProblem &P) const {
+  auto R = std::make_unique<DataFlowResult>(P.Universe);
+  const unsigned N = static_cast<unsigned>(P.Universe.size());
+
+  // Precompute per-instruction GEN/KILL and per-block summaries.
+  std::map<const Instruction *, BitVector> Gen, Kill;
+  std::map<const BasicBlock *, BitVector> BlockGen, BlockKill;
+  for (const auto &BB : F.getBlocks()) {
+    BitVector BG(N), BK(N);
+    // Forward: compose first-to-last; backward: last-to-first.
+    std::vector<const Instruction *> Insts;
+    for (const auto &I : BB->getInstList())
+      Insts.push_back(I.get());
+    if (!P.Forward)
+      std::reverse(Insts.begin(), Insts.end());
+    for (const Instruction *I : Insts) {
+      BitVector G(N), K(N);
+      P.Transfer(I, *R, G, K);
+      Gen[I] = G;
+      Kill[I] = K;
+      // block = gen U (old \ kill)
+      BG.subtract(K);
+      BG.unionWith(G);
+      BK.unionWith(K);
+    }
+    BlockGen[BB.get()] = BG;
+    BlockKill[BB.get()] = BK;
+  }
+
+  // Block-level fixpoint with an RPO-priority worklist.
+  std::map<const BasicBlock *, BitVector> BlockIn, BlockOut;
+  BitVector Boundary(N, P.BoundaryAllOnes);
+  BitVector Init(N, !P.MeetIsUnion); // union: start empty; intersect: full
+  for (const auto &BB : F.getBlocks()) {
+    BlockIn[BB.get()] = Init;
+    BlockOut[BB.get()] = Init;
+  }
+
+  auto Order = nir::reversePostOrder(F);
+  if (!P.Forward)
+    std::reverse(Order.begin(), Order.end());
+
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (BasicBlock *BB : Order) {
+      // Meet over neighbors.
+      std::vector<BasicBlock *> Ns =
+          P.Forward ? BB->predecessors() : BB->successors();
+      BitVector MeetV(N, !P.MeetIsUnion);
+      bool Any = false;
+      for (BasicBlock *Nb : Ns) {
+        const BitVector &NbOut = P.Forward ? BlockOut[Nb] : BlockIn[Nb];
+        if (!Any) {
+          MeetV = NbOut;
+          Any = true;
+        } else if (P.MeetIsUnion) {
+          MeetV.unionWith(NbOut);
+        } else {
+          MeetV.intersectWith(NbOut);
+        }
+      }
+      if (!Any)
+        MeetV = Boundary;
+
+      BitVector NewOut = MeetV;
+      NewOut.subtract(BlockKill[BB]);
+      NewOut.unionWith(BlockGen[BB]);
+
+      if (P.Forward) {
+        if (BlockIn[BB] != MeetV || BlockOut[BB] != NewOut) {
+          BlockIn[BB] = MeetV;
+          BlockOut[BB] = NewOut;
+          Changed = true;
+        }
+      } else {
+        if (BlockOut[BB] != MeetV || BlockIn[BB] != NewOut) {
+          BlockOut[BB] = MeetV;
+          BlockIn[BB] = NewOut;
+          Changed = true;
+        }
+      }
+    }
+  }
+
+  // Instruction-level results within each block.
+  for (const auto &BB : F.getBlocks()) {
+    if (P.Forward) {
+      BitVector Cur = BlockIn[BB.get()];
+      for (const auto &I : BB->getInstList()) {
+        R->IN[I.get()] = Cur;
+        Cur.subtract(Kill[I.get()]);
+        Cur.unionWith(Gen[I.get()]);
+        R->OUT[I.get()] = Cur;
+      }
+    } else {
+      BitVector Cur = BlockOut[BB.get()];
+      std::vector<const Instruction *> Insts;
+      for (const auto &I : BB->getInstList())
+        Insts.push_back(I.get());
+      std::reverse(Insts.begin(), Insts.end());
+      for (const Instruction *I : Insts) {
+        R->OUT[I] = Cur;
+        Cur.subtract(Kill[I]);
+        Cur.unionWith(Gen[I]);
+        R->IN[I] = Cur;
+      }
+    }
+  }
+  return R;
+}
+
+//===----------------------------------------------------------------------===//
+// Stock analyses
+//===----------------------------------------------------------------------===//
+
+std::unique_ptr<DataFlowResult> noelle::computeLiveness(Function &F) {
+  DataFlowProblem P;
+  P.Forward = false;
+  P.MeetIsUnion = true;
+  for (unsigned I = 0; I < F.getNumArgs(); ++I)
+    P.Universe.push_back(F.getArg(I));
+  for (const auto &BB : F.getBlocks())
+    for (const auto &I : BB->getInstList())
+      if (!I->getType()->isVoid())
+        P.Universe.push_back(I.get());
+
+  P.Transfer = [](const Instruction *I, const DataFlowResult &R,
+                  BitVector &Gen, BitVector &Kill) {
+    // Uses generate liveness; the definition kills it. Phi uses are
+    // treated as live at the phi (block-edge precision is not needed by
+    // our clients).
+    for (const Value *Op : I->operands())
+      if (R.hasIndex(Op))
+        Gen.set(R.indexOf(Op));
+    if (R.hasIndex(I))
+      Kill.set(R.indexOf(I));
+  };
+  return DataFlowEngine().solve(F, P);
+}
+
+std::unique_ptr<DataFlowResult>
+noelle::computeReachingDefinitions(Function &F) {
+  DataFlowProblem P;
+  P.Forward = true;
+  P.MeetIsUnion = true;
+  for (const auto &BB : F.getBlocks())
+    for (const auto &I : BB->getInstList())
+      if (nir::isa<nir::StoreInst>(I.get()) ||
+          nir::isa<nir::CallInst>(I.get()))
+        P.Universe.push_back(I.get());
+
+  P.Transfer = [](const Instruction *I, const DataFlowResult &R,
+                  BitVector &Gen, BitVector &Kill) {
+    if (R.hasIndex(I))
+      Gen.set(R.indexOf(I));
+    // Without must-alias kill sets this is the may-reach variant; a
+    // store kills nothing conservatively.
+  };
+  return DataFlowEngine().solve(F, P);
+}

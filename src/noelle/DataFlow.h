@@ -1,0 +1,85 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// NOELLE's data-flow engine (DFE): a generic bitvector framework with
+/// block-granularity worklist solving (the optimizations the paper lists:
+/// bitvectors, basic-block granularity, worklist, RPO priority), plus the
+/// stock analyses built on it (liveness, reaching definitions).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NOELLE_DATAFLOW_H
+#define NOELLE_DATAFLOW_H
+
+#include "ir/Function.h"
+#include "support/BitVector.h"
+
+#include <functional>
+#include <map>
+#include <memory>
+
+namespace noelle {
+
+using nir::BasicBlock;
+using nir::BitVector;
+using nir::Function;
+using nir::Instruction;
+using nir::Value;
+
+/// Result of a data-flow analysis: IN/OUT per instruction, over a
+/// universe of values indexed densely.
+class DataFlowResult {
+public:
+  DataFlowResult(std::vector<Value *> Universe);
+
+  const std::vector<Value *> &getUniverse() const { return Universe; }
+  unsigned indexOf(const Value *V) const;
+  bool hasIndex(const Value *V) const { return Index.count(V) != 0; }
+
+  const BitVector &in(const Instruction *I) const { return IN.at(I); }
+  const BitVector &out(const Instruction *I) const { return OUT.at(I); }
+
+  /// The universe members set in OUT(I).
+  std::vector<Value *> outValues(const Instruction *I) const;
+  std::vector<Value *> inValues(const Instruction *I) const;
+
+private:
+  friend class DataFlowEngine;
+  std::vector<Value *> Universe;
+  std::map<const Value *, unsigned> Index;
+  std::map<const Instruction *, BitVector> IN, OUT;
+};
+
+/// A data-flow problem: direction, meet, and per-instruction GEN/KILL.
+struct DataFlowProblem {
+  bool Forward = true;
+  bool MeetIsUnion = true; ///< false = intersection
+  std::vector<Value *> Universe;
+  /// Fills GEN and KILL for one instruction.
+  std::function<void(const Instruction *, const DataFlowResult &,
+                     BitVector &Gen, BitVector &Kill)>
+      Transfer;
+  /// Value at the boundary (entry for forward, exits for backward);
+  /// empty by default.
+  bool BoundaryAllOnes = false;
+};
+
+/// Solves data-flow problems to a fixed point.
+class DataFlowEngine {
+public:
+  /// Runs \p P over \p F and returns per-instruction IN/OUT sets.
+  std::unique_ptr<DataFlowResult> solve(Function &F,
+                                        const DataFlowProblem &P) const;
+};
+
+/// Liveness: OUT(I) = values live after I. Universe = all instructions
+/// and arguments producing values.
+std::unique_ptr<DataFlowResult> computeLiveness(Function &F);
+
+/// Reaching definitions: OUT(I) = definitions (stores and calls writing
+/// memory are treated as defs of their own identity) reaching past I.
+std::unique_ptr<DataFlowResult> computeReachingDefinitions(Function &F);
+
+} // namespace noelle
+
+#endif // NOELLE_DATAFLOW_H

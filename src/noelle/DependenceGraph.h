@@ -1,0 +1,204 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// NOELLE's templated dependence graph: a directed multigraph of
+/// dependences between nodes of any type (the PDG instantiates it with
+/// IR values; the call graph uses functions). Nodes are split into
+/// internal (belonging to the code region under analysis) and external
+/// (live-ins/live-outs of that region), as described in Section 2.2 of
+/// the paper.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NOELLE_DEPENDENCEGRAPH_H
+#define NOELLE_DEPENDENCEGRAPH_H
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <vector>
+
+namespace noelle {
+
+/// Kind of a data dependence.
+enum class DataDepKind {
+  RAW, ///< read-after-write (true/flow)
+  WAW, ///< write-after-write (output)
+  WAR, ///< write-after-read (anti)
+};
+
+/// One dependence edge with the attributes the paper lists: control vs
+/// data, RAW/WAW/WAR, loop-carried flag, distance, memory vs register,
+/// and apparent (may) vs actual (must).
+template <typename NodeT> struct DependenceEdge {
+  NodeT *From = nullptr;
+  NodeT *To = nullptr;
+  bool IsControl = false;
+  DataDepKind Kind = DataDepKind::RAW;
+  bool IsMemory = false;
+  bool IsLoopCarried = false;
+  bool IsMust = false; ///< actual dependence; false = apparent (may)
+  /// Dependence distance in iterations when known; -1 = unknown.
+  int64_t Distance = -1;
+};
+
+/// A directed multigraph of dependences between NodeT values.
+template <typename NodeT> class DependenceGraph {
+public:
+  using EdgeT = DependenceEdge<NodeT>;
+
+  /// Registers \p N. Internal nodes belong to the analyzed region;
+  /// external nodes represent its live-ins/live-outs.
+  void addNode(NodeT *N, bool Internal) {
+    if (Nodes.insert(N).second) {
+      if (Internal)
+        Internals.insert(N);
+      else
+        Externals.insert(N);
+      return;
+    }
+    // Upgrading an external node to internal is allowed (e.g. when a
+    // region grows); the reverse is not.
+    if (Internal && Externals.count(N)) {
+      Externals.erase(N);
+      Internals.insert(N);
+    }
+  }
+
+  bool hasNode(NodeT *N) const { return Nodes.count(N) != 0; }
+  bool isInternal(NodeT *N) const { return Internals.count(N) != 0; }
+  bool isExternal(NodeT *N) const { return Externals.count(N) != 0; }
+
+  const std::set<NodeT *> &getNodes() const { return Nodes; }
+  const std::set<NodeT *> &getInternalNodes() const { return Internals; }
+  const std::set<NodeT *> &getExternalNodes() const { return Externals; }
+
+  /// Adds an edge; both endpoints must already be nodes.
+  EdgeT *addEdge(const EdgeT &E) {
+    assert(hasNode(E.From) && hasNode(E.To) &&
+           "edge endpoints must be graph nodes");
+    Edges.push_back(std::make_unique<EdgeT>(E));
+    EdgeT *Raw = Edges.back().get();
+    OutEdges[E.From].push_back(Raw);
+    InEdges[E.To].push_back(Raw);
+    return Raw;
+  }
+
+  /// Convenience: register data dependence From -> To.
+  EdgeT *addRegisterDep(NodeT *From, NodeT *To, DataDepKind Kind) {
+    EdgeT E;
+    E.From = From;
+    E.To = To;
+    E.Kind = Kind;
+    E.IsMust = true;
+    return addEdge(E);
+  }
+
+  /// Convenience: memory data dependence From -> To.
+  EdgeT *addMemoryDep(NodeT *From, NodeT *To, DataDepKind Kind, bool Must) {
+    EdgeT E;
+    E.From = From;
+    E.To = To;
+    E.Kind = Kind;
+    E.IsMemory = true;
+    E.IsMust = Must;
+    return addEdge(E);
+  }
+
+  /// Convenience: control dependence From (branch) -> To.
+  EdgeT *addControlDep(NodeT *From, NodeT *To) {
+    EdgeT E;
+    E.From = From;
+    E.To = To;
+    E.IsControl = true;
+    return addEdge(E);
+  }
+
+  const std::vector<EdgeT *> &getOutEdges(NodeT *N) const {
+    auto It = OutEdges.find(N);
+    return It == OutEdges.end() ? EmptyEdgeList : It->second;
+  }
+
+  const std::vector<EdgeT *> &getInEdges(NodeT *N) const {
+    auto It = InEdges.find(N);
+    return It == InEdges.end() ? EmptyEdgeList : It->second;
+  }
+
+  /// All edges, in insertion order.
+  std::vector<EdgeT *> getEdges() const {
+    std::vector<EdgeT *> Out;
+    Out.reserve(Edges.size());
+    for (const auto &E : Edges)
+      Out.push_back(E.get());
+    return Out;
+  }
+
+  uint64_t getNumEdges() const { return Edges.size(); }
+  uint64_t getNumNodes() const { return Nodes.size(); }
+
+  /// Removes all edges between \p From and \p To (both directions when
+  /// \p BothDirections).
+  void removeEdgesBetween(NodeT *From, NodeT *To, bool BothDirections) {
+    auto Match = [&](const EdgeT *E) {
+      if (E->From == From && E->To == To)
+        return true;
+      return BothDirections && E->From == To && E->To == From;
+    };
+    auto Scrub = [&](std::vector<EdgeT *> &L) {
+      L.erase(std::remove_if(L.begin(), L.end(), Match), L.end());
+    };
+    Scrub(OutEdges[From]);
+    Scrub(InEdges[To]);
+    if (BothDirections) {
+      Scrub(OutEdges[To]);
+      Scrub(InEdges[From]);
+    }
+    Edges.erase(std::remove_if(Edges.begin(), Edges.end(),
+                               [&](const std::unique_ptr<EdgeT> &E) {
+                                 return Match(E.get());
+                               }),
+                Edges.end());
+  }
+
+  /// Connected components over the undirected view of this graph
+  /// restricted to internal nodes — NOELLE's "Islands" abstraction.
+  std::vector<std::set<NodeT *>> getIslands() const {
+    std::vector<std::set<NodeT *>> Out;
+    std::set<NodeT *> Visited;
+    for (NodeT *Seed : Internals) {
+      if (Visited.count(Seed))
+        continue;
+      std::set<NodeT *> Island;
+      std::vector<NodeT *> Work = {Seed};
+      while (!Work.empty()) {
+        NodeT *N = Work.back();
+        Work.pop_back();
+        if (!Internals.count(N) || !Island.insert(N).second)
+          continue;
+        Visited.insert(N);
+        for (const EdgeT *E : getOutEdges(N))
+          Work.push_back(E->To);
+        for (const EdgeT *E : getInEdges(N))
+          Work.push_back(E->From);
+      }
+      Out.push_back(std::move(Island));
+    }
+    return Out;
+  }
+
+private:
+  std::set<NodeT *> Nodes;
+  std::set<NodeT *> Internals;
+  std::set<NodeT *> Externals;
+  std::vector<std::unique_ptr<EdgeT>> Edges;
+  std::map<NodeT *, std::vector<EdgeT *>> OutEdges;
+  std::map<NodeT *, std::vector<EdgeT *>> InEdges;
+  std::vector<EdgeT *> EmptyEdgeList;
+};
+
+} // namespace noelle
+
+#endif // NOELLE_DEPENDENCEGRAPH_H

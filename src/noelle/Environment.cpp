@@ -1,0 +1,52 @@
+#include "noelle/Environment.h"
+
+#include "ir/Instructions.h"
+
+#include <algorithm>
+
+using namespace noelle;
+using nir::Instruction;
+
+Environment::Environment(nir::LoopStructure &L) {
+  std::set<Value *> SeenIn;
+  std::set<Instruction *> SeenOut;
+
+  for (auto *BB : L.getBlocks()) {
+    for (const auto &I : BB->getInstList()) {
+      // Live-ins: operands defined outside the loop that carry values
+      // (constants and globals are materializable anywhere and need no
+      // marshalling; arguments and outside instructions do).
+      for (Value *Op : I->operands()) {
+        bool IsCandidate = nir::isa<nir::Argument>(Op);
+        if (auto *OpI = nir::dyn_cast<Instruction>(Op))
+          IsCandidate = !L.contains(OpI);
+        if (IsCandidate && SeenIn.insert(Op).second)
+          LiveIns.push_back(Op);
+      }
+      // Live-outs: this instruction used outside the loop.
+      if (I->getType()->isVoid())
+        continue;
+      for (const auto &U : I->uses()) {
+        auto *UserInst = nir::dyn_cast<Instruction>(
+            static_cast<Value *>(U.TheUser));
+        if (UserInst && !L.contains(UserInst)) {
+          if (SeenOut.insert(I.get()).second)
+            LiveOuts.push_back(I.get());
+          break;
+        }
+      }
+    }
+  }
+}
+
+int Environment::indexOfLiveIn(const Value *V) const {
+  auto It = std::find(LiveIns.begin(), LiveIns.end(), V);
+  return It == LiveIns.end() ? -1
+                             : static_cast<int>(It - LiveIns.begin());
+}
+
+int Environment::indexOfLiveOut(const Instruction *I) const {
+  auto It = std::find(LiveOuts.begin(), LiveOuts.end(), I);
+  return It == LiveOuts.end() ? -1
+                              : static_cast<int>(It - LiveOuts.begin());
+}

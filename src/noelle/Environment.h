@@ -1,0 +1,67 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// NOELLE's Environment (ENV) and Task (T) abstractions. An Environment
+/// is the array of variables a task needs (live-ins and live-outs of a
+/// code region); a Task is a code region packaged as a function executed
+/// by a thread. Parallelizers marshal values through environment arrays
+/// at runtime (Section 2.2).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NOELLE_ENVIRONMENT_H
+#define NOELLE_ENVIRONMENT_H
+
+#include "analysis/LoopInfo.h"
+#include "noelle/PDG.h"
+
+namespace noelle {
+
+/// The live-in and live-out sets of a code region (here: a loop).
+class Environment {
+public:
+  /// Computes the environment of loop \p L: live-ins are values defined
+  /// outside and used inside; live-outs are instructions defined inside
+  /// and used outside.
+  Environment(nir::LoopStructure &L);
+
+  const std::vector<Value *> &getLiveIns() const { return LiveIns; }
+  const std::vector<Instruction *> &getLiveOuts() const { return LiveOuts; }
+
+  /// Index of \p V in the live-in section of the environment array.
+  int indexOfLiveIn(const Value *V) const;
+
+  /// Index of \p I in the live-out section (offset by live-in count when
+  /// laid out in one array).
+  int indexOfLiveOut(const Instruction *I) const;
+
+  /// Slots needed when live-ins and live-outs share one array.
+  unsigned size() const {
+    return static_cast<unsigned>(LiveIns.size() + LiveOuts.size());
+  }
+
+private:
+  std::vector<Value *> LiveIns;
+  std::vector<Instruction *> LiveOuts;
+};
+
+/// A code region executed sequentially by one thread. Parallelizers
+/// create tasks from aSCCDAG node partitions; at runtime tasks are
+/// submitted to the thread pool.
+class Task {
+public:
+  Task(nir::Function *Body, unsigned ID) : Body(Body), ID(ID) {}
+
+  /// The generated function with signature (ptr env, i64 taskID,
+  /// i64 numTasks) -> void.
+  nir::Function *getBody() const { return Body; }
+  unsigned getID() const { return ID; }
+
+private:
+  nir::Function *Body;
+  unsigned ID;
+};
+
+} // namespace noelle
+
+#endif // NOELLE_ENVIRONMENT_H

@@ -1,0 +1,124 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// NOELLE's forest abstraction (FR): a forest of trees whose nodes can be
+/// deleted while preserving connectivity — the children of a deleted node
+/// re-attach to its parent (Section 2.2, Table 1). LICM and the
+/// parallelizers walk the loop-nesting forest through this interface.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NOELLE_FOREST_H
+#define NOELLE_FOREST_H
+
+#include <algorithm>
+#include <cassert>
+#include <functional>
+#include <memory>
+#include <vector>
+
+namespace noelle {
+
+/// A forest of trees over payloads of type T.
+template <typename T> class Forest {
+public:
+  struct Node {
+    T *Payload = nullptr;
+    Node *Parent = nullptr;
+    std::vector<Node *> Children;
+
+    bool isRoot() const { return Parent == nullptr; }
+    unsigned getDepth() const {
+      unsigned D = 0;
+      for (const Node *N = Parent; N; N = N->Parent)
+        ++D;
+      return D;
+    }
+  };
+
+  /// Adds a node holding \p Payload under \p Parent (null = new root).
+  Node *addNode(T *Payload, Node *Parent) {
+    auto N = std::make_unique<Node>();
+    N->Payload = Payload;
+    N->Parent = Parent;
+    Node *Raw = N.get();
+    Nodes.push_back(std::move(N));
+    if (Parent)
+      Parent->Children.push_back(Raw);
+    else
+      Roots.push_back(Raw);
+    return Raw;
+  }
+
+  /// Deletes \p N; its children re-attach to N's parent (or become
+  /// roots), preserving ancestor/descendant relations of the survivors.
+  void removeNode(Node *N) {
+    Node *Parent = N->Parent;
+    // Reattach children.
+    for (Node *Child : N->Children) {
+      Child->Parent = Parent;
+      if (Parent)
+        Parent->Children.push_back(Child);
+      else
+        Roots.push_back(Child);
+    }
+    // Unlink from parent / roots.
+    auto &Siblings = Parent ? Parent->Children : Roots;
+    Siblings.erase(std::remove(Siblings.begin(), Siblings.end(), N),
+                   Siblings.end());
+    // Destroy.
+    Nodes.erase(std::remove_if(Nodes.begin(), Nodes.end(),
+                               [&](const std::unique_ptr<Node> &P) {
+                                 return P.get() == N;
+                               }),
+                Nodes.end());
+  }
+
+  const std::vector<Node *> &getRoots() const { return Roots; }
+
+  /// The node holding \p Payload, or null.
+  Node *findNode(const T *Payload) const {
+    for (const auto &N : Nodes)
+      if (N->Payload == Payload)
+        return N.get();
+    return nullptr;
+  }
+
+  size_t size() const { return Nodes.size(); }
+
+  /// Visits nodes depth-first, children after parents (preorder).
+  void visitPreorder(std::function<void(Node *)> Fn) const {
+    std::function<void(Node *)> Rec = [&](Node *N) {
+      Fn(N);
+      // Copy: Fn may mutate the child list (e.g. via removeNode).
+      auto Children = N->Children;
+      for (Node *C : Children)
+        Rec(C);
+    };
+    auto RootsCopy = Roots;
+    for (Node *R : RootsCopy)
+      Rec(R);
+  }
+
+  /// Visits nodes depth-first, parents after children (postorder) —
+  /// innermost-first for loop forests, the order LICM hoists in.
+  void visitPostorder(std::function<void(Node *)> Fn) const {
+    std::function<void(Node *)> Rec = [&](Node *N) {
+      auto Children = N->Children;
+      for (Node *C : Children)
+        Rec(C);
+      Fn(N);
+    };
+    auto RootsCopy = Roots;
+    for (Node *R : RootsCopy)
+      Rec(R);
+  }
+
+private:
+  std::vector<std::unique_ptr<Node>> Nodes;
+  std::vector<Node *> Roots;
+};
+
+} // namespace noelle
+
+#endif // NOELLE_FOREST_H

@@ -1,0 +1,104 @@
+#include "noelle/Invariants.h"
+
+#include "ir/Instructions.h"
+
+using namespace noelle;
+using nir::BranchInst;
+using nir::Instruction;
+using nir::PhiInst;
+
+InvariantManager::InvariantManager(nir::LoopStructure &L, PDG &LoopDG)
+    : L(L), LoopDG(LoopDG) {}
+
+bool InvariantManager::isLoopInvariant(const Value *V) {
+  const auto *I = nir::dyn_cast<Instruction>(V);
+  if (!I)
+    return true; // Constants, arguments, globals never vary.
+  if (!L.contains(I))
+    return true; // Defined before/after the loop.
+
+  auto It = Memo.find(V);
+  if (It != Memo.end())
+    return It->second;
+
+  std::set<const Value *> InStack;
+  bool R = isInvariantRec(V, InStack);
+  Memo[V] = R;
+  return R;
+}
+
+bool InvariantManager::isInvariantRec(const Value *V,
+                                      std::set<const Value *> &InStack) {
+  const auto *I = nir::dyn_cast<Instruction>(V);
+  if (!I || !L.contains(I))
+    return true;
+
+  auto It = Memo.find(V);
+  if (It != Memo.end())
+    return It->second;
+
+  // Values that produce a new result per iteration by construction.
+  // Header phis carry loop state; body phis select a value based on
+  // control flow, so they are only invariant when every incoming value
+  // is one and the same invariant value.
+  if (const auto *Phi = nir::dyn_cast<PhiInst>(I)) {
+    if (I->getParent() == L.getHeader()) {
+      Memo[V] = false;
+      return false;
+    }
+    const Value *Unique = nullptr;
+    for (unsigned K = 0; K < Phi->getNumIncoming(); ++K) {
+      if (!Unique)
+        Unique = Phi->getIncomingValue(K);
+      else if (Unique != Phi->getIncomingValue(K)) {
+        Memo[V] = false;
+        return false;
+      }
+    }
+  }
+  // Terminators, stores, and calls are not hoistable values; treating
+  // them as variant keeps the definition aligned with "can be moved to
+  // the preheader".
+  if (I->isTerminator() || nir::isa<nir::StoreInst>(I) ||
+      nir::isa<nir::CallInst>(I) || nir::isa<nir::AllocaInst>(I)) {
+    Memo[V] = false;
+    return false;
+  }
+
+  // Algorithm 2: a dependence cycle means "not invariant".
+  if (InStack.count(V))
+    return false;
+  InStack.insert(V);
+
+  bool Result = true;
+  for (const auto *E : LoopDG.getInEdges(const_cast<Value *>(V))) {
+    const Value *Dep = E->From;
+    const auto *DepInst = nir::dyn_cast<Instruction>(Dep);
+    if (!DepInst || !L.contains(DepInst))
+      continue; // Dependence from outside the loop: fine.
+    if (E->IsControl) {
+      // Pure instructions can be speculated above the controlling
+      // branch, so control dependences do not break invariance (we
+      // already rejected side-effecting instructions above). This is
+      // precisely where Algorithm 2 beats Algorithm 1's conservatism.
+      continue;
+    }
+    if (!isInvariantRec(Dep, InStack)) {
+      Result = false;
+      break;
+    }
+  }
+
+  InStack.erase(V);
+  Memo[V] = Result;
+  return Result;
+}
+
+std::vector<Instruction *> InvariantManager::getInvariants() {
+  std::vector<Instruction *> Out;
+  for (auto *BB : L.getBlocks())
+    for (const auto &I : BB->getInstList())
+      if (isLoopInvariant(I.get()))
+        Out.push_back(I.get());
+  return Out;
+}

@@ -1,0 +1,47 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// NOELLE's invariant abstraction (INV): loop-invariance decided through
+/// the PDG, implementing the paper's Algorithm 2. The contrast with
+/// LLVM's low-level Algorithm 1 (see src/baselines/LLVMInvariants.h) is
+/// the subject of Figure 4.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NOELLE_INVARIANTS_H
+#define NOELLE_INVARIANTS_H
+
+#include "noelle/PDG.h"
+
+#include <set>
+
+namespace noelle {
+
+/// Decides loop-invariance of values/instructions for one loop using the
+/// loop dependence graph: an instruction is invariant iff everything it
+/// depends on (register, memory, and control dependences alike) is
+/// defined outside the loop or itself invariant, with cycles broken
+/// pessimistically (Algorithm 2).
+class InvariantManager {
+public:
+  InvariantManager(nir::LoopStructure &L, PDG &LoopDG);
+
+  /// True if \p V is invariant across all iterations of the loop.
+  bool isLoopInvariant(const Value *V);
+
+  /// All invariant instructions of the loop, in block order.
+  std::vector<Instruction *> getInvariants();
+
+  nir::LoopStructure &getLoop() const { return L; }
+
+private:
+  bool isInvariantRec(const Value *V, std::set<const Value *> &InStack);
+
+  nir::LoopStructure &L;
+  PDG &LoopDG;
+  std::map<const Value *, bool> Memo;
+};
+
+} // namespace noelle
+
+#endif // NOELLE_INVARIANTS_H

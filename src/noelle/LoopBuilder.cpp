@@ -1,0 +1,208 @@
+#include "noelle/LoopBuilder.h"
+
+#include "ir/Instructions.h"
+
+#include <map>
+
+using namespace noelle;
+using nir::BranchInst;
+using nir::Function;
+using nir::PhiInst;
+using nir::Value;
+
+BasicBlock *LoopBuilder::getOrCreatePreheader(nir::LoopStructure &L) {
+  if (BasicBlock *PH = L.getPreheader())
+    return PH;
+
+  Function *F = L.getFunction();
+  BasicBlock *Header = L.getHeader();
+  auto NewPH = std::make_unique<BasicBlock>(Ctx.getVoidTy(),
+                                            Header->getName() + ".preheader");
+  BasicBlock *PH = F->insertBlock(std::move(NewPH), Header);
+
+  // Redirect out-of-loop predecessors to the new preheader.
+  std::vector<BasicBlock *> OutsidePreds;
+  for (BasicBlock *Pred : Header->predecessors())
+    if (!L.contains(Pred))
+      OutsidePreds.push_back(Pred);
+  for (BasicBlock *Pred : OutsidePreds) {
+    auto *Br = nir::cast<BranchInst>(Pred->getTerminator());
+    for (unsigned S = 0; S < Br->getNumSuccessors(); ++S)
+      if (Br->getSuccessor(S) == Header)
+        Br->setSuccessor(S, PH);
+  }
+
+  // Merge incoming phi values from those predecessors into the header's
+  // phis: the preheader contributes a new phi in PH when multiple
+  // outside predecessors exist, else the single value.
+  for (auto &I : Header->getInstList()) {
+    auto *Phi = nir::dyn_cast<PhiInst>(I.get());
+    if (!Phi)
+      break;
+    if (OutsidePreds.size() == 1) {
+      int Idx = Phi->getBlockIndex(OutsidePreds[0]);
+      assert(Idx >= 0);
+      Phi->setIncomingBlock(static_cast<unsigned>(Idx), PH);
+      continue;
+    }
+    auto *MergePhi = new PhiInst(Phi->getType());
+    MergePhi->setName(Phi->getName() + ".ph");
+    PH->push_back(std::unique_ptr<nir::Instruction>(MergePhi));
+    for (BasicBlock *Pred : OutsidePreds) {
+      int Idx = Phi->getBlockIndex(Pred);
+      assert(Idx >= 0);
+      MergePhi->addIncoming(Phi->getIncomingValue(Idx), Pred);
+      Phi->removeIncoming(static_cast<unsigned>(Idx));
+    }
+    Phi->addIncoming(MergePhi, PH);
+  }
+
+  PH->push_back(std::make_unique<BranchInst>(Ctx.getVoidTy(), Header));
+  return PH;
+}
+
+void LoopBuilder::hoistToPreheader(nir::LoopStructure &L, Instruction *I) {
+  BasicBlock *PH = getOrCreatePreheader(L);
+  I->moveBeforeTerminator(PH);
+}
+
+bool LoopBuilder::rotateWhileToDoWhile(nir::LoopStructure &L) {
+  BasicBlock *Header = L.getHeader();
+  BasicBlock *PH = L.getPreheader();
+  if (!PH)
+    PH = getOrCreatePreheader(L);
+
+  // Supported shape: the header is the only exiting block, ends in a
+  // conditional branch with exactly one in-loop and one out-of-loop
+  // successor.
+  if (L.getExitingBlocks().size() != 1 ||
+      L.getExitingBlocks()[0] != Header)
+    return false;
+  auto *HeaderBr = nir::dyn_cast_or_null<BranchInst>(Header->getTerminator());
+  if (!HeaderBr || !HeaderBr->isConditional())
+    return false;
+  BasicBlock *BodySucc = nullptr, *ExitSucc = nullptr;
+  unsigned BodyIdx = 0;
+  for (unsigned S = 0; S < 2; ++S) {
+    if (L.contains(HeaderBr->getSuccessor(S))) {
+      BodySucc = HeaderBr->getSuccessor(S);
+      BodyIdx = S;
+    } else {
+      ExitSucc = HeaderBr->getSuccessor(S);
+    }
+  }
+  if (!BodySucc || !ExitSucc || BodySucc == Header)
+    return false;
+  // Exit phis referencing header values other than phis would need value
+  // materialization per predecessor; require none for now.
+  for (auto &I : ExitSucc->getInstList()) {
+    if (!nir::isa<PhiInst>(I.get()))
+      break;
+    return false;
+  }
+
+  // All latches must end in unconditional branches, and the header body
+  // must be side-effect free (it gets duplicated); check everything
+  // before mutating.
+  for (BasicBlock *Latch : L.getLatches()) {
+    auto *LatchBr = nir::dyn_cast_or_null<BranchInst>(Latch->getTerminator());
+    if (!LatchBr || LatchBr->isConditional())
+      return false;
+  }
+  for (auto &I : Header->getInstList()) {
+    if (nir::isa<PhiInst>(I.get()) || I->isTerminator())
+      continue;
+    if (I->mayReadOrWriteMemory() || nir::isa<nir::CallInst>(I.get()))
+      return false;
+  }
+  // No loop value may be live past the loop: rotation changes which
+  // block reaches the exit, so register live-outs would need LCSSA phis
+  // we do not introduce.
+  for (BasicBlock *BB : L.getBlocks())
+    for (auto &I : BB->getInstList())
+      for (const auto &U : I->uses()) {
+        auto *UserInst =
+            nir::dyn_cast<Instruction>(static_cast<Value *>(U.TheUser));
+        if (UserInst && !L.contains(UserInst))
+          return false;
+      }
+
+  // Clones the header's non-phi computation with a value map and returns
+  // the mapped branch condition.
+  auto CloneCondInto = [&](BasicBlock *Dest,
+                           std::map<const Value *, Value *> &Map) -> Value * {
+    Instruction *InsertPos = Dest->getTerminator();
+    for (auto &I : Header->getInstList()) {
+      if (nir::isa<PhiInst>(I.get()))
+        continue;
+      if (I->isTerminator())
+        break;
+      if (I->mayReadOrWriteMemory() || nir::isa<nir::CallInst>(I.get()))
+        return nullptr; // Duplicating side effects would change semantics.
+      Instruction *C = I->clone();
+      for (unsigned Op = 0; Op < C->getNumOperands(); ++Op) {
+        auto It = Map.find(C->getOperand(Op));
+        if (It != Map.end())
+          C->setOperand(Op, It->second);
+      }
+      C->insertBefore(InsertPos);
+      Map[I.get()] = C;
+    }
+    auto It = Map.find(HeaderBr->getCondition());
+    if (It != Map.end())
+      return It->second;
+    // Condition computed by untouched values (e.g. invariant).
+    return HeaderBr->getCondition();
+  };
+
+  // 1) Guard in the preheader.
+  {
+    std::map<const Value *, Value *> Map;
+    for (auto &I : Header->getInstList()) {
+      auto *Phi = nir::dyn_cast<PhiInst>(I.get());
+      if (!Phi)
+        break;
+      Map[Phi] = Phi->getIncomingValueForBlock(PH);
+    }
+    Value *Cond = CloneCondInto(PH, Map);
+    if (!Cond)
+      return false;
+    auto *OldBr = nir::cast<BranchInst>(PH->getTerminator());
+    BasicBlock *GuardThen = BodyIdx == 0 ? Header : ExitSucc;
+    BasicBlock *GuardElse = BodyIdx == 0 ? ExitSucc : Header;
+    auto *NewBr =
+        new BranchInst(Ctx.getVoidTy(), Cond, GuardThen, GuardElse);
+    NewBr->insertBefore(OldBr);
+    OldBr->eraseFromParent();
+  }
+
+  // 2) Exit test in every latch.
+  for (BasicBlock *Latch : L.getLatches()) {
+    std::map<const Value *, Value *> Map;
+    for (auto &I : Header->getInstList()) {
+      auto *Phi = nir::dyn_cast<PhiInst>(I.get());
+      if (!Phi)
+        break;
+      Map[Phi] = Phi->getIncomingValueForBlock(Latch);
+    }
+    Value *Cond = CloneCondInto(Latch, Map);
+    if (!Cond)
+      return false;
+    auto *OldBr = nir::cast<BranchInst>(Latch->getTerminator());
+    assert(!OldBr->isConditional() &&
+           "latch of a header-exiting while loop must jump unconditionally");
+    BasicBlock *Then = BodyIdx == 0 ? Header : ExitSucc;
+    BasicBlock *Else = BodyIdx == 0 ? ExitSucc : Header;
+    auto *NewBr = new BranchInst(Ctx.getVoidTy(), Cond, Then, Else);
+    NewBr->insertBefore(OldBr);
+    OldBr->eraseFromParent();
+  }
+
+  // 3) The header now falls through to the body unconditionally.
+  {
+    auto *NewBr = new BranchInst(Ctx.getVoidTy(), BodySucc);
+    NewBr->insertBefore(HeaderBr);
+    HeaderBr->eraseFromParent();
+  }
+  return true;
+}

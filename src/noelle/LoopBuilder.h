@@ -1,0 +1,51 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// NOELLE's loop builder (LB): the IRBuilder-of-loops. Provides the loop
+/// transformations custom tools compose: preheader insertion, hoisting
+/// into the preheader, while -> do-while rotation, and latch-exit
+/// canonicalization (Table 1: "split a loop, translate do-while loops to
+/// while form and vice versa").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NOELLE_LOOPBUILDER_H
+#define NOELLE_LOOPBUILDER_H
+
+#include "analysis/LoopInfo.h"
+#include "ir/IRBuilder.h"
+
+namespace noelle {
+
+using nir::BasicBlock;
+using nir::Instruction;
+
+/// Mutates loops while keeping the IR verifiable. After structural
+/// changes, loop analyses (LoopInfo, DG, SCCDAG) must be recomputed —
+/// LoopBuilder invalidates them by design, like LLVM loop passes.
+class LoopBuilder {
+public:
+  explicit LoopBuilder(nir::Context &Ctx) : Ctx(Ctx) {}
+
+  /// Ensures \p L has a dedicated preheader, creating one if needed.
+  /// Returns it.
+  BasicBlock *getOrCreatePreheader(nir::LoopStructure &L);
+
+  /// Moves \p I to the end of the preheader (before its terminator).
+  /// The caller must have established that \p I is loop-invariant and
+  /// safe to execute unconditionally.
+  void hoistToPreheader(nir::LoopStructure &L, Instruction *I);
+
+  /// Rotates a while-shaped loop (header is the unique exiting block,
+  /// terminated by a conditional branch) into do-while form by cloning
+  /// the header's exit test into the preheader (guard) and every latch.
+  /// Returns false when the loop does not match the supported shape.
+  bool rotateWhileToDoWhile(nir::LoopStructure &L);
+
+private:
+  nir::Context &Ctx;
+};
+
+} // namespace noelle
+
+#endif // NOELLE_LOOPBUILDER_H

@@ -1,0 +1,161 @@
+#include "noelle/Noelle.h"
+
+using namespace noelle;
+using nir::Function;
+
+//===----------------------------------------------------------------------===//
+// LoopContent
+//===----------------------------------------------------------------------===//
+
+LoopContent::LoopContent(nir::LoopStructure &LS, PDGBuilder &Builder)
+    : LS(LS) {
+  LoopDG = Builder.getLoopDG(LS);
+  Dag = std::make_unique<SCCDAG>(*LoopDG, LS);
+  Inv = std::make_unique<InvariantManager>(LS, *LoopDG);
+  IVs = std::make_unique<InductionVariableManager>(LS, *Dag, *Inv);
+  Reds = std::make_unique<ReductionManager>(*Dag);
+  Env = std::make_unique<Environment>(LS);
+}
+
+//===----------------------------------------------------------------------===//
+// Noelle manager
+//===----------------------------------------------------------------------===//
+
+Noelle::Noelle(nir::Module &M, NoelleOptions Opts) : M(M), Opts(Opts) {
+  Builder = std::make_unique<PDGBuilder>(M, Opts.PDGOptions);
+}
+
+Noelle::~Noelle() = default;
+
+PDG &Noelle::getPDG() {
+  Requested.insert("PDG");
+  return Builder->getPDG();
+}
+
+CallGraph &Noelle::getCallGraph() {
+  Requested.insert("CG");
+  if (!CG) {
+    CGPointsTo = std::make_unique<nir::AndersenAliasAnalysis>(M);
+    CG = std::make_unique<CallGraph>(M, *CGPointsTo);
+  }
+  return *CG;
+}
+
+nir::DominatorTree &Noelle::getDominators(Function &F) {
+  auto It = DTs.find(&F);
+  if (It == DTs.end())
+    It = DTs.emplace(&F, std::make_unique<nir::DominatorTree>(F)).first;
+  return *It->second;
+}
+
+nir::LoopInfo &Noelle::getLoopInfo(Function &F) {
+  Requested.insert("LS");
+  auto It = LIs.find(&F);
+  if (It == LIs.end())
+    It = LIs
+             .emplace(&F, std::make_unique<nir::LoopInfo>(
+                              F, getDominators(F)))
+             .first;
+  return *It->second;
+}
+
+std::vector<LoopContent *> Noelle::getLoopContents() {
+  Requested.insert("L");
+  Requested.insert("PDG");
+  Requested.insert("aSCCDAG");
+  Requested.insert("INV");
+  Requested.insert("IV");
+  Requested.insert("RD");
+  Requested.insert("ENV");
+  if (!LoopsComputed) {
+    LoopsComputed = true;
+    for (const auto &F : M.getFunctions()) {
+      if (F->isDeclaration())
+        continue;
+      nir::LoopInfo &LI = getLoopInfo(*F);
+      for (nir::LoopStructure *LS : LI.getLoopsInPreorder())
+        Loops.push_back(std::make_unique<LoopContent>(*LS, *Builder));
+    }
+  }
+
+  std::vector<LoopContent *> Out;
+  ProfileData *Prof =
+      Opts.MinimumLoopHotness > 0 ? getProfiles(false) : nullptr;
+  for (const auto &LC : Loops) {
+    if (Prof && Prof->getLoopHotness(LC->getLoopStructure()) <
+                    Opts.MinimumLoopHotness)
+      continue;
+    Out.push_back(LC.get());
+  }
+  return Out;
+}
+
+Forest<LoopContent> &Noelle::getLoopForest() {
+  Requested.insert("FR");
+  if (!LoopForest) {
+    LoopForest = std::make_unique<Forest<LoopContent>>();
+    auto Contents = getLoopContents();
+    // Parents appear before children in preorder; map LS -> node.
+    std::map<const nir::LoopStructure *, Forest<LoopContent>::Node *> NodeOf;
+    for (LoopContent *LC : Contents) {
+      nir::LoopStructure *Parent = LC->getLoopStructure().getParentLoop();
+      Forest<LoopContent>::Node *ParentNode =
+          Parent && NodeOf.count(Parent) ? NodeOf[Parent] : nullptr;
+      NodeOf[&LC->getLoopStructure()] =
+          LoopForest->addNode(LC, ParentNode);
+    }
+  }
+  return *LoopForest;
+}
+
+DataFlowEngine &Noelle::getDataFlowEngine() {
+  Requested.insert("DFE");
+  return DFE;
+}
+
+ProfileData *Noelle::getProfiles(bool CollectIfMissing) {
+  Requested.insert("PRO");
+  if (!ProfilesLoaded) {
+    ProfilesLoaded = true;
+    if (ProfileData::isEmbedded(M))
+      Profiles = std::make_unique<ProfileData>(ProfileData::fromMetadata(M));
+  }
+  if (!Profiles && CollectIfMissing)
+    Profiles = std::make_unique<ProfileData>(Profiler::profileModule(M));
+  return Profiles.get();
+}
+
+Architecture &Noelle::getArchitecture() {
+  Requested.insert("AR");
+  if (!Arch)
+    Arch = std::make_unique<Architecture>(Opts.MeasureArchitecture);
+  return *Arch;
+}
+
+LoopBuilder &Noelle::getLoopBuilder() {
+  Requested.insert("LB");
+  if (!LB)
+    LB = std::make_unique<LoopBuilder>(M.getContext());
+  return *LB;
+}
+
+Scheduler Noelle::getScheduler(Function &F) {
+  Requested.insert("SCD");
+  return Scheduler(getFunctionDG(F), getDominators(F));
+}
+
+PDG &Noelle::getFunctionDG(Function &F) {
+  auto It = FnDGs.find(&F);
+  if (It == FnDGs.end())
+    It = FnDGs.emplace(&F, Builder->getFunctionDG(F)).first;
+  return *It->second;
+}
+
+void Noelle::invalidateLoops() {
+  Loops.clear();
+  LoopsComputed = false;
+  LoopForest.reset();
+  DTs.clear();
+  LIs.clear();
+  FnDGs.clear();
+}

@@ -1,0 +1,147 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Noelle manager: the demand-driven entry point custom tools use
+/// (what noelle-load puts in memory). Abstractions are computed only when
+/// requested and memoized; every request is recorded, which regenerates
+/// the paper's Table 4 (abstractions used per custom tool). It also owns
+/// the lifetimes of per-function analyses, fixing the LLVM function-pass
+/// cache-invalidation hazard described in Section 2.2.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NOELLE_NOELLE_H
+#define NOELLE_NOELLE_H
+
+#include "noelle/Architecture.h"
+#include "noelle/CallGraph.h"
+#include "noelle/DataFlow.h"
+#include "noelle/Environment.h"
+#include "noelle/Forest.h"
+#include "noelle/InductionVariables.h"
+#include "noelle/Invariants.h"
+#include "noelle/LoopBuilder.h"
+#include "noelle/PDG.h"
+#include "noelle/Profiler.h"
+#include "noelle/Reduction.h"
+#include "noelle/SCCDAG.h"
+#include "noelle/Scheduler.h"
+
+#include <memory>
+#include <set>
+
+namespace noelle {
+
+/// The "L" abstraction: one loop bundled with its dependence graph,
+/// aSCCDAG, invariants, induction variables, reductions, and environment
+/// — everything Table 1 lists for "Loop (L)".
+class LoopContent {
+public:
+  LoopContent(nir::LoopStructure &LS, PDGBuilder &Builder);
+
+  nir::LoopStructure &getLoopStructure() const { return LS; }
+  PDG &getLoopDG() const { return *LoopDG; }
+  SCCDAG &getSCCDAG() const { return *Dag; }
+  InvariantManager &getInvariantManager() const { return *Inv; }
+  InductionVariableManager &getIVManager() const { return *IVs; }
+  ReductionManager &getReductionManager() const { return *Reds; }
+  Environment &getEnvironment() const { return *Env; }
+
+private:
+  nir::LoopStructure &LS;
+  std::unique_ptr<PDG> LoopDG;
+  std::unique_ptr<SCCDAG> Dag;
+  std::unique_ptr<InvariantManager> Inv;
+  std::unique_ptr<InductionVariableManager> IVs;
+  std::unique_ptr<ReductionManager> Reds;
+  std::unique_ptr<Environment> Env;
+};
+
+struct NoelleOptions {
+  PDGBuildOptions PDGOptions;
+  double MinimumLoopHotness = 0.0; ///< filter for getLoopContents
+  bool MeasureArchitecture = false;
+};
+
+/// Demand-driven facade over all abstractions for one module.
+class Noelle {
+public:
+  explicit Noelle(nir::Module &M, NoelleOptions Opts = {});
+  ~Noelle();
+
+  nir::Module &getModule() const { return M; }
+
+  /// Whole-program PDG (Table 1: PDG).
+  PDG &getPDG();
+
+  /// Complete call graph (Table 1: CG).
+  CallGraph &getCallGraph();
+
+  /// All loops of the program as L bundles, outermost first, filtered by
+  /// hotness when a profile is available and MinimumLoopHotness is set.
+  std::vector<LoopContent *> getLoopContents();
+
+  /// The loop-nesting forest over the module's loops (Table 1: FR).
+  Forest<LoopContent> &getLoopForest();
+
+  /// The data-flow engine (Table 1: DFE).
+  DataFlowEngine &getDataFlowEngine();
+
+  /// Embedded or freshly collected profiles (Table 1: PRO). Returns null
+  /// if the module has no embedded profile and \p CollectIfMissing is
+  /// false.
+  ProfileData *getProfiles(bool CollectIfMissing = false);
+
+  /// Architecture description (Table 1: AR).
+  Architecture &getArchitecture();
+
+  /// Loop builder (Table 1: LB) and schedulers (SCD).
+  LoopBuilder &getLoopBuilder();
+  Scheduler getScheduler(nir::Function &F);
+
+  /// Per-function analyses with NOELLE-owned lifetime.
+  nir::DominatorTree &getDominators(nir::Function &F);
+  nir::LoopInfo &getLoopInfo(nir::Function &F);
+
+  /// Which abstractions have been requested so far (Table 4's columns).
+  const std::set<std::string> &getRequestedAbstractions() const {
+    return Requested;
+  }
+  void resetRequestTracking() { Requested.clear(); }
+
+  /// Records a request explicitly (used by abstractions reached without
+  /// a getter, e.g. ENV/T inside parallelizer codegen).
+  void noteRequest(const std::string &Name) { Requested.insert(Name); }
+
+  /// Invalidate loop-related caches after a transformation.
+  void invalidateLoops();
+
+private:
+  nir::Module &M;
+  NoelleOptions Opts;
+
+  std::unique_ptr<PDGBuilder> Builder;
+  std::unique_ptr<CallGraph> CG;
+  std::unique_ptr<nir::AndersenAliasAnalysis> CGPointsTo;
+  std::vector<std::unique_ptr<LoopContent>> Loops;
+  bool LoopsComputed = false;
+  std::unique_ptr<Forest<LoopContent>> LoopForest;
+  DataFlowEngine DFE;
+  std::unique_ptr<ProfileData> Profiles;
+  bool ProfilesLoaded = false;
+  std::unique_ptr<Architecture> Arch;
+  std::unique_ptr<LoopBuilder> LB;
+  std::map<nir::Function *, std::unique_ptr<nir::DominatorTree>> DTs;
+  std::map<nir::Function *, std::unique_ptr<nir::LoopInfo>> LIs;
+  std::map<nir::Function *, std::unique_ptr<PDG>> FnDGs;
+
+  std::set<std::string> Requested;
+
+public:
+  /// Function-level dependence graph, memoized (used by schedulers).
+  PDG &getFunctionDG(nir::Function &F);
+};
+
+} // namespace noelle
+
+#endif // NOELLE_NOELLE_H

@@ -1,0 +1,571 @@
+#include "noelle/PDG.h"
+
+#include "analysis/Dominators.h"
+#include "ir/Instructions.h"
+
+#include <algorithm>
+
+using namespace noelle;
+using nir::AliasResult;
+using nir::AllocaInst;
+using nir::BasicBlock;
+using nir::BranchInst;
+using nir::CallInst;
+using nir::CastInst;
+using nir::ConstantInt;
+using nir::GEPInst;
+using nir::GlobalVariable;
+using nir::LoadInst;
+using nir::PhiInst;
+using nir::PostDominatorTree;
+using nir::StoreInst;
+
+namespace {
+
+/// External functions that never touch program-visible memory (they
+/// read their value arguments only, or allocate fresh storage).
+bool isMemoryInertExternal(const Function *F) {
+  static const char *Names[] = {
+      "print_i64", "print_f64", "print_char", "malloc",   "free",
+      "sqrt",      "fabs",      "exp",        "log",      "sin",
+      "cos",       "pow",       "floor",      "clock_ns", "abort_if_false"};
+  for (const char *N : Names)
+    if (F->getName() == N)
+      return true;
+  return false;
+}
+
+bool mayAccessMemory(const Instruction *I) {
+  if (nir::isa<LoadInst>(I) || nir::isa<StoreInst>(I))
+    return true;
+  if (const auto *C = nir::dyn_cast<CallInst>(I)) {
+    if (C->getMetadata("noelle.pure") == "true")
+      return false;
+    const Function *Callee = C->getCalledFunction();
+    if (Callee && Callee->isDeclaration() && isMemoryInertExternal(Callee))
+      return false;
+    return true;
+  }
+  return false;
+}
+
+} // namespace
+
+PDGBuilder::PDGBuilder(Module &M, PDGBuildOptions Opts)
+    : M(M), Opts(Opts) {
+  std::string AAName = Opts.AliasAnalysisName;
+  if (AAName == "noelle")
+    AAName = "andersen";
+  else if (AAName == "llvm")
+    AAName = "basic";
+  AA = nir::createAliasAnalysis(AAName, M);
+}
+
+PDGBuilder::~PDGBuilder() = default;
+
+//===----------------------------------------------------------------------===//
+// Mod/ref summaries (interprocedural, Andersen-powered)
+//===----------------------------------------------------------------------===//
+
+void PDGBuilder::buildModRefSummaries() {
+  if (SummariesBuilt)
+    return;
+  SummariesBuilt = true;
+  if (!Opts.UseModRefSummaries)
+    return;
+  SummaryAA = std::make_unique<nir::AndersenAliasAnalysis>(M);
+
+  // Direct effects.
+  for (const auto &F : M.getFunctions()) {
+    if (F->isDeclaration())
+      continue;
+    auto &Reads = ReadSet[F.get()];
+    auto &Writes = WriteSet[F.get()];
+    bool &Unknown = TouchesUnknown[F.get()];
+    Unknown = false;
+    for (const auto &BB : F->getBlocks())
+      for (const auto &I : BB->getInstList()) {
+        if (const auto *L = nir::dyn_cast<LoadInst>(I.get())) {
+          const auto &Pts = SummaryAA->getPointsTo(L->getPointerOperand());
+          if (Pts.empty())
+            Unknown = true;
+          Reads.insert(Pts.begin(), Pts.end());
+        } else if (const auto *S = nir::dyn_cast<StoreInst>(I.get())) {
+          const auto &Pts = SummaryAA->getPointsTo(S->getPointerOperand());
+          if (Pts.empty())
+            Unknown = true;
+          Writes.insert(Pts.begin(), Pts.end());
+        }
+      }
+  }
+
+  // Transitive closure over calls.
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (const auto &F : M.getFunctions()) {
+      if (F->isDeclaration())
+        continue;
+      auto &Reads = ReadSet[F.get()];
+      auto &Writes = WriteSet[F.get()];
+      bool &Unknown = TouchesUnknown[F.get()];
+      for (const auto &BB : F->getBlocks())
+        for (const auto &I : BB->getInstList()) {
+          const auto *C = nir::dyn_cast<CallInst>(I.get());
+          if (!C)
+            continue;
+          std::vector<Function *> Callees;
+          if (Function *Direct = C->getCalledFunction()) {
+            Callees.push_back(Direct);
+          } else {
+            Callees = SummaryAA->getIndirectCallees(C);
+            if (Callees.empty() && !Unknown) {
+              Unknown = true;
+              Changed = true;
+            }
+          }
+          for (Function *Callee : Callees) {
+            if (Callee->isDeclaration()) {
+              if (!isMemoryInertExternal(Callee) && !Unknown) {
+                Unknown = true;
+                Changed = true;
+              }
+              continue;
+            }
+            for (const Value *O : ReadSet[Callee])
+              if (Reads.insert(O).second)
+                Changed = true;
+            for (const Value *O : WriteSet[Callee])
+              if (Writes.insert(O).second)
+                Changed = true;
+            if (TouchesUnknown[Callee] && !Unknown) {
+              Unknown = true;
+              Changed = true;
+            }
+          }
+        }
+    }
+  }
+}
+
+bool PDGBuilder::callMayTouch(const CallInst *Call, const Value *Ptr) {
+  if (Call->getMetadata("noelle.pure") == "true")
+    return false;
+
+  std::vector<Function *> Callees;
+  if (Function *Direct = Call->getCalledFunction())
+    Callees.push_back(Direct);
+
+  if (!Opts.UseModRefSummaries) {
+    // LLVM-like conservatism: any call may touch anything, except the
+    // known memory-inert externals.
+    if (Callees.size() == 1 && Callees[0]->isDeclaration())
+      return !isMemoryInertExternal(Callees[0]);
+    return true;
+  }
+
+  buildModRefSummaries();
+  if (Callees.empty())
+    Callees = SummaryAA->getIndirectCallees(Call);
+  if (Callees.empty())
+    return true;
+
+  const auto &PtrObjs = SummaryAA->getPointsTo(Ptr);
+  for (Function *Callee : Callees) {
+    if (Callee->isDeclaration()) {
+      if (!isMemoryInertExternal(Callee))
+        return true;
+      continue;
+    }
+    if (TouchesUnknown[Callee])
+      return true;
+    if (PtrObjs.empty())
+      return true;
+    for (const Value *O : PtrObjs)
+      if (ReadSet[Callee].count(O) || WriteSet[Callee].count(O))
+        return true;
+  }
+  return false;
+}
+
+//===----------------------------------------------------------------------===//
+// Per-function dependences
+//===----------------------------------------------------------------------===//
+
+void PDGBuilder::buildFunctionDeps(Function &F, PDG &G, PDG::Stats &Stats) {
+  // Register dependences from SSA def-use chains.
+  for (const auto &BB : F.getBlocks())
+    for (const auto &I : BB->getInstList())
+      for (const Value *Op : I->operands()) {
+        auto *OpI = nir::dyn_cast<Instruction>(const_cast<Value *>(Op));
+        if (OpI && G.hasNode(OpI))
+          G.addRegisterDep(OpI, I.get(), DataDepKind::RAW);
+      }
+
+  // Memory dependences among loads/stores/calls.
+  std::vector<Instruction *> MemInsts;
+  for (const auto &BB : F.getBlocks())
+    for (const auto &I : BB->getInstList())
+      if (mayAccessMemory(I.get()))
+        MemInsts.push_back(I.get());
+
+  auto PtrOf = [](Instruction *I) -> const Value * {
+    if (auto *L = nir::dyn_cast<LoadInst>(I))
+      return L->getPointerOperand();
+    if (auto *S = nir::dyn_cast<StoreInst>(I))
+      return S->getPointerOperand();
+    return nullptr;
+  };
+
+  for (size_t A = 0; A < MemInsts.size(); ++A) {
+    for (size_t B = A; B < MemInsts.size(); ++B) {
+      Instruction *IA = MemInsts[A];
+      Instruction *IB = MemInsts[B];
+      bool ALoad = nir::isa<LoadInst>(IA);
+      bool BLoad = nir::isa<LoadInst>(IB);
+      bool AStore = nir::isa<StoreInst>(IA);
+      bool BStore = nir::isa<StoreInst>(IB);
+      bool ACall = nir::isa<CallInst>(IA);
+      bool BCall = nir::isa<CallInst>(IB);
+
+      // Load-load pairs carry no dependence.
+      if (ALoad && BLoad)
+        continue;
+      // A self-pair only matters for stores/calls (loop-carried WAW).
+      if (A == B && ALoad)
+        continue;
+
+      if (ACall && BCall) {
+        ++Stats.MemoryPairsQueried;
+        // Call-call ordering matters unless summaries prove both
+        // write-free over disjoint state; keep it simple and sound.
+        bool Dep = true;
+        if (Opts.UseModRefSummaries) {
+          buildModRefSummaries();
+          auto Effects = [&](CallInst *C, std::set<const Value *> &R,
+                             std::set<const Value *> &W) -> bool {
+            std::vector<Function *> Cs;
+            if (Function *D = C->getCalledFunction())
+              Cs.push_back(D);
+            else
+              Cs = SummaryAA->getIndirectCallees(C);
+            if (Cs.empty())
+              return false;
+            for (Function *Callee : Cs) {
+              if (Callee->isDeclaration()) {
+                if (!isMemoryInertExternal(Callee))
+                  return false;
+                continue;
+              }
+              if (TouchesUnknown[Callee])
+                return false;
+              R.insert(ReadSet[Callee].begin(), ReadSet[Callee].end());
+              W.insert(WriteSet[Callee].begin(), WriteSet[Callee].end());
+            }
+            return true;
+          };
+          std::set<const Value *> RA, WA, RB, WB;
+          if (Effects(nir::cast<CallInst>(IA), RA, WA) &&
+              Effects(nir::cast<CallInst>(IB), RB, WB)) {
+            auto Intersects = [](const std::set<const Value *> &X,
+                                 const std::set<const Value *> &Y) {
+              for (const Value *V : X)
+                if (Y.count(V))
+                  return true;
+              return false;
+            };
+            Dep = Intersects(WA, RB) || Intersects(WA, WB) ||
+                  Intersects(RA, WB);
+          }
+        }
+        if (!Dep) {
+          ++Stats.MemoryPairsDisproved;
+          continue;
+        }
+        G.addMemoryDep(IA, IB, DataDepKind::WAW, /*Must=*/false);
+        if (A != B)
+          G.addMemoryDep(IB, IA, DataDepKind::WAW, /*Must=*/false);
+        continue;
+      }
+
+      if (ACall || BCall) {
+        Instruction *Call = ACall ? IA : IB;
+        Instruction *Mem = ACall ? IB : IA;
+        const Value *Ptr = PtrOf(Mem);
+        ++Stats.MemoryPairsQueried;
+        if (!callMayTouch(nir::cast<CallInst>(Call), Ptr)) {
+          ++Stats.MemoryPairsDisproved;
+          continue;
+        }
+        bool MemIsStore = nir::isa<StoreInst>(Mem);
+        // Call treated as a read+write of the location.
+        G.addMemoryDep(Call, Mem, MemIsStore ? DataDepKind::WAW
+                                             : DataDepKind::RAW,
+                       /*Must=*/false);
+        G.addMemoryDep(Mem, Call, MemIsStore ? DataDepKind::RAW
+                                             : DataDepKind::WAR,
+                       /*Must=*/false);
+        continue;
+      }
+
+      // Plain load/store pairs.
+      const Value *PA = PtrOf(IA);
+      const Value *PB = PtrOf(IB);
+      ++Stats.MemoryPairsQueried;
+      AliasResult AR = AA->alias(PA, PB);
+      if (AR == AliasResult::NoAlias) {
+        ++Stats.MemoryPairsDisproved;
+        continue;
+      }
+      bool Must = AR == AliasResult::MustAlias;
+      if (AStore && BStore) {
+        G.addMemoryDep(IA, IB, DataDepKind::WAW, Must);
+        if (A != B)
+          G.addMemoryDep(IB, IA, DataDepKind::WAW, Must);
+      } else if (AStore && BLoad) {
+        G.addMemoryDep(IA, IB, DataDepKind::RAW, Must);
+        G.addMemoryDep(IB, IA, DataDepKind::WAR, Must);
+      } else if (ALoad && BStore) {
+        G.addMemoryDep(IA, IB, DataDepKind::WAR, Must);
+        G.addMemoryDep(IB, IA, DataDepKind::RAW, Must);
+      }
+    }
+  }
+
+  buildControlDeps(F, G);
+}
+
+void PDGBuilder::buildControlDeps(Function &F, PDG &G) {
+  PostDominatorTree PDT(F);
+  for (const auto &BB : F.getBlocks()) {
+    auto *Br = nir::dyn_cast_or_null<BranchInst>(BB->getTerminator());
+    if (!Br || !Br->isConditional())
+      continue;
+    // Blocks control-dependent on this branch: for each successor S that
+    // does not post-dominate BB, walk S's post-dominator chain up to
+    // (exclusive) ipdom(BB).
+    BasicBlock *Stop = PDT.getIPDom(BB.get());
+    for (unsigned SI = 0; SI < Br->getNumSuccessors(); ++SI) {
+      BasicBlock *S = Br->getSuccessor(SI);
+      if (PDT.postDominates(S, BB.get()) && S != BB.get())
+        continue;
+      BasicBlock *Cur = S;
+      std::set<BasicBlock *> Seen;
+      while (Cur && Cur != Stop && Seen.insert(Cur).second) {
+        for (const auto &I : Cur->getInstList())
+          if (G.hasNode(I.get()))
+            G.addControlDep(Br, I.get());
+        Cur = PDT.getIPDom(Cur);
+      }
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Whole-program / function / loop graphs
+//===----------------------------------------------------------------------===//
+
+PDG &PDGBuilder::getPDG() {
+  if (WholePDG)
+    return *WholePDG;
+  WholePDG = std::make_unique<PDG>();
+  PDG &G = *WholePDG;
+  for (const auto &F : M.getFunctions())
+    for (const auto &BB : F->getBlocks())
+      for (const auto &I : BB->getInstList())
+        G.addNode(I.get(), /*Internal=*/true);
+  for (const auto &F : M.getFunctions()) {
+    if (F->isDeclaration())
+      continue;
+    buildFunctionDeps(*F, G, G.getStatsMutable());
+  }
+  return G;
+}
+
+std::unique_ptr<PDG> PDGBuilder::getFunctionDG(Function &F) {
+  auto G = std::make_unique<PDG>();
+  for (const auto &BB : F.getBlocks())
+    for (const auto &I : BB->getInstList())
+      G->addNode(I.get(), /*Internal=*/true);
+  // External nodes: arguments and globals referenced by the function.
+  for (const auto &BB : F.getBlocks())
+    for (const auto &I : BB->getInstList())
+      for (Value *Op : I->operands()) {
+        if (nir::isa<nir::Argument>(Op) || nir::isa<GlobalVariable>(Op)) {
+          G->addNode(Op, /*Internal=*/false);
+          G->addRegisterDep(Op, I.get(), DataDepKind::RAW);
+        }
+      }
+  buildFunctionDeps(F, *G, G->getStatsMutable());
+  return G;
+}
+
+std::unique_ptr<PDG> PDGBuilder::getLoopDG(LoopStructure &L) {
+  Function &F = *L.getFunction();
+
+  // Build the function-level dependences over a graph whose internal
+  // nodes are the loop's instructions; everything else in the function
+  // that interacts with the loop becomes external.
+  auto G = std::make_unique<PDG>();
+  for (const auto &BB : F.getBlocks())
+    for (const auto &I : BB->getInstList())
+      G->addNode(I.get(), L.contains(I.get()));
+  for (const auto &BB : F.getBlocks())
+    for (const auto &I : BB->getInstList())
+      for (Value *Op : I->operands())
+        if (nir::isa<nir::Argument>(Op) || nir::isa<GlobalVariable>(Op)) {
+          G->addNode(Op, /*Internal=*/false);
+          if (L.contains(I.get()))
+            G->addRegisterDep(Op, I.get(), DataDepKind::RAW);
+        }
+  buildFunctionDeps(F, *G, G->getStatsMutable());
+  refineLoopCarried(L, *G);
+  return G;
+}
+
+//===----------------------------------------------------------------------===//
+// Loop-carried refinement
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// True if \p V is loop-invariant w.r.t. \p L by a quick structural test
+/// (constants, values defined outside the loop).
+bool quickInvariant(const Value *V, const LoopStructure &L) {
+  const auto *I = nir::dyn_cast<Instruction>(V);
+  if (!I)
+    return true; // constants, arguments, globals
+  return !L.contains(I);
+}
+
+/// True if \p V is a strictly-monotonic affine induction expression of
+/// loop \p L: a header phi stepped by a nonzero loop-invariant constant,
+/// or such a phi plus/minus a loop-invariant value.
+bool isMonotonicAffineIV(const Value *V, const LoopStructure &L) {
+  // Peel constant-offset adjustments.
+  const Value *Cur = V;
+  for (unsigned Peel = 0; Peel < 4; ++Peel) {
+    if (const auto *B = nir::dyn_cast<nir::BinaryInst>(Cur)) {
+      using Op = nir::BinaryInst::Op;
+      if ((B->getOp() == Op::Add || B->getOp() == Op::Sub) &&
+          quickInvariant(B->getRHS(), L)) {
+        Cur = B->getLHS();
+        continue;
+      }
+      if (B->getOp() == Op::Add && quickInvariant(B->getLHS(), L)) {
+        Cur = B->getRHS();
+        continue;
+      }
+    }
+    break;
+  }
+
+  const auto *Phi = nir::dyn_cast<PhiInst>(Cur);
+  if (!Phi || Phi->getParent() != L.getHeader())
+    return false;
+
+  // One incoming from inside must be phi +/- nonzero constant.
+  for (unsigned K = 0; K < Phi->getNumIncoming(); ++K) {
+    const BasicBlock *In = Phi->getIncomingBlock(K);
+    if (!L.contains(In))
+      continue;
+    const auto *Step =
+        nir::dyn_cast<nir::BinaryInst>(Phi->getIncomingValue(K));
+    if (!Step)
+      return false;
+    using Op = nir::BinaryInst::Op;
+    if (Step->getOp() != Op::Add && Step->getOp() != Op::Sub)
+      return false;
+    const Value *Base = Step->getLHS();
+    const Value *Amount = Step->getRHS();
+    if (Step->getOp() == Op::Add && Base != Phi)
+      std::swap(Base, Amount);
+    if (Base != Phi)
+      return false;
+    const auto *C = nir::dyn_cast<ConstantInt>(Amount);
+    if (!C || C->isZero())
+      return false;
+  }
+  return true;
+}
+
+/// Address characterization for the same-iteration test: base pointer +
+/// index value + scale.
+struct AddrKey {
+  const Value *Base = nullptr;
+  const Value *Index = nullptr;
+  uint64_t Scale = 0;
+  bool Valid = false;
+};
+
+AddrKey addrKeyOf(const Instruction *I) {
+  const Value *Ptr = nullptr;
+  if (const auto *L = nir::dyn_cast<LoadInst>(I))
+    Ptr = L->getPointerOperand();
+  else if (const auto *S = nir::dyn_cast<StoreInst>(I))
+    Ptr = S->getPointerOperand();
+  if (!Ptr)
+    return {};
+  AddrKey K;
+  if (const auto *G = nir::dyn_cast<GEPInst>(Ptr)) {
+    K.Base = G->getBase();
+    K.Index = G->getIndex();
+    K.Scale = G->getScale();
+    K.Valid = true;
+    return K;
+  }
+  K.Base = Ptr;
+  K.Index = nullptr;
+  K.Valid = true;
+  return K;
+}
+
+} // namespace
+
+void PDGBuilder::refineLoopCarried(LoopStructure &L, PDG &G) {
+  for (auto *E : G.getEdges()) {
+    auto *From = nir::dyn_cast<Instruction>(E->From);
+    auto *To = nir::dyn_cast<Instruction>(E->To);
+    if (!From || !To || !L.contains(From) || !L.contains(To))
+      continue;
+
+    if (E->IsControl)
+      continue;
+
+    if (!E->IsMemory) {
+      // A register dependence is loop-carried iff it feeds a header phi
+      // through a latch edge (the value crosses the back edge).
+      auto *Phi = nir::dyn_cast<PhiInst>(To);
+      if (Phi && Phi->getParent() == L.getHeader()) {
+        for (unsigned K = 0; K < Phi->getNumIncoming(); ++K)
+          if (Phi->getIncomingValue(K) == From &&
+              L.contains(Phi->getIncomingBlock(K))) {
+            E->IsLoopCarried = true;
+            E->Distance = 1;
+          }
+      }
+      continue;
+    }
+
+    // Memory dependences: conservatively loop-carried, unless both
+    // accesses hit the same address every iteration through a
+    // strictly-monotonic affine index (then each iteration touches a
+    // distinct location, so the dependence cannot cross iterations).
+    E->IsLoopCarried = true;
+
+    // Self-dependences of a store through an injective IV address are
+    // not real: each iteration writes a different location.
+    AddrKey KA = addrKeyOf(From);
+    AddrKey KB = addrKeyOf(To);
+    if (KA.Valid && KB.Valid && KA.Base == KB.Base &&
+        KA.Index == KB.Index && KA.Scale == KB.Scale) {
+      if (KA.Index && isMonotonicAffineIV(KA.Index, L)) {
+        E->IsLoopCarried = false;
+        E->Distance = 0;
+      } else if (!KA.Index && From == To) {
+        // Same scalar location every iteration: a self WAW on a fixed
+        // address is genuinely loop-carried; keep it.
+      }
+    }
+  }
+}

@@ -1,0 +1,98 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// NOELLE's profiler abstraction (PRO): instruction/branch/loop/function
+/// profilers driven by interpreter observation, profile embedding into IR
+/// metadata (noelle-meta-prof-embed), and high-level hotness queries.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NOELLE_PROFILER_H
+#define NOELLE_PROFILER_H
+
+#include "analysis/LoopInfo.h"
+#include "interp/Interpreter.h"
+#include "ir/Module.h"
+
+#include <map>
+
+namespace noelle {
+
+using nir::BasicBlock;
+using nir::BranchInst;
+using nir::Function;
+using nir::Module;
+
+/// Collected execution statistics with high-level queries.
+class ProfileData {
+public:
+  /// Executions of a block. Zero when never observed.
+  uint64_t getBlockCount(const BasicBlock *BB) const;
+
+  /// Times the branch took successor \p Idx.
+  uint64_t getBranchTakenCount(const BranchInst *Br, unsigned Idx) const;
+
+  /// Invocations of a function.
+  uint64_t getFunctionInvocations(const Function *F) const;
+
+  /// Total dynamic instructions observed.
+  uint64_t getTotalInstructions() const { return TotalInstructions; }
+
+  /// Fraction of all executed instructions spent inside loop \p L — the
+  /// paper's "hotness of a code region".
+  double getLoopHotness(const nir::LoopStructure &L) const;
+
+  /// Fraction of all executed instructions spent in \p F.
+  double getFunctionHotness(const Function &F) const;
+
+  /// Total iterations of \p L (header executions minus invocations).
+  uint64_t getLoopTotalIterations(const nir::LoopStructure &L) const;
+
+  /// Times the loop was entered from outside.
+  uint64_t getLoopInvocations(const nir::LoopStructure &L) const;
+
+  /// Average iterations per invocation (0 when never invoked).
+  double getLoopAverageIterations(const nir::LoopStructure &L) const;
+
+  /// Writes the profile into IR metadata so it survives print/parse.
+  void embed(Module &M) const;
+
+  /// Reconstructs a profile previously embedded in \p M's metadata.
+  static ProfileData fromMetadata(Module &M);
+
+  /// Removes embedded profile metadata (noelle-meta-clean).
+  static void clean(Module &M);
+
+  /// True if \p M carries an embedded profile.
+  static bool isEmbedded(const Module &M);
+
+private:
+  friend class Profiler;
+  std::map<const BasicBlock *, uint64_t> BlockCounts;
+  std::map<const BranchInst *, std::pair<uint64_t, uint64_t>> BranchCounts;
+  std::map<const Function *, uint64_t> FnInvocations;
+  uint64_t TotalInstructions = 0;
+};
+
+/// Observes an ExecutionEngine run and accumulates ProfileData —
+/// noelle-prof-coverage's engine. Thread-compatible with single-threaded
+/// profiling runs (profile collection happens before parallelization).
+class Profiler : public nir::ExecutionObserver {
+public:
+  void onBlockExecuted(const BasicBlock *BB) override;
+  void onBranchExecuted(const BranchInst *Br, unsigned Taken) override;
+  void onCallExecuted(const nir::CallInst *Call,
+                      const Function *Callee) override;
+
+  /// Runs @main of \p M under profiling and returns the collected data.
+  static ProfileData profileModule(Module &M);
+
+  ProfileData takeData();
+
+private:
+  ProfileData Data;
+};
+
+} // namespace noelle
+
+#endif // NOELLE_PROFILER_H

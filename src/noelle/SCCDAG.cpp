@@ -1,0 +1,218 @@
+#include "noelle/SCCDAG.h"
+
+#include "ir/Instructions.h"
+
+#include <algorithm>
+#include <functional>
+
+using namespace noelle;
+using nir::Instruction;
+
+SCCDAG::SCCDAG(PDG &LoopDG, nir::LoopStructure &L) : LoopDG(LoopDG), L(L) {
+  // Tarjan's algorithm over the loop's internal nodes, following only
+  // edges between internal nodes.
+  struct TarjanState {
+    int Index = -1;
+    int LowLink = 0;
+    bool OnStack = false;
+  };
+  std::map<Value *, TarjanState> State;
+  std::vector<Value *> Stack;
+  int NextIndex = 0;
+
+  std::function<void(Value *)> StrongConnect = [&](Value *V) {
+    TarjanState &S = State[V];
+    S.Index = S.LowLink = NextIndex++;
+    S.OnStack = true;
+    Stack.push_back(V);
+
+    for (const auto *E : LoopDG.getOutEdges(V)) {
+      Value *W = E->To;
+      if (!LoopDG.isInternal(W))
+        continue;
+      TarjanState &SW = State[W];
+      if (SW.Index < 0) {
+        StrongConnect(W);
+        S.LowLink = std::min(S.LowLink, State[W].LowLink);
+      } else if (SW.OnStack) {
+        S.LowLink = std::min(S.LowLink, SW.Index);
+      }
+    }
+
+    if (S.LowLink == S.Index) {
+      auto NewSCC = std::make_unique<SCC>();
+      for (;;) {
+        Value *W = Stack.back();
+        Stack.pop_back();
+        State[W].OnStack = false;
+        NewSCC->Nodes.insert(W);
+        NodeToSCC[W] = NewSCC.get();
+        if (W == V)
+          break;
+      }
+      SCCs.push_back(std::move(NewSCC));
+    }
+  };
+
+  for (Value *V : LoopDG.getInternalNodes())
+    if (State[V].Index < 0)
+      StrongConnect(V);
+
+  // DAG edges between SCCs.
+  for (const auto *E : LoopDG.getEdges()) {
+    auto FromIt = NodeToSCC.find(E->From);
+    auto ToIt = NodeToSCC.find(E->To);
+    if (FromIt == NodeToSCC.end() || ToIt == NodeToSCC.end())
+      continue;
+    if (FromIt->second == ToIt->second)
+      continue;
+    Succs[FromIt->second].insert(ToIt->second);
+    Preds[ToIt->second].insert(FromIt->second);
+  }
+
+  for (auto &S : SCCs)
+    attribute(*S);
+}
+
+SCC *SCCDAG::sccOf(const Value *V) const {
+  auto It = NodeToSCC.find(const_cast<Value *>(V));
+  return It == NodeToSCC.end() ? nullptr : It->second;
+}
+
+const std::set<SCC *> &SCCDAG::getSuccessors(SCC *S) const {
+  auto It = Succs.find(S);
+  return It == Succs.end() ? EmptySet : It->second;
+}
+
+const std::set<SCC *> &SCCDAG::getPredecessors(SCC *S) const {
+  auto It = Preds.find(S);
+  return It == Preds.end() ? EmptySet : It->second;
+}
+
+std::vector<SCC *> SCCDAG::getTopologicalOrder() const {
+  std::vector<SCC *> Order;
+  std::set<SCC *> Visited;
+  std::function<void(SCC *)> Visit = [&](SCC *S) {
+    if (!Visited.insert(S).second)
+      return;
+    for (SCC *P : getPredecessors(S))
+      Visit(P);
+    Order.push_back(S);
+  };
+  for (const auto &S : SCCs)
+    Visit(S.get());
+  return Order;
+}
+
+void SCCDAG::attribute(SCC &S) {
+  // Internal loop-carried edges decide the category.
+  for (Value *V : S.Nodes)
+    for (const auto *E : LoopDG.getOutEdges(V)) {
+      if (!S.Nodes.count(E->To))
+        continue;
+      if (E->IsLoopCarried) {
+        S.LoopCarried = true;
+        if (E->IsMemory)
+          S.LoopCarriedMemory = true;
+      }
+    }
+
+  if (!S.LoopCarried) {
+    S.Attr = SCC::Attribute::Independent;
+    return;
+  }
+  if (detectReduction(S)) {
+    S.Attr = SCC::Attribute::Reducible;
+    return;
+  }
+  S.Attr = SCC::Attribute::Sequential;
+}
+
+bool SCCDAG::detectReduction(SCC &S) {
+  // A reducible SCC matches the classic accumulation pattern:
+  //   header:  acc = phi [init, preheader], [upd, latch]
+  //   body:    upd = acc <associative-op> contribution
+  // with the contribution computed outside the SCC and no memory edges
+  // carried around the back edge.
+  if (S.LoopCarriedMemory)
+    return false;
+
+  PhiInst *AccPhi = nullptr;
+  for (Value *V : S.Nodes) {
+    auto *Phi = nir::dyn_cast<PhiInst>(V);
+    if (!Phi)
+      continue;
+    if (Phi->getParent() != L.getHeader())
+      return false; // Cycles through non-header phis are not reductions.
+    if (AccPhi)
+      return false; // Multiple accumulators in one SCC: bail.
+    AccPhi = Phi;
+  }
+  if (!AccPhi)
+    return false;
+
+  // The in-loop incoming value must be an associative binop of the phi.
+  BinaryInst *Update = nullptr;
+  for (unsigned K = 0; K < AccPhi->getNumIncoming(); ++K) {
+    if (!L.contains(AccPhi->getIncomingBlock(K)))
+      continue;
+    auto *B = nir::dyn_cast<BinaryInst>(AccPhi->getIncomingValue(K));
+    if (!B || !B->isAssociative() || !S.Nodes.count(B))
+      return false;
+    if (Update && Update != B)
+      return false;
+    Update = B;
+  }
+  if (!Update)
+    return false;
+
+  // Exactly one operand chain links back to the phi; the other is the
+  // per-iteration contribution from outside the SCC.
+  Value *Contribution = nullptr;
+  if (Update->getLHS() == AccPhi)
+    Contribution = Update->getRHS();
+  else if (Update->getRHS() == AccPhi)
+    Contribution = Update->getLHS();
+  else
+    return false;
+  if (S.Nodes.count(Contribution))
+    return false;
+
+  // All other SCC members must be on the phi-update cycle only. Allow
+  // the minimal {phi, update} pair; anything extra means side uses we
+  // cannot reduce.
+  for (Value *V : S.Nodes)
+    if (V != AccPhi && V != Update)
+      return false;
+
+  // Every operation crossing iterations must be this associative op; the
+  // phi may not feed anything else *inside* the SCC (uses outside the
+  // loop read the final value and are fine; uses inside the loop outside
+  // the SCC would observe intermediate sums, which reduction reordering
+  // would break).
+  for (const auto &U : AccPhi->uses()) {
+    auto *UserInst = nir::dyn_cast<Instruction>(
+        static_cast<Value *>(U.TheUser));
+    if (!UserInst)
+      continue;
+    if (UserInst == Update)
+      continue;
+    if (L.contains(UserInst))
+      return false;
+  }
+  for (const auto &U : Update->uses()) {
+    auto *UserInst = nir::dyn_cast<Instruction>(
+        static_cast<Value *>(U.TheUser));
+    if (!UserInst)
+      continue;
+    if (UserInst == AccPhi)
+      continue;
+    if (L.contains(UserInst))
+      return false;
+  }
+
+  S.ReductionPhi = AccPhi;
+  S.ReductionUpdate = Update;
+  S.ReductionOp = Update->getOp();
+  return true;
+}

@@ -1,0 +1,100 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The augmented SCCDAG (aSCCDAG) abstraction: Tarjan's strongly connected
+/// components over a loop's dependence graph, arranged as a DAG, with each
+/// SCC attributed as Independent, Sequential, or Reducible (Section 2.2).
+/// HELIX/DSWP/DOALL are all implemented as scheduling policies over this
+/// structure.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NOELLE_SCCDAG_H
+#define NOELLE_SCCDAG_H
+
+#include "noelle/PDG.h"
+
+namespace noelle {
+
+using nir::BinaryInst;
+using nir::PhiInst;
+
+/// One strongly connected component of a loop dependence graph.
+class SCC {
+public:
+  enum class Attribute {
+    Independent, ///< no dependence between dynamic instances
+    Sequential,  ///< instances must run in iteration order
+    Reducible,   ///< instances commute via a reduction operator
+  };
+
+  const std::set<Value *> &getNodes() const { return Nodes; }
+  bool contains(const Value *V) const {
+    return Nodes.count(const_cast<Value *>(V)) != 0;
+  }
+
+  Attribute getAttribute() const { return Attr; }
+
+  /// True if some edge internal to this SCC is loop-carried.
+  bool hasLoopCarriedDependence() const { return LoopCarried; }
+
+  /// True if some internal loop-carried edge is a memory dependence.
+  bool hasLoopCarriedMemoryDependence() const { return LoopCarriedMemory; }
+
+  /// For Reducible SCCs: the accumulator phi and its operator.
+  PhiInst *getReductionPhi() const { return ReductionPhi; }
+  BinaryInst::Op getReductionOp() const { return ReductionOp; }
+  /// The accumulation instruction (phi-incoming along the latch).
+  BinaryInst *getReductionUpdate() const { return ReductionUpdate; }
+
+  /// Number of instructions in this SCC.
+  size_t size() const { return Nodes.size(); }
+
+private:
+  friend class SCCDAG;
+  std::set<Value *> Nodes;
+  Attribute Attr = Attribute::Independent;
+  bool LoopCarried = false;
+  bool LoopCarriedMemory = false;
+  PhiInst *ReductionPhi = nullptr;
+  BinaryInst *ReductionUpdate = nullptr;
+  BinaryInst::Op ReductionOp = BinaryInst::Op::Add;
+};
+
+/// The DAG of SCCs of a loop dependence graph.
+class SCCDAG {
+public:
+  /// Builds the aSCCDAG of \p L from its loop dependence graph \p LoopDG
+  /// (as returned by PDGBuilder::getLoopDG).
+  SCCDAG(PDG &LoopDG, nir::LoopStructure &L);
+
+  const std::vector<std::unique_ptr<SCC>> &getSCCs() const { return SCCs; }
+
+  /// The SCC containing \p V, or null if V is not an internal node.
+  SCC *sccOf(const Value *V) const;
+
+  /// Dependence successors of \p S in the DAG.
+  const std::set<SCC *> &getSuccessors(SCC *S) const;
+  const std::set<SCC *> &getPredecessors(SCC *S) const;
+
+  /// SCCs in a topological order (dependences point forward).
+  std::vector<SCC *> getTopologicalOrder() const;
+
+  nir::LoopStructure &getLoop() const { return L; }
+  PDG &getLoopDG() const { return LoopDG; }
+
+private:
+  void attribute(SCC &S);
+  bool detectReduction(SCC &S);
+
+  PDG &LoopDG;
+  nir::LoopStructure &L;
+  std::vector<std::unique_ptr<SCC>> SCCs;
+  std::map<const Value *, SCC *> NodeToSCC;
+  std::map<SCC *, std::set<SCC *>> Succs, Preds;
+  std::set<SCC *> EmptySet;
+};
+
+} // namespace noelle
+
+#endif // NOELLE_SCCDAG_H

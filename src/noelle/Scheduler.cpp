@@ -1,0 +1,208 @@
+#include "noelle/Scheduler.h"
+
+#include "ir/Instructions.h"
+
+#include <algorithm>
+
+using namespace noelle;
+using nir::Instruction;
+using nir::PhiInst;
+
+namespace {
+
+/// Position of \p I within its block, counted from the front.
+int positionInBlock(const Instruction *I) {
+  int Pos = 0;
+  for (const auto &Cur : I->getParent()->getInstList()) {
+    if (Cur.get() == I)
+      return Pos;
+    ++Pos;
+  }
+  return -1;
+}
+
+} // namespace
+
+bool Scheduler::canMoveBefore(Instruction *I, Instruction *Pos) const {
+  if (I == Pos)
+    return false;
+  if (I->isTerminator() || nir::isa<PhiInst>(I))
+    return false;
+  if (nir::isa<PhiInst>(Pos) && Pos->getParent() == I->getParent())
+    return false; // Cannot move above the phi group.
+  if (I->getParent() != Pos->getParent())
+    return false; // The generic scheduler moves within one block.
+
+  int From = positionInBlock(I);
+  int To = positionInBlock(Pos);
+  assert(From >= 0 && To >= 0);
+  if (From == To)
+    return false;
+
+  // Instructions crossed by the move must have no PDG ordering edge
+  // with I in the direction that the move would reverse.
+  int Lo = std::min(From, To == From ? From : To);
+  int Hi = std::max(From, To);
+  bool MovingUp = To < From;
+  int Idx = 0;
+  for (const auto &Cur : I->getParent()->getInstList()) {
+    Instruction *C = Cur.get();
+    bool Crossed = MovingUp ? (Idx >= Lo && Idx < From)
+                            : (Idx > From && Idx < Hi);
+    ++Idx;
+    if (!Crossed || C == I)
+      continue;
+    // Moving up: C currently precedes I; any C -> I dependence breaks.
+    // Moving down: I currently precedes C; any I -> C dependence breaks.
+    Instruction *Before = MovingUp ? C : I;
+    Instruction *After = MovingUp ? I : C;
+    for (const auto *E : FnDG.getOutEdges(Before))
+      if (E->To == After && !E->IsLoopCarried)
+        return false;
+  }
+  return true;
+}
+
+bool Scheduler::moveBefore(Instruction *I, Instruction *Pos) const {
+  if (!canMoveBefore(I, Pos))
+    return false;
+  I->moveBefore(Pos);
+  return true;
+}
+
+bool Scheduler::canPlaceAtEndOf(Instruction *I, BasicBlock *BB) const {
+  if (I->isTerminator() || nir::isa<PhiInst>(I) || I->mayReadOrWriteMemory())
+    return false;
+  Instruction *Term = BB->getTerminator();
+  if (!Term)
+    return false;
+  for (const nir::Value *Op : I->operands()) {
+    const auto *OpI = nir::dyn_cast<Instruction>(Op);
+    if (!OpI)
+      continue;
+    if (!DT.dominates(OpI, Term))
+      return false;
+  }
+  return true;
+}
+
+unsigned BasicBlockScheduler::schedule(
+    BasicBlock *BB,
+    const std::function<int(const Instruction *)> &Rank) const {
+  // Gather movable (non-phi, non-terminator) instructions.
+  std::vector<Instruction *> Body;
+  for (const auto &I : BB->getInstList()) {
+    if (nir::isa<PhiInst>(I.get()) || I->isTerminator())
+      continue;
+    Body.push_back(I.get());
+  }
+  if (Body.size() < 2)
+    return 0;
+
+  // Dependence edges restricted to the block body.
+  std::map<Instruction *, std::set<Instruction *>> Preds;
+  std::map<Instruction *, unsigned> InDeg;
+  for (Instruction *I : Body)
+    InDeg[I] = 0;
+  for (size_t A = 0; A < Body.size(); ++A)
+    for (const auto *E : FnDG.getOutEdges(Body[A])) {
+      auto *To = nir::dyn_cast<Instruction>(E->To);
+      if (!To || E->IsLoopCarried)
+        continue;
+      if (!InDeg.count(To) || To == Body[A])
+        continue;
+      // Only forward (program-order) edges constrain the schedule.
+      if (positionInBlock(Body[A]) > positionInBlock(To))
+        continue;
+      if (Preds[To].insert(Body[A]).second)
+        ++InDeg[To];
+    }
+
+  // List scheduling by (rank, original position).
+  std::map<Instruction *, int> OrigPos;
+  for (Instruction *I : Body)
+    OrigPos[I] = positionInBlock(I);
+  std::vector<Instruction *> Ready;
+  for (Instruction *I : Body)
+    if (InDeg[I] == 0)
+      Ready.push_back(I);
+
+  std::vector<Instruction *> NewOrder;
+  while (!Ready.empty()) {
+    auto Best = std::min_element(
+        Ready.begin(), Ready.end(), [&](Instruction *A, Instruction *B) {
+          int RA = Rank(A), RB = Rank(B);
+          if (RA != RB)
+            return RA < RB;
+          return OrigPos[A] < OrigPos[B];
+        });
+    Instruction *I = *Best;
+    Ready.erase(Best);
+    NewOrder.push_back(I);
+    for (auto &[To, Ps] : Preds)
+      if (Ps.erase(I) && --InDeg[To] == 0)
+        Ready.push_back(To);
+  }
+  assert(NewOrder.size() == Body.size() && "scheduling dropped instructions");
+
+  // Apply: move each instruction before the terminator in the new order.
+  unsigned Moved = 0;
+  Instruction *Term = BB->getTerminator();
+  for (size_t K = 0; K < NewOrder.size(); ++K) {
+    if (NewOrder[K] != Body[K])
+      ++Moved;
+    if (Term)
+      NewOrder[K]->moveBefore(Term);
+    else
+      NewOrder[K]->moveBeforeTerminator(BB);
+  }
+  return Moved;
+}
+
+unsigned LoopScheduler::shrinkHeader() const {
+  BasicBlock *Header = L.getHeader();
+  // Pick a sink target: the unique in-loop successor of the header.
+  BasicBlock *Target = nullptr;
+  for (BasicBlock *Succ : Header->successors())
+    if (L.contains(Succ) && Succ != Header) {
+      if (Target)
+        return 0; // Two in-loop successors: keep it simple.
+      Target = Succ;
+    }
+  if (!Target)
+    return 0;
+  // The target must be dominated by the header and have one predecessor
+  // (otherwise sinking duplicates work on other paths).
+  if (Target->predecessors().size() != 1)
+    return 0;
+
+  // Sink header instructions not used by the header's own terminator /
+  // phis and with no memory hazards.
+  unsigned Moved = 0;
+  std::vector<Instruction *> Candidates;
+  for (const auto &I : Header->getInstList()) {
+    if (nir::isa<PhiInst>(I.get()) || I->isTerminator())
+      continue;
+    if (I->mayReadOrWriteMemory())
+      continue;
+    bool UsedInHeader = false;
+    for (const auto &U : I->uses()) {
+      auto *UserInst = nir::dyn_cast<Instruction>(
+          static_cast<Value *>(U.TheUser));
+      if (UserInst && UserInst->getParent() == Header) {
+        UsedInHeader = true;
+        break;
+      }
+    }
+    if (!UsedInHeader)
+      Candidates.push_back(I.get());
+  }
+  for (Instruction *I : Candidates) {
+    Instruction *Anchor = Target->getFirstNonPhi();
+    if (!Anchor)
+      continue;
+    I->moveBefore(Anchor);
+    ++Moved;
+  }
+  return Moved;
+}

@@ -1,0 +1,79 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// NOELLE's scheduler abstraction (SCD): semantics-preserving instruction
+/// motion within and between basic blocks, with legality decided by the
+/// PDG. A hierarchy of schedulers (generic -> basic-block -> loop)
+/// specializes the capabilities, as in the paper's Table 1.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NOELLE_SCHEDULER_H
+#define NOELLE_SCHEDULER_H
+
+#include "analysis/Dominators.h"
+#include "noelle/PDG.h"
+
+#include <functional>
+
+namespace noelle {
+
+using nir::BasicBlock;
+using nir::DominatorTree;
+
+/// Generic scheduler: PDG-checked movement primitives.
+class Scheduler {
+public:
+  Scheduler(PDG &FnDG, DominatorTree &DT) : FnDG(FnDG), DT(DT) {}
+  virtual ~Scheduler() = default;
+
+  /// True if moving \p I immediately before \p Pos (same block) keeps
+  /// all PDG-ordered pairs in order.
+  bool canMoveBefore(Instruction *I, Instruction *Pos) const;
+
+  /// Moves \p I before \p Pos if legal; returns whether it moved.
+  bool moveBefore(Instruction *I, Instruction *Pos) const;
+
+  /// True if \p I could be duplicated/placed at the end of \p BB: every
+  /// operand dominates BB's terminator and I has no ordering hazards
+  /// (pure, non-terminator).
+  bool canPlaceAtEndOf(Instruction *I, BasicBlock *BB) const;
+
+protected:
+  PDG &FnDG;
+  DominatorTree &DT;
+};
+
+/// Basic-block scheduler: list-schedules one block bottom-up to sink
+/// cheap producers toward consumers (used by Time-Squeezer to shape
+/// clock-period regions).
+class BasicBlockScheduler : public Scheduler {
+public:
+  using Scheduler::Scheduler;
+
+  /// Reorders \p BB respecting every PDG edge; returns the number of
+  /// instructions that changed position. The priority function returns a
+  /// rank: lower ranks schedule earlier.
+  unsigned schedule(BasicBlock *BB,
+                    const std::function<int(const Instruction *)> &Rank) const;
+};
+
+/// Loop scheduler: capabilities specialized to a loop, e.g. shrinking
+/// the header by sinking non-phi header instructions into the body
+/// (HELIX uses this to reduce sequential-segment size).
+class LoopScheduler : public Scheduler {
+public:
+  LoopScheduler(PDG &FnDG, DominatorTree &DT, nir::LoopStructure &L)
+      : Scheduler(FnDG, DT), L(L) {}
+
+  /// Sinks header instructions not needed by the exit condition below
+  /// the header when legal. Returns how many instructions moved.
+  unsigned shrinkHeader() const;
+
+private:
+  nir::LoopStructure &L;
+};
+
+} // namespace noelle
+
+#endif // NOELLE_SCHEDULER_H

@@ -1,0 +1,218 @@
+#include "runtime/ParallelRuntime.h"
+
+#include "ir/Instructions.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
+#include <deque>
+#include <mutex>
+#include <thread>
+
+using namespace noelle;
+using nir::CallInst;
+using nir::ExecutionEngine;
+using nir::Function;
+using nir::RuntimeValue;
+
+namespace {
+
+/// A bounded blocking queue carrying 64-bit payloads (DSWP's inter-core
+/// channel). Handles are stable heap pointers owned by a registry so IR
+/// code can hold them as opaque ptr values.
+class BlockingQueue {
+public:
+  explicit BlockingQueue(size_t Capacity) : Capacity(Capacity) {}
+
+  void push(int64_t V) {
+    std::unique_lock<std::mutex> Lock(M);
+    NotFull.wait(Lock, [&] { return Items.size() < Capacity; });
+    Items.push_back(V);
+    NotEmpty.notify_one();
+  }
+
+  int64_t pop() {
+    std::unique_lock<std::mutex> Lock(M);
+    NotEmpty.wait(Lock, [&] { return !Items.empty(); });
+    int64_t V = Items.front();
+    Items.pop_front();
+    NotFull.notify_one();
+    return V;
+  }
+
+private:
+  size_t Capacity;
+  std::mutex M;
+  std::condition_variable NotFull, NotEmpty;
+  std::deque<int64_t> Items;
+};
+
+/// Registry keeping queue objects alive for the engine's lifetime.
+struct QueueRegistry {
+  std::mutex M;
+  std::vector<std::unique_ptr<BlockingQueue>> Queues;
+
+  BlockingQueue *create(size_t Capacity) {
+    std::lock_guard<std::mutex> Lock(M);
+    Queues.push_back(std::make_unique<BlockingQueue>(Capacity));
+    return Queues.back().get();
+  }
+};
+
+QueueRegistry &queues() {
+  static QueueRegistry R;
+  return R;
+}
+
+/// Synchronization operations performed by the calling thread inside the
+/// current task (ss waits/signals + queue pushes/pops); feeds the
+/// performance model.
+thread_local uint64_t ThreadSyncOps = 0;
+
+/// Segment-work accounting: noelle_ss_wait checkpoints the thread's
+/// retired-instruction counter; noelle_ss_signal accumulates the delta.
+thread_local uint64_t ThreadSegmentWork = 0;
+thread_local uint64_t ThreadSegmentCheckpoint = 0;
+
+} // namespace
+
+void noelle::registerParallelRuntime(ExecutionEngine &Engine) {
+  Engine.registerExternal(
+      "noelle_dispatch",
+      [](ExecutionEngine &E, const CallInst *,
+         const std::vector<RuntimeValue> &A) {
+        Function *Task = E.decodeFunction(A[0].P);
+        if (!Task) {
+          std::fprintf(stderr, "noelle_dispatch: invalid task pointer\n");
+          std::abort();
+        }
+        uint64_t EnvPtr = A[1].P;
+        int64_t NumTasks = A[2].I;
+        std::vector<std::thread> Threads;
+        std::vector<uint64_t> Work(static_cast<size_t>(NumTasks), 0);
+        std::vector<uint64_t> Sync(static_cast<size_t>(NumTasks), 0);
+        std::vector<uint64_t> Seg(static_cast<size_t>(NumTasks), 0);
+        Threads.reserve(static_cast<size_t>(NumTasks));
+        for (int64_t T = 0; T < NumTasks; ++T) {
+          Threads.emplace_back([&, T] {
+            ExecutionEngine::resetThreadRetired();
+            ThreadSyncOps = 0;
+            ThreadSegmentWork = 0;
+            E.runFunction(Task, {RuntimeValue::ofPtr(EnvPtr),
+                                 RuntimeValue::ofInt(T),
+                                 RuntimeValue::ofInt(NumTasks)});
+            Work[static_cast<size_t>(T)] =
+                ExecutionEngine::readThreadRetired();
+            Sync[static_cast<size_t>(T)] = ThreadSyncOps;
+            Seg[static_cast<size_t>(T)] = ThreadSegmentWork;
+          });
+        }
+        for (auto &Th : Threads)
+          Th.join();
+        nir::DispatchRecord Rec;
+        Rec.NumTasks = static_cast<uint64_t>(NumTasks);
+        for (size_t T = 0; T < Work.size(); ++T) {
+          Rec.MaxTaskInstructions =
+              std::max(Rec.MaxTaskInstructions, Work[T]);
+          Rec.TotalTaskInstructions += Work[T];
+          Rec.MaxTaskSyncOps = std::max(Rec.MaxTaskSyncOps, Sync[T]);
+          Rec.TotalTaskSyncOps += Sync[T];
+          Rec.TotalSegmentInstructions += Seg[T];
+        }
+        E.recordDispatch(Rec);
+        return RuntimeValue();
+      });
+
+  Engine.registerExternal(
+      "noelle_ss_create",
+      [](ExecutionEngine &E, const CallInst *,
+         const std::vector<RuntimeValue> &A) {
+        int64_t Count = A[0].I;
+        uint64_t Addr =
+            E.heapAlloc(static_cast<uint64_t>(Count) * sizeof(int64_t));
+        auto *Gates = reinterpret_cast<std::atomic<int64_t> *>(Addr);
+        for (int64_t I = 0; I < Count; ++I)
+          Gates[I].store(0, std::memory_order_relaxed);
+        return RuntimeValue::ofPtr(Addr);
+      });
+
+  Engine.registerExternal(
+      "noelle_ss_wait",
+      [](ExecutionEngine &, const CallInst *,
+         const std::vector<RuntimeValue> &A) {
+        auto *Gates = reinterpret_cast<std::atomic<int64_t> *>(A[0].P);
+        int64_t SS = A[1].I;
+        int64_t Iter = A[2].I;
+        ++ThreadSyncOps;
+        unsigned Spins = 0;
+        ThreadSegmentCheckpoint = ExecutionEngine::readThreadRetired();
+        while (Gates[SS].load(std::memory_order_acquire) < Iter) {
+          if (++Spins > 1024) {
+            std::this_thread::yield();
+            Spins = 0;
+          }
+        }
+        return RuntimeValue();
+      });
+
+  Engine.registerExternal(
+      "noelle_ss_signal",
+      [](ExecutionEngine &, const CallInst *,
+         const std::vector<RuntimeValue> &A) {
+        auto *Gates = reinterpret_cast<std::atomic<int64_t> *>(A[0].P);
+        int64_t SS = A[1].I;
+        int64_t Iter = A[2].I;
+        Gates[SS].store(Iter + 1, std::memory_order_release);
+        ThreadSegmentWork +=
+            ExecutionEngine::readThreadRetired() - ThreadSegmentCheckpoint;
+        return RuntimeValue();
+      });
+
+  Engine.registerExternal(
+      "noelle_queue_create",
+      [](ExecutionEngine &, const CallInst *,
+         const std::vector<RuntimeValue> &A) {
+        BlockingQueue *Q =
+            queues().create(static_cast<size_t>(std::max<int64_t>(A[0].I, 1)));
+        return RuntimeValue::ofPtr(reinterpret_cast<uint64_t>(Q));
+      });
+
+  Engine.registerExternal(
+      "noelle_queue_push",
+      [](ExecutionEngine &, const CallInst *,
+         const std::vector<RuntimeValue> &A) {
+        ++ThreadSyncOps;
+        reinterpret_cast<BlockingQueue *>(A[0].P)->push(A[1].I);
+        return RuntimeValue();
+      });
+
+  Engine.registerExternal(
+      "noelle_queue_pop",
+      [](ExecutionEngine &, const CallInst *,
+         const std::vector<RuntimeValue> &A) {
+        ++ThreadSyncOps;
+        return RuntimeValue::ofInt(
+            reinterpret_cast<BlockingQueue *>(A[0].P)->pop());
+      });
+}
+
+void noelle::declareParallelRuntime(nir::Module &M) {
+  nir::Context &Ctx = M.getContext();
+  auto Declare = [&](const char *Name, nir::Type *Ret,
+                     std::vector<nir::Type *> Params) {
+    if (M.getFunction(Name))
+      return;
+    M.createFunction(Ctx.getFunctionTy(Ret, Params), Name);
+  };
+  nir::Type *V = Ctx.getVoidTy();
+  nir::Type *I = Ctx.getInt64Ty();
+  nir::Type *P = Ctx.getPtrTy();
+  Declare("noelle_dispatch", V, {P, P, I});
+  Declare("noelle_ss_create", P, {I});
+  Declare("noelle_ss_wait", V, {P, I, I});
+  Declare("noelle_ss_signal", V, {P, I, I});
+  Declare("noelle_queue_create", P, {I});
+  Declare("noelle_queue_push", V, {P, I});
+  Declare("noelle_queue_pop", I, {P});
+}

@@ -1,0 +1,44 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The parallel runtime backing NOELLE's parallelizers: task dispatch
+/// onto host threads (DOALL/HELIX/DSWP), HELIX sequential-segment
+/// synchronization, and DSWP inter-core queues. Transformed IR calls
+/// these as external functions; registerParallelRuntime installs them
+/// into an ExecutionEngine.
+///
+/// IR-visible API (all i64/ptr):
+///   noelle_dispatch(ptr task, ptr env, i64 numTasks) -> void
+///       Runs task(env, t, numTasks) for t in [0, numTasks) on
+///       numTasks host threads and joins them.
+///   noelle_ss_create(i64 count) -> ptr
+///       Allocates `count` sequential-segment gates, all at iteration 0.
+///   noelle_ss_wait(ptr gates, i64 ss, i64 iteration) -> void
+///       Blocks until gate `ss` reaches `iteration`.
+///   noelle_ss_signal(ptr gates, i64 ss, i64 iteration) -> void
+///       Marks gate `ss` as having completed `iteration` (sets it to
+///       iteration + 1).
+///   noelle_queue_create(i64 capacity) -> ptr
+///   noelle_queue_push(ptr q, i64 v) -> void   (blocking)
+///   noelle_queue_pop(ptr q) -> i64            (blocking)
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RUNTIME_PARALLELRUNTIME_H
+#define RUNTIME_PARALLELRUNTIME_H
+
+#include "interp/Interpreter.h"
+
+namespace noelle {
+
+/// Installs the parallel-runtime externals into \p Engine. Must be
+/// called before running a module transformed by DOALL/HELIX/DSWP.
+void registerParallelRuntime(nir::ExecutionEngine &Engine);
+
+/// Declares the runtime functions in \p M (no-ops when already
+/// declared) so transformed code can call them.
+void declareParallelRuntime(nir::Module &M);
+
+} // namespace noelle
+
+#endif // RUNTIME_PARALLELRUNTIME_H

@@ -1,0 +1,137 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A dense bit vector with set-algebra operations, used by the data-flow
+/// engine (DFE) for bitvector-based analyses.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SUPPORT_BITVECTOR_H
+#define SUPPORT_BITVECTOR_H
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace nir {
+
+/// Fixed-universe dense bit set. All binary operations require both
+/// operands to share the same universe size.
+class BitVector {
+public:
+  BitVector() = default;
+  explicit BitVector(unsigned NumBits, bool Value = false)
+      : NumBits(NumBits),
+        Words((NumBits + WordBits - 1) / WordBits,
+              Value ? ~uint64_t(0) : uint64_t(0)) {
+    clearUnusedBits();
+  }
+
+  unsigned size() const { return NumBits; }
+
+  bool test(unsigned Idx) const {
+    assert(Idx < NumBits && "bit index out of range");
+    return (Words[Idx / WordBits] >> (Idx % WordBits)) & 1;
+  }
+
+  void set(unsigned Idx) {
+    assert(Idx < NumBits && "bit index out of range");
+    Words[Idx / WordBits] |= uint64_t(1) << (Idx % WordBits);
+  }
+
+  void reset(unsigned Idx) {
+    assert(Idx < NumBits && "bit index out of range");
+    Words[Idx / WordBits] &= ~(uint64_t(1) << (Idx % WordBits));
+  }
+
+  void clear() {
+    for (auto &W : Words)
+      W = 0;
+  }
+
+  /// Number of set bits.
+  unsigned count() const {
+    unsigned N = 0;
+    for (auto W : Words)
+      N += static_cast<unsigned>(__builtin_popcountll(W));
+    return N;
+  }
+
+  bool any() const {
+    for (auto W : Words)
+      if (W)
+        return true;
+    return false;
+  }
+
+  bool none() const { return !any(); }
+
+  /// In-place union. Returns true if this changed.
+  bool unionWith(const BitVector &RHS) {
+    assert(NumBits == RHS.NumBits && "universe size mismatch");
+    bool Changed = false;
+    for (size_t I = 0, E = Words.size(); I != E; ++I) {
+      uint64_t Old = Words[I];
+      Words[I] |= RHS.Words[I];
+      Changed |= Words[I] != Old;
+    }
+    return Changed;
+  }
+
+  /// In-place intersection. Returns true if this changed.
+  bool intersectWith(const BitVector &RHS) {
+    assert(NumBits == RHS.NumBits && "universe size mismatch");
+    bool Changed = false;
+    for (size_t I = 0, E = Words.size(); I != E; ++I) {
+      uint64_t Old = Words[I];
+      Words[I] &= RHS.Words[I];
+      Changed |= Words[I] != Old;
+    }
+    return Changed;
+  }
+
+  /// In-place difference (this &= ~RHS). Returns true if this changed.
+  bool subtract(const BitVector &RHS) {
+    assert(NumBits == RHS.NumBits && "universe size mismatch");
+    bool Changed = false;
+    for (size_t I = 0, E = Words.size(); I != E; ++I) {
+      uint64_t Old = Words[I];
+      Words[I] &= ~RHS.Words[I];
+      Changed |= Words[I] != Old;
+    }
+    return Changed;
+  }
+
+  bool operator==(const BitVector &RHS) const {
+    return NumBits == RHS.NumBits && Words == RHS.Words;
+  }
+  bool operator!=(const BitVector &RHS) const { return !(*this == RHS); }
+
+  /// Calls \p Fn for each set bit index, in increasing order.
+  template <typename CallableT> void forEachSetBit(CallableT Fn) const {
+    for (size_t WI = 0, WE = Words.size(); WI != WE; ++WI) {
+      uint64_t W = Words[WI];
+      while (W) {
+        unsigned Bit = static_cast<unsigned>(__builtin_ctzll(W));
+        Fn(static_cast<unsigned>(WI * WordBits + Bit));
+        W &= W - 1;
+      }
+    }
+  }
+
+private:
+  static constexpr unsigned WordBits = 64;
+
+  void clearUnusedBits() {
+    unsigned Rem = NumBits % WordBits;
+    if (Rem && !Words.empty())
+      Words.back() &= (uint64_t(1) << Rem) - 1;
+  }
+
+  unsigned NumBits = 0;
+  std::vector<uint64_t> Words;
+};
+
+} // namespace nir
+
+#endif // SUPPORT_BITVECTOR_H

@@ -1,0 +1,175 @@
+#include "xforms/CARAT.h"
+
+#include "ir/IRBuilder.h"
+#include "ir/Instructions.h"
+#include "ir/Verifier.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace noelle;
+using nir::Function;
+using nir::GEPInst;
+using nir::Instruction;
+using nir::IRBuilder;
+using nir::LoadInst;
+using nir::StoreInst;
+
+namespace {
+
+/// An address whose base is a global or alloca with a constant in-bounds
+/// offset is statically valid — no guard needed.
+bool isProvablyValid(const nir::Value *Ptr) {
+  int64_t Offset = 0;
+  const nir::Value *Base = Ptr;
+  while (const auto *G = nir::dyn_cast<GEPInst>(Base)) {
+    const auto *CI = nir::dyn_cast<nir::ConstantInt>(G->getIndex());
+    if (!CI)
+      return false; // Variable index: bounds unknown statically.
+    Offset += CI->getValue() * static_cast<int64_t>(G->getScale());
+    Base = G->getBase();
+  }
+  uint64_t Size = 0;
+  if (const auto *GV = nir::dyn_cast<nir::GlobalVariable>(Base))
+    Size = GV->getStoreSize();
+  else if (const auto *A = nir::dyn_cast<nir::AllocaInst>(Base))
+    Size = A->getAllocationSize();
+  else
+    return false;
+  return Offset >= 0 && static_cast<uint64_t>(Offset) + 8 <= Size;
+}
+
+/// The pointer a memory instruction dereferences, or null.
+nir::Value *pointerOf(Instruction *I) {
+  if (auto *L = nir::dyn_cast<LoadInst>(I))
+    return L->getPointerOperand();
+  if (auto *S = nir::dyn_cast<StoreInst>(I))
+    return S->getPointerOperand();
+  return nullptr;
+}
+
+} // namespace
+
+CARATResult CARAT::run() {
+  N.noteRequest("PDG");
+  N.noteRequest("aSCCDAG");
+  N.noteRequest("INV");
+  N.noteRequest("DFE");
+  N.noteRequest("PRO");
+  N.noteRequest("L");
+  N.noteRequest("LB");
+  N.noteRequest("IV");
+  N.noteRequest("SCD");
+  N.noteRequest("LS");
+
+  nir::Module &M = N.getModule();
+  nir::Context &Ctx = M.getContext();
+  CARATResult R;
+
+  // Declare the guard.
+  Function *Guard = M.getFunction("carat_guard");
+  if (!Guard)
+    Guard = M.createFunction(
+        Ctx.getFunctionTy(Ctx.getVoidTy(), {Ctx.getPtrTy(), Ctx.getInt64Ty()}),
+        "carat_guard");
+
+  // Loop-invariance data, for hoisting guards of invariant addresses.
+  std::vector<LoopContent *> Loops = N.getLoopContents();
+
+  for (const auto &F : M.getFunctions()) {
+    if (F->isDeclaration() || F.get() == Guard)
+      continue;
+
+    // Collect the accesses needing guards, with per-pointer redundancy
+    // elimination: along one block, the second access to the same
+    // pointer SSA value is already covered (the DFE-style availability
+    // argument: carat_guard dominates it and no call invalidates the
+    // mapping between them in our runtime model).
+    struct PendingGuard {
+      Instruction *Access;
+      nir::Value *Ptr;
+      LoopContent *InvariantInLoop; // hoistable when non-null
+    };
+    std::vector<PendingGuard> Pending;
+
+    for (const auto &BB : F->getBlocks()) {
+      std::set<const nir::Value *> CoveredInBlock;
+      for (const auto &I : BB->getInstList()) {
+        nir::Value *Ptr = pointerOf(I.get());
+        if (!Ptr)
+          continue;
+        if (isProvablyValid(Ptr))
+          continue;
+        if (CoveredInBlock.count(Ptr)) {
+          ++R.GuardsElidedRedundant;
+          continue;
+        }
+        CoveredInBlock.insert(Ptr);
+
+        PendingGuard P;
+        P.Access = I.get();
+        P.Ptr = Ptr;
+        P.InvariantInLoop = nullptr;
+        for (LoopContent *LC : Loops) {
+          nir::LoopStructure &LS = LC->getLoopStructure();
+          if (LS.getFunction() != F.get() || !LS.contains(I.get()))
+            continue;
+          if (LS.getPreheader() &&
+              LC->getInvariantManager().isLoopInvariant(Ptr))
+            P.InvariantInLoop = LC;
+        }
+        Pending.push_back(P);
+      }
+    }
+
+    // Emit guards: invariant addresses hoist to the preheader (one
+    // dynamic check per loop invocation instead of per iteration).
+    std::set<std::pair<LoopContent *, const nir::Value *>> HoistedAlready;
+    IRBuilder B(Ctx);
+    for (const auto &P : Pending) {
+      if (P.InvariantInLoop) {
+        auto Key = std::make_pair(P.InvariantInLoop, (const nir::Value *)P.Ptr);
+        if (HoistedAlready.count(Key)) {
+          ++R.GuardsElidedRedundant;
+          continue;
+        }
+        HoistedAlready.insert(Key);
+        // Hoist only if the pointer value is available in the preheader
+        // (defined outside the loop); invariant-but-in-loop pointers
+        // stay in place.
+        const auto *PtrInst = nir::dyn_cast<Instruction>(P.Ptr);
+        nir::LoopStructure &LS = P.InvariantInLoop->getLoopStructure();
+        if (!PtrInst || !LS.contains(PtrInst)) {
+          B.setInsertPoint(LS.getPreheader()->getTerminator());
+          B.createCall(Guard, {P.Ptr, Ctx.getInt64(8)});
+          ++R.GuardsInjected;
+          ++R.GuardsHoisted;
+          continue;
+        }
+      }
+      B.setInsertPoint(P.Access);
+      B.createCall(Guard, {P.Ptr, Ctx.getInt64(8)});
+      ++R.GuardsInjected;
+    }
+  }
+
+  N.invalidateLoops();
+  assert(nir::moduleVerifies(M) && "CARAT broke the IR");
+  return R;
+}
+
+void noelle::registerCARATRuntime(nir::ExecutionEngine &Engine) {
+  Engine.registerExternal(
+      "carat_guard",
+      [](nir::ExecutionEngine &E, const nir::CallInst *,
+         const std::vector<nir::RuntimeValue> &A) {
+        if (!E.isValidAddress(A[0].P, static_cast<uint64_t>(A[1].I))) {
+          std::fprintf(stderr,
+                       "carat_guard: invalid access to %p (size %lld)\n",
+                       reinterpret_cast<void *>(A[0].P),
+                       static_cast<long long>(A[1].I));
+          std::abort();
+        }
+        return nir::RuntimeValue();
+      });
+}

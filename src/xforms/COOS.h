@@ -1,0 +1,53 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Compiler-based timing (Table 3: COOS, SC'20): replaces hardware timer
+/// interrupts by injecting calls to an OS callback so that no more than
+/// a quantum of work executes between yields. A DFE-powered analysis
+/// bounds the instructions executable since the last tick along every
+/// path; ticks are placed where the bound would overflow (loop headers,
+/// long straight-line regions, call sites into unbounded code). Uses
+/// DFE + PRO for the timing analysis, L + FR + LB for potentially
+/// infinite loops, and CG for interprocedural accuracy (Section 3).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef XFORMS_COOS_H
+#define XFORMS_COOS_H
+
+#include "noelle/Noelle.h"
+
+namespace noelle {
+
+struct COOSOptions {
+  /// Maximum instructions allowed between two coos_tick() calls.
+  uint64_t Quantum = 64;
+};
+
+struct COOSResult {
+  unsigned TicksInjected = 0;
+  unsigned LoopsInstrumented = 0;
+  /// Verified bound: max instructions between ticks after injection
+  /// (static, per straight-line region).
+  uint64_t MaxGapAfter = 0;
+};
+
+class COOS {
+public:
+  COOS(Noelle &N, COOSOptions Opts = {}) : N(N), Opts(Opts) {}
+
+  COOSResult run();
+
+private:
+  Noelle &N;
+  COOSOptions Opts;
+};
+
+/// Installs coos_tick: counts invocations on the engine (inspectable by
+/// tests/benches through the returned counter).
+void registerCOOSRuntime(nir::ExecutionEngine &Engine,
+                         uint64_t *TickCounter);
+
+} // namespace noelle
+
+#endif // XFORMS_COOS_H

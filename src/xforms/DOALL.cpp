@@ -1,0 +1,342 @@
+#include "xforms/DOALL.h"
+
+#include "ir/Instructions.h"
+#include "ir/Verifier.h"
+
+using namespace noelle;
+using nir::BasicBlock;
+using nir::BinaryInst;
+using nir::CmpInst;
+using nir::Function;
+using nir::IRBuilder;
+using nir::Instruction;
+using nir::PhiInst;
+
+namespace {
+
+/// True if \p S is an induction-variable SCC of \p IVs.
+bool isIVSCC(const SCC *S, InductionVariableManager &IVs) {
+  for (const auto &IV : IVs.getInductionVariables())
+    if (IV->getSCC() == S || S->contains(IV->getPhi()))
+      return true;
+  return false;
+}
+
+} // namespace
+
+bool DOALL::canParallelize(LoopContent &LC, std::string &Reason) {
+  N.noteRequest("PDG");
+  N.noteRequest("aSCCDAG");
+  N.noteRequest("IV");
+  N.noteRequest("INV");
+  N.noteRequest("RD");
+  nir::LoopStructure &LS = LC.getLoopStructure();
+
+  if (!LS.getPreheader()) {
+    Reason = "no preheader";
+    return false;
+  }
+  if (LS.getExitBlocks().size() != 1) {
+    Reason = "multiple exit blocks";
+    return false;
+  }
+  if (LS.getExitingBlocks().size() != 1) {
+    Reason = "multiple exiting blocks";
+    return false;
+  }
+  // The unique exit block must be reached only from the loop, so it can
+  // be retargeted to the dispatch code.
+  for (BasicBlock *Pred : LS.getExitBlocks()[0]->predecessors())
+    if (!LS.contains(Pred)) {
+      Reason = "exit block has non-loop predecessors";
+      return false;
+    }
+
+  auto &IVs = LC.getIVManager();
+  InductionVariable *GIV = IVs.getGoverningIV();
+  if (!GIV) {
+    Reason = "no governing induction variable";
+    return false;
+  }
+  if (!GIV->hasConstantStep() || GIV->getConstantStep() == 0) {
+    Reason = "governing IV step is not a nonzero constant";
+    return false;
+  }
+  // The governing branch must be the loop's only exit.
+  if (GIV->getGoverningBranch()->getParent() != LS.getExitingBlocks()[0]) {
+    Reason = "exit is not controlled by the governing IV";
+    return false;
+  }
+  switch (GIV->getGoverningCmp()->getPred()) {
+  case CmpInst::Pred::SLT:
+  case CmpInst::Pred::SLE:
+  case CmpInst::Pred::SGT:
+  case CmpInst::Pred::SGE:
+    break;
+  case CmpInst::Pred::NE:
+    // Counted "while (iv != bound)" form: true must continue the loop.
+    if (!LS.contains(GIV->getGoverningBranch()->getSuccessor(0))) {
+      Reason = "inverted != exit test";
+      return false;
+    }
+    break;
+  case CmpInst::Pred::EQ:
+    // Counted "if (iv == bound) exit" form: true must leave the loop.
+    if (LS.contains(GIV->getGoverningBranch()->getSuccessor(0))) {
+      Reason = "inverted == exit test";
+      return false;
+    }
+    break;
+  default:
+    Reason = "unsupported governing comparison";
+    return false;
+  }
+  // All secondary IVs must also have constant steps (they get re-based
+  // per task).
+  for (const auto &IV : IVs.getInductionVariables())
+    if (!IV->hasConstantStep()) {
+      Reason = "secondary IV with non-constant step";
+      return false;
+    }
+
+  // Every loop-carried dependence must live inside an IV or reduction
+  // cycle.
+  auto &Dag = LC.getSCCDAG();
+  auto &RM = LC.getReductionManager();
+  for (auto *E : LC.getLoopDG().getEdges()) {
+    if (!E->IsLoopCarried)
+      continue;
+    auto *From = nir::dyn_cast<Instruction>(E->From);
+    auto *To = nir::dyn_cast<Instruction>(E->To);
+    if (!From || !To || !LS.contains(From) || !LS.contains(To))
+      continue;
+    SCC *SF = Dag.sccOf(From);
+    SCC *ST = Dag.sccOf(To);
+    if (SF != ST) {
+      Reason = "loop-carried dependence crosses SCCs";
+      return false;
+    }
+    if (isIVSCC(SF, IVs))
+      continue;
+    if (RM.getReductionFor(SF))
+      continue;
+    Reason = "sequential SCC (loop-carried dependence is neither IV nor "
+             "reduction)";
+    return false;
+  }
+
+  // Live-outs must be reduction accumulators (phi or update).
+  auto &Env = LC.getEnvironment();
+  for (Instruction *Out : Env.getLiveOuts()) {
+    bool OK = false;
+    for (const auto &R : RM.getReductions())
+      if (Out == R.Phi || Out == R.Update)
+        OK = true;
+    if (!OK) {
+      Reason = "live-out value is not a reduction accumulator";
+      return false;
+    }
+  }
+
+  return true;
+}
+
+bool DOALL::parallelizeLoop(LoopContent &LC) {
+  std::string Reason;
+  if (!canParallelize(LC, Reason))
+    return false;
+
+  N.noteRequest("ENV");
+  N.noteRequest("T");
+  N.noteRequest("LB");
+  N.noteRequest("IVS");
+  N.noteRequest("LS");
+  nir::LoopStructure &LS = LC.getLoopStructure();
+  Function *F = LS.getFunction();
+  nir::Module &M = *F->getParent();
+  nir::Context &Ctx = M.getContext();
+  auto &IVs = LC.getIVManager();
+  auto &RM = LC.getReductionManager();
+  auto &Env = LC.getEnvironment();
+
+  EnvLayout Layout;
+  Layout.Env = &Env;
+  Layout.Lanes = Opts.NumCores;
+
+  // --- Task side -------------------------------------------------------
+  ClonedLoopTask Task = cloneLoopIntoTask(
+      LS, Layout, F->getName() + ".doall" + std::to_string(LS.getID()));
+
+  // Re-base every IV for cyclic distribution: start' = start +
+  // taskID*step (iteration offset), step' = step*numTasks*chunk.
+  // (ChunkSize > 1 uses a blocked-cyclic mapping: each grab advances by
+  // chunk iterations; handled by scaling both offset and stride.)
+  IRBuilder TB(Ctx);
+  auto *TaskEntry = &Task.TaskFn->getEntryBlock();
+  TB.setInsertPoint(TaskEntry->getTerminator());
+  for (const auto &IV : IVs.getInductionVariables()) {
+    auto *ClonedPhi = nir::cast<PhiInst>(Task.ValueMap[IV->getPhi()]);
+    auto *ClonedUpd =
+        nir::cast<BinaryInst>(Task.ValueMap[IV->getStepInstruction()]);
+    int64_t Step = IV->getConstantStep();
+
+    // start' = start + taskID * step.
+    Value *StartMapped = ClonedPhi->getIncomingValueForBlock(TaskEntry);
+    Value *Offset =
+        TB.createMul(Task.TaskIDArg, TB.getInt64(Step), "iv.offset");
+    Value *NewStart = TB.createAdd(StartMapped, Offset, "iv.start");
+    int Idx = ClonedPhi->getBlockIndex(TaskEntry);
+    assert(Idx >= 0);
+    ClonedPhi->setIncomingValue(static_cast<unsigned>(Idx), NewStart);
+
+    // step' = step * numTasks * chunk: rewrite the update instruction's
+    // amount. The update is add/sub(phi, amount) (normalized by the IV
+    // manager).
+    int64_t RawAmount =
+        ClonedUpd->getOp() == BinaryInst::Op::Sub ? -Step : Step;
+    Value *NewAmount =
+        Ctx.getInt64(RawAmount * static_cast<int64_t>(Opts.NumCores));
+    if (ClonedUpd->getLHS() == ClonedPhi)
+      ClonedUpd->setOperand(1, NewAmount);
+    else
+      ClonedUpd->setOperand(0, NewAmount);
+  }
+
+  // With a stride > |step| the EQ/NE exit tests can overshoot; replace
+  // them with ordered comparisons.
+  {
+    InductionVariable *GIV = IVs.getGoverningIV();
+    auto *ClonedCmp =
+        nir::cast<CmpInst>(Task.ValueMap[GIV->getGoverningCmp()]);
+    bool StepPositive = GIV->getConstantStep() > 0;
+    // Which side holds the IV expression?
+    bool IVOnLHS = GIV->getGoverningCmp()->getLHS() == GIV->getPhi() ||
+                   GIV->getGoverningCmp()->getLHS() ==
+                       GIV->getStepInstruction();
+    if (ClonedCmp->getPred() == CmpInst::Pred::NE ||
+        ClonedCmp->getPred() == CmpInst::Pred::EQ) {
+      // "iv != bound" continues while iv < bound (positive step).
+      CmpInst::Pred Continue =
+          StepPositive ? CmpInst::Pred::SLT : CmpInst::Pred::SGT;
+      if (!IVOnLHS)
+        Continue = CmpInst::getSwappedPred(Continue);
+      if (ClonedCmp->getPred() == CmpInst::Pred::NE) {
+        ClonedCmp->setPred(Continue);
+      } else {
+        // "iv == bound" exits the loop; its negation continues.
+        ClonedCmp->setPred(CmpInst::getInversePred(Continue));
+      }
+    }
+  }
+
+  // Privatize reductions: identity start, store the partial into this
+  // task's live-out lane at exit.
+  IRBuilder ExitB(Ctx);
+  ExitB.setInsertPoint(Task.ExitBlock->getTerminator());
+  for (Instruction *Out : Env.getLiveOuts()) {
+    const ReductionVariable *R = nullptr;
+    for (const auto &Cand : RM.getReductions())
+      if (Out == Cand.Phi || Out == Cand.Update)
+        R = &Cand;
+    assert(R && "checked in canParallelize");
+
+    auto *ClonedPhi = nir::cast<PhiInst>(Task.ValueMap[R->Phi]);
+    int Idx = ClonedPhi->getBlockIndex(TaskEntry);
+    assert(Idx >= 0);
+    ClonedPhi->setIncomingValue(static_cast<unsigned>(Idx),
+                                R->getIdentity(Ctx));
+
+    Value *Partial = Task.ValueMap[Out];
+    Value *Slot = ExitB.createGEP(
+        Task.EnvArg,
+        ExitB.createAdd(
+            ExitB.getInt64(Layout.liveOutSlot(Out, 0)), Task.TaskIDArg,
+            "lane"),
+        8, "out.slot");
+    ExitB.createStore(Partial, Slot);
+  }
+
+  // --- Caller side -----------------------------------------------------
+  BasicBlock *Dispatch =
+      replaceLoopWithDispatch(LS, Layout, Task.TaskFn, Opts.NumCores);
+  Value *EnvAlloca = Dispatch->front(); // first instruction: the env array
+  IRBuilder CB(Ctx);
+  CB.setInsertPoint(Dispatch->getTerminator());
+
+  for (Instruction *Out : Env.getLiveOuts()) {
+    const ReductionVariable *R = nullptr;
+    for (const auto &Cand : RM.getReductions())
+      if (Out == Cand.Phi || Out == Cand.Update)
+        R = &Cand;
+    Value *Acc = nullptr;
+    for (unsigned Lane = 0; Lane < Opts.NumCores; ++Lane) {
+      Value *Partial =
+          emitEnvLoad(CB, EnvAlloca, Layout.liveOutSlot(Out, Lane),
+                      Out->getType(), "partial");
+      Acc = Acc ? ReductionManager::emitCombine(CB, R->Op, Acc, Partial)
+                : Partial;
+    }
+    // Fold in the value the accumulator had before the loop.
+    Value *Final =
+        ReductionManager::emitCombine(CB, R->Op, R->InitialValue, Acc);
+    Out->replaceAllUsesWith(Final);
+  }
+
+  finalizeLoopRemoval(LS, Dispatch);
+  N.invalidateLoops();
+
+  assert(nir::moduleVerifies(M) && "DOALL produced invalid IR");
+  return true;
+}
+
+std::vector<DOALLDecision> DOALL::run() {
+  std::vector<DOALLDecision> Decisions;
+  // Transforming a loop invalidates every LoopContent, so process one
+  // loop per sweep and restart until a sweep makes no progress. Loops
+  // are identified by (function, preorder id), both stable while their
+  // function is untouched.
+  std::set<std::pair<std::string, unsigned>> Attempted;
+  bool Progress = true;
+  while (Progress) {
+    Progress = false;
+    ProfileData *Prof =
+        Opts.MinimumHotness > 0 ? N.getProfiles(false) : nullptr;
+    for (LoopContent *LC : N.getLoopContents()) {
+      nir::LoopStructure &LS = LC->getLoopStructure();
+      if (LS.getFunction()->getMetadata("noelle.task") == "true")
+        continue; // Do not nest parallelism inside generated tasks.
+      // Key loops by their header's position in the function: stable
+      // across LoopInfo recomputations for untouched functions.
+      unsigned HeaderPos = 0, Pos = 0;
+      for (auto &BB : LS.getFunction()->getBlocks()) {
+        if (BB.get() == LS.getHeader())
+          HeaderPos = Pos;
+        ++Pos;
+      }
+      auto Key = std::make_pair(LS.getFunction()->getName(), HeaderPos);
+      if (!Attempted.insert(Key).second)
+        continue;
+
+      DOALLDecision D;
+      D.FunctionName = Key.first;
+      D.LoopID = LS.getID();
+      if (Prof && Prof->getLoopHotness(LS) < Opts.MinimumHotness) {
+        D.Reason = "not hot enough";
+        Decisions.push_back(D);
+        continue;
+      }
+      if (!canParallelize(*LC, D.Reason)) {
+        Decisions.push_back(D);
+        continue;
+      }
+      bool OK = parallelizeLoop(*LC);
+      D.Parallelized = OK;
+      Decisions.push_back(D);
+      if (OK) {
+        Progress = true;
+        break; // LoopContents are stale; re-enumerate.
+      }
+    }
+  }
+  return Decisions;
+}

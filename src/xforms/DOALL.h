@@ -1,0 +1,56 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The DOALL custom tool: parallelizes loops with no loop-carried data
+/// dependences (outside IV and reduction cycles) by distributing
+/// iterations cyclically across cores (Section 3). Built from NOELLE's
+/// PDG, aSCCDAG, IV, IVS, RD, INV, ENV, T, LB, PRO, and AR abstractions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef XFORMS_DOALL_H
+#define XFORMS_DOALL_H
+
+#include "xforms/ParallelizationUtils.h"
+
+namespace noelle {
+
+struct DOALLOptions {
+  unsigned NumCores = 4;
+  double MinimumHotness = 0.0; ///< skip loops cooler than this (needs PRO)
+};
+
+/// Why a loop was accepted or rejected; used by reports and tests.
+/// Loops are identified by name because parallelization invalidates
+/// LoopStructure objects.
+struct DOALLDecision {
+  std::string FunctionName;
+  unsigned LoopID = 0;
+  bool Parallelized = false;
+  std::string Reason;
+};
+
+class DOALL {
+public:
+  DOALL(Noelle &N, DOALLOptions Opts = {}) : N(N), Opts(Opts) {}
+
+  /// True if \p LC satisfies DOALL's conditions; fills \p Reason
+  /// otherwise.
+  bool canParallelize(LoopContent &LC, std::string &Reason);
+
+  /// Transforms one loop. Returns false (leaving the IR untouched) when
+  /// the loop cannot be parallelized.
+  bool parallelizeLoop(LoopContent &LC);
+
+  /// Applies DOALL to every eligible loop (outermost first; loops nested
+  /// in an already parallelized loop are skipped). Returns decisions.
+  std::vector<DOALLDecision> run();
+
+private:
+  Noelle &N;
+  DOALLOptions Opts;
+};
+
+} // namespace noelle
+
+#endif // XFORMS_DOALL_H

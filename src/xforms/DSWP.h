@@ -1,0 +1,53 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The DSWP custom tool: decoupled software pipelining. SCCs of the loop
+/// dependence graph are partitioned into pipeline stages; every stage
+/// replicates the loop's control skeleton (IV + exit test) and values
+/// crossing stages flow through unidirectional blocking queues, keeping
+/// all instances of an SCC on one core (Section 3; MICRO'05).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef XFORMS_DSWP_H
+#define XFORMS_DSWP_H
+
+#include "xforms/ParallelizationUtils.h"
+
+namespace noelle {
+
+struct DSWPOptions {
+  unsigned NumCores = 4;   ///< maximum number of pipeline stages
+  unsigned QueueCapacity = 128;
+  double MinimumHotness = 0.0;
+  /// Decline pipelines whose average per-iteration stage weight (in
+  /// instructions) is below this: fine-grained stages cannot amortize
+  /// queue operations. Set to 0 to force pipelining regardless.
+  uint64_t MinimumStageWeight = 30;
+};
+
+struct DSWPDecision {
+  std::string FunctionName;
+  unsigned LoopID = 0;
+  bool Parallelized = false;
+  unsigned NumStages = 0;
+  unsigned NumQueues = 0;
+  std::string Reason;
+};
+
+class DSWP {
+public:
+  DSWP(Noelle &N, DSWPOptions Opts = {}) : N(N), Opts(Opts) {}
+
+  bool parallelizeLoop(LoopContent &LC, DSWPDecision &D);
+
+  std::vector<DSWPDecision> run();
+
+private:
+  Noelle &N;
+  DSWPOptions Opts;
+};
+
+} // namespace noelle
+
+#endif // XFORMS_DSWP_H

@@ -1,0 +1,57 @@
+#include "xforms/DeadFunctionEliminator.h"
+
+#include "ir/Instructions.h"
+
+using namespace noelle;
+using nir::Function;
+
+DeadFunctionResult DeadFunctionEliminator::run() {
+  N.noteRequest("CG");
+  N.noteRequest("ISL");
+  nir::Module &M = N.getModule();
+  DeadFunctionResult R;
+  R.BinaryBytesBefore = M.str().size();
+
+  CallGraph &CG = N.getCallGraph();
+  Function *Main = M.getFunction("main");
+  if (!Main) {
+    R.BinaryBytesAfter = R.BinaryBytesBefore;
+    return R;
+  }
+
+  // Reachability over the complete call graph. Because indirect-call
+  // edges are included, everything outside this set provably never runs.
+  std::set<Function *> Live = CG.getReachableFrom({Main});
+
+  std::vector<Function *> Dead;
+  for (const auto &F : M.getFunctions()) {
+    if (F->isDeclaration() || Live.count(F.get()))
+      continue;
+    Dead.push_back(F.get());
+  }
+
+  // Dead functions may still be *referenced* by other dead functions
+  // (address taken); deleting the whole island at once keeps use lists
+  // consistent. First drop every operand reference (branches reference
+  // blocks, calls reference functions), then strip the bodies.
+  for (Function *F : Dead)
+    R.InstructionsRemoved += F->getNumInstructions();
+  for (Function *F : Dead)
+    for (auto &BB : F->getBlocks())
+      for (auto &I : BB->getInstList())
+        I->dropAllOperands();
+  for (Function *F : Dead) {
+    while (!F->getBlocks().empty())
+      F->eraseBlock(F->getBlocks().back().get());
+  }
+  for (Function *F : Dead) {
+    if (F->hasUses())
+      continue; // Referenced from live code as data: keep the shell.
+    M.eraseFunction(F);
+    ++R.FunctionsRemoved;
+  }
+
+  R.BinaryBytesAfter = M.str().size();
+  N.invalidateLoops();
+  return R;
+}

@@ -1,0 +1,63 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The HELIX custom tool: parallelizes a loop by distributing iterations
+/// across cores even when sequential SCCs exist — each sequential SCC
+/// becomes a "sequential segment" whose dynamic instances execute in
+/// iteration order across cores, synchronized through gates (Section 3;
+/// HELIX CGO'12). Uses PDG, aSCCDAG, ENV, T, DFE, PRO, SCD, L, LB, IV,
+/// IVS, INV, FR, RD, AR, and LS per the paper's Table 4.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef XFORMS_HELIX_H
+#define XFORMS_HELIX_H
+
+#include "xforms/ParallelizationUtils.h"
+
+namespace noelle {
+
+struct HELIXOptions {
+  unsigned NumCores = 4;
+  double MinimumHotness = 0.0;
+  /// Decline loops whose statically estimated speedup falls below this
+  /// (sequential segments + gate synchronization can make fine-grained
+  /// loops slower; the real tool prunes them with PRO + AR data). Set to
+  /// 0 to force parallelization regardless.
+  double MinimumEstimatedSpeedup = 1.05;
+  /// Modeled per-gate synchronization cost in instructions (from AR's
+  /// core-to-core latency).
+  uint64_t SyncCostInstructions = 20;
+};
+
+struct HELIXDecision {
+  std::string FunctionName;
+  unsigned LoopID = 0;
+  bool Parallelized = false;
+  unsigned NumSequentialSegments = 0;
+  std::string Reason;
+};
+
+class HELIX {
+public:
+  HELIX(Noelle &N, HELIXOptions Opts = {}) : N(N), Opts(Opts) {}
+
+  /// True if HELIX can parallelize \p LC. On success \p SegmentsOut
+  /// receives the sequential segments: groups of instructions whose
+  /// cross-iteration order must be preserved.
+  bool canParallelize(LoopContent &LC,
+                      std::vector<std::vector<Instruction *>> &SegmentsOut,
+                      std::string &Reason);
+
+  bool parallelizeLoop(LoopContent &LC);
+
+  std::vector<HELIXDecision> run();
+
+private:
+  Noelle &N;
+  HELIXOptions Opts;
+};
+
+} // namespace noelle
+
+#endif // XFORMS_HELIX_H

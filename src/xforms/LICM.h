@@ -1,0 +1,39 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Loop-invariant code motion built on NOELLE (Table 3: LICM, 170 LoC vs
+/// 2317 in LLVM). Walks the loop forest innermost-first (FR), asks the
+/// PDG-backed invariant manager (INV) what can move, and uses the loop
+/// builder (LB) to hoist into preheaders.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef XFORMS_LICM_H
+#define XFORMS_LICM_H
+
+#include "noelle/Noelle.h"
+
+namespace noelle {
+
+struct LICMResult {
+  unsigned LoopsVisited = 0;
+  unsigned InstructionsHoisted = 0;
+};
+
+class LICM {
+public:
+  explicit LICM(Noelle &N) : N(N) {}
+
+  /// Hoists invariant instructions of every loop to its preheader,
+  /// innermost loops first so invariants bubble outward across passes.
+  LICMResult run();
+
+private:
+  unsigned hoistLoop(LoopContent &LC);
+
+  Noelle &N;
+};
+
+} // namespace noelle
+
+#endif // XFORMS_LICM_H

@@ -1,0 +1,122 @@
+#include "xforms/PRVJeeves.h"
+
+#include "ir/Instructions.h"
+#include "ir/Verifier.h"
+
+using namespace noelle;
+using nir::CallInst;
+using nir::CastInst;
+using nir::Function;
+using nir::Instruction;
+
+namespace {
+
+/// Classifies how a random value is consumed by walking its forward
+/// data-flow slice (the DFE/PDG part of the tool): returns true if any
+/// use converts it to floating point or it escapes through memory or a
+/// call (in which case quality must be preserved).
+bool needsHighQuality(const Instruction *RandValue) {
+  std::vector<const Instruction *> Work = {RandValue};
+  std::set<const Instruction *> Seen;
+  while (!Work.empty()) {
+    const Instruction *I = Work.back();
+    Work.pop_back();
+    if (!Seen.insert(I).second)
+      continue;
+    for (const auto &U : I->uses()) {
+      const auto *UserInst =
+          nir::dyn_cast<Instruction>(static_cast<nir::Value *>(U.TheUser));
+      if (!UserInst)
+        continue;
+      if (const auto *C = nir::dyn_cast<CastInst>(UserInst))
+        if (C->getOp() == CastInst::Op::SIToFP)
+          return true; // Monte-Carlo-style consumption.
+      if (nir::isa<nir::StoreInst>(UserInst))
+        return true; // Escapes: be conservative about quality.
+      if (const auto *UserCall = nir::dyn_cast<CallInst>(UserInst)) {
+        // Feeding the seed back into a PRVG call is the normal usage
+        // chain, not an escape.
+        const Function *Callee = UserCall->getCalledFunction();
+        if (!Callee || Callee->getName().rfind("prvg_", 0) != 0)
+          return true;
+        continue;
+      }
+      Work.push_back(UserInst);
+    }
+  }
+  return false;
+}
+
+} // namespace
+
+PRVJeevesResult PRVJeeves::run() {
+  N.noteRequest("PDG");
+  N.noteRequest("CG");
+  N.noteRequest("DFE");
+  N.noteRequest("PRO");
+  N.noteRequest("L");
+  N.noteRequest("LB");
+  N.noteRequest("INV");
+  N.noteRequest("IV");
+  N.noteRequest("SCD");
+  N.noteRequest("LS");
+
+  nir::Module &M = N.getModule();
+  PRVJeevesResult R;
+
+  Function *Generic = M.getFunction("prvg_next");
+  Function *LCG = M.getFunction("prvg_lcg_next");
+  Function *MT = M.getFunction("prvg_mt_next");
+  if (!Generic)
+    return R; // Program does not use the PRVG interface.
+
+  ProfileData *Prof = N.getProfiles(false);
+
+  // Hot-loop map for the PRO-based pruning.
+  std::vector<LoopContent *> Loops = N.getLoopContents();
+
+  for (const auto &F : M.getFunctions()) {
+    for (const auto &BB : F->getBlocks())
+      for (const auto &I : BB->getInstList()) {
+        auto *Call = nir::dyn_cast<CallInst>(I.get());
+        if (!Call || Call->getCalledFunction() != Generic)
+          continue;
+        ++R.SitesAnalyzed;
+
+        // PRO pruning: cold sites keep the generic generator.
+        if (Prof && Opts.MinimumHotness > 0) {
+          double Hotness = 0;
+          for (LoopContent *LC : Loops)
+            if (LC->getLoopStructure().contains(Call))
+              Hotness = std::max(
+                  Hotness, Prof->getLoopHotness(LC->getLoopStructure()));
+          if (Hotness < Opts.MinimumHotness) {
+            ++R.LeftUnmodified;
+            continue;
+          }
+        }
+
+        if (needsHighQuality(Call)) {
+          if (MT) {
+            Call->setOperand(0, MT); // operand 0 is the callee
+            Call->setMetadata("prvj.selected", "mt");
+            ++R.PinnedToMT;
+          } else {
+            ++R.LeftUnmodified;
+          }
+          continue;
+        }
+        if (LCG) {
+          Call->setOperand(0, LCG);
+          Call->setMetadata("prvj.selected", "lcg");
+          ++R.DowngradedToLCG;
+        } else {
+          ++R.LeftUnmodified;
+        }
+      }
+  }
+
+  N.invalidateLoops();
+  assert(nir::moduleVerifies(M) && "PRVJeeves broke the IR");
+  return R;
+}

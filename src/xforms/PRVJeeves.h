@@ -1,0 +1,53 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// PRVJeeves (Table 3, CGO'20): selects pseudo-random value generators.
+/// Randomized programs call a generic PRVG through a common interface;
+/// PRVJeeves analyzes each use site (PDG + CG + DFE: where does the
+/// random value flow?) and retargets the call to the cheapest generator
+/// whose statistical quality suffices — integer-only consumption (array
+/// shuffles, branches) tolerates a fast LCG, while values converted to
+/// floating point (Monte-Carlo integration) keep a high-quality
+/// generator. PRO prunes cold call sites (Section 3).
+///
+/// Programs opt in by defining/declaring:
+///   int prvg_next(int seed)        — generic, high quality by default
+///   int prvg_lcg_next(int seed)    — cheap
+///   int prvg_mt_next(int seed)     — expensive, high quality
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef XFORMS_PRVJEEVES_H
+#define XFORMS_PRVJEEVES_H
+
+#include "noelle/Noelle.h"
+
+namespace noelle {
+
+struct PRVJeevesOptions {
+  /// Call sites below this hotness keep the generic generator ("PRVGs
+  /// not used frequently are left unmodified").
+  double MinimumHotness = 0.0;
+};
+
+struct PRVJeevesResult {
+  unsigned SitesAnalyzed = 0;
+  unsigned DowngradedToLCG = 0;   ///< integer-only consumers
+  unsigned PinnedToMT = 0;        ///< floating-point consumers
+  unsigned LeftUnmodified = 0;    ///< cold or escaping uses
+};
+
+class PRVJeeves {
+public:
+  PRVJeeves(Noelle &N, PRVJeevesOptions Opts = {}) : N(N), Opts(Opts) {}
+
+  PRVJeevesResult run();
+
+private:
+  Noelle &N;
+  PRVJeevesOptions Opts;
+};
+
+} // namespace noelle
+
+#endif // XFORMS_PRVJEEVES_H

@@ -1,0 +1,55 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Perspective-lite (Table 3: PERS): the planning core of Perspective
+/// (ASPLOS'20), the speculative parallelizer the paper ports onto
+/// NOELLE's PDG and aSCCDAG (the port keeps 22.7k LoC of the original
+/// 34k; per Table 4 it consumes exactly those two abstractions). This
+/// reproduction implements the *speculation planner*: for each loop it
+/// computes the cheapest set of "remedies" (speculated apparent
+/// dependences, privatized objects) that would make the loop DOALL, and
+/// applies the profile-checked ones by privatizing and re-running DOALL.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef XFORMS_PERSPECTIVE_H
+#define XFORMS_PERSPECTIVE_H
+
+#include "xforms/DOALL.h"
+
+namespace noelle {
+
+/// One required remedy for a loop to become DOALL.
+struct Remedy {
+  enum class Kind {
+    SpeculateApparentDep, ///< may-dependence never observed in profile
+    Privatize,            ///< per-iteration object, clone per task
+    Unresolvable,         ///< must-dependence: speculation cannot help
+  };
+  Kind TheKind;
+  std::string Description;
+};
+
+struct PerspectivePlan {
+  std::string FunctionName;
+  unsigned LoopID = 0;
+  bool AlreadyDOALL = false;
+  bool PlannableWithSpeculation = false;
+  std::vector<Remedy> Remedies;
+};
+
+class Perspective {
+public:
+  explicit Perspective(Noelle &N) : N(N) {}
+
+  /// Plans every loop: which apparent dependences would need speculation
+  /// for DOALL-ness and whether that set is non-empty and sufficient.
+  std::vector<PerspectivePlan> planAll();
+
+private:
+  Noelle &N;
+};
+
+} // namespace noelle
+
+#endif // XFORMS_PERSPECTIVE_H

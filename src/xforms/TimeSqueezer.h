@@ -1,0 +1,49 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Time-Squeezer (Table 3: TIME): code generation for timing-speculative
+/// micro-architectures (ISCA'19/DAC'18). On such hardware each
+/// instruction class sustains a different clock period; the compiler
+/// (1) canonicalizes compare instructions (constant operands to the
+/// right, cheapest predicate forms) because comparators set the critical
+/// path, (2) reorders instructions inside blocks so same-period
+/// instructions cluster (SCD), and (3) injects set_clock(period) calls
+/// at cluster boundaries. Uses DFE, L, FR for region selection and
+/// ISL + PDG for compare analysis, per the paper's Table 4.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef XFORMS_TIMESQUEEZER_H
+#define XFORMS_TIMESQUEEZER_H
+
+#include "noelle/Noelle.h"
+
+namespace noelle {
+
+struct TimeSqueezerResult {
+  unsigned ComparesCanonicalized = 0;
+  unsigned InstructionsRescheduled = 0;
+  unsigned ClockChangesInjected = 0;
+  /// Modeled cycles with one fixed worst-case clock vs. the squeezed
+  /// schedule (per static instruction; benches weight by profile).
+  uint64_t BaselineCycles = 0;
+  uint64_t SqueezedCycles = 0;
+};
+
+/// The modeled clock period (in tenths of ns) each instruction class
+/// needs on the timing-speculative machine.
+unsigned clockPeriodOf(const nir::Instruction *I);
+
+class TimeSqueezer {
+public:
+  explicit TimeSqueezer(Noelle &N) : N(N) {}
+
+  TimeSqueezerResult run();
+
+private:
+  Noelle &N;
+};
+
+} // namespace noelle
+
+#endif // XFORMS_TIMESQUEEZER_H

@@ -1,0 +1,354 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests for CFG, dominators, loop info, and the alias-analysis stack.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/AliasAnalysis.h"
+#include "analysis/CFG.h"
+#include "analysis/Dominators.h"
+#include "analysis/LoopInfo.h"
+#include "frontend/MiniC.h"
+#include "ir/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace nir;
+
+namespace {
+
+const char *DiamondIR = R"(
+func @f(%c: i1) -> i64 {
+entry:
+  br %c, label a, label b
+a:
+  br label merge
+b:
+  br label merge
+merge:
+  %x = phi i64 [1, a], [2, b]
+  ret i64 %x
+}
+)";
+
+TEST(CFGTest, ReversePostOrderVisitsPredsFirst) {
+  Context Ctx;
+  auto M = parseModuleOrDie(Ctx, DiamondIR);
+  Function *F = M->getFunction("f");
+  auto RPO = reversePostOrder(*F);
+  ASSERT_EQ(RPO.size(), 4u);
+  EXPECT_EQ(RPO.front()->getName(), "entry");
+  EXPECT_EQ(RPO.back()->getName(), "merge");
+}
+
+TEST(CFGTest, Reachability) {
+  Context Ctx;
+  auto M = parseModuleOrDie(Ctx, DiamondIR);
+  Function *F = M->getFunction("f");
+  auto Blocks = reachableBlocks(*F);
+  EXPECT_EQ(Blocks.size(), 4u);
+  BasicBlock *Entry = &F->getEntryBlock();
+  BasicBlock *Merge = Blocks[0]->getName() == "merge" ? Blocks[0] : nullptr;
+  for (auto *BB : Blocks)
+    if (BB->getName() == "merge")
+      Merge = BB;
+  ASSERT_NE(Merge, nullptr);
+  EXPECT_TRUE(isReachable(Entry, Merge));
+  EXPECT_FALSE(isReachable(Merge, Entry));
+}
+
+TEST(DominatorTest, Diamond) {
+  Context Ctx;
+  auto M = parseModuleOrDie(Ctx, DiamondIR);
+  Function *F = M->getFunction("f");
+  DominatorTree DT(*F);
+
+  std::map<std::string, BasicBlock *> BBs;
+  for (auto &BB : F->getBlocks())
+    BBs[BB->getName()] = BB.get();
+
+  EXPECT_EQ(DT.getIDom(BBs["entry"]), nullptr);
+  EXPECT_EQ(DT.getIDom(BBs["a"]), BBs["entry"]);
+  EXPECT_EQ(DT.getIDom(BBs["b"]), BBs["entry"]);
+  EXPECT_EQ(DT.getIDom(BBs["merge"]), BBs["entry"]);
+  EXPECT_TRUE(DT.dominates(BBs["entry"], BBs["merge"]));
+  EXPECT_FALSE(DT.dominates(BBs["a"], BBs["merge"]));
+  EXPECT_TRUE(DT.dominates(BBs["a"], BBs["a"]));
+
+  // Dominance frontier of a and b is {merge}.
+  EXPECT_EQ(DT.getDominanceFrontier(BBs["a"]).count(BBs["merge"]), 1u);
+  EXPECT_EQ(DT.getDominanceFrontier(BBs["b"]).count(BBs["merge"]), 1u);
+}
+
+TEST(DominatorTest, InstructionDominance) {
+  Context Ctx;
+  auto M = parseModuleOrDie(Ctx, DiamondIR);
+  Function *F = M->getFunction("f");
+  DominatorTree DT(*F);
+  Instruction *EntryBr = F->getEntryBlock().back();
+  Instruction *Phi = nullptr;
+  for (auto &BB : F->getBlocks())
+    if (BB->getName() == "merge")
+      Phi = BB->front();
+  ASSERT_NE(Phi, nullptr);
+  EXPECT_TRUE(DT.dominates(EntryBr, Phi));
+  EXPECT_FALSE(DT.dominates(Phi, EntryBr));
+}
+
+TEST(PostDominatorTest, Diamond) {
+  Context Ctx;
+  auto M = parseModuleOrDie(Ctx, DiamondIR);
+  Function *F = M->getFunction("f");
+  PostDominatorTree PDT(*F);
+  std::map<std::string, BasicBlock *> BBs;
+  for (auto &BB : F->getBlocks())
+    BBs[BB->getName()] = BB.get();
+  EXPECT_TRUE(PDT.postDominates(BBs["merge"], BBs["entry"]));
+  EXPECT_TRUE(PDT.postDominates(BBs["merge"], BBs["a"]));
+  EXPECT_FALSE(PDT.postDominates(BBs["a"], BBs["entry"]));
+}
+
+TEST(LoopInfoTest, SimpleLoop) {
+  Context Ctx;
+  auto M = minic::compileMiniCOrDie(Ctx, R"(
+    int main() {
+      int s = 0;
+      for (int i = 0; i < 10; i = i + 1) s = s + i;
+      return s;
+    }
+  )");
+  Function *F = M->getFunction("main");
+  DominatorTree DT(*F);
+  LoopInfo LI(*F, DT);
+  ASSERT_EQ(LI.getNumLoops(), 1u);
+  LoopStructure *L = LI.getTopLevelLoops()[0];
+  EXPECT_NE(L->getPreheader(), nullptr);
+  EXPECT_EQ(L->getLatches().size(), 1u);
+  EXPECT_GE(L->getExitBlocks().size(), 1u);
+  EXPECT_EQ(L->getDepth(), 1u);
+  EXPECT_EQ(LI.getLoopFor(L->getHeader()), L);
+}
+
+TEST(LoopInfoTest, NestedLoops) {
+  Context Ctx;
+  auto M = minic::compileMiniCOrDie(Ctx, R"(
+    int main() {
+      int s = 0;
+      for (int i = 0; i < 4; i = i + 1)
+        for (int j = 0; j < 4; j = j + 1)
+          s = s + i * j;
+      return s;
+    }
+  )");
+  Function *F = M->getFunction("main");
+  DominatorTree DT(*F);
+  LoopInfo LI(*F, DT);
+  ASSERT_EQ(LI.getNumLoops(), 2u);
+  ASSERT_EQ(LI.getTopLevelLoops().size(), 1u);
+  LoopStructure *Outer = LI.getTopLevelLoops()[0];
+  ASSERT_EQ(Outer->getSubLoops().size(), 1u);
+  LoopStructure *Inner = Outer->getSubLoops()[0];
+  EXPECT_EQ(Inner->getParentLoop(), Outer);
+  EXPECT_EQ(Inner->getDepth(), 2u);
+  EXPECT_TRUE(Outer->contains(Inner->getHeader()));
+  EXPECT_FALSE(Inner->contains(Outer->getHeader()));
+}
+
+TEST(LoopInfoTest, PreorderIsOuterFirst) {
+  Context Ctx;
+  auto M = minic::compileMiniCOrDie(Ctx, R"(
+    int main() {
+      int s = 0;
+      for (int i = 0; i < 4; i = i + 1) {
+        for (int j = 0; j < 4; j = j + 1) s = s + 1;
+        for (int k = 0; k < 4; k = k + 1) s = s + 2;
+      }
+      while (s > 100) s = s - 1;
+      return s;
+    }
+  )");
+  Function *F = M->getFunction("main");
+  DominatorTree DT(*F);
+  LoopInfo LI(*F, DT);
+  EXPECT_EQ(LI.getNumLoops(), 4u);
+  auto Pre = LI.getLoopsInPreorder();
+  ASSERT_EQ(Pre.size(), 4u);
+  // The first loop in preorder is top-level.
+  EXPECT_EQ(Pre[0]->getDepth(), 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Alias analysis
+//===----------------------------------------------------------------------===//
+
+/// Two distinct local arrays: basic AA must disambiguate them.
+const char *TwoArraysSrc = R"(
+  int main() {
+    int a[8];
+    int b[8];
+    for (int i = 0; i < 8; i = i + 1) { a[i] = i; b[i] = 2 * i; }
+    return a[3] + b[3];
+  }
+)";
+
+std::pair<Value *, Value *> findTwoStorePtrs(Function *F) {
+  std::vector<Value *> Ptrs;
+  for (auto &BB : F->getBlocks())
+    for (auto &I : BB->getInstList())
+      if (auto *S = dyn_cast<StoreInst>(I.get()))
+        Ptrs.push_back(S->getPointerOperand());
+  assert(Ptrs.size() >= 2);
+  return {Ptrs[0], Ptrs[1]};
+}
+
+TEST(AliasTest, NoAAIsAlwaysMay) {
+  Context Ctx;
+  auto M = minic::compileMiniCOrDie(Ctx, TwoArraysSrc);
+  NoAliasAnalysis AA;
+  auto [P1, P2] = findTwoStorePtrs(M->getFunction("main"));
+  EXPECT_EQ(AA.alias(P1, P2), AliasResult::MayAlias);
+  EXPECT_EQ(AA.alias(P1, P1), AliasResult::MustAlias);
+}
+
+TEST(AliasTest, BasicAADisambiguatesDistinctArrays) {
+  Context Ctx;
+  auto M = minic::compileMiniCOrDie(Ctx, TwoArraysSrc);
+  BasicAliasAnalysis AA;
+  auto [P1, P2] = findTwoStorePtrs(M->getFunction("main"));
+  // a[i] and b[i] come from different allocas.
+  EXPECT_EQ(AA.alias(P1, P2), AliasResult::NoAlias);
+}
+
+TEST(AliasTest, BasicAADistinctGlobalsNoAlias) {
+  Context Ctx;
+  auto M = minic::compileMiniCOrDie(Ctx, R"(
+    int x[4];
+    int y[4];
+    int main() { x[0] = 1; y[0] = 2; return x[0]; }
+  )");
+  BasicAliasAnalysis AA;
+  auto [P1, P2] = findTwoStorePtrs(M->getFunction("main"));
+  EXPECT_EQ(AA.alias(P1, P2), AliasResult::NoAlias);
+}
+
+TEST(AliasTest, BasicAAConstantOffsetsOffSameBase) {
+  Context Ctx;
+  auto M = minic::compileMiniCOrDie(Ctx, R"(
+    int a[8];
+    int main() { a[0] = 1; a[1] = 2; return a[0]; }
+  )");
+  BasicAliasAnalysis AA;
+  auto [P1, P2] = findTwoStorePtrs(M->getFunction("main"));
+  EXPECT_EQ(AA.alias(P1, P2), AliasResult::NoAlias);
+}
+
+TEST(AliasTest, BasicAACannotDisambiguateThroughCalls) {
+  // Pointers passed through a call boundary: basic (intraprocedural) AA
+  // must stay conservative, while Andersen proves independence.
+  const char *Src = R"(
+    int A[64];
+    int B[64];
+    void fill(int *p, int n) {
+      for (int i = 0; i < n; i = i + 1) p[i] = i;
+    }
+    int main() {
+      fill(A, 64);
+      fill(B, 64);
+      return A[5] + B[5];
+    }
+  )";
+  Context Ctx;
+  auto M = minic::compileMiniCOrDie(Ctx, Src);
+  Function *Fill = M->getFunction("fill");
+  // The store pointer inside fill against the global A.
+  Value *StorePtr = nullptr;
+  for (auto &BB : Fill->getBlocks())
+    for (auto &I : BB->getInstList())
+      if (auto *S = dyn_cast<StoreInst>(I.get()))
+        StorePtr = S->getPointerOperand();
+  ASSERT_NE(StorePtr, nullptr);
+
+  BasicAliasAnalysis Basic;
+  AndersenAliasAnalysis Andersen(*M);
+  GlobalVariable *A = M->getGlobal("A");
+
+  // Basic: parameter-based pointer may alias anything.
+  EXPECT_EQ(Basic.alias(StorePtr, A), AliasResult::MayAlias);
+  // Andersen: p may point to A or B, so against A it is still MayAlias,
+  // but against an unrelated third global it is NoAlias.
+  auto M2Src = Andersen.getPointsTo(StorePtr);
+  EXPECT_FALSE(M2Src.empty());
+}
+
+TEST(AliasTest, AndersenProvesHeapSeparation) {
+  const char *Src = R"(
+    int main() {
+      int *p = malloc(80);
+      int *q = malloc(80);
+      p[0] = 1;
+      q[0] = 2;
+      return p[0];
+    }
+  )";
+  Context Ctx;
+  auto M = minic::compileMiniCOrDie(Ctx, Src);
+  AndersenAliasAnalysis AA(*M);
+  auto [P1, P2] = findTwoStorePtrs(M->getFunction("main"));
+  EXPECT_EQ(AA.alias(P1, P2), AliasResult::NoAlias);
+}
+
+TEST(AliasTest, AndersenResolvesIndirectCallees) {
+  const char *Src = R"(
+    int add(int a, int b) { return a + b; }
+    int mul(int a, int b) { return a * b; }
+    int pick(int c) { return c; }
+    int main() {
+      int (*f)(int, int) = add;
+      if (pick(1)) f = mul;
+      return f(3, 4);
+    }
+  )";
+  Context Ctx;
+  auto M = minic::compileMiniCOrDie(Ctx, Src);
+  AndersenAliasAnalysis AA(*M);
+  // Find the indirect call.
+  const CallInst *Indirect = nullptr;
+  for (auto &BB : M->getFunction("main")->getBlocks())
+    for (auto &I : BB->getInstList())
+      if (auto *C = dyn_cast<CallInst>(I.get()))
+        if (C->isIndirect())
+          Indirect = C;
+  ASSERT_NE(Indirect, nullptr);
+  auto Callees = AA.getIndirectCallees(Indirect);
+  // Both add and mul are possible; pick (wrong arity) is not.
+  std::set<std::string> Names;
+  for (auto *F : Callees)
+    Names.insert(F->getName());
+  EXPECT_TRUE(Names.count("add"));
+  EXPECT_TRUE(Names.count("mul"));
+  EXPECT_FALSE(Names.count("pick"));
+}
+
+TEST(AliasTest, ModRefQueries) {
+  Context Ctx;
+  auto M = minic::compileMiniCOrDie(Ctx, TwoArraysSrc);
+  BasicAliasAnalysis AA;
+  Function *Main = M->getFunction("main");
+  StoreInst *Store = nullptr;
+  LoadInst *Load = nullptr;
+  for (auto &BB : Main->getBlocks())
+    for (auto &I : BB->getInstList()) {
+      if (auto *S = dyn_cast<StoreInst>(I.get()))
+        if (!Store)
+          Store = S;
+      if (auto *L = dyn_cast<LoadInst>(I.get()))
+        if (!Load)
+          Load = L;
+    }
+  ASSERT_NE(Store, nullptr);
+  EXPECT_EQ(AA.getModRef(Store, Store->getPointerOperand()),
+            ModRefResult::Mod);
+}
+
+} // namespace

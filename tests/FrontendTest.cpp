@@ -1,0 +1,347 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests for the MiniC frontend: parsing, lowering, mem2reg, and
+/// end-to-end execution through the interpreter.
+///
+//===----------------------------------------------------------------------===//
+
+#include "frontend/MiniC.h"
+
+#include "analysis/LoopInfo.h"
+#include "interp/Interpreter.h"
+#include "ir/Verifier.h"
+
+#include <gtest/gtest.h>
+
+using namespace nir;
+
+namespace {
+
+int64_t runMain(const std::string &Src, std::string *Out = nullptr) {
+  Context Ctx;
+  auto M = minic::compileMiniCOrDie(Ctx, Src);
+  ExecutionEngine E(*M);
+  int64_t R = E.runMain();
+  if (Out)
+    *Out = E.getOutput();
+  return R;
+}
+
+TEST(MiniCTest, ReturnsConstant) {
+  EXPECT_EQ(runMain("int main() { return 42; }"), 42);
+}
+
+TEST(MiniCTest, Arithmetic) {
+  EXPECT_EQ(runMain("int main() { return (3 + 4) * 5 - 6 / 2; }"), 32);
+  EXPECT_EQ(runMain("int main() { return 17 % 5; }"), 2);
+  EXPECT_EQ(runMain("int main() { return (1 << 6) | 3; }"), 67);
+  EXPECT_EQ(runMain("int main() { return -7 + 2; }"), -5);
+}
+
+TEST(MiniCTest, DoubleArithmetic) {
+  EXPECT_EQ(runMain("int main() { double x = 1.5; double y = 2.5; "
+                    "return (int)(x * y + 0.25); }"),
+            4);
+}
+
+TEST(MiniCTest, Comparisons) {
+  EXPECT_EQ(runMain("int main() { return (3 < 4) + (4 <= 4) + (5 > 6); }"),
+            2);
+  EXPECT_EQ(runMain("int main() { return 2.5 < 3.0; }"), 1);
+}
+
+TEST(MiniCTest, ShortCircuit) {
+  // The right side of && must not execute when the left is false.
+  const char *Src = R"(
+    int g = 0;
+    int touch() { g = 1; return 1; }
+    int main() {
+      int r = (0 && touch());
+      return g * 10 + r;
+    }
+  )";
+  EXPECT_EQ(runMain(Src), 0);
+  const char *Src2 = R"(
+    int g = 0;
+    int touch() { g = 1; return 0; }
+    int main() {
+      int r = (1 || touch());
+      return g * 10 + r;
+    }
+  )";
+  EXPECT_EQ(runMain(Src2), 1);
+}
+
+TEST(MiniCTest, IfElse) {
+  const char *Src = R"(
+    int classify(int x) {
+      if (x < 0) return -1;
+      else if (x == 0) return 0;
+      return 1;
+    }
+    int main() { return classify(-5) * 100 + classify(0) * 10 + classify(7); }
+  )";
+  EXPECT_EQ(runMain(Src), -100 + 0 + 1);
+}
+
+TEST(MiniCTest, WhileLoop) {
+  EXPECT_EQ(runMain("int main() { int i = 0; int s = 0; "
+                    "while (i < 10) { s = s + i; i = i + 1; } return s; }"),
+            45);
+}
+
+TEST(MiniCTest, DoWhileLoop) {
+  EXPECT_EQ(runMain("int main() { int i = 0; int s = 0; "
+                    "do { s = s + i; i = i + 1; } while (i < 5); return s; }"),
+            10);
+}
+
+TEST(MiniCTest, ForLoopWithBreakContinue) {
+  const char *Src = R"(
+    int main() {
+      int s = 0;
+      for (int i = 0; i < 100; i = i + 1) {
+        if (i % 2 == 0) continue;
+        if (i > 10) break;
+        s = s + i;   // 1+3+5+7+9 = 25
+      }
+      return s;
+    }
+  )";
+  EXPECT_EQ(runMain(Src), 25);
+}
+
+TEST(MiniCTest, GlobalsAndArrays) {
+  const char *Src = R"(
+    int data[8] = {1, 2, 3, 4, 5, 6, 7, 8};
+    int scale = 2;
+    int main() {
+      int s = 0;
+      for (int i = 0; i < 8; i = i + 1) s = s + data[i] * scale;
+      return s;
+    }
+  )";
+  EXPECT_EQ(runMain(Src), 72);
+}
+
+TEST(MiniCTest, LocalArrays) {
+  const char *Src = R"(
+    int main() {
+      int a[16];
+      for (int i = 0; i < 16; i = i + 1) a[i] = i * i;
+      int s = 0;
+      for (int i = 0; i < 16; i = i + 1) s = s + a[i];
+      return s;   // sum of squares 0..15 = 1240
+    }
+  )";
+  EXPECT_EQ(runMain(Src), 1240);
+}
+
+TEST(MiniCTest, PointersAndMalloc) {
+  const char *Src = R"(
+    int main() {
+      int *p = malloc(10 * 8);
+      for (int i = 0; i < 10; i = i + 1) p[i] = i + 1;
+      int *q = p + 5;
+      return *q + p[0];   // 6 + 1
+    }
+  )";
+  EXPECT_EQ(runMain(Src), 7);
+}
+
+TEST(MiniCTest, AddressOf) {
+  const char *Src = R"(
+    void bump(int *x) { *x = *x + 1; }
+    int main() {
+      int v = 41;
+      bump(&v);
+      return v;
+    }
+  )";
+  EXPECT_EQ(runMain(Src), 42);
+}
+
+TEST(MiniCTest, Recursion) {
+  const char *Src = R"(
+    int fib(int n) {
+      if (n < 2) return n;
+      return fib(n - 1) + fib(n - 2);
+    }
+    int main() { return fib(15); }
+  )";
+  EXPECT_EQ(runMain(Src), 610);
+}
+
+TEST(MiniCTest, FunctionPointers) {
+  const char *Src = R"(
+    int add(int a, int b) { return a + b; }
+    int mul(int a, int b) { return a * b; }
+    int apply(int (*f)(int, int), int a, int b) { return f(a, b); }
+    int main() {
+      int (*op)(int, int) = add;
+      int r = apply(op, 3, 4);
+      op = mul;
+      return r * 10 + apply(op, 3, 4);
+    }
+  )";
+  EXPECT_EQ(runMain(Src), 82);
+}
+
+TEST(MiniCTest, PrintOutput) {
+  std::string Out;
+  runMain("int main() { print_i64(7); print_f64(2.5); return 0; }", &Out);
+  EXPECT_EQ(Out, "7\n2.500000\n");
+}
+
+TEST(MiniCTest, MathLibrary) {
+  EXPECT_EQ(runMain("int main() { return (int)(sqrt(81.0) + 0.5); }"), 9);
+  EXPECT_EQ(runMain("int main() { return (int)(pow(2.0, 10.0) + 0.5); }"),
+            1024);
+}
+
+TEST(MiniCTest, CompoundAssignment) {
+  EXPECT_EQ(runMain("int main() { int x = 10; x += 5; x -= 3; return x; }"),
+            12);
+}
+
+TEST(MiniCTest, CharsAndStringsViaArrays) {
+  const char *Src = R"(
+    char buf[4];
+    int main() {
+      buf[0] = 'h'; buf[1] = 'i'; buf[2] = '\n'; buf[3] = 0;
+      int i = 0;
+      while (buf[i] != 0) { print_char(buf[i]); i = i + 1; }
+      return i;
+    }
+  )";
+  std::string Out;
+  EXPECT_EQ(runMain(Src, &Out), 3);
+  EXPECT_EQ(Out, "hi\n");
+}
+
+TEST(MiniCTest, NestedLoops) {
+  const char *Src = R"(
+    int main() {
+      int s = 0;
+      for (int i = 0; i < 10; i = i + 1)
+        for (int j = 0; j < 10; j = j + 1)
+          s = s + i * j;
+      return s;   // (0+..+9)^2 = 2025
+    }
+  )";
+  EXPECT_EQ(runMain(Src), 2025);
+}
+
+TEST(MiniCTest, Mem2RegRemovesScalarAllocas) {
+  Context Ctx;
+  auto M = minic::compileMiniCOrDie(Ctx, R"(
+    int main() {
+      int s = 0;
+      for (int i = 0; i < 10; i = i + 1) s = s + i;
+      return s;
+    }
+  )");
+  Function *Main = M->getFunction("main");
+  unsigned NumAllocas = 0;
+  for (auto &BB : Main->getBlocks())
+    for (auto &I : BB->getInstList())
+      if (isa<AllocaInst>(I.get()))
+        ++NumAllocas;
+  EXPECT_EQ(NumAllocas, 0u);
+  EXPECT_TRUE(moduleVerifies(*M));
+}
+
+TEST(MiniCTest, Mem2RegKeepsSemantics) {
+  // Compile with and without mem2reg; results must agree.
+  const char *Src = R"(
+    int collatz(int n) {
+      int steps = 0;
+      while (n != 1) {
+        if (n % 2 == 0) n = n / 2;
+        else n = 3 * n + 1;
+        steps = steps + 1;
+      }
+      return steps;
+    }
+    int main() { return collatz(27); }
+  )";
+  Context Ctx1, Ctx2;
+  minic::CompileOptions NoM2R;
+  NoM2R.RunMem2Reg = false;
+  auto M1 = minic::compileMiniCOrDie(Ctx1, Src);
+  auto M2 = minic::compileMiniCOrDie(Ctx2, Src, NoM2R);
+  ExecutionEngine E1(*M1), E2(*M2);
+  EXPECT_EQ(E1.runMain(), E2.runMain());
+  EXPECT_EQ(E1.runMain(), 111);
+}
+
+TEST(MiniCTest, WhileLoopsKeepWhileShape) {
+  // The frontend must emit while-style loops (header exits), since the
+  // paper's IV comparison depends on loop shape.
+  Context Ctx;
+  auto M = minic::compileMiniCOrDie(Ctx, R"(
+    int main() {
+      int s = 0;
+      for (int i = 0; i < 10; i = i + 1) s = s + i;
+      return s;
+    }
+  )");
+  Function *Main = M->getFunction("main");
+  DominatorTree DT(*Main);
+  LoopInfo LI(*Main, DT);
+  ASSERT_EQ(LI.getNumLoops(), 1u);
+  LoopStructure *L = LI.getTopLevelLoops()[0];
+  EXPECT_TRUE(L->isWhileForm());
+  EXPECT_FALSE(L->isDoWhileForm());
+}
+
+TEST(MiniCTest, DoWhileLoopsKeepDoWhileShape) {
+  Context Ctx;
+  auto M = minic::compileMiniCOrDie(Ctx, R"(
+    int main() {
+      int s = 0;
+      int i = 0;
+      do { s = s + i; i = i + 1; } while (i < 10);
+      return s;
+    }
+  )");
+  Function *Main = M->getFunction("main");
+  DominatorTree DT(*Main);
+  LoopInfo LI(*Main, DT);
+  ASSERT_EQ(LI.getNumLoops(), 1u);
+  EXPECT_TRUE(LI.getTopLevelLoops()[0]->isDoWhileForm());
+}
+
+TEST(MiniCTest, ParseErrors) {
+  Context Ctx;
+  std::string Error;
+  EXPECT_EQ(minic::compileMiniC(Ctx, "int main( { return 0; }", Error),
+            nullptr);
+  EXPECT_FALSE(Error.empty());
+
+  Error.clear();
+  EXPECT_EQ(minic::compileMiniC(Ctx, "int main() { return x; }", Error),
+            nullptr);
+  EXPECT_NE(Error.find("unknown"), std::string::npos);
+}
+
+TEST(MiniCTest, GeneratedIRRoundTripsThroughParser) {
+  Context Ctx;
+  auto M = minic::compileMiniCOrDie(Ctx, R"(
+    int sum(int *p, int n) {
+      int s = 0;
+      for (int i = 0; i < n; i = i + 1) s = s + p[i];
+      return s;
+    }
+    int main() {
+      int a[4];
+      a[0] = 1; a[1] = 2; a[2] = 3; a[3] = 4;
+      return sum(a, 4);
+    }
+  )");
+  ExecutionEngine E(*M);
+  EXPECT_EQ(E.runMain(), 10);
+}
+
+} // namespace

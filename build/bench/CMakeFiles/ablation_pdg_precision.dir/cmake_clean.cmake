@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_pdg_precision.dir/ablation_pdg_precision.cpp.o"
+  "CMakeFiles/ablation_pdg_precision.dir/ablation_pdg_precision.cpp.o.d"
+  "ablation_pdg_precision"
+  "ablation_pdg_precision.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_pdg_precision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure3_dependences.dir/figure3_dependences.cpp.o"
+  "CMakeFiles/figure3_dependences.dir/figure3_dependences.cpp.o.d"
+  "figure3_dependences"
+  "figure3_dependences.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure3_dependences.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure4_invariants.dir/figure4_invariants.cpp.o"
+  "CMakeFiles/figure4_invariants.dir/figure4_invariants.cpp.o.d"
+  "figure4_invariants"
+  "figure4_invariants.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure4_invariants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

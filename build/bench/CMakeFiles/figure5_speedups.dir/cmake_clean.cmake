@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure5_speedups.dir/figure5_speedups.cpp.o"
+  "CMakeFiles/figure5_speedups.dir/figure5_speedups.cpp.o.d"
+  "figure5_speedups"
+  "figure5_speedups.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure5_speedups.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_noelle.dir/micro_noelle.cpp.o"
+  "CMakeFiles/micro_noelle.dir/micro_noelle.cpp.o.d"
+  "micro_noelle"
+  "micro_noelle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_noelle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec43_iv_counts.dir/sec43_iv_counts.cpp.o"
+  "CMakeFiles/sec43_iv_counts.dir/sec43_iv_counts.cpp.o.d"
+  "sec43_iv_counts"
+  "sec43_iv_counts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec43_iv_counts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec44_spec_robustness.dir/sec44_spec_robustness.cpp.o"
+  "CMakeFiles/sec44_spec_robustness.dir/sec44_spec_robustness.cpp.o.d"
+  "sec44_spec_robustness"
+  "sec44_spec_robustness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec44_spec_robustness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

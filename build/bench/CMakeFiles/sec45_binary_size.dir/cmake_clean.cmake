@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec45_binary_size.dir/sec45_binary_size.cpp.o"
+  "CMakeFiles/sec45_binary_size.dir/sec45_binary_size.cpp.o.d"
+  "sec45_binary_size"
+  "sec45_binary_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec45_binary_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

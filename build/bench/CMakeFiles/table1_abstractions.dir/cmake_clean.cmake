@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_abstractions.dir/table1_abstractions.cpp.o"
+  "CMakeFiles/table1_abstractions.dir/table1_abstractions.cpp.o.d"
+  "table1_abstractions"
+  "table1_abstractions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_abstractions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_tools.dir/table2_tools.cpp.o"
+  "CMakeFiles/table2_tools.dir/table2_tools.cpp.o.d"
+  "table2_tools"
+  "table2_tools.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_tools.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_loc_reduction.dir/table3_loc_reduction.cpp.o"
+  "CMakeFiles/table3_loc_reduction.dir/table3_loc_reduction.cpp.o.d"
+  "table3_loc_reduction"
+  "table3_loc_reduction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_loc_reduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

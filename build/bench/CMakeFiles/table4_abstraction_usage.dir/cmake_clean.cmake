@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_abstraction_usage.dir/table4_abstraction_usage.cpp.o"
+  "CMakeFiles/table4_abstraction_usage.dir/table4_abstraction_usage.cpp.o.d"
+  "table4_abstraction_usage"
+  "table4_abstraction_usage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_abstraction_usage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

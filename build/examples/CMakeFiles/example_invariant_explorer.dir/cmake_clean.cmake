@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_invariant_explorer.dir/invariant_explorer.cpp.o"
+  "CMakeFiles/example_invariant_explorer.dir/invariant_explorer.cpp.o.d"
+  "example_invariant_explorer"
+  "example_invariant_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_invariant_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

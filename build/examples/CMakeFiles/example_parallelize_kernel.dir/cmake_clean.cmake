@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_parallelize_kernel.dir/parallelize_kernel.cpp.o"
+  "CMakeFiles/example_parallelize_kernel.dir/parallelize_kernel.cpp.o.d"
+  "example_parallelize_kernel"
+  "example_parallelize_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_parallelize_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

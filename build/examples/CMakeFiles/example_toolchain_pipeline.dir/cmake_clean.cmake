@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_toolchain_pipeline.dir/toolchain_pipeline.cpp.o"
+  "CMakeFiles/example_toolchain_pipeline.dir/toolchain_pipeline.cpp.o.d"
+  "example_toolchain_pipeline"
+  "example_toolchain_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_toolchain_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,67 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/AliasAnalysis.cpp" "src/CMakeFiles/noelle.dir/analysis/AliasAnalysis.cpp.o" "gcc" "src/CMakeFiles/noelle.dir/analysis/AliasAnalysis.cpp.o.d"
+  "/root/repo/src/analysis/CFG.cpp" "src/CMakeFiles/noelle.dir/analysis/CFG.cpp.o" "gcc" "src/CMakeFiles/noelle.dir/analysis/CFG.cpp.o.d"
+  "/root/repo/src/analysis/Dominators.cpp" "src/CMakeFiles/noelle.dir/analysis/Dominators.cpp.o" "gcc" "src/CMakeFiles/noelle.dir/analysis/Dominators.cpp.o.d"
+  "/root/repo/src/analysis/LoopInfo.cpp" "src/CMakeFiles/noelle.dir/analysis/LoopInfo.cpp.o" "gcc" "src/CMakeFiles/noelle.dir/analysis/LoopInfo.cpp.o.d"
+  "/root/repo/src/baselines/ConservativeParallelizer.cpp" "src/CMakeFiles/noelle.dir/baselines/ConservativeParallelizer.cpp.o" "gcc" "src/CMakeFiles/noelle.dir/baselines/ConservativeParallelizer.cpp.o.d"
+  "/root/repo/src/baselines/LLVMBaselines.cpp" "src/CMakeFiles/noelle.dir/baselines/LLVMBaselines.cpp.o" "gcc" "src/CMakeFiles/noelle.dir/baselines/LLVMBaselines.cpp.o.d"
+  "/root/repo/src/benchmarks/Suite.cpp" "src/CMakeFiles/noelle.dir/benchmarks/Suite.cpp.o" "gcc" "src/CMakeFiles/noelle.dir/benchmarks/Suite.cpp.o.d"
+  "/root/repo/src/frontend/Mem2Reg.cpp" "src/CMakeFiles/noelle.dir/frontend/Mem2Reg.cpp.o" "gcc" "src/CMakeFiles/noelle.dir/frontend/Mem2Reg.cpp.o.d"
+  "/root/repo/src/frontend/MiniCCodegen.cpp" "src/CMakeFiles/noelle.dir/frontend/MiniCCodegen.cpp.o" "gcc" "src/CMakeFiles/noelle.dir/frontend/MiniCCodegen.cpp.o.d"
+  "/root/repo/src/frontend/MiniCParser.cpp" "src/CMakeFiles/noelle.dir/frontend/MiniCParser.cpp.o" "gcc" "src/CMakeFiles/noelle.dir/frontend/MiniCParser.cpp.o.d"
+  "/root/repo/src/interp/Interpreter.cpp" "src/CMakeFiles/noelle.dir/interp/Interpreter.cpp.o" "gcc" "src/CMakeFiles/noelle.dir/interp/Interpreter.cpp.o.d"
+  "/root/repo/src/ir/BasicBlock.cpp" "src/CMakeFiles/noelle.dir/ir/BasicBlock.cpp.o" "gcc" "src/CMakeFiles/noelle.dir/ir/BasicBlock.cpp.o.d"
+  "/root/repo/src/ir/Context.cpp" "src/CMakeFiles/noelle.dir/ir/Context.cpp.o" "gcc" "src/CMakeFiles/noelle.dir/ir/Context.cpp.o.d"
+  "/root/repo/src/ir/Function.cpp" "src/CMakeFiles/noelle.dir/ir/Function.cpp.o" "gcc" "src/CMakeFiles/noelle.dir/ir/Function.cpp.o.d"
+  "/root/repo/src/ir/IDs.cpp" "src/CMakeFiles/noelle.dir/ir/IDs.cpp.o" "gcc" "src/CMakeFiles/noelle.dir/ir/IDs.cpp.o.d"
+  "/root/repo/src/ir/Instruction.cpp" "src/CMakeFiles/noelle.dir/ir/Instruction.cpp.o" "gcc" "src/CMakeFiles/noelle.dir/ir/Instruction.cpp.o.d"
+  "/root/repo/src/ir/Linker.cpp" "src/CMakeFiles/noelle.dir/ir/Linker.cpp.o" "gcc" "src/CMakeFiles/noelle.dir/ir/Linker.cpp.o.d"
+  "/root/repo/src/ir/Module.cpp" "src/CMakeFiles/noelle.dir/ir/Module.cpp.o" "gcc" "src/CMakeFiles/noelle.dir/ir/Module.cpp.o.d"
+  "/root/repo/src/ir/Parser.cpp" "src/CMakeFiles/noelle.dir/ir/Parser.cpp.o" "gcc" "src/CMakeFiles/noelle.dir/ir/Parser.cpp.o.d"
+  "/root/repo/src/ir/Type.cpp" "src/CMakeFiles/noelle.dir/ir/Type.cpp.o" "gcc" "src/CMakeFiles/noelle.dir/ir/Type.cpp.o.d"
+  "/root/repo/src/ir/Utils.cpp" "src/CMakeFiles/noelle.dir/ir/Utils.cpp.o" "gcc" "src/CMakeFiles/noelle.dir/ir/Utils.cpp.o.d"
+  "/root/repo/src/ir/Value.cpp" "src/CMakeFiles/noelle.dir/ir/Value.cpp.o" "gcc" "src/CMakeFiles/noelle.dir/ir/Value.cpp.o.d"
+  "/root/repo/src/ir/Verifier.cpp" "src/CMakeFiles/noelle.dir/ir/Verifier.cpp.o" "gcc" "src/CMakeFiles/noelle.dir/ir/Verifier.cpp.o.d"
+  "/root/repo/src/noelle/Architecture.cpp" "src/CMakeFiles/noelle.dir/noelle/Architecture.cpp.o" "gcc" "src/CMakeFiles/noelle.dir/noelle/Architecture.cpp.o.d"
+  "/root/repo/src/noelle/CallGraph.cpp" "src/CMakeFiles/noelle.dir/noelle/CallGraph.cpp.o" "gcc" "src/CMakeFiles/noelle.dir/noelle/CallGraph.cpp.o.d"
+  "/root/repo/src/noelle/DataFlow.cpp" "src/CMakeFiles/noelle.dir/noelle/DataFlow.cpp.o" "gcc" "src/CMakeFiles/noelle.dir/noelle/DataFlow.cpp.o.d"
+  "/root/repo/src/noelle/Environment.cpp" "src/CMakeFiles/noelle.dir/noelle/Environment.cpp.o" "gcc" "src/CMakeFiles/noelle.dir/noelle/Environment.cpp.o.d"
+  "/root/repo/src/noelle/InductionVariables.cpp" "src/CMakeFiles/noelle.dir/noelle/InductionVariables.cpp.o" "gcc" "src/CMakeFiles/noelle.dir/noelle/InductionVariables.cpp.o.d"
+  "/root/repo/src/noelle/Invariants.cpp" "src/CMakeFiles/noelle.dir/noelle/Invariants.cpp.o" "gcc" "src/CMakeFiles/noelle.dir/noelle/Invariants.cpp.o.d"
+  "/root/repo/src/noelle/LoopBuilder.cpp" "src/CMakeFiles/noelle.dir/noelle/LoopBuilder.cpp.o" "gcc" "src/CMakeFiles/noelle.dir/noelle/LoopBuilder.cpp.o.d"
+  "/root/repo/src/noelle/Noelle.cpp" "src/CMakeFiles/noelle.dir/noelle/Noelle.cpp.o" "gcc" "src/CMakeFiles/noelle.dir/noelle/Noelle.cpp.o.d"
+  "/root/repo/src/noelle/PDG.cpp" "src/CMakeFiles/noelle.dir/noelle/PDG.cpp.o" "gcc" "src/CMakeFiles/noelle.dir/noelle/PDG.cpp.o.d"
+  "/root/repo/src/noelle/Profiler.cpp" "src/CMakeFiles/noelle.dir/noelle/Profiler.cpp.o" "gcc" "src/CMakeFiles/noelle.dir/noelle/Profiler.cpp.o.d"
+  "/root/repo/src/noelle/Reduction.cpp" "src/CMakeFiles/noelle.dir/noelle/Reduction.cpp.o" "gcc" "src/CMakeFiles/noelle.dir/noelle/Reduction.cpp.o.d"
+  "/root/repo/src/noelle/SCCDAG.cpp" "src/CMakeFiles/noelle.dir/noelle/SCCDAG.cpp.o" "gcc" "src/CMakeFiles/noelle.dir/noelle/SCCDAG.cpp.o.d"
+  "/root/repo/src/noelle/Scheduler.cpp" "src/CMakeFiles/noelle.dir/noelle/Scheduler.cpp.o" "gcc" "src/CMakeFiles/noelle.dir/noelle/Scheduler.cpp.o.d"
+  "/root/repo/src/runtime/ParallelRuntime.cpp" "src/CMakeFiles/noelle.dir/runtime/ParallelRuntime.cpp.o" "gcc" "src/CMakeFiles/noelle.dir/runtime/ParallelRuntime.cpp.o.d"
+  "/root/repo/src/tools/NoelleTools.cpp" "src/CMakeFiles/noelle.dir/tools/NoelleTools.cpp.o" "gcc" "src/CMakeFiles/noelle.dir/tools/NoelleTools.cpp.o.d"
+  "/root/repo/src/xforms/CARAT.cpp" "src/CMakeFiles/noelle.dir/xforms/CARAT.cpp.o" "gcc" "src/CMakeFiles/noelle.dir/xforms/CARAT.cpp.o.d"
+  "/root/repo/src/xforms/COOS.cpp" "src/CMakeFiles/noelle.dir/xforms/COOS.cpp.o" "gcc" "src/CMakeFiles/noelle.dir/xforms/COOS.cpp.o.d"
+  "/root/repo/src/xforms/DOALL.cpp" "src/CMakeFiles/noelle.dir/xforms/DOALL.cpp.o" "gcc" "src/CMakeFiles/noelle.dir/xforms/DOALL.cpp.o.d"
+  "/root/repo/src/xforms/DSWP.cpp" "src/CMakeFiles/noelle.dir/xforms/DSWP.cpp.o" "gcc" "src/CMakeFiles/noelle.dir/xforms/DSWP.cpp.o.d"
+  "/root/repo/src/xforms/DeadFunctionEliminator.cpp" "src/CMakeFiles/noelle.dir/xforms/DeadFunctionEliminator.cpp.o" "gcc" "src/CMakeFiles/noelle.dir/xforms/DeadFunctionEliminator.cpp.o.d"
+  "/root/repo/src/xforms/HELIX.cpp" "src/CMakeFiles/noelle.dir/xforms/HELIX.cpp.o" "gcc" "src/CMakeFiles/noelle.dir/xforms/HELIX.cpp.o.d"
+  "/root/repo/src/xforms/LICM.cpp" "src/CMakeFiles/noelle.dir/xforms/LICM.cpp.o" "gcc" "src/CMakeFiles/noelle.dir/xforms/LICM.cpp.o.d"
+  "/root/repo/src/xforms/PRVJeeves.cpp" "src/CMakeFiles/noelle.dir/xforms/PRVJeeves.cpp.o" "gcc" "src/CMakeFiles/noelle.dir/xforms/PRVJeeves.cpp.o.d"
+  "/root/repo/src/xforms/ParallelizationUtils.cpp" "src/CMakeFiles/noelle.dir/xforms/ParallelizationUtils.cpp.o" "gcc" "src/CMakeFiles/noelle.dir/xforms/ParallelizationUtils.cpp.o.d"
+  "/root/repo/src/xforms/Perspective.cpp" "src/CMakeFiles/noelle.dir/xforms/Perspective.cpp.o" "gcc" "src/CMakeFiles/noelle.dir/xforms/Perspective.cpp.o.d"
+  "/root/repo/src/xforms/TimeSqueezer.cpp" "src/CMakeFiles/noelle.dir/xforms/TimeSqueezer.cpp.o" "gcc" "src/CMakeFiles/noelle.dir/xforms/TimeSqueezer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/AnalysisTest.cpp" "tests/CMakeFiles/noelle_tests.dir/AnalysisTest.cpp.o" "gcc" "tests/CMakeFiles/noelle_tests.dir/AnalysisTest.cpp.o.d"
+  "/root/repo/tests/CustomToolsTest.cpp" "tests/CMakeFiles/noelle_tests.dir/CustomToolsTest.cpp.o" "gcc" "tests/CMakeFiles/noelle_tests.dir/CustomToolsTest.cpp.o.d"
+  "/root/repo/tests/DOALLTest.cpp" "tests/CMakeFiles/noelle_tests.dir/DOALLTest.cpp.o" "gcc" "tests/CMakeFiles/noelle_tests.dir/DOALLTest.cpp.o.d"
+  "/root/repo/tests/DSWPTest.cpp" "tests/CMakeFiles/noelle_tests.dir/DSWPTest.cpp.o" "gcc" "tests/CMakeFiles/noelle_tests.dir/DSWPTest.cpp.o.d"
+  "/root/repo/tests/DataFlowInterpreterTest.cpp" "tests/CMakeFiles/noelle_tests.dir/DataFlowInterpreterTest.cpp.o" "gcc" "tests/CMakeFiles/noelle_tests.dir/DataFlowInterpreterTest.cpp.o.d"
+  "/root/repo/tests/FrontendTest.cpp" "tests/CMakeFiles/noelle_tests.dir/FrontendTest.cpp.o" "gcc" "tests/CMakeFiles/noelle_tests.dir/FrontendTest.cpp.o.d"
+  "/root/repo/tests/HELIXTest.cpp" "tests/CMakeFiles/noelle_tests.dir/HELIXTest.cpp.o" "gcc" "tests/CMakeFiles/noelle_tests.dir/HELIXTest.cpp.o.d"
+  "/root/repo/tests/IRTest.cpp" "tests/CMakeFiles/noelle_tests.dir/IRTest.cpp.o" "gcc" "tests/CMakeFiles/noelle_tests.dir/IRTest.cpp.o.d"
+  "/root/repo/tests/NoelleCoreTest.cpp" "tests/CMakeFiles/noelle_tests.dir/NoelleCoreTest.cpp.o" "gcc" "tests/CMakeFiles/noelle_tests.dir/NoelleCoreTest.cpp.o.d"
+  "/root/repo/tests/PropertyTest.cpp" "tests/CMakeFiles/noelle_tests.dir/PropertyTest.cpp.o" "gcc" "tests/CMakeFiles/noelle_tests.dir/PropertyTest.cpp.o.d"
+  "/root/repo/tests/SchedulerLoopBuilderTest.cpp" "tests/CMakeFiles/noelle_tests.dir/SchedulerLoopBuilderTest.cpp.o" "gcc" "tests/CMakeFiles/noelle_tests.dir/SchedulerLoopBuilderTest.cpp.o.d"
+  "/root/repo/tests/SuiteTest.cpp" "tests/CMakeFiles/noelle_tests.dir/SuiteTest.cpp.o" "gcc" "tests/CMakeFiles/noelle_tests.dir/SuiteTest.cpp.o.d"
+  "/root/repo/tests/ToolsPipelineTest.cpp" "tests/CMakeFiles/noelle_tests.dir/ToolsPipelineTest.cpp.o" "gcc" "tests/CMakeFiles/noelle_tests.dir/ToolsPipelineTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/noelle.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,36 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/noelle_tests.dir/AnalysisTest.cpp.o"
+  "CMakeFiles/noelle_tests.dir/AnalysisTest.cpp.o.d"
+  "CMakeFiles/noelle_tests.dir/CustomToolsTest.cpp.o"
+  "CMakeFiles/noelle_tests.dir/CustomToolsTest.cpp.o.d"
+  "CMakeFiles/noelle_tests.dir/DOALLTest.cpp.o"
+  "CMakeFiles/noelle_tests.dir/DOALLTest.cpp.o.d"
+  "CMakeFiles/noelle_tests.dir/DSWPTest.cpp.o"
+  "CMakeFiles/noelle_tests.dir/DSWPTest.cpp.o.d"
+  "CMakeFiles/noelle_tests.dir/DataFlowInterpreterTest.cpp.o"
+  "CMakeFiles/noelle_tests.dir/DataFlowInterpreterTest.cpp.o.d"
+  "CMakeFiles/noelle_tests.dir/FrontendTest.cpp.o"
+  "CMakeFiles/noelle_tests.dir/FrontendTest.cpp.o.d"
+  "CMakeFiles/noelle_tests.dir/HELIXTest.cpp.o"
+  "CMakeFiles/noelle_tests.dir/HELIXTest.cpp.o.d"
+  "CMakeFiles/noelle_tests.dir/IRTest.cpp.o"
+  "CMakeFiles/noelle_tests.dir/IRTest.cpp.o.d"
+  "CMakeFiles/noelle_tests.dir/NoelleCoreTest.cpp.o"
+  "CMakeFiles/noelle_tests.dir/NoelleCoreTest.cpp.o.d"
+  "CMakeFiles/noelle_tests.dir/PropertyTest.cpp.o"
+  "CMakeFiles/noelle_tests.dir/PropertyTest.cpp.o.d"
+  "CMakeFiles/noelle_tests.dir/SchedulerLoopBuilderTest.cpp.o"
+  "CMakeFiles/noelle_tests.dir/SchedulerLoopBuilderTest.cpp.o.d"
+  "CMakeFiles/noelle_tests.dir/SuiteTest.cpp.o"
+  "CMakeFiles/noelle_tests.dir/SuiteTest.cpp.o.d"
+  "CMakeFiles/noelle_tests.dir/ToolsPipelineTest.cpp.o"
+  "CMakeFiles/noelle_tests.dir/ToolsPipelineTest.cpp.o.d"
+  "noelle_tests"
+  "noelle_tests.pdb"
+  "noelle_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/noelle_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

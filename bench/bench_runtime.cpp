@@ -1,0 +1,231 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Microbenchmark for the parallel runtime's dispatch path: per-region
+/// dispatch latency through the persistent work-stealing pool (static
+/// and chunked entry points) versus the spawn-per-region baseline the
+/// pool replaced, plus steady-state interpreter throughput under the
+/// pool. Emits BENCH_runtime.json so later PRs have a perf trajectory
+/// to regress against.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtils.h"
+#include "frontend/MiniC.h"
+#include "runtime/ParallelRuntime.h"
+#include "runtime/ThreadPool.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+using namespace noelle;
+using nir::CallInst;
+using nir::ExecutionEngine;
+using nir::Function;
+using nir::RuntimeValue;
+
+namespace {
+
+constexpr int DispatchTasks = 4;
+
+/// An empty parallel region: dispatch cost dominates entirely.
+const char *LatencySrc = R"(
+  extern void noelle_dispatch(void (*task)(int *, int, int), int *env,
+                              int n);
+  int dummy[1];
+  void task(int *env, int t, int n) { return; }
+  int main() {
+    noelle_dispatch(task, dummy, 4);
+    return 0;
+  }
+)";
+
+/// The same program with the parallel region removed: the interpreter
+/// floor we subtract so the comparison isolates dispatch overhead.
+const char *FloorSrc = R"(
+  int dummy[1];
+  int main() { return 0; }
+)";
+
+const char *LatencyChunkedSrc = R"(
+  extern void noelle_dispatch_chunked(void (*task)(int *, int, int),
+                                      int *env, int n, int grain);
+  int dummy[1];
+  void task(int *env, int t, int n) { return; }
+  int main() {
+    noelle_dispatch_chunked(task, dummy, 4, 1);
+    return 0;
+  }
+)";
+
+/// A DOALL-shaped region with real per-task work, for steady-state
+/// throughput under the pool.
+const char *ThroughputSrc = R"(
+  extern void noelle_dispatch_chunked(void (*task)(int *, int, int),
+                                      int *env, int n, int grain);
+  int acc[4];
+  void task(int *env, int t, int n) {
+    int i = t;
+    int s = 0;
+    while (i < 40000) {
+      s = s + i * 3 + 1;
+      i = i + n;
+    }
+    acc[t] = s;
+  }
+  int main() {
+    noelle_dispatch_chunked(task, acc, 4, 1);
+    return 0;
+  }
+)";
+
+/// The seed runtime's dispatch: create and join numTasks fresh threads
+/// per region. Registered over the pool implementation to measure the
+/// "before" cost on the same engine/module shape.
+void registerSpawnDispatch(ExecutionEngine &E) {
+  E.registerExternal(
+      "noelle_dispatch",
+      [](ExecutionEngine &Eng, const CallInst *,
+         const std::vector<RuntimeValue> &A) {
+        Function *Task = Eng.decodeFunction(A[0].P);
+        uint64_t EnvPtr = A[1].P;
+        int64_t NumTasks = A[2].I;
+        std::vector<std::thread> Threads;
+        Threads.reserve(static_cast<size_t>(NumTasks));
+        for (int64_t T = 0; T < NumTasks; ++T)
+          Threads.emplace_back([&, T] {
+            ExecutionEngine::resetThreadRetired();
+            Eng.runFunction(Task, {RuntimeValue::ofPtr(EnvPtr),
+                                   RuntimeValue::ofInt(T),
+                                   RuntimeValue::ofInt(NumTasks)});
+          });
+        for (auto &Th : Threads)
+          Th.join();
+        return RuntimeValue();
+      });
+}
+
+/// Wall time per runMain() call in nanoseconds: best of three timed
+/// repetitions, to shed scheduler noise on a loaded host.
+double nsPerRun(ExecutionEngine &E, unsigned Iters) {
+  E.runMain(); // warm-up: decode + pool worker creation
+  E.runMain();
+  double Best = 0;
+  for (int Rep = 0; Rep < 3; ++Rep) {
+    auto Start = std::chrono::steady_clock::now();
+    for (unsigned I = 0; I < Iters; ++I)
+      E.runMain();
+    auto End = std::chrono::steady_clock::now();
+    double Ns =
+        static_cast<double>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                End - Start)
+                                .count()) /
+        Iters;
+    if (Rep == 0 || Ns < Best)
+      Best = Ns;
+  }
+  return Best;
+}
+
+} // namespace
+
+int main() {
+  constexpr unsigned Iters = 300;
+
+  // Interpreter floor: runMain() with no parallel region at all.
+  nir::Context C0;
+  auto M0 = minic::compileMiniCOrDie(C0, FloorSrc);
+  ExecutionEngine E0(*M0);
+  double FloorNs = nsPerRun(E0, Iters);
+
+  // Pool, static dispatch (HELIX/DSWP path).
+  nir::Context C1;
+  auto M1 = minic::compileMiniCOrDie(C1, LatencySrc);
+  ExecutionEngine E1(*M1);
+  registerParallelRuntime(E1);
+  double PoolNs = nsPerRun(E1, Iters);
+  uint64_t PoolThreads = E1.getThreadPool().getThreadsCreated();
+
+  // Pool, chunked dispatch (DOALL path).
+  nir::Context C2;
+  auto M2 = minic::compileMiniCOrDie(C2, LatencyChunkedSrc);
+  ExecutionEngine E2(*M2);
+  registerParallelRuntime(E2);
+  double ChunkedNs = nsPerRun(E2, Iters);
+
+  // Spawn-per-region baseline (the seed runtime this PR replaced).
+  nir::Context C3;
+  auto M3 = minic::compileMiniCOrDie(C3, LatencySrc);
+  ExecutionEngine E3(*M3);
+  registerParallelRuntime(E3);
+  registerSpawnDispatch(E3);
+  double SpawnNs = nsPerRun(E3, Iters);
+
+  // Steady-state throughput through the pool.
+  nir::Context C4;
+  auto M4 = minic::compileMiniCOrDie(C4, ThroughputSrc);
+  ExecutionEngine E4(*M4);
+  registerParallelRuntime(E4);
+  E4.runMain();
+  uint64_t InstrBefore = E4.getInstructionsExecuted();
+  auto Start = std::chrono::steady_clock::now();
+  constexpr unsigned ThroughputRuns = 20;
+  for (unsigned I = 0; I < ThroughputRuns; ++I)
+    E4.runMain();
+  auto End = std::chrono::steady_clock::now();
+  double Secs =
+      std::chrono::duration_cast<std::chrono::duration<double>>(End - Start)
+          .count();
+  double Mips = (E4.getInstructionsExecuted() - InstrBefore) / Secs / 1e6;
+
+  // Overhead = region time minus the no-dispatch interpreter floor.
+  double SpawnOv = SpawnNs - FloorNs;
+  double PoolOv = std::max(PoolNs - FloorNs, 1.0);
+  double ChunkedOv = std::max(ChunkedNs - FloorNs, 1.0);
+  double SpeedupStatic = SpawnOv / PoolOv;
+  double SpeedupChunked = SpawnOv / ChunkedOv;
+
+  std::printf("Parallel-runtime microbenchmark (%d tasks/region, %u "
+              "regions)\n\n",
+              DispatchTasks, Iters);
+  std::printf("  interpreter floor (no region)      : %12.0f\n", FloorNs);
+  std::printf("  dispatch ns/region, spawn baseline : %12.0f\n", SpawnNs);
+  std::printf("  dispatch ns/region, pool (static)  : %12.0f  (%.1fx "
+              "lower overhead)\n",
+              PoolNs, SpeedupStatic);
+  std::printf("  dispatch ns/region, pool (chunked) : %12.0f  (%.1fx "
+              "lower overhead)\n",
+              ChunkedNs, SpeedupChunked);
+  std::printf("  steady-state throughput            : %12.1f Mips\n", Mips);
+  std::printf("  pool threads after warm-up         : %12llu (stable "
+              "across %u dispatches)\n",
+              static_cast<unsigned long long>(PoolThreads), Iters + 2);
+
+  bool Pass = SpeedupStatic >= 5.0 || SpeedupChunked >= 5.0;
+  std::printf("\nshape check: pool dispatch >= 5x lower overhead than "
+              "spawn-per-region: %s\n",
+              Pass ? "yes" : "NO");
+
+  if (FILE *F = std::fopen("BENCH_runtime.json", "w")) {
+    std::fprintf(F,
+                 "{\n"
+                 "  \"interpreter_floor_ns\": %.0f,\n"
+                 "  \"dispatch_ns_per_region_spawn\": %.0f,\n"
+                 "  \"dispatch_ns_per_region_pool_static\": %.0f,\n"
+                 "  \"dispatch_ns_per_region_pool_chunked\": %.0f,\n"
+                 "  \"dispatch_overhead_speedup_static\": %.2f,\n"
+                 "  \"dispatch_overhead_speedup_chunked\": %.2f,\n"
+                 "  \"steady_state_mips\": %.1f,\n"
+                 "  \"pool_threads_after_warmup\": %llu\n"
+                 "}\n",
+                 FloorNs, SpawnNs, PoolNs, ChunkedNs, SpeedupStatic,
+                 SpeedupChunked, Mips,
+                 static_cast<unsigned long long>(PoolThreads));
+    std::fclose(F);
+    std::printf("wrote BENCH_runtime.json\n");
+  }
+  return Pass ? 0 : 1;
+}

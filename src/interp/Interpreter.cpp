@@ -1,5 +1,7 @@
 #include "interp/Interpreter.h"
 
+#include "runtime/ThreadPool.h"
+
 #include <chrono>
 #include <cmath>
 #include <cstdio>
@@ -74,6 +76,12 @@ struct DecodedInst {
   Type::Kind MemTy = Type::Kind::Int64;
   int32_t Succ0 = -1, Succ1 = -1;
   Function *DirectCallee = nullptr;
+  /// Direct call to a defined function: its decoded-cache slot,
+  /// pre-resolved at decode time so the hot call path skips the id map.
+  std::atomic<ExecutionEngine::DecodedFunction *> *CalleeSlot = nullptr;
+  /// Direct call to a declaration: dense index into the external table,
+  /// pre-resolved at decode time (-1 when not a direct external call).
+  int32_t ExternalId = -1;
   const Instruction *Orig = nullptr;
   uint32_t IdxInBlock = 0; ///< non-phi index, for partial retirement
 };
@@ -120,10 +128,30 @@ uint8_t memSizeOf(const Type *Ty) {
 } // namespace
 
 ExecutionEngine::DecodedFunction &ExecutionEngine::getDecoded(Function *F) {
+  // Lock-free fast path: functions registered at construction have a
+  // dense id whose cache slot is published (release) once decoding
+  // finishes, so concurrent tasks re-entering a hot function never touch
+  // the decode mutex.
+  std::atomic<DecodedFunction *> *Slot = nullptr;
+  {
+    auto IdIt = FunctionIds.find(F); // map is immutable after construction
+    if (IdIt != FunctionIds.end()) {
+      Slot = &DecodedById[IdIt->second];
+      if (DecodedFunction *Hit = Slot->load(std::memory_order_acquire))
+        return *Hit;
+    }
+  }
+
   std::lock_guard<std::mutex> Lock(DecodeMutex);
-  auto It = Decoded.find(F);
-  if (It != Decoded.end())
-    return *It->second;
+  if (Slot) {
+    if (DecodedFunction *Hit = Slot->load(std::memory_order_relaxed))
+      return *Hit;
+  } else {
+    // Function created after engine construction: fall back to a map.
+    auto It = DecodedOverflow.find(F);
+    if (It != DecodedOverflow.end())
+      return *It->second;
+  }
 
   auto DF = std::make_unique<DecodedFunction>();
   DF->F = F;
@@ -275,8 +303,18 @@ ExecutionEngine::DecodedFunction &ExecutionEngine::getDecoded(Function *F) {
       case Value::Kind::Call: {
         const auto *C = cast<CallInst>(I);
         DI.DirectCallee = C->getCalledFunction();
-        if (!DI.DirectCallee)
+        if (!DI.DirectCallee) {
           DI.Ops.push_back(MakeOperand(C->getCalleeOperand()));
+        } else if (DI.DirectCallee->isDeclaration()) {
+          // Pre-resolve the external to its dense slot (assigned now if
+          // the implementation registers later).
+          DI.ExternalId =
+              static_cast<int32_t>(externalIdFor(DI.DirectCallee->getName()));
+        } else {
+          auto IdIt = FunctionIds.find(DI.DirectCallee);
+          if (IdIt != FunctionIds.end())
+            DI.CalleeSlot = &DecodedById[IdIt->second];
+        }
         for (unsigned A = 0, E = C->getNumArgs(); A != E; ++A)
           DI.Ops.push_back(MakeOperand(C->getArg(A)));
         break;
@@ -299,7 +337,11 @@ ExecutionEngine::DecodedFunction &ExecutionEngine::getDecoded(Function *F) {
   }
 
   auto &Ref = *DF;
-  Decoded[F] = std::move(DF);
+  DecodedStore.push_back(std::move(DF));
+  if (Slot)
+    Slot->store(&Ref, std::memory_order_release);
+  else
+    DecodedOverflow[F] = &Ref;
   return Ref;
 }
 
@@ -329,12 +371,17 @@ ExecutionEngine::ExecutionEngine(Module &M, Options Opts)
 
   Heap.resize(Opts.HeapBytes);
 
-  // Function id table for function-pointer encoding.
+  // Function id table for function-pointer encoding and the dense
+  // decoded-function cache.
   uint64_t Id = 0;
   for (const auto &F : M.getFunctions()) {
     FunctionIds[F.get()] = Id++;
     FunctionById.push_back(F.get());
   }
+  DecodedById =
+      std::make_unique<std::atomic<DecodedFunction *>[]>(FunctionById.size());
+  for (size_t I = 0; I < FunctionById.size(); ++I)
+    DecodedById[I].store(nullptr, std::memory_order_relaxed);
 
   installDefaultLibrary();
 }
@@ -343,12 +390,33 @@ ExecutionEngine::~ExecutionEngine() = default;
 
 uint64_t ExecutionEngine::heapAlloc(uint64_t Bytes) {
   uint64_t Aligned = (Bytes + 15) & ~uint64_t(15);
-  uint64_t Old = HeapTop.fetch_add(Aligned);
-  if (Old + Aligned > Heap.size()) {
-    std::fprintf(stderr, "interpreter heap exhausted\n");
-    std::abort();
-  }
+  // CAS loop: the bump must not be committed before the bounds check, or
+  // a losing racer could hand out an overlapping region to a thread
+  // whose own check passed against the already-bumped top.
+  uint64_t Old = HeapTop.load(std::memory_order_relaxed);
+  do {
+    if (Aligned < Bytes || Aligned > Heap.size() ||
+        Old > Heap.size() - Aligned) {
+      std::fprintf(stderr, "interpreter heap exhausted\n");
+      std::abort();
+    }
+  } while (!HeapTop.compare_exchange_weak(Old, Old + Aligned,
+                                          std::memory_order_relaxed));
   return reinterpret_cast<uint64_t>(Heap.data()) + Old;
+}
+
+ThreadPool &ExecutionEngine::getThreadPool() {
+  std::lock_guard<std::mutex> Lock(RuntimeStateMutex);
+  if (!Pool)
+    Pool = std::make_unique<ThreadPool>();
+  return *Pool;
+}
+
+QueueRegistry &ExecutionEngine::getQueueRegistry() {
+  std::lock_guard<std::mutex> Lock(RuntimeStateMutex);
+  if (!Queues)
+    Queues = std::make_unique<QueueRegistry>();
+  return *Queues;
 }
 
 uint64_t
@@ -381,9 +449,20 @@ Function *ExecutionEngine::decodeFunction(uint64_t Encoded) const {
   return Id < FunctionById.size() ? FunctionById[Id] : nullptr;
 }
 
+uint32_t ExecutionEngine::externalIdFor(const std::string &Name) {
+  auto It = ExternalIdByName.find(Name);
+  if (It != ExternalIdByName.end())
+    return It->second;
+  uint32_t Id = static_cast<uint32_t>(ExternalTable.size());
+  ExternalIdByName.emplace(Name, Id);
+  ExternalTable.emplace_back();
+  return Id;
+}
+
 void ExecutionEngine::registerExternal(const std::string &Name,
                                        ExternalFn Fn) {
-  Externals[Name] = std::move(Fn);
+  std::lock_guard<std::mutex> Lock(DecodeMutex);
+  ExternalTable[externalIdFor(Name)] = std::move(Fn);
 }
 
 void ExecutionEngine::appendOutput(const std::string &S) {
@@ -736,11 +815,32 @@ ExecutionEngine::execute(DecodedFunction &DF,
           InstructionsRetired.fetch_add(Retired, std::memory_order_relaxed);
           ThreadRetired += Retired;
           Retired = 0;
-          R = callExternal(Callee, CI, CallArgs);
+          if (DI.ExternalId >= 0) {
+            // Dense slot pre-resolved at decode time: no by-name lookup.
+            const ExternalFn &Fn = ExternalTable[DI.ExternalId];
+            if (!Fn) {
+              std::fprintf(stderr,
+                           "interpreter: no implementation for external "
+                           "@%s\n",
+                           Callee->getName().c_str());
+              std::abort();
+            }
+            R = Fn(*this, CI, CallArgs);
+          } else {
+            R = callExternal(Callee, CI, CallArgs);
+          }
         } else {
           if (Observer)
             Observer->onCallExecuted(CI, Callee);
-          R = execute(getDecoded(Callee), CallArgs, Depth + 1);
+          // Direct calls resolved their cache slot at decode time; the
+          // load is lock-free once the callee has been decoded.
+          DecodedFunction *CalleeDF =
+              DI.CalleeSlot
+                  ? DI.CalleeSlot->load(std::memory_order_acquire)
+                  : nullptr;
+          if (!CalleeDF)
+            CalleeDF = &getDecoded(Callee);
+          R = execute(*CalleeDF, CallArgs, Depth + 1);
         }
         if (DI.ResultReg >= 0)
           Fr.Regs[DI.ResultReg] = R;
@@ -789,13 +889,23 @@ int64_t ExecutionEngine::runMain() {
 RuntimeValue
 ExecutionEngine::callExternal(Function *F, const CallInst *Call,
                               const std::vector<RuntimeValue> &Args) {
-  auto It = Externals.find(F->getName());
-  if (It == Externals.end()) {
+  // Slow by-name path for indirect calls to externals; direct external
+  // calls resolve a dense slot at decode time and never come here.
+  const ExternalFn *Fn = nullptr;
+  {
+    std::lock_guard<std::mutex> Lock(DecodeMutex);
+    auto It = ExternalIdByName.find(F->getName());
+    if (It != ExternalIdByName.end())
+      Fn = &ExternalTable[It->second];
+  }
+  if (!Fn || !*Fn) {
     std::fprintf(stderr, "interpreter: no implementation for external @%s\n",
                  F->getName().c_str());
     std::abort();
   }
-  return It->second(*this, Call, Args);
+  // Deque slots are stable; call without the lock so externals may
+  // re-enter the engine (dispatch, decode, nested calls).
+  return (*Fn)(*this, Call, Args);
 }
 
 void ExecutionEngine::installDefaultLibrary() {
@@ -803,10 +913,10 @@ void ExecutionEngine::installDefaultLibrary() {
                        std::function<RuntimeValue(
                            ExecutionEngine &, const std::vector<RuntimeValue> &)>
                            Fn) {
-    Externals[Name] = [Fn](ExecutionEngine &E, const CallInst *,
-                           const std::vector<RuntimeValue> &A) {
+    registerExternal(Name, [Fn](ExecutionEngine &E, const CallInst *,
+                                const std::vector<RuntimeValue> &A) {
       return Fn(E, A);
-    };
+    });
   };
 
   Simple("print_i64",

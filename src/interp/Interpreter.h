@@ -19,13 +19,19 @@
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <string>
+#include <unordered_map>
 #include <vector>
 
 namespace nir {
+
+class ThreadPool;
+class QueueRegistry;
 
 /// A runtime value: one 64-bit slot interpreted per the static type.
 union RuntimeValue {
@@ -97,6 +103,10 @@ public:
     uint64_t MaxInstructions = 0; ///< 0 = unlimited; else trap guard
   };
 
+  /// Decoded register-machine form of a function (defined in the .cpp;
+  /// public only so decode-time metadata can point at cache slots).
+  struct DecodedFunction;
+
   explicit ExecutionEngine(Module &M) : ExecutionEngine(M, Options{}) {}
   ExecutionEngine(Module &M, Options Opts);
   ~ExecutionEngine();
@@ -131,6 +141,15 @@ public:
   std::vector<DispatchRecord> getDispatchRecords() const;
   void clearDispatchRecords();
 
+  /// The engine's persistent worker pool (created on first use, workers
+  /// stay alive until the engine dies). The parallel runtime dispatches
+  /// parallel regions through it instead of spawning threads.
+  ThreadPool &getThreadPool();
+
+  /// Per-engine owner of the DSWP queues created by noelle_queue_create;
+  /// destroyed with the engine.
+  QueueRegistry &getQueueRegistry();
+
   /// Bump-allocates \p Bytes from the shared heap (the engine's malloc).
   uint64_t heapAlloc(uint64_t Bytes);
 
@@ -152,7 +171,6 @@ public:
   void clearOutput() { Output.clear(); }
 
 private:
-  struct DecodedFunction;
   struct Frame;
 
   DecodedFunction &getDecoded(Function *F);
@@ -161,23 +179,44 @@ private:
                        unsigned Depth);
   RuntimeValue callExternal(Function *F, const CallInst *Call,
                             const std::vector<RuntimeValue> &Args);
+  /// Returns the dense slot index for external name \p Name, assigning a
+  /// fresh (empty) slot on first sight. Caller holds DecodeMutex.
+  uint32_t externalIdFor(const std::string &Name);
   void installDefaultLibrary();
 
   Module &M;
   Options Opts;
 
   std::vector<uint8_t> GlobalStorage;
-  std::map<const GlobalVariable *, uint64_t> GlobalAddr;
+  std::unordered_map<const GlobalVariable *, uint64_t> GlobalAddr;
 
   std::vector<uint8_t> Heap;
   std::atomic<uint64_t> HeapTop{0};
 
-  std::map<std::string, ExternalFn> Externals;
-  std::map<const Function *, std::unique_ptr<DecodedFunction>> Decoded;
-  std::map<const Function *, uint64_t> FunctionIds;
+  /// Externals are resolved to dense indices at decode time so the hot
+  /// call path does a vector read instead of a by-name map lookup.
+  /// Registration (cold) must happen before execution starts; a deque
+  /// keeps slot references stable as names are added.
+  std::unordered_map<std::string, uint32_t> ExternalIdByName;
+  std::deque<ExternalFn> ExternalTable;
+
+  /// Decoded-function cache. The dense id table is the lock-free
+  /// double-checked read path (slot published with release ordering
+  /// after decoding completes); the overflow map covers functions
+  /// created after engine construction. DecodeMutex guards decoding,
+  /// the overflow map, and the external-name table.
+  std::unordered_map<const Function *, uint64_t> FunctionIds;
   std::vector<Function *> FunctionById;
+  std::vector<std::unique_ptr<DecodedFunction>> DecodedStore;
+  std::unique_ptr<std::atomic<DecodedFunction *>[]> DecodedById;
+  std::map<const Function *, DecodedFunction *> DecodedOverflow;
   mutable std::mutex DecodeMutex;
   std::mutex OutputMutex;
+
+  /// Lazily created runtime state (see getThreadPool/getQueueRegistry).
+  std::unique_ptr<ThreadPool> Pool;
+  std::unique_ptr<QueueRegistry> Queues;
+  std::mutex RuntimeStateMutex;
 
   ExecutionObserver *Observer = nullptr;
   std::atomic<uint64_t> InstructionsRetired{0};

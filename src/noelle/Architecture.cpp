@@ -7,8 +7,13 @@
 
 using namespace noelle;
 
+unsigned Architecture::hostLogicalCores() {
+  static const unsigned N = std::max(1u, std::thread::hardware_concurrency());
+  return N;
+}
+
 Architecture::Architecture(bool MeasureLatencies) {
-  LogicalCores = std::max(1u, std::thread::hardware_concurrency());
+  LogicalCores = hostLogicalCores();
   // Without a portable SMT query, assume 2-way SMT when core count is
   // even and greater than two (matching the evaluation platform's
   // 12-core / 24-thread Haswell), else 1:1.

@@ -29,6 +29,10 @@ public:
   unsigned getNumPhysicalCores() const { return PhysicalCores; }
   unsigned getNumNUMANodes() const { return NUMANodes; }
 
+  /// Logical core count of the host, probed once and cached; the
+  /// parallel runtime sizes its chunked-dispatch runner set from this.
+  static unsigned hostLogicalCores();
+
   /// Measured one-way communication latency between two logical cores in
   /// nanoseconds; 0 when not measured.
   double getCoreToCoreLatencyNs(unsigned A, unsigned B) const;

@@ -1,69 +1,25 @@
 #include "runtime/ParallelRuntime.h"
 
 #include "ir/Instructions.h"
+#include "noelle/Architecture.h"
+#include "runtime/ThreadPool.h"
 
+#include <algorithm>
 #include <atomic>
-#include <condition_variable>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
-#include <deque>
-#include <mutex>
 #include <thread>
+#include <vector>
 
 using namespace noelle;
 using nir::CallInst;
 using nir::ExecutionEngine;
 using nir::Function;
 using nir::RuntimeValue;
+using nir::ThreadPool;
 
 namespace {
-
-/// A bounded blocking queue carrying 64-bit payloads (DSWP's inter-core
-/// channel). Handles are stable heap pointers owned by a registry so IR
-/// code can hold them as opaque ptr values.
-class BlockingQueue {
-public:
-  explicit BlockingQueue(size_t Capacity) : Capacity(Capacity) {}
-
-  void push(int64_t V) {
-    std::unique_lock<std::mutex> Lock(M);
-    NotFull.wait(Lock, [&] { return Items.size() < Capacity; });
-    Items.push_back(V);
-    NotEmpty.notify_one();
-  }
-
-  int64_t pop() {
-    std::unique_lock<std::mutex> Lock(M);
-    NotEmpty.wait(Lock, [&] { return !Items.empty(); });
-    int64_t V = Items.front();
-    Items.pop_front();
-    NotFull.notify_one();
-    return V;
-  }
-
-private:
-  size_t Capacity;
-  std::mutex M;
-  std::condition_variable NotFull, NotEmpty;
-  std::deque<int64_t> Items;
-};
-
-/// Registry keeping queue objects alive for the engine's lifetime.
-struct QueueRegistry {
-  std::mutex M;
-  std::vector<std::unique_ptr<BlockingQueue>> Queues;
-
-  BlockingQueue *create(size_t Capacity) {
-    std::lock_guard<std::mutex> Lock(M);
-    Queues.push_back(std::make_unique<BlockingQueue>(Capacity));
-    return Queues.back().get();
-  }
-};
-
-QueueRegistry &queues() {
-  static QueueRegistry R;
-  return R;
-}
 
 /// Synchronization operations performed by the calling thread inside the
 /// current task (ss waits/signals + queue pushes/pops); feeds the
@@ -74,6 +30,111 @@ thread_local uint64_t ThreadSyncOps = 0;
 /// retired-instruction counter; noelle_ss_signal accumulates the delta.
 thread_local uint64_t ThreadSegmentWork = 0;
 thread_local uint64_t ThreadSegmentCheckpoint = 0;
+
+/// Shared dispatch implementation. Tasks run on the engine's persistent
+/// pool; the caller blocks on the batch's completion latch instead of
+/// joining freshly spawned threads.
+///
+/// Grain == 0: static dispatch — one pool job per task, and the pool
+/// guarantees every task holds a worker simultaneously (HELIX gates and
+/// DSWP queues block across tasks).
+///
+/// Grain > 0: chunked dynamic scheduling for DOALL — a small set of
+/// runner jobs grab chunks of `Grain` consecutive task indices from a
+/// shared atomic counter until the index space [0, NumTasks) drains.
+/// Tasks must not block on each other in this mode.
+///
+/// Either way the DispatchRecord is accounted per logical task, exactly
+/// as the spawn-per-region runtime did: task t's instruction/sync/
+/// segment counts depend only on (env, t, numTasks), so Figure-5 model
+/// inputs are byte-identical across scheduling strategies.
+void runDispatch(ExecutionEngine &E, Function *Task, uint64_t EnvPtr,
+                 int64_t NumTasks, int64_t Grain) {
+  nir::DispatchRecord Rec;
+  if (NumTasks <= 0) {
+    E.recordDispatch(Rec);
+    return;
+  }
+  size_t N = static_cast<size_t>(NumTasks);
+  std::vector<uint64_t> Work(N, 0), Sync(N, 0), Seg(N, 0);
+
+  auto RunOne = [&, EnvPtr, NumTasks](int64_t T) {
+    ExecutionEngine::resetThreadRetired();
+    ThreadSyncOps = 0;
+    ThreadSegmentWork = 0;
+    E.runFunction(Task, {RuntimeValue::ofPtr(EnvPtr),
+                         RuntimeValue::ofInt(T),
+                         RuntimeValue::ofInt(NumTasks)});
+    Work[static_cast<size_t>(T)] = ExecutionEngine::readThreadRetired();
+    Sync[static_cast<size_t>(T)] = ThreadSyncOps;
+    Seg[static_cast<size_t>(T)] = ThreadSegmentWork;
+  };
+
+  ThreadPool &Pool = E.getThreadPool();
+  std::vector<ThreadPool::Job> Jobs;
+  std::atomic<int64_t> NextChunk{0};
+  if (Grain <= 0) {
+    Jobs.reserve(N);
+    for (int64_t T = 0; T < NumTasks; ++T)
+      Jobs.push_back([&RunOne, T] { RunOne(T); });
+  } else {
+    // Runner count: one per host core is enough, since runners never
+    // block and each drains chunks until the counter is exhausted.
+    int64_t Runners = std::min<int64_t>(
+        NumTasks, std::max(1u, Architecture::hostLogicalCores()));
+    Jobs.reserve(static_cast<size_t>(Runners));
+    for (int64_t R = 0; R < Runners; ++R)
+      Jobs.push_back([&RunOne, &NextChunk, NumTasks, Grain] {
+        for (;;) {
+          int64_t Base =
+              NextChunk.fetch_add(Grain, std::memory_order_relaxed);
+          if (Base >= NumTasks)
+            break;
+          int64_t End = std::min(Base + Grain, NumTasks);
+          for (int64_t T = Base; T < End; ++T)
+            RunOne(T);
+        }
+      });
+  }
+  Pool.run(std::move(Jobs)); // blocks on the completion latch
+
+  Rec.NumTasks = static_cast<uint64_t>(NumTasks);
+  for (size_t T = 0; T < Work.size(); ++T) {
+    Rec.MaxTaskInstructions = std::max(Rec.MaxTaskInstructions, Work[T]);
+    Rec.TotalTaskInstructions += Work[T];
+    Rec.MaxTaskSyncOps = std::max(Rec.MaxTaskSyncOps, Sync[T]);
+    Rec.TotalTaskSyncOps += Sync[T];
+    Rec.TotalSegmentInstructions += Seg[T];
+  }
+  E.recordDispatch(Rec);
+}
+
+/// Spin briefly before parking: gate latencies are usually a few
+/// iterations of a peer task, but HELIX must not burn a core per gate
+/// when the producer is descheduled.
+inline void gateWait(std::atomic<int64_t> *Gate, int64_t Iter) {
+  int64_t Cur = Gate->load(std::memory_order_acquire);
+  unsigned Spins = 0;
+  while (Cur < Iter) {
+    if (Spins < 256) {
+      ++Spins;
+#if defined(__x86_64__) || defined(__i386__)
+      __builtin_ia32_pause();
+#else
+      std::this_thread::yield();
+#endif
+    } else {
+#if defined(__cpp_lib_atomic_wait)
+      // Park until the gate value changes (futex-backed); signal calls
+      // notify_all after every store.
+      Gate->wait(Cur, std::memory_order_acquire);
+#else
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+#endif
+    }
+    Cur = Gate->load(std::memory_order_acquire);
+  }
+}
 
 } // namespace
 
@@ -87,40 +148,21 @@ void noelle::registerParallelRuntime(ExecutionEngine &Engine) {
           std::fprintf(stderr, "noelle_dispatch: invalid task pointer\n");
           std::abort();
         }
-        uint64_t EnvPtr = A[1].P;
-        int64_t NumTasks = A[2].I;
-        std::vector<std::thread> Threads;
-        std::vector<uint64_t> Work(static_cast<size_t>(NumTasks), 0);
-        std::vector<uint64_t> Sync(static_cast<size_t>(NumTasks), 0);
-        std::vector<uint64_t> Seg(static_cast<size_t>(NumTasks), 0);
-        Threads.reserve(static_cast<size_t>(NumTasks));
-        for (int64_t T = 0; T < NumTasks; ++T) {
-          Threads.emplace_back([&, T] {
-            ExecutionEngine::resetThreadRetired();
-            ThreadSyncOps = 0;
-            ThreadSegmentWork = 0;
-            E.runFunction(Task, {RuntimeValue::ofPtr(EnvPtr),
-                                 RuntimeValue::ofInt(T),
-                                 RuntimeValue::ofInt(NumTasks)});
-            Work[static_cast<size_t>(T)] =
-                ExecutionEngine::readThreadRetired();
-            Sync[static_cast<size_t>(T)] = ThreadSyncOps;
-            Seg[static_cast<size_t>(T)] = ThreadSegmentWork;
-          });
+        runDispatch(E, Task, A[1].P, A[2].I, /*Grain=*/0);
+        return RuntimeValue();
+      });
+
+  Engine.registerExternal(
+      "noelle_dispatch_chunked",
+      [](ExecutionEngine &E, const CallInst *,
+         const std::vector<RuntimeValue> &A) {
+        Function *Task = E.decodeFunction(A[0].P);
+        if (!Task) {
+          std::fprintf(stderr,
+                       "noelle_dispatch_chunked: invalid task pointer\n");
+          std::abort();
         }
-        for (auto &Th : Threads)
-          Th.join();
-        nir::DispatchRecord Rec;
-        Rec.NumTasks = static_cast<uint64_t>(NumTasks);
-        for (size_t T = 0; T < Work.size(); ++T) {
-          Rec.MaxTaskInstructions =
-              std::max(Rec.MaxTaskInstructions, Work[T]);
-          Rec.TotalTaskInstructions += Work[T];
-          Rec.MaxTaskSyncOps = std::max(Rec.MaxTaskSyncOps, Sync[T]);
-          Rec.TotalTaskSyncOps += Sync[T];
-          Rec.TotalSegmentInstructions += Seg[T];
-        }
-        E.recordDispatch(Rec);
+        runDispatch(E, Task, A[1].P, A[2].I, std::max<int64_t>(A[3].I, 1));
         return RuntimeValue();
       });
 
@@ -145,14 +187,8 @@ void noelle::registerParallelRuntime(ExecutionEngine &Engine) {
         int64_t SS = A[1].I;
         int64_t Iter = A[2].I;
         ++ThreadSyncOps;
-        unsigned Spins = 0;
         ThreadSegmentCheckpoint = ExecutionEngine::readThreadRetired();
-        while (Gates[SS].load(std::memory_order_acquire) < Iter) {
-          if (++Spins > 1024) {
-            std::this_thread::yield();
-            Spins = 0;
-          }
-        }
+        gateWait(&Gates[SS], Iter);
         return RuntimeValue();
       });
 
@@ -164,6 +200,9 @@ void noelle::registerParallelRuntime(ExecutionEngine &Engine) {
         int64_t SS = A[1].I;
         int64_t Iter = A[2].I;
         Gates[SS].store(Iter + 1, std::memory_order_release);
+#if defined(__cpp_lib_atomic_wait)
+        Gates[SS].notify_all();
+#endif
         ThreadSegmentWork +=
             ExecutionEngine::readThreadRetired() - ThreadSegmentCheckpoint;
         return RuntimeValue();
@@ -171,10 +210,10 @@ void noelle::registerParallelRuntime(ExecutionEngine &Engine) {
 
   Engine.registerExternal(
       "noelle_queue_create",
-      [](ExecutionEngine &, const CallInst *,
+      [](ExecutionEngine &E, const CallInst *,
          const std::vector<RuntimeValue> &A) {
-        BlockingQueue *Q =
-            queues().create(static_cast<size_t>(std::max<int64_t>(A[0].I, 1)));
+        nir::BlockingQueue *Q = E.getQueueRegistry().create(
+            static_cast<size_t>(std::max<int64_t>(A[0].I, 1)));
         return RuntimeValue::ofPtr(reinterpret_cast<uint64_t>(Q));
       });
 
@@ -183,7 +222,7 @@ void noelle::registerParallelRuntime(ExecutionEngine &Engine) {
       [](ExecutionEngine &, const CallInst *,
          const std::vector<RuntimeValue> &A) {
         ++ThreadSyncOps;
-        reinterpret_cast<BlockingQueue *>(A[0].P)->push(A[1].I);
+        reinterpret_cast<nir::BlockingQueue *>(A[0].P)->push(A[1].I);
         return RuntimeValue();
       });
 
@@ -193,7 +232,7 @@ void noelle::registerParallelRuntime(ExecutionEngine &Engine) {
          const std::vector<RuntimeValue> &A) {
         ++ThreadSyncOps;
         return RuntimeValue::ofInt(
-            reinterpret_cast<BlockingQueue *>(A[0].P)->pop());
+            reinterpret_cast<nir::BlockingQueue *>(A[0].P)->pop());
       });
 }
 
@@ -209,6 +248,7 @@ void noelle::declareParallelRuntime(nir::Module &M) {
   nir::Type *I = Ctx.getInt64Ty();
   nir::Type *P = Ctx.getPtrTy();
   Declare("noelle_dispatch", V, {P, P, I});
+  Declare("noelle_dispatch_chunked", V, {P, P, I, I});
   Declare("noelle_ss_create", P, {I});
   Declare("noelle_ss_wait", V, {P, I, I});
   Declare("noelle_ss_signal", V, {P, I, I});

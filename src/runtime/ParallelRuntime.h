@@ -2,23 +2,34 @@
 ///
 /// \file
 /// The parallel runtime backing NOELLE's parallelizers: task dispatch
-/// onto host threads (DOALL/HELIX/DSWP), HELIX sequential-segment
-/// synchronization, and DSWP inter-core queues. Transformed IR calls
-/// these as external functions; registerParallelRuntime installs them
-/// into an ExecutionEngine.
+/// onto the engine's persistent work-stealing thread pool (DOALL/HELIX/
+/// DSWP), HELIX sequential-segment synchronization, and DSWP inter-core
+/// queues. Transformed IR calls these as external functions;
+/// registerParallelRuntime installs them into an ExecutionEngine.
 ///
 /// IR-visible API (all i64/ptr):
 ///   noelle_dispatch(ptr task, ptr env, i64 numTasks) -> void
-///       Runs task(env, t, numTasks) for t in [0, numTasks) on
-///       numTasks host threads and joins them.
+///       Runs task(env, t, numTasks) for t in [0, numTasks), one pool
+///       worker per task (tasks may block on each other), and returns
+///       once all complete. Workers persist across dispatches.
+///   noelle_dispatch_chunked(ptr task, ptr env, i64 numTasks,
+///                           i64 grain) -> void
+///       DOALL's dynamically scheduled form: pool runners grab chunks of
+///       `grain` consecutive task indices from a shared atomic counter
+///       and run task(env, t, numTasks) for each. Tasks must not block
+///       on one another. Per-task DispatchRecord accounting is identical
+///       to noelle_dispatch.
 ///   noelle_ss_create(i64 count) -> ptr
 ///       Allocates `count` sequential-segment gates, all at iteration 0.
 ///   noelle_ss_wait(ptr gates, i64 ss, i64 iteration) -> void
-///       Blocks until gate `ss` reaches `iteration`.
+///       Blocks until gate `ss` reaches `iteration` (bounded spin, then
+///       futex-style parking; never burns a core unboundedly).
 ///   noelle_ss_signal(ptr gates, i64 ss, i64 iteration) -> void
 ///       Marks gate `ss` as having completed `iteration` (sets it to
-///       iteration + 1).
+///       iteration + 1) and wakes parked waiters.
 ///   noelle_queue_create(i64 capacity) -> ptr
+///       Queue handles are owned by the engine's QueueRegistry and die
+///       with the engine.
 ///   noelle_queue_push(ptr q, i64 v) -> void   (blocking)
 ///   noelle_queue_pop(ptr q) -> i64            (blocking)
 ///

@@ -1,0 +1,152 @@
+#include "runtime/ThreadPool.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+using namespace nir;
+
+/// Completion latch for one batch. Heap-allocated and shared with every
+/// wrapped job so a worker finishing the last job can never touch a
+/// latch the waiter has already destroyed.
+struct ThreadPool::Latch {
+  explicit Latch(size_t N) : Count(N) {}
+
+  void countDown() {
+    if (Count.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      std::lock_guard<std::mutex> Lock(M);
+      CV.notify_all();
+    }
+  }
+
+  void wait() {
+    std::unique_lock<std::mutex> Lock(M);
+    CV.wait(Lock, [&] { return Count.load(std::memory_order_acquire) == 0; });
+  }
+
+  std::atomic<size_t> Count;
+  std::mutex M;
+  std::condition_variable CV;
+};
+
+ThreadPool::ThreadPool() : Workers(MaxWorkers) {
+  Threads.reserve(64);
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> Lock(PoolMutex);
+    ShuttingDown = true;
+  }
+  WorkCV.notify_all();
+  for (auto &T : Threads)
+    T.join();
+}
+
+void ThreadPool::ensureWorkers(unsigned Target) {
+  Target = std::min(Target, MaxWorkers);
+  unsigned Cur = NumWorkers.load(std::memory_order_relaxed);
+  while (Cur < Target) {
+    Workers[Cur] = std::make_unique<Worker>();
+    Threads.emplace_back(&ThreadPool::workerLoop, this, Cur);
+    ThreadsCreated.fetch_add(1, std::memory_order_relaxed);
+    ++Cur;
+    // Publish the slot before the count so lock-free readers of
+    // NumWorkers always see an initialized Worker.
+    NumWorkers.store(Cur, std::memory_order_release);
+  }
+}
+
+bool ThreadPool::tryTake(unsigned Self, Job &Out) {
+  unsigned N = NumWorkers.load(std::memory_order_acquire);
+  if (N == 0)
+    return false;
+  // Own deque first (front: most recently assigned batch order), then
+  // steal from the back of the others.
+  for (unsigned K = 0; K < N; ++K) {
+    unsigned I = (Self + K) % N;
+    Worker &W = *Workers[I];
+    std::lock_guard<std::mutex> Lock(W.M);
+    if (W.Jobs.empty())
+      continue;
+    if (I == Self) {
+      Out = std::move(W.Jobs.front());
+      W.Jobs.pop_front();
+    } else {
+      Out = std::move(W.Jobs.back());
+      W.Jobs.pop_back();
+    }
+    QueuedJobs.fetch_sub(1, std::memory_order_relaxed);
+    return true;
+  }
+  return false;
+}
+
+void ThreadPool::workerLoop(unsigned Index) {
+  for (;;) {
+    Job J;
+    if (tryTake(Index, J)) {
+      J();
+      continue;
+    }
+    std::unique_lock<std::mutex> Lock(PoolMutex);
+    if (ShuttingDown)
+      return;
+    if (QueuedJobs.load(std::memory_order_relaxed) > 0)
+      continue; // Raced with a producer; rescan the deques.
+    WorkCV.wait(Lock, [&] {
+      return ShuttingDown ||
+             QueuedJobs.load(std::memory_order_relaxed) > 0;
+    });
+    if (ShuttingDown)
+      return;
+  }
+}
+
+void ThreadPool::run(std::vector<Job> Jobs) {
+  if (Jobs.empty())
+    return;
+  size_t N = Jobs.size();
+  BatchesRun.fetch_add(1, std::memory_order_relaxed);
+
+  // Grow the pool to cover every simultaneously outstanding job (see the
+  // forward-progress guarantee in the header).
+  uint64_t NowOutstanding =
+      OutstandingJobs.fetch_add(N, std::memory_order_acq_rel) + N;
+  if (NowOutstanding > MaxWorkers) {
+    std::fprintf(stderr,
+                 "ThreadPool: %llu outstanding blocking jobs exceed the "
+                 "%u-worker cap\n",
+                 static_cast<unsigned long long>(NowOutstanding), MaxWorkers);
+    std::abort();
+  }
+  {
+    std::lock_guard<std::mutex> Lock(PoolMutex);
+    ensureWorkers(static_cast<unsigned>(NowOutstanding));
+  }
+
+  auto L = std::make_shared<Latch>(N);
+  unsigned NW = NumWorkers.load(std::memory_order_acquire);
+  unsigned Cursor = PushCursor.fetch_add(static_cast<unsigned>(N),
+                                         std::memory_order_relaxed);
+  for (size_t I = 0; I < N; ++I) {
+    Job Wrapped = [this, L, J = std::move(Jobs[I])]() mutable {
+      J();
+      OutstandingJobs.fetch_sub(1, std::memory_order_acq_rel);
+      L->countDown();
+    };
+    Worker &W = *Workers[(Cursor + I) % NW];
+    {
+      std::lock_guard<std::mutex> Lock(W.M);
+      W.Jobs.push_back(std::move(Wrapped));
+    }
+    QueuedJobs.fetch_add(1, std::memory_order_release);
+  }
+  {
+    // Pair with the idle-wait predicate so no worker misses the wakeup.
+    std::lock_guard<std::mutex> Lock(PoolMutex);
+  }
+  WorkCV.notify_all();
+
+  L->wait();
+}

@@ -257,8 +257,10 @@ bool DOALL::parallelizeLoop(LoopContent &LC) {
   }
 
   // --- Caller side -----------------------------------------------------
-  BasicBlock *Dispatch =
-      replaceLoopWithDispatch(LS, Layout, Task.TaskFn, Opts.NumCores);
+  // DOALL tasks never block on each other, so dispatch them through the
+  // chunked (dynamically scheduled) runtime entry point.
+  BasicBlock *Dispatch = replaceLoopWithDispatch(
+      LS, Layout, Task.TaskFn, Opts.NumCores, std::max(1u, Opts.ChunkGrain));
   Value *EnvAlloca = Dispatch->front(); // first instruction: the env array
   IRBuilder CB(Ctx);
   CB.setInsertPoint(Dispatch->getTerminator());

@@ -18,6 +18,10 @@ namespace noelle {
 struct DOALLOptions {
   unsigned NumCores = 4;
   double MinimumHotness = 0.0; ///< skip loops cooler than this (needs PRO)
+  /// Chunk grain for the dynamically scheduled dispatch: pool runners
+  /// grab this many task indices per shared-counter bump. DOALL tasks
+  /// are independent, so dynamic scheduling is always safe for them.
+  unsigned ChunkGrain = 1;
 };
 
 /// Why a loop was accepted or rejected; used by reports and tests.

@@ -118,7 +118,8 @@ ClonedLoopTask noelle::cloneLoopIntoTask(nir::LoopStructure &LS,
 BasicBlock *noelle::replaceLoopWithDispatch(nir::LoopStructure &LS,
                                             const EnvLayout &Layout,
                                             Function *TaskFn,
-                                            unsigned NumTasks) {
+                                            unsigned NumTasks,
+                                            unsigned ChunkGrain) {
   Function *F = LS.getFunction();
   Module &M = *F->getParent();
   nir::Context &Ctx = M.getContext();
@@ -140,9 +141,16 @@ BasicBlock *noelle::replaceLoopWithDispatch(nir::LoopStructure &LS,
   for (Value *V : Layout.Env->getLiveIns())
     emitEnvStore(B, Env, Layout.liveInSlot(V), V);
 
-  Function *DispatchFn = M.getFunction("noelle_dispatch");
-  B.createCall(DispatchFn,
-               {TaskFn, Env, Ctx.getInt64(static_cast<int64_t>(NumTasks))});
+  if (ChunkGrain > 0) {
+    Function *DispatchFn = M.getFunction("noelle_dispatch_chunked");
+    B.createCall(DispatchFn,
+                 {TaskFn, Env, Ctx.getInt64(static_cast<int64_t>(NumTasks)),
+                  Ctx.getInt64(static_cast<int64_t>(ChunkGrain))});
+  } else {
+    Function *DispatchFn = M.getFunction("noelle_dispatch");
+    B.createCall(DispatchFn,
+                 {TaskFn, Env, Ctx.getInt64(static_cast<int64_t>(NumTasks))});
+  }
   B.createBr(Exit);
 
   // Rewire the preheader.

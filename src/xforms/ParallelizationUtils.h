@@ -79,10 +79,17 @@ ClonedLoopTask cloneLoopIntoTask(nir::LoopStructure &LS,
 /// its terminator so callers can append live-out reads via the builder.
 /// Exit-block phis fed only by the removed loop are folded. The loop
 /// must have a preheader and exactly one exit block.
+///
+/// When \p ChunkGrain > 0 the call is emitted against
+/// noelle_dispatch_chunked(@task, env, NumTasks, ChunkGrain) instead:
+/// the runtime schedules the NumTasks logical tasks dynamically in
+/// chunks of ChunkGrain indices (DOALL only — tasks must not block on
+/// one another).
 nir::BasicBlock *replaceLoopWithDispatch(nir::LoopStructure &LS,
                                          const EnvLayout &Layout,
                                          nir::Function *TaskFn,
-                                         unsigned NumTasks);
+                                         unsigned NumTasks,
+                                         unsigned ChunkGrain = 0);
 
 /// After live-out uses have been rewritten, patches phis in the loop's
 /// exit block (the dispatch block contributes the substituted value) and

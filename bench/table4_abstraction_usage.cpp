@@ -65,7 +65,7 @@ requestsOf(const std::function<void(Noelle &)> &RunTool) {
   auto M = minic::compileMiniCOrDie(Ctx, RepresentativeSrc);
   Noelle N(*M);
   RunTool(N);
-  return N.getRequestedAbstractions();
+  return N.getRequestedAbstractions().names();
 }
 
 } // namespace

@@ -93,7 +93,7 @@ int main() {
   //    tracked every request (this is how bench/table4 regenerates the
   //    paper's Table 4).
   std::printf("abstractions requested:");
-  for (const auto &A : N.getRequestedAbstractions())
+  for (const auto &A : N.getRequestedAbstractions().names())
     std::printf(" %s", A.c_str());
   std::printf("\n");
   return 0;

@@ -4,12 +4,15 @@
 /// The paper's Figure 1, as a program: a custom compilation flow built
 /// from NOELLE's tools. Two source files go through noelle-whole-IR,
 /// profiling, profile embedding, loop-carried-dependence reduction,
-/// PDG embedding, noelle-load, the HELIX transformation, and noelle-bin.
+/// PDG embedding, a full serialize/reparse round-trip (proving the
+/// dependence cache survives on disk), noelle-load, the HELIX
+/// transformation, and noelle-bin.
 ///
 /// Build & run:  ./build/examples/example_toolchain_pipeline
 ///
 //===----------------------------------------------------------------------===//
 
+#include "ir/Parser.h"
 #include "tools/NoelleTools.h"
 #include "xforms/HELIX.h"
 
@@ -66,16 +69,36 @@ int main() {
   auto Profile2 = tools::profCoverage(*M);
   tools::metaProfEmbed(*M, Profile2);
 
-  std::printf("[5] noelle-meta-pdg-embed\n");
-  tools::metaPDGEmbed(*M);
-  std::printf("    embedded: %s\n", tools::hasPDGMetadata(*M) ? "yes" : "no");
+  std::printf("[5] noelle-pdg-embed: whole-program PDG -> module cache\n");
+  uint64_t Edges = tools::pdgEmbed(*M);
+  std::printf("    embedded %llu dependence edges (%s)\n",
+              static_cast<unsigned long long>(Edges),
+              tools::hasPDGMetadata(*M) ? "cache present" : "missing?");
 
-  std::printf("[6] noelle-arch\n");
+  std::printf("[6] serialize -> reparse: the IR file between tool runs\n");
+  std::string Text = M->str();
+  auto Reloaded = nir::parseModule(Ctx, Text, Error);
+  if (!Reloaded) {
+    std::printf("error: %s\n", Error.c_str());
+    return 1;
+  }
+  M = std::move(Reloaded);
+  PDGBuilder CacheCheck(*M);
+  uint64_t LoadedEdges = CacheCheck.getPDG().getEdges().size();
+  std::printf("    %zu bytes of IR; PDG %s, %llu edges\n", Text.size(),
+              CacheCheck.wasPDGLoadedFromEmbedded()
+                  ? "loaded from the embedded cache"
+                  : "REBUILT (cache miss!)",
+              static_cast<unsigned long long>(LoadedEdges));
+  if (!CacheCheck.wasPDGLoadedFromEmbedded() || LoadedEdges != Edges)
+    return 1;
+
+  std::printf("[7] noelle-arch\n");
   auto Arch = tools::archDescribe(false);
   std::printf("    %u logical cores / %u physical cores\n",
               Arch.getNumLogicalCores(), Arch.getNumPhysicalCores());
 
-  std::printf("[7] noelle-load + HELIX transformation\n");
+  std::printf("[8] noelle-load + HELIX transformation\n");
   auto N = tools::load(*M);
   HELIXOptions HO;
   HO.NumCores = 4;
@@ -87,7 +110,7 @@ int main() {
                 D.Parallelized ? "parallelized" : "skipped",
                 D.Parallelized ? "" : " — ", D.Reason.c_str());
 
-  std::printf("[8] noelle-linker + noelle-bin: running the parallel "
+  std::printf("[9] noelle-linker + noelle-bin: running the parallel "
               "binary\n");
   auto Engine = tools::makeBinary(*M);
   int64_t Result = Engine->runMain();

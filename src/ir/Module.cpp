@@ -2,6 +2,7 @@
 
 #include "ir/Instructions.h"
 
+#include <cstring>
 #include <map>
 #include <set>
 #include <sstream>
@@ -293,7 +294,10 @@ void Module::print(std::ostream &OS) const {
   for (const auto &[K, V] : ModuleMetadata)
     OS << "meta \"" << escapeString(K) << "\" = \"" << escapeString(V)
        << "\"\n";
+  printBody(OS);
+}
 
+void Module::printBody(std::ostream &OS) const {
   for (const auto &G : Globals) {
     OS << "global @" << G->getName() << " : " << G->getValueType()->str();
     if (!G->getInitWords().empty()) {
@@ -346,4 +350,149 @@ std::string Module::str() const {
   std::ostringstream OS;
   print(OS);
   return OS.str();
+}
+
+namespace {
+
+/// Incremental FNV-1a over the module's structural content, folded one
+/// 64-bit word at a time (byte-at-a-time FNV is a serial multiply chain
+/// eight times as long for the same input). A direct IR walk rather
+/// than a hash of the printed text: verifying an embedded cache must be
+/// much cheaper than the analyses it skips, and printing a module costs
+/// more than building its PDG for small programs.
+struct ContentHasher {
+  uint64_t H = 14695981039346656037ull;
+
+  void word(uint64_t V) {
+    H ^= V;
+    H *= 1099511628211ull;
+  }
+  void str(const std::string &S) {
+    word(S.size());
+    const char *P = S.data();
+    size_t N = S.size();
+    while (N >= 8) {
+      uint64_t W;
+      std::memcpy(&W, P, 8);
+      word(W);
+      P += 8;
+      N -= 8;
+    }
+    if (N) {
+      uint64_t W = 0;
+      std::memcpy(&W, P, N);
+      word(W);
+    }
+  }
+  void type(const Type *T) {
+    // Types are interned in the Context, but pointer identity is not
+    // stable across print/parse; digest the canonical spelling, cached.
+    auto It = TypeHash.find(T);
+    if (It == TypeHash.end()) {
+      ContentHasher TH;
+      TH.str(T->str());
+      It = TypeHash.emplace(T, TH.H).first;
+    }
+    word(It->second);
+  }
+  std::map<const Type *, uint64_t> TypeHash;
+};
+
+} // namespace
+
+uint64_t Module::getContentHash() const {
+  ContentHasher HS;
+
+  for (const auto &G : Globals) {
+    HS.str(G->getName());
+    HS.type(G->getValueType());
+    HS.word(G->getInitWords().size());
+    for (uint64_t W : G->getInitWords())
+      HS.word(W);
+  }
+
+  for (const auto &F : Functions) {
+    HS.str(F->getName());
+    HS.word(F->isDeclaration() ? 1 : 0);
+    HS.word(F->getNumArgs());
+    for (unsigned I = 0; I < F->getNumArgs(); ++I)
+      HS.type(F->getArg(I)->getType());
+    HS.type(F->getReturnType());
+    if (F->isDeclaration())
+      continue;
+
+    // Positional identity for function-local values: stable across the
+    // print/parse round-trip, unlike pointers or value names. Stored in
+    // each value's scratch slot — a map here would cost more than the
+    // rest of the walk combined.
+    uint32_t Next = 0;
+    for (unsigned I = 0; I < F->getNumArgs(); ++I)
+      F->getArg(I)->setScratchIndex(Next++);
+    for (const auto &BB : F->getBlocks()) {
+      BB->setScratchIndex(Next++);
+      for (const auto &I : BB->getInstList())
+        I->setScratchIndex(Next++);
+    }
+
+    for (const auto &BB : F->getBlocks()) {
+      HS.word(BB->getInstList().size());
+      for (const auto &I : BB->getInstList()) {
+        HS.word(static_cast<uint64_t>(I->getKind()));
+        HS.type(I->getType());
+        // Kind-specific payload not visible through operands.
+        switch (I->getKind()) {
+        case Value::Kind::Alloca:
+          HS.type(cast<AllocaInst>(I.get())->getAllocatedType());
+          break;
+        case Value::Kind::GEP:
+          HS.word(cast<GEPInst>(I.get())->getScale());
+          break;
+        case Value::Kind::Binary:
+          HS.word(static_cast<uint64_t>(
+              cast<BinaryInst>(I.get())->getOp()));
+          break;
+        case Value::Kind::Cmp:
+          HS.word(static_cast<uint64_t>(
+              cast<CmpInst>(I.get())->getPred()));
+          break;
+        case Value::Kind::Cast:
+          HS.word(static_cast<uint64_t>(
+              cast<CastInst>(I.get())->getOp()));
+          break;
+        default:
+          break;
+        }
+        const auto &Ops = I->operands();
+        HS.word(Ops.size());
+        for (const Value *Op : Ops) {
+          HS.word(static_cast<uint64_t>(Op->getKind()));
+          switch (Op->getKind()) {
+          case Value::Kind::ConstantInt:
+            HS.word(static_cast<uint64_t>(
+                cast<ConstantInt>(Op)->getValue()));
+            break;
+          case Value::Kind::ConstantFP: {
+            double D = cast<ConstantFP>(Op)->getValue();
+            uint64_t BitPattern;
+            static_assert(sizeof(BitPattern) == sizeof(D));
+            std::memcpy(&BitPattern, &D, sizeof(D));
+            HS.word(BitPattern);
+            break;
+          }
+          case Value::Kind::Undef:
+            HS.type(Op->getType());
+            break;
+          case Value::Kind::GlobalVariable:
+          case Value::Kind::Function:
+            HS.str(Op->getName());
+            break;
+          default: // arguments, blocks, instructions: positional
+            HS.word(Op->getScratchIndex());
+            break;
+          }
+        }
+      }
+    }
+  }
+  return HS.H;
 }

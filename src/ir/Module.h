@@ -81,6 +81,24 @@ public:
   /// Prints the module in textual IR form.
   void print(std::ostream &OS) const;
 
+  /// Prints only the module body — globals, declarations, and function
+  /// definitions (with their instruction- and function-level metadata) —
+  /// omitting the module header and module-level metadata.
+  void printBody(std::ostream &OS) const;
+
+  /// A deterministic 64-bit digest (FNV-1a) of the module's executable
+  /// structure: globals, function signatures, instructions (kinds,
+  /// types, operands by position, kind-specific payload). Computed by
+  /// walking the IR directly — no printing — so verifying a cache
+  /// against it stays far cheaper than the analyses the cache skips.
+  /// Stable across print/parse round-trips (local values are identified
+  /// positionally); value names and all metadata are deliberately
+  /// excluded — names are semantically irrelevant, and metadata is
+  /// annotation, so annotation tools (profile embedding, instruction
+  /// IDs, the PDG blob itself) compose with hash-keyed caches instead
+  /// of invalidating them.
+  uint64_t getContentHash() const;
+
   /// Renders the module as a string (the "serialized binary" for size
   /// measurements).
   std::string str() const;

@@ -100,6 +100,14 @@ public:
   }
   void clearMetadata() { Metadata.clear(); }
 
+  /// Analysis scratch slot: a per-value integer an analysis pass may use
+  /// for O(1) value-to-index maps during a single walk (e.g. the
+  /// module content hash numbers function-local values positionally).
+  /// No value is preserved between users — every pass must write before
+  /// it reads, and must not hold the slot across calls into other code.
+  uint32_t getScratchIndex() const { return ScratchIndex; }
+  void setScratchIndex(uint32_t I) const { ScratchIndex = I; }
+
   static bool classof(const Value *) { return true; }
 
 protected:
@@ -121,6 +129,9 @@ private:
   std::string Name;
   std::vector<UseRecord> Uses;
   std::map<std::string, std::string> Metadata;
+  /// See getScratchIndex(). Mutable: scratch state, not value identity —
+  /// const analyses over const IR still need their walk-local indices.
+  mutable uint32_t ScratchIndex = 0;
 };
 
 /// A Value that references other Values as operands.

@@ -1,0 +1,124 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The typed catalog of NOELLE abstractions (Table 1 / Table 4 of the
+/// paper) and a small bitset for tracking which ones a tool requested.
+/// Replaces the earlier string-keyed tracking: requests are now checked
+/// at compile time, and the Table 4 regeneration maps each enumerator
+/// back to its paper name through one function.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NOELLE_ABSTRACTION_H
+#define NOELLE_ABSTRACTION_H
+
+#include <cstdint>
+#include <set>
+#include <string>
+
+namespace noelle {
+
+/// Every abstraction a custom tool can request, in Table 4 column order.
+enum class Abstraction : uint8_t {
+  PDG,     ///< program dependence graph
+  aSCCDAG, ///< SCCDAG with attributed SCCs
+  CG,      ///< complete call graph
+  ENV,     ///< loop environment (live-ins / live-outs)
+  T,       ///< task abstraction of the parallelizers
+  DFE,     ///< data-flow engine
+  PRO,     ///< profiles
+  SCD,     ///< schedulers
+  L,       ///< loop content bundle
+  LB,      ///< loop builder
+  IV,      ///< induction variables
+  IVS,     ///< induction-variable stepping
+  INV,     ///< loop invariants
+  FR,      ///< loop-nesting forest
+  ISL,     ///< integer-set library dependence refinement
+  RD,      ///< reductions
+  AR,      ///< architecture description
+  LS,      ///< loop structure
+};
+
+inline constexpr unsigned NumAbstractions =
+    static_cast<unsigned>(Abstraction::LS) + 1;
+
+/// The paper's name for \p A — the single point where enumerators map to
+/// the strings Table 4 prints.
+inline const char *abstractionName(Abstraction A) {
+  switch (A) {
+  case Abstraction::PDG:
+    return "PDG";
+  case Abstraction::aSCCDAG:
+    return "aSCCDAG";
+  case Abstraction::CG:
+    return "CG";
+  case Abstraction::ENV:
+    return "ENV";
+  case Abstraction::T:
+    return "T";
+  case Abstraction::DFE:
+    return "DFE";
+  case Abstraction::PRO:
+    return "PRO";
+  case Abstraction::SCD:
+    return "SCD";
+  case Abstraction::L:
+    return "L";
+  case Abstraction::LB:
+    return "LB";
+  case Abstraction::IV:
+    return "IV";
+  case Abstraction::IVS:
+    return "IVS";
+  case Abstraction::INV:
+    return "INV";
+  case Abstraction::FR:
+    return "FR";
+  case Abstraction::ISL:
+    return "ISL";
+  case Abstraction::RD:
+    return "RD";
+  case Abstraction::AR:
+    return "AR";
+  case Abstraction::LS:
+    return "LS";
+  }
+  return "?";
+}
+
+/// A set of abstractions, stored as one word.
+class AbstractionSet {
+public:
+  void insert(Abstraction A) { Bits |= bit(A); }
+  bool contains(Abstraction A) const { return Bits & bit(A); }
+  bool empty() const { return Bits == 0; }
+  void clear() { Bits = 0; }
+
+  unsigned size() const {
+    unsigned N = 0;
+    for (uint32_t B = Bits; B; B &= B - 1)
+      ++N;
+    return N;
+  }
+
+  /// The members' paper names, sorted — the shape Table 4 and the
+  /// examples print.
+  std::set<std::string> names() const {
+    std::set<std::string> Out;
+    for (unsigned I = 0; I < NumAbstractions; ++I)
+      if (Bits & (1u << I))
+        Out.insert(abstractionName(static_cast<Abstraction>(I)));
+    return Out;
+  }
+
+private:
+  static uint32_t bit(Abstraction A) {
+    return 1u << static_cast<unsigned>(A);
+  }
+  uint32_t Bits = 0;
+};
+
+} // namespace noelle
+
+#endif // NOELLE_ABSTRACTION_H

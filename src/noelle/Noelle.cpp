@@ -28,12 +28,12 @@ Noelle::Noelle(nir::Module &M, NoelleOptions Opts) : M(M), Opts(Opts) {
 Noelle::~Noelle() = default;
 
 PDG &Noelle::getPDG() {
-  Requested.insert("PDG");
+  Requested.insert(Abstraction::PDG);
   return Builder->getPDG();
 }
 
 CallGraph &Noelle::getCallGraph() {
-  Requested.insert("CG");
+  Requested.insert(Abstraction::CG);
   if (!CG) {
     CGPointsTo = std::make_unique<nir::AndersenAliasAnalysis>(M);
     CG = std::make_unique<CallGraph>(M, *CGPointsTo);
@@ -49,7 +49,7 @@ nir::DominatorTree &Noelle::getDominators(Function &F) {
 }
 
 nir::LoopInfo &Noelle::getLoopInfo(Function &F) {
-  Requested.insert("LS");
+  Requested.insert(Abstraction::LS);
   auto It = LIs.find(&F);
   if (It == LIs.end())
     It = LIs
@@ -59,39 +59,51 @@ nir::LoopInfo &Noelle::getLoopInfo(Function &F) {
   return *It->second;
 }
 
-std::vector<LoopContent *> Noelle::getLoopContents() {
-  Requested.insert("L");
-  Requested.insert("PDG");
-  Requested.insert("aSCCDAG");
-  Requested.insert("INV");
-  Requested.insert("IV");
-  Requested.insert("RD");
-  Requested.insert("ENV");
-  if (!LoopsComputed) {
-    LoopsComputed = true;
-    for (const auto &F : M.getFunctions()) {
-      if (F->isDeclaration())
-        continue;
-      nir::LoopInfo &LI = getLoopInfo(*F);
-      for (nir::LoopStructure *LS : LI.getLoopsInPreorder())
-        Loops.push_back(std::make_unique<LoopContent>(*LS, *Builder));
-    }
+std::span<LoopContent *const> Noelle::getLoopContents() {
+  Requested.insert(Abstraction::L);
+  Requested.insert(Abstraction::PDG);
+  Requested.insert(Abstraction::aSCCDAG);
+  Requested.insert(Abstraction::INV);
+  Requested.insert(Abstraction::IV);
+  Requested.insert(Abstraction::RD);
+  Requested.insert(Abstraction::ENV);
+
+  // Discover loops of any function not yet covered (all of them on the
+  // first call; only the invalidated ones after a transform).
+  for (const auto &F : M.getFunctions()) {
+    if (F->isDeclaration())
+      continue;
+    if (LoopsByFn.count(F.get()))
+      continue;
+    auto &Bundles = LoopsByFn[F.get()];
+    nir::LoopInfo &LI = getLoopInfo(*F);
+    for (nir::LoopStructure *LS : LI.getLoopsInPreorder())
+      Bundles.push_back(std::make_unique<LoopContent>(*LS, *Builder));
+    LoopOrderValid = false;
   }
 
-  std::vector<LoopContent *> Out;
-  ProfileData *Prof =
-      Opts.MinimumLoopHotness > 0 ? getProfiles(false) : nullptr;
-  for (const auto &LC : Loops) {
-    if (Prof && Prof->getLoopHotness(LC->getLoopStructure()) <
-                    Opts.MinimumLoopHotness)
-      continue;
-    Out.push_back(LC.get());
+  if (!LoopOrderValid) {
+    LoopOrderValid = true;
+    LoopOrder.clear();
+    ProfileData *Prof =
+        Opts.MinimumLoopHotness > 0 ? getProfiles(false) : nullptr;
+    for (const auto &F : M.getFunctions()) {
+      auto It = LoopsByFn.find(F.get());
+      if (It == LoopsByFn.end())
+        continue;
+      for (const auto &LC : It->second) {
+        if (Prof && Prof->getLoopHotness(LC->getLoopStructure()) <
+                        Opts.MinimumLoopHotness)
+          continue;
+        LoopOrder.push_back(LC.get());
+      }
+    }
   }
-  return Out;
+  return LoopOrder;
 }
 
 Forest<LoopContent> &Noelle::getLoopForest() {
-  Requested.insert("FR");
+  Requested.insert(Abstraction::FR);
   if (!LoopForest) {
     LoopForest = std::make_unique<Forest<LoopContent>>();
     auto Contents = getLoopContents();
@@ -109,12 +121,12 @@ Forest<LoopContent> &Noelle::getLoopForest() {
 }
 
 DataFlowEngine &Noelle::getDataFlowEngine() {
-  Requested.insert("DFE");
+  Requested.insert(Abstraction::DFE);
   return DFE;
 }
 
 ProfileData *Noelle::getProfiles(bool CollectIfMissing) {
-  Requested.insert("PRO");
+  Requested.insert(Abstraction::PRO);
   if (!ProfilesLoaded) {
     ProfilesLoaded = true;
     if (ProfileData::isEmbedded(M))
@@ -126,21 +138,21 @@ ProfileData *Noelle::getProfiles(bool CollectIfMissing) {
 }
 
 Architecture &Noelle::getArchitecture() {
-  Requested.insert("AR");
+  Requested.insert(Abstraction::AR);
   if (!Arch)
     Arch = std::make_unique<Architecture>(Opts.MeasureArchitecture);
   return *Arch;
 }
 
 LoopBuilder &Noelle::getLoopBuilder() {
-  Requested.insert("LB");
+  Requested.insert(Abstraction::LB);
   if (!LB)
     LB = std::make_unique<LoopBuilder>(M.getContext());
   return *LB;
 }
 
 Scheduler Noelle::getScheduler(Function &F) {
-  Requested.insert("SCD");
+  Requested.insert(Abstraction::SCD);
   return Scheduler(getFunctionDG(F), getDominators(F));
 }
 
@@ -151,11 +163,30 @@ PDG &Noelle::getFunctionDG(Function &F) {
   return *It->second;
 }
 
-void Noelle::invalidateLoops() {
-  Loops.clear();
-  LoopsComputed = false;
+void Noelle::invalidate(Function &F) {
+  // The forest references bundles about to die; drop it before them.
   LoopForest.reset();
-  DTs.clear();
-  LIs.clear();
+  LoopOrder.clear();
+  LoopOrderValid = false;
+  LoopsByFn.erase(&F);
+  FnDGs.erase(&F);
+  LIs.erase(&F);
+  DTs.erase(&F);
+  // Whole-program structures see the mutation regardless of which
+  // function hosts it: the PDG spans every function, and the alias
+  // analyses and mod/ref summaries are interprocedural.
+  Builder->invalidate();
+}
+
+void Noelle::invalidateAll() {
+  LoopForest.reset();
+  LoopOrder.clear();
+  LoopOrderValid = false;
+  LoopsByFn.clear();
   FnDGs.clear();
+  LIs.clear();
+  DTs.clear();
+  CG.reset();
+  CGPointsTo.reset();
+  Builder->invalidate();
 }

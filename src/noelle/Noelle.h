@@ -13,6 +13,7 @@
 #ifndef NOELLE_NOELLE_H
 #define NOELLE_NOELLE_H
 
+#include "noelle/Abstraction.h"
 #include "noelle/Architecture.h"
 #include "noelle/CallGraph.h"
 #include "noelle/DataFlow.h"
@@ -28,7 +29,8 @@
 #include "noelle/Scheduler.h"
 
 #include <memory>
-#include <set>
+#include <span>
+#include <unordered_map>
 
 namespace noelle {
 
@@ -79,7 +81,9 @@ public:
 
   /// All loops of the program as L bundles, outermost first, filtered by
   /// hotness when a profile is available and MinimumLoopHotness is set.
-  std::vector<LoopContent *> getLoopContents();
+  /// The view stays valid until the next invalidation; it is a window
+  /// into Noelle-owned storage, not a copy.
+  std::span<LoopContent *const> getLoopContents();
 
   /// The loop-nesting forest over the module's loops (Table 1: FR).
   Forest<LoopContent> &getLoopForest();
@@ -104,17 +108,29 @@ public:
   nir::LoopInfo &getLoopInfo(nir::Function &F);
 
   /// Which abstractions have been requested so far (Table 4's columns).
-  const std::set<std::string> &getRequestedAbstractions() const {
+  const AbstractionSet &getRequestedAbstractions() const {
     return Requested;
   }
   void resetRequestTracking() { Requested.clear(); }
 
   /// Records a request explicitly (used by abstractions reached without
   /// a getter, e.g. ENV/T inside parallelizer codegen).
-  void noteRequest(const std::string &Name) { Requested.insert(Name); }
+  void noteRequest(Abstraction A) { Requested.insert(A); }
 
-  /// Invalidate loop-related caches after a transformation.
-  void invalidateLoops();
+  /// Drops the cached analyses of one mutated function — its dominator
+  /// tree, loop info, function DG, and loop bundles — plus every
+  /// whole-program structure (the PDG, its alias analyses, the loop
+  /// forest). Bundles of untouched functions survive; transforms call
+  /// this for each function they changed. Note the surviving loop DGs
+  /// keep dependences computed with pre-mutation interprocedural
+  /// aliasing — sound for the IR they describe since memory dependence
+  /// edges only ever get disproved, never created, by other functions'
+  /// local changes.
+  void invalidate(nir::Function &F);
+
+  /// Drops every cached analysis (use after module-shape changes such as
+  /// function insertion or deletion).
+  void invalidateAll();
 
 private:
   nir::Module &M;
@@ -123,19 +139,26 @@ private:
   std::unique_ptr<PDGBuilder> Builder;
   std::unique_ptr<CallGraph> CG;
   std::unique_ptr<nir::AndersenAliasAnalysis> CGPointsTo;
-  std::vector<std::unique_ptr<LoopContent>> Loops;
-  bool LoopsComputed = false;
+  /// L bundles per function; presence of a (possibly empty) entry means
+  /// the function's loops were discovered.
+  std::unordered_map<nir::Function *,
+                     std::vector<std::unique_ptr<LoopContent>>>
+      LoopsByFn;
+  /// Hotness-filtered bundles in module order (the getLoopContents view).
+  std::vector<LoopContent *> LoopOrder;
+  bool LoopOrderValid = false;
   std::unique_ptr<Forest<LoopContent>> LoopForest;
   DataFlowEngine DFE;
   std::unique_ptr<ProfileData> Profiles;
   bool ProfilesLoaded = false;
   std::unique_ptr<Architecture> Arch;
   std::unique_ptr<LoopBuilder> LB;
-  std::map<nir::Function *, std::unique_ptr<nir::DominatorTree>> DTs;
-  std::map<nir::Function *, std::unique_ptr<nir::LoopInfo>> LIs;
-  std::map<nir::Function *, std::unique_ptr<PDG>> FnDGs;
+  std::unordered_map<nir::Function *, std::unique_ptr<nir::DominatorTree>>
+      DTs;
+  std::unordered_map<nir::Function *, std::unique_ptr<nir::LoopInfo>> LIs;
+  std::unordered_map<nir::Function *, std::unique_ptr<PDG>> FnDGs;
 
-  std::set<std::string> Requested;
+  AbstractionSet Requested;
 
 public:
   /// Function-level dependence graph, memoized (used by schedulers).

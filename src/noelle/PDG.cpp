@@ -1,9 +1,13 @@
 #include "noelle/PDG.h"
 
 #include "analysis/Dominators.h"
+#include "ir/IDs.h"
 #include "ir/Instructions.h"
+#include "runtime/ThreadPool.h"
 
 #include <algorithm>
+#include <cstdlib>
+#include <sstream>
 
 using namespace noelle;
 using nir::AliasResult;
@@ -52,7 +56,13 @@ bool mayAccessMemory(const Instruction *I) {
 } // namespace
 
 PDGBuilder::PDGBuilder(Module &M, PDGBuildOptions Opts)
-    : M(M), Opts(Opts) {
+    : M(M), Opts(Opts) {}
+
+PDGBuilder::~PDGBuilder() = default;
+
+void PDGBuilder::ensureAA() {
+  if (AA)
+    return;
   std::string AAName = Opts.AliasAnalysisName;
   if (AAName == "noelle")
     AAName = "andersen";
@@ -61,7 +71,16 @@ PDGBuilder::PDGBuilder(Module &M, PDGBuildOptions Opts)
   AA = nir::createAliasAnalysis(AAName, M);
 }
 
-PDGBuilder::~PDGBuilder() = default;
+void PDGBuilder::invalidate() {
+  WholePDG.reset();
+  LoadedFromEmbedded = false;
+  AA.reset();
+  SummaryAA.reset();
+  ReadSet.clear();
+  WriteSet.clear();
+  TouchesUnknown.clear();
+  SummariesBuilt = false;
+}
 
 //===----------------------------------------------------------------------===//
 // Mod/ref summaries (interprocedural, Andersen-powered)
@@ -148,6 +167,26 @@ void PDGBuilder::buildModRefSummaries() {
   }
 }
 
+// Const lookups used from the (possibly concurrent) dependence jobs: the
+// summary maps are frozen once buildModRefSummaries returns, and these
+// never insert, so concurrent readers need no locking.
+const std::set<const Value *> &
+PDGBuilder::readSetOf(const Function *F) const {
+  auto It = ReadSet.find(F);
+  return It == ReadSet.end() ? EmptyValueSet : It->second;
+}
+
+const std::set<const Value *> &
+PDGBuilder::writeSetOf(const Function *F) const {
+  auto It = WriteSet.find(F);
+  return It == WriteSet.end() ? EmptyValueSet : It->second;
+}
+
+bool PDGBuilder::touchesUnknown(const Function *F) const {
+  auto It = TouchesUnknown.find(F);
+  return It == TouchesUnknown.end() ? true : It->second;
+}
+
 bool PDGBuilder::callMayTouch(const CallInst *Call, const Value *Ptr) {
   if (Call->getMetadata("noelle.pure") == "true")
     return false;
@@ -177,12 +216,12 @@ bool PDGBuilder::callMayTouch(const CallInst *Call, const Value *Ptr) {
         return true;
       continue;
     }
-    if (TouchesUnknown[Callee])
+    if (touchesUnknown(Callee))
       return true;
     if (PtrObjs.empty())
       return true;
     for (const Value *O : PtrObjs)
-      if (ReadSet[Callee].count(O) || WriteSet[Callee].count(O))
+      if (readSetOf(Callee).count(O) || writeSetOf(Callee).count(O))
         return true;
   }
   return false;
@@ -257,10 +296,12 @@ void PDGBuilder::buildFunctionDeps(Function &F, PDG &G, PDG::Stats &Stats) {
                   return false;
                 continue;
               }
-              if (TouchesUnknown[Callee])
+              if (touchesUnknown(Callee))
                 return false;
-              R.insert(ReadSet[Callee].begin(), ReadSet[Callee].end());
-              W.insert(WriteSet[Callee].begin(), WriteSet[Callee].end());
+              const auto &CR = readSetOf(Callee);
+              const auto &CW = writeSetOf(Callee);
+              R.insert(CR.begin(), CR.end());
+              W.insert(CW.begin(), CW.end());
             }
             return true;
           };
@@ -365,24 +406,99 @@ void PDGBuilder::buildControlDeps(Function &F, PDG &G) {
 // Whole-program / function / loop graphs
 //===----------------------------------------------------------------------===//
 
-PDG &PDGBuilder::getPDG() {
-  if (WholePDG)
-    return *WholePDG;
-  WholePDG = std::make_unique<PDG>();
-  PDG &G = *WholePDG;
-  for (const auto &F : M.getFunctions())
-    for (const auto &BB : F->getBlocks())
-      for (const auto &I : BB->getInstList())
-        G.addNode(I.get(), /*Internal=*/true);
+void PDGBuilder::buildWholeSerial(PDG &G) {
+  ensureAA();
   for (const auto &F : M.getFunctions()) {
     if (F->isDeclaration())
       continue;
     buildFunctionDeps(*F, G, G.getStatsMutable());
   }
+}
+
+void PDGBuilder::buildWholeParallel(PDG &G) {
+  // Shared analyses first, serially: the Andersen stack and the mod/ref
+  // summaries are read-only once built, so the per-function jobs below
+  // query them without locks.
+  ensureAA();
+  if (Opts.UseModRefSummaries)
+    buildModRefSummaries();
+
+  std::vector<Function *> Defined;
+  for (const auto &F : M.getFunctions())
+    if (!F->isDeclaration())
+      Defined.push_back(F.get());
+
+  // One job per defined function, each building its own subgraph. No
+  // dependence ever crosses a function boundary (SSA operands, memory
+  // pairs, and control dependences are all intra-function), so the
+  // subgraphs partition the whole-program edge set.
+  std::vector<std::unique_ptr<PDG>> Subs(Defined.size());
+  std::vector<nir::ThreadPool::Job> Jobs;
+  Jobs.reserve(Defined.size());
+  for (size_t I = 0; I < Defined.size(); ++I)
+    Jobs.push_back([this, &Subs, &Defined, I] {
+      Function &F = *Defined[I];
+      auto Sub = std::make_unique<PDG>();
+      for (const auto &BB : F.getBlocks())
+        for (const auto &Inst : BB->getInstList())
+          Sub->addNode(Inst.get(), /*Internal=*/true);
+      buildFunctionDeps(F, *Sub, Sub->getStatsMutable());
+      Subs[I] = std::move(Sub);
+    });
+  nir::analysisThreadPool().runIndependent(std::move(Jobs),
+                                           Opts.Parallelism);
+
+  // Deterministic merge: module function order (== ascending function
+  // IDs), each subgraph's edges in their local insertion order. This
+  // reproduces the serial build's edge sequence exactly.
+  for (size_t I = 0; I < Subs.size(); ++I) {
+    PDG &Sub = *Subs[I];
+    // Endpoints are instructions of a defined function, all registered
+    // in G before the build started — skip the per-edge membership
+    // check.
+    for (const auto *E : Sub.getEdges())
+      G.addEdgeTrusted(*E);
+    G.getStatsMutable().MemoryPairsQueried +=
+        Sub.getStats().MemoryPairsQueried;
+    G.getStatsMutable().MemoryPairsDisproved +=
+        Sub.getStats().MemoryPairsDisproved;
+  }
+}
+
+PDG &PDGBuilder::getPDG() {
+  if (WholePDG)
+    return *WholePDG;
+  if (Opts.UseEmbedded) {
+    if (auto Cached = PDG::loadEmbedded(M)) {
+      WholePDG = std::move(Cached);
+      LoadedFromEmbedded = true;
+      return *WholePDG;
+    }
+  }
+  LoadedFromEmbedded = false;
+  WholePDG = std::make_unique<PDG>();
+  PDG &G = *WholePDG;
+  std::vector<Value *> AllInsts;
+  AllInsts.reserve(M.getNumInstructions());
+  for (const auto &F : M.getFunctions())
+    for (const auto &BB : F->getBlocks())
+      for (const auto &I : BB->getInstList())
+        AllInsts.push_back(I.get());
+  G.bulkLoad(AllInsts, {}, {});
+
+  unsigned Defined = 0;
+  for (const auto &F : M.getFunctions())
+    if (!F->isDeclaration())
+      ++Defined;
+  if (Opts.ParallelBuild && Defined > 1)
+    buildWholeParallel(G);
+  else
+    buildWholeSerial(G);
   return G;
 }
 
 std::unique_ptr<PDG> PDGBuilder::getFunctionDG(Function &F) {
+  ensureAA();
   auto G = std::make_unique<PDG>();
   for (const auto &BB : F.getBlocks())
     for (const auto &I : BB->getInstList())
@@ -401,6 +517,7 @@ std::unique_ptr<PDG> PDGBuilder::getFunctionDG(Function &F) {
 }
 
 std::unique_ptr<PDG> PDGBuilder::getLoopDG(LoopStructure &L) {
+  ensureAA();
   Function &F = *L.getFunction();
 
   // Build the function-level dependences over a graph whose internal
@@ -420,6 +537,163 @@ std::unique_ptr<PDG> PDGBuilder::getLoopDG(LoopStructure &L) {
         }
   buildFunctionDeps(F, *G, G->getStatsMutable());
   refineLoopCarried(L, *G);
+  return G;
+}
+
+//===----------------------------------------------------------------------===//
+// Embedding: the PDG as IR metadata
+//===----------------------------------------------------------------------===//
+
+// Edge wire format (module-level metadata, PDGEmbedEdgesKey):
+//   <fromID>:<toID>:<bits>[:<distance>] ';' ...
+// where bits packs the edge attributes: bit0 control, bit1 memory,
+// bit2 loop-carried, bit3 must, bits 4-5 the DataDepKind. The distance
+// field is present only when known (!= -1). IDs are the deterministic
+// instruction IDs of src/ir/IDs.*, reassigned at embed time; the module
+// body's content hash (PDGEmbedHashKey) keys the whole cache.
+
+void PDG::embed(Module &M) const {
+  nir::assignDeterministicIDs(M);
+
+  // Instruction -> ID map (fresh IDs, so read them back once).
+  std::map<const Value *, uint64_t> IDOf;
+  uint64_t NextID = 0;
+  for (const auto &F : M.getFunctions())
+    for (const auto &BB : F->getBlocks())
+      for (const auto &I : BB->getInstList())
+        IDOf[I.get()] = NextID++;
+
+  std::ostringstream OS;
+  bool First = true;
+  for (const auto *E : getEdges()) {
+    auto FromIt = IDOf.find(E->From);
+    auto ToIt = IDOf.find(E->To);
+    assert(FromIt != IDOf.end() && ToIt != IDOf.end() &&
+           "embed requires a whole-program PDG over this module's "
+           "instructions");
+    unsigned Bits = (E->IsControl ? 1u : 0u) | (E->IsMemory ? 2u : 0u) |
+                    (E->IsLoopCarried ? 4u : 0u) | (E->IsMust ? 8u : 0u) |
+                    (static_cast<unsigned>(E->Kind) << 4);
+    if (!First)
+      OS << ';';
+    First = false;
+    OS << FromIt->second << ':' << ToIt->second << ':' << Bits;
+    if (E->Distance != -1)
+      OS << ':' << E->Distance;
+  }
+
+  M.setModuleMetadata(PDGEmbedKey, "1");
+  M.setModuleMetadata(PDGEmbedEdgesKey, OS.str());
+  M.setModuleMetadata(PDGEmbedStatsKey,
+                      std::to_string(TheStats.MemoryPairsQueried) + "," +
+                          std::to_string(TheStats.MemoryPairsDisproved));
+  // Hash last: it must digest the module *with* the IDs just assigned,
+  // and module-level metadata is excluded from the digest, so the embed
+  // itself cannot invalidate the hash it records.
+  M.setModuleMetadata(PDGEmbedHashKey,
+                      std::to_string(M.getContentHash()));
+}
+
+bool PDG::hasEmbedded(const Module &M) {
+  return M.hasModuleMetadata(PDGEmbedKey);
+}
+
+void PDG::clearEmbedded(Module &M) {
+  M.removeModuleMetadata(PDGEmbedKey);
+  M.removeModuleMetadata(PDGEmbedHashKey);
+  M.removeModuleMetadata(PDGEmbedEdgesKey);
+  M.removeModuleMetadata(PDGEmbedStatsKey);
+}
+
+namespace {
+
+/// Unsigned decimal parse without strtoull's locale machinery; the wire
+/// format is machine-written, so anything non-numeric is corruption.
+inline bool parseUInt(const char *&P, const char *End, uint64_t &Out) {
+  const char *Start = P;
+  uint64_t V = 0;
+  while (P < End && *P >= '0' && *P <= '9')
+    V = V * 10 + static_cast<uint64_t>(*P++ - '0');
+  Out = V;
+  return P != Start;
+}
+
+} // namespace
+
+std::unique_ptr<PDG> PDG::loadEmbedded(Module &M) {
+  if (!hasEmbedded(M))
+    return nullptr;
+
+  // Verify the IR is the one the graph was computed for.
+  std::string HashStr = M.getModuleMetadata(PDGEmbedHashKey);
+  if (HashStr.empty() ||
+      std::strtoull(HashStr.c_str(), nullptr, 10) != M.getContentHash())
+    return nullptr;
+
+  // Edge endpoints are positional instruction indices — the order
+  // embed() walked, which the hash match just proved unchanged. No
+  // metadata lookups needed to resolve them.
+  std::vector<Value *> ByIndex;
+  ByIndex.reserve(M.getNumInstructions());
+  for (const auto &F : M.getFunctions())
+    for (const auto &BB : F->getBlocks())
+      for (const auto &I : BB->getInstList())
+        ByIndex.push_back(I.get());
+
+  // Decode every edge first, then hand nodes and edges to the graph in
+  // one O(N + E) bulk load.
+  std::vector<DependenceEdge<Value>> Decoded;
+  std::vector<std::pair<uint32_t, uint32_t>> Endpoints;
+  const std::string Payload = M.getModuleMetadata(PDGEmbedEdgesKey);
+  const char *P = Payload.c_str();
+  const char *End = P + Payload.size();
+  while (P < End) {
+    uint64_t FromID, ToID, Bits;
+    if (!parseUInt(P, End, FromID) || P >= End || *P++ != ':')
+      return nullptr;
+    if (!parseUInt(P, End, ToID) || P >= End || *P++ != ':')
+      return nullptr;
+    if (!parseUInt(P, End, Bits))
+      return nullptr;
+    int64_t Distance = -1;
+    if (P < End && *P == ':') {
+      ++P;
+      uint64_t D;
+      if (!parseUInt(P, End, D))
+        return nullptr;
+      Distance = static_cast<int64_t>(D);
+    }
+    if (P < End && *P++ != ';')
+      return nullptr;
+
+    if (FromID >= ByIndex.size() || ToID >= ByIndex.size())
+      return nullptr; // Dangling ID: the module changed under the cache.
+    DependenceEdge<Value> E;
+    E.From = ByIndex[FromID];
+    E.To = ByIndex[ToID];
+    E.IsControl = Bits & 1;
+    E.IsMemory = Bits & 2;
+    E.IsLoopCarried = Bits & 4;
+    E.IsMust = Bits & 8;
+    E.Kind = static_cast<DataDepKind>((Bits >> 4) & 3);
+    E.Distance = Distance;
+    Decoded.push_back(E);
+    Endpoints.emplace_back(static_cast<uint32_t>(FromID),
+                           static_cast<uint32_t>(ToID));
+  }
+
+  auto G = std::make_unique<PDG>();
+  G->bulkLoad(ByIndex, std::move(Decoded), Endpoints);
+
+  std::string Stats = M.getModuleMetadata(PDGEmbedStatsKey);
+  if (!Stats.empty()) {
+    char *Next = nullptr;
+    G->getStatsMutable().MemoryPairsQueried =
+        std::strtoull(Stats.c_str(), &Next, 10);
+    if (Next && *Next == ',')
+      G->getStatsMutable().MemoryPairsDisproved =
+          std::strtoull(Next + 1, nullptr, 10);
+  }
   return G;
 }
 

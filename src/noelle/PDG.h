@@ -6,6 +6,13 @@
 /// alias-analysis-powered memory disambiguation, interprocedural mod/ref
 /// summaries, and post-dominance-based control dependences.
 ///
+/// Construction is parallel (one job per defined function on the shared
+/// analysis thread pool, deterministically merged), and the finished
+/// whole-program graph can be embedded into the IR as module-level
+/// metadata keyed by deterministic instruction IDs plus a module content
+/// hash, so downstream tools load it instead of recomputing (the paper's
+/// noelle-pdg-embed / noelle-load workflow).
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef NOELLE_PDG_H
@@ -25,6 +32,12 @@ using nir::LoopStructure;
 using nir::Module;
 using nir::Value;
 
+/// Module-level metadata keys of the embedded whole-program PDG.
+inline constexpr const char *PDGEmbedKey = "noelle.pdg.v2";
+inline constexpr const char *PDGEmbedHashKey = "noelle.pdg.v2.hash";
+inline constexpr const char *PDGEmbedEdgesKey = "noelle.pdg.v2.edges";
+inline constexpr const char *PDGEmbedStatsKey = "noelle.pdg.v2.stats";
+
 /// The PDG: nodes are instructions (plus external nodes for region
 /// live-ins/outs in derived graphs).
 class PDG : public DependenceGraph<Value> {
@@ -38,6 +51,25 @@ public:
   const Stats &getStats() const { return TheStats; }
   Stats &getStatsMutable() { return TheStats; }
 
+  /// Serializes this whole-program PDG into \p M as module-level
+  /// metadata: fresh deterministic instruction IDs are assigned, every
+  /// edge is encoded against them, and the module body's content hash is
+  /// recorded so a later load can verify the IR is unchanged. All nodes
+  /// must be instructions of \p M (the whole-program graph shape).
+  void embed(Module &M) const;
+
+  /// True if \p M carries a module-level embedded PDG.
+  static bool hasEmbedded(const Module &M);
+
+  /// Reconstructs the embedded PDG of \p M after verifying it: the
+  /// recorded content hash must match the module body, and every edge
+  /// endpoint ID must resolve to an instruction. Returns null when the
+  /// module has no embedded PDG or verification fails (mutated IR).
+  static std::unique_ptr<PDG> loadEmbedded(Module &M);
+
+  /// Removes the module-level embedded PDG from \p M.
+  static void clearEmbedded(Module &M);
+
 private:
   Stats TheStats;
 };
@@ -48,6 +80,15 @@ private:
 struct PDGBuildOptions {
   std::string AliasAnalysisName = "noelle"; ///< none | llvm | noelle
   bool UseModRefSummaries = true; ///< interprocedural call mod/ref pruning
+  /// Build per-function dependence subgraphs concurrently on the shared
+  /// analysis thread pool; the merged result is bit-identical to the
+  /// serial build.
+  bool ParallelBuild = true;
+  /// Worker count for the parallel build; 0 = hardware concurrency.
+  unsigned Parallelism = 0;
+  /// Load a module-embedded PDG instead of rebuilding when its content
+  /// hash matches the module.
+  bool UseEmbedded = true;
 };
 
 /// Builds whole-program and per-scope dependence graphs.
@@ -56,8 +97,14 @@ public:
   PDGBuilder(Module &M, PDGBuildOptions Opts = {});
   ~PDGBuilder();
 
-  /// The whole-program PDG (memoized).
+  /// The whole-program PDG (memoized). Loaded from embedded metadata
+  /// when present and verified; otherwise built — in parallel across
+  /// functions unless the options say otherwise.
   PDG &getPDG();
+
+  /// True if the last getPDG() materialization came from the embedded
+  /// cache rather than a fresh build.
+  bool wasPDGLoadedFromEmbedded() const { return LoadedFromEmbedded; }
 
   /// A dependence graph restricted to one function. Instructions of the
   /// function are internal nodes; referenced globals and arguments are
@@ -69,11 +116,26 @@ public:
   /// internal; values flowing in/out (live-ins / live-outs) are external.
   std::unique_ptr<PDG> getLoopDG(LoopStructure &L);
 
-  nir::AliasAnalysis &getAliasAnalysis() { return *AA; }
+  /// Drops every memoized analysis result (the whole-program PDG, the
+  /// alias analyses, and the mod/ref summaries). Must be called after
+  /// the module is mutated: the memoized structures hold pointers into
+  /// the old IR. Fresh analyses are rebuilt lazily on the next query.
+  void invalidate();
+
+  nir::AliasAnalysis &getAliasAnalysis() {
+    ensureAA();
+    return *AA;
+  }
 
 private:
+  void ensureAA();
   void buildFunctionDeps(Function &F, PDG &G, PDG::Stats &Stats);
   void buildControlDeps(Function &F, PDG &G);
+  /// Builds the whole-program graph serially (reference implementation).
+  void buildWholeSerial(PDG &G);
+  /// Builds per-function subgraphs on the analysis pool and merges them
+  /// in module function order, which reproduces the serial edge order.
+  void buildWholeParallel(PDG &G);
 
   /// True if \p Call may read or write the memory reached through
   /// \p Ptr, given the interprocedural summaries.
@@ -87,12 +149,20 @@ private:
   std::unique_ptr<nir::AliasAnalysis> AA;
   std::unique_ptr<nir::AndersenAliasAnalysis> SummaryAA; ///< for summaries
   std::unique_ptr<PDG> WholePDG;
+  bool LoadedFromEmbedded = false;
 
   /// Per-function transitive sets of abstract objects read/written.
+  /// Fully populated by buildModRefSummaries before any parallel phase;
+  /// the const accessors below never mutate, so concurrent per-function
+  /// jobs can query them lock-free.
   std::map<const Function *, std::set<const Value *>> ReadSet, WriteSet;
   std::map<const Function *, bool> TouchesUnknown;
   bool SummariesBuilt = false;
   void buildModRefSummaries();
+  const std::set<const Value *> &readSetOf(const Function *F) const;
+  const std::set<const Value *> &writeSetOf(const Function *F) const;
+  bool touchesUnknown(const Function *F) const;
+  std::set<const Value *> EmptyValueSet;
 };
 
 } // namespace noelle

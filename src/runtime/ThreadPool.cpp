@@ -126,19 +126,29 @@ void ThreadPool::run(std::vector<Job> Jobs) {
   }
 
   auto L = std::make_shared<Latch>(N);
+  std::vector<Job> Wrapped;
+  Wrapped.reserve(N);
+  for (size_t I = 0; I < N; ++I)
+    Wrapped.push_back([this, L, J = std::move(Jobs[I])]() mutable {
+      J();
+      OutstandingJobs.fetch_sub(1, std::memory_order_acq_rel);
+      L->countDown();
+    });
+  enqueue(std::move(Wrapped));
+
+  L->wait();
+}
+
+void ThreadPool::enqueue(std::vector<Job> &&Wrapped) {
+  size_t N = Wrapped.size();
   unsigned NW = NumWorkers.load(std::memory_order_acquire);
   unsigned Cursor = PushCursor.fetch_add(static_cast<unsigned>(N),
                                          std::memory_order_relaxed);
   for (size_t I = 0; I < N; ++I) {
-    Job Wrapped = [this, L, J = std::move(Jobs[I])]() mutable {
-      J();
-      OutstandingJobs.fetch_sub(1, std::memory_order_acq_rel);
-      L->countDown();
-    };
     Worker &W = *Workers[(Cursor + I) % NW];
     {
       std::lock_guard<std::mutex> Lock(W.M);
-      W.Jobs.push_back(std::move(Wrapped));
+      W.Jobs.push_back(std::move(Wrapped[I]));
     }
     QueuedJobs.fetch_add(1, std::memory_order_release);
   }
@@ -147,6 +157,42 @@ void ThreadPool::run(std::vector<Job> Jobs) {
     std::lock_guard<std::mutex> Lock(PoolMutex);
   }
   WorkCV.notify_all();
+}
+
+void ThreadPool::runIndependent(std::vector<Job> Jobs, unsigned Parallelism) {
+  if (Jobs.empty())
+    return;
+  size_t N = Jobs.size();
+  BatchesRun.fetch_add(1, std::memory_order_relaxed);
+
+  // Size the pool to the machine, not to the batch: independent jobs
+  // never block, so Parallelism workers drain any backlog. Reserve slack
+  // for blocking jobs already outstanding (they may be parked on queues
+  // and must keep their workers).
+  unsigned Want = Parallelism ? Parallelism : std::thread::hardware_concurrency();
+  Want = std::max(1u, std::min<unsigned>(Want, static_cast<unsigned>(N)));
+  uint64_t Blocking = OutstandingJobs.load(std::memory_order_acquire);
+  unsigned Target = static_cast<unsigned>(
+      std::min<uint64_t>(Blocking + Want, MaxWorkers));
+  {
+    std::lock_guard<std::mutex> Lock(PoolMutex);
+    ensureWorkers(Target);
+  }
+
+  auto L = std::make_shared<Latch>(N);
+  std::vector<Job> Wrapped;
+  Wrapped.reserve(N);
+  for (size_t I = 0; I < N; ++I)
+    Wrapped.push_back([L, J = std::move(Jobs[I])]() mutable {
+      J();
+      L->countDown();
+    });
+  enqueue(std::move(Wrapped));
 
   L->wait();
+}
+
+ThreadPool &nir::analysisThreadPool() {
+  static ThreadPool Pool;
+  return Pool;
 }

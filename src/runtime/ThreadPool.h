@@ -49,6 +49,15 @@ public:
   /// covered by the forward-progress guarantee above).
   void run(std::vector<Job> Jobs);
 
+  /// Analysis-side submission API: runs jobs that never block on each
+  /// other (pure fork/join work such as per-function PDG construction).
+  /// Unlike run(), the pool grows only to \p Parallelism workers (0 =
+  /// hardware concurrency), not to one worker per job, so a module with
+  /// hundreds of functions does not spawn hundreds of threads. Jobs must
+  /// not wait on other jobs of the same batch and must not be submitted
+  /// from inside a pool worker.
+  void runIndependent(std::vector<Job> Jobs, unsigned Parallelism = 0);
+
   /// Worker threads currently alive.
   unsigned getWorkerCount() const {
     return NumWorkers.load(std::memory_order_acquire);
@@ -79,6 +88,8 @@ private:
   bool tryTake(unsigned Self, Job &Out);
   /// Grows the pool to \p Target workers. Caller holds PoolMutex.
   void ensureWorkers(unsigned Target);
+  /// Enqueues pre-wrapped jobs round-robin and wakes the workers.
+  void enqueue(std::vector<Job> &&Wrapped);
 
   /// Fixed-capacity slot table so workers can index it without locking
   /// while ensureWorkers publishes new slots (slot first, then count
@@ -98,6 +109,12 @@ private:
   std::condition_variable WorkCV;
   bool ShuttingDown = false;
 };
+
+/// The process-wide pool shared by compile-time analyses (parallel PDG
+/// construction). Distinct from the per-engine runtime pools: analysis
+/// jobs are pure fork/join work submitted through runIndependent(), so
+/// one shared pool sized to the machine is the right lifetime.
+ThreadPool &analysisThreadPool();
 
 /// A bounded blocking queue carrying 64-bit payloads (DSWP's inter-core
 /// channel). Handles are stable heap pointers owned by a QueueRegistry

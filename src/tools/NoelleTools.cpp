@@ -98,8 +98,18 @@ void tools::metaPDGEmbed(Module &M, const PDGBuildOptions &Opts) {
   M.setModuleMetadata(PDGEmbeddedKey, "true");
 }
 
+uint64_t tools::pdgEmbed(Module &M, const PDGBuildOptions &Opts) {
+  // Never load a stale cache into the builder that is about to refresh
+  // it: drop the old blob first, then build (in parallel) and embed.
+  PDG::clearEmbedded(M);
+  PDGBuilder Builder(M, Opts);
+  PDG &G = Builder.getPDG();
+  G.embed(M);
+  return G.getEdges().size();
+}
+
 bool tools::hasPDGMetadata(const Module &M) {
-  return M.hasModuleMetadata(PDGEmbeddedKey);
+  return M.hasModuleMetadata(PDGEmbeddedKey) || PDG::hasEmbedded(M);
 }
 
 std::unique_ptr<PDG> tools::pdgFromMetadata(Module &M) {
@@ -147,6 +157,7 @@ void tools::metaClean(Module &M) {
   ProfileData::clean(M);
   M.removeModuleMetadata(PDGEmbeddedKey);
   M.removeModuleMetadata("noelle.pdg.embedded");
+  PDG::clearEmbedded(M);
   for (const auto &F : M.getFunctions()) {
     std::vector<std::string> Doomed;
     for (const auto &[K, V] : F->getAllMetadata())

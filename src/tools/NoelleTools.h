@@ -8,7 +8,8 @@
 ///   noelle-whole-IR          wholeIR()          sources -> one module
 ///   noelle-prof-coverage     profCoverage()     run profilers
 ///   noelle-meta-prof-embed   metaProfEmbed()    profiles -> metadata
-///   noelle-meta-pdg-embed    metaPDGEmbed()     PDG -> metadata
+///   noelle-meta-pdg-embed    metaPDGEmbed()     PDG -> inst metadata
+///   noelle-pdg-embed         pdgEmbed()         PDG -> module cache
 ///   noelle-meta-clean        metaClean()        strip NOELLE metadata
 ///   noelle-rm-lc-dependences rmLCDependences()  reduce loop-carried deps
 ///   noelle-arch              archDescribe()     machine description
@@ -51,6 +52,16 @@ void metaProfEmbed(nir::Module &M, const ProfileData &P);
 /// deterministic instruction IDs), so later stages can rebuild the PDG
 /// without re-running the expensive alias analyses.
 void metaPDGEmbed(nir::Module &M, const PDGBuildOptions &Opts = {});
+
+/// noelle-pdg-embed: computes the whole-program PDG under the given
+/// options and serializes it into module-level metadata together with a
+/// content hash of the IR (PDG::embed). Unlike metaPDGEmbed, the cache
+/// survives the textual print/parse round-trip as one self-verifying
+/// blob: a later PDGBuilder (or noelle-load) checks the hash and loads
+/// the graph instead of re-running the alias analyses — and silently
+/// falls back to a fresh build when the IR changed underneath it.
+/// Returns the number of edges embedded.
+uint64_t pdgEmbed(nir::Module &M, const PDGBuildOptions &Opts = {});
 
 /// True if \p M carries an embedded PDG.
 bool hasPDGMetadata(const nir::Module &M);

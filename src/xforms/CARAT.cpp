@@ -6,6 +6,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <set>
 
 using namespace noelle;
 using nir::Function;
@@ -51,16 +52,16 @@ nir::Value *pointerOf(Instruction *I) {
 } // namespace
 
 CARATResult CARAT::run() {
-  N.noteRequest("PDG");
-  N.noteRequest("aSCCDAG");
-  N.noteRequest("INV");
-  N.noteRequest("DFE");
-  N.noteRequest("PRO");
-  N.noteRequest("L");
-  N.noteRequest("LB");
-  N.noteRequest("IV");
-  N.noteRequest("SCD");
-  N.noteRequest("LS");
+  N.noteRequest(Abstraction::PDG);
+  N.noteRequest(Abstraction::aSCCDAG);
+  N.noteRequest(Abstraction::INV);
+  N.noteRequest(Abstraction::DFE);
+  N.noteRequest(Abstraction::PRO);
+  N.noteRequest(Abstraction::L);
+  N.noteRequest(Abstraction::LB);
+  N.noteRequest(Abstraction::IV);
+  N.noteRequest(Abstraction::SCD);
+  N.noteRequest(Abstraction::LS);
 
   nir::Module &M = N.getModule();
   nir::Context &Ctx = M.getContext();
@@ -74,11 +75,13 @@ CARATResult CARAT::run() {
         "carat_guard");
 
   // Loop-invariance data, for hoisting guards of invariant addresses.
-  std::vector<LoopContent *> Loops = N.getLoopContents();
+  auto Loops = N.getLoopContents();
 
+  std::set<Function *> Mutated;
   for (const auto &F : M.getFunctions()) {
     if (F->isDeclaration() || F.get() == Guard)
       continue;
+    uint64_t GuardsBefore = R.GuardsInjected;
 
     // Collect the accesses needing guards, with per-pointer redundancy
     // elimination: along one block, the second access to the same
@@ -151,9 +154,12 @@ CARATResult CARAT::run() {
       B.createCall(Guard, {P.Ptr, Ctx.getInt64(8)});
       ++R.GuardsInjected;
     }
+    if (R.GuardsInjected != GuardsBefore)
+      Mutated.insert(F.get());
   }
 
-  N.invalidateLoops();
+  for (Function *F : Mutated)
+    N.invalidate(*F);
   assert(nir::moduleVerifies(M) && "CARAT broke the IR");
   return R;
 }

@@ -4,6 +4,8 @@
 #include "ir/Instructions.h"
 #include "ir/Verifier.h"
 
+#include <set>
+
 using namespace noelle;
 using nir::BasicBlock;
 using nir::Function;
@@ -11,17 +13,18 @@ using nir::Instruction;
 using nir::IRBuilder;
 
 COOSResult COOS::run() {
-  N.noteRequest("DFE");
-  N.noteRequest("PRO");
-  N.noteRequest("L");
-  N.noteRequest("FR");
-  N.noteRequest("LB");
-  N.noteRequest("CG");
-  N.noteRequest("LS");
+  N.noteRequest(Abstraction::DFE);
+  N.noteRequest(Abstraction::PRO);
+  N.noteRequest(Abstraction::L);
+  N.noteRequest(Abstraction::FR);
+  N.noteRequest(Abstraction::LB);
+  N.noteRequest(Abstraction::CG);
+  N.noteRequest(Abstraction::LS);
 
   nir::Module &M = N.getModule();
   nir::Context &Ctx = M.getContext();
   COOSResult R;
+  std::set<Function *> Mutated;
 
   Function *Tick = M.getFunction("coos_tick");
   if (!Tick)
@@ -54,6 +57,7 @@ COOSResult COOS::run() {
     auto *Call = B.createCall(Tick, {});
     Call->setMetadata("noelle.pure", "true");
     Call->setMetadata("coos.tick", "loop");
+    Mutated.insert(LS.getFunction());
     ++R.TicksInjected;
     ++R.LoopsInstrumented;
   }
@@ -81,6 +85,8 @@ COOSResult COOS::run() {
           Count = 0;
         }
       }
+      if (!Anchors.empty())
+        Mutated.insert(F.get());
       for (Instruction *Anchor : Anchors) {
         IRBuilder B(Ctx);
         B.setInsertPoint(Anchor);
@@ -112,7 +118,8 @@ COOSResult COOS::run() {
     }
   }
 
-  N.invalidateLoops();
+  for (Function *F : Mutated)
+    N.invalidate(*F);
   assert(nir::moduleVerifies(M) && "COOS broke the IR");
   return R;
 }

@@ -25,11 +25,11 @@ bool isIVSCC(const SCC *S, InductionVariableManager &IVs) {
 } // namespace
 
 bool DOALL::canParallelize(LoopContent &LC, std::string &Reason) {
-  N.noteRequest("PDG");
-  N.noteRequest("aSCCDAG");
-  N.noteRequest("IV");
-  N.noteRequest("INV");
-  N.noteRequest("RD");
+  N.noteRequest(Abstraction::PDG);
+  N.noteRequest(Abstraction::aSCCDAG);
+  N.noteRequest(Abstraction::IV);
+  N.noteRequest(Abstraction::INV);
+  N.noteRequest(Abstraction::RD);
   nir::LoopStructure &LS = LC.getLoopStructure();
 
   if (!LS.getPreheader()) {
@@ -146,11 +146,11 @@ bool DOALL::parallelizeLoop(LoopContent &LC) {
   if (!canParallelize(LC, Reason))
     return false;
 
-  N.noteRequest("ENV");
-  N.noteRequest("T");
-  N.noteRequest("LB");
-  N.noteRequest("IVS");
-  N.noteRequest("LS");
+  N.noteRequest(Abstraction::ENV);
+  N.noteRequest(Abstraction::T);
+  N.noteRequest(Abstraction::LB);
+  N.noteRequest(Abstraction::IVS);
+  N.noteRequest(Abstraction::LS);
   nir::LoopStructure &LS = LC.getLoopStructure();
   Function *F = LS.getFunction();
   nir::Module &M = *F->getParent();
@@ -285,7 +285,9 @@ bool DOALL::parallelizeLoop(LoopContent &LC) {
   }
 
   finalizeLoopRemoval(LS, Dispatch);
-  N.invalidateLoops();
+  // Only the host function changed (the task bodies are new functions
+  // with no cached analyses): keep every other function's bundles.
+  N.invalidate(*LS.getFunction());
 
   assert(nir::moduleVerifies(M) && "DOALL produced invalid IR");
   return true;
@@ -293,10 +295,10 @@ bool DOALL::parallelizeLoop(LoopContent &LC) {
 
 std::vector<DOALLDecision> DOALL::run() {
   std::vector<DOALLDecision> Decisions;
-  // Transforming a loop invalidates every LoopContent, so process one
-  // loop per sweep and restart until a sweep makes no progress. Loops
-  // are identified by (function, preorder id), both stable while their
-  // function is untouched.
+  // Transforming a loop invalidates its function's LoopContents, so
+  // process one loop per sweep and restart until a sweep makes no
+  // progress. Loops are identified by (function, preorder id), both
+  // stable while their function is untouched.
   std::set<std::pair<std::string, unsigned>> Attempted;
   bool Progress = true;
   while (Progress) {

@@ -68,20 +68,20 @@ Value *fromQueueWord(IRBuilder &B, Value *Word, nir::Type *Ty) {
 } // namespace
 
 bool DSWP::parallelizeLoop(LoopContent &LC, DSWPDecision &D) {
-  N.noteRequest("PDG");
-  N.noteRequest("aSCCDAG");
-  N.noteRequest("IV");
-  N.noteRequest("INV");
-  N.noteRequest("RD");
-  N.noteRequest("ENV");
-  N.noteRequest("T");
-  N.noteRequest("LB");
-  N.noteRequest("IVS");
-  N.noteRequest("LS");
-  N.noteRequest("PRO");
-  N.noteRequest("SCD");
-  N.noteRequest("FR");
-  N.noteRequest("AR");
+  N.noteRequest(Abstraction::PDG);
+  N.noteRequest(Abstraction::aSCCDAG);
+  N.noteRequest(Abstraction::IV);
+  N.noteRequest(Abstraction::INV);
+  N.noteRequest(Abstraction::RD);
+  N.noteRequest(Abstraction::ENV);
+  N.noteRequest(Abstraction::T);
+  N.noteRequest(Abstraction::LB);
+  N.noteRequest(Abstraction::IVS);
+  N.noteRequest(Abstraction::LS);
+  N.noteRequest(Abstraction::PRO);
+  N.noteRequest(Abstraction::SCD);
+  N.noteRequest(Abstraction::FR);
+  N.noteRequest(Abstraction::AR);
   nir::LoopStructure &LS = LC.getLoopStructure();
   auto Fail = [&](const std::string &R) {
     D.Reason = R;
@@ -510,7 +510,9 @@ bool DSWP::parallelizeLoop(LoopContent &LC, DSWPDecision &D) {
   }
 
   finalizeLoopRemoval(LS, Dispatch);
-  N.invalidateLoops();
+  // Only the host function changed (the task bodies are new functions
+  // with no cached analyses): keep every other function's bundles.
+  N.invalidate(*LS.getFunction());
   assert(nir::moduleVerifies(M) && "DSWP produced invalid IR");
   D.Parallelized = true;
   return true;

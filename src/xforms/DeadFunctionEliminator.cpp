@@ -6,8 +6,8 @@ using namespace noelle;
 using nir::Function;
 
 DeadFunctionResult DeadFunctionEliminator::run() {
-  N.noteRequest("CG");
-  N.noteRequest("ISL");
+  N.noteRequest(Abstraction::CG);
+  N.noteRequest(Abstraction::ISL);
   nir::Module &M = N.getModule();
   DeadFunctionResult R;
   R.BinaryBytesBefore = M.str().size();
@@ -52,6 +52,6 @@ DeadFunctionResult DeadFunctionEliminator::run() {
   }
 
   R.BinaryBytesAfter = M.str().size();
-  N.invalidateLoops();
+  N.invalidateAll();
   return R;
 }

@@ -46,13 +46,13 @@ uint64_t positionOf(const Instruction *I) {
 bool HELIX::canParallelize(
     LoopContent &LC, std::vector<std::vector<Instruction *>> &SegmentsOut,
     std::string &Reason) {
-  N.noteRequest("PDG");
-  N.noteRequest("aSCCDAG");
-  N.noteRequest("IV");
-  N.noteRequest("INV");
-  N.noteRequest("RD");
-  N.noteRequest("DFE");
-  N.noteRequest("SCD");
+  N.noteRequest(Abstraction::PDG);
+  N.noteRequest(Abstraction::aSCCDAG);
+  N.noteRequest(Abstraction::IV);
+  N.noteRequest(Abstraction::INV);
+  N.noteRequest(Abstraction::RD);
+  N.noteRequest(Abstraction::DFE);
+  N.noteRequest(Abstraction::SCD);
   nir::LoopStructure &LS = LC.getLoopStructure();
 
   if (!LS.getPreheader()) {
@@ -243,14 +243,14 @@ bool HELIX::parallelizeLoop(LoopContent &LC) {
   if (!canParallelize(LC, Segments, Reason))
     return false;
 
-  N.noteRequest("ENV");
-  N.noteRequest("T");
-  N.noteRequest("LB");
-  N.noteRequest("IVS");
-  N.noteRequest("LS");
-  N.noteRequest("FR");
-  N.noteRequest("PRO");
-  N.noteRequest("AR");
+  N.noteRequest(Abstraction::ENV);
+  N.noteRequest(Abstraction::T);
+  N.noteRequest(Abstraction::LB);
+  N.noteRequest(Abstraction::IVS);
+  N.noteRequest(Abstraction::LS);
+  N.noteRequest(Abstraction::FR);
+  N.noteRequest(Abstraction::PRO);
+  N.noteRequest(Abstraction::AR);
   nir::LoopStructure &LS = LC.getLoopStructure();
   Function *F = LS.getFunction();
   nir::Module &M = *F->getParent();
@@ -506,7 +506,9 @@ bool HELIX::parallelizeLoop(LoopContent &LC) {
   }
 
   finalizeLoopRemoval(LS, Dispatch);
-  N.invalidateLoops();
+  // Only the host function changed (the task bodies are new functions
+  // with no cached analyses): keep every other function's bundles.
+  N.invalidate(*LS.getFunction());
   assert(nir::moduleVerifies(M) && "HELIX produced invalid IR");
   return true;
 }

@@ -10,9 +10,9 @@ using nir::Instruction;
 using nir::LoopStructure;
 
 unsigned LICM::hoistLoop(LoopContent &LC) {
-  N.noteRequest("INV");
-  N.noteRequest("LB");
-  N.noteRequest("LS");
+  N.noteRequest(Abstraction::INV);
+  N.noteRequest(Abstraction::LB);
+  N.noteRequest(Abstraction::LS);
   LoopStructure &LS = LC.getLoopStructure();
   auto &Inv = LC.getInvariantManager();
   LoopBuilder &LB = N.getLoopBuilder();
@@ -74,12 +74,17 @@ LICMResult LICM::run() {
   std::vector<LoopContent *> Order;
   LoopForest.visitPostorder(
       [&](Forest<LoopContent>::Node *Node) { Order.push_back(Node->Payload); });
+  std::set<nir::Function *> Mutated;
   for (LoopContent *LC : Order) {
     ++R.LoopsVisited;
-    R.InstructionsHoisted += hoistLoop(*LC);
+    unsigned Hoisted = hoistLoop(*LC);
+    if (Hoisted)
+      Mutated.insert(LC->getLoopStructure().getFunction());
+    R.InstructionsHoisted += Hoisted;
   }
   if (R.InstructionsHoisted) {
-    N.invalidateLoops();
+    for (nir::Function *F : Mutated)
+      N.invalidate(*F);
     assert(nir::moduleVerifies(N.getModule()) && "LICM broke the IR");
   }
   return R;

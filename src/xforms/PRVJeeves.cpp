@@ -3,6 +3,8 @@
 #include "ir/Instructions.h"
 #include "ir/Verifier.h"
 
+#include <set>
+
 using namespace noelle;
 using nir::CallInst;
 using nir::CastInst;
@@ -50,16 +52,16 @@ bool needsHighQuality(const Instruction *RandValue) {
 } // namespace
 
 PRVJeevesResult PRVJeeves::run() {
-  N.noteRequest("PDG");
-  N.noteRequest("CG");
-  N.noteRequest("DFE");
-  N.noteRequest("PRO");
-  N.noteRequest("L");
-  N.noteRequest("LB");
-  N.noteRequest("INV");
-  N.noteRequest("IV");
-  N.noteRequest("SCD");
-  N.noteRequest("LS");
+  N.noteRequest(Abstraction::PDG);
+  N.noteRequest(Abstraction::CG);
+  N.noteRequest(Abstraction::DFE);
+  N.noteRequest(Abstraction::PRO);
+  N.noteRequest(Abstraction::L);
+  N.noteRequest(Abstraction::LB);
+  N.noteRequest(Abstraction::INV);
+  N.noteRequest(Abstraction::IV);
+  N.noteRequest(Abstraction::SCD);
+  N.noteRequest(Abstraction::LS);
 
   nir::Module &M = N.getModule();
   PRVJeevesResult R;
@@ -73,8 +75,9 @@ PRVJeevesResult PRVJeeves::run() {
   ProfileData *Prof = N.getProfiles(false);
 
   // Hot-loop map for the PRO-based pruning.
-  std::vector<LoopContent *> Loops = N.getLoopContents();
+  auto Loops = N.getLoopContents();
 
+  std::set<Function *> Mutated;
   for (const auto &F : M.getFunctions()) {
     for (const auto &BB : F->getBlocks())
       for (const auto &I : BB->getInstList()) {
@@ -100,6 +103,7 @@ PRVJeevesResult PRVJeeves::run() {
           if (MT) {
             Call->setOperand(0, MT); // operand 0 is the callee
             Call->setMetadata("prvj.selected", "mt");
+            Mutated.insert(F.get());
             ++R.PinnedToMT;
           } else {
             ++R.LeftUnmodified;
@@ -109,6 +113,7 @@ PRVJeevesResult PRVJeeves::run() {
         if (LCG) {
           Call->setOperand(0, LCG);
           Call->setMetadata("prvj.selected", "lcg");
+          Mutated.insert(F.get());
           ++R.DowngradedToLCG;
         } else {
           ++R.LeftUnmodified;
@@ -116,7 +121,8 @@ PRVJeevesResult PRVJeeves::run() {
       }
   }
 
-  N.invalidateLoops();
+  for (Function *F : Mutated)
+    N.invalidate(*F);
   assert(nir::moduleVerifies(M) && "PRVJeeves broke the IR");
   return R;
 }

@@ -6,8 +6,8 @@ using namespace noelle;
 using nir::Instruction;
 
 std::vector<PerspectivePlan> Perspective::planAll() {
-  N.noteRequest("PDG");
-  N.noteRequest("aSCCDAG");
+  N.noteRequest(Abstraction::PDG);
+  N.noteRequest(Abstraction::aSCCDAG);
 
   std::vector<PerspectivePlan> Plans;
   DOALL Doall(N);

@@ -4,6 +4,8 @@
 #include "ir/Instructions.h"
 #include "ir/Verifier.h"
 
+#include <set>
+
 using namespace noelle;
 using nir::BasicBlock;
 using nir::BinaryInst;
@@ -44,14 +46,14 @@ unsigned noelle::clockPeriodOf(const Instruction *I) {
 }
 
 TimeSqueezerResult TimeSqueezer::run() {
-  N.noteRequest("PDG");
-  N.noteRequest("DFE");
-  N.noteRequest("SCD");
-  N.noteRequest("ISL");
-  N.noteRequest("L");
-  N.noteRequest("FR");
-  N.noteRequest("LB");
-  N.noteRequest("LS");
+  N.noteRequest(Abstraction::PDG);
+  N.noteRequest(Abstraction::DFE);
+  N.noteRequest(Abstraction::SCD);
+  N.noteRequest(Abstraction::ISL);
+  N.noteRequest(Abstraction::L);
+  N.noteRequest(Abstraction::FR);
+  N.noteRequest(Abstraction::LB);
+  N.noteRequest(Abstraction::LS);
 
   nir::Module &M = N.getModule();
   nir::Context &Ctx = M.getContext();
@@ -62,9 +64,13 @@ TimeSqueezerResult TimeSqueezer::run() {
     SetClock = M.createFunction(
         Ctx.getFunctionTy(Ctx.getVoidTy(), {Ctx.getInt64Ty()}), "set_clock");
 
+  std::set<Function *> Mutated;
   for (const auto &F : M.getFunctions()) {
     if (F->isDeclaration() || F.get() == SetClock)
       continue;
+    uint64_t CanonBefore = R.ComparesCanonicalized;
+    uint64_t SchedBefore = R.InstructionsRescheduled;
+    uint64_t ClockBefore = R.ClockChangesInjected;
 
     // (1) Compare canonicalization: constants move to the right-hand
     // side so the comparator's fast input carries the variable operand
@@ -139,9 +145,14 @@ TimeSqueezerResult TimeSqueezer::run() {
         R.SqueezedCycles += 10; // switching cost
       }
     }
+    if (R.ComparesCanonicalized != CanonBefore ||
+        R.InstructionsRescheduled != SchedBefore ||
+        R.ClockChangesInjected != ClockBefore)
+      Mutated.insert(F.get());
   }
 
-  N.invalidateLoops();
+  for (Function *F : Mutated)
+    N.invalidate(*F);
   assert(nir::moduleVerifies(M) && "TimeSqueezer broke the IR");
   return R;
 }

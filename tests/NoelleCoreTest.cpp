@@ -616,10 +616,11 @@ TEST(NoelleTest, TracksRequestedAbstractions) {
   Noelle N(*M);
   EXPECT_TRUE(N.getRequestedAbstractions().empty());
   N.getPDG();
-  EXPECT_TRUE(N.getRequestedAbstractions().count("PDG"));
-  EXPECT_FALSE(N.getRequestedAbstractions().count("CG"));
+  EXPECT_TRUE(N.getRequestedAbstractions().contains(Abstraction::PDG));
+  EXPECT_FALSE(N.getRequestedAbstractions().contains(Abstraction::CG));
+  EXPECT_TRUE(N.getRequestedAbstractions().names().count("PDG"));
   N.getCallGraph();
-  EXPECT_TRUE(N.getRequestedAbstractions().count("CG"));
+  EXPECT_TRUE(N.getRequestedAbstractions().contains(Abstraction::CG));
   N.resetRequestTracking();
   EXPECT_TRUE(N.getRequestedAbstractions().empty());
 }

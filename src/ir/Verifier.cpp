@@ -1,5 +1,6 @@
 #include "ir/Verifier.h"
 
+#include "analysis/Dominators.h"
 #include "ir/Instructions.h"
 
 #include <set>
@@ -94,13 +95,78 @@ void verifyFunction(const Function &F, std::vector<std::string> &Out) {
   }
 }
 
+/// Dominance-based SSA verification: every use of an instruction must be
+/// dominated by its definition. Phi uses are checked against the incoming
+/// edge — the definition must dominate the incoming block's terminator —
+/// since a phi observes its operand on the edge, not at the phi itself.
+/// Blocks unreachable from the entry are skipped; their instructions can
+/// never execute and the iterative dominator algorithm assigns them no
+/// position in the tree.
+void verifyDominance(const Function &F, std::vector<std::string> &Out) {
+  if (F.getBlocks().empty())
+    return;
+
+  auto Report = [&](const std::string &Msg) {
+    Out.push_back("@" + F.getName() + ": " + Msg);
+  };
+
+  // DominatorTree mutates nothing but takes Function& for CFG walks.
+  DominatorTree DT(const_cast<Function &>(F));
+
+  for (const auto &BB : F.getBlocks()) {
+    if (!DT.isReachableFromEntry(BB.get()))
+      continue;
+    const std::string BBName = BB->getName().empty() ? "<bb>" : BB->getName();
+    for (const auto &IPtr : BB->getInstList()) {
+      const Instruction &I = *IPtr;
+
+      if (const auto *Phi = dyn_cast<PhiInst>(&I)) {
+        for (unsigned K = 0, E = Phi->getNumIncoming(); K != E; ++K) {
+          const auto *OpInst = dyn_cast<Instruction>(Phi->getIncomingValue(K));
+          if (!OpInst || !OpInst->getParent() ||
+              OpInst->getParent()->getParent() != &F)
+            continue;
+          const BasicBlock *In = Phi->getIncomingBlock(K);
+          if (!In || !DT.isReachableFromEntry(const_cast<BasicBlock *>(In)))
+            continue;
+          const Instruction *EdgeTerm = In->getTerminator();
+          if (!EdgeTerm)
+            continue; // Reported structurally already.
+          if (!DT.dominates(OpInst, EdgeTerm))
+            Report("phi in '" + BBName +
+                   "' uses a value that does not dominate the incoming edge "
+                   "from '" +
+                   (In->getName().empty() ? "<bb>" : In->getName()) + "'");
+        }
+        continue;
+      }
+
+      for (const auto *Op : I.operands()) {
+        const auto *OpInst = Op ? dyn_cast<Instruction>(Op) : nullptr;
+        if (!OpInst || !OpInst->getParent() ||
+            OpInst->getParent()->getParent() != &F)
+          continue;
+        if (!DT.isReachableFromEntry(OpInst->getParent()))
+          continue;
+        if (!DT.dominates(OpInst, &I))
+          Report("use in block '" + BBName +
+                 "' is not dominated by its definition" +
+                 (OpInst->hasName() ? " of '%" + OpInst->getName() + "'"
+                                    : std::string()));
+      }
+    }
+  }
+}
+
 } // namespace
 
 std::vector<std::string> nir::verifyModule(const Module &M) {
   std::vector<std::string> Out;
   for (const auto &F : M.getFunctions())
-    if (!F->isDeclaration())
+    if (!F->isDeclaration()) {
       verifyFunction(*F, Out);
+      verifyDominance(*F, Out);
+    }
   return Out;
 }
 

@@ -22,8 +22,8 @@ namespace nir {
 ///    once;
 ///  - every instruction operand that is an instruction belongs to the same
 ///    function;
-///  - SSA dominance is NOT checked here (the dominator-based check lives in
-///    analysis tests) but use-before-def within a straight block is;
+///  - SSA dominance: every use is dominated by its definition (phi uses are
+///    checked on the incoming edge); unreachable blocks are skipped;
 ///  - entry blocks have no predecessors via branches.
 /// Returns all violations found; empty means the module verified.
 std::vector<std::string> verifyModule(const Module &M);

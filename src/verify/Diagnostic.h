@@ -1,0 +1,147 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Structured diagnostics of the static verification layer (noelle-check).
+/// Every finding names the instructions involved and the dependence or
+/// property that was violated, so tests can assert on the exact failure
+/// class and users can map a report back to IR.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VERIFY_DIAGNOSTIC_H
+#define VERIFY_DIAGNOSTIC_H
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace noelle {
+namespace verify {
+
+/// Failure classes reported by the checker.
+enum class DiagKind {
+  /// A loop-carried dependence of the pre-transform PDG is not discharged
+  /// by any legal mechanism (privatization, reduction, chunking,
+  /// sequential-segment gates, or queues).
+  UnprotectedDependence,
+  /// An induction variable of a DOALL/HELIX task was not re-based on the
+  /// task ID (workers would execute overlapping iterations).
+  IVNotRebased,
+  /// A reduction accumulator is not privatized: the task's accumulator
+  /// does not start from the operator identity, or the partial result is
+  /// not stored into a per-worker environment lane.
+  UnprivatizedAccumulator,
+  /// A DSWP queue has a consumer pop with no matching producer push.
+  UnmatchedQueuePop,
+  /// A DSWP queue has a producer push with no matching consumer pop.
+  UnmatchedQueuePush,
+  /// Two accesses from concurrently running workers may touch the same
+  /// shared memory without synchronization, at least one of them a write.
+  DataRace,
+  /// The module failed SSA/structural verification (nir::verifyModule),
+  /// including the dominance-based use-before-def checks.
+  SSAViolation,
+  /// Lint: a load may read a stack slot on a path where nothing stored
+  /// to it.
+  UninitializedRead,
+  /// Lint: a store to a non-escaping stack slot whose value is never
+  /// read.
+  DeadStore,
+  /// Lint: a heap handle returned by an allocator is dereferenced on a
+  /// path where it was never null-checked.
+  NullDeref,
+  /// The checker could not map a task back to its source loop (missing
+  /// or inconsistent transform metadata) — itself a verification failure,
+  /// since unattributable tasks cannot be audited.
+  MissingMetadata,
+};
+
+inline const char *diagKindName(DiagKind K) {
+  switch (K) {
+  case DiagKind::UnprotectedDependence:
+    return "unprotected-dependence";
+  case DiagKind::IVNotRebased:
+    return "iv-not-rebased";
+  case DiagKind::UnprivatizedAccumulator:
+    return "unprivatized-accumulator";
+  case DiagKind::UnmatchedQueuePop:
+    return "unmatched-queue-pop";
+  case DiagKind::UnmatchedQueuePush:
+    return "unmatched-queue-push";
+  case DiagKind::DataRace:
+    return "data-race";
+  case DiagKind::SSAViolation:
+    return "ssa-violation";
+  case DiagKind::UninitializedRead:
+    return "uninitialized-read";
+  case DiagKind::DeadStore:
+    return "dead-store";
+  case DiagKind::NullDeref:
+    return "null-deref";
+  case DiagKind::MissingMetadata:
+    return "missing-metadata";
+  }
+  return "unknown";
+}
+
+/// One finding. Location strings are rendered eagerly ("@fn: %name = add
+/// ...") because the checker inspects several modules (the pre-transform
+/// snapshot and the transformed IR) whose instructions outlive each
+/// other differently.
+struct Diagnostic {
+  DiagKind Kind;
+  std::string Message;
+  /// The two instructions involved (the dependence endpoints, the racing
+  /// pair, ...); Second may be empty for single-site findings.
+  std::string First, Second;
+  /// The task/function the finding is anchored in.
+  std::string InFunction;
+
+  std::string str() const {
+    std::ostringstream OS;
+    OS << "[" << diagKindName(Kind) << "] " << Message;
+    if (!InFunction.empty())
+      OS << " (in @" << InFunction << ")";
+    if (!First.empty())
+      OS << "\n    first:  " << First;
+    if (!Second.empty())
+      OS << "\n    second: " << Second;
+    return OS.str();
+  }
+};
+
+/// The result of one checkModule / lintModule run.
+class CheckReport {
+public:
+  void add(Diagnostic D) { Diags.push_back(std::move(D)); }
+
+  const std::vector<Diagnostic> &diagnostics() const { return Diags; }
+  bool clean() const { return Diags.empty(); }
+
+  unsigned count(DiagKind K) const {
+    unsigned N = 0;
+    for (const auto &D : Diags)
+      if (D.Kind == K)
+        ++N;
+    return N;
+  }
+
+  std::string str() const {
+    if (Diags.empty())
+      return "noelle-check: no violations\n";
+    std::ostringstream OS;
+    OS << "noelle-check: " << Diags.size() << " violation"
+       << (Diags.size() == 1 ? "" : "s") << "\n";
+    for (const auto &D : Diags)
+      OS << "  " << D.str() << "\n";
+    return OS.str();
+  }
+
+private:
+  std::vector<Diagnostic> Diags;
+};
+
+} // namespace verify
+} // namespace noelle
+
+#endif // VERIFY_DIAGNOSTIC_H

@@ -1,0 +1,36 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The parallelization-legality checker: proves that every loop-carried
+/// dependence of the pre-transform PDG is discharged by a legal
+/// mechanism in the generated tasks — IV re-basing with worker-scaled
+/// strides (DOALL/HELIX), reduction privatization into per-worker lanes,
+/// HELIX sequential-segment wait/signal coverage (path-sensitive, via
+/// the data-flow engine), or DSWP stage co-location and queues. Undischarged
+/// dependences are reported as structured diagnostics naming both
+/// endpoint instructions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VERIFY_LEGALITYCHECKER_H
+#define VERIFY_LEGALITYCHECKER_H
+
+#include "noelle/Noelle.h"
+#include "verify/Diagnostic.h"
+#include "verify/TaskModel.h"
+
+namespace noelle {
+namespace verify {
+
+/// Audits every parallel region of \p Regions (recovered from the
+/// transformed module) against the pre-transform loops of \p Snapshot.
+/// \p Snapshot must be built over the captured pre-transform IR, whose
+/// instructions carry the deterministic IDs the task metadata refers to.
+void checkLegality(Noelle &Snapshot,
+                   const std::vector<ParallelRegion> &Regions,
+                   CheckReport &Rep);
+
+} // namespace verify
+} // namespace noelle
+
+#endif // VERIFY_LEGALITYCHECKER_H

@@ -1,0 +1,98 @@
+#include "verify/NoelleCheck.h"
+
+#include "ir/IDs.h"
+#include "ir/Parser.h"
+#include "ir/Verifier.h"
+#include "noelle/Noelle.h"
+#include "tools/NoelleTools.h"
+#include "verify/LegalityChecker.h"
+#include "verify/RaceDetector.h"
+#include "verify/TaskModel.h"
+
+using namespace noelle;
+using namespace noelle::verify;
+
+PreTransformSnapshot noelle::verify::captureForCheck(nir::Module &M) {
+  PreTransformSnapshot Snap;
+  // noelle-pdg-embed assigns fresh deterministic IDs and serializes the
+  // PDG keyed by the module's content hash; both travel in the text.
+  Snap.PDGEdges = tools::pdgEmbed(M);
+  Snap.IRText = M.str();
+  return Snap;
+}
+
+CheckReport noelle::verify::checkModule(nir::Module &M,
+                                        const PreTransformSnapshot &Snap,
+                                        const CheckOptions &Opts) {
+  CheckReport Rep;
+
+  if (Opts.RunVerifier) {
+    for (const std::string &Err : nir::verifyModule(M)) {
+      Diagnostic D;
+      D.Kind = DiagKind::SSAViolation;
+      D.Message = Err;
+      Rep.add(std::move(D));
+    }
+  }
+
+  if (!Opts.RunLegality && !Opts.RunRaces)
+    return Rep;
+
+  std::vector<ParallelRegion> Regions = discoverRegions(M, Rep);
+
+  // Both the legality audit and the race detector are grounded in the
+  // pre-transform snapshot: legality walks its loop-carried edges, the
+  // race detector uses the PDG's proven-independent pairs to discipline
+  // the points-to fallback.
+  nir::Context SnapCtx;
+  std::string ParseErr;
+  auto SnapM = nir::parseModule(SnapCtx, Snap.IRText, ParseErr);
+  if (!SnapM) {
+    Diagnostic D;
+    D.Kind = DiagKind::MissingMetadata;
+    D.Message = "pre-transform snapshot does not parse: " + ParseErr;
+    Rep.add(std::move(D));
+    return Rep;
+  }
+  // The snapshot carries its own PDG cache; the default build options
+  // load it after the content hash matches.
+  Noelle SnapNoelle(*SnapM);
+
+  if (Opts.RunLegality)
+    checkLegality(SnapNoelle, Regions, Rep);
+
+  if (Opts.RunRaces) {
+    PDGDependenceSummary Deps;
+    auto IdOf = [](const nir::Value *V) -> uint64_t {
+      const auto *I = nir::dyn_cast<nir::Instruction>(V);
+      if (!I)
+        return 0;
+      std::string S = I->getMetadata(nir::InstIDKey);
+      if (S.empty())
+        return 0;
+      uint64_t N = 0;
+      for (char C : S) {
+        if (C < '0' || C > '9')
+          return 0;
+        N = N * 10 + static_cast<uint64_t>(C - '0');
+      }
+      return N;
+    };
+    for (const auto *E : SnapNoelle.getPDG().getEdges()) {
+      if (!E->IsMemory)
+        continue;
+      uint64_t F = IdOf(E->From), T = IdOf(E->To);
+      if (!F || !T)
+        continue;
+      Deps.MemDeps.insert({F, T});
+      Deps.MemDeps.insert({T, F});
+      if (E->IsLoopCarried) {
+        Deps.LoopCarriedMemDeps.insert({F, T});
+        Deps.LoopCarriedMemDeps.insert({T, F});
+      }
+    }
+    detectRaces(M, Regions, Rep, &Deps);
+  }
+
+  return Rep;
+}

@@ -1,0 +1,283 @@
+#include "verify/RaceDetector.h"
+
+#include "analysis/AliasAnalysis.h"
+#include "ir/Function.h"
+#include "verify/CheckMetadata.h"
+
+#include <optional>
+#include <set>
+
+using namespace noelle;
+using namespace noelle::verify;
+using nir::AliasAnalysis;
+using nir::AliasResult;
+using nir::AndersenAliasAnalysis;
+using nir::CallInst;
+using nir::Function;
+using nir::Instruction;
+using nir::LoadInst;
+using nir::StoreInst;
+using nir::Value;
+
+namespace {
+
+/// One memory access issued (directly or through a defined callee) by a
+/// task. \p Anchor is always an instruction of the task function, so
+/// HELIX segment protection can be evaluated there; \p Ptr may live in a
+/// callee body. A null \p Ptr is a wildcard (indirect call with unknown
+/// effects).
+struct Access {
+  const Instruction *Anchor = nullptr;
+  const Value *Ptr = nullptr;
+  bool IsWrite = false;
+  const TaskInfo *Task = nullptr;
+};
+
+bool isRuntimeCall(const Function *F) {
+  return F && F->getName().rfind("noelle_", 0) == 0;
+}
+
+/// The snapshot instruction this clone came from, when the transform
+/// recorded provenance.
+std::optional<uint64_t> originOf(const Instruction *I) {
+  std::string S = I->getMetadata(CheckOrigKey);
+  if (S.empty())
+    return std::nullopt;
+  uint64_t V = 0;
+  for (char C : S) {
+    if (C < '0' || C > '9')
+      return std::nullopt;
+    V = V * 10 + static_cast<uint64_t>(C - '0');
+  }
+  return V;
+}
+
+/// Collects the loads/stores a defined function performs, transitively,
+/// attributed to \p Anchor. Indirect or external non-runtime calls
+/// degrade to a wildcard write.
+void summarizeCallee(Function *Callee, const Instruction *Anchor,
+                     const TaskInfo &T, std::set<const Function *> &Visited,
+                     std::vector<Access> &Out) {
+  if (!Visited.insert(Callee).second)
+    return;
+  for (const auto &BB : Callee->getBlocks())
+    for (const auto &IPtr : BB->getInstList()) {
+      const Instruction *I = IPtr.get();
+      if (const auto *L = nir::dyn_cast<LoadInst>(I)) {
+        Out.push_back({Anchor, L->getPointerOperand(), false, &T});
+      } else if (const auto *S = nir::dyn_cast<StoreInst>(I)) {
+        Out.push_back({Anchor, S->getPointerOperand(), true, &T});
+      } else if (const auto *C = nir::dyn_cast<CallInst>(I)) {
+        Function *F = C->getCalledFunction();
+        if (isRuntimeCall(F))
+          continue;
+        if (F && !F->isDeclaration())
+          summarizeCallee(F, Anchor, T, Visited, Out);
+        else if (!F)
+          Out.push_back({Anchor, nullptr, true, &T});
+        // External declarations (the interpreter's externals: printf,
+        // malloc, ...) touch no user-visible shared state.
+      }
+    }
+}
+
+std::vector<Access> collectAccesses(const TaskInfo &T) {
+  std::vector<Access> Out;
+  for (const auto &BB : T.Fn->getBlocks())
+    for (const auto &IPtr : BB->getInstList()) {
+      const Instruction *I = IPtr.get();
+      if (const auto *L = nir::dyn_cast<LoadInst>(I)) {
+        Out.push_back({I, L->getPointerOperand(), false, &T});
+      } else if (const auto *S = nir::dyn_cast<StoreInst>(I)) {
+        Out.push_back({I, S->getPointerOperand(), true, &T});
+      } else if (const auto *C = nir::dyn_cast<CallInst>(I)) {
+        Function *F = C->getCalledFunction();
+        if (isRuntimeCall(F))
+          continue; // Queues/gates/dispatch synchronize, they don't race.
+        if (F && !F->isDeclaration()) {
+          std::set<const Function *> Visited;
+          summarizeCallee(F, I, T, Visited, Out);
+        } else if (!F) {
+          Out.push_back({I, nullptr, true, &T});
+        }
+      }
+    }
+  return Out;
+}
+
+class RegionRaceScan {
+public:
+  RegionRaceScan(const ParallelRegion &R, AliasAnalysis &AA,
+                 const PDGDependenceSummary *Deps, CheckReport &Rep)
+      : R(R), AA(AA), Deps(Deps), Rep(Rep) {}
+
+  void run() {
+    std::vector<std::vector<Access>> PerTask;
+    for (const TaskInfo &T : R.Tasks)
+      PerTask.push_back(collectAccesses(T));
+
+    if (R.selfConcurrent()) {
+      // Every worker runs the same body: any two accesses of the single
+      // task — including an access against itself — may overlap in time.
+      for (const auto &Accs : PerTask)
+        for (size_t A = 0; A < Accs.size(); ++A)
+          for (size_t B = A; B < Accs.size(); ++B)
+            checkPair(Accs[A], Accs[B]);
+    } else {
+      // DSWP: one worker per stage; races need two distinct stages.
+      for (size_t TA = 0; TA < PerTask.size(); ++TA)
+        for (size_t TB = TA + 1; TB < PerTask.size(); ++TB)
+          for (const Access &A : PerTask[TA])
+            for (const Access &B : PerTask[TB])
+              checkPair(A, B);
+    }
+  }
+
+private:
+  void checkPair(const Access &A, const Access &B) {
+    if (!A.IsWrite && !B.IsWrite)
+      return;
+    if (!A.Ptr || !B.Ptr) {
+      reportRace(A, B, "call with unknown side effects overlaps another "
+                       "access");
+      return;
+    }
+
+    PtrClass CA = classifyPointer(A.Ptr, *A.Task);
+    PtrClass CB = classifyPointer(B.Ptr, *B.Task);
+
+    // Task-private allocas cannot be shared across workers.
+    if (isTaskLocal(CA, *A.Task) || isTaskLocal(CB, *B.Task))
+      return;
+
+    // PDG grounding: when both accesses are clones of snapshot
+    // instructions, the pre-transform PDG already decided whether they
+    // can touch the same memory. For DOALL/HELIX, distinct workers run
+    // distinct iterations, so only a loop-carried dependence relates
+    // them; within one worker, program order covers intra-iteration
+    // dependences. For DSWP stages, any memory dependence matters.
+    if (Deps) {
+      auto OA = originOf(A.Anchor);
+      auto OB = originOf(B.Anchor);
+      if (OA && OB) {
+        const auto &Relevant =
+            R.selfConcurrent() ? Deps->LoopCarriedMemDeps : Deps->MemDeps;
+        if (!Relevant.count({*OA, *OB}))
+          return;
+      }
+    }
+
+    bool EnvA = CA.S == PtrClass::EnvConst || CA.S == PtrClass::EnvLane ||
+                CA.S == PtrClass::EnvDyn;
+    bool EnvB = CB.S == PtrClass::EnvConst || CB.S == PtrClass::EnvLane ||
+                CB.S == PtrClass::EnvDyn;
+    if (EnvA && EnvB) {
+      if (!envMayOverlap(CA, CB, *A.Task))
+        return;
+      if (protectedBySegment(A, B))
+        return;
+      reportRace(A, B, "both workers touch the same environment slot");
+      return;
+    }
+    if (EnvA != EnvB)
+      return; // The env alloca is disjoint from every named object.
+
+    if (AA.alias(A.Ptr, B.Ptr) == AliasResult::NoAlias)
+      return;
+    // Iteration partitioning: a DOALL/HELIX access whose address is
+    // derived from the task ID (through the re-based IV) hits a
+    // different element in every worker.
+    if (R.selfConcurrent() && sliceContains(A.Ptr, A.Task->TaskIDArg) &&
+        sliceContains(B.Ptr, B.Task->TaskIDArg))
+      return;
+    if (protectedBySegment(A, B))
+      return;
+    reportRace(A, B, "accesses may alias and nothing orders them");
+  }
+
+  bool isTaskLocal(const PtrClass &C, const TaskInfo &T) const {
+    if (C.S != PtrClass::Object || !C.Base)
+      return false;
+    const auto *AI = nir::dyn_cast<nir::AllocaInst>(C.Base);
+    return AI && AI->getFunction() == T.Fn;
+  }
+
+  /// Structural disjointness of environment accesses. Lane accesses span
+  /// [Slot, Slot + Workers); constant slots are points; dynamic indexes
+  /// overlap everything.
+  bool envMayOverlap(const PtrClass &A, const PtrClass &B,
+                     const TaskInfo &T) const {
+    if (A.S == PtrClass::EnvDyn || B.S == PtrClass::EnvDyn)
+      return true;
+    int64_t W = static_cast<int64_t>(T.Workers);
+    if (A.S == PtrClass::EnvConst && B.S == PtrClass::EnvConst)
+      return A.Slot == B.Slot;
+    if (A.S == PtrClass::EnvLane && B.S == PtrClass::EnvLane) {
+      if (A.Slot == B.Slot)
+        return false; // Same lane family: distinct workers, distinct lanes.
+      int64_t D = A.Slot > B.Slot ? A.Slot - B.Slot : B.Slot - A.Slot;
+      return D < W; // Distinct families racing only if ranges overlap.
+    }
+    const PtrClass &Lane = A.S == PtrClass::EnvLane ? A : B;
+    const PtrClass &Const = A.S == PtrClass::EnvLane ? B : A;
+    return Const.Slot >= Lane.Slot && Const.Slot < Lane.Slot + W;
+  }
+
+  /// HELIX: two accesses both under a common guaranteed sequential
+  /// segment are totally ordered by the gates.
+  bool protectedBySegment(const Access &A, const Access &B) {
+    if (R.Kind != "helix")
+      return false;
+    const auto &HeldA = heldFor(*A.Task);
+    const auto &HeldB = heldFor(*B.Task);
+    auto ItA = HeldA.find(A.Anchor);
+    auto ItB = HeldB.find(B.Anchor);
+    if (ItA == HeldA.end() || ItB == HeldB.end())
+      return false;
+    nir::BitVector Common = ItA->second;
+    Common.intersectWith(ItB->second);
+    return Common.any();
+  }
+
+  const std::map<const Instruction *, nir::BitVector> &
+  heldFor(const TaskInfo &T) {
+    auto It = HeldCache.find(&T);
+    if (It == HeldCache.end())
+      It = HeldCache.emplace(&T, computeGuaranteedSegments(T)).first;
+    return It->second;
+  }
+
+  void reportRace(const Access &A, const Access &B,
+                  const std::string &Why) {
+    Diagnostic D;
+    D.Kind = DiagKind::DataRace;
+    const char *Shape = A.IsWrite && B.IsWrite ? "write/write" : "read/write";
+    D.Message = std::string(Shape) + " race between concurrent workers: " +
+                Why;
+    D.First = describe(A.Anchor);
+    D.Second = describe(B.Anchor);
+    D.InFunction = A.Task->Fn->getName();
+    Rep.add(std::move(D));
+  }
+
+  const ParallelRegion &R;
+  AliasAnalysis &AA;
+  const PDGDependenceSummary *Deps;
+  CheckReport &Rep;
+  std::map<const TaskInfo *,
+           std::map<const Instruction *, nir::BitVector>>
+      HeldCache;
+};
+
+} // namespace
+
+void noelle::verify::detectRaces(nir::Module &M,
+                                 const std::vector<ParallelRegion> &Regions,
+                                 CheckReport &Rep,
+                                 const PDGDependenceSummary *Deps) {
+  if (Regions.empty())
+    return;
+  AndersenAliasAnalysis AA(M);
+  for (const ParallelRegion &R : Regions)
+    RegionRaceScan(R, AA, Deps, Rep).run();
+}

@@ -1,0 +1,59 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Static race detection over generated task functions: flags W/W and
+/// R/W pairs that concurrently running workers may issue against the
+/// same shared memory. Per-worker environment lanes and iteration-
+/// partitioned accesses (addresses derived from the task ID) are proven
+/// disjoint structurally; HELIX accesses under a common sequential-
+/// segment gate are proven ordered; everything else falls back to the
+/// Andersen points-to analysis.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VERIFY_RACEDETECTOR_H
+#define VERIFY_RACEDETECTOR_H
+
+#include "ir/Module.h"
+#include "verify/Diagnostic.h"
+#include "verify/TaskModel.h"
+
+#include <set>
+#include <utility>
+
+namespace noelle {
+namespace verify {
+
+/// Memory dependences of the pre-transform PDG, keyed by the
+/// deterministic instruction IDs both endpoints carried when the
+/// snapshot was taken (and which the transforms propagate into their
+/// clones as provenance). The PDG is conservative — it records an edge
+/// whenever it cannot prove independence — so the ABSENCE of an edge
+/// between two cloned accesses is a proof that they never touch the
+/// same location, which is exactly the grounding the points-to fallback
+/// lacks (Andersen is array-element- and flow-insensitive). Pairs are
+/// stored symmetrically.
+struct PDGDependenceSummary {
+  /// Any memory dependence (RAW/WAW/WAR, carried or not).
+  std::set<std::pair<uint64_t, uint64_t>> MemDeps;
+  /// The loop-carried subset: the only dependences that relate distinct
+  /// iterations, i.e. distinct DOALL/HELIX workers.
+  std::set<std::pair<uint64_t, uint64_t>> LoopCarriedMemDeps;
+};
+
+/// Scans the parallel regions of \p M (the transformed module) for data
+/// races between concurrently executing workers. DOALL/HELIX workers run
+/// the same task body against themselves; DSWP stages run concurrently
+/// with each other. When \p Deps is provided, access pairs whose origin
+/// instructions the pre-transform PDG proved independent are skipped;
+/// without it the detector falls back to purely structural + points-to
+/// reasoning.
+void detectRaces(nir::Module &M,
+                 const std::vector<ParallelRegion> &Regions,
+                 CheckReport &Rep,
+                 const PDGDependenceSummary *Deps = nullptr);
+
+} // namespace verify
+} // namespace noelle
+
+#endif // VERIFY_RACEDETECTOR_H

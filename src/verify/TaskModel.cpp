@@ -1,0 +1,323 @@
+#include "verify/TaskModel.h"
+
+#include "ir/BasicBlock.h"
+#include "ir/Function.h"
+#include "ir/IDs.h"
+#include "noelle/DataFlow.h"
+
+#include <algorithm>
+#include <deque>
+#include <set>
+
+using namespace noelle;
+using namespace noelle::verify;
+using nir::BasicBlock;
+using nir::CallInst;
+using nir::Function;
+using nir::Instruction;
+using nir::Value;
+
+namespace {
+
+/// Parses a decimal metadata value; nullopt when absent or malformed.
+std::optional<uint64_t> parseIdMetadata(const Value *V,
+                                        const char *Key) {
+  std::string S = V->getMetadata(Key);
+  if (S.empty())
+    return std::nullopt;
+  uint64_t N = 0;
+  for (char C : S) {
+    if (C < '0' || C > '9')
+      return std::nullopt;
+    N = N * 10 + static_cast<uint64_t>(C - '0');
+  }
+  return N;
+}
+
+unsigned parseCount(const Value *V, const char *Key, unsigned Default) {
+  auto N = parseIdMetadata(V, Key);
+  return N ? static_cast<unsigned>(*N) : Default;
+}
+
+const char *calleeName(const Instruction *I) {
+  const auto *Call = nir::dyn_cast<CallInst>(I);
+  if (!Call)
+    return "";
+  Function *Callee = Call->getCalledFunction();
+  return Callee ? Callee->getName().c_str() : "";
+}
+
+} // namespace
+
+std::vector<Instruction *> TaskInfo::realizationsOf(uint64_t Id) const {
+  std::vector<Instruction *> Out;
+  if (auto It = Clones.find(Id); It != Clones.end())
+    Out.insert(Out.end(), It->second.begin(), It->second.end());
+  if (auto It = Spills.find(Id); It != Spills.end())
+    Out.insert(Out.end(), It->second.begin(), It->second.end());
+  return Out;
+}
+
+bool TaskInfo::popsValue(uint64_t Id) const {
+  for (const QueueOp &Op : QueueOps)
+    if (!Op.IsPush && Op.Orig == Id)
+      return true;
+  return false;
+}
+
+std::vector<ParallelRegion>
+noelle::verify::discoverRegions(nir::Module &M, CheckReport &Rep) {
+  // Group decoded tasks by (source function, origin instruction).
+  std::map<std::pair<std::string, uint64_t>, ParallelRegion> Regions;
+
+  for (const auto &FPtr : M.getFunctions()) {
+    Function *F = FPtr.get();
+    if (F->isDeclaration() || F->getMetadata("noelle.task") != "true")
+      continue;
+
+    TaskInfo T;
+    T.Fn = F;
+    T.Kind = F->getMetadata(TaskKindKey);
+    if (T.Kind == "dswp-pipeline")
+      continue; // Dispatch trampoline: no loop body, nothing to audit.
+
+    auto Origin = parseIdMetadata(F, TaskOriginKey);
+    if (T.Kind.empty() || !Origin) {
+      Diagnostic D;
+      D.Kind = DiagKind::MissingMetadata;
+      D.Message = "task function lacks provenance metadata (" +
+                  std::string(T.Kind.empty() ? TaskKindKey : TaskOriginKey) +
+                  "); it cannot be audited";
+      D.InFunction = F->getName();
+      Rep.add(std::move(D));
+      continue;
+    }
+    if (F->getNumArgs() < 2) {
+      Diagnostic D;
+      D.Kind = DiagKind::MissingMetadata;
+      D.Message = "task function does not take (env, taskID) arguments";
+      D.InFunction = F->getName();
+      Rep.add(std::move(D));
+      continue;
+    }
+    T.Origin = *Origin;
+    T.Workers = parseCount(F, TaskWorkersKey, 1);
+    T.Stage = parseCount(F, TaskStageKey, 0);
+    T.NumStages = parseCount(F, TaskStagesKey, 0);
+    T.NumSegments = parseCount(F, TaskSegmentsKey, 0);
+    T.EnvArg = F->getArg(0);
+    T.TaskIDArg = F->getArg(1);
+
+    for (const auto &BB : F->getBlocks())
+      for (const auto &IPtr : BB->getInstList()) {
+        Instruction *I = IPtr.get();
+        if (auto Id = parseIdMetadata(I, CheckOrigKey))
+          T.Clones[*Id].push_back(I);
+        if (auto Id = parseIdMetadata(I, CheckSpillKey))
+          T.Spills[*Id].push_back(I);
+        if (auto QOrig = parseIdMetadata(I, CheckQueueOrigKey)) {
+          TaskInfo::QueueOp Op;
+          Op.Call = nir::cast<CallInst>(I);
+          Op.Queue = parseCount(I, CheckQueueKey, 0);
+          Op.Orig = *QOrig;
+          Op.IsPush = std::string(calleeName(I)) == "noelle_queue_push";
+          T.QueueOps.push_back(Op);
+        }
+      }
+
+    std::string BaseKind =
+        T.Kind == "dswp-stage" ? std::string("dswp") : T.Kind;
+    auto Key = std::make_pair(F->getMetadata(TaskSrcFnKey), T.Origin);
+    ParallelRegion &R = Regions[Key];
+    R.Kind = BaseKind;
+    R.SrcFn = Key.first;
+    R.Origin = T.Origin;
+    R.Tasks.push_back(std::move(T));
+  }
+
+  std::vector<ParallelRegion> Out;
+  for (auto &[Key, R] : Regions) {
+    std::sort(R.Tasks.begin(), R.Tasks.end(),
+              [](const TaskInfo &A, const TaskInfo &B) {
+                return A.Stage < B.Stage;
+              });
+    Out.push_back(std::move(R));
+  }
+  return Out;
+}
+
+bool noelle::verify::sliceContains(const Value *Root, const Value *Target) {
+  std::set<const Value *> Visited;
+  std::deque<const Value *> Work{Root};
+  while (!Work.empty()) {
+    const Value *V = Work.front();
+    Work.pop_front();
+    if (V == Target)
+      return true;
+    if (!Visited.insert(V).second)
+      continue;
+    if (const auto *I = nir::dyn_cast<Instruction>(V)) {
+      if (const auto *Phi = nir::dyn_cast<nir::PhiInst>(I)) {
+        for (unsigned K = 0, E = Phi->getNumIncoming(); K != E; ++K)
+          Work.push_back(Phi->getIncomingValue(K));
+        continue;
+      }
+      // Loads and calls end the register slice: their result is data,
+      // not an address recurrence over the task ID.
+      if (nir::isa<nir::LoadInst>(I) || nir::isa<CallInst>(I))
+        continue;
+      for (const Value *Op : I->operands())
+        Work.push_back(Op);
+    }
+  }
+  return false;
+}
+
+PtrClass noelle::verify::classifyPointer(const Value *P, const TaskInfo &T) {
+  PtrClass Out;
+
+  // Peel pointer casts.
+  while (const auto *C = nir::dyn_cast<nir::CastInst>(P))
+    P = C->getValueOperand();
+
+  if (P == T.EnvArg) {
+    Out.S = PtrClass::EnvConst;
+    Out.Slot = 0;
+    return Out;
+  }
+
+  if (const auto *G = nir::dyn_cast<nir::GEPInst>(P)) {
+    const Value *Base = G->getBase();
+    while (const auto *C = nir::dyn_cast<nir::CastInst>(Base))
+      Base = C->getValueOperand();
+    if (Base == T.EnvArg) {
+      const Value *Idx = G->getIndex();
+      if (const auto *CI = nir::dyn_cast<nir::ConstantInt>(Idx)) {
+        Out.S = PtrClass::EnvConst;
+        Out.Slot = CI->getValue();
+        return Out;
+      }
+      // The lane pattern the transforms emit: add(constBase, f(taskID)).
+      if (const auto *B = nir::dyn_cast<nir::BinaryInst>(Idx)) {
+        if (B->getOp() == nir::BinaryInst::Op::Add) {
+          const nir::ConstantInt *CBase = nullptr;
+          const Value *Var = nullptr;
+          if ((CBase = nir::dyn_cast<nir::ConstantInt>(B->getLHS())))
+            Var = B->getRHS();
+          else if ((CBase = nir::dyn_cast<nir::ConstantInt>(B->getRHS())))
+            Var = B->getLHS();
+          if (CBase && Var && sliceContains(Var, T.TaskIDArg)) {
+            Out.S = PtrClass::EnvLane;
+            Out.Slot = CBase->getValue();
+            return Out;
+          }
+        }
+      }
+      Out.S = PtrClass::EnvDyn;
+      return Out;
+    }
+    // Non-env gep: classify by its underlying object.
+    PtrClass Inner = classifyPointer(Base, T);
+    if (Inner.S == PtrClass::Object || Inner.S == PtrClass::Unknown)
+      return Inner;
+    // gep over an env-slot pointer value would have loaded it first, so
+    // this is unreachable for env shapes; stay conservative.
+    Out.S = PtrClass::EnvDyn;
+    return Out;
+  }
+
+  if (nir::isa<nir::GlobalVariable>(P) || nir::isa<nir::AllocaInst>(P)) {
+    Out.S = PtrClass::Object;
+    Out.Base = P;
+    return Out;
+  }
+  return Out; // Unknown
+}
+
+std::map<const Instruction *, nir::BitVector>
+noelle::verify::computeGuaranteedSegments(const TaskInfo &T) {
+  // Universe: the noelle_ss_wait calls of the task, one bit each. The
+  // transfer generates a wait's bit at its call and kills every wait bit
+  // of the segment a noelle_ss_signal releases. Meeting with
+  // intersection makes IN(I) the waits guaranteed held on all paths.
+  DataFlowProblem P;
+  P.Forward = true;
+  P.MeetIsUnion = false;
+  P.BoundaryAllOnes = false;
+
+  auto SegOf = [](const Instruction *I) -> std::optional<uint64_t> {
+    const auto *Call = nir::dyn_cast<CallInst>(I);
+    if (!Call || Call->getNumArgs() < 2)
+      return std::nullopt;
+    const auto *CI = nir::dyn_cast<nir::ConstantInt>(Call->getArg(1));
+    if (!CI)
+      return std::nullopt;
+    return static_cast<uint64_t>(CI->getValue());
+  };
+
+  std::map<const Instruction *, uint64_t> WaitSeg, SignalSeg;
+  for (const auto &BB : T.Fn->getBlocks())
+    for (const auto &IPtr : BB->getInstList()) {
+      std::string Name = calleeName(IPtr.get());
+      if (Name != "noelle_ss_wait" && Name != "noelle_ss_signal")
+        continue;
+      auto Seg = SegOf(IPtr.get());
+      if (!Seg)
+        continue;
+      if (Name == "noelle_ss_wait") {
+        WaitSeg[IPtr.get()] = *Seg;
+        P.Universe.push_back(IPtr.get());
+      } else {
+        SignalSeg[IPtr.get()] = *Seg;
+      }
+    }
+
+  std::map<const Instruction *, nir::BitVector> Result;
+  unsigned NumSegs = T.NumSegments;
+  if (P.Universe.empty() || NumSegs == 0) {
+    nir::BitVector Empty(std::max(1u, NumSegs));
+    for (const auto &BB : T.Fn->getBlocks())
+      for (const auto &IPtr : BB->getInstList())
+        Result[IPtr.get()] = Empty;
+    return Result;
+  }
+
+  P.Transfer = [&](const Instruction *I, const DataFlowResult &R,
+                   nir::BitVector &Gen, nir::BitVector &Kill) {
+    if (auto It = WaitSeg.find(I); It != WaitSeg.end())
+      Gen.set(R.indexOf(I));
+    if (auto It = SignalSeg.find(I); It != SignalSeg.end())
+      for (const Value *W : R.getUniverse())
+        if (WaitSeg.at(nir::cast<Instruction>(W)) == It->second)
+          Kill.set(R.indexOf(W));
+  };
+
+  auto DF = DataFlowEngine().solve(*T.Fn, P);
+  for (const auto &BB : T.Fn->getBlocks())
+    for (const auto &IPtr : BB->getInstList()) {
+      nir::BitVector Held(NumSegs);
+      DF->in(IPtr.get()).forEachSetBit([&](unsigned Bit) {
+        uint64_t Seg =
+            WaitSeg.at(nir::cast<Instruction>(DF->getUniverse()[Bit]));
+        if (Seg < NumSegs)
+          Held.set(static_cast<unsigned>(Seg));
+      });
+      Result[IPtr.get()] = Held;
+    }
+  return Result;
+}
+
+std::string noelle::verify::describe(const Instruction *I) {
+  std::string S;
+  if (I->hasName())
+    S += "%" + I->getName() + " = ";
+  S += I->getOpcodeName();
+  std::string Id = I->getMetadata(nir::InstIDKey);
+  if (Id.empty())
+    Id = I->getMetadata(CheckOrigKey);
+  if (!Id.empty())
+    S += " [id " + Id + "]";
+  if (I->getFunction())
+    S += " in @" + I->getFunction()->getName();
+  return S;
+}

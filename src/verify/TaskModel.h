@@ -1,0 +1,125 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The checker's model of transformed code: parallel regions recovered
+/// from task-function metadata, realization indices mapping original
+/// instruction IDs to their clones/spills/queue transports in each task,
+/// pointer classification against the environment layout, backward
+/// slicing, and the HELIX guaranteed-active-segment dataflow.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VERIFY_TASKMODEL_H
+#define VERIFY_TASKMODEL_H
+
+#include "ir/Instructions.h"
+#include "ir/Module.h"
+#include "support/BitVector.h"
+#include "verify/CheckMetadata.h"
+#include "verify/Diagnostic.h"
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+namespace noelle {
+namespace verify {
+
+/// One generated task function, with its provenance metadata decoded and
+/// its instructions indexed by the original instruction they realize.
+struct TaskInfo {
+  nir::Function *Fn = nullptr;
+  std::string Kind;   ///< doall | helix | dswp-stage | dswp-pipeline
+  uint64_t Origin = 0;
+  unsigned Workers = 1;     ///< concurrent executions of this function
+  unsigned Stage = 0;       ///< dswp-stage index
+  unsigned NumStages = 0;   ///< dswp total
+  unsigned NumSegments = 0; ///< helix sequential segments
+
+  nir::Argument *EnvArg = nullptr;
+  nir::Argument *TaskIDArg = nullptr;
+
+  /// Original instruction ID -> clones of it in this task.
+  std::map<uint64_t, std::vector<nir::Instruction *>> Clones;
+  /// Original recurrence-phi ID -> HELIX spill loads/stores transporting
+  /// its value through the shared environment slot.
+  std::map<uint64_t, std::vector<nir::Instruction *>> Spills;
+
+  struct QueueOp {
+    nir::CallInst *Call = nullptr;
+    unsigned Queue = 0;   ///< queue index within the region
+    uint64_t Orig = 0;    ///< ID of the transported original value
+    bool IsPush = false;
+  };
+  std::vector<QueueOp> QueueOps;
+
+  /// All instructions realizing original ID \p Id in this task: clones
+  /// plus (for HELIX recurrences) spill accesses.
+  std::vector<nir::Instruction *> realizationsOf(uint64_t Id) const;
+
+  /// True if \p Id has any clone or spill realization here.
+  bool realizes(uint64_t Id) const {
+    return Clones.count(Id) || Spills.count(Id);
+  }
+
+  /// True if a consumer-side pop transports original ID \p Id into this
+  /// task (a legal realization of intra-iteration register deps only).
+  bool popsValue(uint64_t Id) const;
+};
+
+/// A parallelized source loop: the set of task functions generated from
+/// it. DOALL/HELIX regions hold one task run by `Workers` workers; DSWP
+/// regions hold one task per stage (each run once) plus the dispatch
+/// trampoline (kept aside — it touches no shared memory).
+struct ParallelRegion {
+  std::string Kind; ///< doall | helix | dswp
+  std::string SrcFn;
+  uint64_t Origin = 0;
+  std::vector<TaskInfo> Tasks; ///< dswp: ordered by stage index
+  /// True when every worker pair of the same task runs concurrently
+  /// (DOALL/HELIX); DSWP stages run one worker each.
+  bool selfConcurrent() const { return Kind != "dswp"; }
+};
+
+/// Recovers the parallel regions of \p M from task metadata. Tasks whose
+/// provenance cannot be decoded are reported as MissingMetadata and
+/// excluded (they cannot be audited).
+std::vector<ParallelRegion> discoverRegions(nir::Module &M,
+                                            CheckReport &Rep);
+
+/// True if the backward def slice of \p Root (through instruction
+/// operands, including phi incomings) contains \p Target.
+bool sliceContains(const nir::Value *Root, const nir::Value *Target);
+
+/// Classification of an accessed pointer inside a task function.
+struct PtrClass {
+  enum Shape {
+    EnvConst, ///< environment slot with a constant index
+    EnvLane,  ///< env slot indexed base + f(taskID) (per-worker lane)
+    EnvDyn,   ///< environment-based, index not understood
+    Object,   ///< rooted at a named object (global or alloca)
+    Unknown,  ///< loaded/computed pointer — only alias queries apply
+  } S = Unknown;
+  int64_t Slot = 0; ///< EnvConst: slot index; EnvLane: first lane's slot
+  const nir::Value *Base = nullptr; ///< Object: the root value
+};
+
+/// Classifies \p P against \p T's environment argument.
+PtrClass classifyPointer(const nir::Value *P, const TaskInfo &T);
+
+/// HELIX: for every instruction of \p T.Fn, the set of sequential
+/// segments guaranteed to be held (its noelle_ss_wait executed on every
+/// path from function entry, with no noelle_ss_signal since). Solved as
+/// a forward all-paths (meet = intersection) problem on the DataFlow
+/// engine. Bit k of the result corresponds to segment k.
+std::map<const nir::Instruction *, nir::BitVector>
+computeGuaranteedSegments(const TaskInfo &T);
+
+/// Renders an instruction for diagnostics: "%name = opcode [id N]".
+std::string describe(const nir::Instruction *I);
+
+} // namespace verify
+} // namespace noelle
+
+#endif // VERIFY_TASKMODEL_H

@@ -2,6 +2,7 @@
 
 #include "ir/Instructions.h"
 #include "ir/Verifier.h"
+#include "verify/CheckMetadata.h"
 
 using namespace noelle;
 using nir::BasicBlock;
@@ -166,6 +167,9 @@ bool DOALL::parallelizeLoop(LoopContent &LC) {
   // --- Task side -------------------------------------------------------
   ClonedLoopTask Task = cloneLoopIntoTask(
       LS, Layout, F->getName() + ".doall" + std::to_string(LS.getID()));
+  Task.TaskFn->setMetadata(verify::TaskKindKey, "doall");
+  Task.TaskFn->setMetadata(verify::TaskWorkersKey,
+                           std::to_string(Opts.NumCores));
 
   // Re-base every IV for cyclic distribution: start' = start +
   // taskID*step (iteration offset), step' = step*numTasks*chunk.

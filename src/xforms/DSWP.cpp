@@ -1,9 +1,11 @@
 #include "xforms/DSWP.h"
 
 #include "analysis/Dominators.h"
+#include "ir/IDs.h"
 #include "ir/Instructions.h"
 #include "ir/Verifier.h"
 #include "runtime/ParallelRuntime.h"
+#include "verify/CheckMetadata.h"
 
 #include <algorithm>
 #include <cstdio>
@@ -348,6 +350,10 @@ bool DSWP::parallelizeLoop(LoopContent &LC, DSWPDecision &D) {
         LS, Layout,
         F->getName() + ".dswp" + std::to_string(LS.getID()) + ".stage" +
             std::to_string(Stage));
+    Task.TaskFn->setMetadata(verify::TaskKindKey, "dswp-stage");
+    Task.TaskFn->setMetadata(verify::TaskStageKey, std::to_string(Stage));
+    Task.TaskFn->setMetadata(verify::TaskStagesKey,
+                             std::to_string(NumStages));
     IRBuilder TB(Ctx);
 
     // Load queue handles in the entry block.
@@ -386,7 +392,12 @@ bool DSWP::parallelizeLoop(LoopContent &LC, DSWPDecision &D) {
       assert(After && "definition cannot be a terminator");
       TB.setInsertPoint(After);
       Value *Word = toQueueWord(TB, ClonedDef);
-      TB.createCall(PushFn, {QueueHandles[Q], Word});
+      nir::CallInst *Push = TB.createCall(PushFn, {QueueHandles[Q], Word});
+      std::string DefId = Queues[Q].Def->getMetadata(nir::InstIDKey);
+      if (!DefId.empty()) {
+        Push->setMetadata(verify::CheckQueueKey, std::to_string(Q));
+        Push->setMetadata(verify::CheckQueueOrigKey, DefId);
+      }
     }
 
     // Consumer side: replace the clone of a foreign def with a pop at
@@ -396,7 +407,12 @@ bool DSWP::parallelizeLoop(LoopContent &LC, DSWPDecision &D) {
         continue;
       auto *ClonedDef = nir::cast<Instruction>(Task.ValueMap[Queues[Q].Def]);
       TB.setInsertPoint(ClonedDef);
-      Value *Word = TB.createCall(PopFn, {QueueHandles[Q]}, "pop");
+      nir::CallInst *Word = TB.createCall(PopFn, {QueueHandles[Q]}, "pop");
+      std::string DefId = Queues[Q].Def->getMetadata(nir::InstIDKey);
+      if (!DefId.empty()) {
+        Word->setMetadata(verify::CheckQueueKey, std::to_string(Q));
+        Word->setMetadata(verify::CheckQueueOrigKey, DefId);
+      }
       Value *Typed = fromQueueWord(TB, Word, ClonedDef->getType());
       ClonedDef->replaceAllUsesWith(Typed);
       Task.ValueMap[Queues[Q].Def] = Typed;
@@ -444,6 +460,8 @@ bool DSWP::parallelizeLoop(LoopContent &LC, DSWPDecision &D) {
   Function *Trampoline =
       createTaskFunction(M, F->getName() + ".dswp" +
                                 std::to_string(LS.getID()) + ".pipeline");
+  Trampoline->setMetadata(verify::TaskKindKey, "dswp-pipeline");
+  Trampoline->setMetadata(verify::TaskSrcFnKey, F->getName());
   {
     IRBuilder TB(Ctx);
     BasicBlock *Entry = Trampoline->createBlock("entry");

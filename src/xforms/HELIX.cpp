@@ -1,9 +1,11 @@
 #include "xforms/HELIX.h"
 
 #include "analysis/Dominators.h"
+#include "ir/IDs.h"
 #include "ir/Instructions.h"
 #include "ir/Verifier.h"
 #include "runtime/ParallelRuntime.h"
+#include "verify/CheckMetadata.h"
 
 #include <algorithm>
 
@@ -282,6 +284,11 @@ bool HELIX::parallelizeLoop(LoopContent &LC) {
   // --- Task side -------------------------------------------------------
   ClonedLoopTask Task = cloneLoopIntoTask(
       LS, Layout, F->getName() + ".helix" + std::to_string(LS.getID()));
+  Task.TaskFn->setMetadata(verify::TaskKindKey, "helix");
+  Task.TaskFn->setMetadata(verify::TaskWorkersKey,
+                           std::to_string(Opts.NumCores));
+  Task.TaskFn->setMetadata(verify::TaskSegmentsKey,
+                           std::to_string(Segments.size()));
   auto *TaskEntry = &Task.TaskFn->getEntryBlock();
   IRBuilder TB(Ctx);
   TB.setInsertPoint(TaskEntry->getTerminator());
@@ -372,7 +379,10 @@ bool HELIX::parallelizeLoop(LoopContent &LC) {
       auto *ClonedPhi = nir::cast<PhiInst>(Task.ValueMap[Phi]);
       Value *Slot = SB.createGEP(Task.EnvArg,
                                  SB.getInt64(SpillSlot[Phi]), 8, "spill");
-      Value *Loaded = SB.createLoad(Phi->getType(), Slot, "recur");
+      nir::LoadInst *Loaded = SB.createLoad(Phi->getType(), Slot, "recur");
+      std::string PhiId = Phi->getMetadata(nir::InstIDKey);
+      if (!PhiId.empty())
+        Loaded->setMetadata(verify::CheckSpillKey, PhiId);
       ClonedPhi->replaceAllUsesWith(Loaded);
       // The cloned phi is dead now; drop it.
       ClonedPhi->eraseFromParent();
@@ -398,7 +408,10 @@ bool HELIX::parallelizeLoop(LoopContent &LC) {
           MappedIt != Task.ValueMap.end() ? MappedIt->second : NextVal;
       Value *Slot = SB.createGEP(Task.EnvArg,
                                  SB.getInt64(SpillSlot[Phi]), 8, "spill");
-      SB.createStore(MappedNext, Slot);
+      nir::StoreInst *SpillStore = SB.createStore(MappedNext, Slot);
+      std::string PhiId = Phi->getMetadata(nir::InstIDKey);
+      if (!PhiId.empty())
+        SpillStore->setMetadata(verify::CheckSpillKey, PhiId);
     }
     SB.createCall(SignalFn, {Gates, Ctx.getInt64(SegIdx), GPhi});
   }

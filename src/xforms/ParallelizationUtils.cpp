@@ -1,7 +1,9 @@
 #include "xforms/ParallelizationUtils.h"
 
+#include "ir/IDs.h"
 #include "ir/Utils.h"
 #include "runtime/ParallelRuntime.h"
+#include "verify/CheckMetadata.h"
 
 using namespace noelle;
 using nir::Argument;
@@ -56,6 +58,17 @@ ClonedLoopTask noelle::cloneLoopIntoTask(nir::LoopStructure &LS,
   Out.TaskIDArg = Out.TaskFn->getArg(1);
   Out.NumTasksArg = Out.TaskFn->getArg(2);
 
+  // Provenance for noelle-check: which function and loop (identified by
+  // the header's first instruction's deterministic ID, when the pipeline
+  // captured one) this task was generated from.
+  Out.TaskFn->setMetadata(verify::TaskSrcFnKey, Orig->getName());
+  if (!LS.getHeader()->getInstList().empty()) {
+    std::string OriginId =
+        LS.getHeader()->getInstList().front()->getMetadata(nir::InstIDKey);
+    if (!OriginId.empty())
+      Out.TaskFn->setMetadata(verify::TaskOriginKey, OriginId);
+  }
+
   BasicBlock *Entry = Out.TaskFn->createBlock("entry");
   IRBuilder B(Ctx, Entry);
 
@@ -79,6 +92,14 @@ ClonedLoopTask noelle::cloneLoopIntoTask(nir::LoopStructure &LS,
     auto *NewBB = nir::cast<BasicBlock>(Out.ValueMap[BB]);
     for (const auto &I : BB->getInstList()) {
       nir::Instruction *C = I->clone();
+      // clone() copies all metadata, so the clone inherits the original's
+      // deterministic ID; rewrite it into provenance metadata instead
+      // (duplicate IDs would corrupt every ID-keyed index).
+      std::string Id = I->getMetadata(nir::InstIDKey);
+      if (!Id.empty()) {
+        C->removeMetadata(nir::InstIDKey);
+        C->setMetadata(verify::CheckOrigKey, Id);
+      }
       NewBB->push_back(std::unique_ptr<nir::Instruction>(C));
       Out.ValueMap[I.get()] = C;
     }

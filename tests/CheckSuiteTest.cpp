@@ -1,0 +1,86 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// check-suite: runs noelle-check over every benchmark kernel under each
+/// parallelizing transform. A clean suite means the transforms discharge
+/// every loop-carried dependence they claim to handle and introduce no
+/// statically detectable data race — on any kernel, not just the unit
+/// fixtures. Registered under the ctest label "check-suite".
+///
+//===----------------------------------------------------------------------===//
+
+#include "benchmarks/Suite.h"
+#include "frontend/MiniC.h"
+#include "noelle/Noelle.h"
+#include "verify/NoelleCheck.h"
+#include "xforms/DOALL.h"
+#include "xforms/DSWP.h"
+#include "xforms/HELIX.h"
+
+#include <gtest/gtest.h>
+
+using namespace noelle;
+using nir::Context;
+
+namespace {
+
+class CheckSuiteTest : public ::testing::TestWithParam<std::string> {};
+
+verify::CheckReport checkKernel(const bench::Benchmark &B,
+                                const std::string &Which,
+                                unsigned &Parallelized) {
+  Context Ctx;
+  auto M = minic::compileMiniCOrDie(Ctx, B.Source);
+  verify::PreTransformSnapshot Snap = verify::captureForCheck(*M);
+  Noelle N(*M);
+  Parallelized = 0;
+  if (Which == "doall") {
+    DOALL Tool(N);
+    for (const auto &D : Tool.run())
+      Parallelized += D.Parallelized;
+  } else if (Which == "helix") {
+    HELIXOptions O;
+    O.MinimumEstimatedSpeedup = 0;
+    HELIX Tool(N, O);
+    for (const auto &D : Tool.run())
+      Parallelized += D.Parallelized;
+  } else {
+    DSWPOptions O;
+    O.MinimumStageWeight = 0;
+    DSWP Tool(N, O);
+    for (const auto &D : Tool.run())
+      Parallelized += D.Parallelized;
+  }
+  return verify::checkModule(*M, Snap);
+}
+
+TEST_P(CheckSuiteTest, KernelIsCleanUnderAllTransforms) {
+  const bench::Benchmark *B = bench::findBenchmark(GetParam());
+  ASSERT_NE(B, nullptr);
+  for (const char *Which : {"doall", "helix", "dswp"}) {
+    unsigned Parallelized = 0;
+    verify::CheckReport Rep = checkKernel(*B, Which, Parallelized);
+    EXPECT_TRUE(Rep.clean()) << B->Name << " under " << Which << " ("
+                             << Parallelized << " loops parallelized):\n"
+                             << Rep.str();
+  }
+}
+
+std::vector<std::string> allKernelNames() {
+  std::vector<std::string> Names;
+  for (const auto &B : bench::getBenchmarkSuite())
+    Names.push_back(B.Name);
+  return Names;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKernels, CheckSuiteTest, ::testing::ValuesIn(allKernelNames()),
+    [](const ::testing::TestParamInfo<std::string> &Info) {
+      std::string Name = Info.param;
+      for (char &C : Name)
+        if (!std::isalnum(static_cast<unsigned char>(C)))
+          C = '_';
+      return Name;
+    });
+
+} // namespace

@@ -10,6 +10,7 @@
 #include "frontend/MiniC.h"
 #include "ir/Verifier.h"
 #include "runtime/ParallelRuntime.h"
+#include "verify/NoelleCheck.h"
 #include "xforms/DOALL.h"
 
 #include <gtest/gtest.h>
@@ -41,6 +42,7 @@ DOALLResult runBoth(const char *Src, unsigned Cores) {
   {
     Context Ctx;
     auto M = minic::compileMiniCOrDie(Ctx, Src);
+    verify::PreTransformSnapshot Snap = verify::captureForCheck(*M);
     Noelle N(*M);
     DOALLOptions Opts;
     Opts.NumCores = Cores;
@@ -48,7 +50,8 @@ DOALLResult runBoth(const char *Src, unsigned Cores) {
     for (const auto &D : Tool.run())
       if (D.Parallelized)
         ++R.LoopsParallelized;
-    EXPECT_TRUE(nir::moduleVerifies(*M));
+    verify::CheckReport Rep = verify::checkModule(*M, Snap);
+    EXPECT_TRUE(Rep.clean()) << Rep.str();
     ExecutionEngine E(*M);
     registerParallelRuntime(E);
     R.Parallel = E.runMain();

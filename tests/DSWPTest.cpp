@@ -9,6 +9,7 @@
 #include "frontend/MiniC.h"
 #include "ir/Verifier.h"
 #include "runtime/ParallelRuntime.h"
+#include "verify/NoelleCheck.h"
 #include "xforms/DSWP.h"
 
 #include <gtest/gtest.h>
@@ -38,6 +39,7 @@ DSWPResult runBoth(const char *Src, unsigned Cores) {
   {
     Context Ctx;
     auto M = minic::compileMiniCOrDie(Ctx, Src);
+    verify::PreTransformSnapshot Snap = verify::captureForCheck(*M);
     Noelle N(*M);
     DSWPOptions Opts;
     Opts.NumCores = Cores;
@@ -49,7 +51,8 @@ DSWPResult runBoth(const char *Src, unsigned Cores) {
         R.Stages += D.NumStages;
         R.Queues += D.NumQueues;
       }
-    EXPECT_TRUE(nir::moduleVerifies(*M));
+    verify::CheckReport Rep = verify::checkModule(*M, Snap);
+    EXPECT_TRUE(Rep.clean()) << Rep.str();
     ExecutionEngine E(*M);
     registerParallelRuntime(E);
     R.Parallel = E.runMain();

@@ -9,6 +9,7 @@
 #include "frontend/MiniC.h"
 #include "ir/Verifier.h"
 #include "runtime/ParallelRuntime.h"
+#include "verify/NoelleCheck.h"
 #include "xforms/HELIX.h"
 
 #include <gtest/gtest.h>
@@ -37,6 +38,7 @@ HELIXResult runBoth(const char *Src, unsigned Cores) {
   {
     Context Ctx;
     auto M = minic::compileMiniCOrDie(Ctx, Src);
+    verify::PreTransformSnapshot Snap = verify::captureForCheck(*M);
     Noelle N(*M);
     HELIXOptions Opts;
     Opts.NumCores = Cores;
@@ -47,7 +49,8 @@ HELIXResult runBoth(const char *Src, unsigned Cores) {
         ++R.LoopsParallelized;
         R.Segments += D.NumSequentialSegments;
       }
-    EXPECT_TRUE(nir::moduleVerifies(*M));
+    verify::CheckReport Rep = verify::checkModule(*M, Snap);
+    EXPECT_TRUE(Rep.clean()) << Rep.str();
     ExecutionEngine E(*M);
     registerParallelRuntime(E);
     R.Parallel = E.runMain();

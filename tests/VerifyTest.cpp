@@ -1,0 +1,512 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests for the noelle-check static verification layer: clean transforms
+/// produce clean reports, every hand-seeded violation class is caught with
+/// the expected diagnostic kind, the dominance-based SSA verifier rejects
+/// use-before-def, and the dataflow lints fire on their target patterns.
+///
+//===----------------------------------------------------------------------===//
+
+#include "frontend/MiniC.h"
+#include "ir/IRBuilder.h"
+#include "ir/Verifier.h"
+#include "verify/CheckMetadata.h"
+#include "verify/NoelleCheck.h"
+#include "xforms/DOALL.h"
+#include "xforms/DSWP.h"
+#include "xforms/HELIX.h"
+
+#include <gtest/gtest.h>
+
+using namespace noelle;
+using nir::BasicBlock;
+using nir::CallInst;
+using nir::CmpInst;
+using nir::ConstantInt;
+using nir::Context;
+using nir::Function;
+using nir::Instruction;
+using nir::IRBuilder;
+using nir::PhiInst;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Harness: compile, snapshot, transform, check.
+//===----------------------------------------------------------------------===//
+
+struct Checked {
+  std::unique_ptr<nir::Module> M;
+  verify::PreTransformSnapshot Snap;
+  unsigned Parallelized = 0;
+};
+
+Checked transform(Context &Ctx, const char *Src, const std::string &Which,
+                  unsigned Cores = 4) {
+  Checked C;
+  C.M = minic::compileMiniCOrDie(Ctx, Src);
+  C.Snap = verify::captureForCheck(*C.M);
+  Noelle N(*C.M);
+  if (Which == "doall") {
+    DOALLOptions O;
+    O.NumCores = Cores;
+    DOALL Tool(N, O);
+    for (const auto &D : Tool.run())
+      C.Parallelized += D.Parallelized;
+  } else if (Which == "helix") {
+    HELIXOptions O;
+    O.NumCores = Cores;
+    O.MinimumEstimatedSpeedup = 0;
+    HELIX Tool(N, O);
+    for (const auto &D : Tool.run())
+      C.Parallelized += D.Parallelized;
+  } else {
+    DSWPOptions O;
+    O.NumCores = Cores;
+    O.MinimumStageWeight = 0;
+    DSWP Tool(N, O);
+    for (const auto &D : Tool.run())
+      C.Parallelized += D.Parallelized;
+  }
+  return C;
+}
+
+/// Task functions of \p M carrying the given transform-kind metadata.
+std::vector<Function *> tasksOfKind(nir::Module &M, const std::string &Kind) {
+  std::vector<Function *> Out;
+  for (const auto &F : M.getFunctions())
+    if (!F->isDeclaration() && F->getMetadata(verify::TaskKindKey) == Kind)
+      Out.push_back(F.get());
+  return Out;
+}
+
+/// All calls to \p Callee inside \p F.
+std::vector<CallInst *> callsTo(Function &F, const std::string &Callee) {
+  std::vector<CallInst *> Out;
+  for (const auto &BB : F.getBlocks())
+    for (const auto &I : BB->getInstList())
+      if (auto *CI = nir::dyn_cast<CallInst>(I.get()))
+        if (Function *Target = CI->getCalledFunction())
+          if (Target->getName() == Callee)
+            Out.push_back(CI);
+  return Out;
+}
+
+const char *SumReductionSrc = R"(
+  int a[256];
+  int main() {
+    for (int i = 0; i < 256; i = i + 1) a[i] = i % 17;
+    int sum = 0;
+    for (int i = 0; i < 256; i = i + 1) sum = sum + a[i];
+    return sum;
+  }
+)";
+
+const char *HelixRecurrenceSrc = R"(
+  int state[1];
+  int out[256];
+  int main() {
+    state[0] = 7;
+    for (int i = 0; i < 256; i = i + 1) {
+      int s = state[0];
+      state[0] = (s * 1103515245 + 12345) % 2147483647;
+      int heavy = 0;
+      int base = i * 17;
+      heavy = heavy + (base * base) % 1013;
+      heavy = heavy + ((base + 3) * (base + 7)) % 2027;
+      out[i] = s % 1000 + heavy;
+    }
+    int total = 0;
+    for (int i = 0; i < 256; i = i + 1) total = total + out[i];
+    return total % 1000003;
+  }
+)";
+
+const char *DswpPipelineSrc = R"(
+  int src[512];
+  int main() {
+    for (int i = 0; i < 512; i = i + 1) src[i] = (i * 37 + 11) % 101;
+    int x = 1;
+    int y = 0;
+    for (int i = 0; i < 512; i = i + 1) {
+      x = (x * 13 + src[i]) % 65537;
+      y = (y + x * 3) % 39916801;
+    }
+    return y;
+  }
+)";
+
+//===----------------------------------------------------------------------===//
+// Clean transforms produce clean reports (no false positives).
+//===----------------------------------------------------------------------===//
+
+TEST(VerifyTest, CleanDOALLReductionReportsNothing) {
+  Context Ctx;
+  Checked C = transform(Ctx, SumReductionSrc, "doall");
+  ASSERT_GE(C.Parallelized, 1u);
+  verify::CheckReport Rep = verify::checkModule(*C.M, C.Snap);
+  EXPECT_TRUE(Rep.clean()) << Rep.str();
+}
+
+TEST(VerifyTest, CleanHELIXRecurrenceReportsNothing) {
+  Context Ctx;
+  Checked C = transform(Ctx, HelixRecurrenceSrc, "helix");
+  ASSERT_GE(C.Parallelized, 1u);
+  verify::CheckReport Rep = verify::checkModule(*C.M, C.Snap);
+  EXPECT_TRUE(Rep.clean()) << Rep.str();
+}
+
+TEST(VerifyTest, CleanDSWPPipelineReportsNothing) {
+  Context Ctx;
+  Checked C = transform(Ctx, DswpPipelineSrc, "dswp", 2);
+  ASSERT_GE(C.Parallelized, 1u);
+  verify::CheckReport Rep = verify::checkModule(*C.M, C.Snap);
+  EXPECT_TRUE(Rep.clean()) << Rep.str();
+}
+
+//===----------------------------------------------------------------------===//
+// Seeded violations: each class is caught with the expected kind.
+//===----------------------------------------------------------------------===//
+
+TEST(VerifyTest, DroppedSsWaitIsCaught) {
+  Context Ctx;
+  Checked C = transform(Ctx, HelixRecurrenceSrc, "helix");
+  ASSERT_GE(C.Parallelized, 1u);
+
+  // Break one task: remove every sequential-segment entry gate it takes.
+  std::vector<Function *> Tasks = tasksOfKind(*C.M, "helix");
+  ASSERT_FALSE(Tasks.empty());
+  std::vector<CallInst *> Waits = callsTo(*Tasks.front(), "noelle_ss_wait");
+  ASSERT_FALSE(Waits.empty());
+  for (CallInst *W : Waits)
+    W->eraseFromParent();
+
+  verify::CheckReport Rep = verify::checkModule(*C.M, C.Snap);
+  EXPECT_GE(Rep.count(verify::DiagKind::UnprotectedDependence), 1u)
+      << Rep.str();
+}
+
+TEST(VerifyTest, UnpairedQueuePopIsCaught) {
+  Context Ctx;
+  Checked C = transform(Ctx, DswpPipelineSrc, "dswp", 2);
+  ASSERT_GE(C.Parallelized, 1u);
+
+  // Break the pipeline: delete every producer push of stage 0, leaving
+  // the consumer's pops with no matching source.
+  std::vector<Function *> Stages = tasksOfKind(*C.M, "dswp-stage");
+  ASSERT_GE(Stages.size(), 2u);
+  bool Erased = false;
+  for (Function *Stage : Stages) {
+    std::vector<CallInst *> Pushes = callsTo(*Stage, "noelle_queue_push");
+    for (CallInst *P : Pushes) {
+      P->eraseFromParent();
+      Erased = true;
+    }
+    if (Erased)
+      break;
+  }
+  ASSERT_TRUE(Erased);
+
+  verify::CheckReport Rep = verify::checkModule(*C.M, C.Snap);
+  EXPECT_GE(Rep.count(verify::DiagKind::UnmatchedQueuePop), 1u) << Rep.str();
+}
+
+TEST(VerifyTest, UnprivatizedAccumulatorIsCaught) {
+  Context Ctx;
+  Checked C = transform(Ctx, SumReductionSrc, "doall");
+  ASSERT_GE(C.Parallelized, 1u);
+
+  // Break a reduction: make the task accumulator start from 1 instead of
+  // the operator identity 0 (workers would each add a phantom 1).
+  std::vector<Function *> Tasks = tasksOfKind(*C.M, "doall");
+  ASSERT_FALSE(Tasks.empty());
+  bool Corrupted = false;
+  for (Function *T : Tasks) {
+    BasicBlock &Entry = T->getEntryBlock();
+    for (const auto &BB : T->getBlocks()) {
+      for (const auto &I : BB->getInstList()) {
+        auto *Phi = nir::dyn_cast<PhiInst>(I.get());
+        if (!Phi)
+          continue;
+        for (unsigned K = 0; K < Phi->getNumIncoming(); ++K) {
+          if (Phi->getIncomingBlock(K) != &Entry)
+            continue;
+          auto *CI = nir::dyn_cast<ConstantInt>(Phi->getIncomingValue(K));
+          if (CI && CI->getValue() == 0) {
+            Phi->setIncomingValue(K, Ctx.getInt64(1));
+            Corrupted = true;
+          }
+        }
+      }
+    }
+    if (Corrupted)
+      break;
+  }
+  ASSERT_TRUE(Corrupted);
+
+  verify::CheckReport Rep = verify::checkModule(*C.M, C.Snap);
+  EXPECT_GE(Rep.count(verify::DiagKind::UnprivatizedAccumulator), 1u)
+      << Rep.str();
+}
+
+//===----------------------------------------------------------------------===//
+// Dominance-based SSA verification (nir::verifyModule extension).
+//===----------------------------------------------------------------------===//
+
+TEST(VerifyTest, UseBeforeDefAcrossBlocksIsCaught) {
+  // entry --cond--> side | merge; 'side' defines %d; 'merge' uses %d.
+  // The definition does not dominate the use.
+  Context Ctx;
+  nir::Module M(Ctx, "broken");
+  Function *F =
+      M.createFunction(Ctx.getFunctionTy(Ctx.getInt64Ty(), {}), "f");
+  BasicBlock *Entry = F->createBlock("entry");
+  BasicBlock *Side = F->createBlock("side");
+  BasicBlock *Merge = F->createBlock("merge");
+
+  IRBuilder B(Ctx, Entry);
+  nir::Value *Cond =
+      B.createCmp(CmpInst::Pred::EQ, Ctx.getInt64(1), Ctx.getInt64(2), "c");
+  B.createCondBr(Cond, Side, Merge);
+
+  B.setInsertPoint(Side);
+  nir::Value *D = B.createAdd(Ctx.getInt64(1), Ctx.getInt64(2), "d");
+  B.createBr(Merge);
+
+  B.setInsertPoint(Merge);
+  nir::Value *U = B.createAdd(D, Ctx.getInt64(1), "u");
+  B.createRet(U);
+
+  std::vector<std::string> Errs = nir::verifyModule(M);
+  ASSERT_FALSE(Errs.empty());
+  bool Found = false;
+  for (const std::string &E : Errs)
+    Found = Found || E.find("not dominated") != std::string::npos;
+  EXPECT_TRUE(Found);
+}
+
+TEST(VerifyTest, DiamondWithPhiVerifies) {
+  // The same CFG becomes legal when 'merge' receives %d through a phi
+  // whose other edge carries a constant.
+  Context Ctx;
+  nir::Module M(Ctx, "diamond");
+  Function *F =
+      M.createFunction(Ctx.getFunctionTy(Ctx.getInt64Ty(), {}), "f");
+  BasicBlock *Entry = F->createBlock("entry");
+  BasicBlock *Side = F->createBlock("side");
+  BasicBlock *Merge = F->createBlock("merge");
+
+  IRBuilder B(Ctx, Entry);
+  nir::Value *Cond =
+      B.createCmp(CmpInst::Pred::EQ, Ctx.getInt64(1), Ctx.getInt64(2), "c");
+  B.createCondBr(Cond, Side, Merge);
+
+  B.setInsertPoint(Side);
+  nir::Value *D = B.createAdd(Ctx.getInt64(1), Ctx.getInt64(2), "d");
+  B.createBr(Merge);
+
+  B.setInsertPoint(Merge);
+  PhiInst *Phi = B.createPhi(Ctx.getInt64Ty(), "m");
+  Phi->addIncoming(D, Side);
+  Phi->addIncoming(Ctx.getInt64(0), Entry);
+  B.createRet(Phi);
+
+  EXPECT_TRUE(nir::moduleVerifies(M)) << nir::verifyModule(M).front();
+}
+
+TEST(VerifyTest, PhiUsingValueFromWrongEdgeIsCaught) {
+  // The phi routes %d along the entry edge, where it was never computed.
+  Context Ctx;
+  nir::Module M(Ctx, "wrongedge");
+  Function *F =
+      M.createFunction(Ctx.getFunctionTy(Ctx.getInt64Ty(), {}), "f");
+  BasicBlock *Entry = F->createBlock("entry");
+  BasicBlock *Side = F->createBlock("side");
+  BasicBlock *Merge = F->createBlock("merge");
+
+  IRBuilder B(Ctx, Entry);
+  nir::Value *Cond =
+      B.createCmp(CmpInst::Pred::EQ, Ctx.getInt64(1), Ctx.getInt64(2), "c");
+  B.createCondBr(Cond, Side, Merge);
+
+  B.setInsertPoint(Side);
+  nir::Value *D = B.createAdd(Ctx.getInt64(1), Ctx.getInt64(2), "d");
+  B.createBr(Merge);
+
+  B.setInsertPoint(Merge);
+  PhiInst *Phi = B.createPhi(Ctx.getInt64Ty(), "m");
+  Phi->addIncoming(Ctx.getInt64(0), Side);
+  Phi->addIncoming(D, Entry); // %d does not dominate entry's terminator
+  B.createRet(Phi);
+
+  std::vector<std::string> Errs = nir::verifyModule(M);
+  ASSERT_FALSE(Errs.empty());
+  bool Found = false;
+  for (const std::string &E : Errs)
+    Found = Found || E.find("incoming edge") != std::string::npos;
+  EXPECT_TRUE(Found);
+}
+
+TEST(VerifyTest, TransformedModulesStillSatisfyDominance) {
+  // The stronger verifier must not reject what the parallelizers emit.
+  for (const char *Which : {"doall", "helix", "dswp"}) {
+    Context Ctx;
+    Checked C = transform(Ctx, DswpPipelineSrc, Which, 2);
+    std::vector<std::string> Errs = nir::verifyModule(*C.M);
+    EXPECT_TRUE(Errs.empty())
+        << Which << ": " << (Errs.empty() ? "" : Errs.front());
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Dataflow lint pack.
+//===----------------------------------------------------------------------===//
+
+TEST(VerifyTest, LintFlagsUninitializedRead) {
+  Context Ctx;
+  nir::Module M(Ctx, "lint");
+  Function *F =
+      M.createFunction(Ctx.getFunctionTy(Ctx.getInt64Ty(), {}), "f");
+  IRBuilder B(Ctx, F->createBlock("entry"));
+  nir::Value *Slot = B.createAlloca(Ctx.getInt64Ty(), "slot");
+  nir::Value *V = B.createLoad(Ctx.getInt64Ty(), Slot, "v");
+  B.createRet(V);
+
+  verify::CheckReport Rep;
+  verify::lintModule(M, verify::LintOptions{}, Rep);
+  EXPECT_GE(Rep.count(verify::DiagKind::UninitializedRead), 1u) << Rep.str();
+}
+
+TEST(VerifyTest, LintAcceptsStoreBeforeLoad) {
+  Context Ctx;
+  nir::Module M(Ctx, "lint");
+  Function *F =
+      M.createFunction(Ctx.getFunctionTy(Ctx.getInt64Ty(), {}), "f");
+  IRBuilder B(Ctx, F->createBlock("entry"));
+  nir::Value *Slot = B.createAlloca(Ctx.getInt64Ty(), "slot");
+  B.createStore(Ctx.getInt64(42), Slot);
+  nir::Value *V = B.createLoad(Ctx.getInt64Ty(), Slot, "v");
+  B.createRet(V);
+
+  verify::CheckReport Rep;
+  verify::lintModule(M, verify::LintOptions{}, Rep);
+  EXPECT_EQ(Rep.count(verify::DiagKind::UninitializedRead), 0u) << Rep.str();
+}
+
+TEST(VerifyTest, LintFlagsStoreOnlyOnOnePath) {
+  // entry --cond--> init | use; only the 'init' path stores.
+  Context Ctx;
+  nir::Module M(Ctx, "lint");
+  Function *F =
+      M.createFunction(Ctx.getFunctionTy(Ctx.getInt64Ty(), {}), "f");
+  BasicBlock *Entry = F->createBlock("entry");
+  BasicBlock *Init = F->createBlock("init");
+  BasicBlock *Use = F->createBlock("use");
+
+  IRBuilder B(Ctx, Entry);
+  nir::Value *Slot = B.createAlloca(Ctx.getInt64Ty(), "slot");
+  nir::Value *Cond =
+      B.createCmp(CmpInst::Pred::EQ, Ctx.getInt64(1), Ctx.getInt64(2), "c");
+  B.createCondBr(Cond, Init, Use);
+
+  B.setInsertPoint(Init);
+  B.createStore(Ctx.getInt64(7), Slot);
+  B.createBr(Use);
+
+  B.setInsertPoint(Use);
+  nir::Value *V = B.createLoad(Ctx.getInt64Ty(), Slot, "v");
+  B.createRet(V);
+
+  verify::CheckReport Rep;
+  verify::lintModule(M, verify::LintOptions{}, Rep);
+  EXPECT_GE(Rep.count(verify::DiagKind::UninitializedRead), 1u) << Rep.str();
+}
+
+TEST(VerifyTest, LintFlagsDeadStore) {
+  Context Ctx;
+  nir::Module M(Ctx, "lint");
+  Function *F =
+      M.createFunction(Ctx.getFunctionTy(Ctx.getInt64Ty(), {}), "f");
+  IRBuilder B(Ctx, F->createBlock("entry"));
+  nir::Value *Slot = B.createAlloca(Ctx.getInt64Ty(), "slot");
+  B.createStore(Ctx.getInt64(42), Slot); // never read
+  B.createRet(Ctx.getInt64(0));
+
+  verify::CheckReport Rep;
+  verify::lintModule(M, verify::LintOptions{}, Rep);
+  EXPECT_GE(Rep.count(verify::DiagKind::DeadStore), 1u) << Rep.str();
+}
+
+TEST(VerifyTest, LintFlagsUncheckedHeapHandle) {
+  Context Ctx;
+  nir::Module M(Ctx, "lint");
+  Function *Malloc = M.createFunction(
+      Ctx.getFunctionTy(Ctx.getPtrTy(), {Ctx.getInt64Ty()}), "malloc");
+  Function *F =
+      M.createFunction(Ctx.getFunctionTy(Ctx.getInt64Ty(), {}), "f");
+  IRBuilder B(Ctx, F->createBlock("entry"));
+  nir::Value *P = B.createCall(Malloc, {Ctx.getInt64(8)}, "p");
+  nir::Value *V = B.createLoad(Ctx.getInt64Ty(), P, "v"); // no null check
+  B.createRet(V);
+
+  verify::CheckReport Rep;
+  verify::lintModule(M, verify::LintOptions{}, Rep);
+  EXPECT_GE(Rep.count(verify::DiagKind::NullDeref), 1u) << Rep.str();
+}
+
+TEST(VerifyTest, LintAcceptsNullCheckedHeapHandle) {
+  Context Ctx;
+  nir::Module M(Ctx, "lint");
+  Function *Malloc = M.createFunction(
+      Ctx.getFunctionTy(Ctx.getPtrTy(), {Ctx.getInt64Ty()}), "malloc");
+  Function *F =
+      M.createFunction(Ctx.getFunctionTy(Ctx.getInt64Ty(), {}), "f");
+  BasicBlock *Entry = F->createBlock("entry");
+  BasicBlock *Ok = F->createBlock("ok");
+  BasicBlock *Fail = F->createBlock("fail");
+
+  IRBuilder B(Ctx, Entry);
+  nir::Value *P = B.createCall(Malloc, {Ctx.getInt64(8)}, "p");
+  nir::Value *IsNull =
+      B.createCmp(CmpInst::Pred::EQ, P, Ctx.getInt64(0), "isnull");
+  B.createCondBr(IsNull, Fail, Ok);
+
+  B.setInsertPoint(Fail);
+  B.createRet(Ctx.getInt64(-1));
+
+  B.setInsertPoint(Ok);
+  nir::Value *V = B.createLoad(Ctx.getInt64Ty(), P, "v");
+  B.createRet(V);
+
+  verify::CheckReport Rep;
+  verify::lintModule(M, verify::LintOptions{}, Rep);
+  EXPECT_EQ(Rep.count(verify::DiagKind::NullDeref), 0u) << Rep.str();
+}
+
+//===----------------------------------------------------------------------===//
+// Race detector: a task writing a fixed shared slot races with itself.
+//===----------------------------------------------------------------------===//
+
+TEST(VerifyTest, SharedSlotWriteInDoallTaskIsARace) {
+  Context Ctx;
+  Checked C = transform(Ctx, SumReductionSrc, "doall");
+  ASSERT_GE(C.Parallelized, 1u);
+
+  // Seed a conflict: every worker stores its task ID to env slot 0.
+  std::vector<Function *> Tasks = tasksOfKind(*C.M, "doall");
+  ASSERT_FALSE(Tasks.empty());
+  Function *T = Tasks.front();
+  BasicBlock &Entry = T->getEntryBlock();
+  ASSERT_FALSE(Entry.getInstList().empty());
+  IRBuilder B(Ctx);
+  B.setInsertPoint(Entry.getInstList().front().get());
+  nir::Value *Slot =
+      B.createGEP(T->getArg(0), Ctx.getInt64(0), 8, "seeded.slot");
+  B.createStore(T->getArg(1), Slot);
+
+  verify::CheckReport Rep = verify::checkModule(*C.M, C.Snap);
+  EXPECT_GE(Rep.count(verify::DiagKind::DataRace), 1u) << Rep.str();
+}
+
+} // namespace

@@ -1,0 +1,93 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// AddressSanitizer + UBSanitizer smoke test over the IR core and the
+/// dominance verifier. Built standalone (this file + src/ir + the
+/// dominator analysis) with -fsanitize=address,undefined so tier-1
+/// always exercises the ownership-heavy IR layer — instruction clone and
+/// erase, operand/use bookkeeping, block insertion, and the
+/// DominatorTree the verifier now builds per function — under both
+/// sanitizers without instrumenting the whole library. A non-zero exit
+/// (sanitizer reports abort by default) fails the ctest entry. The full
+/// library goes under ASan/UBSan with -DNOELLE_SANITIZE=address,undefined.
+///
+//===----------------------------------------------------------------------===//
+
+#include "ir/IRBuilder.h"
+#include "ir/Instructions.h"
+#include "ir/Module.h"
+#include "ir/Verifier.h"
+
+#include <cstdio>
+
+using namespace nir;
+
+int main() {
+  Context Ctx;
+  Module M(Ctx, "asan-smoke");
+
+  // A diamond with a phi: builds, clones, mutates, erases, verifies.
+  Function *F = M.createFunction(Ctx.getFunctionTy(Ctx.getInt64Ty(), {}), "f");
+  BasicBlock *Entry = F->createBlock("entry");
+  BasicBlock *Then = F->createBlock("then");
+  BasicBlock *Else = F->createBlock("else");
+  BasicBlock *Merge = F->createBlock("merge");
+
+  IRBuilder B(Ctx, Entry);
+  Value *Cond =
+      B.createCmp(CmpInst::Pred::SLT, Ctx.getInt64(1), Ctx.getInt64(2), "c");
+  B.createCondBr(Cond, Then, Else);
+
+  B.setInsertPoint(Then);
+  Value *A = B.createAdd(Ctx.getInt64(40), Ctx.getInt64(2), "a");
+  B.createBr(Merge);
+
+  B.setInsertPoint(Else);
+  Value *Bv = B.createMul(Ctx.getInt64(6), Ctx.getInt64(7), "b");
+  B.createBr(Merge);
+
+  B.setInsertPoint(Merge);
+  PhiInst *Phi = B.createPhi(Ctx.getInt64Ty(), "m");
+  Phi->addIncoming(A, Then);
+  Phi->addIncoming(Bv, Else);
+  Value *Dead = B.createAdd(Phi, Ctx.getInt64(0), "dead");
+  Value *Live = B.createAdd(Phi, Ctx.getInt64(1), "live");
+  B.createRet(Live);
+
+  if (!moduleVerifies(M)) {
+    std::fprintf(stderr, "asan-smoke: fresh module failed verification\n");
+    return 1;
+  }
+
+  // Clone + metadata churn (the paths the parallelizers hammer).
+  for (const auto &BB : F->getBlocks())
+    for (const auto &I : BB->getInstList()) {
+      Instruction *C = I->clone();
+      C->setMetadata("smoke.key", "value");
+      C->removeMetadata("smoke.key");
+      delete C;
+    }
+
+  // Erase an unused instruction, then stress use-list bookkeeping.
+  if (auto *DeadInst = dyn_cast<Instruction>(Dead))
+    DeadInst->eraseFromParent();
+  if (!moduleVerifies(M)) {
+    std::fprintf(stderr, "asan-smoke: module failed verification after "
+                         "erase\n");
+    return 1;
+  }
+
+  // Break SSA on purpose: the dominance verifier must report, not crash.
+  B.setInsertPoint(Entry);
+  // (A is defined in 'then'; using it in 'entry' violates dominance. The
+  // builder appends after the terminator-less point, so rebuild entry.)
+  Value *Bad = B.createAdd(A, Ctx.getInt64(1), "bad");
+  (void)Bad;
+  if (verifyModule(M).empty()) {
+    std::fprintf(stderr, "asan-smoke: dominance violation not reported\n");
+    return 1;
+  }
+
+  std::printf("asan-smoke: ok\n");
+  return 0;
+}

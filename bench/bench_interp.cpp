@@ -1,0 +1,242 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Interpreter throughput benchmark over the 20-kernel suite: retired
+/// instructions per second for each execution-engine configuration —
+/// threaded dispatch + decode-time optimization (the shipping default),
+/// the portable switch loop with the same decode, the unoptimized
+/// one-opcode-per-instruction decode (the pre-overhaul reference shape),
+/// and the observed tier with a profiling observer installed. Emits
+/// BENCH_interp.json with per-kernel cold and warm numbers plus the
+/// geomean improvement of the default configuration over the reference.
+///
+/// Every kernel run doubles as a correctness check: @main's return
+/// value, the captured print output, and the retired-instruction count
+/// must be identical across all configurations (decode-time optimization
+/// and dispatch tier are required to be observationally invisible — the
+/// same invariance that pins Figure-5 DispatchRecords).
+///
+/// `--smoke` runs the first three kernels once per configuration with
+/// the equality checks and no JSON, for the bench-smoke ctest label.
+///
+//===----------------------------------------------------------------------===//
+
+#include "benchmarks/Suite.h"
+#include "frontend/MiniC.h"
+#include "interp/Interpreter.h"
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+using nir::Context;
+using nir::ExecutionEngine;
+
+namespace {
+
+double nowUs() {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// A cheap profiling observer: forces the observed tier and touches its
+/// data the way the real Profiler does (per-callback accumulation).
+struct CountingObserver : nir::ExecutionObserver {
+  uint64_t Blocks = 0;
+  uint64_t Branches = 0;
+  void onBlockExecuted(const nir::BasicBlock *) override { ++Blocks; }
+  void onBranchExecuted(const nir::BranchInst *, unsigned) override {
+    ++Branches;
+  }
+};
+
+struct RunResult {
+  int64_t Ret = 0;
+  std::string Output;
+  uint64_t Instructions = 0;
+  double ColdUs = 0; ///< first run on a fresh engine (includes decode)
+  double WarmUs = 0; ///< best repeat after warm-up
+  double warmMips() const {
+    return WarmUs > 0 ? static_cast<double>(Instructions) / WarmUs : 0;
+  }
+};
+
+struct Config {
+  const char *Name;
+  ExecutionEngine::Options Opts;
+  bool WithObserver = false;
+};
+
+/// Runs one kernel under one configuration: a cold run on a fresh
+/// engine (timing includes decode), then \p Repeats warm runs, each on
+/// a fresh engine with every function pre-decoded via prepare() so the
+/// timed region measures pure execution. A fresh engine per repeat (not
+/// re-running @main on one engine) keeps kernels that mutate globals
+/// reproducible: each run starts from the module's initial memory image.
+RunResult runConfig(const bench::Benchmark &B, const Config &C,
+                    unsigned Repeats) {
+  Context Ctx;
+  auto M = minic::compileMiniCOrDie(Ctx, B.Source);
+
+  RunResult R;
+  {
+    ExecutionEngine E(*M, C.Opts);
+    CountingObserver Obs;
+    if (C.WithObserver)
+      E.setObserver(&Obs);
+    double T0 = nowUs();
+    R.Ret = E.runMain();
+    R.ColdUs = nowUs() - T0;
+    R.Output = E.getOutput();
+    R.Instructions = E.getInstructionsExecuted();
+  }
+
+  R.WarmUs = R.ColdUs;
+  for (unsigned I = 0; I < Repeats; ++I) {
+    ExecutionEngine E(*M, C.Opts);
+    CountingObserver Obs;
+    if (C.WithObserver)
+      E.setObserver(&Obs);
+    for (const auto &F : M->getFunctions())
+      if (!F->isDeclaration())
+        E.prepare(F.get());
+    double T0 = nowUs();
+    int64_t Ret = E.runMain();
+    double Dt = nowUs() - T0;
+    R.WarmUs = std::min(R.WarmUs, Dt);
+    if (Ret != R.Ret || E.getOutput() != R.Output ||
+        E.getInstructionsExecuted() != R.Instructions) {
+      std::fprintf(stderr, "%s [%s]: warm run diverged from cold run\n",
+                   B.Name.c_str(), C.Name);
+      std::exit(1);
+    }
+  }
+  return R;
+}
+
+struct KernelResult {
+  std::string Name;
+  uint64_t Instructions = 0;
+  RunResult Configs[4];
+  double speedup() const {
+    // Default (threaded+opt) vs the pre-overhaul reference shape
+    // (switch dispatch, one opcode per NIR instruction).
+    double Ref = Configs[2].warmMips();
+    return Ref > 0 ? Configs[0].warmMips() / Ref : 0;
+  }
+};
+
+} // namespace
+
+int main(int argc, char **argv) {
+  bool Smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+  const unsigned Repeats = Smoke ? 0 : 3;
+
+  ExecutionEngine::Options Default; // threaded (when built) + decode opt
+  ExecutionEngine::Options SwitchOpt;
+  SwitchOpt.Dispatch = ExecutionEngine::DispatchMode::Switch;
+  ExecutionEngine::Options Reference;
+  Reference.Dispatch = ExecutionEngine::DispatchMode::Switch;
+  Reference.DecodeOpt = false;
+
+  const Config Configs[4] = {
+      {"threaded+opt", Default, false},
+      {"switch+opt", SwitchOpt, false},
+      {"switch+noopt", Reference, false},
+      {"observed", Default, true},
+  };
+
+  std::printf("Interpreter throughput (warm Mips, best of %u; cold = first "
+              "run incl. decode). Threaded dispatch compiled in: %s\n\n",
+              Repeats, ExecutionEngine::hasThreadedDispatch() ? "yes" : "no");
+  std::printf("%-14s %10s %9s %9s %9s %9s %9s %7s\n", "kernel", "insts",
+              "cold(us)", "thr+opt", "sw+opt", "sw+noopt", "observed",
+              "speedup");
+
+  const auto &Suite = bench::getBenchmarkSuite();
+  size_t NumKernels = Smoke ? 3 : Suite.size();
+  std::vector<KernelResult> Results;
+
+  for (size_t K = 0; K < NumKernels; ++K) {
+    const auto &B = Suite[K];
+    KernelResult KR;
+    KR.Name = B.Name;
+    for (int C = 0; C < 4; ++C)
+      KR.Configs[C] = runConfig(B, Configs[C], Repeats);
+    KR.Instructions = KR.Configs[0].Instructions;
+
+    // The invariance check: every configuration must produce the same
+    // result, the same output, and retire the same instruction count.
+    for (int C = 1; C < 4; ++C) {
+      const auto &A = KR.Configs[0], &X = KR.Configs[C];
+      if (X.Ret != A.Ret || X.Output != A.Output ||
+          X.Instructions != A.Instructions) {
+        std::fprintf(stderr,
+                     "%s: config '%s' diverged from '%s' "
+                     "(ret %lld vs %lld, insts %llu vs %llu)\n",
+                     B.Name.c_str(), Configs[C].Name, Configs[0].Name,
+                     static_cast<long long>(X.Ret),
+                     static_cast<long long>(A.Ret),
+                     static_cast<unsigned long long>(X.Instructions),
+                     static_cast<unsigned long long>(A.Instructions));
+        return 1;
+      }
+    }
+
+    std::printf("%-14s %10llu %9.0f %9.1f %9.1f %9.1f %9.1f %6.2fx\n",
+                KR.Name.c_str(),
+                static_cast<unsigned long long>(KR.Instructions),
+                KR.Configs[0].ColdUs, KR.Configs[0].warmMips(),
+                KR.Configs[1].warmMips(), KR.Configs[2].warmMips(),
+                KR.Configs[3].warmMips(), KR.speedup());
+    Results.push_back(std::move(KR));
+  }
+
+  if (Smoke) {
+    std::printf("\nbench-smoke: %zu kernels x 4 configs identical -- pass\n",
+                Results.size());
+    return 0;
+  }
+
+  double LogSum = 0;
+  for (const auto &R : Results)
+    LogSum += std::log(R.speedup());
+  double Geomean = std::exp(LogSum / Results.size());
+  bool Pass = Geomean >= 1.5;
+  std::printf("\ngeomean speedup threaded+opt vs switch+noopt (the "
+              "pre-overhaul shape): %.2fx -- %s\n",
+              Geomean, Pass ? "pass (>=1.5x)" : "FAIL");
+
+  if (FILE *F = std::fopen("BENCH_interp.json", "w")) {
+    std::fprintf(F, "{\n  \"threaded_dispatch\": %s,\n  \"kernels\": [\n",
+                 ExecutionEngine::hasThreadedDispatch() ? "true" : "false");
+    for (size_t I = 0; I < Results.size(); ++I) {
+      const auto &R = Results[I];
+      std::fprintf(F,
+                   "    {\"name\": \"%s\", \"instructions\": %llu, "
+                   "\"cold_us\": %.1f, "
+                   "\"threaded_opt_mips\": %.1f, \"switch_opt_mips\": %.1f, "
+                   "\"switch_noopt_mips\": %.1f, \"observed_mips\": %.1f, "
+                   "\"speedup_vs_reference\": %.2f}%s\n",
+                   R.Name.c_str(),
+                   static_cast<unsigned long long>(R.Instructions),
+                   R.Configs[0].ColdUs, R.Configs[0].warmMips(),
+                   R.Configs[1].warmMips(), R.Configs[2].warmMips(),
+                   R.Configs[3].warmMips(), R.speedup(),
+                   I + 1 == Results.size() ? "" : ",");
+    }
+    std::fprintf(F,
+                 "  ],\n"
+                 "  \"geomean_speedup\": %.2f,\n"
+                 "  \"pass_1_5x\": %s\n"
+                 "}\n",
+                 Geomean, Pass ? "true" : "false");
+    std::fclose(F);
+    std::printf("wrote BENCH_interp.json\n");
+  }
+  return Pass ? 0 : 1;
+}

@@ -53,62 +53,71 @@ thread_local uint64_t ThreadRetired = 0;
 } // namespace
 
 //===----------------------------------------------------------------------===//
-// Decoded representation
+// Decoded representation: flat threaded code
 //===----------------------------------------------------------------------===//
 
 namespace nir {
 
 namespace {
 
-struct Operand {
-  bool IsImm = false;
-  RuntimeValue Imm;
-  uint32_t Reg = 0;
+enum class Opc : uint16_t {
+#define NIR_OPCODE(name) name,
+#include "interp/Opcodes.def"
 };
 
-struct DecodedInst {
-  Value::Kind K;
-  uint8_t Sub = 0;       ///< binary op / cmp pred / cast op
-  int32_t ResultReg = -1;
-  std::vector<Operand> Ops;
-  uint64_t Aux = 0;      ///< gep scale / alloca frame offset
-  uint8_t MemSize = 8;   ///< load/store access width
-  Type::Kind MemTy = Type::Kind::Int64;
-  int32_t Succ0 = -1, Succ1 = -1;
-  Function *DirectCallee = nullptr;
-  /// Direct call to a defined function: its decoded-cache slot,
-  /// pre-resolved at decode time so the hot call path skips the id map.
-  std::atomic<ExecutionEngine::DecodedFunction *> *CalleeSlot = nullptr;
-  /// Direct call to a declaration: dense index into the external table,
-  /// pre-resolved at decode time (-1 when not a direct external call).
-  int32_t ExternalId = -1;
+inline Opc opcAdd(Opc Base, unsigned Off) {
+  return static_cast<Opc>(static_cast<uint16_t>(Base) + Off);
+}
+
+/// One pooled phi-edge move: R[Dst] = R[Src].
+struct Move {
+  uint32_t Dst;
+  uint32_t Src;
+};
+
+/// One decoded instruction. Operand fields address the unified register
+/// file ([0, NumRegs) SSA slots, then one scratch slot, then the constant
+/// pool); control-flow fields hold both the successor block index (for
+/// the observer tier) and the resolved pc (fixed up after emission).
+struct DInst {
+  Opc Op;
+  int32_t Dst = -1;
+  uint32_t A = 0, B = 0, C = 0;
+  uint32_t Scl = 0;
+  int64_t Imm = 0;
+  int32_t S0 = -1, S1 = -1;                    ///< branch target pcs
+  uint32_t T0 = 0, T1 = 0;                     ///< successor block indices
+  uint32_t M0B = 0, M0E = 0, M1B = 0, M1E = 0; ///< edge-move ranges
+  uint32_t ArgsB = 0, ArgsE = 0;               ///< call args in ArgPool
+  uint64_t BlockRetire = 0; ///< terminators: original block size
+  uint64_t OrigSoFar = 0;   ///< calls: phis + original non-phi idx + 1
   const Instruction *Orig = nullptr;
-  uint32_t IdxInBlock = 0; ///< non-phi index, for partial retirement
-};
-
-struct PhiCopy {
-  int32_t ResultReg;
-  std::map<uint32_t, Operand> ByPredBlock;
-};
-
-struct DecodedBlock {
-  const BasicBlock *BB = nullptr;
-  std::vector<PhiCopy> Phis;
-  std::vector<DecodedInst> Insts;
-  uint64_t InstCount = 0; ///< including phis, for retirement accounting
+  Function *DirectCallee = nullptr;
+  std::atomic<ExecutionEngine::DecodedFunction *> *CalleeSlot = nullptr;
+  int32_t ExternalId = -1;
 };
 
 } // namespace
 
 struct ExecutionEngine::DecodedFunction {
   Function *F = nullptr;
-  std::vector<DecodedBlock> Blocks;
-  uint32_t NumRegs = 0;
+  std::vector<DInst> Code;
+  std::vector<Move> Moves;          ///< pooled phi-edge moves
+  std::vector<uint32_t> ArgPool;    ///< pooled call-argument registers
+  std::vector<RuntimeValue> Consts; ///< decode-time constant pool
+  std::vector<const BasicBlock *> BlockBB; ///< block index -> IR block
+  std::vector<uint32_t> BlockPc;           ///< block index -> first pc
+  uint32_t NumRegs = 0;  ///< args + value-producing instructions
+  uint32_t FileSize = 0; ///< NumRegs + 1 scratch + constant pool
   uint64_t FrameBytes = 0;
+  /// True when edge moves were sequentialized at decode time (apply in
+  /// order); false applies simultaneous-assignment semantics at runtime.
+  bool SeqMoves = false;
 };
 
 //===----------------------------------------------------------------------===//
-// Decoding
+// Decode-time arithmetic: these replicate the execution handlers exactly,
+// so a folded result is bit-identical to the value the loop would compute.
 //===----------------------------------------------------------------------===//
 
 namespace {
@@ -125,7 +134,216 @@ uint8_t memSizeOf(const Type *Ty) {
   }
 }
 
+inline double immF(int64_t Bits) {
+  double D;
+  std::memcpy(&D, &Bits, 8);
+  return D;
+}
+
+inline uint64_t bitsOfF(double D) {
+  uint64_t B;
+  std::memcpy(&B, &D, 8);
+  return B;
+}
+
+/// Signed division with the divide-by-zero -> 0 convention; INT64_MIN/-1
+/// wraps (two's complement) instead of trapping.
+inline int64_t sdivW(int64_t L, int64_t R) {
+  if (R == 0)
+    return 0;
+  if (R == -1)
+    return static_cast<int64_t>(0 - static_cast<uint64_t>(L));
+  return L / R;
+}
+
+inline int64_t sremW(int64_t L, int64_t R) {
+  if (R == 0 || R == -1)
+    return 0;
+  return L % R;
+}
+
+uint64_t foldBinary(BinaryInst::Op Op, uint64_t LB, uint64_t RB) {
+  const int64_t L = static_cast<int64_t>(LB), R = static_cast<int64_t>(RB);
+  switch (Op) {
+  case BinaryInst::Op::Add:
+    return LB + RB;
+  case BinaryInst::Op::Sub:
+    return LB - RB;
+  case BinaryInst::Op::Mul:
+    return LB * RB;
+  case BinaryInst::Op::SDiv:
+    return static_cast<uint64_t>(sdivW(L, R));
+  case BinaryInst::Op::SRem:
+    return static_cast<uint64_t>(sremW(L, R));
+  case BinaryInst::Op::And:
+    return LB & RB;
+  case BinaryInst::Op::Or:
+    return LB | RB;
+  case BinaryInst::Op::Xor:
+    return LB ^ RB;
+  case BinaryInst::Op::Shl:
+    return LB << (R & 63);
+  case BinaryInst::Op::AShr:
+    return static_cast<uint64_t>(L >> (R & 63));
+  case BinaryInst::Op::FAdd:
+    return bitsOfF(immF(L) + immF(R));
+  case BinaryInst::Op::FSub:
+    return bitsOfF(immF(L) - immF(R));
+  case BinaryInst::Op::FMul:
+    return bitsOfF(immF(L) * immF(R));
+  case BinaryInst::Op::FDiv:
+    return bitsOfF(immF(L) / immF(R));
+  }
+  return 0;
+}
+
+uint64_t foldCmp(CmpInst::Pred P, uint64_t LB, uint64_t RB) {
+  const int64_t L = static_cast<int64_t>(LB), R = static_cast<int64_t>(RB);
+  const double LF = immF(L), RF = immF(R);
+  bool B = false;
+  switch (P) {
+  case CmpInst::Pred::EQ:
+    B = L == R;
+    break;
+  case CmpInst::Pred::NE:
+    B = L != R;
+    break;
+  case CmpInst::Pred::SLT:
+    B = L < R;
+    break;
+  case CmpInst::Pred::SLE:
+    B = L <= R;
+    break;
+  case CmpInst::Pred::SGT:
+    B = L > R;
+    break;
+  case CmpInst::Pred::SGE:
+    B = L >= R;
+    break;
+  case CmpInst::Pred::FEQ:
+    B = LF == RF;
+    break;
+  case CmpInst::Pred::FNE:
+    B = LF != RF;
+    break;
+  case CmpInst::Pred::FLT:
+    B = LF < RF;
+    break;
+  case CmpInst::Pred::FLE:
+    B = LF <= RF;
+    break;
+  case CmpInst::Pred::FGT:
+    B = LF > RF;
+    break;
+  case CmpInst::Pred::FGE:
+    B = LF >= RF;
+    break;
+  }
+  return B ? 1 : 0;
+}
+
+uint64_t foldCast(CastInst::Op Op, Type::Kind SrcK, uint8_t DstSize,
+                  uint64_t VB) {
+  const int64_t V = static_cast<int64_t>(VB);
+  switch (Op) {
+  case CastInst::Op::SExt:
+    // Canonical i8/i1 are zero-extended; re-sign-extend from width.
+    if (SrcK == Type::Kind::Int8)
+      return static_cast<uint64_t>(
+          static_cast<int64_t>(static_cast<int8_t>(V)));
+    if (SrcK == Type::Kind::Int1)
+      return (V & 1) ? ~uint64_t(0) : 0;
+    return VB; // i32 held sign-extended already
+  case CastInst::Op::ZExt:
+    if (SrcK == Type::Kind::Int32)
+      return static_cast<uint32_t>(V);
+    return VB; // i8/i1 canonical form is zero-extended
+  case CastInst::Op::Trunc:
+    if (DstSize == 4)
+      return static_cast<uint64_t>(
+          static_cast<int64_t>(static_cast<int32_t>(V)));
+    if (DstSize == 1)
+      return VB & 0xFF;
+    return VB;
+  case CastInst::Op::SIToFP:
+    return bitsOfF(static_cast<double>(V));
+  case CastInst::Op::FPToSI:
+    return static_cast<uint64_t>(static_cast<int64_t>(immF(V)));
+  case CastInst::Op::PtrToInt:
+  case CastInst::Op::IntToPtr:
+  case CastInst::Op::Bitcast:
+    return VB;
+  }
+  return VB;
+}
+
+/// Orders a parallel copy (unique destinations) into a sequential move
+/// list, routing cycles through the scratch register.
+void sequentializeMoves(std::vector<Move> &Mv, uint32_t Scratch) {
+  if (Mv.size() < 2)
+    return;
+  std::vector<Move> Out;
+  Out.reserve(Mv.size() + 2);
+  std::vector<Move> Pend = std::move(Mv);
+  while (!Pend.empty()) {
+    bool Progress = false;
+    for (size_t I = 0; I < Pend.size();) {
+      bool DstIsPendingSrc = false;
+      for (size_t J = 0; J < Pend.size(); ++J)
+        if (J != I && Pend[J].Src == Pend[I].Dst) {
+          DstIsPendingSrc = true;
+          break;
+        }
+      if (!DstIsPendingSrc) {
+        Out.push_back(Pend[I]);
+        Pend.erase(Pend.begin() + I);
+        Progress = true;
+      } else {
+        ++I;
+      }
+    }
+    if (!Progress && !Pend.empty()) {
+      // Every pending destination is still a pending source: a cycle.
+      // Save the first move's about-to-be-clobbered destination and
+      // redirect its readers to the scratch slot.
+      const uint32_t Clobbered = Pend.front().Dst;
+      Out.push_back({Scratch, Clobbered});
+      for (auto &P : Pend)
+        if (P.Src == Clobbered)
+          P.Src = Scratch;
+    }
+  }
+  Mv = std::move(Out);
+}
+
+/// Applies one edge's move range. Sequentialized lists run in order;
+/// reference lists use read-all-then-write simultaneous semantics.
+inline void applyEdgeMoves(RuntimeValue *R, const Move *Mv, uint32_t B,
+                           uint32_t E, bool Seq) {
+  if (Seq) {
+    for (uint32_t I = B; I != E; ++I)
+      R[Mv[I].Dst] = R[Mv[I].Src];
+    return;
+  }
+  RuntimeValue Tmp[64];
+  std::vector<RuntimeValue> Ov;
+  RuntimeValue *T = Tmp;
+  const uint32_t N = E - B;
+  if (N > 64) {
+    Ov.resize(N);
+    T = Ov.data();
+  }
+  for (uint32_t I = 0; I != N; ++I)
+    T[I] = R[Mv[B + I].Src];
+  for (uint32_t I = 0; I != N; ++I)
+    R[Mv[B + I].Dst] = T[I];
+}
+
 } // namespace
+
+//===----------------------------------------------------------------------===//
+// Decoding
+//===----------------------------------------------------------------------===//
 
 ExecutionEngine::DecodedFunction &ExecutionEngine::getDecoded(Function *F) {
   // Lock-free fast path: functions registered at construction have a
@@ -155,9 +373,13 @@ ExecutionEngine::DecodedFunction &ExecutionEngine::getDecoded(Function *F) {
 
   auto DF = std::make_unique<DecodedFunction>();
   DF->F = F;
+  const bool Opt = Opts.DecodeOpt;
+  DF->SeqMoves = Opt;
 
   // Register numbering: arguments first, then value-producing
-  // instructions.
+  // instructions. Every SSA value keeps a slot even when folding or
+  // fusion ends up never writing it; numbering stays independent of the
+  // optimization decisions.
   std::map<const Value *, uint32_t> RegOf;
   uint32_t NextReg = 0;
   for (unsigned I = 0; I < F->getNumArgs(); ++I)
@@ -167,174 +389,667 @@ ExecutionEngine::DecodedFunction &ExecutionEngine::getDecoded(Function *F) {
       if (!Inst->getType()->isVoid())
         RegOf[Inst.get()] = NextReg++;
   DF->NumRegs = NextReg;
+  const uint32_t ScratchReg = NextReg; // constant pool starts after it
 
-  // Block numbering.
-  std::map<const BasicBlock *, uint32_t> BlockIdx;
-  uint32_t NextBlock = 0;
+  // Phi result registers are rewritten on every edge; they are the one
+  // class of register that is not single-assignment, so copy propagation
+  // and cross-block flattening must never read through them.
+  std::set<uint32_t> PhiRegs;
   for (const auto &BB : F->getBlocks())
-    BlockIdx[BB.get()] = NextBlock++;
+    for (const auto &Inst : BB->getInstList())
+      if (isa<PhiInst>(Inst.get()))
+        PhiRegs.insert(RegOf.at(Inst.get()));
 
-  auto MakeOperand = [&](const Value *V) -> Operand {
-    Operand Op;
-    if (const auto *CI = dyn_cast<ConstantInt>(V)) {
-      Op.IsImm = true;
-      Op.Imm = RuntimeValue::ofInt(CI->getValue());
-      return Op;
-    }
-    if (const auto *CF = dyn_cast<ConstantFP>(V)) {
-      Op.IsImm = true;
-      Op.Imm = RuntimeValue::ofFloat(CF->getValue());
-      return Op;
-    }
-    if (isa<UndefValue>(V)) {
-      Op.IsImm = true;
-      Op.Imm = RuntimeValue::ofInt(0);
-      return Op;
-    }
-    if (const auto *G = dyn_cast<GlobalVariable>(V)) {
-      Op.IsImm = true;
-      Op.Imm = RuntimeValue::ofPtr(getGlobalAddress(G));
-      return Op;
-    }
-    if (const auto *Fn = dyn_cast<Function>(V)) {
-      Op.IsImm = true;
-      Op.Imm = RuntimeValue::ofPtr(encodeFunction(Fn));
-      return Op;
-    }
-    auto It = RegOf.find(V);
-    assert(It != RegOf.end() && "operand is not a register or constant");
-    Op.Reg = It->second;
-    return Op;
+  // Block numbering, in layout order (entry first).
+  std::map<const BasicBlock *, uint32_t> BlockIdx;
+  for (const auto &BB : F->getBlocks()) {
+    BlockIdx[BB.get()] = static_cast<uint32_t>(DF->BlockBB.size());
+    DF->BlockBB.push_back(BB.get());
+  }
+
+  // Constant pool, deduplicated by bit pattern. Slots live after the
+  // scratch register in the frame's register file.
+  std::map<uint64_t, uint32_t> ConstSlot;
+  auto InternBits = [&](uint64_t Bits) -> uint32_t {
+    auto It = ConstSlot.find(Bits);
+    if (It != ConstSlot.end())
+      return ScratchReg + 1 + It->second;
+    uint32_t SlotIdx = static_cast<uint32_t>(DF->Consts.size());
+    ConstSlot.emplace(Bits, SlotIdx);
+    DF->Consts.push_back(RuntimeValue::ofPtr(Bits));
+    return ScratchReg + 1 + SlotIdx;
   };
 
-  for (const auto &BB : F->getBlocks()) {
-    DecodedBlock DB;
-    DB.BB = BB.get();
-    DB.InstCount = BB->size();
-    for (const auto &InstPtr : BB->getInstList()) {
-      const Instruction *I = InstPtr.get();
-      if (const auto *Phi = dyn_cast<PhiInst>(I)) {
-        PhiCopy PC;
-        PC.ResultReg = static_cast<int32_t>(RegOf.at(Phi));
-        for (unsigned K = 0, E = Phi->getNumIncoming(); K != E; ++K)
-          PC.ByPredBlock[BlockIdx.at(Phi->getIncomingBlock(K))] =
-              MakeOperand(Phi->getIncomingValue(K));
-        DB.Phis.push_back(std::move(PC));
+  // Decode-time value facts, filled by the optimization pre-pass.
+  std::map<const Value *, uint64_t> KnownBits; // results folded to consts
+  std::map<const Value *, uint32_t> AliasReg;  // copy-propagated results
+  std::set<const Instruction *> Elided;        // fused producers: no code
+  std::map<const Instruction *, const GEPInst *> FusedAddr; // ld/st -> gep
+  std::map<const BranchInst *, const CmpInst *> FusedCmp;
+  std::map<const BinaryInst *, const BinaryInst *> FusedMul; // add -> mul
+
+  auto ConstBits = [&](const Value *V, uint64_t &Bits) -> bool {
+    if (const auto *CI = dyn_cast<ConstantInt>(V)) {
+      Bits = static_cast<uint64_t>(CI->getValue());
+      return true;
+    }
+    if (const auto *CF = dyn_cast<ConstantFP>(V)) {
+      Bits = bitsOfF(CF->getValue());
+      return true;
+    }
+    if (isa<UndefValue>(V)) {
+      Bits = 0;
+      return true;
+    }
+    if (const auto *G = dyn_cast<GlobalVariable>(V)) {
+      Bits = getGlobalAddress(G);
+      return true;
+    }
+    if (const auto *Fn = dyn_cast<Function>(V)) {
+      Bits = encodeFunction(Fn);
+      return true;
+    }
+    auto It = KnownBits.find(V);
+    if (It != KnownBits.end()) {
+      Bits = It->second;
+      return true;
+    }
+    return false;
+  };
+
+  auto ResolveReg = [&](const Value *V) -> uint32_t {
+    auto It = AliasReg.find(V);
+    if (It != AliasReg.end())
+      return It->second;
+    return RegOf.at(V);
+  };
+
+  auto OperandReg = [&](const Value *V) -> uint32_t {
+    uint64_t Bits;
+    if (ConstBits(V, Bits))
+      return InternBits(Bits);
+    return ResolveReg(V);
+  };
+
+  // Walks constant-index gep chains upward, accumulating the byte
+  // displacement, so nested indexing collapses into one address op.
+  // Reading the inner base at the consumer is safe only when it is a
+  // constant or a single-assignment (non-phi) register.
+  auto FlattenBase = [&](const Value *Base, uint64_t &Disp) -> const Value * {
+    if (!Opt)
+      return Base;
+    while (const auto *G = dyn_cast<GEPInst>(Base)) {
+      uint64_t Whole, IdxB;
+      if (ConstBits(G, Whole)) // whole gep folded: caller interns it
+        break;
+      if (!ConstBits(G->getIndex(), IdxB))
+        break;
+      uint64_t BaseB;
+      if (!ConstBits(G->getBase(), BaseB) &&
+          PhiRegs.count(ResolveReg(G->getBase())))
+        break;
+      Disp += IdxB * G->getScale();
+      Base = G->getBase();
+    }
+    return Base;
+  };
+
+  //=== Optimization pre-pass ===============================================
+  // Runs over reachable blocks in reverse post-order, so every operand's
+  // fold/alias fact is final before any use is examined (RPO places
+  // dominators first, and SSA defs dominate their uses). Unreachable
+  // blocks are skipped: their instructions decode unoptimized, and the
+  // same-block requirement on fusion keeps the maps consistent.
+  if (Opt && !F->getBlocks().empty()) {
+    std::vector<const BasicBlock *> Post;
+    std::set<const BasicBlock *> Visited;
+    std::vector<std::pair<const BasicBlock *, unsigned>> Stack;
+    const BasicBlock *Entry = F->getBlocks().front().get();
+    Visited.insert(Entry);
+    Stack.push_back({Entry, 0});
+    auto SuccOf = [](const BasicBlock *BB, unsigned I) -> const BasicBlock * {
+      const auto *Term =
+          dyn_cast<BranchInst>(BB->getInstList().back().get());
+      if (!Term)
+        return nullptr;
+      unsigned N = Term->isConditional() ? 2 : 1;
+      return I < N ? Term->getSuccessor(I) : nullptr;
+    };
+    while (!Stack.empty()) {
+      auto &[BB, NextSucc] = Stack.back();
+      if (const BasicBlock *S = SuccOf(BB, NextSucc)) {
+        ++NextSucc;
+        if (Visited.insert(S).second)
+          Stack.push_back({S, 0});
         continue;
       }
+      Post.push_back(BB);
+      Stack.pop_back();
+    }
 
-      DecodedInst DI;
-      DI.K = I->getKind();
-      DI.Orig = I;
+    for (auto It = Post.rbegin(); It != Post.rend(); ++It) {
+      const BasicBlock *BB = *It;
+      for (const auto &InstPtr : BB->getInstList()) {
+        const Instruction *I = InstPtr.get();
+        if (isa<PhiInst>(I))
+          continue;
+        switch (I->getKind()) {
+        case Value::Kind::Binary: {
+          const auto *B = cast<BinaryInst>(I);
+          uint64_t LB, RB;
+          if (ConstBits(B->getLHS(), LB) && ConstBits(B->getRHS(), RB)) {
+            KnownBits[I] = foldBinary(B->getOp(), LB, RB);
+            break;
+          }
+          // Induction-update fusion: an integer add consuming a
+          // single-use mul from the same block becomes one MulAdd.
+          if (B->getOp() == BinaryInst::Op::Add) {
+            for (const Value *OpV : {B->getLHS(), B->getRHS()}) {
+              const auto *Mul = dyn_cast<BinaryInst>(OpV);
+              if (Mul && Mul->getOp() == BinaryInst::Op::Mul &&
+                  Mul->getParent() == BB && Mul->getNumUses() == 1 &&
+                  !KnownBits.count(Mul) && !Elided.count(Mul)) {
+                FusedMul[B] = Mul;
+                Elided.insert(Mul);
+                break;
+              }
+            }
+          }
+          break;
+        }
+        case Value::Kind::Cmp: {
+          const auto *C = cast<CmpInst>(I);
+          uint64_t LB, RB;
+          if (ConstBits(C->getLHS(), LB) && ConstBits(C->getRHS(), RB)) {
+            KnownBits[I] = foldCmp(C->getPred(), LB, RB);
+            break;
+          }
+          // cmp+br fusion: the compare's only use is the same block's
+          // conditional branch.
+          if (C->getNumUses() == 1) {
+            const auto *Br = dyn_cast<BranchInst>(C->uses()[0].TheUser);
+            if (Br && Br->isConditional() && Br->getCondition() == C &&
+                Br->getParent() == BB) {
+              FusedCmp[Br] = C;
+              Elided.insert(C);
+            }
+          }
+          break;
+        }
+        case Value::Kind::Cast: {
+          const auto *C = cast<CastInst>(I);
+          const Value *V = C->getValueOperand();
+          const Type::Kind SrcK = V->getType()->getKind();
+          uint64_t VB;
+          if (ConstBits(V, VB)) {
+            KnownBits[I] =
+                foldCast(C->getOp(), SrcK, memSizeOf(C->getType()), VB);
+            break;
+          }
+          bool NoOp = false;
+          switch (C->getOp()) {
+          case CastInst::Op::SExt:
+            NoOp = SrcK != Type::Kind::Int8 && SrcK != Type::Kind::Int1;
+            break;
+          case CastInst::Op::ZExt:
+            NoOp = SrcK != Type::Kind::Int32;
+            break;
+          case CastInst::Op::Trunc:
+            NoOp = memSizeOf(C->getType()) == 8;
+            break;
+          case CastInst::Op::PtrToInt:
+          case CastInst::Op::IntToPtr:
+          case CastInst::Op::Bitcast:
+            NoOp = true;
+            break;
+          default:
+            break;
+          }
+          if (NoOp) {
+            uint32_t SrcReg = ResolveReg(V);
+            if (!PhiRegs.count(SrcReg))
+              AliasReg[I] = SrcReg;
+          }
+          break;
+        }
+        case Value::Kind::Select: {
+          const auto *S = cast<SelectInst>(I);
+          uint64_t CB;
+          if (ConstBits(S->getCondition(), CB)) {
+            const Value *Chosen =
+                (CB & 1) ? S->getTrueValue() : S->getFalseValue();
+            uint64_t VB;
+            if (ConstBits(Chosen, VB)) {
+              KnownBits[I] = VB;
+              break;
+            }
+            uint32_t SrcReg = ResolveReg(Chosen);
+            if (!PhiRegs.count(SrcReg))
+              AliasReg[I] = SrcReg;
+            // else: emitted as a Mov from the phi register
+          }
+          break;
+        }
+        case Value::Kind::GEP: {
+          const auto *G = cast<GEPInst>(I);
+          uint64_t BaseB, IdxB;
+          if (ConstBits(G->getBase(), BaseB) &&
+              ConstBits(G->getIndex(), IdxB)) {
+            KnownBits[I] = BaseB + IdxB * G->getScale();
+            break;
+          }
+          // gep+load / gep+store fusion: the address computation's only
+          // use is a same-block memory access through it.
+          if (G->getNumUses() == 1) {
+            const User *U = G->uses()[0].TheUser;
+            if (const auto *L = dyn_cast<LoadInst>(U)) {
+              if (L->getParent() == BB && L->getPointerOperand() == G) {
+                FusedAddr[L] = G;
+                Elided.insert(G);
+              }
+            } else if (const auto *St = dyn_cast<StoreInst>(U)) {
+              if (St->getParent() == BB && St->getPointerOperand() == G &&
+                  St->getValueOperand() != G) {
+                FusedAddr[St] = G;
+                Elided.insert(G);
+              }
+            }
+          }
+          break;
+        }
+        default:
+          break;
+        }
+      }
+    }
+  }
+
+  //=== Emission ===========================================================
+
+  // Shared by standalone compares and fused compare-branches.
+  auto FillCmp = [&](DInst &D, const CmpInst *C, Opc RRBase, Opc RIBase) {
+    uint64_t LB, RB;
+    const Value *L = C->getLHS(), *R = C->getRHS();
+    const bool LC = ConstBits(L, LB), RC = ConstBits(R, RB);
+    CmpInst::Pred P = C->getPred();
+    if (RC) {
+      D.Op = opcAdd(RIBase, static_cast<unsigned>(P));
+      D.A = OperandReg(L);
+      D.Imm = static_cast<int64_t>(RB);
+    } else if (LC) {
+      P = CmpInst::getSwappedPred(P);
+      D.Op = opcAdd(RIBase, static_cast<unsigned>(P));
+      D.A = OperandReg(R);
+      D.Imm = static_cast<int64_t>(LB);
+    } else {
+      D.Op = opcAdd(RRBase, static_cast<unsigned>(P));
+      D.A = OperandReg(L);
+      D.B = OperandReg(R);
+    }
+  };
+
+  // Collects the phi moves for one CFG edge and returns the pooled range.
+  auto EdgeMoves = [&](const BasicBlock *Pred,
+                       const BasicBlock *Succ) -> std::pair<uint32_t, uint32_t> {
+    std::vector<Move> Mv;
+    for (const auto &PI : Succ->getInstList()) {
+      const auto *Phi = dyn_cast<PhiInst>(PI.get());
+      if (!Phi)
+        continue;
+      const Value *In = nullptr;
+      for (unsigned K = 0, E = Phi->getNumIncoming(); K != E; ++K)
+        if (Phi->getIncomingBlock(K) == Pred) {
+          In = Phi->getIncomingValue(K);
+          break;
+        }
+      assert(In && "phi has no incoming value for the executed edge");
+      const uint32_t DstR = RegOf.at(Phi);
+      const uint32_t SrcR = OperandReg(In);
+      if (DstR != SrcR)
+        Mv.push_back({DstR, SrcR});
+    }
+    if (Opt)
+      sequentializeMoves(Mv, ScratchReg);
+    const uint32_t Begin = static_cast<uint32_t>(DF->Moves.size());
+    DF->Moves.insert(DF->Moves.end(), Mv.begin(), Mv.end());
+    return {Begin, static_cast<uint32_t>(DF->Moves.size())};
+  };
+
+  for (const auto &BBPtr : F->getBlocks()) {
+    const BasicBlock *BB = BBPtr.get();
+    DF->BlockPc.push_back(static_cast<uint32_t>(DF->Code.size()));
+    uint64_t NumPhis = 0;
+    for (const auto &InstPtr : BB->getInstList())
+      if (isa<PhiInst>(InstPtr.get()))
+        ++NumPhis;
+
+    uint32_t OrigIdx = 0; // non-phi position in the original block
+    for (const auto &InstPtr : BB->getInstList()) {
+      const Instruction *I = InstPtr.get();
+      if (isa<PhiInst>(I))
+        continue;
+      const uint32_t MyIdx = OrigIdx++;
+      if (Elided.count(I) || KnownBits.count(I) || AliasReg.count(I))
+        continue;
+
+      DInst D{};
+      D.Op = Opc::Unreachable;
+      D.Orig = I;
       if (!I->getType()->isVoid())
-        DI.ResultReg = static_cast<int32_t>(RegOf.at(I));
+        D.Dst = static_cast<int32_t>(RegOf.at(I));
 
       switch (I->getKind()) {
       case Value::Kind::Alloca: {
         const auto *A = cast<AllocaInst>(I);
         // 8-byte align each allocation within the frame.
         DF->FrameBytes = (DF->FrameBytes + 7) & ~uint64_t(7);
-        DI.Aux = DF->FrameBytes;
+        D.Op = Opc::Alloca;
+        D.Imm = static_cast<int64_t>(DF->FrameBytes);
         DF->FrameBytes += A->getAllocationSize();
         break;
       }
       case Value::Kind::Load: {
         const auto *L = cast<LoadInst>(I);
-        DI.Ops.push_back(MakeOperand(L->getPointerOperand()));
-        DI.MemSize = memSizeOf(L->getType());
-        DI.MemTy = L->getType()->getKind();
+        const uint8_t Sz = memSizeOf(L->getType());
+        const unsigned SzOff = Sz == 8 ? 0 : Sz == 4 ? 1 : 2;
+        auto FIt = FusedAddr.find(I);
+        if (FIt != FusedAddr.end()) {
+          const GEPInst *G = FIt->second;
+          uint64_t Disp = 0;
+          const Value *Base = FlattenBase(G->getBase(), Disp);
+          uint64_t IdxB;
+          if (ConstBits(G->getIndex(), IdxB)) {
+            Disp += IdxB * G->getScale();
+            D.A = OperandReg(Base);
+            D.Imm = static_cast<int64_t>(Disp);
+            D.Op = opcAdd(Disp ? Opc::LdOff8 : Opc::Ld8, SzOff);
+          } else {
+            D.Op = opcAdd(Opc::LdIdx8, SzOff);
+            D.A = OperandReg(Base);
+            D.B = OperandReg(G->getIndex());
+            D.Scl = static_cast<uint32_t>(G->getScale());
+            D.Imm = static_cast<int64_t>(Disp);
+          }
+        } else {
+          D.Op = opcAdd(Opc::Ld8, SzOff);
+          D.A = OperandReg(L->getPointerOperand());
+        }
         break;
       }
       case Value::Kind::Store: {
         const auto *S = cast<StoreInst>(I);
-        DI.Ops.push_back(MakeOperand(S->getValueOperand()));
-        DI.Ops.push_back(MakeOperand(S->getPointerOperand()));
-        DI.MemSize = memSizeOf(S->getValueOperand()->getType());
-        DI.MemTy = S->getValueOperand()->getType()->getKind();
+        const uint8_t Sz = memSizeOf(S->getValueOperand()->getType());
+        const unsigned SzOff = Sz == 8 ? 0 : Sz == 4 ? 1 : 2;
+        D.A = OperandReg(S->getValueOperand());
+        auto FIt = FusedAddr.find(I);
+        if (FIt != FusedAddr.end()) {
+          const GEPInst *G = FIt->second;
+          uint64_t Disp = 0;
+          const Value *Base = FlattenBase(G->getBase(), Disp);
+          uint64_t IdxB;
+          if (ConstBits(G->getIndex(), IdxB)) {
+            Disp += IdxB * G->getScale();
+            D.B = OperandReg(Base);
+            D.Imm = static_cast<int64_t>(Disp);
+            D.Op = opcAdd(Disp ? Opc::StOff8 : Opc::St8, SzOff);
+          } else {
+            D.Op = opcAdd(Opc::StIdx8, SzOff);
+            D.B = OperandReg(Base);
+            D.C = OperandReg(G->getIndex());
+            D.Scl = static_cast<uint32_t>(G->getScale());
+            D.Imm = static_cast<int64_t>(Disp);
+          }
+        } else {
+          D.Op = opcAdd(Opc::St8, SzOff);
+          D.B = OperandReg(S->getPointerOperand());
+        }
         break;
       }
       case Value::Kind::GEP: {
         const auto *G = cast<GEPInst>(I);
-        DI.Ops.push_back(MakeOperand(G->getBase()));
-        DI.Ops.push_back(MakeOperand(G->getIndex()));
-        DI.Aux = G->getScale();
+        uint64_t Disp = 0;
+        const Value *Base = FlattenBase(G->getBase(), Disp);
+        uint64_t IdxB;
+        if (Opt && ConstBits(G->getIndex(), IdxB)) {
+          Disp += IdxB * G->getScale();
+          D.Op = Opc::GepOff;
+          D.A = OperandReg(Base);
+          D.Imm = static_cast<int64_t>(Disp);
+        } else {
+          D.Op = Opc::GepRR;
+          D.A = OperandReg(Base);
+          D.B = OperandReg(G->getIndex());
+          D.Scl = static_cast<uint32_t>(G->getScale());
+          D.Imm = static_cast<int64_t>(Disp);
+        }
         break;
       }
       case Value::Kind::Binary: {
         const auto *B = cast<BinaryInst>(I);
-        DI.Sub = static_cast<uint8_t>(B->getOp());
-        DI.Ops.push_back(MakeOperand(B->getLHS()));
-        DI.Ops.push_back(MakeOperand(B->getRHS()));
+        auto MIt = FusedMul.find(B);
+        if (MIt != FusedMul.end()) {
+          const BinaryInst *Mul = MIt->second;
+          const Value *Other =
+              (B->getLHS() == Mul) ? B->getRHS() : B->getLHS();
+          const Value *ML = Mul->getLHS(), *MR = Mul->getRHS();
+          uint64_t MLB, MRB;
+          const bool MLC = ConstBits(ML, MLB), MRC = ConstBits(MR, MRB);
+          if (MRC) {
+            D.Op = Opc::MulAddRI;
+            D.A = OperandReg(ML);
+            D.Imm = static_cast<int64_t>(MRB);
+            D.B = OperandReg(Other);
+          } else if (MLC) {
+            D.Op = Opc::MulAddRI;
+            D.A = OperandReg(MR);
+            D.Imm = static_cast<int64_t>(MLB);
+            D.B = OperandReg(Other);
+          } else {
+            D.Op = Opc::MulAddRR;
+            D.A = OperandReg(ML);
+            D.B = OperandReg(MR);
+            D.C = OperandReg(Other);
+          }
+          break;
+        }
+        const Value *L = B->getLHS(), *R = B->getRHS();
+        uint64_t LB, RB;
+        const bool LC = ConstBits(L, LB), RC = ConstBits(R, RB);
+        const auto Op = B->getOp();
+        const unsigned OpIdx = static_cast<unsigned>(Op);
+        const bool FP = B->isFloatingPoint();
+        const Opc RRBase = FP ? opcAdd(Opc::FAddRR, OpIdx - 10)
+                              : opcAdd(Opc::AddRR, OpIdx);
+        const Opc RIBase = FP ? opcAdd(Opc::FAddRI, OpIdx - 10)
+                              : opcAdd(Opc::AddRI, OpIdx);
+        if (RC) {
+          D.Op = RIBase;
+          D.A = OperandReg(L);
+          D.Imm = static_cast<int64_t>(RB);
+        } else if (LC) {
+          if (B->isCommutative()) {
+            D.Op = RIBase;
+          } else {
+            switch (Op) {
+            case BinaryInst::Op::Sub:
+              D.Op = Opc::SubIR;
+              break;
+            case BinaryInst::Op::SDiv:
+              D.Op = Opc::SDivIR;
+              break;
+            case BinaryInst::Op::SRem:
+              D.Op = Opc::SRemIR;
+              break;
+            case BinaryInst::Op::Shl:
+              D.Op = Opc::ShlIR;
+              break;
+            case BinaryInst::Op::AShr:
+              D.Op = Opc::AShrIR;
+              break;
+            case BinaryInst::Op::FSub:
+              D.Op = Opc::FSubIR;
+              break;
+            case BinaryInst::Op::FDiv:
+              D.Op = Opc::FDivIR;
+              break;
+            default:
+              assert(false && "non-commutative op expected");
+            }
+          }
+          D.A = OperandReg(R);
+          D.Imm = static_cast<int64_t>(LB);
+        } else {
+          D.Op = RRBase;
+          D.A = OperandReg(L);
+          D.B = OperandReg(R);
+        }
         break;
       }
-      case Value::Kind::Cmp: {
-        const auto *C = cast<CmpInst>(I);
-        DI.Sub = static_cast<uint8_t>(C->getPred());
-        DI.Ops.push_back(MakeOperand(C->getLHS()));
-        DI.Ops.push_back(MakeOperand(C->getRHS()));
+      case Value::Kind::Cmp:
+        FillCmp(D, cast<CmpInst>(I), Opc::CmpEQRR, Opc::CmpEQRI);
         break;
-      }
       case Value::Kind::Cast: {
         const auto *C = cast<CastInst>(I);
-        DI.Sub = static_cast<uint8_t>(C->getOp());
-        DI.Ops.push_back(MakeOperand(C->getValueOperand()));
-        DI.MemTy = C->getValueOperand()->getType()->getKind();
-        DI.MemSize = memSizeOf(C->getType());
+        const Type::Kind SrcK = C->getValueOperand()->getType()->getKind();
+        D.A = OperandReg(C->getValueOperand());
+        switch (C->getOp()) {
+        case CastInst::Op::SExt:
+          D.Op = SrcK == Type::Kind::Int8   ? Opc::SExt8
+                 : SrcK == Type::Kind::Int1 ? Opc::SExt1
+                                            : Opc::Mov;
+          break;
+        case CastInst::Op::ZExt:
+          D.Op = SrcK == Type::Kind::Int32 ? Opc::ZExt32 : Opc::Mov;
+          break;
+        case CastInst::Op::Trunc: {
+          const uint8_t DS = memSizeOf(C->getType());
+          D.Op = DS == 4 ? Opc::Trunc32 : DS == 1 ? Opc::Trunc8 : Opc::Mov;
+          break;
+        }
+        case CastInst::Op::SIToFP:
+          D.Op = Opc::SIToFP;
+          break;
+        case CastInst::Op::FPToSI:
+          D.Op = Opc::FPToSI;
+          break;
+        case CastInst::Op::PtrToInt:
+        case CastInst::Op::IntToPtr:
+        case CastInst::Op::Bitcast:
+          D.Op = Opc::Mov;
+          break;
+        }
         break;
       }
       case Value::Kind::Select: {
         const auto *S = cast<SelectInst>(I);
-        DI.Ops.push_back(MakeOperand(S->getCondition()));
-        DI.Ops.push_back(MakeOperand(S->getTrueValue()));
-        DI.Ops.push_back(MakeOperand(S->getFalseValue()));
+        uint64_t CB;
+        if (Opt && ConstBits(S->getCondition(), CB)) {
+          // The chosen value resolved to a phi register (anything else
+          // was folded or aliased in the pre-pass): emit a copy.
+          const Value *Chosen =
+              (CB & 1) ? S->getTrueValue() : S->getFalseValue();
+          D.Op = Opc::Mov;
+          D.A = OperandReg(Chosen);
+        } else {
+          D.Op = Opc::Sel;
+          D.A = OperandReg(S->getCondition());
+          D.B = OperandReg(S->getTrueValue());
+          D.C = OperandReg(S->getFalseValue());
+        }
         break;
       }
       case Value::Kind::Branch: {
-        const auto *B = cast<BranchInst>(I);
-        if (B->isConditional()) {
-          DI.Ops.push_back(MakeOperand(B->getCondition()));
-          DI.Succ0 = static_cast<int32_t>(BlockIdx.at(B->getSuccessor(0)));
-          DI.Succ1 = static_cast<int32_t>(BlockIdx.at(B->getSuccessor(1)));
+        const auto *Br = cast<BranchInst>(I);
+        D.BlockRetire = BB->size();
+        if (Br->isConditional()) {
+          const BasicBlock *SB0 = Br->getSuccessor(0);
+          const BasicBlock *SB1 = Br->getSuccessor(1);
+          auto [M0B, M0E] = EdgeMoves(BB, SB0);
+          auto [M1B, M1E] = EdgeMoves(BB, SB1);
+          D.M0B = M0B;
+          D.M0E = M0E;
+          D.M1B = M1B;
+          D.M1E = M1E;
+          D.T0 = BlockIdx.at(SB0);
+          D.T1 = BlockIdx.at(SB1);
+          auto CIt = FusedCmp.find(Br);
+          if (CIt != FusedCmp.end()) {
+            FillCmp(D, CIt->second, Opc::BrEQRR, Opc::BrEQRI);
+          } else {
+            D.Op = Opc::Br;
+            D.A = OperandReg(Br->getCondition());
+          }
+          D.Orig = Br; // observers see the branch, not the fused compare
         } else {
-          DI.Succ0 = static_cast<int32_t>(BlockIdx.at(B->getSuccessor(0)));
+          D.Op = Opc::Jmp;
+          const BasicBlock *SB0 = Br->getSuccessor(0);
+          auto [M0B, M0E] = EdgeMoves(BB, SB0);
+          D.M0B = M0B;
+          D.M0E = M0E;
+          D.T0 = BlockIdx.at(SB0);
         }
         break;
       }
       case Value::Kind::Call: {
-        const auto *C = cast<CallInst>(I);
-        DI.DirectCallee = C->getCalledFunction();
-        if (!DI.DirectCallee) {
-          DI.Ops.push_back(MakeOperand(C->getCalleeOperand()));
-        } else if (DI.DirectCallee->isDeclaration()) {
+        const auto *CI = cast<CallInst>(I);
+        D.OrigSoFar = NumPhis + MyIdx + 1;
+        D.ArgsB = static_cast<uint32_t>(DF->ArgPool.size());
+        for (unsigned A = 0, E = CI->getNumArgs(); A != E; ++A)
+          DF->ArgPool.push_back(OperandReg(CI->getArg(A)));
+        D.ArgsE = static_cast<uint32_t>(DF->ArgPool.size());
+        Function *Callee = CI->getCalledFunction();
+        if (!Callee) {
+          D.Op = Opc::CallIndirect;
+          D.A = OperandReg(CI->getCalleeOperand());
+        } else if (Callee->isDeclaration()) {
           // Pre-resolve the external to its dense slot (assigned now if
           // the implementation registers later).
-          DI.ExternalId =
-              static_cast<int32_t>(externalIdFor(DI.DirectCallee->getName()));
+          D.Op = Opc::CallExternal;
+          D.DirectCallee = Callee;
+          D.ExternalId =
+              static_cast<int32_t>(externalIdFor(Callee->getName()));
         } else {
-          auto IdIt = FunctionIds.find(DI.DirectCallee);
+          D.Op = Opc::CallDirect;
+          D.DirectCallee = Callee;
+          auto IdIt = FunctionIds.find(Callee);
           if (IdIt != FunctionIds.end())
-            DI.CalleeSlot = &DecodedById[IdIt->second];
+            D.CalleeSlot = &DecodedById[IdIt->second];
         }
-        for (unsigned A = 0, E = C->getNumArgs(); A != E; ++A)
-          DI.Ops.push_back(MakeOperand(C->getArg(A)));
         break;
       }
       case Value::Kind::Ret: {
-        const auto *R = cast<RetInst>(I);
-        if (R->hasReturnValue())
-          DI.Ops.push_back(MakeOperand(R->getReturnValue()));
+        const auto *Rt = cast<RetInst>(I);
+        D.BlockRetire = BB->size();
+        if (Rt->hasReturnValue()) {
+          D.Op = Opc::Ret;
+          D.A = OperandReg(Rt->getReturnValue());
+        } else {
+          D.Op = Opc::RetVoid;
+        }
         break;
       }
       case Value::Kind::Unreachable:
+        D.Op = Opc::Unreachable;
         break;
       default:
         assert(false && "unhandled instruction kind while decoding");
       }
-      DI.IdxInBlock = static_cast<uint32_t>(DB.Insts.size());
-      DB.Insts.push_back(std::move(DI));
+      DF->Code.push_back(D);
     }
-    DF->Blocks.push_back(std::move(DB));
   }
+
+  // Resolve branch targets from block indices to pcs.
+  for (DInst &D : DF->Code) {
+    if (D.Op == Opc::Jmp) {
+      D.S0 = static_cast<int32_t>(DF->BlockPc[D.T0]);
+    } else if (D.Op == Opc::Br ||
+               (D.Op >= Opc::BrEQRR && D.Op <= Opc::BrFGERI)) {
+      D.S0 = static_cast<int32_t>(DF->BlockPc[D.T0]);
+      D.S1 = static_cast<int32_t>(DF->BlockPc[D.T1]);
+    }
+  }
+
+  DF->FileSize = ScratchReg + 1 + static_cast<uint32_t>(DF->Consts.size());
 
   auto &Ref = *DF;
   DecodedStore.push_back(std::move(DF));
@@ -387,6 +1102,14 @@ ExecutionEngine::ExecutionEngine(Module &M, Options Opts)
 }
 
 ExecutionEngine::~ExecutionEngine() = default;
+
+bool ExecutionEngine::hasThreadedDispatch() {
+#ifdef NOELLE_INTERP_HAVE_CGOTO
+  return true;
+#else
+  return false;
+#endif
+}
 
 uint64_t ExecutionEngine::heapAlloc(uint64_t Bytes) {
   uint64_t Aligned = (Bytes + 15) & ~uint64_t(15);
@@ -490,383 +1213,39 @@ void ExecutionEngine::clearDispatchRecords() {
 }
 
 //===----------------------------------------------------------------------===//
-// Execution
+// Execution tiers: one handler set (ExecuteLoop.inc), three loops.
 //===----------------------------------------------------------------------===//
 
-struct ExecutionEngine::Frame {
-  std::vector<RuntimeValue> Regs;
-  std::unique_ptr<uint8_t[]> FrameMem;
-  uint64_t FrameBase = 0;
-  uint64_t FrameSize = 0;
-};
+#ifdef NOELLE_INTERP_HAVE_CGOTO
+#define NIR_EXEC_NAME execThreaded
+#define NIR_EXEC_CGOTO 1
+#define NIR_EXEC_OBSERVED 0
+#include "interp/ExecuteLoop.inc"
+#endif
+
+#define NIR_EXEC_NAME execSwitch
+#define NIR_EXEC_CGOTO 0
+#define NIR_EXEC_OBSERVED 0
+#include "interp/ExecuteLoop.inc"
+
+#define NIR_EXEC_NAME execObserved
+#define NIR_EXEC_CGOTO 0
+#define NIR_EXEC_OBSERVED 1
+#include "interp/ExecuteLoop.inc"
 
 RuntimeValue
 ExecutionEngine::execute(DecodedFunction &DF,
                          const std::vector<RuntimeValue> &Args,
                          unsigned Depth) {
-  if (Depth > Opts.MaxCallDepth) {
-    std::fprintf(stderr, "interpreter: call depth limit exceeded in @%s\n",
-                 DF.F->getName().c_str());
-    std::abort();
-  }
-
-  Frame Fr;
-  Fr.Regs.resize(DF.NumRegs);
-  for (size_t I = 0; I < Args.size() && I < DF.NumRegs; ++I)
-    Fr.Regs[I] = Args[I];
-  if (DF.FrameBytes) {
-    Fr.FrameMem = std::make_unique<uint8_t[]>(DF.FrameBytes);
-    std::memset(Fr.FrameMem.get(), 0, DF.FrameBytes);
-    Fr.FrameBase = reinterpret_cast<uint64_t>(Fr.FrameMem.get());
-    Fr.FrameSize = DF.FrameBytes;
-    frameRegistry().add(Fr.FrameBase, Fr.FrameSize);
-  }
-
-  auto Val = [&](const Operand &Op) -> RuntimeValue {
-    return Op.IsImm ? Op.Imm : Fr.Regs[Op.Reg];
-  };
-
-  uint32_t CurB = 0;
-  RuntimeValue Result;
-  // Retirement is accumulated locally and flushed on return: a shared
-  // atomic bumped per block would serialize parallel tasks on one cache
-  // line and erase the speedups Figure 5 measures.
-  uint64_t Retired = 0;
-  uint64_t PartialCounted = 0; ///< instructions already counted in CurB
-
-  auto EnterBlock = [&](uint32_t Target, uint32_t From) {
-    DecodedBlock &DB = DF.Blocks[Target];
-    if (!DB.Phis.empty()) {
-      // Simultaneous phi semantics: read everything, then write.
-      // (Phi temps are small; a fixed stack buffer covers common cases.)
-      RuntimeValue Temps[64];
-      std::vector<RuntimeValue> Overflow;
-      RuntimeValue *T = Temps;
-      if (DB.Phis.size() > 64) {
-        Overflow.resize(DB.Phis.size());
-        T = Overflow.data();
-      }
-      for (size_t I = 0; I < DB.Phis.size(); ++I) {
-        auto It = DB.Phis[I].ByPredBlock.find(From);
-        assert(It != DB.Phis[I].ByPredBlock.end() &&
-               "phi has no incoming value for the executed edge");
-        T[I] = Val(It->second);
-      }
-      for (size_t I = 0; I < DB.Phis.size(); ++I)
-        Fr.Regs[DB.Phis[I].ResultReg] = T[I];
-    }
-    CurB = Target;
-  };
-
-  for (;;) {
-    DecodedBlock &DB = DF.Blocks[CurB];
-    if (Observer)
-      Observer->onBlockExecuted(DB.BB);
-    if (Opts.MaxInstructions && Retired > Opts.MaxInstructions) {
-      std::fprintf(stderr, "interpreter: instruction budget exceeded\n");
-      std::abort();
-    }
-
-    bool Transferred = false;
-    for (DecodedInst &DI : DB.Insts) {
-      switch (DI.K) {
-      case Value::Kind::Alloca:
-        Fr.Regs[DI.ResultReg] = RuntimeValue::ofPtr(Fr.FrameBase + DI.Aux);
-        break;
-      case Value::Kind::Load: {
-        uint64_t Addr = Val(DI.Ops[0]).P;
-        RuntimeValue R;
-        switch (DI.MemSize) {
-        case 8:
-          std::memcpy(&R.I, reinterpret_cast<void *>(Addr), 8);
-          break;
-        case 4: {
-          int32_t V;
-          std::memcpy(&V, reinterpret_cast<void *>(Addr), 4);
-          R.I = V;
-          break;
-        }
-        default: {
-          uint8_t V;
-          std::memcpy(&V, reinterpret_cast<void *>(Addr), 1);
-          R.I = V;
-          break;
-        }
-        }
-        Fr.Regs[DI.ResultReg] = R;
-        break;
-      }
-      case Value::Kind::Store: {
-        RuntimeValue V = Val(DI.Ops[0]);
-        uint64_t Addr = Val(DI.Ops[1]).P;
-        switch (DI.MemSize) {
-        case 8:
-          std::memcpy(reinterpret_cast<void *>(Addr), &V.I, 8);
-          break;
-        case 4: {
-          int32_t S = static_cast<int32_t>(V.I);
-          std::memcpy(reinterpret_cast<void *>(Addr), &S, 4);
-          break;
-        }
-        default: {
-          uint8_t S = static_cast<uint8_t>(V.I);
-          std::memcpy(reinterpret_cast<void *>(Addr), &S, 1);
-          break;
-        }
-        }
-        break;
-      }
-      case Value::Kind::GEP: {
-        uint64_t Base = Val(DI.Ops[0]).P;
-        int64_t Index = Val(DI.Ops[1]).I;
-        Fr.Regs[DI.ResultReg] = RuntimeValue::ofPtr(
-            Base + static_cast<uint64_t>(Index * static_cast<int64_t>(DI.Aux)));
-        break;
-      }
-      case Value::Kind::Binary: {
-        RuntimeValue L = Val(DI.Ops[0]);
-        RuntimeValue R = Val(DI.Ops[1]);
-        RuntimeValue Out;
-        switch (static_cast<BinaryInst::Op>(DI.Sub)) {
-        case BinaryInst::Op::Add:
-          Out.I = L.I + R.I;
-          break;
-        case BinaryInst::Op::Sub:
-          Out.I = L.I - R.I;
-          break;
-        case BinaryInst::Op::Mul:
-          Out.I = L.I * R.I;
-          break;
-        case BinaryInst::Op::SDiv:
-          Out.I = R.I ? L.I / R.I : 0;
-          break;
-        case BinaryInst::Op::SRem:
-          Out.I = R.I ? L.I % R.I : 0;
-          break;
-        case BinaryInst::Op::And:
-          Out.I = L.I & R.I;
-          break;
-        case BinaryInst::Op::Or:
-          Out.I = L.I | R.I;
-          break;
-        case BinaryInst::Op::Xor:
-          Out.I = L.I ^ R.I;
-          break;
-        case BinaryInst::Op::Shl:
-          Out.I = L.I << (R.I & 63);
-          break;
-        case BinaryInst::Op::AShr:
-          Out.I = L.I >> (R.I & 63);
-          break;
-        case BinaryInst::Op::FAdd:
-          Out.F = L.F + R.F;
-          break;
-        case BinaryInst::Op::FSub:
-          Out.F = L.F - R.F;
-          break;
-        case BinaryInst::Op::FMul:
-          Out.F = L.F * R.F;
-          break;
-        case BinaryInst::Op::FDiv:
-          Out.F = L.F / R.F;
-          break;
-        }
-        Fr.Regs[DI.ResultReg] = Out;
-        break;
-      }
-      case Value::Kind::Cmp: {
-        RuntimeValue L = Val(DI.Ops[0]);
-        RuntimeValue R = Val(DI.Ops[1]);
-        bool B = false;
-        switch (static_cast<CmpInst::Pred>(DI.Sub)) {
-        case CmpInst::Pred::EQ:
-          B = L.I == R.I;
-          break;
-        case CmpInst::Pred::NE:
-          B = L.I != R.I;
-          break;
-        case CmpInst::Pred::SLT:
-          B = L.I < R.I;
-          break;
-        case CmpInst::Pred::SLE:
-          B = L.I <= R.I;
-          break;
-        case CmpInst::Pred::SGT:
-          B = L.I > R.I;
-          break;
-        case CmpInst::Pred::SGE:
-          B = L.I >= R.I;
-          break;
-        case CmpInst::Pred::FEQ:
-          B = L.F == R.F;
-          break;
-        case CmpInst::Pred::FNE:
-          B = L.F != R.F;
-          break;
-        case CmpInst::Pred::FLT:
-          B = L.F < R.F;
-          break;
-        case CmpInst::Pred::FLE:
-          B = L.F <= R.F;
-          break;
-        case CmpInst::Pred::FGT:
-          B = L.F > R.F;
-          break;
-        case CmpInst::Pred::FGE:
-          B = L.F >= R.F;
-          break;
-        }
-        Fr.Regs[DI.ResultReg] = RuntimeValue::ofInt(B ? 1 : 0);
-        break;
-      }
-      case Value::Kind::Cast: {
-        RuntimeValue V = Val(DI.Ops[0]);
-        RuntimeValue Out = V;
-        switch (static_cast<CastInst::Op>(DI.Sub)) {
-        case CastInst::Op::SExt: {
-          // Canonical i8/i1 are zero-extended; re-sign-extend from width.
-          if (DI.MemTy == Type::Kind::Int8)
-            Out.I = static_cast<int8_t>(V.I);
-          else if (DI.MemTy == Type::Kind::Int1)
-            Out.I = (V.I & 1) ? -1 : 0;
-          else
-            Out.I = V.I; // i32 held sign-extended already
-          break;
-        }
-        case CastInst::Op::ZExt:
-          if (DI.MemTy == Type::Kind::Int32)
-            Out.I = static_cast<uint32_t>(V.I);
-          else
-            Out.I = V.I; // i8/i1 canonical form is zero-extended
-          break;
-        case CastInst::Op::Trunc:
-          switch (DI.MemSize) {
-          case 4:
-            Out.I = static_cast<int32_t>(V.I);
-            break;
-          case 1:
-            Out.I = V.I & 0xFF;
-            break;
-          default:
-            Out.I = V.I;
-          }
-          break;
-        case CastInst::Op::SIToFP:
-          Out.F = static_cast<double>(V.I);
-          break;
-        case CastInst::Op::FPToSI:
-          Out.I = static_cast<int64_t>(V.F);
-          break;
-        case CastInst::Op::PtrToInt:
-        case CastInst::Op::IntToPtr:
-        case CastInst::Op::Bitcast:
-          Out = V;
-          break;
-        }
-        Fr.Regs[DI.ResultReg] = Out;
-        break;
-      }
-      case Value::Kind::Select: {
-        bool C = Val(DI.Ops[0]).I & 1;
-        Fr.Regs[DI.ResultReg] = C ? Val(DI.Ops[1]) : Val(DI.Ops[2]);
-        break;
-      }
-      case Value::Kind::Branch: {
-        Retired += DB.InstCount - PartialCounted;
-        PartialCounted = 0;
-        uint32_t From = CurB;
-        if (DI.Succ1 >= 0) {
-          bool C = Val(DI.Ops[0]).I & 1;
-          if (Observer)
-            Observer->onBranchExecuted(cast<BranchInst>(DI.Orig), C ? 0 : 1);
-          EnterBlock(C ? DI.Succ0 : DI.Succ1, From);
-        } else {
-          EnterBlock(DI.Succ0, From);
-        }
-        Transferred = true;
-        break;
-      }
-      case Value::Kind::Call: {
-        const auto *CI = cast<CallInst>(DI.Orig);
-        Function *Callee = DI.DirectCallee;
-        size_t ArgStart = 0;
-        if (!Callee) {
-          Callee = decodeFunction(Val(DI.Ops[0]).P);
-          ArgStart = 1;
-          if (!Callee) {
-            std::fprintf(stderr,
-                         "interpreter: indirect call to invalid target\n");
-            std::abort();
-          }
-        }
-        std::vector<RuntimeValue> CallArgs;
-        CallArgs.reserve(DI.Ops.size() - ArgStart);
-        for (size_t A = ArgStart; A < DI.Ops.size(); ++A)
-          CallArgs.push_back(Val(DI.Ops[A]));
-
-        RuntimeValue R;
-        if (Callee->isDeclaration()) {
-          // Flush retirement (including the partially executed current
-          // block) so runtime externals such as ss_wait/ss_signal observe
-          // an up-to-date per-thread counter.
-          uint64_t SoFar = DB.Phis.size() + DI.IdxInBlock + 1;
-          Retired += SoFar - PartialCounted;
-          PartialCounted = SoFar;
-          InstructionsRetired.fetch_add(Retired, std::memory_order_relaxed);
-          ThreadRetired += Retired;
-          Retired = 0;
-          if (DI.ExternalId >= 0) {
-            // Dense slot pre-resolved at decode time: no by-name lookup.
-            const ExternalFn &Fn = ExternalTable[DI.ExternalId];
-            if (!Fn) {
-              std::fprintf(stderr,
-                           "interpreter: no implementation for external "
-                           "@%s\n",
-                           Callee->getName().c_str());
-              std::abort();
-            }
-            R = Fn(*this, CI, CallArgs);
-          } else {
-            R = callExternal(Callee, CI, CallArgs);
-          }
-        } else {
-          if (Observer)
-            Observer->onCallExecuted(CI, Callee);
-          // Direct calls resolved their cache slot at decode time; the
-          // load is lock-free once the callee has been decoded.
-          DecodedFunction *CalleeDF =
-              DI.CalleeSlot
-                  ? DI.CalleeSlot->load(std::memory_order_acquire)
-                  : nullptr;
-          if (!CalleeDF)
-            CalleeDF = &getDecoded(Callee);
-          R = execute(*CalleeDF, CallArgs, Depth + 1);
-        }
-        if (DI.ResultReg >= 0)
-          Fr.Regs[DI.ResultReg] = R;
-        break;
-      }
-      case Value::Kind::Ret:
-        if (!DI.Ops.empty())
-          Result = Val(DI.Ops[0]);
-        if (Fr.FrameSize)
-          frameRegistry().remove(Fr.FrameBase, Fr.FrameSize);
-        Retired += DB.InstCount - PartialCounted;
-        InstructionsRetired.fetch_add(Retired, std::memory_order_relaxed);
-        ThreadRetired += Retired;
-        return Result;
-      case Value::Kind::Unreachable:
-        std::fprintf(stderr, "interpreter: reached 'unreachable' in @%s\n",
-                     DF.F->getName().c_str());
-        std::abort();
-      default:
-        assert(false && "unhandled instruction kind while executing");
-      }
-      if (Transferred)
-        break;
-    }
-    assert(Transferred && "block fell through without a terminator");
-  }
+  // An installed observer routes through the unbatched tier so
+  // onBlockExecuted/onBranchExecuted fire in program order.
+  if (Observer)
+    return execObserved(DF, Args, Depth);
+#ifdef NOELLE_INTERP_HAVE_CGOTO
+  if (Opts.Dispatch != DispatchMode::Switch)
+    return execThreaded(DF, Args, Depth);
+#endif
+  return execSwitch(DF, Args, Depth);
 }
 
 RuntimeValue
@@ -874,6 +1253,17 @@ ExecutionEngine::runFunction(Function *F,
                              const std::vector<RuntimeValue> &Args) {
   assert(!F->isDeclaration() && "cannot run a declaration directly");
   return execute(getDecoded(F), Args, 0);
+}
+
+ExecutionEngine::PreparedFunction ExecutionEngine::prepare(Function *F) {
+  assert(!F->isDeclaration() && "cannot prepare a declaration");
+  return &getDecoded(F);
+}
+
+RuntimeValue
+ExecutionEngine::runPrepared(PreparedFunction P,
+                             const std::vector<RuntimeValue> &Args) {
+  return execute(*P, Args, 0);
 }
 
 int64_t ExecutionEngine::runMain() {

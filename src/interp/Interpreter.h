@@ -5,9 +5,16 @@
 /// this reproduction — profilers observe it and the parallel runtime
 /// executes transformed task functions on it from multiple host threads.
 ///
-/// Functions are lazily decoded into a dense register-machine form so the
-/// per-instruction dispatch cost is low enough for real speedup
-/// measurements (Figure 5).
+/// The engine is a two-tier optimizing interpreter. Functions are lazily
+/// decoded into a flat threaded-code array: decode time performs constant
+/// folding into immediate-operand opcodes, GEP flattening, phi elimination
+/// into per-edge move lists, and superinstruction fusion (cmp+br, gep+load,
+/// gep+store, mul+add). Execution uses computed-goto threaded dispatch when
+/// the compiler supports it (NOELLE_INTERP_HAVE_CGOTO, probed by CMake)
+/// with a portable switch fallback; installing an ExecutionObserver routes
+/// execution through an unbatched tier that fires callbacks in program
+/// order. Retired-instruction accounting is byte-identical across tiers
+/// and optimization levels, which is what pins Figure-5 DispatchRecords.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -61,6 +68,11 @@ class ExecutionEngine;
 
 /// Observation points used by NOELLE's profilers. All callbacks run on
 /// the executing thread; implementations must be cheap.
+///
+/// Installing an observer switches the engine to its unbatched execution
+/// tier: onBlockExecuted / onBranchExecuted fire in program order, once
+/// per dynamic block / conditional branch, exactly as in the pre-fusion
+/// engine. Instruction accounting is unchanged by the tier switch.
 class ExecutionObserver {
 public:
   virtual ~ExecutionObserver() = default;
@@ -97,15 +109,42 @@ struct DispatchRecord {
 /// are thread-local by construction.
 class ExecutionEngine {
 public:
+  /// Dispatch-loop selection, mostly for benchmarking the tiers against
+  /// each other; Auto picks threaded dispatch when the build has it.
+  enum class DispatchMode { Auto, Threaded, Switch };
+
   struct Options {
     uint64_t HeapBytes = 64ull << 20; ///< malloc arena size
     uint64_t MaxCallDepth = 4096;
     uint64_t MaxInstructions = 0; ///< 0 = unlimited; else trap guard
+    /// Decode-time optimization: constant folding into immediate-operand
+    /// opcodes, GEP flattening, phi edge-move sequentialization, and
+    /// superinstruction fusion. Off decodes one opcode per NIR
+    /// instruction (the reference shape); results, output, and retired-
+    /// instruction counts are identical either way. The compile-time
+    /// default flips with -DNOELLE_INTERP_NOOPT=ON.
+#ifdef NOELLE_INTERP_NOOPT
+    bool DecodeOpt = false;
+#else
+    bool DecodeOpt = true;
+#endif
+    DispatchMode Dispatch = DispatchMode::Auto;
   };
 
-  /// Decoded register-machine form of a function (defined in the .cpp;
+  /// Decoded threaded-code form of a function (defined in the .cpp;
   /// public only so decode-time metadata can point at cache slots).
   struct DecodedFunction;
+
+  /// Opaque handle to a decoded function, so callers that enter the same
+  /// function many times (the parallel runtime's task entry path) can
+  /// resolve the decode cache once per dispatch instead of once per task
+  /// invocation.
+  using PreparedFunction = DecodedFunction *;
+
+  /// True when this build selected computed-goto threaded dispatch
+  /// (DispatchMode::Threaded is honored; otherwise it falls back to the
+  /// portable switch loop).
+  static bool hasThreadedDispatch();
 
   explicit ExecutionEngine(Module &M) : ExecutionEngine(M, Options{}) {}
   ExecutionEngine(Module &M, Options Opts);
@@ -120,6 +159,12 @@ public:
 
   /// Runs @main() and returns its integer result.
   int64_t runMain();
+
+  /// Decodes \p F now (under the decode lock if needed) and returns a
+  /// handle that runPrepared accepts without any cache lookup.
+  PreparedFunction prepare(Function *F);
+  RuntimeValue runPrepared(PreparedFunction P,
+                           const std::vector<RuntimeValue> &Args);
 
   /// Registers an implementation for a declared function; overrides the
   /// built-in library for that name.
@@ -171,12 +216,21 @@ public:
   void clearOutput() { Output.clear(); }
 
 private:
-  struct Frame;
-
   DecodedFunction &getDecoded(Function *F);
+  /// Tier selector: observer installed -> observed switch loop; else the
+  /// threaded loop when available and not overridden by Options.
   RuntimeValue execute(DecodedFunction &DF,
                        const std::vector<RuntimeValue> &Args,
                        unsigned Depth);
+  RuntimeValue execThreaded(DecodedFunction &DF,
+                            const std::vector<RuntimeValue> &Args,
+                            unsigned Depth);
+  RuntimeValue execSwitch(DecodedFunction &DF,
+                          const std::vector<RuntimeValue> &Args,
+                          unsigned Depth);
+  RuntimeValue execObserved(DecodedFunction &DF,
+                            const std::vector<RuntimeValue> &Args,
+                            unsigned Depth);
   RuntimeValue callExternal(Function *F, const CallInst *Call,
                             const std::vector<RuntimeValue> &Args);
   /// Returns the dense slot index for external name \p Name, assigning a

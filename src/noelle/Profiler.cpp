@@ -12,23 +12,36 @@ using nir::Instruction;
 //===----------------------------------------------------------------------===//
 
 void Profiler::onBlockExecuted(const BasicBlock *BB) {
-  Data.BlockCounts[BB] += 1;
+  if (BB != LastBlock) {
+    LastBlock = BB;
+    LastBlockCount = &Data.BlockCounts[BB];
+  }
+  *LastBlockCount += 1;
   Data.TotalInstructions += BB->size();
 }
 
 void Profiler::onBranchExecuted(const BranchInst *Br, unsigned Taken) {
-  auto &Counts = Data.BranchCounts[Br];
+  if (Br != LastBranch) {
+    LastBranch = Br;
+    LastBranchCounts = &Data.BranchCounts[Br];
+  }
   if (Taken == 0)
-    ++Counts.first;
+    ++LastBranchCounts->first;
   else
-    ++Counts.second;
+    ++LastBranchCounts->second;
 }
 
 void Profiler::onCallExecuted(const nir::CallInst *, const Function *Callee) {
   Data.FnInvocations[Callee] += 1;
 }
 
-ProfileData Profiler::takeData() { return std::move(Data); }
+ProfileData Profiler::takeData() {
+  LastBlock = nullptr;
+  LastBlockCount = nullptr;
+  LastBranch = nullptr;
+  LastBranchCounts = nullptr;
+  return std::move(Data);
+}
 
 ProfileData Profiler::profileModule(Module &M) {
   nir::ExecutionEngine Engine(M);

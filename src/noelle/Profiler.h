@@ -91,6 +91,13 @@ public:
 
 private:
   ProfileData Data;
+  /// Last-entry caches: dynamic block/branch streams are dominated by
+  /// tight loops re-hitting the same few keys, so one pointer compare
+  /// usually replaces the map walk.
+  const BasicBlock *LastBlock = nullptr;
+  uint64_t *LastBlockCount = nullptr;
+  const BranchInst *LastBranch = nullptr;
+  std::pair<uint64_t, uint64_t> *LastBranchCounts = nullptr;
 };
 
 } // namespace noelle

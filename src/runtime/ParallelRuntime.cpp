@@ -58,13 +58,17 @@ void runDispatch(ExecutionEngine &E, Function *Task, uint64_t EnvPtr,
   size_t N = static_cast<size_t>(NumTasks);
   std::vector<uint64_t> Work(N, 0), Sync(N, 0), Seg(N, 0);
 
+  // Resolve the task function's decoded form once per dispatch; every
+  // task invocation then skips the decode-cache lookup entirely.
+  ExecutionEngine::PreparedFunction Prepared = E.prepare(Task);
+
   auto RunOne = [&, EnvPtr, NumTasks](int64_t T) {
     ExecutionEngine::resetThreadRetired();
     ThreadSyncOps = 0;
     ThreadSegmentWork = 0;
-    E.runFunction(Task, {RuntimeValue::ofPtr(EnvPtr),
-                         RuntimeValue::ofInt(T),
-                         RuntimeValue::ofInt(NumTasks)});
+    E.runPrepared(Prepared, {RuntimeValue::ofPtr(EnvPtr),
+                             RuntimeValue::ofInt(T),
+                             RuntimeValue::ofInt(NumTasks)});
     Work[static_cast<size_t>(T)] = ExecutionEngine::readThreadRetired();
     Sync[static_cast<size_t>(T)] = ThreadSyncOps;
     Seg[static_cast<size_t>(T)] = ThreadSegmentWork;

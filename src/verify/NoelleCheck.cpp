@@ -91,7 +91,7 @@ CheckReport noelle::verify::checkModule(nir::Module &M,
         Deps.LoopCarriedMemDeps.insert({T, F});
       }
     }
-    detectRaces(M, Regions, Rep, &Deps);
+    detectRaces(M, Regions, Rep, &Deps, Opts.Races);
   }
 
   return Rep;

@@ -27,6 +27,7 @@
 #include "ir/Module.h"
 #include "verify/DataFlowLint.h"
 #include "verify/Diagnostic.h"
+#include "verify/RaceDetector.h"
 
 namespace noelle {
 namespace verify {
@@ -46,6 +47,7 @@ struct CheckOptions {
   bool RunVerifier = true; ///< nir::verifyModule incl. SSA dominance
   bool RunLegality = true; ///< dependence-discharge audit
   bool RunRaces = true;    ///< static race detection
+  RaceDetectorOptions Races; ///< rule toggles for the race detector
 };
 
 /// Audits the transformed module \p M against \p Snap. Returns every

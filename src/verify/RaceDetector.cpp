@@ -1,6 +1,7 @@
 #include "verify/RaceDetector.h"
 
 #include "analysis/AliasAnalysis.h"
+#include "analysis/Dominators.h"
 #include "ir/Function.h"
 #include "verify/CheckMetadata.h"
 
@@ -12,6 +13,7 @@ using namespace noelle::verify;
 using nir::AliasAnalysis;
 using nir::AliasResult;
 using nir::AndersenAliasAnalysis;
+using nir::BasicBlock;
 using nir::CallInst;
 using nir::Function;
 using nir::Instruction;
@@ -108,8 +110,9 @@ std::vector<Access> collectAccesses(const TaskInfo &T) {
 class RegionRaceScan {
 public:
   RegionRaceScan(const ParallelRegion &R, AliasAnalysis &AA,
-                 const PDGDependenceSummary *Deps, CheckReport &Rep)
-      : R(R), AA(AA), Deps(Deps), Rep(Rep) {}
+                 const PDGDependenceSummary *Deps,
+                 const RaceDetectorOptions &Opts, CheckReport &Rep)
+      : R(R), AA(AA), Deps(Deps), Opts(Opts), Rep(Rep) {}
 
   void run() {
     std::vector<std::vector<Access>> PerTask;
@@ -136,6 +139,13 @@ public:
 private:
   void checkPair(const Access &A, const Access &B) {
     if (!A.IsWrite && !B.IsWrite)
+      return;
+    // Queue happens-before runs before pointer reasoning: it orders the
+    // accesses in time, so even a wildcard (unknown side effects) pair
+    // is discharged. DSWP only — a queue cannot order a task against a
+    // concurrent copy of itself.
+    if (Opts.UseQueueHB && !R.selfConcurrent() && A.Task != B.Task &&
+        (orderedByQueue(A, B) || orderedByQueue(B, A)))
       return;
     if (!A.Ptr || !B.Ptr) {
       reportRace(A, B, "call with unknown side effects overlaps another "
@@ -193,6 +203,107 @@ private:
     if (protectedBySegment(A, B))
       return;
     reportRace(A, B, "accesses may alias and nothing orders them");
+  }
+
+  /// Queue happens-before, one direction: every execution of \p Pre's
+  /// anchor precedes every push of some queue q whose only producer is
+  /// Pre's task, and \p Post's anchor is dominated by a pop of q in
+  /// Post's task. Then Pre ⟶ push ⟶ (blocking FIFO) ⟶ pop ⟶ Post, so the
+  /// pair can never overlap in time.
+  bool orderedByQueue(const Access &Pre, const Access &Post) {
+    for (unsigned Q : connectingQueues(Pre.Task, Post.Task)) {
+      bool PreOk = true;
+      for (const TaskInfo::QueueOp &Op : Pre.Task->QueueOps)
+        if (Op.IsPush && Op.Queue == Q && mayFollow(Op.Call, Pre.Anchor)) {
+          PreOk = false;
+          break;
+        }
+      if (!PreOk)
+        continue;
+      const nir::DominatorTree &DT = domTreeFor(*Post.Task);
+      for (const TaskInfo::QueueOp &Op : Post.Task->QueueOps)
+        if (!Op.IsPush && Op.Queue == Q && DT.dominates(Op.Call, Post.Anchor))
+          return true;
+    }
+    return false;
+  }
+
+  /// Queues with at least one push in \p Producer, at least one pop in
+  /// \p Consumer, and no push anywhere else in the region (a second
+  /// producer could satisfy the pop without ordering against the first).
+  const std::vector<unsigned> &connectingQueues(const TaskInfo *Producer,
+                                                const TaskInfo *Consumer) {
+    auto Key = std::make_pair(Producer, Consumer);
+    auto It = ConnectingCache.find(Key);
+    if (It != ConnectingCache.end())
+      return It->second;
+    std::set<unsigned> Pushed, Popped, PushedElsewhere;
+    for (const TaskInfo::QueueOp &Op : Producer->QueueOps)
+      if (Op.IsPush)
+        Pushed.insert(Op.Queue);
+    for (const TaskInfo::QueueOp &Op : Consumer->QueueOps)
+      if (!Op.IsPush)
+        Popped.insert(Op.Queue);
+    for (const TaskInfo &T : R.Tasks) {
+      if (&T == Producer)
+        continue;
+      for (const TaskInfo::QueueOp &Op : T.QueueOps)
+        if (Op.IsPush)
+          PushedElsewhere.insert(Op.Queue);
+    }
+    std::vector<unsigned> Qs;
+    for (unsigned Q : Pushed)
+      if (Popped.count(Q) && !PushedElsewhere.count(Q))
+        Qs.push_back(Q);
+    return ConnectingCache.emplace(Key, std::move(Qs)).first->second;
+  }
+
+  /// May \p Later execute after \p Earlier in the same thread? Same
+  /// block: yes if Earlier comes first in block order, or the block can
+  /// re-enter itself; otherwise CFG reachability through at least one
+  /// edge decides.
+  bool mayFollow(const Instruction *Earlier, const Instruction *Later) {
+    const BasicBlock *EB = Earlier->getParent();
+    const BasicBlock *LB = Later->getParent();
+    const auto &Reach = reachableFrom(EB);
+    if (EB != LB)
+      return Reach.count(LB) != 0;
+    if (Reach.count(EB))
+      return true; // block inside a cycle: any relative order recurs
+    for (const auto &IPtr : EB->getInstList()) {
+      if (IPtr.get() == Earlier)
+        return true;
+      if (IPtr.get() == Later)
+        return false;
+    }
+    return true; // unreachable: neither found
+  }
+
+  const std::set<const BasicBlock *> &reachableFrom(const BasicBlock *BB) {
+    auto It = ReachCache.find(BB);
+    if (It != ReachCache.end())
+      return It->second;
+    std::set<const BasicBlock *> Seen;
+    std::vector<const BasicBlock *> Work;
+    for (BasicBlock *S : BB->successors())
+      if (Seen.insert(S).second)
+        Work.push_back(S);
+    while (!Work.empty()) {
+      const BasicBlock *Cur = Work.back();
+      Work.pop_back();
+      for (BasicBlock *S : Cur->successors())
+        if (Seen.insert(S).second)
+          Work.push_back(S);
+    }
+    return ReachCache.emplace(BB, std::move(Seen)).first->second;
+  }
+
+  const nir::DominatorTree &domTreeFor(const TaskInfo &T) {
+    auto It = DomCache.find(T.Fn);
+    if (It == DomCache.end())
+      It = DomCache.emplace(T.Fn, std::make_unique<nir::DominatorTree>(*T.Fn))
+               .first;
+    return *It->second;
   }
 
   bool isTaskLocal(const PtrClass &C, const TaskInfo &T) const {
@@ -263,10 +374,16 @@ private:
   const ParallelRegion &R;
   AliasAnalysis &AA;
   const PDGDependenceSummary *Deps;
+  const RaceDetectorOptions &Opts;
   CheckReport &Rep;
   std::map<const TaskInfo *,
            std::map<const Instruction *, nir::BitVector>>
       HeldCache;
+  std::map<std::pair<const TaskInfo *, const TaskInfo *>,
+           std::vector<unsigned>>
+      ConnectingCache;
+  std::map<const BasicBlock *, std::set<const BasicBlock *>> ReachCache;
+  std::map<Function *, std::unique_ptr<nir::DominatorTree>> DomCache;
 };
 
 } // namespace
@@ -274,10 +391,11 @@ private:
 void noelle::verify::detectRaces(nir::Module &M,
                                  const std::vector<ParallelRegion> &Regions,
                                  CheckReport &Rep,
-                                 const PDGDependenceSummary *Deps) {
+                                 const PDGDependenceSummary *Deps,
+                                 const RaceDetectorOptions &Opts) {
   if (Regions.empty())
     return;
   AndersenAliasAnalysis AA(M);
   for (const ParallelRegion &R : Regions)
-    RegionRaceScan(R, AA, Deps, Rep).run();
+    RegionRaceScan(R, AA, Deps, Opts, Rep).run();
 }

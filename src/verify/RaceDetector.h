@@ -41,6 +41,17 @@ struct PDGDependenceSummary {
   std::set<std::pair<uint64_t, uint64_t>> LoopCarriedMemDeps;
 };
 
+/// Tuning knobs for detectRaces. Defaults match production behavior;
+/// tests disable individual rules to pin which one discharged a pair.
+struct RaceDetectorOptions {
+  /// Discharge cross-stage DSWP access pairs ordered by a connecting
+  /// queue's happens-before: with TA the queue's only producer, an
+  /// access of TA that precedes every push is ordered before any
+  /// consumer access dominated by a pop (push completion ⟶ pop return
+  /// carries release/acquire ordering in the runtime).
+  bool UseQueueHB = true;
+};
+
 /// Scans the parallel regions of \p M (the transformed module) for data
 /// races between concurrently executing workers. DOALL/HELIX workers run
 /// the same task body against themselves; DSWP stages run concurrently
@@ -51,7 +62,8 @@ struct PDGDependenceSummary {
 void detectRaces(nir::Module &M,
                  const std::vector<ParallelRegion> &Regions,
                  CheckReport &Rep,
-                 const PDGDependenceSummary *Deps = nullptr);
+                 const PDGDependenceSummary *Deps = nullptr,
+                 const RaceDetectorOptions &Opts = {});
 
 } // namespace verify
 } // namespace noelle

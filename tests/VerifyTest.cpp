@@ -488,6 +488,65 @@ TEST(VerifyTest, LintAcceptsNullCheckedHeapHandle) {
 // Race detector: a task writing a fixed shared slot races with itself.
 //===----------------------------------------------------------------------===//
 
+TEST(VerifyTest, QueueHappensBeforeDischargesCrossStagePair) {
+  // Seed a W/R pair across DSWP stages that only the queue
+  // happens-before rule can discharge: the producer writes a fresh
+  // global before any of its pushes, the consumer reads it after its
+  // first pop. The instructions carry no provenance, so the PDG cannot
+  // ground them; points-to says they alias; with the queue-HB rule off
+  // the pair must surface as a race, with it on the report stays clean.
+  Context Ctx;
+  Checked C = transform(Ctx, DswpPipelineSrc, "dswp", 2);
+  ASSERT_GE(C.Parallelized, 1u);
+
+  std::vector<Function *> Stages = tasksOfKind(*C.M, "dswp-stage");
+  ASSERT_GE(Stages.size(), 2u);
+  Function *Producer = nullptr;
+  Function *Consumer = nullptr;
+  for (Function *S : Stages) {
+    bool Pushes = !callsTo(*S, "noelle_queue_push").empty();
+    bool Pops = !callsTo(*S, "noelle_queue_pop").empty();
+    if (Pushes && !Pops)
+      Producer = S;
+    if (Pops)
+      Consumer = S;
+  }
+  ASSERT_NE(Producer, nullptr);
+  ASSERT_NE(Consumer, nullptr);
+  ASSERT_NE(Producer, Consumer);
+
+  nir::GlobalVariable *G =
+      C.M->createGlobal(Ctx.getInt64Ty(), "seeded_hb_slot");
+  IRBuilder B(Ctx);
+  // The store precedes every push: it sits in the producer's entry
+  // block, which no push can reach again.
+  B.setInsertPoint(Producer->getEntryBlock().getInstList().front().get());
+  B.createStore(Ctx.getInt64(1), G);
+  // The load is dominated by the consumer's first pop.
+  std::vector<CallInst *> Pops = callsTo(*Consumer, "noelle_queue_pop");
+  ASSERT_FALSE(Pops.empty());
+  CallInst *Pop = Pops.front();
+  BasicBlock *PB = Pop->getParent();
+  Instruction *After = nullptr;
+  for (auto It = PB->getInstList().begin(); It != PB->getInstList().end();
+       ++It)
+    if (It->get() == Pop) {
+      After = std::next(It)->get();
+      break;
+    }
+  ASSERT_NE(After, nullptr);
+  B.setInsertPoint(After);
+  B.createLoad(Ctx.getInt64Ty(), G, "seeded.hb.read");
+
+  verify::CheckReport On = verify::checkModule(*C.M, C.Snap);
+  EXPECT_EQ(On.count(verify::DiagKind::DataRace), 0u) << On.str();
+
+  verify::CheckOptions NoHB;
+  NoHB.Races.UseQueueHB = false;
+  verify::CheckReport Off = verify::checkModule(*C.M, C.Snap, NoHB);
+  EXPECT_GE(Off.count(verify::DiagKind::DataRace), 1u) << Off.str();
+}
+
 TEST(VerifyTest, SharedSlotWriteInDoallTaskIsARace) {
   Context Ctx;
   Checked C = transform(Ctx, SumReductionSrc, "doall");

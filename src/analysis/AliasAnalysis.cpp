@@ -10,31 +10,55 @@ using namespace nir;
 // Shared ModRef logic.
 //===----------------------------------------------------------------------===//
 
-ModRefResult AliasAnalysis::getModRef(const Instruction *I,
-                                      const Value *Ptr) {
+bool nir::memoryAccessOf(const Instruction *I, MemAccess &Out) {
   switch (I->getKind()) {
   case Value::Kind::Load: {
     const auto *L = cast<LoadInst>(I);
-    return alias(L->getPointerOperand(), Ptr) == AliasResult::NoAlias
-               ? ModRefResult::NoModRef
-               : ModRefResult::Ref;
+    Out = {L->getPointerOperand(), L->getType()->getStoreSize(), false};
+    return true;
   }
   case Value::Kind::Store: {
     const auto *S = cast<StoreInst>(I);
-    return alias(S->getPointerOperand(), Ptr) == AliasResult::NoAlias
-               ? ModRefResult::NoModRef
-               : ModRefResult::Mod;
+    Out = {S->getPointerOperand(),
+           S->getValueOperand()->getType()->getStoreSize(), true};
+    return true;
   }
-  case Value::Kind::Call: {
+  case Value::Kind::VLoad: {
+    const auto *L = cast<VLoadInst>(I);
+    Out = {L->getPointerOperand(), L->getAccessSize(), false};
+    return true;
+  }
+  case Value::Kind::VStore: {
+    const auto *S = cast<VStoreInst>(I);
+    Out = {S->getPointerOperand(), S->getAccessSize(), true};
+    return true;
+  }
+  default:
+    return false;
+  }
+}
+
+ModRefResult AliasAnalysis::getModRef(const Instruction *I,
+                                      const Value *Ptr) {
+  return getModRef(I, Ptr, 8);
+}
+
+ModRefResult AliasAnalysis::getModRef(const Instruction *I, const Value *Ptr,
+                                      uint64_t Size) {
+  MemAccess A;
+  if (memoryAccessOf(I, A))
+    return alias(A.Ptr, accessGranule(A.Size), Ptr, accessGranule(Size)) ==
+                   AliasResult::NoAlias
+               ? ModRefResult::NoModRef
+               : (A.IsWrite ? ModRefResult::Mod : ModRefResult::Ref);
+  if (isa<CallInst>(I)) {
     if (I->getMetadata("noelle.pure") == "true")
       return ModRefResult::NoModRef;
     if (I->getMetadata("noelle.readonly") == "true")
       return ModRefResult::Ref;
     return ModRefResult::ModRef;
   }
-  default:
-    return ModRefResult::NoModRef;
-  }
+  return ModRefResult::NoModRef;
 }
 
 //===----------------------------------------------------------------------===//
@@ -106,8 +130,13 @@ bool BasicAliasAnalysis::isNonEscapingLocal(const Value *Obj) {
 }
 
 AliasResult BasicAliasAnalysis::alias(const Value *P1, const Value *P2) {
+  return alias(P1, 8, P2, 8);
+}
+
+AliasResult BasicAliasAnalysis::alias(const Value *P1, uint64_t S1,
+                                      const Value *P2, uint64_t S2) {
   if (P1 == P2)
-    return AliasResult::MustAlias;
+    return S1 == S2 ? AliasResult::MustAlias : AliasResult::MayAlias;
 
   int64_t Off1 = 0, Off2 = 0;
   bool Known1 = false, Known2 = false;
@@ -121,10 +150,11 @@ AliasResult BasicAliasAnalysis::alias(const Value *P1, const Value *P2) {
   if (Obj1 == Obj2) {
     if (Known1 && Known2) {
       if (Off1 == Off2)
-        return AliasResult::MustAlias;
-      // Disjoint constant offsets off the same object cannot overlap for
-      // our fixed-size scalar accesses (at most 8 bytes).
-      if (Off1 + 8 <= Off2 || Off2 + 8 <= Off1)
+        return S1 == S2 ? AliasResult::MustAlias : AliasResult::MayAlias;
+      // Disjoint constant ranges off the same object cannot overlap; the
+      // extents matter now that vector accesses reach past one granule.
+      if (Off1 + static_cast<int64_t>(S1) <= Off2 ||
+          Off2 + static_cast<int64_t>(S2) <= Off1)
         return AliasResult::NoAlias;
       return AliasResult::MayAlias;
     }
@@ -315,8 +345,13 @@ AndersenAliasAnalysis::getPointsTo(const Value *P) const {
 }
 
 AliasResult AndersenAliasAnalysis::alias(const Value *P1, const Value *P2) {
+  return alias(P1, 8, P2, 8);
+}
+
+AliasResult AndersenAliasAnalysis::alias(const Value *P1, uint64_t S1,
+                                         const Value *P2, uint64_t S2) {
   if (P1 == P2)
-    return AliasResult::MustAlias;
+    return S1 == S2 ? AliasResult::MustAlias : AliasResult::MayAlias;
 
   // Resolve through gep chains first for field-sensitivity on constant
   // offsets off the same object (Andersen alone is field-insensitive).
@@ -345,24 +380,25 @@ AliasResult AndersenAliasAnalysis::alias(const Value *P1, const Value *P2) {
     O2 = Walk(P2, Off2, Known2);
   }
 
-  const auto &S1 = getPointsTo(O1);
-  const auto &S2 = getPointsTo(O2);
-  if (S1.empty() || S2.empty())
+  const auto &PT1 = getPointsTo(O1);
+  const auto &PT2 = getPointsTo(O2);
+  if (PT1.empty() || PT2.empty())
     return AliasResult::MayAlias; // Unknown pointer provenance.
 
   std::vector<const Value *> Inter;
-  std::set_intersection(S1.begin(), S1.end(), S2.begin(), S2.end(),
+  std::set_intersection(PT1.begin(), PT1.end(), PT2.begin(), PT2.end(),
                         std::back_inserter(Inter));
   if (Inter.empty())
     return AliasResult::NoAlias;
 
-  // Same unique object: constant distinct offsets cannot overlap (scalar
-  // accesses are at most 8 bytes wide).
-  if (S1.size() == 1 && S2.size() == 1 && *S1.begin() == *S2.begin() &&
+  // Same unique object: disjoint constant ranges cannot overlap. Access
+  // extents are honored so superword accesses are handled soundly.
+  if (PT1.size() == 1 && PT2.size() == 1 && *PT1.begin() == *PT2.begin() &&
       Known1 && Known2) {
     if (Off1 == Off2)
-      return AliasResult::MustAlias;
-    if (Off1 + 8 <= Off2 || Off2 + 8 <= Off1)
+      return S1 == S2 ? AliasResult::MustAlias : AliasResult::MayAlias;
+    if (Off1 + static_cast<int64_t>(S1) <= Off2 ||
+        Off2 + static_cast<int64_t>(S2) <= Off1)
       return AliasResult::NoAlias;
   }
   return AliasResult::MayAlias;

@@ -26,6 +26,24 @@ enum class AliasResult { NoAlias, MayAlias, MustAlias };
 
 enum class ModRefResult { NoModRef, Ref, Mod, ModRef };
 
+/// The pointer, byte width, and direction of one direct memory access
+/// (scalar load/store or vector vload/vstore).
+struct MemAccess {
+  const Value *Ptr = nullptr;
+  uint64_t Size = 0;
+  bool IsWrite = false;
+};
+
+/// Describes \p I's direct memory access, if it has one. Calls are not
+/// direct accesses (their effects flow through mod/ref summaries).
+bool memoryAccessOf(const Instruction *I, MemAccess &Out);
+
+/// The width used when disambiguating an access: scalars round up to the
+/// historical 8-byte granule (conservative: never removes an overlap),
+/// vector accesses keep their full extent so superword loads and stores
+/// are not treated as one-granule accesses.
+inline uint64_t accessGranule(uint64_t Size) { return Size < 8 ? 8 : Size; }
+
 /// Interface for memory-disambiguation queries over pointer values.
 class AliasAnalysis {
 public:
@@ -35,8 +53,22 @@ public:
   /// \p P2?
   virtual AliasResult alias(const Value *P1, const Value *P2) = 0;
 
+  /// Size-aware form: may [P1, P1+S1) overlap [P2, P2+S2)? The unsized
+  /// query is the S1 = S2 = 8 special case; analyses that reason about
+  /// constant offsets must honor the extents so vector accesses (up to
+  /// 64 bytes) are not disambiguated with scalar widths.
+  virtual AliasResult alias(const Value *P1, uint64_t S1, const Value *P2,
+                            uint64_t S2) {
+    (void)S1;
+    (void)S2;
+    return alias(P1, P2);
+  }
+
   /// How may instruction \p I access the memory reached through \p Ptr?
+  /// The sized form bounds the extent reached through \p Ptr.
   virtual ModRefResult getModRef(const Instruction *I, const Value *Ptr);
+  ModRefResult getModRef(const Instruction *I, const Value *Ptr,
+                         uint64_t Size);
 
   /// A short name for reports ("none", "basic", "andersen").
   virtual const char *getName() const = 0;
@@ -56,6 +88,8 @@ public:
 class BasicAliasAnalysis : public AliasAnalysis {
 public:
   AliasResult alias(const Value *P1, const Value *P2) override;
+  AliasResult alias(const Value *P1, uint64_t S1, const Value *P2,
+                    uint64_t S2) override;
   const char *getName() const override { return "basic"; }
 
 private:
@@ -79,6 +113,8 @@ public:
   explicit AndersenAliasAnalysis(Module &M);
 
   AliasResult alias(const Value *P1, const Value *P2) override;
+  AliasResult alias(const Value *P1, uint64_t S1, const Value *P2,
+                    uint64_t S2) override;
   const char *getName() const override { return "andersen"; }
 
   /// Possible targets of an indirect call: every function whose address

@@ -386,8 +386,15 @@ ExecutionEngine::DecodedFunction &ExecutionEngine::getDecoded(Function *F) {
     RegOf[F->getArg(I)] = NextReg++;
   for (const auto &BB : F->getBlocks())
     for (const auto &Inst : BB->getInstList())
-      if (!Inst->getType()->isVoid())
-        RegOf[Inst.get()] = NextReg++;
+      if (!Inst->getType()->isVoid()) {
+        RegOf[Inst.get()] = NextReg;
+        // A vector value owns one slot per lane; its base register is
+        // the SSA slot and lanes live at base .. base+lanes.
+        NextReg += Inst->getType()->isVector()
+                       ? static_cast<uint32_t>(
+                             Inst->getType()->getVectorNumLanes())
+                       : 1;
+      }
   DF->NumRegs = NextReg;
   const uint32_t ScratchReg = NextReg; // constant pool starts after it
 
@@ -1031,6 +1038,52 @@ ExecutionEngine::DecodedFunction &ExecutionEngine::getDecoded(Function *F) {
       case Value::Kind::Unreachable:
         D.Op = Opc::Unreachable;
         break;
+      case Value::Kind::VLoad: {
+        const auto *VL = cast<VLoadInst>(I);
+        Type *VecTy = VL->getType();
+        D.Op = memSizeOf(VecTy->getVectorElementType()) == 8 ? Opc::VLd8
+                                                             : Opc::VLd4;
+        D.A = OperandReg(VL->getPointerOperand());
+        D.Scl = static_cast<uint32_t>(VecTy->getVectorNumLanes());
+        break;
+      }
+      case Value::Kind::VStore: {
+        const auto *VS = cast<VStoreInst>(I);
+        Type *VecTy = VS->getValueOperand()->getType();
+        D.Op = memSizeOf(VecTy->getVectorElementType()) == 8 ? Opc::VSt8
+                                                             : Opc::VSt4;
+        D.A = static_cast<int32_t>(RegOf.at(VS->getValueOperand()));
+        D.B = OperandReg(VS->getPointerOperand());
+        D.Scl = static_cast<uint32_t>(VecTy->getVectorNumLanes());
+        break;
+      }
+      case Value::Kind::VBinary: {
+        // VAdd..VFDiv mirror BinaryInst::Op order, including the FP tail.
+        const auto *VB = cast<VBinaryInst>(I);
+        D.Op = opcAdd(Opc::VAdd, static_cast<unsigned>(VB->getOp()));
+        D.A = static_cast<int32_t>(RegOf.at(VB->getLHS()));
+        D.B = static_cast<int32_t>(RegOf.at(VB->getRHS()));
+        D.Scl = static_cast<uint32_t>(I->getType()->getVectorNumLanes());
+        break;
+      }
+      case Value::Kind::VExtract: {
+        // A lane is just a register: extract decodes to a plain copy.
+        const auto *VE = cast<VExtractInst>(I);
+        D.Op = Opc::Mov;
+        D.A = static_cast<int32_t>(RegOf.at(VE->getVectorOperand()) +
+                                   VE->getLane());
+        break;
+      }
+      case Value::Kind::VPack: {
+        const auto *VP = cast<VPackInst>(I);
+        D.Op = Opc::VPackOp;
+        D.ArgsB = static_cast<uint32_t>(DF->ArgPool.size());
+        for (uint64_t L = 0, E = VP->getNumLanes(); L != E; ++L)
+          DF->ArgPool.push_back(OperandReg(VP->getLaneOperand(L)));
+        D.ArgsE = static_cast<uint32_t>(DF->ArgPool.size());
+        D.Scl = static_cast<uint32_t>(VP->getNumLanes());
+        break;
+      }
       default:
         assert(false && "unhandled instruction kind while decoding");
       }

@@ -25,6 +25,22 @@ Type *Context::getArrayTy(Type *Elem, uint64_t NumElements) {
   return T;
 }
 
+Type *Context::getVectorTy(Type *Elem, uint64_t Lanes) {
+  assert((Elem == &Int32Ty || Elem == &Int64Ty || Elem == &DoubleTy) &&
+         "vector elements must be i32, i64, or double");
+  assert(Lanes >= 2 && Lanes <= 8 && "vector lane count must be in [2, 8]");
+  auto Key = std::make_pair(Elem, Lanes);
+  auto It = VectorTypes.find(Key);
+  if (It != VectorTypes.end())
+    return It->second;
+  auto *T = new Type(Type::Kind::Vector);
+  T->ContainedTypes.push_back(Elem);
+  T->ArrayLength = Lanes;
+  OwnedTypes.emplace_back(T);
+  VectorTypes[Key] = T;
+  return T;
+}
+
 Type *Context::getFunctionTy(Type *Ret, const std::vector<Type *> &Params) {
   auto Key = std::make_pair(Ret, Params);
   auto It = FunctionTypes.find(Key);

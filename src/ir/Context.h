@@ -43,6 +43,10 @@ public:
   /// Returns the uniqued array type [NumElements x Elem].
   Type *getArrayTy(Type *Elem, uint64_t NumElements);
 
+  /// Returns the uniqued vector type of \p Lanes lanes of \p Elem.
+  /// Elements are limited to i32, i64, and double; lane counts to 2-8.
+  Type *getVectorTy(Type *Elem, uint64_t Lanes);
+
   /// Returns the uniqued function type Ret(Params...).
   Type *getFunctionTy(Type *Ret, const std::vector<Type *> &Params);
 
@@ -73,6 +77,7 @@ private:
 
   std::vector<std::unique_ptr<Type>> OwnedTypes;
   std::map<std::pair<Type *, uint64_t>, Type *> ArrayTypes;
+  std::map<std::pair<Type *, uint64_t>, Type *> VectorTypes;
   std::map<std::pair<Type *, std::vector<Type *>>, Type *> FunctionTypes;
   std::map<std::pair<Type *, int64_t>, std::unique_ptr<ConstantInt>> IntConsts;
   std::map<double, std::unique_ptr<ConstantFP>> FPConsts;

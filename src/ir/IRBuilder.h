@@ -127,6 +127,30 @@ public:
     return insert(new UnreachableInst(Ctx.getVoidTy()), "");
   }
 
+  VLoadInst *createVLoad(Type *VecTy, Value *Ptr,
+                         const std::string &Name = "") {
+    return insert(new VLoadInst(VecTy, Ptr), Name);
+  }
+
+  VStoreInst *createVStore(Value *Vec, Value *Ptr) {
+    return insert(new VStoreInst(Ctx.getVoidTy(), Vec, Ptr), "");
+  }
+
+  VBinaryInst *createVBinary(VBinaryInst::Op Op, Value *L, Value *R,
+                             const std::string &Name = "") {
+    return insert(new VBinaryInst(Op, L, R), Name);
+  }
+
+  VExtractInst *createVExtract(Value *Vec, uint64_t Lane,
+                               const std::string &Name = "") {
+    return insert(new VExtractInst(Vec, Lane), Name);
+  }
+
+  VPackInst *createVPack(Type *VecTy, const std::vector<Value *> &Lanes,
+                         const std::string &Name = "") {
+    return insert(new VPackInst(VecTy, Lanes), Name);
+  }
+
   ConstantInt *getInt64(int64_t V) { return Ctx.getInt64(V); }
   ConstantInt *getInt1(bool V) { return Ctx.getInt1(V); }
   ConstantFP *getDouble(double V) { return Ctx.getConstantFP(V); }

@@ -17,6 +17,7 @@ Module *Instruction::getModule() const {
 bool Instruction::mayReadFromMemory() const {
   switch (getKind()) {
   case Kind::Load:
+  case Kind::VLoad:
     return true;
   case Kind::Call: {
     // Calls conservatively read memory unless marked pure via metadata.
@@ -30,6 +31,7 @@ bool Instruction::mayReadFromMemory() const {
 bool Instruction::mayWriteToMemory() const {
   switch (getKind()) {
   case Kind::Store:
+  case Kind::VStore:
     return true;
   case Kind::Call:
     return getMetadata("noelle.pure") != "true" &&
@@ -183,6 +185,35 @@ Instruction *Instruction::clone() const {
   case Kind::Unreachable:
     New = new UnreachableInst(getType());
     break;
+  case Kind::VLoad: {
+    auto *L = cast<VLoadInst>(this);
+    New = new VLoadInst(getType(), L->getPointerOperand());
+    break;
+  }
+  case Kind::VStore: {
+    auto *S = cast<VStoreInst>(this);
+    New = new VStoreInst(getType(), S->getValueOperand(),
+                         S->getPointerOperand());
+    break;
+  }
+  case Kind::VBinary: {
+    auto *B = cast<VBinaryInst>(this);
+    New = new VBinaryInst(B->getOp(), B->getLHS(), B->getRHS());
+    break;
+  }
+  case Kind::VExtract: {
+    auto *E = cast<VExtractInst>(this);
+    New = new VExtractInst(E->getVectorOperand(), E->getLane());
+    break;
+  }
+  case Kind::VPack: {
+    auto *P = cast<VPackInst>(this);
+    std::vector<Value *> Lanes;
+    for (unsigned I = 0, E = P->getNumLanes(); I != E; ++I)
+      Lanes.push_back(P->getLaneOperand(I));
+    New = new VPackInst(getType(), Lanes);
+    break;
+  }
   default:
     assert(false && "unknown instruction kind in clone");
     return nullptr;
@@ -222,6 +253,17 @@ std::string Instruction::getOpcodeName() const {
     return "ret";
   case Kind::Unreachable:
     return "unreachable";
+  case Kind::VLoad:
+    return "vload";
+  case Kind::VStore:
+    return "vstore";
+  case Kind::VBinary:
+    return std::string("v") +
+           BinaryInst::opName(cast<VBinaryInst>(this)->getOp());
+  case Kind::VExtract:
+    return "vextract";
+  case Kind::VPack:
+    return "vpack";
   default:
     return "<unknown>";
   }

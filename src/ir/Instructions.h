@@ -337,6 +337,116 @@ public:
   }
 };
 
+//===----------------------------------------------------------------------===//
+// Vector instructions. A vector value is N consecutive lanes of one scalar
+// element type (i32, i64, or double); memory accesses touch
+// lanes * elementSize contiguous bytes starting at the pointer operand.
+//===----------------------------------------------------------------------===//
+
+/// Reads a whole vector from contiguous memory at the pointer operand.
+class VLoadInst : public Instruction {
+public:
+  VLoadInst(Type *VecTy, Value *Ptr) : Instruction(Kind::VLoad, VecTy) {
+    assert(VecTy->isVector() && "vload requires a vector result type");
+    assert(Ptr->getType()->isPointer() && "vload requires a pointer operand");
+    addOperand(Ptr);
+  }
+
+  Value *getPointerOperand() const { return getOperand(0); }
+  uint64_t getAccessSize() const { return getType()->getStoreSize(); }
+
+  static bool classof(const Value *V) { return V->getKind() == Kind::VLoad; }
+};
+
+/// Writes a whole vector to contiguous memory at the pointer operand.
+class VStoreInst : public Instruction {
+public:
+  VStoreInst(Type *VoidTy, Value *Vec, Value *Ptr)
+      : Instruction(Kind::VStore, VoidTy) {
+    assert(Vec->getType()->isVector() && "vstore requires a vector value");
+    assert(Ptr->getType()->isPointer() && "vstore requires a pointer operand");
+    addOperand(Vec);
+    addOperand(Ptr);
+  }
+
+  Value *getValueOperand() const { return getOperand(0); }
+  Value *getPointerOperand() const { return getOperand(1); }
+  uint64_t getAccessSize() const {
+    return getValueOperand()->getType()->getStoreSize();
+  }
+
+  static bool classof(const Value *V) { return V->getKind() == Kind::VStore; }
+};
+
+/// Lane-wise two-operand arithmetic on vectors; reuses BinaryInst::Op.
+class VBinaryInst : public Instruction {
+public:
+  using Op = BinaryInst::Op;
+
+  VBinaryInst(Op TheOp, Value *LHS, Value *RHS)
+      : Instruction(Kind::VBinary, LHS->getType()), TheOp(TheOp) {
+    assert(LHS->getType()->isVector() && "vbinary operands must be vectors");
+    assert(LHS->getType() == RHS->getType() &&
+           "vbinary operands must share a type");
+    addOperand(LHS);
+    addOperand(RHS);
+  }
+
+  Op getOp() const { return TheOp; }
+  Value *getLHS() const { return getOperand(0); }
+  Value *getRHS() const { return getOperand(1); }
+  bool isFloatingPoint() const { return TheOp >= Op::FAdd; }
+
+  static bool classof(const Value *V) { return V->getKind() == Kind::VBinary; }
+
+private:
+  Op TheOp;
+};
+
+/// Extracts one scalar lane from a vector.
+class VExtractInst : public Instruction {
+public:
+  VExtractInst(Value *Vec, uint64_t Lane)
+      : Instruction(Kind::VExtract,
+                    Vec->getType()->getVectorElementType()),
+        Lane(Lane) {
+    assert(Lane < Vec->getType()->getVectorNumLanes() &&
+           "vextract lane out of range");
+    addOperand(Vec);
+  }
+
+  Value *getVectorOperand() const { return getOperand(0); }
+  uint64_t getLane() const { return Lane; }
+
+  static bool classof(const Value *V) {
+    return V->getKind() == Kind::VExtract;
+  }
+
+private:
+  uint64_t Lane;
+};
+
+/// Builds a vector from N scalar operands (one per lane, lane 0 first).
+class VPackInst : public Instruction {
+public:
+  VPackInst(Type *VecTy, const std::vector<Value *> &Lanes)
+      : Instruction(Kind::VPack, VecTy) {
+    assert(VecTy->isVector() && "vpack requires a vector result type");
+    assert(Lanes.size() == VecTy->getVectorNumLanes() &&
+           "vpack needs one operand per lane");
+    for (Value *L : Lanes) {
+      assert(L->getType() == VecTy->getVectorElementType() &&
+             "vpack lane type mismatch");
+      addOperand(L);
+    }
+  }
+
+  Value *getLaneOperand(unsigned I) const { return getOperand(I); }
+  unsigned getNumLanes() const { return getNumOperands(); }
+
+  static bool classof(const Value *V) { return V->getKind() == Kind::VPack; }
+};
+
 } // namespace nir
 
 #endif // IR_INSTRUCTIONS_H

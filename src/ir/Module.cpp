@@ -277,6 +277,37 @@ void printInstruction(std::ostream &OS, const Instruction &I,
   case Value::Kind::Unreachable:
     OS << "unreachable";
     break;
+  case Value::Kind::VLoad: {
+    auto &L = *cast<VLoadInst>(&I);
+    OS << "vload " << L.getType()->str() << ", "
+       << Ref(L.getPointerOperand());
+    break;
+  }
+  case Value::Kind::VStore: {
+    auto &S = *cast<VStoreInst>(&I);
+    OS << "vstore " << S.getValueOperand()->getType()->str() << " "
+       << Ref(S.getValueOperand()) << ", " << Ref(S.getPointerOperand());
+    break;
+  }
+  case Value::Kind::VBinary: {
+    auto &B = *cast<VBinaryInst>(&I);
+    OS << "v" << BinaryInst::opName(B.getOp()) << " " << B.getType()->str()
+       << " " << Ref(B.getLHS()) << ", " << Ref(B.getRHS());
+    break;
+  }
+  case Value::Kind::VExtract: {
+    auto &E = *cast<VExtractInst>(&I);
+    OS << "vextract " << E.getVectorOperand()->getType()->str() << " "
+       << Ref(E.getVectorOperand()) << ", " << E.getLane();
+    break;
+  }
+  case Value::Kind::VPack: {
+    auto &P = *cast<VPackInst>(&I);
+    OS << "vpack " << P.getType()->str();
+    for (unsigned K = 0, E = P.getNumLanes(); K != E; ++K)
+      OS << (K ? ", " : " ") << Ref(P.getLaneOperand(K));
+    break;
+  }
   default:
     assert(false && "unknown instruction kind in printer");
   }
@@ -458,6 +489,13 @@ uint64_t Module::getContentHash() const {
         case Value::Kind::Cast:
           HS.word(static_cast<uint64_t>(
               cast<CastInst>(I.get())->getOp()));
+          break;
+        case Value::Kind::VBinary:
+          HS.word(static_cast<uint64_t>(
+              cast<VBinaryInst>(I.get())->getOp()));
+          break;
+        case Value::Kind::VExtract:
+          HS.word(cast<VExtractInst>(I.get())->getLane());
           break;
         default:
           break;

@@ -333,6 +333,22 @@ private:
       return Ctx.getDoubleTy();
     if (Name == "ptr")
       return Ctx.getPtrTy();
+    // Vector types are single identifiers: v<lanes><elem>, e.g. v4i64,
+    // v2double, v8i32.
+    if (Name.size() > 2 && Name[0] == 'v' && Name[1] >= '2' &&
+        Name[1] <= '8') {
+      uint64_t Lanes = static_cast<uint64_t>(Name[1] - '0');
+      std::string Elem = Name.substr(2);
+      Type *ElemTy = nullptr;
+      if (Elem == "i32")
+        ElemTy = Ctx.getInt32Ty();
+      else if (Elem == "i64")
+        ElemTy = Ctx.getInt64Ty();
+      else if (Elem == "double")
+        ElemTy = Ctx.getDoubleTy();
+      if (ElemTy)
+        return Ctx.getVectorTy(ElemTy, Lanes);
+    }
     fail("unknown type '" + Name + "'");
     return Ctx.getInt64Ty();
   }
@@ -800,6 +816,84 @@ private:
     }
     if (Op == "unreachable")
       return new UnreachableInst(Ctx.getVoidTy());
+    if (Op == "vload") {
+      Type *Ty = parseType();
+      expect(TokKind::Comma, ",");
+      Value *Ptr = parseOperand(Ctx.getPtrTy());
+      if (failed() || !Ty->isVector()) {
+        if (!failed())
+          fail("vload requires a vector type");
+        return nullptr;
+      }
+      return new VLoadInst(Ty, Ptr);
+    }
+    if (Op == "vstore") {
+      Type *Ty = parseType();
+      if (failed() || !Ty->isVector()) {
+        if (!failed())
+          fail("vstore requires a vector type");
+        return nullptr;
+      }
+      Value *V = parseOperand(Ty);
+      expect(TokKind::Comma, ",");
+      Value *Ptr = parseOperand(Ctx.getPtrTy());
+      if (failed())
+        return nullptr;
+      return new VStoreInst(Ctx.getVoidTy(), V, Ptr);
+    }
+    if (Op == "vextract") {
+      Type *Ty = parseType();
+      if (failed() || !Ty->isVector()) {
+        if (!failed())
+          fail("vextract requires a vector type");
+        return nullptr;
+      }
+      Value *V = parseOperand(Ty);
+      expect(TokKind::Comma, ",");
+      Token L = expect(TokKind::Integer, "lane index");
+      if (failed())
+        return nullptr;
+      if (L.IntVal < 0 ||
+          static_cast<uint64_t>(L.IntVal) >= Ty->getVectorNumLanes()) {
+        fail("vextract lane out of range");
+        return nullptr;
+      }
+      return new VExtractInst(V, static_cast<uint64_t>(L.IntVal));
+    }
+    if (Op == "vpack") {
+      Type *Ty = parseType();
+      if (failed() || !Ty->isVector()) {
+        if (!failed())
+          fail("vpack requires a vector type");
+        return nullptr;
+      }
+      std::vector<Value *> Lanes;
+      for (uint64_t K = 0; K < Ty->getVectorNumLanes(); ++K) {
+        if (K)
+          expect(TokKind::Comma, ",");
+        Lanes.push_back(parseOperand(Ty->getVectorElementType()));
+        if (failed())
+          return nullptr;
+      }
+      return new VPackInst(Ty, Lanes);
+    }
+    // Lane-wise vector arithmetic: 'v' + a scalar binop name (vadd...).
+    if (Op.size() > 1 && Op[0] == 'v') {
+      if (auto It = BinOps.find(Op.substr(1)); It != BinOps.end()) {
+        Type *Ty = parseType();
+        if (failed() || !Ty->isVector()) {
+          if (!failed())
+            fail("vector binop requires a vector type");
+          return nullptr;
+        }
+        Value *L = parseOperand(Ty);
+        expect(TokKind::Comma, ",");
+        Value *R = parseOperand(Ty);
+        if (failed())
+          return nullptr;
+        return new VBinaryInst(It->second, L, R);
+      }
+    }
 
     fail("unknown opcode '" + Op + "'");
     return nullptr;

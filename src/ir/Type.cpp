@@ -19,6 +19,7 @@ uint64_t Type::getStoreSize() const {
   case Kind::Function:
     return 8;
   case Kind::Array:
+  case Kind::Vector:
     return ArrayLength * ContainedTypes[0]->getStoreSize();
   }
   return 0;
@@ -43,6 +44,11 @@ std::string Type::str() const {
   case Kind::Array: {
     std::ostringstream OS;
     OS << "[" << ArrayLength << " x " << ContainedTypes[0]->str() << "]";
+    return OS.str();
+  }
+  case Kind::Vector: {
+    std::ostringstream OS;
+    OS << "v" << ArrayLength << ContainedTypes[0]->str();
     return OS.str();
   }
   case Kind::Function: {

@@ -32,6 +32,7 @@ public:
     Ptr,      ///< Opaque pointer (modern-LLVM style).
     Array,    ///< [N x Elem]; used for globals and allocas.
     Function, ///< Ret(Args...).
+    Vector,   ///< vNelem (e.g. v4i64): N lanes of a scalar element.
   };
 
   Kind getKind() const { return TheKind; }
@@ -45,6 +46,7 @@ public:
   bool isPointer() const { return TheKind == Kind::Ptr; }
   bool isArray() const { return TheKind == Kind::Array; }
   bool isFunction() const { return TheKind == Kind::Function; }
+  bool isVector() const { return TheKind == Kind::Vector; }
 
   /// Bit width for integer types.
   unsigned getIntegerBitWidth() const {
@@ -75,6 +77,18 @@ public:
   /// Array element count; valid only for arrays.
   uint64_t getArrayNumElements() const {
     assert(isArray() && "not an array type");
+    return ArrayLength;
+  }
+
+  /// Vector element type; valid only for vectors.
+  Type *getVectorElementType() const {
+    assert(isVector() && "not a vector type");
+    return ContainedTypes[0];
+  }
+
+  /// Vector lane count; valid only for vectors.
+  uint64_t getVectorNumLanes() const {
+    assert(isVector() && "not a vector type");
     return ArrayLength;
   }
 

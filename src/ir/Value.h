@@ -52,7 +52,14 @@ public:
     Call,
     Ret,
     Unreachable,
-    InstLast = Unreachable,
+    // Vector instructions (appended so pre-vector kind numerals — and the
+    // content hashes derived from them — stay stable).
+    VLoad,
+    VStore,
+    VBinary,
+    VExtract,
+    VPack,
+    InstLast = VPack,
   };
 
   /// One recorded use of this value: which user, at which operand slot.

@@ -15,6 +15,14 @@ void verifyFunction(const Function &F, std::vector<std::string> &Out) {
     Out.push_back("@" + F.getName() + ": " + Msg);
   };
 
+  // Vector values cannot cross function boundaries (no vector arguments
+  // or returns): the interpreter ABI passes scalars only.
+  for (unsigned A = 0, E = F.getNumArgs(); A != E; ++A)
+    if (F.getArg(A)->getType()->isVector())
+      Report("vector-typed function argument");
+  if (F.getReturnType()->isVector())
+    Report("vector-typed return type");
+
   std::set<const BasicBlock *> Blocks;
   for (const auto &BB : F.getBlocks())
     Blocks.insert(BB.get());
@@ -64,6 +72,77 @@ void verifyFunction(const Function &F, std::vector<std::string> &Out) {
             Report("reference to a block outside this function in '" +
                    BBName + "'");
         }
+      }
+
+      // Vector IR constraints: lane widths, operand agreement, and the
+      // placement rules (no vector phis/selects/calls/rets — vector
+      // values live entirely inside straight-line superword regions).
+      if (I.getType()->isVector()) {
+        uint64_t Lanes = I.getType()->getVectorNumLanes();
+        if (Lanes < 2 || Lanes > 8)
+          Report("vector value with lane count outside [2, 8] in '" +
+                 BBName + "'");
+        if (!isa<VLoadInst>(&I) && !isa<VBinaryInst>(&I) &&
+            !isa<VPackInst>(&I))
+          Report("vector-typed result on a non-vector instruction in '" +
+                 BBName + "'");
+      }
+      // Vector operands must be instruction results: there are no vector
+      // constants, undefs, or arguments in NIR.
+      for (const auto *Op : I.operands())
+        if (Op && Op->getType()->isVector() && !isa<Instruction>(Op))
+          Report("vector operand that is not an instruction result in '" +
+                 BBName + "'");
+      switch (I.getKind()) {
+      case Value::Kind::VLoad:
+        break;
+      case Value::Kind::VStore: {
+        const auto *S = cast<VStoreInst>(&I);
+        if (!S->getValueOperand()->getType()->isVector())
+          Report("vstore of a non-vector value in '" + BBName + "'");
+        break;
+      }
+      case Value::Kind::VBinary: {
+        const auto *B = cast<VBinaryInst>(&I);
+        if (B->getLHS()->getType() != I.getType() ||
+            B->getRHS()->getType() != I.getType())
+          Report("vbinary operand type mismatch in '" + BBName + "'");
+        if (I.getType()->isVector()) {
+          bool FPElem = I.getType()->getVectorElementType()->isDouble();
+          if (FPElem != B->isFloatingPoint())
+            Report("vbinary op does not match element type in '" + BBName +
+                   "'");
+        }
+        break;
+      }
+      case Value::Kind::VExtract: {
+        const auto *E = cast<VExtractInst>(&I);
+        Type *VecTy = E->getVectorOperand()->getType();
+        if (!VecTy->isVector())
+          Report("vextract from a non-vector value in '" + BBName + "'");
+        else if (E->getLane() >= VecTy->getVectorNumLanes())
+          Report("vextract lane out of range in '" + BBName + "'");
+        else if (I.getType() != VecTy->getVectorElementType())
+          Report("vextract result type mismatch in '" + BBName + "'");
+        break;
+      }
+      case Value::Kind::VPack: {
+        const auto *P = cast<VPackInst>(&I);
+        if (!I.getType()->isVector() ||
+            P->getNumLanes() != I.getType()->getVectorNumLanes())
+          Report("vpack arity does not match its lane count in '" + BBName +
+                 "'");
+        break;
+      }
+      default:
+        // Scalar instructions must not consume vector values except
+        // through vextract/vstore (no vector phis, selects, calls, rets,
+        // branches, or address operands).
+        for (const auto *Op : I.operands())
+          if (Op && Op->getType()->isVector())
+            Report("vector operand on scalar instruction '" +
+                   I.getOpcodeName() + "' in '" + BBName + "'");
+        break;
       }
 
       if (const auto *Phi = dyn_cast<PhiInst>(&I)) {

@@ -56,10 +56,10 @@ bool InvariantManager::isInvariantRec(const Value *V,
       }
     }
   }
-  // Terminators, stores, and calls are not hoistable values; treating
-  // them as variant keeps the definition aligned with "can be moved to
-  // the preheader".
-  if (I->isTerminator() || nir::isa<nir::StoreInst>(I) ||
+  // Terminators, stores (scalar or vector), and calls are not hoistable
+  // values; treating them as variant keeps the definition aligned with
+  // "can be moved to the preheader".
+  if (I->isTerminator() || I->mayWriteToMemory() ||
       nir::isa<nir::CallInst>(I) || nir::isa<nir::AllocaInst>(I)) {
     Memo[V] = false;
     return false;

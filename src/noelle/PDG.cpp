@@ -40,7 +40,8 @@ bool isMemoryInertExternal(const Function *F) {
 }
 
 bool mayAccessMemory(const Instruction *I) {
-  if (nir::isa<LoadInst>(I) || nir::isa<StoreInst>(I))
+  if (nir::isa<LoadInst>(I) || nir::isa<StoreInst>(I) ||
+      nir::isa<nir::VLoadInst>(I) || nir::isa<nir::VStoreInst>(I))
     return true;
   if (const auto *C = nir::dyn_cast<CallInst>(I)) {
     if (C->getMetadata("noelle.pure") == "true")
@@ -104,16 +105,13 @@ void PDGBuilder::buildModRefSummaries() {
     Unknown = false;
     for (const auto &BB : F->getBlocks())
       for (const auto &I : BB->getInstList()) {
-        if (const auto *L = nir::dyn_cast<LoadInst>(I.get())) {
-          const auto &Pts = SummaryAA->getPointsTo(L->getPointerOperand());
+        nir::MemAccess Acc;
+        if (nir::memoryAccessOf(I.get(), Acc)) {
+          const auto &Pts = SummaryAA->getPointsTo(Acc.Ptr);
           if (Pts.empty())
             Unknown = true;
-          Reads.insert(Pts.begin(), Pts.end());
-        } else if (const auto *S = nir::dyn_cast<StoreInst>(I.get())) {
-          const auto &Pts = SummaryAA->getPointsTo(S->getPointerOperand());
-          if (Pts.empty())
-            Unknown = true;
-          Writes.insert(Pts.begin(), Pts.end());
+          auto &Dst = Acc.IsWrite ? Writes : Reads;
+          Dst.insert(Pts.begin(), Pts.end());
         }
       }
   }
@@ -248,22 +246,17 @@ void PDGBuilder::buildFunctionDeps(Function &F, PDG &G, PDG::Stats &Stats) {
       if (mayAccessMemory(I.get()))
         MemInsts.push_back(I.get());
 
-  auto PtrOf = [](Instruction *I) -> const Value * {
-    if (auto *L = nir::dyn_cast<LoadInst>(I))
-      return L->getPointerOperand();
-    if (auto *S = nir::dyn_cast<StoreInst>(I))
-      return S->getPointerOperand();
-    return nullptr;
-  };
-
   for (size_t A = 0; A < MemInsts.size(); ++A) {
     for (size_t B = A; B < MemInsts.size(); ++B) {
       Instruction *IA = MemInsts[A];
       Instruction *IB = MemInsts[B];
-      bool ALoad = nir::isa<LoadInst>(IA);
-      bool BLoad = nir::isa<LoadInst>(IB);
-      bool AStore = nir::isa<StoreInst>(IA);
-      bool BStore = nir::isa<StoreInst>(IB);
+      nir::MemAccess MA, MB;
+      bool AMem = nir::memoryAccessOf(IA, MA);
+      bool BMem = nir::memoryAccessOf(IB, MB);
+      bool ALoad = AMem && !MA.IsWrite;
+      bool BLoad = BMem && !MB.IsWrite;
+      bool AStore = AMem && MA.IsWrite;
+      bool BStore = BMem && MB.IsWrite;
       bool ACall = nir::isa<CallInst>(IA);
       bool BCall = nir::isa<CallInst>(IB);
 
@@ -332,13 +325,13 @@ void PDGBuilder::buildFunctionDeps(Function &F, PDG &G, PDG::Stats &Stats) {
       if (ACall || BCall) {
         Instruction *Call = ACall ? IA : IB;
         Instruction *Mem = ACall ? IB : IA;
-        const Value *Ptr = PtrOf(Mem);
+        const Value *Ptr = ACall ? MB.Ptr : MA.Ptr;
         ++Stats.MemoryPairsQueried;
         if (!callMayTouch(nir::cast<CallInst>(Call), Ptr)) {
           ++Stats.MemoryPairsDisproved;
           continue;
         }
-        bool MemIsStore = nir::isa<StoreInst>(Mem);
+        bool MemIsStore = ACall ? MB.IsWrite : MA.IsWrite;
         // Call treated as a read+write of the location.
         G.addMemoryDep(Call, Mem, MemIsStore ? DataDepKind::WAW
                                              : DataDepKind::RAW,
@@ -349,11 +342,11 @@ void PDGBuilder::buildFunctionDeps(Function &F, PDG &G, PDG::Stats &Stats) {
         continue;
       }
 
-      // Plain load/store pairs.
-      const Value *PA = PtrOf(IA);
-      const Value *PB = PtrOf(IB);
+      // Plain load/store pairs (scalar or vector), disambiguated with
+      // their byte extents so superword accesses stay sound.
       ++Stats.MemoryPairsQueried;
-      AliasResult AR = AA->alias(PA, PB);
+      AliasResult AR = AA->alias(MA.Ptr, nir::accessGranule(MA.Size),
+                                 MB.Ptr, nir::accessGranule(MB.Size));
       if (AR == AliasResult::NoAlias) {
         ++Stats.MemoryPairsDisproved;
         continue;
@@ -714,8 +707,10 @@ bool quickInvariant(const Value *V, const LoopStructure &L) {
 
 /// True if \p V is a strictly-monotonic affine induction expression of
 /// loop \p L: a header phi stepped by a nonzero loop-invariant constant,
-/// or such a phi plus/minus a loop-invariant value.
-bool isMonotonicAffineIV(const Value *V, const LoopStructure &L) {
+/// or such a phi plus/minus a loop-invariant value. When \p MinAbsStep is
+/// given, it receives the smallest |constant step| across back edges.
+bool isMonotonicAffineIV(const Value *V, const LoopStructure &L,
+                         uint64_t *MinAbsStep = nullptr) {
   // Peel constant-offset adjustments.
   const Value *Cur = V;
   for (unsigned Peel = 0; Peel < 4; ++Peel) {
@@ -759,6 +754,12 @@ bool isMonotonicAffineIV(const Value *V, const LoopStructure &L) {
     const auto *C = nir::dyn_cast<ConstantInt>(Amount);
     if (!C || C->isZero())
       return false;
+    if (MinAbsStep) {
+      const int64_t S = C->getValue();
+      const uint64_t Abs = S < 0 ? static_cast<uint64_t>(-S)
+                                 : static_cast<uint64_t>(S);
+      *MinAbsStep = std::min(*MinAbsStep, Abs);
+    }
   }
   return true;
 }
@@ -769,18 +770,17 @@ struct AddrKey {
   const Value *Base = nullptr;
   const Value *Index = nullptr;
   uint64_t Scale = 0;
+  uint64_t AccessSize = 0;
   bool Valid = false;
 };
 
 AddrKey addrKeyOf(const Instruction *I) {
-  const Value *Ptr = nullptr;
-  if (const auto *L = nir::dyn_cast<LoadInst>(I))
-    Ptr = L->getPointerOperand();
-  else if (const auto *S = nir::dyn_cast<StoreInst>(I))
-    Ptr = S->getPointerOperand();
-  if (!Ptr)
+  nir::MemAccess Acc;
+  if (!nir::memoryAccessOf(I, Acc))
     return {};
+  const Value *Ptr = Acc.Ptr;
   AddrKey K;
+  K.AccessSize = Acc.Size;
   if (const auto *G = nir::dyn_cast<GEPInst>(Ptr)) {
     K.Base = G->getBase();
     K.Index = G->getIndex();
@@ -833,9 +833,20 @@ void PDGBuilder::refineLoopCarried(LoopStructure &L, PDG &G) {
     AddrKey KB = addrKeyOf(To);
     if (KA.Valid && KB.Valid && KA.Base == KB.Base &&
         KA.Index == KB.Index && KA.Scale == KB.Scale) {
-      if (KA.Index && isMonotonicAffineIV(KA.Index, L)) {
-        E->IsLoopCarried = false;
-        E->Distance = 0;
+      uint64_t MinStep = UINT64_MAX;
+      if (KA.Index && isMonotonicAffineIV(KA.Index, L, &MinStep)) {
+        // Scalar accesses (one granule) advance past themselves on any
+        // nonzero step; a superword access additionally needs the address
+        // stride per iteration to clear its full extent.
+        const uint64_t MaxSize = std::max(KA.AccessSize, KB.AccessSize);
+        const bool StrideClears =
+            MaxSize <= 8 ||
+            (MinStep != UINT64_MAX && KA.Scale != 0 &&
+             MinStep <= UINT64_MAX / KA.Scale && MinStep * KA.Scale >= MaxSize);
+        if (StrideClears) {
+          E->IsLoopCarried = false;
+          E->Distance = 0;
+        }
       } else if (!KA.Index && From == To) {
         // Same scalar location every iteration: a self WAW on a fixed
         // address is genuinely loop-carried; keep it.

@@ -1,0 +1,63 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Dead code elimination: deletes unused instructions that neither write
+/// memory nor transfer control, iterating to a fixed point so whole
+/// dead chains (the scalar residue the vectorizer leaves behind) fall in
+/// one run.
+///
+//===----------------------------------------------------------------------===//
+
+#include "opt/Passes.h"
+
+#include "ir/Instructions.h"
+
+using namespace noelle;
+using nir::Instruction;
+
+namespace {
+
+/// Instructions DCE may delete once their value is unused. Loads (scalar
+/// and vector) are included: an unused load has no observable effect.
+/// Calls stay — callees may have side effects the IR cannot see.
+bool isRemovableKind(const Instruction *I) {
+  switch (I->getKind()) {
+  case nir::Value::Kind::Store:
+  case nir::Value::Kind::VStore:
+  case nir::Value::Kind::Call:
+  case nir::Value::Kind::Branch:
+  case nir::Value::Kind::Ret:
+  case nir::Value::Kind::Unreachable:
+    return false;
+  default:
+    return true;
+  }
+}
+
+} // namespace
+
+uint64_t noelle::opt::runDCE(nir::Module &M, PipelineStats &S) {
+  uint64_t Removed = 0;
+  for (const auto &F : M.getFunctions()) {
+    if (F->isDeclaration())
+      continue;
+    bool Changed = true;
+    while (Changed) {
+      Changed = false;
+      for (const auto &BB : F->getBlocks()) {
+        // Collect first: eraseFromParent mutates the list under us.
+        std::vector<Instruction *> Dead;
+        for (const auto &I : BB->getInstList())
+          if (!I->hasUses() && isRemovableKind(I.get()))
+            Dead.push_back(I.get());
+        for (Instruction *I : Dead) {
+          I->eraseFromParent();
+          ++Removed;
+          Changed = true;
+        }
+      }
+    }
+  }
+  S.DCERemoved += Removed;
+  return Removed;
+}

@@ -1,0 +1,146 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Global value numbering: a dominator-tree preorder walk with a scoped
+/// expression table, the classic dominator-based GVN. Only pure scalar
+/// expressions participate (binaries, compares, casts, geps, selects);
+/// loads and calls are skipped because their value depends on memory
+/// state. Dominator trees come from the Noelle facade, so their lifetime
+/// outlives the walk without any pass-manager bookkeeping.
+///
+//===----------------------------------------------------------------------===//
+
+#include "opt/Passes.h"
+
+#include "analysis/Dominators.h"
+#include "ir/Instructions.h"
+
+#include <map>
+#include <tuple>
+
+using namespace noelle;
+using nir::BasicBlock;
+using nir::BinaryInst;
+using nir::CastInst;
+using nir::CmpInst;
+using nir::GEPInst;
+using nir::Instruction;
+using nir::SelectInst;
+using nir::Value;
+
+namespace {
+
+/// (kind tag, immediate payload, up to three operand identities).
+using VNKey = std::tuple<unsigned, uint64_t, const Value *, const Value *,
+                         const Value *>;
+
+bool isCommutative(BinaryInst::Op Op) {
+  switch (Op) {
+  case BinaryInst::Op::Add:
+  case BinaryInst::Op::Mul:
+  case BinaryInst::Op::And:
+  case BinaryInst::Op::Or:
+  case BinaryInst::Op::Xor:
+  case BinaryInst::Op::FAdd:
+  case BinaryInst::Op::FMul:
+    return true;
+  default:
+    return false;
+  }
+}
+
+/// Key for \p I, or false if the instruction does not participate.
+bool keyOf(const Instruction *I, VNKey &Out) {
+  switch (I->getKind()) {
+  case Value::Kind::Binary: {
+    const auto *B = nir::cast<BinaryInst>(I);
+    const Value *L = B->getLHS(), *R = B->getRHS();
+    if (isCommutative(B->getOp()) && R < L)
+      std::swap(L, R);
+    Out = {1u + static_cast<unsigned>(B->getOp()), 0, L, R, nullptr};
+    return true;
+  }
+  case Value::Kind::Cmp: {
+    const auto *C = nir::cast<CmpInst>(I);
+    // Result type participates: the frontend may materialize compare
+    // results at different widths.
+    Out = {100u + static_cast<unsigned>(C->getPred()), 0, C->getLHS(),
+           C->getRHS(), reinterpret_cast<const Value *>(C->getType())};
+    return true;
+  }
+  case Value::Kind::Cast: {
+    const auto *C = nir::cast<CastInst>(I);
+    // The destination type is interned, so its identity disambiguates.
+    Out = {200u + static_cast<unsigned>(C->getOp()), 0, C->getValueOperand(),
+           reinterpret_cast<const Value *>(C->getType()), nullptr};
+    return true;
+  }
+  case Value::Kind::GEP: {
+    const auto *G = nir::cast<GEPInst>(I);
+    Out = {300u, G->getScale(), G->getBase(), G->getIndex(), nullptr};
+    return true;
+  }
+  case Value::Kind::Select: {
+    const auto *Sel = nir::cast<SelectInst>(I);
+    Out = {400u, 0, Sel->getCondition(), Sel->getTrueValue(),
+           Sel->getFalseValue()};
+    return true;
+  }
+  default:
+    return false;
+  }
+}
+
+struct GVNWalker {
+  nir::DominatorTree &DT;
+  std::map<VNKey, Instruction *> Table;
+  uint64_t Replaced = 0;
+
+  void visit(BasicBlock *BB) {
+    // Keys this scope introduced, removed when the subtree is done.
+    std::vector<VNKey> Scope;
+    std::vector<Instruction *> Dead;
+    for (const auto &I : BB->getInstList()) {
+      VNKey K;
+      if (!keyOf(I.get(), K))
+        continue;
+      auto It = Table.find(K);
+      if (It != Table.end()) {
+        // Table entries come from dominator-tree ancestors (or earlier
+        // in this block), so the replacement always dominates the use.
+        I->replaceAllUsesWith(It->second);
+        Dead.push_back(I.get());
+        ++Replaced;
+        continue;
+      }
+      Table.emplace(K, I.get());
+      Scope.push_back(K);
+    }
+    for (Instruction *I : Dead)
+      I->eraseFromParent();
+    for (BasicBlock *Child : DT.getChildren(BB))
+      visit(Child);
+    for (const VNKey &K : Scope)
+      Table.erase(K);
+  }
+};
+
+} // namespace
+
+uint64_t noelle::opt::runGVN(Noelle &N, PipelineStats &S) {
+  uint64_t Replaced = 0;
+  std::vector<nir::Function *> Mutated;
+  for (const auto &F : N.getModule().getFunctions()) {
+    if (F->isDeclaration())
+      continue;
+    GVNWalker W{N.getDominators(*F), {}, 0};
+    W.visit(&F->getEntryBlock());
+    if (W.Replaced)
+      Mutated.push_back(F.get());
+    Replaced += W.Replaced;
+  }
+  for (nir::Function *F : Mutated)
+    N.invalidate(*F);
+  S.GVNReplaced += Replaced;
+  return Replaced;
+}

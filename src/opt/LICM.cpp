@@ -1,0 +1,110 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Loop-invariant code motion, pipeline edition. The logic is the
+/// paper's Table 3 LICM: walk the loop forest innermost-first (FR), ask
+/// the Algorithm-1/2 InvariantManager (INV) what is invariant, and hoist
+/// with the loop builder (LB). The legacy xforms/LICM entry point is now
+/// a thin wrapper over this function.
+///
+//===----------------------------------------------------------------------===//
+
+#include "opt/Passes.h"
+
+#include "ir/Instructions.h"
+#include "ir/Verifier.h"
+
+#include <set>
+
+using namespace noelle;
+using nir::Instruction;
+using nir::LoopStructure;
+
+namespace {
+
+unsigned hoistLoop(Noelle &N, LoopContent &LC) {
+  N.noteRequest(Abstraction::INV);
+  N.noteRequest(Abstraction::LB);
+  N.noteRequest(Abstraction::LS);
+  LoopStructure &LS = LC.getLoopStructure();
+  auto &Inv = LC.getInvariantManager();
+  LoopBuilder &LB = N.getLoopBuilder();
+
+  // Candidates, in program order so operand chains hoist in order.
+  std::vector<Instruction *> ToHoist;
+  for (Instruction *I : Inv.getInvariants()) {
+    // Phis are position-dependent: an invariant (degenerate) phi can be
+    // folded but never moved.
+    if (nir::isa<nir::PhiInst>(I))
+      continue;
+    // INV already excludes stores/calls/phis/terminators. Loads must
+    // additionally be safe to execute unconditionally: require the
+    // address to be rooted at a global or alloca (never null/dangling).
+    if (nir::isa<nir::LoadInst>(I)) {
+      const nir::Value *Base =
+          nir::cast<nir::LoadInst>(I)->getPointerOperand();
+      while (const auto *G = nir::dyn_cast<nir::GEPInst>(Base))
+        Base = G->getBase();
+      if (!nir::isa<nir::GlobalVariable>(Base) &&
+          !nir::isa<nir::AllocaInst>(Base))
+        continue;
+    }
+    ToHoist.push_back(I);
+  }
+
+  // Hoist in dependence order: an instruction only moves after every
+  // in-loop operand has moved (iterate to fixed point).
+  unsigned Hoisted = 0;
+  bool Changed = true;
+  std::set<Instruction *> Moved;
+  while (Changed) {
+    Changed = false;
+    for (Instruction *I : ToHoist) {
+      if (Moved.count(I))
+        continue;
+      bool OperandsReady = true;
+      for (const nir::Value *Op : I->operands()) {
+        const auto *OpI = nir::dyn_cast<Instruction>(Op);
+        if (OpI && LS.contains(OpI) &&
+            !Moved.count(const_cast<Instruction *>(OpI)))
+          OperandsReady = false;
+      }
+      if (!OperandsReady)
+        continue;
+      LB.hoistToPreheader(LS, I);
+      Moved.insert(I);
+      ++Hoisted;
+      Changed = true;
+    }
+  }
+  return Hoisted;
+}
+
+} // namespace
+
+uint64_t noelle::opt::runLICM(Noelle &N, PipelineStats &S) {
+  // Innermost-first via the loop forest (FR): hoisting from an inner
+  // loop exposes invariants to its parent on the next sweep.
+  N.noteRequest(Abstraction::FR);
+  N.noteRequest(Abstraction::L);
+  auto &LoopForest = N.getLoopForest();
+  std::vector<LoopContent *> Order;
+  LoopForest.visitPostorder(
+      [&](Forest<LoopContent>::Node *Node) { Order.push_back(Node->Payload); });
+  uint64_t Hoisted = 0;
+  std::set<nir::Function *> Mutated;
+  for (LoopContent *LC : Order) {
+    ++S.LoopsVisited;
+    unsigned H = hoistLoop(N, *LC);
+    if (H)
+      Mutated.insert(LC->getLoopStructure().getFunction());
+    Hoisted += H;
+  }
+  if (Hoisted) {
+    for (nir::Function *F : Mutated)
+      N.invalidate(*F);
+    assert(nir::moduleVerifies(N.getModule()) && "LICM broke the IR");
+  }
+  S.InstructionsHoisted += Hoisted;
+  return Hoisted;
+}

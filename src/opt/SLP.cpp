@@ -1,0 +1,498 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Superword-level parallelism: packs runs of adjacent scalar stores and
+/// the isomorphic scalar trees feeding them into NIR vector
+/// instructions. Seeds are groups of stores in one block whose addresses
+/// decompose to the same (base, variable index, scale) and constant
+/// offsets one element apart — exactly what loop unrolling produces.
+/// The operand trees vectorize recursively: isomorphic binaries become a
+/// vbinary, adjacent loads a vload, anything else a vpack gather.
+///
+/// Legality: packing sinks every lane access to the emission point (just
+/// before the last seed store), so each intervening instruction that may
+/// touch memory must be independent of every lane. The function PDG
+/// discharges most candidates for free (no memory edge between the
+/// intervening instruction and any lane access means the dependence was
+/// already disproved); the rest answer to size-aware alias queries over
+/// the packed ranges. Lane accesses are the scalar program's own
+/// accesses, so per-lane independence implies independence from the
+/// packed range — their union.
+///
+//===----------------------------------------------------------------------===//
+
+#include "opt/Passes.h"
+
+#include "analysis/AliasAnalysis.h"
+#include "ir/IRBuilder.h"
+#include "ir/Instructions.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+using namespace noelle;
+using nir::BasicBlock;
+using nir::BinaryInst;
+using nir::ConstantInt;
+using nir::GEPInst;
+using nir::Instruction;
+using nir::LoadInst;
+using nir::StoreInst;
+using nir::Type;
+using nir::Value;
+
+namespace {
+
+/// A scalar address decomposed into base + index*scale + offset, with at
+/// most one variable index (constant gep indexes and constant
+/// adjustments of the index fold into the offset).
+struct AddrInfo {
+  const Value *Base = nullptr;
+  const Value *Index = nullptr; ///< null when fully constant
+  uint64_t Scale = 0;
+  int64_t Off = 0;
+};
+
+/// Peels add/sub-by-constant chains off an index value.
+const Value *peelIndex(const Value *V, int64_t &Delta) {
+  while (const auto *B = nir::dyn_cast<BinaryInst>(V)) {
+    const auto *RC = nir::dyn_cast<ConstantInt>(B->getRHS());
+    const auto *LC = nir::dyn_cast<ConstantInt>(B->getLHS());
+    if (B->getOp() == BinaryInst::Op::Add && RC) {
+      Delta += RC->getValue();
+      V = B->getLHS();
+    } else if (B->getOp() == BinaryInst::Op::Add && LC) {
+      Delta += LC->getValue();
+      V = B->getRHS();
+    } else if (B->getOp() == BinaryInst::Op::Sub && RC) {
+      Delta -= RC->getValue();
+      V = B->getLHS();
+    } else {
+      break;
+    }
+  }
+  return V;
+}
+
+bool decompose(const Value *Ptr, AddrInfo &Out) {
+  Out = AddrInfo{};
+  while (const auto *G = nir::dyn_cast<GEPInst>(Ptr)) {
+    if (const auto *CI = nir::dyn_cast<ConstantInt>(G->getIndex())) {
+      Out.Off += CI->getValue() * static_cast<int64_t>(G->getScale());
+      Ptr = G->getBase();
+      continue;
+    }
+    if (Out.Index)
+      return false; // two variable indexes: give up
+    int64_t Delta = 0;
+    Out.Index = peelIndex(G->getIndex(), Delta);
+    Out.Scale = G->getScale();
+    Out.Off += Delta * static_cast<int64_t>(G->getScale());
+    Ptr = G->getBase();
+  }
+  Out.Base = Ptr;
+  return true;
+}
+
+bool sameSeries(const AddrInfo &A, const AddrInfo &B) {
+  return A.Base == B.Base && A.Index == B.Index && A.Scale == B.Scale;
+}
+
+/// One buildable pack tree node.
+struct TreeNode {
+  enum class Kind { VBinary, VLoad, VPack } K;
+  std::vector<Value *> Lanes;     ///< the scalar per-lane values
+  BinaryInst::Op Op;              ///< VBinary only
+  LoadInst *Lane0 = nullptr;      ///< VLoad only: lowest-address load
+  std::vector<unsigned> Children; ///< indices into the tree
+};
+
+struct PackPlan {
+  std::vector<TreeNode> Nodes; ///< node 0 is the root
+  std::vector<StoreInst *> Seeds;
+  StoreInst *Lane0Store = nullptr;
+  AddrInfo StoreAddr; ///< decomposed lane-0 store address
+  Type *ElemTy = nullptr;
+  uint64_t ElemSize = 0;
+  unsigned Lanes = 0;
+  /// Scalar instructions the tree subsumes (loads and binaries).
+  std::set<Instruction *> TreeScalars;
+};
+
+/// Recursively plans the vector tree for \p Lanes; returns the node
+/// index. Always succeeds — the fallback is a vpack gather.
+unsigned buildTree(PackPlan &P, const std::vector<Value *> &Lanes,
+                   unsigned Depth) {
+  const unsigned Idx = static_cast<unsigned>(P.Nodes.size());
+  P.Nodes.push_back({TreeNode::Kind::VPack, Lanes, BinaryInst::Op::Add,
+                     nullptr, {}});
+  if (Depth >= 6)
+    return Idx;
+
+  // Distinct isomorphic binaries in one block vectorize directly.
+  bool AllBinary = true;
+  for (Value *V : Lanes) {
+    const auto *B = nir::dyn_cast<BinaryInst>(V);
+    if (!B || B->getParent() != P.Seeds.front()->getParent() ||
+        B->getType() != P.ElemTy) {
+      AllBinary = false;
+      break;
+    }
+  }
+  if (AllBinary) {
+    std::set<Value *> Distinct(Lanes.begin(), Lanes.end());
+    const auto Op = nir::cast<BinaryInst>(Lanes.front())->getOp();
+    bool SameOp = Distinct.size() == Lanes.size();
+    for (Value *V : Lanes)
+      if (nir::cast<BinaryInst>(V)->getOp() != Op)
+        SameOp = false;
+    if (SameOp) {
+      std::vector<Value *> L, R;
+      for (Value *V : Lanes) {
+        L.push_back(nir::cast<BinaryInst>(V)->getLHS());
+        R.push_back(nir::cast<BinaryInst>(V)->getRHS());
+      }
+      P.Nodes[Idx].K = TreeNode::Kind::VBinary;
+      P.Nodes[Idx].Op = Op;
+      for (Value *V : Lanes)
+        P.TreeScalars.insert(nir::cast<Instruction>(V));
+      const unsigned LIdx = buildTree(P, L, Depth + 1);
+      const unsigned RIdx = buildTree(P, R, Depth + 1);
+      P.Nodes[Idx].Children = {LIdx, RIdx};
+      return Idx;
+    }
+  }
+
+  // Distinct loads from consecutive addresses, in lane order, fold to a
+  // vload.
+  bool AllLoads = true;
+  AddrInfo First;
+  for (unsigned I = 0; I < Lanes.size() && AllLoads; ++I) {
+    auto *Ld = nir::dyn_cast<LoadInst>(Lanes[I]);
+    AddrInfo A;
+    if (!Ld || Ld->getParent() != P.Seeds.front()->getParent() ||
+        Ld->getType() != P.ElemTy || !decompose(Ld->getPointerOperand(), A)) {
+      AllLoads = false;
+      break;
+    }
+    if (I == 0)
+      First = A;
+    else if (!sameSeries(First, A) ||
+             A.Off != First.Off + static_cast<int64_t>(I * P.ElemSize))
+      AllLoads = false;
+  }
+  if (AllLoads) {
+    std::set<Value *> Distinct(Lanes.begin(), Lanes.end());
+    if (Distinct.size() == Lanes.size()) {
+      P.Nodes[Idx].K = TreeNode::Kind::VLoad;
+      P.Nodes[Idx].Lane0 = nir::cast<LoadInst>(Lanes.front());
+      for (Value *V : Lanes)
+        P.TreeScalars.insert(nir::cast<Instruction>(V));
+      return Idx;
+    }
+  }
+  return Idx; // vpack gather
+}
+
+/// Combined legality oracle: NoAlias if either analysis proves it.
+struct SizedAA {
+  nir::BasicAliasAnalysis Basic;
+  nir::AndersenAliasAnalysis Andersen;
+
+  explicit SizedAA(nir::Module &M) : Andersen(M) {}
+
+  bool mayOverlap(const Value *P1, uint64_t S1, const Value *P2,
+                  uint64_t S2) {
+    if (Basic.alias(P1, S1, P2, S2) == nir::AliasResult::NoAlias)
+      return false;
+    return Andersen.alias(P1, S1, P2, S2) != nir::AliasResult::NoAlias;
+  }
+};
+
+/// True if the PDG records a memory dependence between \p X and any
+/// instruction of the tree (either direction). No edge means the PDG
+/// already disproved every pairwise dependence.
+bool pdgHasMemEdge(PDG &DG, Instruction *X, const PackPlan &P) {
+  auto Touches = [&](Value *Other) {
+    if (const auto *I = nir::dyn_cast<Instruction>(Other)) {
+      auto *MI = const_cast<Instruction *>(I);
+      if (P.TreeScalars.count(MI))
+        return true;
+      for (StoreInst *S : P.Seeds)
+        if (S == MI)
+          return true;
+    }
+    return false;
+  };
+  for (const auto *E : DG.getOutEdges(X))
+    if (E->IsMemory && Touches(E->To))
+      return true;
+  for (const auto *E : DG.getInEdges(X))
+    if (E->IsMemory && Touches(E->From))
+      return true;
+  return false;
+}
+
+/// Packing sinks all lane accesses to just before the last seed store;
+/// every intervening memory access must be independent of the packed
+/// store range (reads and writes) and must not write any packed load
+/// range.
+bool isLegal(const PackPlan &P, PDG &DG, SizedAA &AA,
+             const std::map<const Instruction *, unsigned> &Pos) {
+  unsigned Lo = UINT32_MAX, Hi = 0;
+  auto Widen = [&](const Instruction *I) {
+    const unsigned Q = Pos.at(I);
+    Lo = std::min(Lo, Q);
+    Hi = std::max(Hi, Q);
+  };
+  for (Instruction *I : P.TreeScalars)
+    Widen(I);
+  for (StoreInst *S : P.Seeds)
+    Widen(S);
+
+  const uint64_t Range = P.ElemSize * P.Lanes;
+  const Value *StorePtr = P.Lane0Store->getPointerOperand();
+  std::vector<const Value *> LoadPtrs;
+
+  // Intra-tree rule: a packed load range overlapping the packed store
+  // range is only safe when the lanes align exactly (each lane reads the
+  // element its own store writes — SSA already orders load before store
+  // per lane, and cross-lane elements are disjoint), or when every tree
+  // load precedes every seed store in program order (then the vload
+  // still reads pre-store memory, like the scalars did).
+  unsigned MinSeedPos = UINT32_MAX, MaxLoadPos = 0;
+  for (StoreInst *Seed : P.Seeds)
+    MinSeedPos = std::min(MinSeedPos, Pos.at(Seed));
+  for (Instruction *I : P.TreeScalars)
+    if (nir::isa<LoadInst>(I))
+      MaxLoadPos = std::max(MaxLoadPos, Pos.at(I));
+  for (const TreeNode &N : P.Nodes) {
+    if (N.K != TreeNode::Kind::VLoad)
+      continue;
+    LoadPtrs.push_back(N.Lane0->getPointerOperand());
+    AddrInfo LA;
+    if (!decompose(N.Lane0->getPointerOperand(), LA))
+      return false;
+    const bool Aligned = sameSeries(LA, P.StoreAddr) && LA.Off == P.StoreAddr.Off;
+    if (Aligned)
+      continue;
+    if (AA.mayOverlap(N.Lane0->getPointerOperand(), Range, StorePtr, Range) &&
+        MaxLoadPos >= MinSeedPos)
+      return false;
+  }
+
+  BasicBlock *BB = P.Lane0Store->getParent();
+  for (const auto &I : BB->getInstList()) {
+    const unsigned Q = Pos.at(I.get());
+    if (Q <= Lo || Q >= Hi)
+      continue;
+    Instruction *X = I.get();
+    if (P.TreeScalars.count(X))
+      continue;
+    if (std::find(P.Seeds.begin(), P.Seeds.end(), X) != P.Seeds.end())
+      continue;
+    if (!X->mayReadFromMemory() && !X->mayWriteToMemory())
+      continue;
+    // PDG first: an instruction with no memory edge into the tree was
+    // already proven independent of every lane.
+    if (!pdgHasMemEdge(DG, X, P))
+      continue;
+    nir::MemAccess Acc;
+    if (!nir::memoryAccessOf(X, Acc))
+      return false; // a call with unresolved effects: give up
+    const uint64_t XSize = nir::accessGranule(Acc.Size);
+    // Reads and writes must miss the packed store range (the stores
+    // sink past them)...
+    if (AA.mayOverlap(Acc.Ptr, XSize, StorePtr, Range))
+      return false;
+    // ...and writes must additionally miss every packed load range
+    // (the loads sink past them).
+    if (Acc.IsWrite)
+      for (const Value *LP : LoadPtrs)
+        if (AA.mayOverlap(Acc.Ptr, XSize, LP, Range))
+          return false;
+  }
+  return true;
+}
+
+/// replaced-scalars > emitted-vector-instructions, counting only
+/// scalars that actually die (all users inside the tree).
+bool isProfitable(const PackPlan &P) {
+  std::set<const Value *> InTree;
+  for (Instruction *I : P.TreeScalars)
+    InTree.insert(I);
+  for (StoreInst *S : P.Seeds)
+    InTree.insert(S);
+  uint64_t Dying = P.Seeds.size();
+  for (Instruction *I : P.TreeScalars) {
+    bool AllInside = true;
+    for (const auto &U : I->uses())
+      if (!InTree.count(static_cast<const Value *>(U.TheUser)))
+        AllInside = false;
+    if (AllInside)
+      ++Dying;
+  }
+  uint64_t Emitted = 1 + P.Nodes.size(); // vstore + tree nodes
+  bool HasWork = false;
+  for (const TreeNode &N : P.Nodes)
+    if (N.K != TreeNode::Kind::VPack)
+      HasWork = true;
+  return HasWork && Dying > Emitted;
+}
+
+uint64_t emit(PackPlan &P, nir::Context &Ctx) {
+  Type *VecTy = Ctx.getVectorTy(P.ElemTy, P.Lanes);
+  nir::IRBuilder B(Ctx);
+  StoreInst *Last = P.Seeds.back();
+  B.setInsertPoint(Last);
+
+  // Post-order emission so operands exist before their users.
+  std::vector<Value *> Emitted(P.Nodes.size(), nullptr);
+  // Nodes were appended parent-first, so reverse index order is a valid
+  // post-order (children always have larger indices than their parent).
+  for (unsigned I = static_cast<unsigned>(P.Nodes.size()); I-- > 0;) {
+    TreeNode &N = P.Nodes[I];
+    switch (N.K) {
+    case TreeNode::Kind::VLoad:
+      Emitted[I] = B.createVLoad(VecTy, N.Lane0->getPointerOperand());
+      break;
+    case TreeNode::Kind::VBinary:
+      Emitted[I] = B.createVBinary(N.Op, Emitted[N.Children[0]],
+                                   Emitted[N.Children[1]]);
+      break;
+    case TreeNode::Kind::VPack:
+      Emitted[I] = B.createVPack(VecTy, N.Lanes);
+      break;
+    }
+  }
+  B.createVStore(Emitted[0], P.Lane0Store->getPointerOperand());
+
+  for (StoreInst *S : P.Seeds)
+    S->eraseFromParent();
+  return P.Nodes.size() + 1;
+}
+
+bool isVectorizableElem(Type *Ty) {
+  if (!Ty)
+    return false;
+  const uint64_t Sz = Ty->getStoreSize();
+  return (Sz == 4 || Sz == 8) && !Ty->isVector() && !Ty->isVoid();
+}
+
+/// Finds and applies one pack in \p BB; returns emitted vector
+/// instructions (0 when nothing vectorized).
+uint64_t vectorizeOnce(BasicBlock *BB, PDG &DG, SizedAA &AA,
+                       nir::Context &Ctx, uint64_t &StoresPacked) {
+  // Group candidate stores by address series.
+  struct Cand {
+    StoreInst *S;
+    AddrInfo A;
+  };
+  std::vector<std::vector<Cand>> Groups;
+  std::map<const Instruction *, unsigned> Pos;
+  unsigned Q = 0;
+  for (const auto &I : BB->getInstList()) {
+    Pos[I.get()] = Q++;
+    auto *S = nir::dyn_cast<StoreInst>(I.get());
+    if (!S || !isVectorizableElem(S->getValueOperand()->getType()))
+      continue;
+    AddrInfo A;
+    if (!decompose(S->getPointerOperand(), A))
+      continue;
+    bool Placed = false;
+    for (auto &G : Groups)
+      if (sameSeries(G.front().A, A) &&
+          G.front().S->getValueOperand()->getType() ==
+              S->getValueOperand()->getType()) {
+        G.push_back({S, A});
+        Placed = true;
+        break;
+      }
+    if (!Placed)
+      Groups.push_back({{S, A}});
+  }
+
+  for (auto &G : Groups) {
+    if (G.size() < 2)
+      continue;
+    std::sort(G.begin(), G.end(),
+              [](const Cand &X, const Cand &Y) { return X.A.Off < Y.A.Off; });
+    Type *ElemTy = G.front().S->getValueOperand()->getType();
+    const uint64_t ES = ElemTy->getStoreSize();
+
+    // Scan runs of consecutive offsets.
+    for (size_t RunStart = 0; RunStart + 1 < G.size();) {
+      size_t RunEnd = RunStart + 1;
+      while (RunEnd < G.size() &&
+             G[RunEnd].A.Off ==
+                 G[RunEnd - 1].A.Off + static_cast<int64_t>(ES))
+        ++RunEnd;
+      const size_t RunLen = RunEnd - RunStart;
+      const unsigned F = RunLen >= 4 ? 4u : (RunLen >= 2 ? 2u : 0u);
+      if (F == 0) {
+        RunStart = RunEnd;
+        continue;
+      }
+
+      PackPlan P;
+      P.ElemTy = ElemTy;
+      P.ElemSize = ES;
+      P.Lanes = F;
+      for (size_t I = 0; I < F; ++I)
+        P.Seeds.push_back(G[RunStart + I].S);
+      P.Lane0Store = P.Seeds.front();
+      P.StoreAddr = G[RunStart].A;
+      // Emission happens before the program-order-last seed.
+      std::sort(P.Seeds.begin(), P.Seeds.end(),
+                [&](StoreInst *X, StoreInst *Y) {
+                  return Pos.at(X) < Pos.at(Y);
+                });
+      std::vector<Value *> Lanes;
+      for (size_t I = 0; I < F; ++I)
+        Lanes.push_back(G[RunStart + I].S->getValueOperand());
+      buildTree(P, Lanes, 0);
+
+      if (isLegal(P, DG, AA, Pos) && isProfitable(P)) {
+        StoresPacked += F;
+        return emit(P, Ctx);
+      }
+      RunStart = RunEnd;
+    }
+  }
+  return 0;
+}
+
+} // namespace
+
+uint64_t noelle::opt::runSLP(Noelle &N, PipelineStats &S) {
+  nir::Module &M = N.getModule();
+  N.noteRequest(Abstraction::PDG);
+  SizedAA AA(M);
+
+  uint64_t Emitted = 0;
+  for (const auto &F : M.getFunctions()) {
+    if (F->isDeclaration())
+      continue;
+    // One pack per round: erasing the seed stores orphans their PDG
+    // nodes, so the function DG is refetched (rebuilt) after every pack
+    // before any further edge queries.
+    bool Changed = true;
+    while (Changed) {
+      Changed = false;
+      PDG &DG = N.getFunctionDG(*F);
+      for (const auto &BB : F->getBlocks()) {
+        const uint64_t E = vectorizeOnce(BB.get(), DG, AA, M.getContext(),
+                                         S.StoresVectorized);
+        if (E) {
+          Emitted += E;
+          N.invalidate(*F);
+          Changed = true;
+          break;
+        }
+      }
+    }
+  }
+  S.VectorInstsEmitted += Emitted;
+  return Emitted;
+}

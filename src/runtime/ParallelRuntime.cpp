@@ -9,6 +9,9 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <map>
+#include <memory>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -31,6 +34,29 @@ thread_local uint64_t ThreadSyncOps = 0;
 thread_local uint64_t ThreadSegmentWork = 0;
 thread_local uint64_t ThreadSegmentCheckpoint = 0;
 
+/// Per-engine memo of prepared task entries, shared by the dispatch
+/// externals registered on that engine. A plan whose parallel region
+/// sits inside an outer loop dispatches the same task function many
+/// times; resolving the decoded form once per plan (instead of once per
+/// dispatch) keeps the re-dispatch path free of decode-cache traffic.
+/// Guarded by a mutex because nested parallelism can dispatch from
+/// several worker threads at once.
+struct PrepareMemo {
+  std::mutex Lock;
+  std::map<Function *, ExecutionEngine::PreparedFunction> Map;
+
+  ExecutionEngine::PreparedFunction resolve(ExecutionEngine &E,
+                                            Function *Task) {
+    std::lock_guard<std::mutex> G(Lock);
+    auto It = Map.find(Task);
+    if (It != Map.end())
+      return It->second;
+    ExecutionEngine::PreparedFunction P = E.prepare(Task);
+    Map.emplace(Task, P);
+    return P;
+  }
+};
+
 /// Shared dispatch implementation. Tasks run on the engine's persistent
 /// pool; the caller blocks on the batch's completion latch instead of
 /// joining freshly spawned threads.
@@ -48,8 +74,8 @@ thread_local uint64_t ThreadSegmentCheckpoint = 0;
 /// as the spawn-per-region runtime did: task t's instruction/sync/
 /// segment counts depend only on (env, t, numTasks), so Figure-5 model
 /// inputs are byte-identical across scheduling strategies.
-void runDispatch(ExecutionEngine &E, Function *Task, uint64_t EnvPtr,
-                 int64_t NumTasks, int64_t Grain) {
+void runDispatch(ExecutionEngine &E, PrepareMemo &Memo, Function *Task,
+                 uint64_t EnvPtr, int64_t NumTasks, int64_t Grain) {
   nir::DispatchRecord Rec;
   if (NumTasks <= 0) {
     E.recordDispatch(Rec);
@@ -58,9 +84,10 @@ void runDispatch(ExecutionEngine &E, Function *Task, uint64_t EnvPtr,
   size_t N = static_cast<size_t>(NumTasks);
   std::vector<uint64_t> Work(N, 0), Sync(N, 0), Seg(N, 0);
 
-  // Resolve the task function's decoded form once per dispatch; every
-  // task invocation then skips the decode-cache lookup entirely.
-  ExecutionEngine::PreparedFunction Prepared = E.prepare(Task);
+  // Resolve the task function's decoded form once per plan (memoized
+  // across dispatches); every task invocation then skips the
+  // decode-cache lookup entirely.
+  ExecutionEngine::PreparedFunction Prepared = Memo.resolve(E, Task);
 
   auto RunOne = [&, EnvPtr, NumTasks](int64_t T) {
     ExecutionEngine::resetThreadRetired();
@@ -143,30 +170,35 @@ inline void gateWait(std::atomic<int64_t> *Gate, int64_t Iter) {
 } // namespace
 
 void noelle::registerParallelRuntime(ExecutionEngine &Engine) {
+  // One memo per engine, shared by both dispatch entry points; its
+  // lifetime is tied to the registered closures.
+  auto Memo = std::make_shared<PrepareMemo>();
+
   Engine.registerExternal(
       "noelle_dispatch",
-      [](ExecutionEngine &E, const CallInst *,
-         const std::vector<RuntimeValue> &A) {
+      [Memo](ExecutionEngine &E, const CallInst *,
+             const std::vector<RuntimeValue> &A) {
         Function *Task = E.decodeFunction(A[0].P);
         if (!Task) {
           std::fprintf(stderr, "noelle_dispatch: invalid task pointer\n");
           std::abort();
         }
-        runDispatch(E, Task, A[1].P, A[2].I, /*Grain=*/0);
+        runDispatch(E, *Memo, Task, A[1].P, A[2].I, /*Grain=*/0);
         return RuntimeValue();
       });
 
   Engine.registerExternal(
       "noelle_dispatch_chunked",
-      [](ExecutionEngine &E, const CallInst *,
-         const std::vector<RuntimeValue> &A) {
+      [Memo](ExecutionEngine &E, const CallInst *,
+             const std::vector<RuntimeValue> &A) {
         Function *Task = E.decodeFunction(A[0].P);
         if (!Task) {
           std::fprintf(stderr,
                        "noelle_dispatch_chunked: invalid task pointer\n");
           std::abort();
         }
-        runDispatch(E, Task, A[1].P, A[2].I, std::max<int64_t>(A[3].I, 1));
+        runDispatch(E, *Memo, Task, A[1].P, A[2].I,
+                    std::max<int64_t>(A[3].I, 1));
         return RuntimeValue();
       });
 

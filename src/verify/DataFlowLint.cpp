@@ -1,5 +1,6 @@
 #include "verify/DataFlowLint.h"
 
+#include "analysis/AliasAnalysis.h"
 #include "ir/Function.h"
 #include "ir/Instructions.h"
 #include "noelle/DataFlow.h"
@@ -101,8 +102,9 @@ void lintUninitializedReads(Function &F, CheckReport &Rep) {
 
   P.Transfer = [](const Instruction *I, const DataFlowResult &R,
                   nir::BitVector &Gen, nir::BitVector &Kill) {
-    if (const auto *S = nir::dyn_cast<StoreInst>(I)) {
-      const Value *Base = underlyingBase(S->getPointerOperand());
+    nir::MemAccess Acc;
+    if (nir::memoryAccessOf(I, Acc) && Acc.IsWrite) {
+      const Value *Base = underlyingBase(Acc.Ptr);
       if (R.hasIndex(Base))
         Gen.set(R.indexOf(Base));
     } else if (nir::isa<CallInst>(I)) {
@@ -119,16 +121,16 @@ void lintUninitializedReads(Function &F, CheckReport &Rep) {
 
   for (const auto &BB : F.getBlocks())
     for (const auto &I : BB->getInstList()) {
-      const auto *L = nir::dyn_cast<LoadInst>(I.get());
-      if (!L)
+      nir::MemAccess Acc;
+      if (!nir::memoryAccessOf(I.get(), Acc) || Acc.IsWrite)
         continue;
-      const Value *Base = underlyingBase(L->getPointerOperand());
+      const Value *Base = underlyingBase(Acc.Ptr);
       if (!DF->hasIndex(Base))
         continue;
-      if (!DF->in(L).test(DF->indexOf(Base)))
+      if (!DF->in(I.get()).test(DF->indexOf(Base)))
         addDiag(Rep, DiagKind::UninitializedRead,
                 "load may read a stack slot before any store to it",
-                L, nir::cast<Instruction>(Base), F);
+                I.get(), nir::cast<Instruction>(Base), F);
     }
 }
 
@@ -152,14 +154,16 @@ void lintDeadStores(Function &F, CheckReport &Rep) {
 
   P.Transfer = [](const Instruction *I, const DataFlowResult &R,
                   nir::BitVector &Gen, nir::BitVector &Kill) {
-    if (const auto *L = nir::dyn_cast<LoadInst>(I)) {
-      const Value *Base = underlyingBase(L->getPointerOperand());
+    nir::MemAccess Acc;
+    if (nir::memoryAccessOf(I, Acc) && !Acc.IsWrite) {
+      const Value *Base = underlyingBase(Acc.Ptr);
       if (R.hasIndex(Base))
         Gen.set(R.indexOf(Base));
-    } else if (const auto *S = nir::dyn_cast<StoreInst>(I)) {
-      // A direct whole-slot store shadows earlier stores; stores through
-      // geps may be partial, so they do not kill.
-      const Value *Ptr = S->getPointerOperand();
+    } else if (nir::isa<StoreInst>(I)) {
+      // A direct whole-slot scalar store shadows earlier stores; stores
+      // through geps may be partial, so they do not kill (nor do vector
+      // stores, whose extent need not match the slot).
+      const Value *Ptr = nir::cast<StoreInst>(I)->getPointerOperand();
       if (R.hasIndex(Ptr))
         Kill.set(R.indexOf(Ptr));
     } else if (nir::isa<CallInst>(I)) {
@@ -230,13 +234,10 @@ void lintNullDerefs(Function &F, CheckReport &Rep) {
 
   for (const auto &BB : F.getBlocks())
     for (const auto &I : BB->getInstList()) {
-      const Value *Ptr = nullptr;
-      if (const auto *L = nir::dyn_cast<LoadInst>(I.get()))
-        Ptr = L->getPointerOperand();
-      else if (const auto *S = nir::dyn_cast<StoreInst>(I.get()))
-        Ptr = S->getPointerOperand();
-      if (!Ptr)
+      nir::MemAccess Acc;
+      if (!nir::memoryAccessOf(I.get(), Acc))
         continue;
+      const Value *Ptr = Acc.Ptr;
       const Value *Base = underlyingBase(Ptr);
       if (!DF->hasIndex(Base))
         continue;

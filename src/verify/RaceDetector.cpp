@@ -33,6 +33,7 @@ struct Access {
   const Value *Ptr = nullptr;
   bool IsWrite = false;
   const TaskInfo *Task = nullptr;
+  uint64_t Size = 8; // byte extent; superword accesses exceed one granule
 };
 
 bool isRuntimeCall(const Function *F) {
@@ -65,10 +66,10 @@ void summarizeCallee(Function *Callee, const Instruction *Anchor,
   for (const auto &BB : Callee->getBlocks())
     for (const auto &IPtr : BB->getInstList()) {
       const Instruction *I = IPtr.get();
-      if (const auto *L = nir::dyn_cast<LoadInst>(I)) {
-        Out.push_back({Anchor, L->getPointerOperand(), false, &T});
-      } else if (const auto *S = nir::dyn_cast<StoreInst>(I)) {
-        Out.push_back({Anchor, S->getPointerOperand(), true, &T});
+      nir::MemAccess Acc;
+      if (nir::memoryAccessOf(I, Acc)) {
+        Out.push_back({Anchor, Acc.Ptr, Acc.IsWrite, &T,
+                       nir::accessGranule(Acc.Size)});
       } else if (const auto *C = nir::dyn_cast<CallInst>(I)) {
         Function *F = C->getCalledFunction();
         if (isRuntimeCall(F))
@@ -88,10 +89,10 @@ std::vector<Access> collectAccesses(const TaskInfo &T) {
   for (const auto &BB : T.Fn->getBlocks())
     for (const auto &IPtr : BB->getInstList()) {
       const Instruction *I = IPtr.get();
-      if (const auto *L = nir::dyn_cast<LoadInst>(I)) {
-        Out.push_back({I, L->getPointerOperand(), false, &T});
-      } else if (const auto *S = nir::dyn_cast<StoreInst>(I)) {
-        Out.push_back({I, S->getPointerOperand(), true, &T});
+      nir::MemAccess Acc;
+      if (nir::memoryAccessOf(I, Acc)) {
+        Out.push_back(
+            {I, Acc.Ptr, Acc.IsWrite, &T, nir::accessGranule(Acc.Size)});
       } else if (const auto *C = nir::dyn_cast<CallInst>(I)) {
         Function *F = C->getCalledFunction();
         if (isRuntimeCall(F))
@@ -192,7 +193,7 @@ private:
     if (EnvA != EnvB)
       return; // The env alloca is disjoint from every named object.
 
-    if (AA.alias(A.Ptr, B.Ptr) == AliasResult::NoAlias)
+    if (AA.alias(A.Ptr, A.Size, B.Ptr, B.Size) == AliasResult::NoAlias)
       return;
     // Iteration partitioning: a DOALL/HELIX access whose address is
     // derived from the task ID (through the re-based IV) hits a

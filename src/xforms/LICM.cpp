@@ -1,91 +1,17 @@
 #include "xforms/LICM.h"
 
-#include "ir/Instructions.h"
-#include "ir/Verifier.h"
-
-#include <algorithm>
+#include "opt/Passes.h"
 
 using namespace noelle;
-using nir::Instruction;
-using nir::LoopStructure;
 
-unsigned LICM::hoistLoop(LoopContent &LC) {
-  N.noteRequest(Abstraction::INV);
-  N.noteRequest(Abstraction::LB);
-  N.noteRequest(Abstraction::LS);
-  LoopStructure &LS = LC.getLoopStructure();
-  auto &Inv = LC.getInvariantManager();
-  LoopBuilder &LB = N.getLoopBuilder();
-
-  // Candidates, in program order so operand chains hoist in order.
-  std::vector<Instruction *> ToHoist;
-  for (Instruction *I : Inv.getInvariants()) {
-    // Phis are position-dependent: an invariant (degenerate) phi can be
-    // folded but never moved.
-    if (nir::isa<nir::PhiInst>(I))
-      continue;
-    // INV already excludes stores/calls/phis/terminators. Loads must
-    // additionally be safe to execute unconditionally: require the
-    // address to be rooted at a global or alloca (never null/dangling).
-    if (nir::isa<nir::LoadInst>(I)) {
-      const nir::Value *Base =
-          nir::cast<nir::LoadInst>(I)->getPointerOperand();
-      while (const auto *G = nir::dyn_cast<nir::GEPInst>(Base))
-        Base = G->getBase();
-      if (!nir::isa<nir::GlobalVariable>(Base) &&
-          !nir::isa<nir::AllocaInst>(Base))
-        continue;
-    }
-    ToHoist.push_back(I);
-  }
-
-  // Hoist in dependence order: an instruction only moves after every
-  // in-loop operand has moved (iterate to fixed point).
-  unsigned Hoisted = 0;
-  bool Changed = true;
-  std::set<Instruction *> Moved;
-  while (Changed) {
-    Changed = false;
-    for (Instruction *I : ToHoist) {
-      if (Moved.count(I))
-        continue;
-      bool OperandsReady = true;
-      for (const nir::Value *Op : I->operands()) {
-        const auto *OpI = nir::dyn_cast<Instruction>(Op);
-        if (OpI && LS.contains(OpI) && !Moved.count(const_cast<Instruction *>(OpI)))
-          OperandsReady = false;
-      }
-      if (!OperandsReady)
-        continue;
-      LB.hoistToPreheader(LS, I);
-      Moved.insert(I);
-      ++Hoisted;
-      Changed = true;
-    }
-  }
-  return Hoisted;
-}
-
+// The hoisting logic lives in the optimizer pipeline (opt::runLICM, see
+// src/opt/LICM.cpp); this class survives as a thin adapter for tools
+// that drive LICM standalone through the xforms interface.
 LICMResult LICM::run() {
+  opt::PipelineStats S;
+  opt::runLICM(N, S);
   LICMResult R;
-  // Innermost-first via the loop forest (FR): hoisting from an inner
-  // loop exposes invariants to its parent on the next sweep.
-  auto &LoopForest = N.getLoopForest();
-  std::vector<LoopContent *> Order;
-  LoopForest.visitPostorder(
-      [&](Forest<LoopContent>::Node *Node) { Order.push_back(Node->Payload); });
-  std::set<nir::Function *> Mutated;
-  for (LoopContent *LC : Order) {
-    ++R.LoopsVisited;
-    unsigned Hoisted = hoistLoop(*LC);
-    if (Hoisted)
-      Mutated.insert(LC->getLoopStructure().getFunction());
-    R.InstructionsHoisted += Hoisted;
-  }
-  if (R.InstructionsHoisted) {
-    for (nir::Function *F : Mutated)
-      N.invalidate(*F);
-    assert(nir::moduleVerifies(N.getModule()) && "LICM broke the IR");
-  }
+  R.LoopsVisited = static_cast<unsigned>(S.LoopsVisited);
+  R.InstructionsHoisted = static_cast<unsigned>(S.InstructionsHoisted);
   return R;
 }

@@ -26,11 +26,10 @@ public:
 
   /// Hoists invariant instructions of every loop to its preheader,
   /// innermost loops first so invariants bubble outward across passes.
+  /// Delegates to the pipeline's LICM pass (opt::runLICM).
   LICMResult run();
 
 private:
-  unsigned hoistLoop(LoopContent &LC);
-
   Noelle &N;
 };
 

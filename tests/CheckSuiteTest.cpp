@@ -12,6 +12,7 @@
 #include "benchmarks/Suite.h"
 #include "frontend/MiniC.h"
 #include "noelle/Noelle.h"
+#include "opt/Passes.h"
 #include "verify/NoelleCheck.h"
 #include "xforms/DOALL.h"
 #include "xforms/DSWP.h"
@@ -28,9 +29,12 @@ class CheckSuiteTest : public ::testing::TestWithParam<std::string> {};
 
 verify::CheckReport checkKernel(const bench::Benchmark &B,
                                 const std::string &Which,
-                                unsigned &Parallelized) {
+                                unsigned &Parallelized,
+                                bool Optimize = false) {
   Context Ctx;
   auto M = minic::compileMiniCOrDie(Ctx, B.Source);
+  if (Optimize)
+    opt::runPipeline(*M);
   verify::PreTransformSnapshot Snap = verify::captureForCheck(*M);
   Noelle N(*M);
   Parallelized = 0;
@@ -62,6 +66,23 @@ TEST_P(CheckSuiteTest, KernelIsCleanUnderAllTransforms) {
     verify::CheckReport Rep = checkKernel(*B, Which, Parallelized);
     EXPECT_TRUE(Rep.clean()) << B->Name << " under " << Which << " ("
                              << Parallelized << " loops parallelized):\n"
+                             << Rep.str();
+  }
+}
+
+// Same audit, but the optimizer pipeline runs first so the transforms
+// see inlined, unrolled, and vectorized loops — the production order in
+// which noelle-opt feeds the parallelizers.
+TEST_P(CheckSuiteTest, OptimizedKernelIsCleanUnderAllTransforms) {
+  const bench::Benchmark *B = bench::findBenchmark(GetParam());
+  ASSERT_NE(B, nullptr);
+  for (const char *Which : {"doall", "helix", "dswp"}) {
+    unsigned Parallelized = 0;
+    verify::CheckReport Rep =
+        checkKernel(*B, Which, Parallelized, /*Optimize=*/true);
+    EXPECT_TRUE(Rep.clean()) << B->Name << " (optimized) under " << Which
+                             << " (" << Parallelized
+                             << " loops parallelized):\n"
                              << Rep.str();
   }
 }

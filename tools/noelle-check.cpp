@@ -21,6 +21,8 @@
 /// Options:
 ///   --transform=doall|helix|dswp|all   which transform(s) to audit (all)
 ///   --cores=N                          worker count (4)
+///   --opt                              run the optimizer pipeline before
+///                                      the transforms (noelle-opt order)
 ///   --lint                             also run the dataflow lint pack
 ///   --no-races                         skip the race detector
 ///   --no-legality                      skip the legality checker
@@ -34,6 +36,7 @@
 #include "benchmarks/Suite.h"
 #include "frontend/MiniC.h"
 #include "noelle/Noelle.h"
+#include "opt/Passes.h"
 #include "verify/NoelleCheck.h"
 #include "xforms/DOALL.h"
 #include "xforms/DSWP.h"
@@ -52,6 +55,7 @@ namespace {
 struct CLIOptions {
   std::vector<std::string> Transforms;
   unsigned Cores = 4;
+  bool Optimize = false;
   bool Lint = false;
   bool Races = true;
   bool Legality = true;
@@ -61,8 +65,8 @@ struct CLIOptions {
 void printUsage() {
   std::fprintf(stderr,
                "usage: noelle-check [--transform=doall|helix|dswp|all] "
-               "[--cores=N] [--lint] [--no-races] [--no-legality] [--list] "
-               "<kernel-name | minic-file>\n");
+               "[--cores=N] [--opt] [--lint] [--no-races] [--no-legality] "
+               "[--list] <kernel-name | minic-file>\n");
 }
 
 bool parseArgs(int Argc, char **Argv, CLIOptions &Opts) {
@@ -92,6 +96,10 @@ bool parseArgs(int Argc, char **Argv, CLIOptions &Opts) {
         std::fprintf(stderr, "noelle-check: --cores must be positive\n");
         return false;
       }
+      continue;
+    }
+    if (Arg == "--opt") {
+      Opts.Optimize = true;
       continue;
     }
     if (Arg == "--lint") {
@@ -156,6 +164,11 @@ unsigned checkOne(const std::string &Source, const std::string &Transform,
     std::fprintf(stderr, "noelle-check: compile error: %s\n", Error.c_str());
     return 1;
   }
+
+  // With --opt the pipeline runs first, so the parallelizers (and the
+  // legality snapshot) see the optimized loops — the production order.
+  if (Opts.Optimize)
+    opt::runPipeline(*M);
 
   verify::PreTransformSnapshot Snap = verify::captureForCheck(*M);
 

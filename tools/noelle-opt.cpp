@@ -1,0 +1,161 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// noelle-opt: command-line driver for the NIR optimizer pipeline.
+///
+/// Usage:
+///   noelle-opt [options] <kernel-name | minic-file | nir-file>
+///
+/// The input is compiled (a benchmark-suite kernel by name, a MiniC
+/// source file, or parsed NIR text for files ending in .nir), the
+/// pipeline runs, and the optimized module prints to stdout (or runs,
+/// with --run).
+///
+/// Options:
+///   --no-inline --no-gvn --no-dce --no-licm --no-unroll --no-slp
+///                         disable one pass
+///   --unroll-factor=N     preferred unroll factor (4)
+///   --run                 execute main() after optimizing; print the
+///                         program output and return value
+///   --stats               print pass statistics and per-pass
+///                         abstraction requests to stderr
+///   --no-print            suppress printing the optimized module
+///   --list                list benchmark kernels and exit
+///
+/// Exit status: 0 on success, 2 on usage/compile errors.
+///
+//===----------------------------------------------------------------------===//
+
+#include "benchmarks/Suite.h"
+#include "frontend/MiniC.h"
+#include "interp/Interpreter.h"
+#include "ir/Parser.h"
+#include "ir/Verifier.h"
+#include "opt/Passes.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+using namespace noelle;
+
+namespace {
+
+std::unique_ptr<nir::Module> loadInput(nir::Context &Ctx,
+                                       const std::string &Input) {
+  if (const bench::Benchmark *B = bench::findBenchmark(Input)) {
+    std::string Error;
+    auto M = minic::compileMiniC(Ctx, B->Source, Error);
+    if (!M)
+      std::fprintf(stderr, "noelle-opt: %s: %s\n", Input.c_str(),
+                   Error.c_str());
+    return M;
+  }
+  std::ifstream In(Input);
+  if (!In) {
+    std::fprintf(stderr, "noelle-opt: cannot open '%s'\n", Input.c_str());
+    return nullptr;
+  }
+  std::stringstream SS;
+  SS << In.rdbuf();
+  std::string Error;
+  auto M = Input.size() > 4 && Input.rfind(".nir") == Input.size() - 4
+               ? nir::parseModule(Ctx, SS.str(), Error)
+               : minic::compileMiniC(Ctx, SS.str(), Error);
+  if (!M)
+    std::fprintf(stderr, "noelle-opt: %s: %s\n", Input.c_str(),
+                 Error.c_str());
+  return M;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  opt::PipelineOptions Opts;
+  bool Run = false, Stats = false, Print = true;
+  std::string Input;
+
+  for (int I = 1; I < argc; ++I) {
+    const std::string A = argv[I];
+    if (A == "--no-inline")
+      Opts.EnableInline = false;
+    else if (A == "--no-gvn")
+      Opts.EnableGVN = false;
+    else if (A == "--no-dce")
+      Opts.EnableDCE = false;
+    else if (A == "--no-licm")
+      Opts.EnableLICM = false;
+    else if (A == "--no-unroll")
+      Opts.EnableUnroll = false;
+    else if (A == "--no-slp")
+      Opts.EnableSLP = false;
+    else if (A.rfind("--unroll-factor=", 0) == 0)
+      Opts.UnrollFactor =
+          static_cast<unsigned>(std::atoi(A.c_str() + std::strlen("--unroll-factor=")));
+    else if (A == "--run")
+      Run = true;
+    else if (A == "--stats")
+      Stats = true;
+    else if (A == "--no-print")
+      Print = false;
+    else if (A == "--list") {
+      for (const auto &B : bench::getBenchmarkSuite())
+        std::printf("%s (%s)\n", B.Name.c_str(), B.Suite.c_str());
+      return 0;
+    } else if (!A.empty() && A[0] == '-') {
+      std::fprintf(stderr, "noelle-opt: unknown option '%s'\n", A.c_str());
+      return 2;
+    } else {
+      Input = A;
+    }
+  }
+  if (Input.empty()) {
+    std::fprintf(stderr,
+                 "usage: noelle-opt [options] <kernel|file.minic|file.nir>\n");
+    return 2;
+  }
+
+  nir::Context Ctx;
+  auto M = loadInput(Ctx, Input);
+  if (!M)
+    return 2;
+  if (!nir::moduleVerifies(*M)) {
+    std::fprintf(stderr, "noelle-opt: input module does not verify\n");
+    return 2;
+  }
+
+  const opt::PipelineStats S = opt::runPipeline(*M, Opts);
+
+  if (Stats) {
+    std::fprintf(stderr,
+                 "inlined=%llu gvn=%llu dce=%llu hoisted=%llu "
+                 "unrolled=%llu vector-insts=%llu stores-packed=%llu\n",
+                 (unsigned long long)S.CallsInlined,
+                 (unsigned long long)S.GVNReplaced,
+                 (unsigned long long)S.DCERemoved,
+                 (unsigned long long)S.InstructionsHoisted,
+                 (unsigned long long)S.LoopsUnrolled,
+                 (unsigned long long)S.VectorInstsEmitted,
+                 (unsigned long long)S.StoresVectorized);
+    for (const auto &[Pass, Set] : S.PassAbstractions) {
+      std::string Names;
+      for (const auto &Name : Set.names())
+        Names += (Names.empty() ? "" : ",") + Name;
+      std::fprintf(stderr, "pass %-8s abstractions: %s\n", Pass.c_str(),
+                   Names.empty() ? "-" : Names.c_str());
+    }
+  }
+
+  if (Print)
+    M->print(std::cout);
+  if (Run) {
+    nir::ExecutionEngine E(*M);
+    const int64_t R = E.runMain();
+    std::fputs(E.getOutput().c_str(), stdout);
+    std::printf("main() = %lld\n", (long long)R);
+  }
+  return 0;
+}

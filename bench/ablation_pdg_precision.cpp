@@ -31,9 +31,8 @@ unsigned loopsParallelizable(const bench::Benchmark &B, const char *AAName,
   Noelle N(*M, Opts);
   DOALL Tool(N);
   unsigned Count = 0;
-  std::string Why;
   for (LoopContent *LC : N.getLoopContents())
-    if (Tool.canParallelize(*LC, Why))
+    if (Tool.applicable(*LC))
       ++Count;
   return Count;
 }

@@ -22,6 +22,7 @@
 #include "baselines/ConservativeParallelizer.h"
 #include "benchmarks/Suite.h"
 #include "frontend/MiniC.h"
+#include "planner/Planner.h"
 #include "runtime/ParallelRuntime.h"
 #include "xforms/DOALL.h"
 #include "xforms/DSWP.h"
@@ -82,9 +83,10 @@ int main() {
   std::printf("Figure 5: program speedups vs sequential baseline "
               "(%u cores, instruction-level model)\n\n",
               Cores);
-  std::vector<int> W = {16, 8, 8, 8, 8, 8, 8};
-  benchutil::printRow(
-      {"benchmark", "suite", "gcc", "icc", "DOALL", "HELIX", "DSWP"}, W);
+  std::vector<int> W = {16, 8, 8, 8, 8, 8, 8, 9};
+  benchutil::printRow({"benchmark", "suite", "gcc", "icc", "DOALL", "HELIX",
+                       "DSWP", "Planner"},
+                      W);
   benchutil::printSeparator(W);
 
   bool AnyWrong = false;
@@ -149,12 +151,26 @@ int main() {
           return K;
         });
 
+    // The free planner: picks technique + worker count per loop from
+    // the same cost model the figure's columns are measured by.
+    Measurement Plan =
+        measure(B, Expected, BaselineInstrs, [](nir::Module &M) {
+          Noelle N(M);
+          planner::PlannerOptions PO;
+          PO.MaxWorkers = Cores;
+          planner::Planner P(N, PO);
+          unsigned K = 0;
+          for (const auto &D : P.planAndApply())
+            K += D.Parallelized;
+          return K;
+        });
+
     benchutil::printRow({B.Name, B.Suite, fmt(Gcc), fmt(Icc), fmt(Doall),
-                         fmt(Helix), fmt(Dswp)},
+                         fmt(Helix), fmt(Dswp), fmt(Plan)},
                         W);
     AnyWrong |= !Gcc.ResultMatches || !Icc.ResultMatches ||
                 !Doall.ResultMatches || !Helix.ResultMatches ||
-                !Dswp.ResultMatches;
+                !Dswp.ResultMatches || !Plan.ResultMatches;
     BestNoelle = std::max(
         {BestNoelle, Doall.Speedup, Helix.Speedup, Dswp.Speedup});
     BestBaselineMax = std::max({BestBaselineMax, Gcc.Speedup, Icc.Speedup});

@@ -62,13 +62,16 @@ std::vector<ConservativeDecision> ConservativeParallelizer::run() {
         Decisions.push_back(D);
         continue;
       }
-      std::string Why;
-      if (!Tool.canParallelize(*LC, Why)) {
-        D.Reason = Why;
+      noelle::Legality L = Tool.applicable(*LC);
+      if (!L) {
+        D.Reason = L.Reason;
         Decisions.push_back(D);
         continue;
       }
-      D.Parallelized = Tool.parallelizeLoop(*LC);
+      noelle::Decision TD;
+      D.Parallelized = Tool.apply(*LC, Tool.defaultPlan(), TD);
+      if (!D.Parallelized)
+        D.Reason = TD.Reason;
       Decisions.push_back(D);
       if (D.Parallelized) {
         Progress = true;

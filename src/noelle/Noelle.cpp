@@ -1,5 +1,7 @@
 #include "noelle/Noelle.h"
 
+#include "planner/Planner.h"
+
 using namespace noelle;
 using nir::Function;
 
@@ -154,6 +156,12 @@ LoopBuilder &Noelle::getLoopBuilder() {
 Scheduler Noelle::getScheduler(Function &F) {
   Requested.insert(Abstraction::SCD);
   return Scheduler(getFunctionDG(F), getDominators(F));
+}
+
+planner::Planner &Noelle::getPlanner() {
+  if (!ThePlanner)
+    ThePlanner = std::make_unique<planner::Planner>(*this);
+  return *ThePlanner;
 }
 
 PDG &Noelle::getFunctionDG(Function &F) {

@@ -34,6 +34,10 @@
 
 namespace noelle {
 
+namespace planner {
+class Planner;
+}
+
 /// The "L" abstraction: one loop bundled with its dependence graph,
 /// aSCCDAG, invariants, induction variables, reductions, and environment
 /// — everything Table 1 lists for "Loop (L)".
@@ -103,6 +107,12 @@ public:
   LoopBuilder &getLoopBuilder();
   Scheduler getScheduler(nir::Function &F);
 
+  /// The strategy planner (src/planner) bound to this module, with
+  /// default options. Build a planner::Planner directly for custom
+  /// options; this accessor exists so one-shot drivers need only the
+  /// facade.
+  planner::Planner &getPlanner();
+
   /// Per-function analyses with NOELLE-owned lifetime.
   nir::DominatorTree &getDominators(nir::Function &F);
   nir::LoopInfo &getLoopInfo(nir::Function &F);
@@ -153,6 +163,7 @@ private:
   bool ProfilesLoaded = false;
   std::unique_ptr<Architecture> Arch;
   std::unique_ptr<LoopBuilder> LB;
+  std::unique_ptr<planner::Planner> ThePlanner;
   std::unordered_map<nir::Function *, std::unique_ptr<nir::DominatorTree>>
       DTs;
   std::unordered_map<nir::Function *, std::unique_ptr<nir::LoopInfo>> LIs;

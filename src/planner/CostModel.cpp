@@ -1,0 +1,117 @@
+#include "planner/CostModel.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+using namespace noelle;
+using namespace noelle::planner;
+
+namespace {
+
+/// Minimal scan for `"key": <number>` in a flat JSON object — the
+/// shape bench_runtime writes. Returns false when the key is absent.
+bool readNumberField(const std::string &Text, const std::string &Key,
+                     double &Out) {
+  std::string Needle = "\"" + Key + "\"";
+  size_t At = Text.find(Needle);
+  if (At == std::string::npos)
+    return false;
+  At = Text.find(':', At + Needle.size());
+  if (At == std::string::npos)
+    return false;
+  return std::sscanf(Text.c_str() + At + 1, " %lf", &Out) == 1;
+}
+
+} // namespace
+
+bool noelle::planner::loadMeasuredOverheads(const std::string &Path,
+                                            CostOverheads &O,
+                                            std::string &Err) {
+  std::ifstream In(Path);
+  if (!In) {
+    Err = "cannot open '" + Path + "'";
+    return false;
+  }
+  std::stringstream Buf;
+  Buf << In.rdbuf();
+  std::string Text = Buf.str();
+
+  double DispatchNs = 0, Mips = 0;
+  if (!readNumberField(Text, "dispatch_ns_per_region_pool_static",
+                       DispatchNs)) {
+    Err = "'" + Path + "' lacks dispatch_ns_per_region_pool_static";
+    return false;
+  }
+  if (!readNumberField(Text, "steady_state_mips", Mips) || Mips <= 0) {
+    Err = "'" + Path + "' lacks a positive steady_state_mips";
+    return false;
+  }
+  // ns -> instructions at the measured interpreter throughput
+  // (MIPS = instructions per microsecond), then per task: the bench's
+  // dispatch regions run 4 tasks each.
+  double RegionInstrs = DispatchNs * Mips / 1000.0;
+  O.SpawnCostPerTask = RegionInstrs / 4.0;
+  if (O.SpawnCostPerTask < 1.0)
+    O.SpawnCostPerTask = 1.0;
+  return true;
+}
+
+CostQuery CostModel::queryFor(LoopContent &LC, ProfileData *Prof) const {
+  CostQuery Q;
+  Q.SpawnCostPerTask = Overheads.SpawnCostPerTask;
+  Q.SyncCost = Overheads.SyncCost;
+  if (Prof) {
+    nir::LoopStructure &LS = LC.getLoopStructure();
+    uint64_t Inv = Prof->getLoopInvocations(LS);
+    if (Inv > 0) {
+      Q.TripCount = Prof->getLoopAverageIterations(LS);
+      Q.Invocations = static_cast<double>(Inv);
+
+      // Legality weights count each body instruction once, but blocks
+      // inside nested loops run once per inner trip. Recover the true
+      // per-iteration work from the profile's block counts.
+      uint64_t StaticBody = 0;
+      double DynWork = 0;
+      for (nir::BasicBlock *BB : LS.getBlocks()) {
+        uint64_t N = 0;
+        for (const auto &I : BB->getInstList())
+          if (!nir::isa<nir::PhiInst>(I.get()) && !I->isTerminator())
+            ++N;
+        StaticBody += N;
+        DynWork += static_cast<double>(Prof->getBlockCount(BB)) *
+                   static_cast<double>(N);
+      }
+      double TotalIters =
+          static_cast<double>(Prof->getLoopTotalIterations(LS));
+      if (StaticBody > 0 && DynWork > 0 && TotalIters > 0)
+        Q.BodyScale = DynWork / (TotalIters *
+                                 static_cast<double>(StaticBody));
+    }
+  }
+  return Q;
+}
+
+bool CostModel::choose(const ParallelizationTechnique &T,
+                       const Legality &L, const CostQuery &Q,
+                       unsigned MaxWorkers, PlanChoice &Out) const {
+  if (!L)
+    return false;
+  bool Any = false;
+  for (unsigned W = 1; W <= std::max(1u, MaxWorkers); ++W) {
+    LoopPlan P;
+    P.Kind = T.getKind();
+    P.Workers = W;
+    // DOALL's chunked dispatch: coarsen the grain once the worker
+    // count is large enough for counter traffic to matter. Other
+    // techniques ignore the grain.
+    P.ChunkGrain = std::max(1u, W / 8);
+    TechniqueCost C = T.estimate(L, P, Q);
+    if (!Any || C.ParallelTime < Out.Cost.ParallelTime) {
+      Out.Plan = P;
+      Out.Cost = C;
+      Any = true;
+    }
+  }
+  return Any;
+}

@@ -1,0 +1,95 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Serializable whole-program parallelization plans. A ProgramPlan names,
+/// per hot loop, the technique the planner picked, its worker count and
+/// chunk grain, and the modeled speedup that justified the choice. Plans
+/// are keyed by the module's structural content hash and identified per
+/// loop by the deterministic instruction ID of the loop header's first
+/// instruction (ir/IDs.h) — both survive printing, parsing, and
+/// annotation, so a plan can be embedded as module metadata next to the
+/// PDG cache, audited by `noelle-check --plan`, and applied one-shot by
+/// `noelle-parallelize`.
+///
+/// Wire format (one record per line, deterministic, so a
+/// serialize→deserialize→serialize round trip is byte-identical):
+///
+///   plan v1
+///   hash <16 hex digits>
+///   loop fn=<name> header=<id> loop=<id> kind=<doall|helix|dswp>
+///        workers=<n> chunk=<n> parent=<entry index|-1> speedup=<milli>
+///
+/// `parent` links a nested entry (DOALL inside a DSWP stage) to the
+/// index of its enclosing DSWP entry; top-level entries carry -1.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PLANNER_PLAN_H
+#define PLANNER_PLAN_H
+
+#include "xforms/ParallelizationTechnique.h"
+
+#include <string>
+#include <vector>
+
+namespace noelle {
+namespace planner {
+
+/// Module metadata key a plan is embedded under.
+inline constexpr const char *PlanEmbedKey = "noelle.plan.v1";
+
+/// One loop's slice of the program plan.
+struct PlanEntry {
+  std::string FunctionName;  ///< pre-transform host function
+  uint64_t HeaderInstID = 0; ///< deterministic ID of the header's first
+                             ///< instruction (stable loop identity)
+  unsigned LoopID = 0;       ///< preorder loop ID (diagnostic only)
+  TechniqueKind Kind = TechniqueKind::DOALL;
+  unsigned Workers = 1;
+  unsigned ChunkGrain = 1;
+  /// Index of the enclosing DSWP entry for a nested DOALL, else -1.
+  int Parent = -1;
+  /// Modeled speedup in milli-units (2310 = 2.31x) — integral so the
+  /// wire format round-trips byte-identically.
+  int64_t SpeedupMilli = 0;
+
+  bool operator==(const PlanEntry &O) const {
+    return FunctionName == O.FunctionName &&
+           HeaderInstID == O.HeaderInstID && LoopID == O.LoopID &&
+           Kind == O.Kind && Workers == O.Workers &&
+           ChunkGrain == O.ChunkGrain && Parent == O.Parent &&
+           SpeedupMilli == O.SpeedupMilli;
+  }
+};
+
+/// A whole-program parallelization plan.
+struct ProgramPlan {
+  /// Content hash of the module the plan was computed for (0 = unbound).
+  uint64_t ModuleHash = 0;
+  std::vector<PlanEntry> Entries;
+
+  bool operator==(const ProgramPlan &O) const {
+    return ModuleHash == O.ModuleHash && Entries == O.Entries;
+  }
+
+  std::string serialize() const;
+  static bool deserialize(const std::string &Text, ProgramPlan &Out,
+                          std::string &Err);
+
+  /// Stores the plan as module metadata (PlanEmbedKey). The module's
+  /// content hash is metadata-agnostic, so embedding does not invalidate
+  /// the plan's own hash binding (nor the PDG cache).
+  void embed(nir::Module &M) const;
+
+  /// Loads an embedded plan. Returns false when absent or malformed.
+  static bool fromModule(const nir::Module &M, ProgramPlan &Out,
+                         std::string &Err);
+
+  /// Removes an embedded plan.
+  static void clean(nir::Module &M);
+};
+
+} // namespace planner
+} // namespace noelle
+
+#endif // PLANNER_PLAN_H

@@ -43,11 +43,22 @@ thread_local uint64_t ThreadSegmentCheckpoint = 0;
 /// several worker threads at once.
 struct PrepareMemo {
   std::mutex Lock;
+  /// Plan epoch the memo's entries were prepared under. UINT64_MAX marks
+  /// a fresh memo so the first dispatch always records the real epoch.
+  uint64_t Epoch = UINT64_MAX;
   std::map<Function *, ExecutionEngine::PreparedFunction> Map;
 
   ExecutionEngine::PreparedFunction resolve(ExecutionEngine &E,
                                             Function *Task) {
     std::lock_guard<std::mutex> G(Lock);
+    // Re-transforming the module under a new plan bumps its epoch;
+    // cached decoded entries from the old plan may point at replaced or
+    // deleted task bodies, so the whole memo is invalid.
+    uint64_t Cur = planEpochOf(*Task->getParent());
+    if (Cur != Epoch) {
+      Map.clear();
+      Epoch = Cur;
+    }
     auto It = Map.find(Task);
     if (It != Map.end())
       return It->second;
@@ -110,9 +121,19 @@ void runDispatch(ExecutionEngine &E, PrepareMemo &Memo, Function *Task,
       Jobs.push_back([&RunOne, T] { RunOne(T); });
   } else {
     // Runner count: one per host core is enough, since runners never
-    // block and each drains chunks until the counter is exhausted.
-    int64_t Runners = std::min<int64_t>(
-        NumTasks, std::max(1u, Architecture::hostLogicalCores()));
+    // block and each drains chunks until the counter is exhausted. A
+    // plan may cap this lower (worker-count hint); absent or
+    // non-positive metadata leaves the default untouched.
+    int64_t RunnerCap = std::max(1u, Architecture::hostLogicalCores());
+    if (const nir::Module *M = Task->getParent();
+        M && M->hasModuleMetadata(PlanRunnersKey)) {
+      int64_t Hint =
+          std::strtoll(M->getModuleMetadata(PlanRunnersKey).c_str(),
+                       nullptr, 10);
+      if (Hint > 0)
+        RunnerCap = Hint;
+    }
+    int64_t Runners = std::min<int64_t>(NumTasks, RunnerCap);
     Jobs.reserve(static_cast<size_t>(Runners));
     for (int64_t R = 0; R < Runners; ++R)
       Jobs.push_back([&RunOne, &NextChunk, NumTasks, Grain] {
@@ -168,6 +189,17 @@ inline void gateWait(std::atomic<int64_t> *Gate, int64_t Iter) {
 }
 
 } // namespace
+
+uint64_t noelle::planEpochOf(const nir::Module &M) {
+  if (!M.hasModuleMetadata(PlanEpochKey))
+    return 0;
+  return std::strtoull(M.getModuleMetadata(PlanEpochKey).c_str(), nullptr,
+                       10);
+}
+
+void noelle::bumpPlanEpoch(nir::Module &M) {
+  M.setModuleMetadata(PlanEpochKey, std::to_string(planEpochOf(M) + 1));
+}
 
 void noelle::registerParallelRuntime(ExecutionEngine &Engine) {
   // One memo per engine, shared by both dispatch entry points; its

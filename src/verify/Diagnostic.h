@@ -54,6 +54,19 @@ enum class DiagKind {
   /// or inconsistent transform metadata) — itself a verification failure,
   /// since unattributable tasks cannot be audited.
   MissingMetadata,
+  /// A plan's module content hash does not match the module under audit
+  /// (the plan was computed for different code).
+  PlanHashMismatch,
+  /// A plan entry names a loop the module does not contain (bad
+  /// function name or header instruction ID).
+  PlanLoopNotFound,
+  /// A plan entry's technique is not legally applicable to the loop it
+  /// names (e.g. DOALL on a loop-carried dependence).
+  PlanIllegal,
+  /// A plan entry is structurally invalid: zero workers, a dangling or
+  /// non-DSWP parent link, a nested entry that is not DOALL, or two
+  /// entries claiming the same loop.
+  PlanMalformed,
 };
 
 inline const char *diagKindName(DiagKind K) {
@@ -80,6 +93,14 @@ inline const char *diagKindName(DiagKind K) {
     return "null-deref";
   case DiagKind::MissingMetadata:
     return "missing-metadata";
+  case DiagKind::PlanHashMismatch:
+    return "plan-hash-mismatch";
+  case DiagKind::PlanLoopNotFound:
+    return "plan-loop-not-found";
+  case DiagKind::PlanIllegal:
+    return "plan-illegal";
+  case DiagKind::PlanMalformed:
+    return "plan-malformed";
   }
   return "unknown";
 }

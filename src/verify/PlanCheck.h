@@ -1,0 +1,33 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Plan auditing (`noelle-check --plan`): verifies a ProgramPlan
+/// against the pre-transform module it claims to describe, before
+/// anything is applied. A clean report means the plan's hash binds to
+/// this module, every entry names a real loop, every entry is
+/// structurally well formed (workers, parent links, nesting kinds),
+/// and — the substantive part — every named technique is legally
+/// applicable to its loop per the same legality analyses the
+/// transforms run. A seeded bad plan (say, DOALL on a loop-carried
+/// dependence) fails here without ever mutating IR.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VERIFY_PLANCHECK_H
+#define VERIFY_PLANCHECK_H
+
+#include "planner/Plan.h"
+#include "verify/Diagnostic.h"
+
+namespace noelle {
+namespace verify {
+
+/// Audits \p P against \p M (the pre-transform module). Read-only: no
+/// IDs are assigned and no code changes — a plan referencing IDs the
+/// module lacks reports PlanLoopNotFound.
+CheckReport checkPlan(nir::Module &M, const planner::ProgramPlan &P);
+
+} // namespace verify
+} // namespace noelle
+
+#endif // VERIFY_PLANCHECK_H

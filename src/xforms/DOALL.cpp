@@ -2,7 +2,11 @@
 
 #include "ir/Instructions.h"
 #include "ir/Verifier.h"
+#include "runtime/ParallelRuntime.h"
 #include "verify/CheckMetadata.h"
+
+#include <algorithm>
+#include <cmath>
 
 using namespace noelle;
 using nir::BasicBlock;
@@ -25,7 +29,8 @@ bool isIVSCC(const SCC *S, InductionVariableManager &IVs) {
 
 } // namespace
 
-bool DOALL::canParallelize(LoopContent &LC, std::string &Reason) {
+Legality DOALL::applicable(LoopContent &LC) {
+  Legality L;
   N.noteRequest(Abstraction::PDG);
   N.noteRequest(Abstraction::aSCCDAG);
   N.noteRequest(Abstraction::IV);
@@ -34,39 +39,39 @@ bool DOALL::canParallelize(LoopContent &LC, std::string &Reason) {
   nir::LoopStructure &LS = LC.getLoopStructure();
 
   if (!LS.getPreheader()) {
-    Reason = "no preheader";
-    return false;
+    L.Reason = "no preheader";
+    return L;
   }
   if (LS.getExitBlocks().size() != 1) {
-    Reason = "multiple exit blocks";
-    return false;
+    L.Reason = "multiple exit blocks";
+    return L;
   }
   if (LS.getExitingBlocks().size() != 1) {
-    Reason = "multiple exiting blocks";
-    return false;
+    L.Reason = "multiple exiting blocks";
+    return L;
   }
   // The unique exit block must be reached only from the loop, so it can
   // be retargeted to the dispatch code.
   for (BasicBlock *Pred : LS.getExitBlocks()[0]->predecessors())
     if (!LS.contains(Pred)) {
-      Reason = "exit block has non-loop predecessors";
-      return false;
+      L.Reason = "exit block has non-loop predecessors";
+      return L;
     }
 
   auto &IVs = LC.getIVManager();
   InductionVariable *GIV = IVs.getGoverningIV();
   if (!GIV) {
-    Reason = "no governing induction variable";
-    return false;
+    L.Reason = "no governing induction variable";
+    return L;
   }
   if (!GIV->hasConstantStep() || GIV->getConstantStep() == 0) {
-    Reason = "governing IV step is not a nonzero constant";
-    return false;
+    L.Reason = "governing IV step is not a nonzero constant";
+    return L;
   }
   // The governing branch must be the loop's only exit.
   if (GIV->getGoverningBranch()->getParent() != LS.getExitingBlocks()[0]) {
-    Reason = "exit is not controlled by the governing IV";
-    return false;
+    L.Reason = "exit is not controlled by the governing IV";
+    return L;
   }
   switch (GIV->getGoverningCmp()->getPred()) {
   case CmpInst::Pred::SLT:
@@ -77,27 +82,27 @@ bool DOALL::canParallelize(LoopContent &LC, std::string &Reason) {
   case CmpInst::Pred::NE:
     // Counted "while (iv != bound)" form: true must continue the loop.
     if (!LS.contains(GIV->getGoverningBranch()->getSuccessor(0))) {
-      Reason = "inverted != exit test";
-      return false;
+      L.Reason = "inverted != exit test";
+      return L;
     }
     break;
   case CmpInst::Pred::EQ:
     // Counted "if (iv == bound) exit" form: true must leave the loop.
     if (LS.contains(GIV->getGoverningBranch()->getSuccessor(0))) {
-      Reason = "inverted == exit test";
-      return false;
+      L.Reason = "inverted == exit test";
+      return L;
     }
     break;
   default:
-    Reason = "unsupported governing comparison";
-    return false;
+    L.Reason = "unsupported governing comparison";
+    return L;
   }
   // All secondary IVs must also have constant steps (they get re-based
   // per task).
   for (const auto &IV : IVs.getInductionVariables())
     if (!IV->hasConstantStep()) {
-      Reason = "secondary IV with non-constant step";
-      return false;
+      L.Reason = "secondary IV with non-constant step";
+      return L;
     }
 
   // Every loop-carried dependence must live inside an IV or reduction
@@ -114,16 +119,16 @@ bool DOALL::canParallelize(LoopContent &LC, std::string &Reason) {
     SCC *SF = Dag.sccOf(From);
     SCC *ST = Dag.sccOf(To);
     if (SF != ST) {
-      Reason = "loop-carried dependence crosses SCCs";
-      return false;
+      L.Reason = "loop-carried dependence crosses SCCs";
+      return L;
     }
     if (isIVSCC(SF, IVs))
       continue;
     if (RM.getReductionFor(SF))
       continue;
-    Reason = "sequential SCC (loop-carried dependence is neither IV nor "
-             "reduction)";
-    return false;
+    L.Reason = "sequential SCC (loop-carried dependence is neither IV nor "
+               "reduction)";
+    return L;
   }
 
   // Live-outs must be reduction accumulators (phi or update).
@@ -134,18 +139,43 @@ bool DOALL::canParallelize(LoopContent &LC, std::string &Reason) {
       if (Out == R.Phi || Out == R.Update)
         OK = true;
     if (!OK) {
-      Reason = "live-out value is not a reduction accumulator";
-      return false;
+      L.Reason = "live-out value is not a reduction accumulator";
+      return L;
     }
   }
 
-  return true;
+  for (BasicBlock *BB : LS.getBlocks())
+    for (const auto &I : BB->getInstList())
+      if (!nir::isa<PhiInst>(I.get()) && !I->isTerminator())
+        ++L.BodyWeight;
+  L.Ok = true;
+  return L;
 }
 
-bool DOALL::parallelizeLoop(LoopContent &LC) {
-  std::string Reason;
-  if (!canParallelize(LC, Reason))
+TechniqueCost DOALL::estimate(const Legality &L, const LoopPlan &P,
+                              const CostQuery &Q) const {
+  // Iterations distribute cyclically: each of the W tasks runs ~Trip/W
+  // iterations concurrently, and the dispatch pays one spawn per task.
+  double W = std::max(1u, P.Workers);
+  double Body =
+      static_cast<double>(std::max<uint64_t>(1, L.BodyWeight)) *
+      Q.BodyScale;
+  TechniqueCost C;
+  C.SequentialTime = Q.Invocations * Q.TripCount * Body;
+  C.ParallelTime =
+      Q.Invocations * (Q.TripCount * Body / W + W * Q.SpawnCostPerTask);
+  return C;
+}
+
+bool DOALL::apply(LoopContent &LC, const LoopPlan &P, Decision &D) {
+  D.Kind = TechniqueKind::DOALL;
+  Legality L = applicable(LC);
+  if (!L) {
+    D.Reason = L.Reason;
     return false;
+  }
+  unsigned Workers = std::max(1u, P.Workers);
+  unsigned Chunk = std::max(1u, P.ChunkGrain);
 
   N.noteRequest(Abstraction::ENV);
   N.noteRequest(Abstraction::T);
@@ -162,14 +192,13 @@ bool DOALL::parallelizeLoop(LoopContent &LC) {
 
   EnvLayout Layout;
   Layout.Env = &Env;
-  Layout.Lanes = Opts.NumCores;
+  Layout.Lanes = Workers;
 
   // --- Task side -------------------------------------------------------
   ClonedLoopTask Task = cloneLoopIntoTask(
       LS, Layout, F->getName() + ".doall" + std::to_string(LS.getID()));
   Task.TaskFn->setMetadata(verify::TaskKindKey, "doall");
-  Task.TaskFn->setMetadata(verify::TaskWorkersKey,
-                           std::to_string(Opts.NumCores));
+  Task.TaskFn->setMetadata(verify::TaskWorkersKey, std::to_string(Workers));
 
   // Re-base every IV for cyclic distribution: start' = start +
   // taskID*step (iteration offset), step' = step*numTasks*chunk.
@@ -199,7 +228,7 @@ bool DOALL::parallelizeLoop(LoopContent &LC) {
     int64_t RawAmount =
         ClonedUpd->getOp() == BinaryInst::Op::Sub ? -Step : Step;
     Value *NewAmount =
-        Ctx.getInt64(RawAmount * static_cast<int64_t>(Opts.NumCores));
+        Ctx.getInt64(RawAmount * static_cast<int64_t>(Workers));
     if (ClonedUpd->getLHS() == ClonedPhi)
       ClonedUpd->setOperand(1, NewAmount);
     else
@@ -242,7 +271,7 @@ bool DOALL::parallelizeLoop(LoopContent &LC) {
     for (const auto &Cand : RM.getReductions())
       if (Out == Cand.Phi || Out == Cand.Update)
         R = &Cand;
-    assert(R && "checked in canParallelize");
+    assert(R && "checked in applicable()");
 
     auto *ClonedPhi = nir::cast<PhiInst>(Task.ValueMap[R->Phi]);
     int Idx = ClonedPhi->getBlockIndex(TaskEntry);
@@ -263,8 +292,8 @@ bool DOALL::parallelizeLoop(LoopContent &LC) {
   // --- Caller side -----------------------------------------------------
   // DOALL tasks never block on each other, so dispatch them through the
   // chunked (dynamically scheduled) runtime entry point.
-  BasicBlock *Dispatch = replaceLoopWithDispatch(
-      LS, Layout, Task.TaskFn, Opts.NumCores, std::max(1u, Opts.ChunkGrain));
+  BasicBlock *Dispatch =
+      replaceLoopWithDispatch(LS, Layout, Task.TaskFn, Workers, Chunk);
   Value *EnvAlloca = Dispatch->front(); // first instruction: the env array
   IRBuilder CB(Ctx);
   CB.setInsertPoint(Dispatch->getTerminator());
@@ -275,7 +304,7 @@ bool DOALL::parallelizeLoop(LoopContent &LC) {
       if (Out == Cand.Phi || Out == Cand.Update)
         R = &Cand;
     Value *Acc = nullptr;
-    for (unsigned Lane = 0; Lane < Opts.NumCores; ++Lane) {
+    for (unsigned Lane = 0; Lane < Workers; ++Lane) {
       Value *Partial =
           emitEnvLoad(CB, EnvAlloca, Layout.liveOutSlot(Out, Lane),
                       Out->getType(), "partial");
@@ -292,59 +321,10 @@ bool DOALL::parallelizeLoop(LoopContent &LC) {
   // Only the host function changed (the task bodies are new functions
   // with no cached analyses): keep every other function's bundles.
   N.invalidate(*LS.getFunction());
+  bumpPlanEpoch(M);
 
   assert(nir::moduleVerifies(M) && "DOALL produced invalid IR");
+  D.Parallelized = true;
+  D.Workers = Workers;
   return true;
-}
-
-std::vector<DOALLDecision> DOALL::run() {
-  std::vector<DOALLDecision> Decisions;
-  // Transforming a loop invalidates its function's LoopContents, so
-  // process one loop per sweep and restart until a sweep makes no
-  // progress. Loops are identified by (function, preorder id), both
-  // stable while their function is untouched.
-  std::set<std::pair<std::string, unsigned>> Attempted;
-  bool Progress = true;
-  while (Progress) {
-    Progress = false;
-    ProfileData *Prof =
-        Opts.MinimumHotness > 0 ? N.getProfiles(false) : nullptr;
-    for (LoopContent *LC : N.getLoopContents()) {
-      nir::LoopStructure &LS = LC->getLoopStructure();
-      if (LS.getFunction()->getMetadata("noelle.task") == "true")
-        continue; // Do not nest parallelism inside generated tasks.
-      // Key loops by their header's position in the function: stable
-      // across LoopInfo recomputations for untouched functions.
-      unsigned HeaderPos = 0, Pos = 0;
-      for (auto &BB : LS.getFunction()->getBlocks()) {
-        if (BB.get() == LS.getHeader())
-          HeaderPos = Pos;
-        ++Pos;
-      }
-      auto Key = std::make_pair(LS.getFunction()->getName(), HeaderPos);
-      if (!Attempted.insert(Key).second)
-        continue;
-
-      DOALLDecision D;
-      D.FunctionName = Key.first;
-      D.LoopID = LS.getID();
-      if (Prof && Prof->getLoopHotness(LS) < Opts.MinimumHotness) {
-        D.Reason = "not hot enough";
-        Decisions.push_back(D);
-        continue;
-      }
-      if (!canParallelize(*LC, D.Reason)) {
-        Decisions.push_back(D);
-        continue;
-      }
-      bool OK = parallelizeLoop(*LC);
-      D.Parallelized = OK;
-      Decisions.push_back(D);
-      if (OK) {
-        Progress = true;
-        break; // LoopContents are stale; re-enumerate.
-      }
-    }
-  }
-  return Decisions;
 }

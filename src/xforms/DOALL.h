@@ -5,12 +5,14 @@
 /// dependences (outside IV and reduction cycles) by distributing
 /// iterations cyclically across cores (Section 3). Built from NOELLE's
 /// PDG, aSCCDAG, IV, IVS, RD, INV, ENV, T, LB, PRO, and AR abstractions.
+/// Implements the unified ParallelizationTechnique interface.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef XFORMS_DOALL_H
 #define XFORMS_DOALL_H
 
+#include "xforms/ParallelizationTechnique.h"
 #include "xforms/ParallelizationUtils.h"
 
 namespace noelle {
@@ -24,34 +26,27 @@ struct DOALLOptions {
   unsigned ChunkGrain = 1;
 };
 
-/// Why a loop was accepted or rejected; used by reports and tests.
-/// Loops are identified by name because parallelization invalidates
-/// LoopStructure objects.
-struct DOALLDecision {
-  std::string FunctionName;
-  unsigned LoopID = 0;
-  bool Parallelized = false;
-  std::string Reason;
-};
-
-class DOALL {
+class DOALL : public ParallelizationTechnique {
 public:
-  DOALL(Noelle &N, DOALLOptions Opts = {}) : N(N), Opts(Opts) {}
+  DOALL(Noelle &N, DOALLOptions Opts = {})
+      : ParallelizationTechnique(N), Opts(Opts) {}
 
-  /// True if \p LC satisfies DOALL's conditions; fills \p Reason
-  /// otherwise.
-  bool canParallelize(LoopContent &LC, std::string &Reason);
+  TechniqueKind getKind() const override { return TechniqueKind::DOALL; }
 
-  /// Transforms one loop. Returns false (leaving the IR untouched) when
-  /// the loop cannot be parallelized.
-  bool parallelizeLoop(LoopContent &LC);
+  Legality applicable(LoopContent &LC) override;
 
-  /// Applies DOALL to every eligible loop (outermost first; loops nested
-  /// in an already parallelized loop are skipped). Returns decisions.
-  std::vector<DOALLDecision> run();
+  TechniqueCost estimate(const Legality &L, const LoopPlan &P,
+                         const CostQuery &Q) const override;
+
+  bool apply(LoopContent &LC, const LoopPlan &P, Decision &D) override;
+
+  LoopPlan defaultPlan() const override {
+    return {TechniqueKind::DOALL, Opts.NumCores,
+            std::max(1u, Opts.ChunkGrain)};
+  }
+  double minimumHotness() const override { return Opts.MinimumHotness; }
 
 private:
-  Noelle &N;
   DOALLOptions Opts;
 };
 

@@ -8,6 +8,7 @@
 #include "verify/CheckMetadata.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 
@@ -69,24 +70,20 @@ Value *fromQueueWord(IRBuilder &B, Value *Word, nir::Type *Ty) {
 
 } // namespace
 
-bool DSWP::parallelizeLoop(LoopContent &LC, DSWPDecision &D) {
+bool DSWP::analyze(LoopContent &LC, unsigned Workers, PipelineAnalysis &A,
+                   std::string &Reason) {
   N.noteRequest(Abstraction::PDG);
   N.noteRequest(Abstraction::aSCCDAG);
   N.noteRequest(Abstraction::IV);
   N.noteRequest(Abstraction::INV);
   N.noteRequest(Abstraction::RD);
-  N.noteRequest(Abstraction::ENV);
-  N.noteRequest(Abstraction::T);
-  N.noteRequest(Abstraction::LB);
-  N.noteRequest(Abstraction::IVS);
-  N.noteRequest(Abstraction::LS);
   N.noteRequest(Abstraction::PRO);
   N.noteRequest(Abstraction::SCD);
   N.noteRequest(Abstraction::FR);
   N.noteRequest(Abstraction::AR);
   nir::LoopStructure &LS = LC.getLoopStructure();
   auto Fail = [&](const std::string &R) {
-    D.Reason = R;
+    Reason = R;
     return false;
   };
 
@@ -219,8 +216,11 @@ bool DSWP::parallelizeLoop(LoopContent &LC, DSWPDecision &D) {
       GroupWeight[I] += S->size();
     TotalWeight += GroupWeight[I];
   }
+  A.NumGroups = static_cast<unsigned>(GroupOrder.size());
+  A.TotalWeight = TotalWeight;
+  A.MaxGroupWeight = *std::max_element(GroupWeight.begin(), GroupWeight.end());
   unsigned NumStages =
-      std::min<unsigned>(Opts.NumCores, static_cast<unsigned>(GroupOrder.size()));
+      std::min<unsigned>(Workers, static_cast<unsigned>(GroupOrder.size()));
   if (Opts.MinimumStageWeight)
     NumStages = std::min<unsigned>(
         NumStages,
@@ -251,11 +251,11 @@ bool DSWP::parallelizeLoop(LoopContent &LC, DSWPDecision &D) {
     return Fail("not profitable (stages too small to amortize queues)");
 
   // Ownership map: instruction -> stage.
-  std::map<const Instruction *, unsigned> StageOf;
+  A.StageOf.clear();
   for (unsigned I = 0; I < GroupOrder.size(); ++I)
     for (SCC *S : GroupMembers[GroupOrder[I]])
       for (auto *V : S->getNodes())
-        StageOf[nir::cast<Instruction>(V)] = StageOfGroup[I];
+        A.StageOf[nir::cast<Instruction>(V)] = StageOfGroup[I];
 
   // Live-outs: reduction accumulators, or header phis owned by a single
   // stage (their clone dominates the task exit, so the final value can
@@ -268,33 +268,28 @@ bool DSWP::parallelizeLoop(LoopContent &LC, DSWPDecision &D) {
         IsReduction = true;
     bool IsOwnedHeaderPhi = nir::isa<PhiInst>(Out) &&
                             Out->getParent() == LS.getHeader() &&
-                            StageOf.count(Out);
+                            A.StageOf.count(Out);
     if (!IsReduction && !IsOwnedHeaderPhi)
       return Fail("live-out value is not a reduction accumulator or "
                   "stage-owned recurrence");
   }
 
   // Cross-stage register edges -> queues. Collect (def, consumerStage).
-  struct QueueSpec {
-    Instruction *Def;
-    unsigned FromStage;
-    unsigned ToStage;
-  };
-  std::vector<QueueSpec> Queues;
+  A.Queues.clear();
   std::map<std::pair<const Instruction *, unsigned>, unsigned> QueueIdx;
   for (BasicBlock *BB : LS.getBlocks())
     for (const auto &IPtr : BB->getInstList()) {
       Instruction *I = IPtr.get();
-      auto DefIt = StageOf.find(I);
+      auto DefIt = A.StageOf.find(I);
       for (Value *Op : I->operands()) {
         auto *Def = nir::dyn_cast<Instruction>(Op);
         if (!Def || !LS.contains(Def))
           continue;
-        auto OpIt = StageOf.find(Def);
-        if (OpIt == StageOf.end())
+        auto OpIt = A.StageOf.find(Def);
+        if (OpIt == A.StageOf.end())
           continue; // Replicated producer: recomputed locally.
         unsigned ConsumerStage;
-        if (DefIt != StageOf.end())
+        if (DefIt != A.StageOf.end())
           ConsumerStage = DefIt->second;
         else
           // Consumer is replicated (e.g. feeds the skeleton): it exists
@@ -305,30 +300,100 @@ bool DSWP::parallelizeLoop(LoopContent &LC, DSWPDecision &D) {
         auto Key = std::make_pair(static_cast<const Instruction *>(Def),
                                   ConsumerStage);
         if (!QueueIdx.count(Key)) {
-          QueueIdx[Key] = static_cast<unsigned>(Queues.size());
-          Queues.push_back({Def, OpIt->second, ConsumerStage});
+          QueueIdx[Key] = static_cast<unsigned>(A.Queues.size());
+          A.Queues.push_back({Def, OpIt->second, ConsumerStage});
         }
       }
     }
 
-  D.NumStages = NumStages;
-  D.NumQueues = static_cast<unsigned>(Queues.size());
+  A.NumStages = NumStages;
 
   if (std::getenv("DSWP_DEBUG")) {
     std::fprintf(stderr, "DSWP: %u stages, %zu queues\n", NumStages,
-                 Queues.size());
-    for (auto &[I, S] : StageOf)
+                 A.Queues.size());
+    for (auto &[I, S] : A.StageOf)
       std::fprintf(stderr, "  stage %u: %s (%s)\n", S,
                    I->getOpcodeName().c_str(), I->getName().c_str());
-    for (auto &Q : Queues)
+    for (auto &Q : A.Queues)
       std::fprintf(stderr, "  queue %s: %u -> %u\n",
                    Q.Def->getOpcodeName().c_str(), Q.FromStage, Q.ToStage);
   }
+
+  return true;
+}
+
+Legality DSWP::applicable(LoopContent &LC) {
+  Legality L;
+  PipelineAnalysis A;
+  if (!analyze(LC, Opts.NumCores, A, L.Reason))
+    return L;
+  nir::LoopStructure &LS = LC.getLoopStructure();
+  for (BasicBlock *BB : LS.getBlocks())
+    for (const auto &I : BB->getInstList())
+      if (!nir::isa<PhiInst>(I.get()) && !I->isTerminator())
+        ++L.BodyWeight;
+  L.NumStages = A.NumStages;
+  L.NumQueues = static_cast<unsigned>(A.Queues.size());
+  L.NumGroups = A.NumGroups;
+  L.TotalPipelineWeight = A.TotalWeight;
+  L.MaxGroupWeight = A.MaxGroupWeight;
+  L.Ok = true;
+  return L;
+}
+
+TechniqueCost DSWP::estimate(const Legality &L, const LoopPlan &P,
+                             const CostQuery &Q) const {
+  // The pipeline's throughput is set by its bottleneck stage: at best
+  // the work splits evenly, but an unsplittable SCC group floors the
+  // bottleneck. Every stage also replicates the control skeleton and
+  // pays two queue operations per crossing value per iteration.
+  double Body =
+      static_cast<double>(std::max<uint64_t>(1, L.BodyWeight)) *
+      Q.BodyScale;
+  unsigned Stages = std::min(std::max(1u, P.Workers),
+                             std::max(1u, L.NumGroups));
+  double S = Stages;
+  double PipeWork =
+      static_cast<double>(L.TotalPipelineWeight) * Q.BodyScale;
+  double Bottleneck =
+      std::max(PipeWork / S,
+               static_cast<double>(L.MaxGroupWeight) * Q.BodyScale);
+  double Skeleton = Body > PipeWork ? Body - PipeWork : 0.0;
+  double QueueOps =
+      2.0 * Q.SyncCost * static_cast<double>(L.NumQueues) / S;
+  TechniqueCost C;
+  C.SequentialTime = Q.Invocations * Q.TripCount * Body;
+  C.ParallelTime =
+      Q.Invocations * (Q.TripCount * (Bottleneck + Skeleton + QueueOps) +
+                       S * Q.SpawnCostPerTask);
+  return C;
+}
+
+bool DSWP::apply(LoopContent &LC, const LoopPlan &P, Decision &D) {
+  D.Kind = TechniqueKind::DSWP;
+  unsigned Workers = std::max(1u, P.Workers);
+  PipelineAnalysis A;
+  if (!analyze(LC, Workers, A, D.Reason))
+    return false;
+  unsigned NumStages = A.NumStages;
+  auto &Queues = A.Queues;
+  auto &StageOf = A.StageOf;
+  D.NumStages = NumStages;
+  D.NumQueues = static_cast<unsigned>(Queues.size());
+
+  N.noteRequest(Abstraction::ENV);
+  N.noteRequest(Abstraction::T);
+  N.noteRequest(Abstraction::LB);
+  N.noteRequest(Abstraction::IVS);
+  N.noteRequest(Abstraction::LS);
 
   //===--------------------------------------------------------------------===//
   // Code generation.
   //===--------------------------------------------------------------------===//
 
+  nir::LoopStructure &LS = LC.getLoopStructure();
+  auto &RM = LC.getReductionManager();
+  auto &Env = LC.getEnvironment();
   Function *F = LS.getFunction();
   nir::Module &M = *F->getParent();
   nir::Context &Ctx = M.getContext();
@@ -531,48 +596,9 @@ bool DSWP::parallelizeLoop(LoopContent &LC, DSWPDecision &D) {
   // Only the host function changed (the task bodies are new functions
   // with no cached analyses): keep every other function's bundles.
   N.invalidate(*LS.getFunction());
+  bumpPlanEpoch(M);
   assert(nir::moduleVerifies(M) && "DSWP produced invalid IR");
   D.Parallelized = true;
+  D.Workers = Workers;
   return true;
-}
-
-std::vector<DSWPDecision> DSWP::run() {
-  std::vector<DSWPDecision> Decisions;
-  std::set<std::pair<std::string, unsigned>> Attempted;
-  bool Progress = true;
-  while (Progress) {
-    Progress = false;
-    ProfileData *Prof =
-        Opts.MinimumHotness > 0 ? N.getProfiles(false) : nullptr;
-    for (LoopContent *LC : N.getLoopContents()) {
-      nir::LoopStructure &LS = LC->getLoopStructure();
-      if (LS.getFunction()->getMetadata("noelle.task") == "true")
-        continue;
-      unsigned HeaderPos = 0, Pos = 0;
-      for (auto &BB : LS.getFunction()->getBlocks()) {
-        if (BB.get() == LS.getHeader())
-          HeaderPos = Pos;
-        ++Pos;
-      }
-      auto Key = std::make_pair(LS.getFunction()->getName(), HeaderPos);
-      if (!Attempted.insert(Key).second)
-        continue;
-
-      DSWPDecision D;
-      D.FunctionName = Key.first;
-      D.LoopID = LS.getID();
-      if (Prof && Prof->getLoopHotness(LS) < Opts.MinimumHotness) {
-        D.Reason = "not hot enough";
-        Decisions.push_back(D);
-        continue;
-      }
-      parallelizeLoop(*LC, D);
-      Decisions.push_back(D);
-      if (D.Parallelized) {
-        Progress = true;
-        break;
-      }
-    }
-  }
-  return Decisions;
 }

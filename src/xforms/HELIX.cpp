@@ -8,6 +8,7 @@
 #include "verify/CheckMetadata.h"
 
 #include <algorithm>
+#include <cmath>
 
 using namespace noelle;
 using nir::BasicBlock;
@@ -45,7 +46,7 @@ uint64_t positionOf(const Instruction *I) {
 
 } // namespace
 
-bool HELIX::canParallelize(
+bool HELIX::computeSegments(
     LoopContent &LC, std::vector<std::vector<Instruction *>> &SegmentsOut,
     std::string &Reason) {
   N.noteRequest(Abstraction::PDG);
@@ -239,11 +240,76 @@ bool HELIX::canParallelize(
   return true;
 }
 
-bool HELIX::parallelizeLoop(LoopContent &LC) {
+Legality HELIX::applicable(LoopContent &LC) {
+  Legality L;
   std::vector<std::vector<Instruction *>> Segments;
-  std::string Reason;
-  if (!canParallelize(LC, Segments, Reason))
+  if (!computeSegments(LC, Segments, L.Reason))
+    return L;
+  nir::LoopStructure &LS = LC.getLoopStructure();
+  for (BasicBlock *BB : LS.getBlocks())
+    for (const auto &I : BB->getInstList())
+      if (!nir::isa<PhiInst>(I.get()) && !I->isTerminator())
+        ++L.BodyWeight;
+  L.NumSegments = static_cast<unsigned>(Segments.size());
+  for (const auto &S : Segments)
+    L.SegmentWeight += S.size();
+  L.Ok = true;
+  return L;
+}
+
+TechniqueCost HELIX::estimate(const Legality &L, const LoopPlan &P,
+                              const CostQuery &Q) const {
+  // Iterations distribute cyclically; each task runs ~Trip/W of them,
+  // paying two gate operations per segment per iteration on its own
+  // path, but the sequential segments' dynamic instances execute in
+  // iteration order across cores, so the total segment work floors the
+  // region time (the figure-5 model's HELIX bound).
+  double W = std::max(1u, P.Workers);
+  double Body =
+      static_cast<double>(std::max<uint64_t>(1, L.BodyWeight)) *
+      Q.BodyScale;
+  double PerIterSync =
+      2.0 * Q.SyncCost * static_cast<double>(L.NumSegments);
+  double MaxTask = Q.TripCount * (Body + PerIterSync) / W;
+  double SegmentFloor =
+      Q.TripCount * static_cast<double>(L.SegmentWeight) * Q.BodyScale;
+  TechniqueCost C;
+  C.SequentialTime = Q.Invocations * Q.TripCount * Body;
+  C.ParallelTime = Q.Invocations * (std::max(MaxTask, SegmentFloor) +
+                                    W * Q.SpawnCostPerTask);
+  return C;
+}
+
+bool HELIX::profitable(LoopContent &LC, const Legality &L,
+                       std::string &Reason) {
+  (void)LC;
+  // Profitability: per iteration, the serialized portion costs the
+  // segment work plus two gate operations per segment; the parallel
+  // portion divides across cores. Decline when the estimate is below
+  // the threshold (the paper's HELIX prunes via PRO + AR).
+  if (Opts.MinimumEstimatedSpeedup <= 0 || L.NumSegments == 0)
+    return true;
+  double Serialized = static_cast<double>(
+      L.SegmentWeight +
+      2 * Opts.SyncCostInstructions * static_cast<uint64_t>(L.NumSegments));
+  double Parallel =
+      static_cast<double>(L.BodyWeight) / static_cast<double>(Opts.NumCores);
+  double Estimate =
+      static_cast<double>(L.BodyWeight) / std::max(Serialized, Parallel);
+  if (Estimate < Opts.MinimumEstimatedSpeedup) {
+    Reason = "not profitable (sequential segments dominate)";
     return false;
+  }
+  return true;
+}
+
+bool HELIX::apply(LoopContent &LC, const LoopPlan &P, Decision &D) {
+  D.Kind = TechniqueKind::HELIX;
+  std::vector<std::vector<Instruction *>> Segments;
+  if (!computeSegments(LC, Segments, D.Reason))
+    return false;
+  D.NumSequentialSegments = static_cast<unsigned>(Segments.size());
+  unsigned Workers = std::max(1u, P.Workers);
 
   N.noteRequest(Abstraction::ENV);
   N.noteRequest(Abstraction::T);
@@ -264,7 +330,7 @@ bool HELIX::parallelizeLoop(LoopContent &LC) {
 
   EnvLayout Layout;
   Layout.Env = &Env;
-  Layout.Lanes = Opts.NumCores;
+  Layout.Lanes = Workers;
 
   // Environment extras: one shared spill slot per recurrence phi, plus
   // the gates pointer.
@@ -285,8 +351,7 @@ bool HELIX::parallelizeLoop(LoopContent &LC) {
   ClonedLoopTask Task = cloneLoopIntoTask(
       LS, Layout, F->getName() + ".helix" + std::to_string(LS.getID()));
   Task.TaskFn->setMetadata(verify::TaskKindKey, "helix");
-  Task.TaskFn->setMetadata(verify::TaskWorkersKey,
-                           std::to_string(Opts.NumCores));
+  Task.TaskFn->setMetadata(verify::TaskWorkersKey, std::to_string(Workers));
   Task.TaskFn->setMetadata(verify::TaskSegmentsKey,
                            std::to_string(Segments.size()));
   auto *TaskEntry = &Task.TaskFn->getEntryBlock();
@@ -314,7 +379,7 @@ bool HELIX::parallelizeLoop(LoopContent &LC) {
     ClonedUpd->replaceUsesOfWith(
         ClonedUpd->getLHS() == ClonedPhi ? ClonedUpd->getRHS()
                                          : ClonedUpd->getLHS(),
-        Ctx.getInt64(RawAmount * static_cast<int64_t>(Opts.NumCores)));
+        Ctx.getInt64(RawAmount * static_cast<int64_t>(Workers)));
   }
   // NE exit tests would overshoot with the larger stride.
   {
@@ -344,7 +409,7 @@ bool HELIX::parallelizeLoop(LoopContent &LC) {
   {
     IRBuilder HB(Ctx);
     HB.setInsertPoint(ClonedHeader->getFirstNonPhi());
-    GNext = HB.createAdd(GPhi, HB.getInt64(Opts.NumCores), "helix.iter.next");
+    GNext = HB.createAdd(GPhi, HB.getInt64(Workers), "helix.iter.next");
   }
   GPhi->addIncoming(Task.TaskIDArg, TaskEntry);
   for (BasicBlock *Latch : LS.getLatches())
@@ -445,7 +510,7 @@ bool HELIX::parallelizeLoop(LoopContent &LC) {
   // initialization manually by widening the layout trick: temporarily
   // borrow the helper then patch the alloca size.
   BasicBlock *Dispatch =
-      replaceLoopWithDispatch(LS, Layout, Task.TaskFn, Opts.NumCores);
+      replaceLoopWithDispatch(LS, Layout, Task.TaskFn, Workers);
   auto *EnvAlloca = nir::cast<nir::AllocaInst>(Dispatch->front());
   // Widen the environment array to include spill + gates slots.
   auto *Widened = new nir::AllocaInst(
@@ -489,7 +554,7 @@ bool HELIX::parallelizeLoop(LoopContent &LC) {
         R = &Cand;
     if (R) {
       Value *Acc = nullptr;
-      for (unsigned Lane = 0; Lane < Opts.NumCores; ++Lane) {
+      for (unsigned Lane = 0; Lane < Workers; ++Lane) {
         Value *Partial = emitEnvLoad(CB, EnvV, Layout.liveOutSlot(Out, Lane),
                                      Out->getType(), "partial");
         Acc = Acc ? ReductionManager::emitCombine(CB, R->Op, Acc, Partial)
@@ -512,7 +577,7 @@ bool HELIX::parallelizeLoop(LoopContent &LC) {
             Phi->getIncomingValue(K) == Out)
           StatePhi = Phi;
     }
-    assert(StatePhi && "live-out admitted by canParallelize but untracked");
+    assert(StatePhi && "live-out admitted by computeSegments but untracked");
     Value *Final = emitEnvLoad(CB, EnvV, SpillSlot.at(StatePhi),
                                Out->getType(), "state.final");
     Out->replaceAllUsesWith(Final);
@@ -522,79 +587,9 @@ bool HELIX::parallelizeLoop(LoopContent &LC) {
   // Only the host function changed (the task bodies are new functions
   // with no cached analyses): keep every other function's bundles.
   N.invalidate(*LS.getFunction());
+  bumpPlanEpoch(M);
   assert(nir::moduleVerifies(M) && "HELIX produced invalid IR");
+  D.Parallelized = true;
+  D.Workers = Workers;
   return true;
-}
-
-std::vector<HELIXDecision> HELIX::run() {
-  std::vector<HELIXDecision> Decisions;
-  std::set<std::pair<std::string, unsigned>> Attempted;
-  bool Progress = true;
-  while (Progress) {
-    Progress = false;
-    ProfileData *Prof =
-        Opts.MinimumHotness > 0 ? N.getProfiles(false) : nullptr;
-    for (LoopContent *LC : N.getLoopContents()) {
-      nir::LoopStructure &LS = LC->getLoopStructure();
-      if (LS.getFunction()->getMetadata("noelle.task") == "true")
-        continue;
-      unsigned HeaderPos = 0, Pos = 0;
-      for (auto &BB : LS.getFunction()->getBlocks()) {
-        if (BB.get() == LS.getHeader())
-          HeaderPos = Pos;
-        ++Pos;
-      }
-      auto Key = std::make_pair(LS.getFunction()->getName(), HeaderPos);
-      if (!Attempted.insert(Key).second)
-        continue;
-
-      HELIXDecision D;
-      D.FunctionName = Key.first;
-      D.LoopID = LS.getID();
-      if (Prof && Prof->getLoopHotness(LS) < Opts.MinimumHotness) {
-        D.Reason = "not hot enough";
-        Decisions.push_back(D);
-        continue;
-      }
-      std::vector<std::vector<Instruction *>> Segments;
-      if (!canParallelize(*LC, Segments, D.Reason)) {
-        Decisions.push_back(D);
-        continue;
-      }
-      D.NumSequentialSegments = static_cast<unsigned>(Segments.size());
-
-      // Profitability: per iteration, the serialized portion costs the
-      // segment work plus two gate operations per segment; the parallel
-      // portion divides across cores. Decline when the estimate is
-      // below the threshold (the paper's HELIX prunes via PRO + AR).
-      if (Opts.MinimumEstimatedSpeedup > 0 && !Segments.empty()) {
-        uint64_t Body = 0;
-        for (auto *BB : LS.getBlocks())
-          for (const auto &I : BB->getInstList())
-            if (!nir::isa<PhiInst>(I.get()) && !I->isTerminator())
-              ++Body;
-        uint64_t Seg = 0;
-        for (const auto &S : Segments)
-          Seg += S.size();
-        double Serialized = static_cast<double>(
-            Seg + 2 * Opts.SyncCostInstructions * Segments.size());
-        double Parallel =
-            static_cast<double>(Body) / static_cast<double>(Opts.NumCores);
-        double Estimate =
-            static_cast<double>(Body) / std::max(Serialized, Parallel);
-        if (Estimate < Opts.MinimumEstimatedSpeedup) {
-          D.Reason = "not profitable (sequential segments dominate)";
-          Decisions.push_back(D);
-          continue;
-        }
-      }
-      D.Parallelized = parallelizeLoop(*LC);
-      Decisions.push_back(D);
-      if (D.Parallelized) {
-        Progress = true;
-        break;
-      }
-    }
-  }
-  return Decisions;
 }

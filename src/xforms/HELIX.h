@@ -7,12 +7,14 @@
 /// iteration order across cores, synchronized through gates (Section 3;
 /// HELIX CGO'12). Uses PDG, aSCCDAG, ENV, T, DFE, PRO, SCD, L, LB, IV,
 /// IVS, INV, FR, RD, AR, and LS per the paper's Table 4.
+/// Implements the unified ParallelizationTechnique interface.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef XFORMS_HELIX_H
 #define XFORMS_HELIX_H
 
+#include "xforms/ParallelizationTechnique.h"
 #include "xforms/ParallelizationUtils.h"
 
 namespace noelle {
@@ -23,38 +25,48 @@ struct HELIXOptions {
   /// Decline loops whose statically estimated speedup falls below this
   /// (sequential segments + gate synchronization can make fine-grained
   /// loops slower; the real tool prunes them with PRO + AR data). Set to
-  /// 0 to force parallelization regardless.
+  /// 0 to force parallelization regardless. Honored by the forced sweep
+  /// (run()); the planner gates on estimate() instead.
   double MinimumEstimatedSpeedup = 1.05;
   /// Modeled per-gate synchronization cost in instructions (from AR's
   /// core-to-core latency).
   uint64_t SyncCostInstructions = 20;
 };
 
-struct HELIXDecision {
-  std::string FunctionName;
-  unsigned LoopID = 0;
-  bool Parallelized = false;
-  unsigned NumSequentialSegments = 0;
-  std::string Reason;
-};
-
-class HELIX {
+class HELIX : public ParallelizationTechnique {
 public:
-  HELIX(Noelle &N, HELIXOptions Opts = {}) : N(N), Opts(Opts) {}
+  HELIX(Noelle &N, HELIXOptions Opts = {})
+      : ParallelizationTechnique(N), Opts(Opts) {}
 
-  /// True if HELIX can parallelize \p LC. On success \p SegmentsOut
-  /// receives the sequential segments: groups of instructions whose
-  /// cross-iteration order must be preserved.
-  bool canParallelize(LoopContent &LC,
-                      std::vector<std::vector<Instruction *>> &SegmentsOut,
-                      std::string &Reason);
+  TechniqueKind getKind() const override { return TechniqueKind::HELIX; }
 
-  bool parallelizeLoop(LoopContent &LC);
+  Legality applicable(LoopContent &LC) override;
 
-  std::vector<HELIXDecision> run();
+  TechniqueCost estimate(const Legality &L, const LoopPlan &P,
+                         const CostQuery &Q) const override;
+
+  bool apply(LoopContent &LC, const LoopPlan &P, Decision &D) override;
+
+  /// The legacy static profitability gate: per iteration, the serialized
+  /// portion costs the segment work plus two gate operations per
+  /// segment; decline when Body / max(Serialized, Body/Cores) falls
+  /// below MinimumEstimatedSpeedup.
+  bool profitable(LoopContent &LC, const Legality &L,
+                  std::string &Reason) override;
+
+  LoopPlan defaultPlan() const override {
+    return {TechniqueKind::HELIX, Opts.NumCores, 1};
+  }
+  double minimumHotness() const override { return Opts.MinimumHotness; }
 
 private:
-  Noelle &N;
+  /// Computes the sequential segments of \p LC: groups of instructions
+  /// whose cross-iteration order must be preserved. Returns false (with
+  /// \p Reason) when HELIX cannot parallelize the loop.
+  bool computeSegments(LoopContent &LC,
+                       std::vector<std::vector<Instruction *>> &SegmentsOut,
+                       std::string &Reason);
+
   HELIXOptions Opts;
 };
 

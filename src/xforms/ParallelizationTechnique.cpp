@@ -1,0 +1,62 @@
+#include "xforms/ParallelizationTechnique.h"
+
+#include "planner/Planner.h"
+#include "xforms/DOALL.h"
+#include "xforms/DSWP.h"
+#include "xforms/HELIX.h"
+
+using namespace noelle;
+
+const char *noelle::techniqueName(TechniqueKind K) {
+  switch (K) {
+  case TechniqueKind::DOALL:
+    return "doall";
+  case TechniqueKind::HELIX:
+    return "helix";
+  case TechniqueKind::DSWP:
+    return "dswp";
+  }
+  return "doall";
+}
+
+bool noelle::techniqueFromName(const std::string &Name, TechniqueKind &K) {
+  if (Name == "doall") {
+    K = TechniqueKind::DOALL;
+    return true;
+  }
+  if (Name == "helix") {
+    K = TechniqueKind::HELIX;
+    return true;
+  }
+  if (Name == "dswp") {
+    K = TechniqueKind::DSWP;
+    return true;
+  }
+  return false;
+}
+
+std::vector<Decision> ParallelizationTechnique::run() {
+  return planner::Planner::applyEverywhere(*this);
+}
+
+std::unique_ptr<ParallelizationTechnique>
+noelle::createTechnique(TechniqueKind K, Noelle &N, unsigned NumCores) {
+  switch (K) {
+  case TechniqueKind::DOALL: {
+    DOALLOptions O;
+    O.NumCores = NumCores;
+    return std::make_unique<DOALL>(N, O);
+  }
+  case TechniqueKind::HELIX: {
+    HELIXOptions O;
+    O.NumCores = NumCores;
+    return std::make_unique<HELIX>(N, O);
+  }
+  case TechniqueKind::DSWP: {
+    DSWPOptions O;
+    O.NumCores = NumCores;
+    return std::make_unique<DSWP>(N, O);
+  }
+  }
+  return nullptr;
+}

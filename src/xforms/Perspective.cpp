@@ -18,8 +18,7 @@ std::vector<PerspectivePlan> Perspective::planAll() {
     Plan.FunctionName = LS.getFunction()->getName();
     Plan.LoopID = LS.getID();
 
-    std::string Why;
-    if (Doall.canParallelize(*LC, Why)) {
+    if (Doall.applicable(*LC)) {
       Plan.AlreadyDOALL = true;
       Plans.push_back(std::move(Plan));
       continue;

@@ -1,0 +1,89 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// planner-suite: the full one-shot pipeline — plan, audit the plan
+/// (noelle-check --plan semantics), apply, audit the transformed module,
+/// execute — over every benchmark kernel. A clean suite means the
+/// planner only ever emits plans the verifier accepts and the applied
+/// plans preserve every kernel's sequential result. Registered under the
+/// ctest label "planner-suite".
+///
+//===----------------------------------------------------------------------===//
+
+#include "benchmarks/Suite.h"
+#include "frontend/MiniC.h"
+#include "planner/Planner.h"
+#include "runtime/ParallelRuntime.h"
+#include "verify/NoelleCheck.h"
+#include "verify/PlanCheck.h"
+
+#include <gtest/gtest.h>
+
+using namespace noelle;
+using nir::Context;
+using nir::ExecutionEngine;
+
+namespace {
+
+class PlannerSuiteTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(PlannerSuiteTest, PlanApplyCheckExecute) {
+  const bench::Benchmark *B = bench::findBenchmark(GetParam());
+  ASSERT_NE(B, nullptr);
+
+  int64_t Expected;
+  {
+    Context Ctx;
+    auto M = minic::compileMiniCOrDie(Ctx, B->Source);
+    ExecutionEngine E(*M);
+    Expected = E.runMain();
+  }
+
+  Context Ctx;
+  auto M = minic::compileMiniCOrDie(Ctx, B->Source);
+  verify::PreTransformSnapshot Snap = verify::captureForCheck(*M);
+  Noelle N(*M);
+  planner::Planner P(N);
+
+  // Plan, then audit the plan before touching the module.
+  planner::ProgramPlan Plan = P.plan();
+  verify::CheckReport PlanRep = verify::checkPlan(*M, Plan);
+  EXPECT_TRUE(PlanRep.clean())
+      << B->Name << " plan audit:\n" << PlanRep.str();
+
+  // Every planned entry must actually apply — the plan is a promise.
+  for (const auto &D : P.apply(Plan))
+    EXPECT_TRUE(D.Parallelized)
+        << B->Name << " entry in " << D.FunctionName
+        << " failed to apply: " << D.Reason;
+
+  // The transformed module must pass the post-transform audit.
+  verify::CheckReport Rep = verify::checkModule(*M, Snap);
+  EXPECT_TRUE(Rep.clean()) << B->Name << " ("
+                           << Plan.Entries.size()
+                           << " planned loops):\n" << Rep.str();
+
+  // And still compute the sequential result.
+  ExecutionEngine E(*M);
+  registerParallelRuntime(E);
+  EXPECT_EQ(E.runMain(), Expected) << B->Name;
+}
+
+std::vector<std::string> allKernelNames() {
+  std::vector<std::string> Names;
+  for (const auto &B : bench::getBenchmarkSuite())
+    Names.push_back(B.Name);
+  return Names;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKernels, PlannerSuiteTest, ::testing::ValuesIn(allKernelNames()),
+    [](const ::testing::TestParamInfo<std::string> &Info) {
+      std::string Name = Info.param;
+      for (char &C : Name)
+        if (!std::isalnum(static_cast<unsigned char>(C)))
+          C = '_';
+      return Name;
+    });
+
+} // namespace

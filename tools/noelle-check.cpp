@@ -26,6 +26,12 @@
 ///   --lint                             also run the dataflow lint pack
 ///   --no-races                         skip the race detector
 ///   --no-legality                      skip the legality checker
+///   --plan                             audit a parallelization plan
+///                                      instead of transform results:
+///                                      verify the planner's plan (or
+///                                      --plan-file's) against the module
+///   --plan-file=<path>                 serialized plan to audit
+///                                      (implies --plan)
 ///   --list                             list benchmark kernels and exit
 ///
 /// Exit status: 0 when every requested check is clean, 1 when any
@@ -33,11 +39,14 @@
 ///
 //===----------------------------------------------------------------------===//
 
-#include "benchmarks/Suite.h"
+#include "ToolDriver.h"
+
 #include "frontend/MiniC.h"
 #include "noelle/Noelle.h"
 #include "opt/Passes.h"
+#include "planner/Planner.h"
 #include "verify/NoelleCheck.h"
+#include "verify/PlanCheck.h"
 #include "xforms/DOALL.h"
 #include "xforms/DSWP.h"
 #include "xforms/HELIX.h"
@@ -59,6 +68,8 @@ struct CLIOptions {
   bool Lint = false;
   bool Races = true;
   bool Legality = true;
+  bool PlanMode = false;
+  std::string PlanFile;
   std::string Input;
 };
 
@@ -66,6 +77,7 @@ void printUsage() {
   std::fprintf(stderr,
                "usage: noelle-check [--transform=doall|helix|dswp|all] "
                "[--cores=N] [--opt] [--lint] [--no-races] [--no-legality] "
+               "[--plan] [--plan-file=F] "
                "[--list] <kernel-name | minic-file>\n");
 }
 
@@ -73,8 +85,7 @@ bool parseArgs(int Argc, char **Argv, CLIOptions &Opts) {
   for (int K = 1; K < Argc; ++K) {
     std::string Arg = Argv[K];
     if (Arg == "--list") {
-      for (const auto &B : bench::getBenchmarkSuite())
-        std::printf("%-24s %s\n", B.Name.c_str(), B.Suite.c_str());
+      tooldriver::listKernels();
       std::exit(0);
     }
     if (Arg.rfind("--transform=", 0) == 0) {
@@ -96,6 +107,14 @@ bool parseArgs(int Argc, char **Argv, CLIOptions &Opts) {
         std::fprintf(stderr, "noelle-check: --cores must be positive\n");
         return false;
       }
+      continue;
+    }
+    if (Arg == "--plan") {
+      Opts.PlanMode = true;
+      continue;
+    }
+    if (tooldriver::parseStringOpt(Arg, "--plan-file=", Opts.PlanFile)) {
+      Opts.PlanMode = true;
       continue;
     }
     if (Arg == "--opt") {
@@ -133,24 +152,41 @@ bool parseArgs(int Argc, char **Argv, CLIOptions &Opts) {
   return true;
 }
 
-/// Resolves the input to MiniC source: benchmark name first, file second.
-bool resolveSource(const std::string &Input, std::string &Source) {
-  if (const bench::Benchmark *B = bench::findBenchmark(Input)) {
-    Source = B->Source;
-    return true;
+/// Plan-audit mode: computes (or loads) a plan for the module and
+/// verifies it — hash binding, entry well-formedness, loop existence,
+/// and per-entry technique legality — without transforming anything.
+unsigned checkPlanMode(const std::string &Source, const CLIOptions &Opts) {
+  nir::Context Ctx;
+  std::string Error;
+  auto M = minic::compileMiniC(Ctx, Source, Error);
+  if (!M) {
+    std::fprintf(stderr, "noelle-check: compile error: %s\n", Error.c_str());
+    return 1;
   }
-  std::ifstream In(Input);
-  if (!In) {
-    std::fprintf(stderr,
-                 "noelle-check: '%s' is neither a benchmark kernel nor a "
-                 "readable file (try --list)\n",
-                 Input.c_str());
-    return false;
+  if (Opts.Optimize)
+    opt::runPipeline(*M);
+
+  planner::ProgramPlan Plan;
+  if (!Opts.PlanFile.empty()) {
+    std::string Err;
+    if (!tooldriver::loadPlan(Opts.PlanFile, *M, Plan, Err)) {
+      std::fprintf(stderr, "noelle-check: %s\n", Err.c_str());
+      return 1;
+    }
+  } else {
+    Noelle N(*M);
+    planner::PlannerOptions PO;
+    PO.MaxWorkers = Opts.Cores;
+    Plan = planner::Planner(N, PO).plan();
   }
-  std::ostringstream SS;
-  SS << In.rdbuf();
-  Source = SS.str();
-  return true;
+
+  verify::CheckReport Rep = verify::checkPlan(*M, Plan);
+  std::printf("== plan: %zu entr%s, %zu finding(s)\n", Plan.Entries.size(),
+              Plan.Entries.size() == 1 ? "y" : "ies",
+              Rep.diagnostics().size());
+  if (!Rep.clean())
+    std::printf("%s", Rep.str().c_str());
+  return static_cast<unsigned>(Rep.diagnostics().size());
 }
 
 /// Compiles, transforms, and checks one (source, transform) pair.
@@ -218,12 +254,15 @@ int main(int Argc, char **Argv) {
     return 2;
 
   std::string Source;
-  if (!resolveSource(Opts.Input, Source))
+  if (!tooldriver::resolveSource("noelle-check", Opts.Input, Source))
     return 2;
 
   unsigned Findings = 0;
-  for (const std::string &T : Opts.Transforms)
-    Findings += checkOne(Source, T, Opts);
+  if (Opts.PlanMode)
+    Findings = checkPlanMode(Source, Opts);
+  else
+    for (const std::string &T : Opts.Transforms)
+      Findings += checkOne(Source, T, Opts);
 
   if (Findings == 0)
     std::printf("noelle-check: clean\n");

@@ -26,52 +26,18 @@
 ///
 //===----------------------------------------------------------------------===//
 
-#include "benchmarks/Suite.h"
-#include "frontend/MiniC.h"
+#include "ToolDriver.h"
+
 #include "interp/Interpreter.h"
-#include "ir/Parser.h"
 #include "ir/Verifier.h"
 #include "opt/Passes.h"
 
 #include <cstdio>
 #include <cstring>
-#include <fstream>
 #include <iostream>
-#include <sstream>
 #include <string>
 
 using namespace noelle;
-
-namespace {
-
-std::unique_ptr<nir::Module> loadInput(nir::Context &Ctx,
-                                       const std::string &Input) {
-  if (const bench::Benchmark *B = bench::findBenchmark(Input)) {
-    std::string Error;
-    auto M = minic::compileMiniC(Ctx, B->Source, Error);
-    if (!M)
-      std::fprintf(stderr, "noelle-opt: %s: %s\n", Input.c_str(),
-                   Error.c_str());
-    return M;
-  }
-  std::ifstream In(Input);
-  if (!In) {
-    std::fprintf(stderr, "noelle-opt: cannot open '%s'\n", Input.c_str());
-    return nullptr;
-  }
-  std::stringstream SS;
-  SS << In.rdbuf();
-  std::string Error;
-  auto M = Input.size() > 4 && Input.rfind(".nir") == Input.size() - 4
-               ? nir::parseModule(Ctx, SS.str(), Error)
-               : minic::compileMiniC(Ctx, SS.str(), Error);
-  if (!M)
-    std::fprintf(stderr, "noelle-opt: %s: %s\n", Input.c_str(),
-                 Error.c_str());
-  return M;
-}
-
-} // namespace
 
 int main(int argc, char **argv) {
   opt::PipelineOptions Opts;
@@ -102,8 +68,7 @@ int main(int argc, char **argv) {
     else if (A == "--no-print")
       Print = false;
     else if (A == "--list") {
-      for (const auto &B : bench::getBenchmarkSuite())
-        std::printf("%s (%s)\n", B.Name.c_str(), B.Suite.c_str());
+      tooldriver::listKernels();
       return 0;
     } else if (!A.empty() && A[0] == '-') {
       std::fprintf(stderr, "noelle-opt: unknown option '%s'\n", A.c_str());
@@ -119,7 +84,7 @@ int main(int argc, char **argv) {
   }
 
   nir::Context Ctx;
-  auto M = loadInput(Ctx, Input);
+  auto M = tooldriver::loadInputModule("noelle-opt", Ctx, Input);
   if (!M)
     return 2;
   if (!nir::moduleVerifies(*M)) {

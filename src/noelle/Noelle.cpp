@@ -34,6 +34,8 @@ PDG &Noelle::getPDG() {
   return Builder->getPDG();
 }
 
+void Noelle::refinePDGLoopCarried() { Builder->refineAllLoopCarried(); }
+
 CallGraph &Noelle::getCallGraph() {
   Requested.insert(Abstraction::CG);
   if (!CG) {

@@ -80,6 +80,11 @@ public:
   /// Whole-program PDG (Table 1: PDG).
   PDG &getPDG();
 
+  /// Refines the whole-program PDG's loop-carried flags against every
+  /// natural loop (innermost enclosing loop wins). See
+  /// PDGBuilder::refineAllLoopCarried.
+  void refinePDGLoopCarried();
+
   /// Complete call graph (Table 1: CG).
   CallGraph &getCallGraph();
 

@@ -1,6 +1,7 @@
 #include "noelle/PDG.h"
 
 #include "analysis/Dominators.h"
+#include "analysis/LoopInfo.h"
 #include "ir/IDs.h"
 #include "ir/Instructions.h"
 #include "runtime/ThreadPool.h"
@@ -795,6 +796,21 @@ AddrKey addrKeyOf(const Instruction *I) {
 }
 
 } // namespace
+
+void PDGBuilder::refineAllLoopCarried() {
+  PDG &G = getPDG();
+  for (const auto &F : M.getFunctions()) {
+    if (F->isDeclaration())
+      continue;
+    nir::DominatorTree DT(*F);
+    nir::LoopInfo LI(*F, DT);
+    // Preorder visits outer loops before inner ones; refining inner
+    // loops last leaves every edge with the verdict of its innermost
+    // enclosing loop.
+    for (LoopStructure *L : LI.getLoopsInPreorder())
+      refineLoopCarried(*L, G);
+  }
+}
 
 void PDGBuilder::refineLoopCarried(LoopStructure &L, PDG &G) {
   for (auto *E : G.getEdges()) {

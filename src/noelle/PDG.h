@@ -106,6 +106,14 @@ public:
   /// cache rather than a fresh build.
   bool wasPDGLoadedFromEmbedded() const { return LoadedFromEmbedded; }
 
+  /// Marks loop-carried flags on the whole-program PDG for every
+  /// natural loop of the module, innermost enclosing loop winning.
+  /// Neither the fresh whole-program build nor the embedded cache
+  /// carries this refinement (it is loop-scoped by nature); consumers
+  /// that reason about which dependences cross iterations — e.g. the
+  /// checker's race-detector grounding — call this once after getPDG().
+  void refineAllLoopCarried();
+
   /// A dependence graph restricted to one function. Instructions of the
   /// function are internal nodes; referenced globals and arguments are
   /// external.

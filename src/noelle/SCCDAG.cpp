@@ -54,6 +54,17 @@ SCCDAG::SCCDAG(PDG &LoopDG, nir::LoopStructure &L) : LoopDG(LoopDG), L(L) {
     }
   };
 
+  // Seed Tarjan in program order (loop blocks in layout order,
+  // instructions in block order) so SCC discovery order — and every
+  // order derived from it (getSCCs, the topological tie-breaks) — is
+  // independent of heap layout. getInternalNodes() is pointer-ordered,
+  // so seeding from it directly makes the stage partition of DSWP (and
+  // anything else consuming the topological order) vary between
+  // otherwise identical runs.
+  for (nir::BasicBlock *BB : L.getBlocks())
+    for (const auto &I : BB->getInstList())
+      if (LoopDG.isInternal(I.get()) && State[I.get()].Index < 0)
+        StrongConnect(I.get());
   for (Value *V : LoopDG.getInternalNodes())
     if (State[V].Index < 0)
       StrongConnect(V);
@@ -90,12 +101,24 @@ const std::set<SCC *> &SCCDAG::getPredecessors(SCC *S) const {
 }
 
 std::vector<SCC *> SCCDAG::getTopologicalOrder() const {
+  // Ties are broken by discovery order (the SCCs vector), which the
+  // constructor makes deterministic; predecessor sets are pointer-ordered
+  // and must not drive the visit order.
+  std::map<SCC *, unsigned> DiscoveryIdx;
+  for (unsigned I = 0; I < SCCs.size(); ++I)
+    DiscoveryIdx[SCCs[I].get()] = I;
+
   std::vector<SCC *> Order;
   std::set<SCC *> Visited;
   std::function<void(SCC *)> Visit = [&](SCC *S) {
     if (!Visited.insert(S).second)
       return;
-    for (SCC *P : getPredecessors(S))
+    std::vector<SCC *> Preds(getPredecessors(S).begin(),
+                             getPredecessors(S).end());
+    std::sort(Preds.begin(), Preds.end(), [&](SCC *A, SCC *B) {
+      return DiscoveryIdx[A] < DiscoveryIdx[B];
+    });
+    for (SCC *P : Preds)
       Visit(P);
     Order.push_back(S);
   };

@@ -62,6 +62,12 @@ CheckReport noelle::verify::checkModule(nir::Module &M,
     checkLegality(SnapNoelle, Regions, Rep);
 
   if (Opts.RunRaces) {
+    // The snapshot's whole-program PDG (embedded or rebuilt) carries no
+    // loop-carried refinement — only loop-scoped PDGs are refined at
+    // build time. The race detector's grounded discharge hinges on the
+    // distinction (for DOALL/HELIX only loop-carried dependences relate
+    // distinct workers), so recover the flags first.
+    SnapNoelle.refinePDGLoopCarried();
     PDGDependenceSummary Deps;
     auto IdOf = [](const nir::Value *V) -> uint64_t {
       const auto *I = nir::dyn_cast<nir::Instruction>(V);

@@ -1,10 +1,11 @@
 #include "verify/RaceDetector.h"
 
 #include "analysis/AliasAnalysis.h"
-#include "analysis/Dominators.h"
 #include "ir/Function.h"
 #include "verify/CheckMetadata.h"
+#include "verify/HappensBefore.h"
 
+#include <algorithm>
 #include <optional>
 #include <set>
 
@@ -25,9 +26,9 @@ namespace {
 
 /// One memory access issued (directly or through a defined callee) by a
 /// task. \p Anchor is always an instruction of the task function, so
-/// HELIX segment protection can be evaluated there; \p Ptr may live in a
-/// callee body. A null \p Ptr is a wildcard (indirect call with unknown
-/// effects).
+/// ordering and HELIX segment facts can be evaluated there; \p Ptr may
+/// live in a callee body. A null \p Ptr is a wildcard (indirect call
+/// with unknown effects).
 struct Access {
   const Instruction *Anchor = nullptr;
   const Value *Ptr = nullptr;
@@ -38,21 +39,6 @@ struct Access {
 
 bool isRuntimeCall(const Function *F) {
   return F && F->getName().rfind("noelle_", 0) == 0;
-}
-
-/// The snapshot instruction this clone came from, when the transform
-/// recorded provenance.
-std::optional<uint64_t> originOf(const Instruction *I) {
-  std::string S = I->getMetadata(CheckOrigKey);
-  if (S.empty())
-    return std::nullopt;
-  uint64_t V = 0;
-  for (char C : S) {
-    if (C < '0' || C > '9')
-      return std::nullopt;
-    V = V * 10 + static_cast<uint64_t>(C - '0');
-  }
-  return V;
 }
 
 /// Collects the loads/stores a defined function performs, transitively,
@@ -112,8 +98,10 @@ class RegionRaceScan {
 public:
   RegionRaceScan(const ParallelRegion &R, AliasAnalysis &AA,
                  const PDGDependenceSummary *Deps,
-                 const RaceDetectorOptions &Opts, CheckReport &Rep)
-      : R(R), AA(AA), Deps(Deps), Opts(Opts), Rep(Rep) {}
+                 const RaceDetectorOptions &Opts, CheckReport &Rep,
+                 RaceRuleStats &S)
+      : R(R), AA(AA), Deps(Deps), Opts(Opts), Rep(Rep), S(S),
+        HB(R, Deps, configFrom(Opts)) {}
 
   void run() {
     std::vector<std::vector<Access>> PerTask;
@@ -138,16 +126,45 @@ public:
   }
 
 private:
+  static HappensBeforeEngine::Config configFrom(const RaceDetectorOptions &O) {
+    HappensBeforeEngine::Config C;
+    C.QueueHB = O.UseQueueHB;
+    C.MultiQueueJoin = O.UseMultiQueueJoin;
+    C.LoopPhase = O.UseLoopPhase;
+    C.SegmentOrder = O.UseSegmentOrder;
+    C.CrossSegment = O.UseCrossSegment;
+    C.FlowSensitive = O.FlowSensitive;
+    return C;
+  }
+
+  void discharge(const char *Rule) { ++S.Discharged[Rule]; }
+
   void checkPair(const Access &A, const Access &B) {
-    if (!A.IsWrite && !B.IsWrite)
+    ++S.PairsChecked;
+    if (!A.IsWrite && !B.IsWrite) {
+      discharge("read-read");
       return;
-    // Queue happens-before runs before pointer reasoning: it orders the
+    }
+
+    // Ordering rules run before pointer reasoning: they order the
     // accesses in time, so even a wildcard (unknown side effects) pair
-    // is discharged. DSWP only — a queue cannot order a task against a
-    // concurrent copy of itself.
-    if (Opts.UseQueueHB && !R.selfConcurrent() && A.Task != B.Task &&
-        (orderedByQueue(A, B) || orderedByQueue(B, A)))
-      return;
+    // is discharged. Cross-task queue/phase rules apply to DSWP stages;
+    // segment rules to a HELIX task against its concurrent copies.
+    if (!R.selfConcurrent() && A.Task != B.Task) {
+      HBRule Rl = HB.orderedCrossTask(A.Anchor, *A.Task, B.Anchor, *B.Task);
+      if (Rl != HBRule::None) {
+        discharge(hbRuleName(Rl));
+        return;
+      }
+    }
+    if (Opts.FlowSensitive && R.selfConcurrent() && A.Task == B.Task) {
+      HBRule Rl = HB.segmentOrdered(A.Anchor, B.Anchor, *A.Task);
+      if (Rl != HBRule::None) {
+        discharge(hbRuleName(Rl));
+        return;
+      }
+    }
+
     if (!A.Ptr || !B.Ptr) {
       reportRace(A, B, "call with unknown side effects overlaps another "
                        "access");
@@ -158,8 +175,10 @@ private:
     PtrClass CB = classifyPointer(B.Ptr, *B.Task);
 
     // Task-private allocas cannot be shared across workers.
-    if (isTaskLocal(CA, *A.Task) || isTaskLocal(CB, *B.Task))
+    if (isTaskLocal(CA, *A.Task) || isTaskLocal(CB, *B.Task)) {
+      discharge("task-local");
       return;
+    }
 
     // PDG grounding: when both accesses are clones of snapshot
     // instructions, the pre-transform PDG already decided whether they
@@ -173,8 +192,10 @@ private:
       if (OA && OB) {
         const auto &Relevant =
             R.selfConcurrent() ? Deps->LoopCarriedMemDeps : Deps->MemDeps;
-        if (!Relevant.count({*OA, *OB}))
+        if (!Relevant.count({*OA, *OB})) {
+          discharge("pdg-independent");
           return;
+        }
       }
     }
 
@@ -183,128 +204,61 @@ private:
     bool EnvB = CB.S == PtrClass::EnvConst || CB.S == PtrClass::EnvLane ||
                 CB.S == PtrClass::EnvDyn;
     if (EnvA && EnvB) {
-      if (!envMayOverlap(CA, CB, *A.Task))
+      if (!envMayOverlap(CA, CB, *A.Task)) {
+        discharge("env-disjoint");
         return;
-      if (protectedBySegment(A, B))
+      }
+      if (!Opts.FlowSensitive && lateSegment(A, B))
         return;
       reportRace(A, B, "both workers touch the same environment slot");
       return;
     }
-    if (EnvA != EnvB)
-      return; // The env alloca is disjoint from every named object.
-
-    if (AA.alias(A.Ptr, A.Size, B.Ptr, B.Size) == AliasResult::NoAlias)
+    if (EnvA != EnvB) {
+      // The env alloca is disjoint from every named object.
+      discharge("env-disjoint");
       return;
+    }
+
     // Iteration partitioning: a DOALL/HELIX access whose address is
     // derived from the task ID (through the re-based IV) hits a
-    // different element in every worker.
-    if (R.selfConcurrent() && sliceContains(A.Ptr, A.Task->TaskIDArg) &&
-        sliceContains(B.Ptr, B.Task->TaskIDArg))
+    // different element in every worker — each worker's chunk of the
+    // re-based iteration space is exclusive, with chunk handoff fenced
+    // by the dispatch counter.
+    if (Opts.FlowSensitive && iterPartitioned(A, B)) {
+      discharge("iter-partition");
       return;
-    if (protectedBySegment(A, B))
+    }
+
+    ++S.AndersenFallback;
+    if (AA.alias(A.Ptr, A.Size, B.Ptr, B.Size) == AliasResult::NoAlias) {
+      discharge("alias-none");
       return;
+    }
+    if (!Opts.FlowSensitive) {
+      if (iterPartitioned(A, B)) {
+        discharge("iter-partition");
+        return;
+      }
+      if (lateSegment(A, B))
+        return;
+    }
     reportRace(A, B, "accesses may alias and nothing orders them");
   }
 
-  /// Queue happens-before, one direction: every execution of \p Pre's
-  /// anchor precedes every push of some queue q whose only producer is
-  /// Pre's task, and \p Post's anchor is dominated by a pop of q in
-  /// Post's task. Then Pre ⟶ push ⟶ (blocking FIFO) ⟶ pop ⟶ Post, so the
-  /// pair can never overlap in time.
-  bool orderedByQueue(const Access &Pre, const Access &Post) {
-    for (unsigned Q : connectingQueues(Pre.Task, Post.Task)) {
-      bool PreOk = true;
-      for (const TaskInfo::QueueOp &Op : Pre.Task->QueueOps)
-        if (Op.IsPush && Op.Queue == Q && mayFollow(Op.Call, Pre.Anchor)) {
-          PreOk = false;
-          break;
-        }
-      if (!PreOk)
-        continue;
-      const nir::DominatorTree &DT = domTreeFor(*Post.Task);
-      for (const TaskInfo::QueueOp &Op : Post.Task->QueueOps)
-        if (!Op.IsPush && Op.Queue == Q && DT.dominates(Op.Call, Post.Anchor))
-          return true;
-    }
-    return false;
+  bool iterPartitioned(const Access &A, const Access &B) {
+    return R.selfConcurrent() && sliceContains(A.Ptr, A.Task->TaskIDArg) &&
+           sliceContains(B.Ptr, B.Task->TaskIDArg);
   }
 
-  /// Queues with at least one push in \p Producer, at least one pop in
-  /// \p Consumer, and no push anywhere else in the region (a second
-  /// producer could satisfy the pop without ordering against the first).
-  const std::vector<unsigned> &connectingQueues(const TaskInfo *Producer,
-                                                const TaskInfo *Consumer) {
-    auto Key = std::make_pair(Producer, Consumer);
-    auto It = ConnectingCache.find(Key);
-    if (It != ConnectingCache.end())
-      return It->second;
-    std::set<unsigned> Pushed, Popped, PushedElsewhere;
-    for (const TaskInfo::QueueOp &Op : Producer->QueueOps)
-      if (Op.IsPush)
-        Pushed.insert(Op.Queue);
-    for (const TaskInfo::QueueOp &Op : Consumer->QueueOps)
-      if (!Op.IsPush)
-        Popped.insert(Op.Queue);
-    for (const TaskInfo &T : R.Tasks) {
-      if (&T == Producer)
-        continue;
-      for (const TaskInfo::QueueOp &Op : T.QueueOps)
-        if (Op.IsPush)
-          PushedElsewhere.insert(Op.Queue);
-    }
-    std::vector<unsigned> Qs;
-    for (unsigned Q : Pushed)
-      if (Popped.count(Q) && !PushedElsewhere.count(Q))
-        Qs.push_back(Q);
-    return ConnectingCache.emplace(Key, std::move(Qs)).first->second;
-  }
-
-  /// May \p Later execute after \p Earlier in the same thread? Same
-  /// block: yes if Earlier comes first in block order, or the block can
-  /// re-enter itself; otherwise CFG reachability through at least one
-  /// edge decides.
-  bool mayFollow(const Instruction *Earlier, const Instruction *Later) {
-    const BasicBlock *EB = Earlier->getParent();
-    const BasicBlock *LB = Later->getParent();
-    const auto &Reach = reachableFrom(EB);
-    if (EB != LB)
-      return Reach.count(LB) != 0;
-    if (Reach.count(EB))
-      return true; // block inside a cycle: any relative order recurs
-    for (const auto &IPtr : EB->getInstList()) {
-      if (IPtr.get() == Earlier)
-        return true;
-      if (IPtr.get() == Later)
-        return false;
-    }
-    return true; // unreachable: neither found
-  }
-
-  const std::set<const BasicBlock *> &reachableFrom(const BasicBlock *BB) {
-    auto It = ReachCache.find(BB);
-    if (It != ReachCache.end())
-      return It->second;
-    std::set<const BasicBlock *> Seen;
-    std::vector<const BasicBlock *> Work;
-    for (BasicBlock *S : BB->successors())
-      if (Seen.insert(S).second)
-        Work.push_back(S);
-    while (!Work.empty()) {
-      const BasicBlock *Cur = Work.back();
-      Work.pop_back();
-      for (BasicBlock *S : Cur->successors())
-        if (Seen.insert(S).second)
-          Work.push_back(S);
-    }
-    return ReachCache.emplace(BB, std::move(Seen)).first->second;
-  }
-
-  const nir::DominatorTree &domTreeFor(const TaskInfo &T) {
-    auto It = DomCache.find(T.Fn);
-    if (It == DomCache.end())
-      It = DomCache.emplace(T.Fn, std::make_unique<nir::DominatorTree>(*T.Fn))
-               .first;
-    return *It->second;
+  /// Legacy placement of the segment check (after pointer reasoning).
+  bool lateSegment(const Access &A, const Access &B) {
+    if (A.Task != B.Task)
+      return false;
+    HBRule Rl = HB.segmentOrdered(A.Anchor, B.Anchor, *A.Task);
+    if (Rl == HBRule::None)
+      return false;
+    discharge(hbRuleName(Rl));
+    return true;
   }
 
   bool isTaskLocal(const PtrClass &C, const TaskInfo &T) const {
@@ -335,32 +289,20 @@ private:
     return Const.Slot >= Lane.Slot && Const.Slot < Lane.Slot + W;
   }
 
-  /// HELIX: two accesses both under a common guaranteed sequential
-  /// segment are totally ordered by the gates.
-  bool protectedBySegment(const Access &A, const Access &B) {
-    if (R.Kind != "helix")
-      return false;
-    const auto &HeldA = heldFor(*A.Task);
-    const auto &HeldB = heldFor(*B.Task);
-    auto ItA = HeldA.find(A.Anchor);
-    auto ItB = HeldB.find(B.Anchor);
-    if (ItA == HeldA.end() || ItB == HeldB.end())
-      return false;
-    nir::BitVector Common = ItA->second;
-    Common.intersectWith(ItB->second);
-    return Common.any();
-  }
-
-  const std::map<const Instruction *, nir::BitVector> &
-  heldFor(const TaskInfo &T) {
-    auto It = HeldCache.find(&T);
-    if (It == HeldCache.end())
-      It = HeldCache.emplace(&T, computeGuaranteedSegments(T)).first;
-    return It->second;
-  }
-
   void reportRace(const Access &A, const Access &B,
                   const std::string &Why) {
+    // One source-level race per region: clone pairs realizing the same
+    // unordered origin pair collapse into the first report.
+    auto OA = originOf(A.Anchor);
+    auto OB = originOf(B.Anchor);
+    if (OA && OB) {
+      auto [Lo, Hi] = std::minmax(*OA, *OB);
+      if (!ReportedOrigins.insert({Lo, Hi}).second) {
+        ++S.DuplicatesSuppressed;
+        return;
+      }
+    }
+    ++S.RacesReported;
     Diagnostic D;
     D.Kind = DiagKind::DataRace;
     const char *Shape = A.IsWrite && B.IsWrite ? "write/write" : "read/write";
@@ -377,14 +319,9 @@ private:
   const PDGDependenceSummary *Deps;
   const RaceDetectorOptions &Opts;
   CheckReport &Rep;
-  std::map<const TaskInfo *,
-           std::map<const Instruction *, nir::BitVector>>
-      HeldCache;
-  std::map<std::pair<const TaskInfo *, const TaskInfo *>,
-           std::vector<unsigned>>
-      ConnectingCache;
-  std::map<const BasicBlock *, std::set<const BasicBlock *>> ReachCache;
-  std::map<Function *, std::unique_ptr<nir::DominatorTree>> DomCache;
+  RaceRuleStats &S;
+  HappensBeforeEngine HB;
+  std::set<std::pair<uint64_t, uint64_t>> ReportedOrigins;
 };
 
 } // namespace
@@ -396,7 +333,9 @@ void noelle::verify::detectRaces(nir::Module &M,
                                  const RaceDetectorOptions &Opts) {
   if (Regions.empty())
     return;
+  RaceRuleStats Local;
+  RaceRuleStats &S = Opts.Stats ? *Opts.Stats : Local;
   AndersenAliasAnalysis AA(M);
   for (const ParallelRegion &R : Regions)
-    RegionRaceScan(R, AA, Deps, Opts, Rep).run();
+    RegionRaceScan(R, AA, Deps, Opts, Rep, S).run();
 }

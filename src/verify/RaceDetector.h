@@ -3,11 +3,13 @@
 /// \file
 /// Static race detection over generated task functions: flags W/W and
 /// R/W pairs that concurrently running workers may issue against the
-/// same shared memory. Per-worker environment lanes and iteration-
-/// partitioned accesses (addresses derived from the task ID) are proven
-/// disjoint structurally; HELIX accesses under a common sequential-
-/// segment gate are proven ordered; everything else falls back to the
-/// Andersen points-to analysis.
+/// same shared memory. Pairs ordered by the happens-before engine
+/// (queue release/acquire chains, lockstep loop phases, HELIX segment
+/// gates) are discharged first; per-worker environment lanes and
+/// iteration-partitioned accesses (addresses derived from the task ID)
+/// are proven disjoint structurally; everything else falls back to the
+/// Andersen points-to analysis. Every discharged pair records which
+/// rule proved it.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -16,40 +18,80 @@
 
 #include "ir/Module.h"
 #include "verify/Diagnostic.h"
+#include "verify/HappensBefore.h"
 #include "verify/TaskModel.h"
 
-#include <set>
-#include <utility>
+#include <cstdint>
+#include <map>
+#include <string>
 
 namespace noelle {
 namespace verify {
 
-/// Memory dependences of the pre-transform PDG, keyed by the
-/// deterministic instruction IDs both endpoints carried when the
-/// snapshot was taken (and which the transforms propagate into their
-/// clones as provenance). The PDG is conservative — it records an edge
-/// whenever it cannot prove independence — so the ABSENCE of an edge
-/// between two cloned accesses is a proof that they never touch the
-/// same location, which is exactly the grounding the points-to fallback
-/// lacks (Andersen is array-element- and flow-insensitive). Pairs are
-/// stored symmetrically.
-struct PDGDependenceSummary {
-  /// Any memory dependence (RAW/WAW/WAR, carried or not).
-  std::set<std::pair<uint64_t, uint64_t>> MemDeps;
-  /// The loop-carried subset: the only dependences that relate distinct
-  /// iterations, i.e. distinct DOALL/HELIX workers.
-  std::set<std::pair<uint64_t, uint64_t>> LoopCarriedMemDeps;
+/// Per-run counters: how many pairs each discharge rule proved safe, how
+/// many fell through to the points-to fallback, and what was reported.
+/// Attribution is first-match in rule order, so the counts partition the
+/// checked pairs.
+struct RaceRuleStats {
+  uint64_t PairsChecked = 0;
+  /// Pairs no structural or ordering rule discharged — they were decided
+  /// by the Andersen alias query (the detector's least precise step).
+  uint64_t AndersenFallback = 0;
+  uint64_t RacesReported = 0;
+  /// Race reports suppressed because the same unordered origin-ID pair
+  /// was already reported for the region.
+  uint64_t DuplicatesSuppressed = 0;
+  /// Discharge-rule name -> pairs it proved safe. Keys are the
+  /// hbRuleName() strings plus the structural rules: "read-read",
+  /// "task-local", "pdg-independent", "env-disjoint", "iter-partition",
+  /// "alias-none".
+  std::map<std::string, uint64_t> Discharged;
+
+  void merge(const RaceRuleStats &O) {
+    PairsChecked += O.PairsChecked;
+    AndersenFallback += O.AndersenFallback;
+    RacesReported += O.RacesReported;
+    DuplicatesSuppressed += O.DuplicatesSuppressed;
+    for (const auto &[K, V] : O.Discharged)
+      Discharged[K] += V;
+  }
 };
 
-/// Tuning knobs for detectRaces. Defaults match production behavior;
-/// tests disable individual rules to pin which one discharged a pair.
+/// Tuning knobs for detectRaces. Defaults enable the full flow-sensitive
+/// happens-before engine; tests and the `--race-rules` CLI flag disable
+/// individual rules to pin which one discharged a pair, and legacy()
+/// reproduces the single-rule detector this engine replaced.
 struct RaceDetectorOptions {
-  /// Discharge cross-stage DSWP access pairs ordered by a connecting
-  /// queue's happens-before: with TA the queue's only producer, an
-  /// access of TA that precedes every push is ordered before any
-  /// consumer access dominated by a pop (push completion ⟶ pop return
-  /// carries release/acquire ordering in the runtime).
+  /// Queue release/acquire ordering (push completion ⟶ pop return).
   bool UseQueueHB = true;
+  /// Transitive ordering through queue chains and multi-producer joins.
+  bool UseMultiQueueJoin = true;
+  /// k-th push / k-th pop matching for queue ops in lockstep loops.
+  bool UseLoopPhase = true;
+  /// Same-segment HELIX gate protection.
+  bool UseSegmentOrder = true;
+  /// Cross-segment partial orders for intra-iteration-only conflicts.
+  bool UseCrossSegment = true;
+  /// Flow-sensitive mode: ordering facts come from the all-paths
+  /// completed-event dataflow, segment protection is gated by the
+  /// segment-protocol leak check, and ordering rules run before pointer
+  /// classification. When false the detector reproduces the structural
+  /// single-rule pipeline (dominating pop, late segment check).
+  bool FlowSensitive = true;
+  /// When set, per-rule counters are accumulated here.
+  RaceRuleStats *Stats = nullptr;
+
+  /// The pre-engine detector: single-queue/single-producer happens-
+  /// before with a dominating pop, flow-insensitive segment protection.
+  /// The bench harness compares the engine's precision against this.
+  static RaceDetectorOptions legacy() {
+    RaceDetectorOptions O;
+    O.UseMultiQueueJoin = false;
+    O.UseLoopPhase = false;
+    O.UseCrossSegment = false;
+    O.FlowSensitive = false;
+    return O;
+  }
 };
 
 /// Scans the parallel regions of \p M (the transformed module) for data

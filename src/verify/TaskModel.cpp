@@ -1,5 +1,7 @@
 #include "verify/TaskModel.h"
 
+#include "analysis/Dominators.h"
+#include "analysis/LoopInfo.h"
 #include "ir/BasicBlock.h"
 #include "ir/Function.h"
 #include "ir/IDs.h"
@@ -125,6 +127,13 @@ noelle::verify::discoverRegions(nir::Module &M, CheckReport &Rep) {
         }
       }
 
+    if (!T.QueueOps.empty()) {
+      auto Keys = computeLoopPhaseKeys(*F);
+      for (TaskInfo::QueueOp &Op : T.QueueOps)
+        if (auto It = Keys.find(Op.Call->getParent()); It != Keys.end())
+          Op.PhaseKey = It->second;
+    }
+
     std::string BaseKind =
         T.Kind == "dswp-stage" ? std::string("dswp") : T.Kind;
     auto Key = std::make_pair(F->getMetadata(TaskSrcFnKey), T.Origin);
@@ -144,6 +153,69 @@ noelle::verify::discoverRegions(nir::Module &M, CheckReport &Rep) {
     Out.push_back(std::move(R));
   }
   return Out;
+}
+
+std::optional<uint64_t> noelle::verify::originOf(const Instruction *I) {
+  return parseIdMetadata(I, CheckOrigKey);
+}
+
+std::map<const BasicBlock *, uint64_t>
+noelle::verify::computeLoopPhaseKeys(Function &F) {
+  std::map<const BasicBlock *, uint64_t> Keys;
+  nir::DominatorTree DT(F);
+  nir::LoopInfo LI(F, DT);
+  // Preorder visits outer loops before inner ones, so assigning each
+  // loop's key to all its blocks leaves every block with its innermost
+  // enclosing loop's key.
+  for (nir::LoopStructure *L : LI.getLoopsInPreorder()) {
+    // Prefer the governing IV: the keyed header phi feeding an exiting
+    // branch's condition (directly, or through one arithmetic hop for
+    // rotated loops that test the incremented value). Stage clones of
+    // the same source loop carry different recurrence phis alongside
+    // the IV, but the exit test always resolves to the same source phi.
+    auto KeyedHeaderPhi = [&](const Value *V) -> uint64_t {
+      const auto *Phi = nir::dyn_cast<nir::PhiInst>(V);
+      if (!Phi || Phi->getParent() != L->getHeader())
+        return 0;
+      return parseIdMetadata(Phi, CheckOrigKey).value_or(0);
+    };
+    uint64_t Key = 0;
+    for (BasicBlock *Ex : L->getExitingBlocks()) {
+      const auto *Br = nir::dyn_cast<nir::BranchInst>(Ex->getTerminator());
+      if (!Br || !Br->isConditional())
+        continue;
+      const auto *Cond = nir::dyn_cast<Instruction>(Br->getCondition());
+      if (!Cond)
+        continue;
+      for (const Value *Op : Cond->operands()) {
+        if ((Key = KeyedHeaderPhi(Op)))
+          break;
+        if (const auto *OpI = nir::dyn_cast<Instruction>(Op);
+            OpI && !nir::isa<nir::PhiInst>(OpI))
+          for (const Value *Hop : OpI->operands())
+            if ((Key = KeyedHeaderPhi(Hop)))
+              break;
+        if (Key)
+          break;
+      }
+      if (Key)
+        break;
+    }
+    // Fallback: the smallest keyed header phi. A phi origin is unique
+    // to one source loop header, so equal keys still certify clones of
+    // the same source loop.
+    if (!Key)
+      for (const auto &IPtr : L->getHeader()->getInstList()) {
+        if (!nir::isa<nir::PhiInst>(IPtr.get()))
+          break;
+        if (auto Id = parseIdMetadata(IPtr.get(), CheckOrigKey))
+          if (Key == 0 || *Id < Key)
+            Key = *Id;
+      }
+    for (BasicBlock *BB : L->getBlocks())
+      Keys[BB] = Key;
+  }
+  return Keys;
 }
 
 bool noelle::verify::sliceContains(const Value *Root, const Value *Target) {

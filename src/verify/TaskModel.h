@@ -51,6 +51,11 @@ struct TaskInfo {
     unsigned Queue = 0;   ///< queue index within the region
     uint64_t Orig = 0;    ///< ID of the transported original value
     bool IsPush = false;
+    /// Phase key of the op's innermost enclosing loop: the origin ID of
+    /// the governing IV phi (see computeLoopPhaseKeys), shared by
+    /// lockstep loop copies across DSWP stages. 0 when the op is not in
+    /// a loop or the loop has no keyed header phi.
+    uint64_t PhaseKey = 0;
   };
   std::vector<QueueOp> QueueOps;
 
@@ -91,6 +96,21 @@ std::vector<ParallelRegion> discoverRegions(nir::Module &M,
 /// True if the backward def slice of \p Root (through instruction
 /// operands, including phi incomings) contains \p Target.
 bool sliceContains(const nir::Value *Root, const nir::Value *Target);
+
+/// The snapshot instruction \p I was cloned from, when the transform
+/// recorded provenance (CheckOrigKey metadata).
+std::optional<uint64_t> originOf(const nir::Instruction *I);
+
+/// For every block of \p F, the phase key of its innermost enclosing
+/// natural loop: the origin ID of the governing IV phi (the header phi
+/// feeding the loop's exit condition), falling back to the smallest
+/// origin ID among the header's keyed phis. Two loops (in different
+/// task functions) with the same nonzero key are clones of the same
+/// source loop — lockstep DSWP stage copies iterate the same re-based
+/// induction space. Blocks outside loops, or in loops with no keyed
+/// header phi, map to 0.
+std::map<const nir::BasicBlock *, uint64_t>
+computeLoopPhaseKeys(nir::Function &F);
 
 /// Classification of an accessed pointer inside a task function.
 struct PtrClass {

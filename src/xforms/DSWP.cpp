@@ -592,10 +592,13 @@ bool DSWP::apply(LoopContent &LC, const LoopPlan &P, Decision &D) {
     Out->replaceAllUsesWith(Final);
   }
 
+  // finalizeLoopRemoval frees the loop's blocks, and LS reads its header
+  // to answer getFunction(): resolve the host function first.
+  nir::Function *HostF = LS.getFunction();
   finalizeLoopRemoval(LS, Dispatch);
   // Only the host function changed (the task bodies are new functions
   // with no cached analyses): keep every other function's bundles.
-  N.invalidate(*LS.getFunction());
+  N.invalidate(*HostF);
   bumpPlanEpoch(M);
   assert(nir::moduleVerifies(M) && "DSWP produced invalid IR");
   D.Parallelized = true;

@@ -9,7 +9,9 @@
 //===----------------------------------------------------------------------===//
 
 #include "frontend/MiniC.h"
+#include "ir/IDs.h"
 #include "ir/IRBuilder.h"
+#include "ir/Parser.h"
 #include "ir/Verifier.h"
 #include "verify/CheckMetadata.h"
 #include "verify/NoelleCheck.h"
@@ -566,6 +568,338 @@ TEST(VerifyTest, SharedSlotWriteInDoallTaskIsARace) {
 
   verify::CheckReport Rep = verify::checkModule(*C.M, C.Snap);
   EXPECT_GE(Rep.count(verify::DiagKind::DataRace), 1u) << Rep.str();
+}
+
+//===----------------------------------------------------------------------===//
+// Happens-before engine: seeded violations per discharge rule, each with
+// a legal counterpart that checks clean.
+//===----------------------------------------------------------------------===//
+
+/// The producer stage (pushes, never pops) and a consumer stage (pops)
+/// of a 2-stage DSWP pipeline.
+void findPipelineEnds(nir::Module &M, Function *&Producer,
+                      Function *&Consumer) {
+  Producer = Consumer = nullptr;
+  for (Function *S : tasksOfKind(M, "dswp-stage")) {
+    bool Pushes = !callsTo(*S, "noelle_queue_push").empty();
+    bool Pops = !callsTo(*S, "noelle_queue_pop").empty();
+    if (Pushes && !Pops)
+      Producer = S;
+    if (Pops && !Pushes)
+      Consumer = S;
+  }
+}
+
+/// The instruction immediately after \p I in its block (null at the end).
+Instruction *instAfter(Instruction *I) {
+  BasicBlock *BB = I->getParent();
+  for (auto It = BB->getInstList().begin(); It != BB->getInstList().end();
+       ++It)
+    if (It->get() == I) {
+      auto Next = std::next(It);
+      return Next == BB->getInstList().end() ? nullptr : Next->get();
+    }
+  return nullptr;
+}
+
+/// True if \p P walks through GEPs to the global named \p Name.
+bool rootsAtGlobal(const nir::Value *P, const std::string &Name) {
+  while (const auto *G = nir::dyn_cast<nir::GEPInst>(P))
+    P = G->getBase();
+  const auto *GV = nir::dyn_cast<nir::GlobalVariable>(P);
+  return GV && GV->getName() == Name;
+}
+
+TEST(VerifyTest, SecondProducerOnJoinedQueueIsCaught) {
+  // Legal counterpart first: the queue-HB seeding (store before the
+  // producer's pushes, load after the consumer's pop) checks clean.
+  // Then inject a rogue second push onto the consumer's queue: a pop
+  // may now be satisfied by the unattributed producer without ordering
+  // against the real one, so the queue's coverage argument collapses
+  // and the seeded pair must surface as a race.
+  Context Ctx;
+  Checked C = transform(Ctx, DswpPipelineSrc, "dswp", 2);
+  ASSERT_GE(C.Parallelized, 1u);
+
+  Function *Producer = nullptr, *Consumer = nullptr;
+  findPipelineEnds(*C.M, Producer, Consumer);
+  ASSERT_NE(Producer, nullptr);
+  ASSERT_NE(Consumer, nullptr);
+
+  nir::GlobalVariable *G =
+      C.M->createGlobal(Ctx.getInt64Ty(), "seeded_join_slot");
+  IRBuilder B(Ctx);
+  B.setInsertPoint(Producer->getEntryBlock().getInstList().front().get());
+  B.createStore(Ctx.getInt64(1), G);
+  std::vector<CallInst *> Pops = callsTo(*Consumer, "noelle_queue_pop");
+  ASSERT_FALSE(Pops.empty());
+  CallInst *Pop = Pops.front();
+  Instruction *After = instAfter(Pop);
+  ASSERT_NE(After, nullptr);
+  B.setInsertPoint(After);
+  B.createLoad(Ctx.getInt64Ty(), G, "seeded.join.read");
+
+  verify::CheckReport On = verify::checkModule(*C.M, C.Snap);
+  EXPECT_EQ(On.count(verify::DiagKind::DataRace), 0u) << On.str();
+
+  // Rogue producer: push onto the same queue right before the pop.
+  Function *PushFn = C.M->getFunction("noelle_queue_push");
+  ASSERT_NE(PushFn, nullptr);
+  B.setInsertPoint(Pop);
+  B.createCall(PushFn, {Pop->getArg(0), Ctx.getInt64(0)});
+
+  verify::CheckReport Off = verify::checkModule(*C.M, C.Snap);
+  EXPECT_GE(Off.count(verify::DiagKind::DataRace), 1u) << Off.str();
+}
+
+const char *ThreeStagePipelineSrc = R"(
+  int src[512];
+  int main() {
+    for (int i = 0; i < 512; i = i + 1) src[i] = (i * 37 + 11) % 101;
+    int a = 1;
+    int b = 0;
+    int c = 0;
+    for (int i = 0; i < 512; i = i + 1) {
+      a = (a * 13 + src[i]) % 65537;
+      b = (b + a * 3) % 39916801;
+      c = (c + b * 7) % 1000003;
+    }
+    return c;
+  }
+)";
+
+TEST(VerifyTest, MultiQueueJoinDischargesChainedStages) {
+  // A 3-recurrence chain a -> b -> c splits into three DSWP stages
+  // connected by two queues (the IV skeleton is replicated, not
+  // queued). A store in the first stage's entry is ordered before a
+  // load behind the last stage's pop only transitively: q_a's pop
+  // acquires the store, the middle stage's push on q_b carries it on.
+  // The one-hop single-producer slice (legacy QueueHB) cannot prove
+  // that, so disabling the join rule must surface the pair.
+  Context Ctx;
+  Checked C = transform(Ctx, ThreeStagePipelineSrc, "dswp", 3);
+  ASSERT_GE(C.Parallelized, 1u);
+  std::vector<Function *> Stages = tasksOfKind(*C.M, "dswp-stage");
+  if (Stages.size() < 3)
+    GTEST_SKIP() << "pipeline did not split into 3 stages";
+
+  Function *First = nullptr, *Last = nullptr;
+  findPipelineEnds(*C.M, First, Last);
+  ASSERT_NE(First, nullptr);
+  ASSERT_NE(Last, nullptr);
+
+  nir::GlobalVariable *G =
+      C.M->createGlobal(Ctx.getInt64Ty(), "seeded_chain_slot");
+  IRBuilder B(Ctx);
+  B.setInsertPoint(First->getEntryBlock().getInstList().front().get());
+  B.createStore(Ctx.getInt64(1), G);
+  std::vector<CallInst *> Pops = callsTo(*Last, "noelle_queue_pop");
+  ASSERT_FALSE(Pops.empty());
+  Instruction *After = instAfter(Pops.front());
+  ASSERT_NE(After, nullptr);
+  B.setInsertPoint(After);
+  B.createLoad(Ctx.getInt64Ty(), G, "seeded.chain.read");
+
+  verify::RaceRuleStats S;
+  verify::CheckOptions On;
+  On.Races.Stats = &S;
+  verify::CheckReport Rep = verify::checkModule(*C.M, C.Snap, On);
+  EXPECT_EQ(Rep.count(verify::DiagKind::DataRace), 0u) << Rep.str();
+  EXPECT_GE(S.Discharged["multi-queue-join"], 1u);
+
+  verify::CheckOptions NoJoin;
+  NoJoin.Races.UseMultiQueueJoin = false;
+  verify::CheckReport Off = verify::checkModule(*C.M, C.Snap, NoJoin);
+  EXPECT_GE(Off.count(verify::DiagKind::DataRace), 1u) << Off.str();
+}
+
+TEST(VerifyTest, PopHoistedOutOfLoopPhaseIsCaught) {
+  // Loop-phase rule: a store right before the k-th push is ordered
+  // before the load behind the k-th pop when both queue ops sit in
+  // lockstep loop copies. The seeded pair borrows the origin IDs of the
+  // snapshot's src-init store and src load — the PDG relates them
+  // intra-iteration only (the dependence crosses two loops, so it is
+  // not loop-carried) — which is exactly the rule's precondition. The
+  // queue rule cannot discharge it (the store does not precede every
+  // push execution), pinning the discharge on loop-phase. Hoisting the
+  // pop out of its loop breaks the k-th/k-th pairing and must race.
+  Context Ctx;
+  Checked C = transform(Ctx, DswpPipelineSrc, "dswp", 2);
+  ASSERT_GE(C.Parallelized, 1u);
+
+  // Origin IDs from the snapshot: the store into src[] (init loop) and
+  // the load of src[] (main loop).
+  nir::Context SnapCtx;
+  std::string Err;
+  auto SnapM = nir::parseModule(SnapCtx, C.Snap.IRText, Err);
+  ASSERT_NE(SnapM, nullptr) << Err;
+  Function *SnapMain = SnapM->getFunction("main");
+  ASSERT_NE(SnapMain, nullptr);
+  std::string StoreId, LoadId;
+  for (const auto &BB : SnapMain->getBlocks())
+    for (const auto &I : BB->getInstList()) {
+      if (const auto *St = nir::dyn_cast<nir::StoreInst>(I.get()))
+        if (StoreId.empty() && rootsAtGlobal(St->getPointerOperand(), "src"))
+          StoreId = St->getMetadata(nir::InstIDKey);
+      if (const auto *Ld = nir::dyn_cast<nir::LoadInst>(I.get()))
+        if (LoadId.empty() && rootsAtGlobal(Ld->getPointerOperand(), "src"))
+          LoadId = Ld->getMetadata(nir::InstIDKey);
+    }
+  ASSERT_FALSE(StoreId.empty());
+  ASSERT_FALSE(LoadId.empty());
+
+  Function *Producer = nullptr, *Consumer = nullptr;
+  findPipelineEnds(*C.M, Producer, Consumer);
+  ASSERT_NE(Producer, nullptr);
+  ASSERT_NE(Consumer, nullptr);
+  std::vector<CallInst *> Pushes = callsTo(*Producer, "noelle_queue_push");
+  ASSERT_FALSE(Pushes.empty());
+  CallInst *Push = Pushes.front();
+  CallInst *Pop = nullptr;
+  for (CallInst *P : callsTo(*Consumer, "noelle_queue_pop"))
+    if (P->getMetadata(verify::CheckQueueKey) ==
+        Push->getMetadata(verify::CheckQueueKey))
+      Pop = P;
+  ASSERT_NE(Pop, nullptr);
+
+  nir::GlobalVariable *G =
+      C.M->createGlobal(Ctx.getInt64Ty(), "seeded_phase_slot");
+  IRBuilder B(Ctx);
+  B.setInsertPoint(Push);
+  Instruction *SeedStore = B.createStore(Ctx.getInt64(1), G);
+  SeedStore->setMetadata(verify::CheckOrigKey, StoreId);
+  Instruction *After = instAfter(Pop);
+  ASSERT_NE(After, nullptr);
+  B.setInsertPoint(After);
+  auto *SeedLoad = nir::cast<Instruction>(
+      B.createLoad(Ctx.getInt64Ty(), G, "seeded.phase.read"));
+  SeedLoad->setMetadata(verify::CheckOrigKey, LoadId);
+
+  verify::CheckReport On = verify::checkModule(*C.M, C.Snap);
+  EXPECT_EQ(On.count(verify::DiagKind::DataRace), 0u) << On.str();
+
+  // Only the loop-phase rule discharges this pair.
+  verify::CheckOptions NoPhase;
+  NoPhase.Races.UseLoopPhase = false;
+  verify::CheckReport Pinned = verify::checkModule(*C.M, C.Snap, NoPhase);
+  EXPECT_GE(Pinned.count(verify::DiagKind::DataRace), 1u) << Pinned.str();
+
+  // Violation: hoist the pop out of the consumer loop (to just after
+  // its queue-handle def). The k-th store is no longer ordered with
+  // anything the consumer does per iteration.
+  auto *Handle = nir::dyn_cast<Instruction>(Pop->getArg(0));
+  ASSERT_NE(Handle, nullptr);
+  Instruction *HandleNext = instAfter(Handle);
+  ASSERT_NE(HandleNext, nullptr);
+  ASSERT_NE(Pop->getParent(), Handle->getParent())
+      << "pop already outside the loop";
+  Pop->moveBefore(HandleNext);
+
+  verify::CheckReport Off = verify::checkModule(*C.M, C.Snap);
+  EXPECT_GE(Off.count(verify::DiagKind::DataRace), 1u) << Off.str();
+}
+
+const char *TwoSegmentHelixSrc = R"(
+  int s1[1];
+  int s2[1];
+  int out[256];
+  int main() {
+    s1[0] = 7;
+    s2[0] = 3;
+    for (int i = 0; i < 256; i = i + 1) {
+      int a = s1[0];
+      s1[0] = (a * 1103515245 + 12345) % 2147483647;
+      int b = s2[0];
+      s2[0] = (b * 69069 + 1) % 2147483647;
+      int heavy = 0;
+      int base = i * 17;
+      heavy = heavy + (base * base) % 1013;
+      heavy = heavy + ((base + 3) * (base + 7)) % 2027;
+      out[i] = (a + b) % 1000 + heavy;
+    }
+    int total = 0;
+    for (int i = 0; i < 256; i = i + 1) total = total + out[i];
+    return total % 1000003;
+  }
+)";
+
+TEST(VerifyTest, MissingSsSignalOnCrossSegmentPairIsCaught) {
+  // Two independent memory recurrences (s1, s2) become two HELIX
+  // sequential segments. Legal module: clean, with cross-segment pairs
+  // (an s1 access vs an s2 access — ordered within a worker's
+  // iteration, conflict-free across iterations per the PDG) discharged
+  // by the cross-segment rule. Deleting segment 0's ss_signal leaks the
+  // segment past the gate protocol: the leak check must void segment
+  // 0's protection and surface its recurrence as a race.
+  Context Ctx;
+  Checked C = transform(Ctx, TwoSegmentHelixSrc, "helix");
+  ASSERT_GE(C.Parallelized, 1u);
+  std::vector<Function *> Tasks = tasksOfKind(*C.M, "helix");
+  ASSERT_FALSE(Tasks.empty());
+  ASSERT_EQ(Tasks.front()->getMetadata(verify::TaskSegmentsKey), "2");
+
+  verify::RaceRuleStats S;
+  verify::CheckOptions On;
+  On.Races.Stats = &S;
+  verify::CheckReport Rep = verify::checkModule(*C.M, C.Snap, On);
+  EXPECT_EQ(Rep.count(verify::DiagKind::DataRace), 0u) << Rep.str();
+  EXPECT_GE(S.Discharged["cross-segment"], 1u);
+
+  // Violation: drop every signal that closes segment 0.
+  bool Erased = false;
+  for (CallInst *Sig : callsTo(*Tasks.front(), "noelle_ss_signal")) {
+    auto *Seg = nir::dyn_cast<ConstantInt>(Sig->getArg(1));
+    if (Seg && Seg->getValue() == 0) {
+      Sig->eraseFromParent();
+      Erased = true;
+    }
+  }
+  ASSERT_TRUE(Erased);
+
+  verify::CheckReport Off = verify::checkModule(*C.M, C.Snap);
+  EXPECT_GE(Off.count(verify::DiagKind::DataRace), 1u) << Off.str();
+}
+
+TEST(VerifyTest, RaceReportsDedupeByOriginPair) {
+  // Duplicating a racing clone must not duplicate its diagnostic: both
+  // copies carry the same origin ID, so the second report of the same
+  // unordered origin pair is suppressed and counted.
+  Context Ctx;
+  Checked C = transform(Ctx, HelixRecurrenceSrc, "helix");
+  ASSERT_GE(C.Parallelized, 1u);
+  std::vector<Function *> Tasks = tasksOfKind(*C.M, "helix");
+  ASSERT_FALSE(Tasks.empty());
+  Function *T = Tasks.front();
+  for (CallInst *Sig : callsTo(*T, "noelle_ss_signal"))
+    Sig->eraseFromParent();
+
+  verify::RaceRuleStats S1;
+  verify::CheckOptions O1;
+  O1.Races.Stats = &S1;
+  verify::CheckReport Rep1 = verify::checkModule(*C.M, C.Snap, O1);
+  uint64_t Races1 = Rep1.count(verify::DiagKind::DataRace);
+  ASSERT_GE(Races1, 1u) << Rep1.str();
+
+  // Clone the racing recurrence store (clone() keeps its provenance).
+  Instruction *Racing = nullptr;
+  for (const auto &BB : T->getBlocks())
+    for (const auto &I : BB->getInstList())
+      if (auto *St = nir::dyn_cast<nir::StoreInst>(I.get()))
+        if (verify::originOf(St) &&
+            rootsAtGlobal(St->getPointerOperand(), "state"))
+          Racing = St;
+  ASSERT_NE(Racing, nullptr);
+  Instruction *Dup = Racing->clone();
+  Dup->insertBefore(Racing);
+
+  verify::RaceRuleStats S2;
+  verify::CheckOptions O2;
+  O2.Races.Stats = &S2;
+  verify::CheckReport Rep2 = verify::checkModule(*C.M, C.Snap, O2);
+  EXPECT_GE(S2.DuplicatesSuppressed, 1u);
+  // The duplicate adds at most one new origin pair (its W/W self pair);
+  // every pair it repeats is suppressed.
+  EXPECT_LE(Rep2.count(verify::DiagKind::DataRace), Races1 + 1) << Rep2.str();
 }
 
 } // namespace

@@ -25,6 +25,16 @@
 ///                                      the transforms (noelle-opt order)
 ///   --lint                             also run the dataflow lint pack
 ///   --no-races                         skip the race detector
+///   --race-rules=<list>                comma list of race discharge rules
+///                                      to enable: queue-hb,
+///                                      multi-queue-join, loop-phase,
+///                                      segment-order, cross-segment;
+///                                      or "all" (default), "legacy"
+///                                      (the pre-engine single-rule
+///                                      detector), "none"
+///   --stats                            print per-rule discharge counts,
+///                                      Andersen-fallback counts, and
+///                                      detector wall time
 ///   --no-legality                      skip the legality checker
 ///   --plan                             audit a parallelization plan
 ///                                      instead of transform results:
@@ -51,6 +61,7 @@
 #include "xforms/DSWP.h"
 #include "xforms/HELIX.h"
 
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -68,17 +79,64 @@ struct CLIOptions {
   bool Lint = false;
   bool Races = true;
   bool Legality = true;
+  bool Stats = false;
   bool PlanMode = false;
   std::string PlanFile;
   std::string Input;
+  verify::RaceDetectorOptions RaceOpts;
 };
 
 void printUsage() {
   std::fprintf(stderr,
                "usage: noelle-check [--transform=doall|helix|dswp|all] "
-               "[--cores=N] [--opt] [--lint] [--no-races] [--no-legality] "
+               "[--cores=N] [--opt] [--lint] [--no-races] "
+               "[--race-rules=LIST] [--stats] [--no-legality] "
                "[--plan] [--plan-file=F] "
                "[--list] <kernel-name | minic-file>\n");
+}
+
+/// Parses the --race-rules value: "all", "legacy", "none", or a comma
+/// list of rule names to enable (every other rule disabled).
+bool parseRaceRules(const std::string &List,
+                    verify::RaceDetectorOptions &O) {
+  if (List == "all") {
+    O = verify::RaceDetectorOptions{};
+    return true;
+  }
+  if (List == "legacy") {
+    O = verify::RaceDetectorOptions::legacy();
+    return true;
+  }
+  O = verify::RaceDetectorOptions{};
+  O.UseQueueHB = O.UseMultiQueueJoin = O.UseLoopPhase = false;
+  O.UseSegmentOrder = O.UseCrossSegment = false;
+  if (List == "none")
+    return true;
+  size_t Pos = 0;
+  while (Pos <= List.size()) {
+    size_t Comma = List.find(',', Pos);
+    std::string Tok = List.substr(
+        Pos, Comma == std::string::npos ? std::string::npos : Comma - Pos);
+    if (Tok == "queue-hb") {
+      O.UseQueueHB = true;
+    } else if (Tok == "multi-queue-join") {
+      O.UseQueueHB = O.UseMultiQueueJoin = true;
+    } else if (Tok == "loop-phase") {
+      O.UseLoopPhase = true;
+    } else if (Tok == "segment-order") {
+      O.UseSegmentOrder = true;
+    } else if (Tok == "cross-segment") {
+      O.UseCrossSegment = true;
+    } else {
+      std::fprintf(stderr, "noelle-check: unknown race rule '%s'\n",
+                   Tok.c_str());
+      return false;
+    }
+    if (Comma == std::string::npos)
+      break;
+    Pos = Comma + 1;
+  }
+  return true;
 }
 
 bool parseArgs(int Argc, char **Argv, CLIOptions &Opts) {
@@ -127,6 +185,15 @@ bool parseArgs(int Argc, char **Argv, CLIOptions &Opts) {
     }
     if (Arg == "--no-races") {
       Opts.Races = false;
+      continue;
+    }
+    if (Arg.rfind("--race-rules=", 0) == 0) {
+      if (!parseRaceRules(Arg.substr(13), Opts.RaceOpts))
+        return false;
+      continue;
+    }
+    if (Arg == "--stats") {
+      Opts.Stats = true;
       continue;
     }
     if (Arg == "--no-legality") {
@@ -235,7 +302,13 @@ unsigned checkOne(const std::string &Source, const std::string &Transform,
   verify::CheckOptions CO;
   CO.RunLegality = Opts.Legality;
   CO.RunRaces = Opts.Races;
+  CO.Races = Opts.RaceOpts;
+  verify::RaceRuleStats Stats;
+  if (Opts.Stats)
+    CO.Races.Stats = &Stats;
+  auto T0 = std::chrono::steady_clock::now();
   verify::CheckReport Rep = verify::checkModule(*M, Snap, CO);
+  auto T1 = std::chrono::steady_clock::now();
   if (Opts.Lint)
     verify::lintModule(*M, verify::LintOptions{}, Rep);
 
@@ -243,6 +316,23 @@ unsigned checkOne(const std::string &Source, const std::string &Transform,
               Transform.c_str(), Parallelized, Rep.diagnostics().size());
   if (!Rep.clean())
     std::printf("%s", Rep.str().c_str());
+  if (Opts.Stats) {
+    double Ms = std::chrono::duration<double, std::milli>(T1 - T0).count();
+    std::printf("   race stats: pairs=%llu andersen-fallback=%llu "
+                "races=%llu dup-suppressed=%llu check-ms=%.2f\n",
+                static_cast<unsigned long long>(Stats.PairsChecked),
+                static_cast<unsigned long long>(Stats.AndersenFallback),
+                static_cast<unsigned long long>(Stats.RacesReported),
+                static_cast<unsigned long long>(Stats.DuplicatesSuppressed),
+                Ms);
+    std::printf("   discharged:");
+    if (Stats.Discharged.empty())
+      std::printf(" (none)");
+    for (const auto &[Rule, N] : Stats.Discharged)
+      std::printf(" %s=%llu", Rule.c_str(),
+                  static_cast<unsigned long long>(N));
+    std::printf("\n");
+  }
   return static_cast<unsigned>(Rep.diagnostics().size());
 }
 

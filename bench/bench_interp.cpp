@@ -31,6 +31,7 @@
 #include "frontend/MiniC.h"
 #include "interp/Interpreter.h"
 #include "opt/Passes.h"
+#include "telemetry/Telemetry.h"
 
 #include <chrono>
 #include <cmath>
@@ -52,13 +53,15 @@ double nowUs() {
 }
 
 /// A cheap profiling observer: forces the observed tier and touches its
-/// data the way the real Profiler does (per-callback accumulation).
+/// data the way the real Profiler does (per-callback accumulation). The
+/// block/decode totals the bench used to tally here now come from the
+/// telemetry registry (interp.* counters), so the observer keeps only
+/// the accumulation cost, not a duplicate set of counts.
 struct CountingObserver : nir::ExecutionObserver {
-  uint64_t Blocks = 0;
-  uint64_t Branches = 0;
-  void onBlockExecuted(const nir::BasicBlock *) override { ++Blocks; }
+  uint64_t Callbacks = 0;
+  void onBlockExecuted(const nir::BasicBlock *) override { ++Callbacks; }
   void onBranchExecuted(const nir::BranchInst *, unsigned) override {
-    ++Branches;
+    ++Callbacks;
   }
 };
 
@@ -156,6 +159,12 @@ int main(int argc, char **argv) {
   bool Smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
   const unsigned Repeats = Smoke ? 1 : 3;
 
+  // Decode and dispatch-tier accounting is sourced from the telemetry
+  // registry — the counters the interpreter maintains anyway — instead
+  // of bench-local tallies that could drift from what the engine does.
+  namespace telemetry = noelle::telemetry;
+  telemetry::setMode(telemetry::Mode::Metrics);
+
   ExecutionEngine::Options Default; // threaded (when built) + decode opt
   ExecutionEngine::Options SwitchOpt;
   SwitchOpt.Dispatch = ExecutionEngine::DispatchMode::Switch;
@@ -229,6 +238,34 @@ int main(int argc, char **argv) {
   const double DispatchGeo = Geomean(&KernelResult::speedup);
   const double TotalGeo = Geomean(&KernelResult::pipelineSpeedup);
   bool Pass = DispatchGeo >= 1.5 && TotalGeo >= DispatchGeo;
+
+  // Suite-wide decode and dispatch-tier totals, straight from the
+  // registry. The tier counters double as a config cross-check: the
+  // observed config must actually have entered the observed tier.
+  const telemetry::MetricsSnapshot Snap = telemetry::snapshotMetrics();
+  const uint64_t DecodeHits = Snap.counter(telemetry::Counter::DecodeHit);
+  const uint64_t DecodeMisses = Snap.counter(telemetry::Counter::DecodeMiss);
+  const uint64_t TierObserved = Snap.counter(telemetry::Counter::TierObserved);
+  const telemetry::HistSnapshot *DecodeNs =
+      Snap.histogram(telemetry::Hist::DecodeNs);
+  if (TierObserved == 0 || DecodeMisses == 0) {
+    std::fprintf(stderr,
+                 "telemetry cross-check failed: observed-tier entries %llu, "
+                 "decode misses %llu (both must be nonzero)\n",
+                 static_cast<unsigned long long>(TierObserved),
+                 static_cast<unsigned long long>(DecodeMisses));
+    Pass = false;
+  }
+  std::printf("decode (registry): %llu misses, %llu cache hits, p50 %.0f ns; "
+              "tier entries threaded/switch/observed: %llu/%llu/%llu\n",
+              static_cast<unsigned long long>(DecodeMisses),
+              static_cast<unsigned long long>(DecodeHits),
+              DecodeNs ? DecodeNs->P50 : 0.0,
+              static_cast<unsigned long long>(
+                  Snap.counter(telemetry::Counter::TierThreaded)),
+              static_cast<unsigned long long>(
+                  Snap.counter(telemetry::Counter::TierSwitch)),
+              static_cast<unsigned long long>(TierObserved));
   std::printf("\ngeomean speedup vs switch+noopt (the pre-overhaul shape): "
               "dispatch alone %.2fx, dispatch+pipeline %.2fx -- %s\n",
               DispatchGeo, TotalGeo,
@@ -266,9 +303,22 @@ int main(int argc, char **argv) {
                  "  ],\n"
                  "  \"geomean_speedup\": %.2f,\n"
                  "  \"geomean_pipeline_speedup\": %.2f,\n"
+                 "  \"decode\": {\"misses\": %llu, \"hits\": %llu, "
+                 "\"p50_ns\": %.0f, \"p95_ns\": %.0f},\n"
+                 "  \"tier_entries\": {\"threaded\": %llu, \"switch\": %llu, "
+                 "\"observed\": %llu},\n"
                  "  \"pass\": %s\n"
                  "}\n",
-                 DispatchGeo, TotalGeo, Pass ? "true" : "false");
+                 DispatchGeo, TotalGeo,
+                 static_cast<unsigned long long>(DecodeMisses),
+                 static_cast<unsigned long long>(DecodeHits),
+                 DecodeNs ? DecodeNs->P50 : 0.0, DecodeNs ? DecodeNs->P95 : 0.0,
+                 static_cast<unsigned long long>(
+                     Snap.counter(telemetry::Counter::TierThreaded)),
+                 static_cast<unsigned long long>(
+                     Snap.counter(telemetry::Counter::TierSwitch)),
+                 static_cast<unsigned long long>(TierObserved),
+                 Pass ? "true" : "false");
     std::fclose(F);
     std::printf("wrote %s\n", JsonPath.c_str());
   }

@@ -14,6 +14,7 @@
 #include "frontend/MiniC.h"
 #include "runtime/ParallelRuntime.h"
 #include "runtime/ThreadPool.h"
+#include "telemetry/Telemetry.h"
 
 #include <algorithm>
 #include <chrono>
@@ -135,6 +136,12 @@ double nsPerRun(ExecutionEngine &E, unsigned Iters) {
 int main() {
   constexpr unsigned Iters = 300;
 
+  // Dispatch/steal/park accounting comes from the telemetry registry —
+  // the same counters the runtime maintains for every consumer — so the
+  // bench no longer keeps its own copy of pool bookkeeping.
+  namespace telemetry = noelle::telemetry;
+  telemetry::setMode(telemetry::Mode::Metrics);
+
   // Interpreter floor: runMain() with no parallel region at all.
   nir::Context C0;
   auto M0 = minic::compileMiniCOrDie(C0, FloorSrc);
@@ -147,7 +154,12 @@ int main() {
   ExecutionEngine E1(*M1);
   registerParallelRuntime(E1);
   double PoolNs = nsPerRun(E1, Iters);
-  uint64_t PoolThreads = E1.getThreadPool().getThreadsCreated();
+  // Worker count from the registry's pool.workers watermark: only E1's
+  // pool has run yet, so the high-water mark is its thread count.
+  uint64_t PoolThreads = 0;
+  for (const auto &[Name, G] : telemetry::snapshotMetrics().Gauges)
+    if (Name == "pool.workers")
+      PoolThreads = static_cast<uint64_t>(G.Max);
 
   // Pool, chunked dispatch (DOALL path).
   nir::Context C2;

@@ -1,6 +1,7 @@
 #include "interp/Interpreter.h"
 
 #include "runtime/ThreadPool.h"
+#include "telemetry/Telemetry.h"
 
 #include <chrono>
 #include <cmath>
@@ -10,6 +11,7 @@
 #include <set>
 
 using namespace nir;
+namespace telemetry = noelle::telemetry;
 
 namespace {
 
@@ -107,6 +109,10 @@ struct ExecutionEngine::DecodedFunction {
   std::vector<RuntimeValue> Consts; ///< decode-time constant pool
   std::vector<const BasicBlock *> BlockBB; ///< block index -> IR block
   std::vector<uint32_t> BlockPc;           ///< block index -> first pc
+  /// Fused superinstructions emitted into each block. The observed tier
+  /// charges this to the telemetry fire counter on block entry (the fast
+  /// tiers never read it, so their code is untouched).
+  std::vector<uint32_t> BlockFused;
   uint32_t NumRegs = 0;  ///< args + value-producing instructions
   uint32_t FileSize = 0; ///< NumRegs + 1 scratch + constant pool
   uint64_t FrameBytes = 0;
@@ -355,22 +361,30 @@ ExecutionEngine::DecodedFunction &ExecutionEngine::getDecoded(Function *F) {
     auto IdIt = FunctionIds.find(F); // map is immutable after construction
     if (IdIt != FunctionIds.end()) {
       Slot = &DecodedById[IdIt->second];
-      if (DecodedFunction *Hit = Slot->load(std::memory_order_acquire))
+      if (DecodedFunction *Hit = Slot->load(std::memory_order_acquire)) {
+        telemetry::count(telemetry::Counter::DecodeHit);
         return *Hit;
+      }
     }
   }
 
   std::lock_guard<std::mutex> Lock(DecodeMutex);
   if (Slot) {
-    if (DecodedFunction *Hit = Slot->load(std::memory_order_relaxed))
+    if (DecodedFunction *Hit = Slot->load(std::memory_order_relaxed)) {
+      telemetry::count(telemetry::Counter::DecodeHit);
       return *Hit;
+    }
   } else {
     // Function created after engine construction: fall back to a map.
     auto It = DecodedOverflow.find(F);
-    if (It != DecodedOverflow.end())
+    if (It != DecodedOverflow.end()) {
+      telemetry::count(telemetry::Counter::DecodeHit);
       return *It->second;
+    }
   }
 
+  const uint64_t DecodeT0 =
+      telemetry::metricsEnabled() ? telemetry::nowNs() : 0;
   auto DF = std::make_unique<DecodedFunction>();
   DF->F = F;
   const bool Opt = Opts.DecodeOpt;
@@ -1104,6 +1118,31 @@ ExecutionEngine::DecodedFunction &ExecutionEngine::getDecoded(Function *F) {
 
   DF->FileSize = ScratchReg + 1 + static_cast<uint32_t>(DF->Consts.size());
 
+  // Per-block fused-superinstruction counts for the observed tier's fire
+  // accounting (each fused consumer executes once per block entry).
+  DF->BlockFused.assign(DF->BlockBB.size(), 0);
+  auto ChargeFused = [&](const Instruction *Consumer) {
+    auto BIt = BlockIdx.find(Consumer->getParent());
+    if (BIt != BlockIdx.end())
+      ++DF->BlockFused[BIt->second];
+  };
+  for (const auto &[Consumer, Gep] : FusedAddr)
+    ChargeFused(Consumer);
+  for (const auto &[Br, Cmp] : FusedCmp)
+    ChargeFused(Br);
+  for (const auto &[Add, Mul] : FusedMul)
+    ChargeFused(Add);
+
+  if (DecodeT0) {
+    telemetry::count(telemetry::Counter::DecodeMiss);
+    telemetry::record(telemetry::Hist::DecodeNs,
+                      telemetry::nowNs() - DecodeT0);
+    telemetry::count(telemetry::Counter::FuseSiteCmpBr, FusedCmp.size());
+    telemetry::count(telemetry::Counter::FuseSiteGepMem, FusedAddr.size());
+    telemetry::count(telemetry::Counter::FuseSiteMulAdd, FusedMul.size());
+    telemetry::count(telemetry::Counter::FuseSiteElided, Elided.size());
+  }
+
   auto &Ref = *DF;
   DecodedStore.push_back(std::move(DF));
   if (Slot)
@@ -1291,13 +1330,20 @@ ExecutionEngine::execute(DecodedFunction &DF,
                          const std::vector<RuntimeValue> &Args,
                          unsigned Depth) {
   // An installed observer routes through the unbatched tier so
-  // onBlockExecuted/onBranchExecuted fire in program order.
-  if (Observer)
+  // onBlockExecuted/onBranchExecuted fire in program order. Tier entries
+  // are counted here (top-level entries only: recursion stays inside one
+  // tier's loop), so transitions between tiers show up in the metrics.
+  if (Observer) {
+    telemetry::count(telemetry::Counter::TierObserved);
     return execObserved(DF, Args, Depth);
+  }
 #ifdef NOELLE_INTERP_HAVE_CGOTO
-  if (Opts.Dispatch != DispatchMode::Switch)
+  if (Opts.Dispatch != DispatchMode::Switch) {
+    telemetry::count(telemetry::Counter::TierThreaded);
     return execThreaded(DF, Args, Depth);
+  }
 #endif
+  telemetry::count(telemetry::Counter::TierSwitch);
   return execSwitch(DF, Args, Depth);
 }
 

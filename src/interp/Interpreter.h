@@ -102,6 +102,12 @@ struct DispatchRecord {
   /// Instructions retired inside sequential segments (wait..signal),
   /// summed over all tasks: a lower bound on HELIX's serialized time.
   uint64_t TotalSegmentInstructions = 0;
+  /// Name of the dispatched task function ("fn.doall3", "fn.helix1",
+  /// "fn.dswp2.pipeline", ...). Provenance only — the planner's measured-
+  /// speedup feedback maps records back to plan entries through it; the
+  /// performance model never reads it, so the modeled numbers stay
+  /// byte-identical to records produced without it.
+  std::string TaskName;
 };
 
 /// Interprets a Module. Thread-safe for concurrent runFunction calls:

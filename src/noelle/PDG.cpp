@@ -5,12 +5,14 @@
 #include "ir/IDs.h"
 #include "ir/Instructions.h"
 #include "runtime/ThreadPool.h"
+#include "telemetry/Telemetry.h"
 
 #include <algorithm>
 #include <cstdlib>
 #include <sstream>
 
 using namespace noelle;
+namespace telemetry = noelle::telemetry;
 using nir::AliasResult;
 using nir::AllocaInst;
 using nir::BasicBlock;
@@ -405,7 +407,14 @@ void PDGBuilder::buildWholeSerial(PDG &G) {
   for (const auto &F : M.getFunctions()) {
     if (F->isDeclaration())
       continue;
+    const uint64_t T0 = telemetry::metricsEnabled() ? telemetry::nowNs() : 0;
     buildFunctionDeps(*F, G, G.getStatsMutable());
+    if (T0) {
+      const uint64_t T1 = telemetry::nowNs();
+      telemetry::count(telemetry::Counter::PDGFunctionsBuilt);
+      telemetry::record(telemetry::Hist::PDGFnBuildNs, T1 - T0);
+      telemetry::traceSpan("pdg.build:" + F->getName(), T0, T1);
+    }
   }
 }
 
@@ -432,12 +441,20 @@ void PDGBuilder::buildWholeParallel(PDG &G) {
   for (size_t I = 0; I < Defined.size(); ++I)
     Jobs.push_back([this, &Subs, &Defined, I] {
       Function &F = *Defined[I];
+      const uint64_t T0 =
+          telemetry::metricsEnabled() ? telemetry::nowNs() : 0;
       auto Sub = std::make_unique<PDG>();
       for (const auto &BB : F.getBlocks())
         for (const auto &Inst : BB->getInstList())
           Sub->addNode(Inst.get(), /*Internal=*/true);
       buildFunctionDeps(F, *Sub, Sub->getStatsMutable());
       Subs[I] = std::move(Sub);
+      if (T0) {
+        const uint64_t T1 = telemetry::nowNs();
+        telemetry::count(telemetry::Counter::PDGFunctionsBuilt);
+        telemetry::record(telemetry::Hist::PDGFnBuildNs, T1 - T0);
+        telemetry::traceSpan("pdg.build:" + F.getName(), T0, T1);
+      }
     });
   nir::analysisThreadPool().runIndependent(std::move(Jobs),
                                            Opts.Parallelism);
@@ -464,10 +481,12 @@ PDG &PDGBuilder::getPDG() {
     return *WholePDG;
   if (Opts.UseEmbedded) {
     if (auto Cached = PDG::loadEmbedded(M)) {
+      telemetry::count(telemetry::Counter::PDGEmbeddedHit);
       WholePDG = std::move(Cached);
       LoadedFromEmbedded = true;
       return *WholePDG;
     }
+    telemetry::count(telemetry::Counter::PDGEmbeddedMiss);
   }
   LoadedFromEmbedded = false;
   WholePDG = std::make_unique<PDG>();

@@ -22,6 +22,8 @@ std::string ProgramPlan::serialize() const {
     Out += " chunk=" + std::to_string(E.ChunkGrain);
     Out += " parent=" + std::to_string(E.Parent);
     Out += " speedup=" + std::to_string(E.SpeedupMilli);
+    if (E.MeasuredMilli != 0)
+      Out += " measured=" + std::to_string(E.MeasuredMilli);
     Out += "\n";
   }
   return Out;
@@ -118,6 +120,8 @@ bool ProgramPlan::deserialize(const std::string &Text, ProgramPlan &Out,
           E.Parent = std::stoi(Val);
         } else if (Key == "speedup") {
           E.SpeedupMilli = std::stoll(Val);
+        } else if (Key == "measured") {
+          E.MeasuredMilli = std::stoll(Val);
         } else {
           Err = "line " + std::to_string(LineNo) + ": unknown key '" +
                 Key + "'";

@@ -52,13 +52,20 @@ struct PlanEntry {
   /// Modeled speedup in milli-units (2310 = 2.31x) — integral so the
   /// wire format round-trips byte-identically.
   int64_t SpeedupMilli = 0;
+  /// Measured speedup in milli-units, written back by the planner
+  /// feedback pass (planner/Feedback.h) from DispatchRecords of an
+  /// actual run. 0 = never measured; the wire format omits the field
+  /// then, so unmeasured plans round-trip byte-identically with plans
+  /// written before this field existed.
+  int64_t MeasuredMilli = 0;
 
   bool operator==(const PlanEntry &O) const {
     return FunctionName == O.FunctionName &&
            HeaderInstID == O.HeaderInstID && LoopID == O.LoopID &&
            Kind == O.Kind && Workers == O.Workers &&
            ChunkGrain == O.ChunkGrain && Parent == O.Parent &&
-           SpeedupMilli == O.SpeedupMilli;
+           SpeedupMilli == O.SpeedupMilli &&
+           MeasuredMilli == O.MeasuredMilli;
   }
 };
 

@@ -3,6 +3,7 @@
 #include "ir/Instructions.h"
 #include "noelle/Architecture.h"
 #include "runtime/ThreadPool.h"
+#include "telemetry/Telemetry.h"
 
 #include <algorithm>
 #include <atomic>
@@ -21,6 +22,7 @@ using nir::ExecutionEngine;
 using nir::Function;
 using nir::RuntimeValue;
 using nir::ThreadPool;
+namespace telemetry = noelle::telemetry;
 
 namespace {
 
@@ -60,8 +62,11 @@ struct PrepareMemo {
       Epoch = Cur;
     }
     auto It = Map.find(Task);
-    if (It != Map.end())
+    if (It != Map.end()) {
+      telemetry::count(telemetry::Counter::PrepareMemoHit);
       return It->second;
+    }
+    telemetry::count(telemetry::Counter::PrepareMemoMiss);
     ExecutionEngine::PreparedFunction P = E.prepare(Task);
     Map.emplace(Task, P);
     return P;
@@ -88,10 +93,15 @@ struct PrepareMemo {
 void runDispatch(ExecutionEngine &E, PrepareMemo &Memo, Function *Task,
                  uint64_t EnvPtr, int64_t NumTasks, int64_t Grain) {
   nir::DispatchRecord Rec;
+  Rec.TaskName = Task->getName();
   if (NumTasks <= 0) {
     E.recordDispatch(Rec);
     return;
   }
+  telemetry::count(Grain <= 0 ? telemetry::Counter::DispatchStatic
+                              : telemetry::Counter::DispatchChunked);
+  const uint64_t DispatchT0 =
+      telemetry::metricsEnabled() ? telemetry::nowNs() : 0;
   size_t N = static_cast<size_t>(NumTasks);
   std::vector<uint64_t> Work(N, 0), Sync(N, 0), Seg(N, 0);
 
@@ -112,13 +122,27 @@ void runDispatch(ExecutionEngine &E, PrepareMemo &Memo, Function *Task,
     Seg[static_cast<size_t>(T)] = ThreadSegmentWork;
   };
 
+  // Static dispatches (HELIX workers, DSWP stages) carry few tasks, so a
+  // per-task span named after the task function is affordable; chunked
+  // DOALL traces at chunk granularity instead (below).
+  auto RunOneTraced = [&](int64_t T) {
+    if (telemetry::traceEnabled()) {
+      uint64_t T0 = telemetry::nowNs();
+      RunOne(T);
+      telemetry::traceSpan(Task->getName(), T0, telemetry::nowNs(),
+                           {"task", T, "tasks", NumTasks});
+    } else {
+      RunOne(T);
+    }
+  };
+
   ThreadPool &Pool = E.getThreadPool();
   std::vector<ThreadPool::Job> Jobs;
   std::atomic<int64_t> NextChunk{0};
   if (Grain <= 0) {
     Jobs.reserve(N);
     for (int64_t T = 0; T < NumTasks; ++T)
-      Jobs.push_back([&RunOne, T] { RunOne(T); });
+      Jobs.push_back([&RunOneTraced, T] { RunOneTraced(T); });
   } else {
     // Runner count: one per host core is enough, since runners never
     // block and each drains chunks until the counter is exhausted. A
@@ -143,12 +167,28 @@ void runDispatch(ExecutionEngine &E, PrepareMemo &Memo, Function *Task,
           if (Base >= NumTasks)
             break;
           int64_t End = std::min(Base + Grain, NumTasks);
-          for (int64_t T = Base; T < End; ++T)
-            RunOne(T);
+          telemetry::count(telemetry::Counter::DispatchChunks);
+          if (telemetry::traceEnabled()) {
+            uint64_t T0 = telemetry::nowNs();
+            for (int64_t T = Base; T < End; ++T)
+              RunOne(T);
+            telemetry::traceSpan("doall.chunk", T0, telemetry::nowNs(),
+                                 {"base", Base, "end", End});
+          } else {
+            for (int64_t T = Base; T < End; ++T)
+              RunOne(T);
+          }
         }
       });
   }
   Pool.run(std::move(Jobs)); // blocks on the completion latch
+
+  if (DispatchT0) {
+    uint64_t T1 = telemetry::nowNs();
+    telemetry::record(telemetry::Hist::DispatchNs, T1 - DispatchT0);
+    telemetry::traceSpan("dispatch", DispatchT0, T1,
+                         {"tasks", NumTasks, "grain", Grain});
+  }
 
   Rec.NumTasks = static_cast<uint64_t>(NumTasks);
   for (size_t T = 0; T < Work.size(); ++T) {
@@ -256,7 +296,21 @@ void noelle::registerParallelRuntime(ExecutionEngine &Engine) {
         int64_t Iter = A[2].I;
         ++ThreadSyncOps;
         ThreadSegmentCheckpoint = ExecutionEngine::readThreadRetired();
-        gateWait(&Gates[SS], Iter);
+        // Stall time is only measured when the gate is not already open,
+        // so the common fast path stays a single acquire load.
+        if (telemetry::metricsEnabled() &&
+            Gates[SS].load(std::memory_order_acquire) < Iter) {
+          uint64_t T0 = telemetry::nowNs();
+          gateWait(&Gates[SS], Iter);
+          uint64_t T1 = telemetry::nowNs();
+          telemetry::count(telemetry::Counter::SSWaitStalled);
+          telemetry::record(telemetry::Hist::SSWaitStallNs, T1 - T0);
+          telemetry::traceSpan("helix.ss_stall", T0, T1,
+                               {"ss", SS, "iter", Iter});
+        } else {
+          telemetry::count(telemetry::Counter::SSWaitFast);
+          gateWait(&Gates[SS], Iter);
+        }
         return RuntimeValue();
       });
 
@@ -290,7 +344,15 @@ void noelle::registerParallelRuntime(ExecutionEngine &Engine) {
       [](ExecutionEngine &, const CallInst *,
          const std::vector<RuntimeValue> &A) {
         ++ThreadSyncOps;
-        reinterpret_cast<nir::BlockingQueue *>(A[0].P)->push(A[1].I);
+        telemetry::count(telemetry::Counter::QueuePush);
+        auto *Q = reinterpret_cast<nir::BlockingQueue *>(A[0].P);
+        if (telemetry::traceEnabled()) {
+          uint64_t T0 = telemetry::nowNs();
+          Q->push(A[1].I);
+          telemetry::traceSpan("dswp.queue_push", T0, telemetry::nowNs());
+        } else {
+          Q->push(A[1].I);
+        }
         return RuntimeValue();
       });
 
@@ -299,8 +361,15 @@ void noelle::registerParallelRuntime(ExecutionEngine &Engine) {
       [](ExecutionEngine &, const CallInst *,
          const std::vector<RuntimeValue> &A) {
         ++ThreadSyncOps;
-        return RuntimeValue::ofInt(
-            reinterpret_cast<nir::BlockingQueue *>(A[0].P)->pop());
+        telemetry::count(telemetry::Counter::QueuePop);
+        auto *Q = reinterpret_cast<nir::BlockingQueue *>(A[0].P);
+        if (telemetry::traceEnabled()) {
+          uint64_t T0 = telemetry::nowNs();
+          int64_t V = Q->pop();
+          telemetry::traceSpan("dswp.queue_pop", T0, telemetry::nowNs());
+          return RuntimeValue::ofInt(V);
+        }
+        return RuntimeValue::ofInt(Q->pop());
       });
 }
 

@@ -1,10 +1,13 @@
 #include "runtime/ThreadPool.h"
 
+#include "telemetry/Telemetry.h"
+
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 
 using namespace nir;
+namespace telemetry = noelle::telemetry;
 
 /// Completion latch for one batch. Heap-allocated and shared with every
 /// wrapped job so a worker finishing the last job can never touch a
@@ -55,6 +58,7 @@ void ThreadPool::ensureWorkers(unsigned Target) {
     // NumWorkers always see an initialized Worker.
     NumWorkers.store(Cur, std::memory_order_release);
   }
+  telemetry::gaugeSet(telemetry::Gauge::PoolWorkers, Cur);
 }
 
 bool ThreadPool::tryTake(unsigned Self, Job &Out) {
@@ -75,8 +79,11 @@ bool ThreadPool::tryTake(unsigned Self, Job &Out) {
     } else {
       Out = std::move(W.Jobs.back());
       W.Jobs.pop_back();
+      telemetry::count(telemetry::Counter::PoolSteals);
     }
-    QueuedJobs.fetch_sub(1, std::memory_order_relaxed);
+    uint64_t Prev = QueuedJobs.fetch_sub(1, std::memory_order_relaxed);
+    telemetry::gaugeSet(telemetry::Gauge::PoolQueueDepth,
+                        static_cast<int64_t>(Prev) - 1);
     return true;
   }
   return false;
@@ -86,7 +93,14 @@ void ThreadPool::workerLoop(unsigned Index) {
   for (;;) {
     Job J;
     if (tryTake(Index, J)) {
-      J();
+      telemetry::count(telemetry::Counter::PoolTasksRun);
+      if (telemetry::traceEnabled()) {
+        uint64_t T0 = telemetry::nowNs();
+        J();
+        telemetry::traceSpan("pool.task", T0, telemetry::nowNs());
+      } else {
+        J();
+      }
       continue;
     }
     std::unique_lock<std::mutex> Lock(PoolMutex);
@@ -94,10 +108,12 @@ void ThreadPool::workerLoop(unsigned Index) {
       return;
     if (QueuedJobs.load(std::memory_order_relaxed) > 0)
       continue; // Raced with a producer; rescan the deques.
+    telemetry::count(telemetry::Counter::PoolParks);
     WorkCV.wait(Lock, [&] {
       return ShuttingDown ||
              QueuedJobs.load(std::memory_order_relaxed) > 0;
     });
+    telemetry::count(telemetry::Counter::PoolUnparks);
     if (ShuttingDown)
       return;
   }
@@ -126,10 +142,17 @@ void ThreadPool::run(std::vector<Job> Jobs) {
   }
 
   auto L = std::make_shared<Latch>(N);
+  // Enqueue-time stamp per job feeds the dispatch-to-start latency
+  // histogram; zero (telemetry off) skips both clock reads.
+  const bool Stamp = telemetry::metricsEnabled();
   std::vector<Job> Wrapped;
   Wrapped.reserve(N);
   for (size_t I = 0; I < N; ++I)
-    Wrapped.push_back([this, L, J = std::move(Jobs[I])]() mutable {
+    Wrapped.push_back([this, L, EnqNs = Stamp ? telemetry::nowNs() : 0,
+                       J = std::move(Jobs[I])]() mutable {
+      if (EnqNs)
+        telemetry::record(telemetry::Hist::DispatchToStartNs,
+                          telemetry::nowNs() - EnqNs);
       J();
       OutstandingJobs.fetch_sub(1, std::memory_order_acq_rel);
       L->countDown();
@@ -150,7 +173,9 @@ void ThreadPool::enqueue(std::vector<Job> &&Wrapped) {
       std::lock_guard<std::mutex> Lock(W.M);
       W.Jobs.push_back(std::move(Wrapped[I]));
     }
-    QueuedJobs.fetch_add(1, std::memory_order_release);
+    uint64_t Now = QueuedJobs.fetch_add(1, std::memory_order_release) + 1;
+    telemetry::gaugeSet(telemetry::Gauge::PoolQueueDepth,
+                        static_cast<int64_t>(Now));
   }
   {
     // Pair with the idle-wait predicate so no worker misses the wakeup.
@@ -180,10 +205,15 @@ void ThreadPool::runIndependent(std::vector<Job> Jobs, unsigned Parallelism) {
   }
 
   auto L = std::make_shared<Latch>(N);
+  const bool Stamp = telemetry::metricsEnabled();
   std::vector<Job> Wrapped;
   Wrapped.reserve(N);
   for (size_t I = 0; I < N; ++I)
-    Wrapped.push_back([L, J = std::move(Jobs[I])]() mutable {
+    Wrapped.push_back([L, EnqNs = Stamp ? telemetry::nowNs() : 0,
+                       J = std::move(Jobs[I])]() mutable {
+      if (EnqNs)
+        telemetry::record(telemetry::Hist::DispatchToStartNs,
+                          telemetry::nowNs() - EnqNs);
       J();
       L->countDown();
     });

@@ -13,6 +13,8 @@
 #ifndef RUNTIME_THREADPOOL_H
 #define RUNTIME_THREADPOOL_H
 
+#include "telemetry/Telemetry.h"
+
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
@@ -127,12 +129,18 @@ public:
     std::unique_lock<std::mutex> Lock(M);
     NotFull.wait(Lock, [&] { return Items.size() < Capacity; });
     Items.push_back(V);
+    // Occupancy sampled under the queue lock: the size after a push (and
+    // before a pop) is the channel's instantaneous depth.
+    noelle::telemetry::record(noelle::telemetry::Hist::QueueOccupancy,
+                              Items.size());
     NotEmpty.notify_one();
   }
 
   int64_t pop() {
     std::unique_lock<std::mutex> Lock(M);
     NotEmpty.wait(Lock, [&] { return !Items.empty(); });
+    noelle::telemetry::record(noelle::telemetry::Hist::QueueOccupancy,
+                              Items.size());
     int64_t V = Items.front();
     Items.pop_front();
     NotFull.notify_one();

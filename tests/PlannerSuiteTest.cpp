@@ -12,12 +12,15 @@
 
 #include "benchmarks/Suite.h"
 #include "frontend/MiniC.h"
+#include "planner/Feedback.h"
 #include "planner/Planner.h"
 #include "runtime/ParallelRuntime.h"
 #include "verify/NoelleCheck.h"
 #include "verify/PlanCheck.h"
 
 #include <gtest/gtest.h>
+
+#include <cstdio>
 
 using namespace noelle;
 using nir::Context;
@@ -67,6 +70,36 @@ TEST_P(PlannerSuiteTest, PlanApplyCheckExecute) {
   ExecutionEngine E(*M);
   registerParallelRuntime(E);
   EXPECT_EQ(E.runMain(), Expected) << B->Name;
+
+  // Feedback: measured speedups from the run's DispatchRecords flow
+  // back into the plan. Every top-level entry that dispatched must be
+  // measurable (the record→origin→entry join holds), and a measured
+  // plan must still round-trip through the wire format.
+  planner::FeedbackResult FB = planner::applyMeasuredSpeedups(
+      Plan, *M, E.getDispatchRecords());
+  if (!E.getDispatchRecords().empty())
+    EXPECT_GT(FB.EntriesMeasured, 0u)
+        << B->Name << ": no dispatch record mapped back to a plan entry";
+  // Shortfalls (measured < 0.8x of the estimate) are a warning metric,
+  // not a failure: the estimate comes from static weights, the
+  // measurement from real records, and honest disagreement is exactly
+  // what the planner.feedback.speedup_shortfall counter exists to
+  // surface.
+  for (const auto &En : Plan.Entries)
+    if (En.MeasuredMilli != 0 &&
+        static_cast<double>(En.MeasuredMilli) <
+            0.8 * static_cast<double>(En.SpeedupMilli))
+      std::fprintf(stderr,
+                   "[planner-feedback] %s %s: measured %lldm < 0.8x "
+                   "planned %lldm\n",
+                   B->Name.c_str(), En.FunctionName.c_str(),
+                   static_cast<long long>(En.MeasuredMilli),
+                   static_cast<long long>(En.SpeedupMilli));
+  planner::ProgramPlan RT;
+  std::string Err;
+  ASSERT_TRUE(planner::ProgramPlan::deserialize(Plan.serialize(), RT, Err))
+      << Err;
+  EXPECT_TRUE(RT == Plan) << B->Name << ": measured plan round-trip";
 }
 
 std::vector<std::string> allKernelNames() {

@@ -1,0 +1,303 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Unit tests for the telemetry layer (obs-suite): histogram percentile
+/// math on hand-built bucket arrays, exact shard-merge totals under
+/// concurrent writers (including after writer threads exit and their
+/// shards retire), metrics/trace JSON schema, and the load-bearing
+/// invariant that enabling tracing leaves DispatchRecords byte-for-byte
+/// identical — the Figure-5 performance model must not see telemetry.
+///
+//===----------------------------------------------------------------------===//
+
+#include "telemetry/Telemetry.h"
+
+#include "benchmarks/Suite.h"
+#include "frontend/MiniC.h"
+#include "interp/Interpreter.h"
+#include "noelle/Noelle.h"
+#include "planner/Planner.h"
+#include "runtime/ParallelRuntime.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace noelle;
+namespace telemetry = noelle::telemetry;
+
+namespace {
+
+/// Every test starts and ends with a quiet, disabled registry so cases
+/// compose in any order within the suite binary.
+class TelemetryTest : public ::testing::Test {
+protected:
+  void SetUp() override { reset(); }
+  void TearDown() override { reset(); }
+  static void reset() {
+    telemetry::setMode(telemetry::Mode::Off);
+    telemetry::resetMetrics();
+    telemetry::clearTrace();
+  }
+};
+
+/// Structural JSON sanity without a parser: balanced braces/brackets
+/// outside strings, and an even number of unescaped quotes.
+void expectBalancedJson(const std::string &S) {
+  int Braces = 0, Brackets = 0;
+  bool InString = false;
+  for (size_t I = 0; I < S.size(); ++I) {
+    char C = S[I];
+    if (InString) {
+      if (C == '\\')
+        ++I;
+      else if (C == '"')
+        InString = false;
+      continue;
+    }
+    if (C == '"')
+      InString = true;
+    else if (C == '{')
+      ++Braces;
+    else if (C == '}')
+      --Braces;
+    else if (C == '[')
+      ++Brackets;
+    else if (C == ']')
+      --Brackets;
+    ASSERT_GE(Braces, 0);
+    ASSERT_GE(Brackets, 0);
+  }
+  EXPECT_FALSE(InString);
+  EXPECT_EQ(Braces, 0);
+  EXPECT_EQ(Brackets, 0);
+}
+
+} // namespace
+
+TEST_F(TelemetryTest, PercentileOfEmptyHistogramIsZero) {
+  uint64_t Buckets[64] = {};
+  EXPECT_DOUBLE_EQ(telemetry::histogramPercentile(Buckets, 0.50), 0.0);
+  EXPECT_DOUBLE_EQ(telemetry::histogramPercentile(Buckets, 0.99), 0.0);
+}
+
+TEST_F(TelemetryTest, PercentileOfAllZeroValuesIsZero) {
+  uint64_t Buckets[64] = {};
+  Buckets[0] = 1000; // bucket 0 holds exact zeros
+  EXPECT_DOUBLE_EQ(telemetry::histogramPercentile(Buckets, 0.50), 0.0);
+  EXPECT_DOUBLE_EQ(telemetry::histogramPercentile(Buckets, 0.99), 0.0);
+}
+
+TEST_F(TelemetryTest, PercentileInterpolatesWithinOneBucket) {
+  // 100 samples in bucket 4, which spans [8, 15]. Nearest-rank with
+  // linear interpolation: p50 lands mid-bucket, p99 near the top.
+  uint64_t Buckets[64] = {};
+  Buckets[4] = 100;
+  EXPECT_DOUBLE_EQ(telemetry::histogramPercentile(Buckets, 0.50),
+                   8.0 + 7.0 * 0.50);
+  EXPECT_DOUBLE_EQ(telemetry::histogramPercentile(Buckets, 0.99),
+                   8.0 + 7.0 * 0.99);
+}
+
+TEST_F(TelemetryTest, PercentileCrossesBuckets) {
+  // Bimodal: 50 samples of exactly 1, 50 samples in [512, 1023]. The
+  // median sits in the low mode, p95 deep in the high mode.
+  uint64_t Buckets[64] = {};
+  Buckets[1] = 50;  // [1, 1]
+  Buckets[10] = 50; // [512, 1023]
+  EXPECT_DOUBLE_EQ(telemetry::histogramPercentile(Buckets, 0.50), 1.0);
+  EXPECT_DOUBLE_EQ(telemetry::histogramPercentile(Buckets, 0.95),
+                   512.0 + 511.0 * ((95.0 - 50.0) / 50.0));
+}
+
+TEST_F(TelemetryTest, PercentilesAreMonotonicInQ) {
+  uint64_t Buckets[64] = {};
+  Buckets[3] = 7;
+  Buckets[8] = 21;
+  Buckets[20] = 2;
+  double Last = 0;
+  for (double Q : {0.01, 0.25, 0.50, 0.75, 0.95, 0.99, 1.0}) {
+    double P = telemetry::histogramPercentile(Buckets, Q);
+    EXPECT_GE(P, Last) << "at q=" << Q;
+    Last = P;
+  }
+}
+
+TEST_F(TelemetryTest, DisabledModeRecordsNothing) {
+  ASSERT_EQ(telemetry::mode(), telemetry::Mode::Off);
+  telemetry::count(telemetry::Counter::PoolTasksRun, 5);
+  telemetry::record(telemetry::Hist::DecodeNs, 123);
+  telemetry::gaugeSet(telemetry::Gauge::PoolWorkers, 9);
+  telemetry::traceSpan("ignored", 0, 1000);
+  const auto Snap = telemetry::snapshotMetrics();
+  EXPECT_EQ(Snap.counter(telemetry::Counter::PoolTasksRun), 0u);
+  ASSERT_NE(Snap.histogram(telemetry::Hist::DecodeNs), nullptr);
+  EXPECT_EQ(Snap.histogram(telemetry::Hist::DecodeNs)->Count, 0u);
+  EXPECT_EQ(telemetry::traceEventCount(), 0u);
+}
+
+TEST_F(TelemetryTest, CountersHistogramsAndResetRoundTrip) {
+  telemetry::setMode(telemetry::Mode::Metrics);
+  telemetry::count(telemetry::Counter::QueuePush, 3);
+  telemetry::count(telemetry::Counter::QueuePush);
+  telemetry::record(telemetry::Hist::QueueOccupancy, 2);
+  telemetry::record(telemetry::Hist::QueueOccupancy, 10);
+  telemetry::gaugeSet(telemetry::Gauge::PoolQueueDepth, 7);
+  telemetry::gaugeSet(telemetry::Gauge::PoolQueueDepth, 3);
+
+  auto Snap = telemetry::snapshotMetrics();
+  EXPECT_EQ(Snap.counter(telemetry::Counter::QueuePush), 4u);
+  const auto *H = Snap.histogram(telemetry::Hist::QueueOccupancy);
+  ASSERT_NE(H, nullptr);
+  EXPECT_EQ(H->Count, 2u);
+  EXPECT_EQ(H->Sum, 12u);
+  bool FoundGauge = false;
+  for (const auto &[Name, G] : Snap.Gauges)
+    if (Name == std::string("pool.queue_depth")) {
+      FoundGauge = true;
+      EXPECT_EQ(G.Value, 3);
+      EXPECT_EQ(G.Max, 7); // watermark survives the lower re-set
+    }
+  EXPECT_TRUE(FoundGauge);
+
+  telemetry::resetMetrics();
+  Snap = telemetry::snapshotMetrics();
+  EXPECT_EQ(Snap.counter(telemetry::Counter::QueuePush), 0u);
+  EXPECT_EQ(Snap.histogram(telemetry::Hist::QueueOccupancy)->Count, 0u);
+}
+
+TEST_F(TelemetryTest, ShardMergeIsExactAcrossThreadsAndRetirement) {
+  telemetry::setMode(telemetry::Mode::Metrics);
+  constexpr unsigned NumThreads = 8;
+  constexpr uint64_t PerThread = 10000;
+  {
+    std::vector<std::thread> Threads;
+    for (unsigned T = 0; T < NumThreads; ++T)
+      Threads.emplace_back([] {
+        for (uint64_t I = 0; I < PerThread; ++I) {
+          telemetry::count(telemetry::Counter::PoolSteals);
+          telemetry::record(telemetry::Hist::DispatchNs, I & 1023);
+        }
+      });
+    for (auto &T : Threads)
+      T.join();
+  }
+  // All writer threads have exited: their shards are retired. The merge
+  // must still see every increment, exactly once.
+  const uint64_t Want = NumThreads * PerThread;
+  auto Snap = telemetry::snapshotMetrics();
+  EXPECT_EQ(Snap.counter(telemetry::Counter::PoolSteals), Want);
+  EXPECT_EQ(Snap.histogram(telemetry::Hist::DispatchNs)->Count, Want);
+  // Snapshots are pure reads: taking another changes nothing.
+  auto Snap2 = telemetry::snapshotMetrics();
+  EXPECT_EQ(Snap2.counter(telemetry::Counter::PoolSteals), Want);
+  EXPECT_EQ(Snap2.histogram(telemetry::Hist::DispatchNs)->Sum,
+            Snap.histogram(telemetry::Hist::DispatchNs)->Sum);
+}
+
+TEST_F(TelemetryTest, MetricsJsonListsEveryMetricEvenWhenZero) {
+  telemetry::setMode(telemetry::Mode::Metrics);
+  telemetry::count(telemetry::Counter::DecodeMiss, 2);
+  const std::string Json = telemetry::metricsJson();
+  expectBalancedJson(Json);
+  EXPECT_NE(Json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(Json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(Json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(Json.find("\"interp.decode.miss\": 2"), std::string::npos);
+  // Untouched metrics still appear (stable schema), with zero values.
+  EXPECT_NE(Json.find("\"pool.steals\": 0"), std::string::npos);
+  EXPECT_NE(Json.find("\"noelle.pdg.fn_build_ns\""), std::string::npos);
+}
+
+TEST_F(TelemetryTest, TraceJsonIsChromeLoadableShape) {
+  telemetry::setMode(telemetry::Mode::Trace);
+  const uint64_t T0 = telemetry::nowNs();
+  telemetry::traceSpan("unit.a", T0, T0 + 2000, {"tasks", 4, "chunk", 2});
+  telemetry::traceSpan("unit.b", T0 + 500, T0 + 1500);
+  std::thread([&] {
+    telemetry::traceSpan("unit.worker", T0 + 100, T0 + 900);
+  }).join();
+
+  EXPECT_EQ(telemetry::traceEventCount(), 3u);
+  const std::string Json = telemetry::traceJson();
+  expectBalancedJson(Json);
+  EXPECT_NE(Json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(Json.find("\"name\": \"unit.a\""), std::string::npos);
+  EXPECT_NE(Json.find("\"name\": \"unit.worker\""), std::string::npos);
+  EXPECT_NE(Json.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(Json.find("\"cat\": \"noelle\""), std::string::npos);
+  EXPECT_NE(Json.find("\"ts\": "), std::string::npos);
+  EXPECT_NE(Json.find("\"dur\": "), std::string::npos);
+  EXPECT_NE(Json.find("\"tasks\": 4"), std::string::npos);
+  EXPECT_NE(Json.find("\"chunk\": 2"), std::string::npos);
+
+  telemetry::clearTrace();
+  EXPECT_EQ(telemetry::traceEventCount(), 0u);
+}
+
+TEST_F(TelemetryTest, JsonEscapeHandlesControlAndQuoteCharacters) {
+  EXPECT_EQ(telemetry::jsonEscape("plain"), "plain");
+  EXPECT_EQ(telemetry::jsonEscape("a\"b\\c"), "a\\\"b\\\\c");
+  EXPECT_EQ(telemetry::jsonEscape("tab\there"), "tab\\there");
+}
+
+TEST_F(TelemetryTest, DispatchRecordsAreByteIdenticalUnderTracing) {
+  // Parallelize one suite kernel with the planner, then execute the
+  // same transformed module once with telemetry off and once with full
+  // tracing. The records the Figure-5 model consumes must be identical
+  // in every field — including the counts the instrumented runtime
+  // paths (dispatch, pool, queues) are now also reporting to telemetry.
+  const bench::Benchmark *Kernel = nullptr;
+  nir::Context Ctx;
+  std::unique_ptr<nir::Module> M;
+  for (const auto &B : bench::getBenchmarkSuite()) {
+    if (B.Suite == "SPEC")
+      continue;
+    auto Cand = minic::compileMiniCOrDie(Ctx, B.Source);
+    Noelle N(*Cand);
+    planner::PlannerOptions PO;
+    PO.MaxWorkers = 4;
+    planner::Planner P(N, PO);
+    unsigned Parallelized = 0;
+    for (const auto &D : P.planAndApply())
+      Parallelized += D.Parallelized;
+    if (Parallelized > 0) {
+      Kernel = &B;
+      M = std::move(Cand);
+      break;
+    }
+  }
+  ASSERT_NE(Kernel, nullptr) << "no parallelizable kernel in the suite";
+
+  auto RunOnce = [&](telemetry::Mode Mode, int64_t &Ret) {
+    telemetry::setMode(Mode);
+    nir::ExecutionEngine E(*M);
+    registerParallelRuntime(E);
+    Ret = E.runMain();
+    telemetry::setMode(telemetry::Mode::Off);
+    return E.getDispatchRecords();
+  };
+  int64_t RetOff = 0, RetTraced = 0;
+  const auto Off = RunOnce(telemetry::Mode::Off, RetOff);
+  const auto Traced = RunOnce(telemetry::Mode::Trace, RetTraced);
+
+  EXPECT_EQ(RetOff, RetTraced);
+  EXPECT_GT(telemetry::traceEventCount(), 0u);
+  ASSERT_FALSE(Off.empty()) << Kernel->Name << " dispatched no regions";
+  ASSERT_EQ(Off.size(), Traced.size());
+  for (size_t I = 0; I < Off.size(); ++I) {
+    const auto &A = Off[I], &B = Traced[I];
+    EXPECT_EQ(A.NumTasks, B.NumTasks) << "record " << I;
+    EXPECT_EQ(A.MaxTaskInstructions, B.MaxTaskInstructions) << "record " << I;
+    EXPECT_EQ(A.TotalTaskInstructions, B.TotalTaskInstructions)
+        << "record " << I;
+    EXPECT_EQ(A.MaxTaskSyncOps, B.MaxTaskSyncOps) << "record " << I;
+    EXPECT_EQ(A.TotalTaskSyncOps, B.TotalTaskSyncOps) << "record " << I;
+    EXPECT_EQ(A.TotalSegmentInstructions, B.TotalSegmentInstructions)
+        << "record " << I;
+    EXPECT_EQ(A.TaskName, B.TaskName) << "record " << I;
+  }
+}

@@ -17,6 +17,7 @@
 #include "frontend/MiniC.h"
 #include "ir/Parser.h"
 #include "planner/Plan.h"
+#include "telemetry/Telemetry.h"
 
 #include <cstdio>
 #include <cstring>
@@ -104,6 +105,32 @@ inline bool parseStringOpt(const std::string &Arg, const char *Prefix,
   if (Arg.rfind(Prefix, 0) != 0)
     return false;
   Out = Arg.substr(L);
+  return true;
+}
+
+/// Matches the shared "--metrics=<path>" flag. On match, switches the
+/// telemetry layer to (at least) metrics mode so the counters the run
+/// touches are live; the snapshot is written by writeMetricsIfRequested
+/// at tool exit.
+inline bool parseMetricsOpt(const std::string &Arg, std::string &Path) {
+  if (!parseStringOpt(Arg, "--metrics=", Path))
+    return false;
+  if (telemetry::mode() == telemetry::Mode::Off)
+    telemetry::setMode(telemetry::Mode::Metrics);
+  return true;
+}
+
+/// Writes the canonical metrics snapshot (telemetry::metricsJson) to
+/// \p Path when nonempty. Returns false (after printing) on I/O errors.
+inline bool writeMetricsIfRequested(const char *Tool,
+                                    const std::string &Path) {
+  if (Path.empty())
+    return true;
+  if (!telemetry::writeFile(Path, telemetry::metricsJson() + "\n")) {
+    std::fprintf(stderr, "%s: cannot write metrics to '%s'\n", Tool,
+                 Path.c_str());
+    return false;
+  }
   return true;
 }
 

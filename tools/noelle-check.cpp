@@ -34,7 +34,12 @@
 ///                                      detector), "none"
 ///   --stats                            print per-rule discharge counts,
 ///                                      Andersen-fallback counts, and
-///                                      detector wall time
+///                                      detector wall time as one JSON
+///                                      object (the metrics-snapshot
+///                                      shape)
+///   --metrics=<path>                   enable the telemetry registry
+///                                      and write its JSON snapshot to
+///                                      <path> on exit
 ///   --no-legality                      skip the legality checker
 ///   --plan                             audit a parallelization plan
 ///                                      instead of transform results:
@@ -82,6 +87,7 @@ struct CLIOptions {
   bool Stats = false;
   bool PlanMode = false;
   std::string PlanFile;
+  std::string MetricsPath;
   std::string Input;
   verify::RaceDetectorOptions RaceOpts;
 };
@@ -90,8 +96,8 @@ void printUsage() {
   std::fprintf(stderr,
                "usage: noelle-check [--transform=doall|helix|dswp|all] "
                "[--cores=N] [--opt] [--lint] [--no-races] "
-               "[--race-rules=LIST] [--stats] [--no-legality] "
-               "[--plan] [--plan-file=F] "
+               "[--race-rules=LIST] [--stats] [--metrics=F] "
+               "[--no-legality] [--plan] [--plan-file=F] "
                "[--list] <kernel-name | minic-file>\n");
 }
 
@@ -196,6 +202,8 @@ bool parseArgs(int Argc, char **Argv, CLIOptions &Opts) {
       Opts.Stats = true;
       continue;
     }
+    if (tooldriver::parseMetricsOpt(Arg, Opts.MetricsPath))
+      continue;
     if (Arg == "--no-legality") {
       Opts.Legality = false;
       continue;
@@ -317,21 +325,25 @@ unsigned checkOne(const std::string &Source, const std::string &Transform,
   if (!Rep.clean())
     std::printf("%s", Rep.str().c_str());
   if (Opts.Stats) {
+    // Machine-readable, mirroring the metrics-snapshot shape: detector
+    // counters under "counters", per-rule discharges under "discharged".
+    namespace telemetry = noelle::telemetry;
     double Ms = std::chrono::duration<double, std::milli>(T1 - T0).count();
-    std::printf("   race stats: pairs=%llu andersen-fallback=%llu "
-                "races=%llu dup-suppressed=%llu check-ms=%.2f\n",
-                static_cast<unsigned long long>(Stats.PairsChecked),
-                static_cast<unsigned long long>(Stats.AndersenFallback),
-                static_cast<unsigned long long>(Stats.RacesReported),
-                static_cast<unsigned long long>(Stats.DuplicatesSuppressed),
-                Ms);
-    std::printf("   discharged:");
-    if (Stats.Discharged.empty())
-      std::printf(" (none)");
+    telemetry::JsonObject Counters;
+    Counters.add("race.pairs_checked", Stats.PairsChecked)
+        .add("race.andersen_fallback", Stats.AndersenFallback)
+        .add("race.races_reported", Stats.RacesReported)
+        .add("race.duplicates_suppressed", Stats.DuplicatesSuppressed);
+    telemetry::JsonObject Discharged;
     for (const auto &[Rule, N] : Stats.Discharged)
-      std::printf(" %s=%llu", Rule.c_str(),
-                  static_cast<unsigned long long>(N));
-    std::printf("\n");
+      Discharged.add(Rule, N);
+    telemetry::JsonObject Root;
+    Root.add("tool", std::string("noelle-check"))
+        .add("transform", Transform)
+        .add("check_ms", Ms)
+        .addRaw("counters", Counters.str())
+        .addRaw("discharged", Discharged.str());
+    std::printf("%s\n", Root.str().c_str());
   }
   return static_cast<unsigned>(Rep.diagnostics().size());
 }
@@ -356,5 +368,8 @@ int main(int Argc, char **Argv) {
 
   if (Findings == 0)
     std::printf("noelle-check: clean\n");
+  if (!tooldriver::writeMetricsIfRequested("noelle-check",
+                                           Opts.MetricsPath))
+    return 2;
   return Findings == 0 ? 0 : 1;
 }

@@ -18,7 +18,10 @@
 ///   --run                 execute main() after optimizing; print the
 ///                         program output and return value
 ///   --stats               print pass statistics and per-pass
-///                         abstraction requests to stderr
+///                         abstraction requests to stderr as one JSON
+///                         object (the metrics-snapshot shape)
+///   --metrics=<path>      enable the telemetry registry and write its
+///                         JSON snapshot to <path> on exit
 ///   --no-print            suppress printing the optimized module
 ///   --list                list benchmark kernels and exit
 ///
@@ -42,7 +45,7 @@ using namespace noelle;
 int main(int argc, char **argv) {
   opt::PipelineOptions Opts;
   bool Run = false, Stats = false, Print = true;
-  std::string Input;
+  std::string Input, MetricsPath;
 
   for (int I = 1; I < argc; ++I) {
     const std::string A = argv[I];
@@ -67,6 +70,8 @@ int main(int argc, char **argv) {
       Stats = true;
     else if (A == "--no-print")
       Print = false;
+    else if (tooldriver::parseMetricsOpt(A, MetricsPath))
+      ;
     else if (A == "--list") {
       tooldriver::listKernels();
       return 0;
@@ -95,23 +100,30 @@ int main(int argc, char **argv) {
   const opt::PipelineStats S = opt::runPipeline(*M, Opts);
 
   if (Stats) {
-    std::fprintf(stderr,
-                 "inlined=%llu gvn=%llu dce=%llu hoisted=%llu "
-                 "unrolled=%llu vector-insts=%llu stores-packed=%llu\n",
-                 (unsigned long long)S.CallsInlined,
-                 (unsigned long long)S.GVNReplaced,
-                 (unsigned long long)S.DCERemoved,
-                 (unsigned long long)S.InstructionsHoisted,
-                 (unsigned long long)S.LoopsUnrolled,
-                 (unsigned long long)S.VectorInstsEmitted,
-                 (unsigned long long)S.StoresVectorized);
+    // Machine-readable, mirroring the metrics-snapshot shape: pipeline
+    // counters under "counters", per-pass abstraction requests under
+    // "passes".
+    namespace telemetry = noelle::telemetry;
+    telemetry::JsonObject Counters;
+    Counters.add("opt.inlined", S.CallsInlined)
+        .add("opt.gvn", S.GVNReplaced)
+        .add("opt.dce", S.DCERemoved)
+        .add("opt.hoisted", S.InstructionsHoisted)
+        .add("opt.unrolled", S.LoopsUnrolled)
+        .add("opt.vector_insts", S.VectorInstsEmitted)
+        .add("opt.stores_packed", S.StoresVectorized);
+    telemetry::JsonObject Passes;
     for (const auto &[Pass, Set] : S.PassAbstractions) {
       std::string Names;
       for (const auto &Name : Set.names())
         Names += (Names.empty() ? "" : ",") + Name;
-      std::fprintf(stderr, "pass %-8s abstractions: %s\n", Pass.c_str(),
-                   Names.empty() ? "-" : Names.c_str());
+      Passes.add(Pass, Names);
     }
+    telemetry::JsonObject Root;
+    Root.add("tool", std::string("noelle-opt"))
+        .addRaw("counters", Counters.str())
+        .addRaw("passes", Passes.str());
+    std::fprintf(stderr, "%s\n", Root.str().c_str());
   }
 
   if (Print)
@@ -122,5 +134,7 @@ int main(int argc, char **argv) {
     std::fputs(E.getOutput().c_str(), stdout);
     std::printf("main() = %lld\n", (long long)R);
   }
+  if (!tooldriver::writeMetricsIfRequested("noelle-opt", MetricsPath))
+    return 2;
   return 0;
 }

@@ -29,6 +29,8 @@
 ///                        legality/race audit
 ///   --opt                run the optimizer pipeline first
 ///   --run                execute main() after transforming
+///   --metrics=<path>     enable the telemetry registry and write its
+///                        JSON snapshot to <path> on exit
 ///   --print              print the transformed module to stdout
 ///   --list               list benchmark kernels and exit
 ///
@@ -43,6 +45,7 @@
 #include "ir/Verifier.h"
 #include "noelle/Noelle.h"
 #include "opt/Passes.h"
+#include "planner/Feedback.h"
 #include "planner/Planner.h"
 #include "runtime/ParallelRuntime.h"
 #include "verify/NoelleCheck.h"
@@ -68,6 +71,7 @@ struct CLIOptions {
   bool Optimize = false;
   bool Run = false;
   bool Print = false;
+  std::string MetricsPath;
   std::string Input;
 };
 
@@ -146,6 +150,8 @@ bool parseArgs(int Argc, char **Argv, CLIOptions &O) {
       O.Print = true;
       continue;
     }
+    if (tooldriver::parseMetricsOpt(Arg, O.MetricsPath))
+      continue;
     if (!Arg.empty() && Arg[0] == '-') {
       std::fprintf(stderr, "noelle-parallelize: unknown option '%s'\n",
                    Arg.c_str());
@@ -225,6 +231,9 @@ int main(int Argc, char **Argv) {
       std::fputs(E.getOutput().c_str(), stdout);
       std::printf("main() = %lld\n", (long long)R);
     }
+    if (!tooldriver::writeMetricsIfRequested("noelle-parallelize",
+                                             O.MetricsPath))
+      return 2;
     return 0;
   }
 
@@ -268,6 +277,9 @@ int main(int Argc, char **Argv) {
   if (O.PlanOnly) {
     if (O.Print)
       M->print(std::cout);
+    if (!tooldriver::writeMetricsIfRequested("noelle-parallelize",
+                                             O.MetricsPath))
+      return 2;
     return 0;
   }
 
@@ -293,6 +305,23 @@ int main(int Argc, char **Argv) {
     const int64_t R = E.runMain();
     std::fputs(E.getOutput().c_str(), stdout);
     std::printf("main() = %lld\n", (long long)R);
+
+    // Close the loop: annotate the plan with the speedups the run
+    // actually delivered (PlanEntry::MeasuredMilli), and refresh the
+    // embedded copy so a saved plan records both numbers.
+    planner::FeedbackResult FB = planner::applyMeasuredSpeedups(
+        Plan, *M, E.getDispatchRecords());
+    if (FB.EntriesMeasured > 0) {
+      std::printf("noelle-parallelize: measured %u plan entr%s"
+                  " (%u below 0.8x of estimate)\n",
+                  FB.EntriesMeasured,
+                  FB.EntriesMeasured == 1 ? "y" : "ies", FB.Shortfalls);
+      if (O.SavePlan)
+        Plan.embed(*M);
+    }
   }
+  if (!tooldriver::writeMetricsIfRequested("noelle-parallelize",
+                                           O.MetricsPath))
+    return 2;
   return AnyEntryFailed ? 1 : 0;
 }

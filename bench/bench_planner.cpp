@@ -174,7 +174,7 @@ int main(int Argc, char **Argv) {
 
   char Tail[160];
   std::snprintf(Tail, sizeof(Tail),
-                "\n  ],\n  \"within_10pct\": %u,\n  \"kernels\": %u,\n"
+                "\n  ],\n  \"within_10pct\": %u,\n  \"kernel_count\": %u,\n"
                 "  \"plans_audit_clean\": %u\n}\n",
                 Within10, Kernels, AuditClean);
   JSON += Tail;

@@ -269,6 +269,34 @@ std::vector<Benchmark> buildSuite() {
   )",
                "two heavyweight chained stages (DSWP showcase)"});
 
+  S.push_back({"x264", "PARSEC", R"(
+    // Motion compensation (PARSEC x264 stand-in): each macroblock
+    // writes one 16-pixel slice of the frame through a block-offset
+    // table. The table is a permutation, so at runtime no two blocks
+    // ever touch the same pixels -- but the indirect stores defeat
+    // static disambiguation, leaving the block loop sequential for
+    // every non-speculative technique.
+    int off[256];
+    int frame[4096];
+    int main() {
+      for (int i = 0; i < 256; i = i + 1) off[i] = ((i * 37) % 256) * 16;
+      for (int i = 0; i < 4096; i = i + 1) frame[i] = (i * 7) % 251;
+      for (int r = 0; r < 24; r = r + 1) {
+        for (int b = 0; b < 256; b = b + 1) {
+          int base = off[b];
+          for (int k = 0; k < 16; k = k + 1) {
+            frame[base + k] = frame[base + k] + ((b * 31 + k + r) % 97);
+          }
+        }
+      }
+      int sum = 0;
+      for (int i = 0; i < 4096; i = i + 1) sum = sum + frame[i];
+      return sum % 1000003;
+    }
+  )",
+               "disjoint indirect block updates: statically sequential, "
+               "parallel under speculation"});
+
   //===------------------------------------------------------------------===//
   // MiBench-like kernels
   //===------------------------------------------------------------------===//

@@ -82,6 +82,13 @@ public:
   virtual void onBranchExecuted(const BranchInst *Br, unsigned Taken) {}
   /// A call is about to run (direct calls to defined functions only).
   virtual void onCallExecuted(const CallInst *Call, const Function *Callee) {}
+  /// A load of \p Bytes bytes from \p Addr executed. \p I is the source
+  /// instruction (post-decode instructions report their original).
+  virtual void onLoadExecuted(const Instruction *I, uint64_t Addr,
+                              unsigned Bytes) {}
+  /// A store of \p Bytes bytes to \p Addr executed.
+  virtual void onStoreExecuted(const Instruction *I, uint64_t Addr,
+                               unsigned Bytes) {}
 };
 
 /// External (declared) function implementation. Receives the evaluated

@@ -72,21 +72,29 @@ CostQuery CostModel::queryFor(LoopContent &LC, ProfileData *Prof) const {
       // inside nested loops run once per inner trip. Recover the true
       // per-iteration work from the profile's block counts.
       uint64_t StaticBody = 0;
-      double DynWork = 0;
+      double DynWork = 0, DynRetired = 0;
       for (nir::BasicBlock *BB : LS.getBlocks()) {
         uint64_t N = 0;
         for (const auto &I : BB->getInstList())
           if (!nir::isa<nir::PhiInst>(I.get()) && !I->isTerminator())
             ++N;
         StaticBody += N;
-        DynWork += static_cast<double>(Prof->getBlockCount(BB)) *
-                   static_cast<double>(N);
+        double Count = static_cast<double>(Prof->getBlockCount(BB));
+        DynWork += Count * static_cast<double>(N);
+        DynRetired += Count *
+                      static_cast<double>(BB->getInstList().size());
       }
       double TotalIters =
           static_cast<double>(Prof->getLoopTotalIterations(LS));
-      if (StaticBody > 0 && DynWork > 0 && TotalIters > 0)
+      if (StaticBody > 0 && DynWork > 0 && TotalIters > 0) {
         Q.BodyScale = DynWork / (TotalIters *
                                  static_cast<double>(StaticBody));
+        // Same ratio with phis and terminators priced in: what the
+        // interpreter actually retires per iteration, the unit the
+        // measured spawn/sync overheads share.
+        Q.RetiredScale = DynRetired /
+                         (TotalIters * static_cast<double>(StaticBody));
+      }
     }
   }
   return Q;

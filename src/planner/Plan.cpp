@@ -24,6 +24,17 @@ std::string ProgramPlan::serialize() const {
     Out += " speedup=" + std::to_string(E.SpeedupMilli);
     if (E.MeasuredMilli != 0)
       Out += " measured=" + std::to_string(E.MeasuredMilli);
+    if (E.MisspecMilli != 0)
+      Out += " misspec=" + std::to_string(E.MisspecMilli);
+    if (!E.Premises.empty()) {
+      Out += " premises=";
+      for (size_t I = 0; I < E.Premises.size(); ++I) {
+        if (I)
+          Out += ",";
+        Out += std::to_string(E.Premises[I].first) + ":" +
+               std::to_string(E.Premises[I].second);
+      }
+    }
     Out += "\n";
   }
   return Out;
@@ -122,6 +133,25 @@ bool ProgramPlan::deserialize(const std::string &Text, ProgramPlan &Out,
           E.SpeedupMilli = std::stoll(Val);
         } else if (Key == "measured") {
           E.MeasuredMilli = std::stoll(Val);
+        } else if (Key == "misspec") {
+          E.MisspecMilli = std::stoll(Val);
+        } else if (Key == "premises") {
+          size_t Pos = 0;
+          while (Pos < Val.size()) {
+            size_t Comma = Val.find(',', Pos);
+            std::string Pair = Val.substr(
+                Pos, Comma == std::string::npos ? Comma : Comma - Pos);
+            size_t Colon = Pair.find(':');
+            if (Colon == std::string::npos || Colon == 0 ||
+                Colon + 1 == Pair.size()) {
+              Err = "line " + std::to_string(LineNo) +
+                    ": malformed premise '" + Pair + "'";
+              return false;
+            }
+            E.Premises.push_back({std::stoull(Pair.substr(0, Colon)),
+                                  std::stoull(Pair.substr(Colon + 1))});
+            Pos = Comma == std::string::npos ? Val.size() : Comma + 1;
+          }
         } else {
           Err = "line " + std::to_string(LineNo) + ": unknown key '" +
                 Key + "'";

@@ -16,11 +16,16 @@
 ///
 ///   plan v1
 ///   hash <16 hex digits>
-///   loop fn=<name> header=<id> loop=<id> kind=<doall|helix|dswp>
+///   loop fn=<name> header=<id> loop=<id>
+///        kind=<doall|helix|dswp|spec-doall>
 ///        workers=<n> chunk=<n> parent=<entry index|-1> speedup=<milli>
+///        [misspec=<milli>] [premises=<src>:<dst>,...]
 ///
 /// `parent` links a nested entry (DOALL inside a DSWP stage) to the
 /// index of its enclosing DSWP entry; top-level entries carry -1.
+/// `misspec` and `premises` appear only on speculative entries (and
+/// only when nonzero/nonempty), so plans written before speculation
+/// existed round-trip byte-identically.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -58,6 +63,17 @@ struct PlanEntry {
   /// then, so unmeasured plans round-trip byte-identically with plans
   /// written before this field existed.
   int64_t MeasuredMilli = 0;
+  /// Speculative DOALL: modeled misspeculation probability in
+  /// milli-units (rule of succession over the memory-dependence
+  /// profile's observed invocations). 0 on static entries; the wire
+  /// format omits the field then.
+  int64_t MisspecMilli = 0;
+  /// Speculative DOALL: the loop-carried memory dependences the plan
+  /// admits on never-manifested profile evidence, as (srcID, dstID)
+  /// deterministic-instruction-ID pairs in sorted order. noelle-check
+  /// --speculative re-derives these from the module and its embedded
+  /// profile and rejects any drift. Empty on static entries.
+  std::vector<std::pair<uint64_t, uint64_t>> Premises;
 
   bool operator==(const PlanEntry &O) const {
     return FunctionName == O.FunctionName &&
@@ -65,7 +81,8 @@ struct PlanEntry {
            Kind == O.Kind && Workers == O.Workers &&
            ChunkGrain == O.ChunkGrain && Parent == O.Parent &&
            SpeedupMilli == O.SpeedupMilli &&
-           MeasuredMilli == O.MeasuredMilli;
+           MeasuredMilli == O.MeasuredMilli &&
+           MisspecMilli == O.MisspecMilli && Premises == O.Premises;
   }
 };
 

@@ -1,11 +1,14 @@
 #include "planner/Planner.h"
 
 #include "ir/IDs.h"
+#include "noelle/MemDepProfiler.h"
 #include "verify/CheckMetadata.h"
 #include "xforms/DOALL.h"
 #include "xforms/DSWP.h"
 #include "xforms/HELIX.h"
+#include "xforms/SpecDOALL.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdlib>
 #include <map>
@@ -65,6 +68,11 @@ Planner::makeTechnique(TechniqueKind K) {
     O.MinimumStageWeight = 0; // the planner gates on estimate()
     return std::make_unique<DSWP>(N, O);
   }
+  case TechniqueKind::SpecDOALL: {
+    DOALLOptions O;
+    O.NumCores = Opts.MaxWorkers;
+    return std::make_unique<SpecDOALL>(N, O);
+  }
   }
   return nullptr;
 }
@@ -91,11 +99,23 @@ ProgramPlan Planner::plan() {
 
   ProfileData *Prof = getProfiles();
 
-  std::unique_ptr<ParallelizationTechnique> Techniques[] = {
-      makeTechnique(TechniqueKind::DOALL),
-      makeTechnique(TechniqueKind::HELIX),
-      makeTechnique(TechniqueKind::DSWP),
-  };
+  std::vector<std::unique_ptr<ParallelizationTechnique>> Techniques;
+  Techniques.push_back(makeTechnique(TechniqueKind::DOALL));
+  Techniques.push_back(makeTechnique(TechniqueKind::HELIX));
+  Techniques.push_back(makeTechnique(TechniqueKind::DSWP));
+  if (Opts.EnableSpeculation)
+    Techniques.push_back(makeTechnique(TechniqueKind::SpecDOALL));
+
+  // The memory-dependence profile backs the misspeculation-probability
+  // term of speculative candidates: a loop observed across many
+  // invocations without the dependence manifesting earns a lower
+  // modeled rollback charge (rule of succession, 1/(n+2)).
+  MemDepProfile MemDep;
+  bool HasMemDep = false;
+  if (Opts.EnableSpeculation) {
+    std::string MemDepErr;
+    HasMemDep = MemDepProfile::fromModule(M, MemDep, MemDepErr);
+  }
 
   ProgramPlan P;
   P.ModuleHash = M.getContentHash();
@@ -161,27 +181,39 @@ ProgramPlan Planner::plan() {
         continue;
     }
 
+    uint64_t HID = 0;
+    if (!headerInstID(LS, HID))
+      continue;
+
     CostQuery Q = Model.queryFor(*LC, Prof);
+    double SpecProb = 0.0;
+    if (HasMemDep && MemDep.coversLoop(HID))
+      SpecProb =
+          1.0 / static_cast<double>(MemDep.loopInvocations(HID) + 2);
+
     bool Any = false;
     PlanChoice Best;
     TechniqueKind BestKind = TechniqueKind::DOALL;
+    Legality BestL;
     for (auto &T : Techniques) {
       Legality L = T->applicable(*LC);
+      CostQuery TQ = Q;
+      if (T->getKind() == TechniqueKind::SpecDOALL)
+        TQ.MisspecProbability = SpecProb;
       PlanChoice C;
-      if (!Model.choose(*T, L, Q, Opts.MaxWorkers, C))
+      if (!Model.choose(*T, L, TQ, Opts.MaxWorkers, C))
         continue;
       // Strict comparison: ties resolve to the earlier technique
-      // (DOALL before HELIX before DSWP — cheaper machinery first).
+      // (DOALL before HELIX before DSWP before SpecDOALL — cheaper
+      // machinery first, speculation last).
       if (!Any || C.Cost.ParallelTime < Best.Cost.ParallelTime) {
         Best = C;
         BestKind = T->getKind();
+        BestL = std::move(L);
         Any = true;
       }
     }
     if (!Any || Best.Cost.speedup() < Opts.MinimumSpeedup)
-      continue;
-    uint64_t HID = 0;
-    if (!headerInstID(LS, HID))
       continue;
     PlanEntry E;
     E.FunctionName = LS.getFunction()->getName();
@@ -189,10 +221,17 @@ ProgramPlan Planner::plan() {
     E.LoopID = LS.getID();
     E.Kind = BestKind;
     E.Workers = Best.Plan.Workers;
-    E.ChunkGrain =
-        BestKind == TechniqueKind::DOALL ? Best.Plan.ChunkGrain : 1;
+    E.ChunkGrain = BestKind == TechniqueKind::DOALL ||
+                           BestKind == TechniqueKind::SpecDOALL
+                       ? Best.Plan.ChunkGrain
+                       : 1;
     E.Parent = -1;
     E.SpeedupMilli = std::llround(Best.Cost.speedup() * 1000.0);
+    if (BestKind == TechniqueKind::SpecDOALL) {
+      E.MisspecMilli = std::llround(SpecProb * 1000.0);
+      E.Premises = BestL.SpecPremises;
+      std::sort(E.Premises.begin(), E.Premises.end());
+    }
     Chosen[&LS] = P.Entries.size();
     P.Entries.push_back(std::move(E));
   }

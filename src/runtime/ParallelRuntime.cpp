@@ -10,6 +10,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -30,6 +31,98 @@ namespace {
 /// current task (ss waits/signals + queue pushes/pops); feeds the
 /// performance model.
 thread_local uint64_t ThreadSyncOps = 0;
+
+/// Per-logical-task write-log/read-set journal backing speculative
+/// DOALL. Speculative task clones route every (non-task-private) load
+/// and store through the noelle_spec_* externals; stores are deferred
+/// into Pending (byte-granular, read-your-own-writes), and the byte
+/// ranges touched are accumulated for the commit-time conflict check.
+/// Ranges coalesce with the most recent entry (stride-1 access streams
+/// collapse), and are sorted/merged once at validation.
+struct SpecJournal {
+  /// Deferred writes: final value of every byte this task stored.
+  std::unordered_map<uint64_t, uint8_t> Pending;
+  /// Byte ranges [lo, hi) read / written, in access order.
+  std::vector<std::pair<uint64_t, uint64_t>> Reads;
+  std::vector<std::pair<uint64_t, uint64_t>> Writes;
+
+  static void note(std::vector<std::pair<uint64_t, uint64_t>> &V,
+                   uint64_t Lo, uint64_t Hi) {
+    if (!V.empty() && Lo >= V.back().first && Lo <= V.back().second) {
+      if (Hi > V.back().second)
+        V.back().second = Hi;
+      return;
+    }
+    V.push_back({Lo, Hi});
+  }
+};
+
+/// Journal of the speculative task currently executing on this thread
+/// (null outside speculative dispatches — the spec externals then
+/// degrade to plain memory accesses, so a speculative task body stays
+/// executable standalone).
+thread_local SpecJournal *CurSpecJournal = nullptr;
+
+/// Reads \p Bytes bytes at \p Addr through the current journal:
+/// journaled bytes win over memory (read-your-own-writes), and the
+/// range is recorded as read.
+void specLoadBytes(uint64_t Addr, unsigned Bytes, uint8_t *Out) {
+  SpecJournal *J = CurSpecJournal;
+  if (!J) {
+    std::memcpy(Out, reinterpret_cast<const void *>(Addr), Bytes);
+    return;
+  }
+  SpecJournal::note(J->Reads, Addr, Addr + Bytes);
+  for (unsigned I = 0; I < Bytes; ++I) {
+    auto It = J->Pending.find(Addr + I);
+    Out[I] = It != J->Pending.end()
+                 ? It->second
+                 : *reinterpret_cast<const uint8_t *>(Addr + I);
+  }
+}
+
+/// Defers a store of \p Bytes bytes into the current journal (or writes
+/// through when no speculative dispatch is active).
+void specStoreBytes(uint64_t Addr, unsigned Bytes, const uint8_t *Src) {
+  SpecJournal *J = CurSpecJournal;
+  if (!J) {
+    std::memcpy(reinterpret_cast<void *>(Addr), Src, Bytes);
+    return;
+  }
+  SpecJournal::note(J->Writes, Addr, Addr + Bytes);
+  for (unsigned I = 0; I < Bytes; ++I)
+    J->Pending[Addr + I] = Src[I];
+}
+
+/// Sorts and merges a journal's range list into disjoint ascending
+/// intervals.
+std::vector<std::pair<uint64_t, uint64_t>>
+normalizeRanges(std::vector<std::pair<uint64_t, uint64_t>> V) {
+  std::sort(V.begin(), V.end());
+  std::vector<std::pair<uint64_t, uint64_t>> Out;
+  for (const auto &R : V) {
+    if (!Out.empty() && R.first <= Out.back().second)
+      Out.back().second = std::max(Out.back().second, R.second);
+    else
+      Out.push_back(R);
+  }
+  return Out;
+}
+
+/// True when two disjoint-sorted interval lists share any byte.
+bool rangesIntersect(const std::vector<std::pair<uint64_t, uint64_t>> &A,
+                     const std::vector<std::pair<uint64_t, uint64_t>> &B) {
+  size_t I = 0, J = 0;
+  while (I < A.size() && J < B.size()) {
+    if (A[I].second <= B[J].first)
+      ++I;
+    else if (B[J].second <= A[I].first)
+      ++J;
+    else
+      return true;
+  }
+  return false;
+}
 
 /// Segment-work accounting: noelle_ss_wait checkpoints the thread's
 /// retired-instruction counter; noelle_ss_signal accumulates the delta.
@@ -90,8 +183,15 @@ struct PrepareMemo {
 /// as the spawn-per-region runtime did: task t's instruction/sync/
 /// segment counts depend only on (env, t, numTasks), so Figure-5 model
 /// inputs are byte-identical across scheduling strategies.
+/// \p Journals, when non-null, points at NumTasks speculative journals;
+/// logical task T runs with Journals[T] installed as the thread's
+/// current journal so the noelle_spec_* externals defer its stores.
+/// Accounting is unchanged — the misspeculation-free speculative path
+/// produces the same DispatchRecord a plain dispatch of the same task
+/// would.
 void runDispatch(ExecutionEngine &E, PrepareMemo &Memo, Function *Task,
-                 uint64_t EnvPtr, int64_t NumTasks, int64_t Grain) {
+                 uint64_t EnvPtr, int64_t NumTasks, int64_t Grain,
+                 SpecJournal *Journals = nullptr) {
   nir::DispatchRecord Rec;
   Rec.TaskName = Task->getName();
   if (NumTasks <= 0) {
@@ -110,13 +210,17 @@ void runDispatch(ExecutionEngine &E, PrepareMemo &Memo, Function *Task,
   // decode-cache lookup entirely.
   ExecutionEngine::PreparedFunction Prepared = Memo.resolve(E, Task);
 
-  auto RunOne = [&, EnvPtr, NumTasks](int64_t T) {
+  auto RunOne = [&, EnvPtr, NumTasks, Journals](int64_t T) {
     ExecutionEngine::resetThreadRetired();
     ThreadSyncOps = 0;
     ThreadSegmentWork = 0;
+    if (Journals)
+      CurSpecJournal = &Journals[static_cast<size_t>(T)];
     E.runPrepared(Prepared, {RuntimeValue::ofPtr(EnvPtr),
                              RuntimeValue::ofInt(T),
                              RuntimeValue::ofInt(NumTasks)});
+    if (Journals)
+      CurSpecJournal = nullptr;
     Work[static_cast<size_t>(T)] = ExecutionEngine::readThreadRetired();
     Sync[static_cast<size_t>(T)] = ThreadSyncOps;
     Seg[static_cast<size_t>(T)] = ThreadSegmentWork;
@@ -275,6 +379,160 @@ void noelle::registerParallelRuntime(ExecutionEngine &Engine) {
       });
 
   Engine.registerExternal(
+      "noelle_dispatch_spec",
+      [Memo](ExecutionEngine &E, const CallInst *,
+             const std::vector<RuntimeValue> &A) {
+        Function *Task = E.decodeFunction(A[0].P);
+        Function *Seq = E.decodeFunction(A[1].P);
+        if (!Task || !Seq) {
+          std::fprintf(stderr,
+                       "noelle_dispatch_spec: invalid task pointer\n");
+          std::abort();
+        }
+        uint64_t EnvPtr = A[2].P;
+        int64_t NumTasks = A[3].I;
+        int64_t Grain = A[4].I;
+        if (NumTasks <= 0) {
+          nir::DispatchRecord Rec;
+          Rec.TaskName = Task->getName();
+          E.recordDispatch(Rec);
+          return RuntimeValue();
+        }
+
+        // Speculative run: every task defers its stores into a private
+        // journal, so memory stays pristine until validation passes.
+        std::vector<SpecJournal> Journals(static_cast<size_t>(NumTasks));
+        runDispatch(E, *Memo, Task, EnvPtr, NumTasks, Grain,
+                    Journals.data());
+
+        // Validate: the speculation fails iff any task's written bytes
+        // overlap another task's read or written bytes — exactly the
+        // loop-carried dependences the plan speculated away manifesting
+        // across the task partition.
+        const uint64_t ValT0 =
+            telemetry::traceEnabled() ? telemetry::nowNs() : 0;
+        std::vector<std::vector<std::pair<uint64_t, uint64_t>>> R, W;
+        R.reserve(Journals.size());
+        W.reserve(Journals.size());
+        for (const SpecJournal &J : Journals) {
+          R.push_back(normalizeRanges(J.Reads));
+          W.push_back(normalizeRanges(J.Writes));
+        }
+        bool Conflict = false;
+        for (size_t I = 0; I < Journals.size() && !Conflict; ++I)
+          for (size_t J = I + 1; J < Journals.size() && !Conflict; ++J)
+            Conflict = rangesIntersect(W[I], W[J]) ||
+                       rangesIntersect(W[I], R[J]) ||
+                       rangesIntersect(W[J], R[I]);
+
+        if (!Conflict) {
+          // Commit: journals hold disjoint written bytes (no write-write
+          // overlap), so replay order across tasks is immaterial.
+          for (const SpecJournal &J : Journals)
+            for (const auto &KV : J.Pending)
+              *reinterpret_cast<uint8_t *>(KV.first) = KV.second;
+          telemetry::count(telemetry::Counter::SpecCommits);
+          if (ValT0)
+            telemetry::traceSpan("spec.commit", ValT0, telemetry::nowNs(),
+                                 {"tasks", NumTasks});
+          return RuntimeValue();
+        }
+
+        // Misspeculate: discard every journal (memory was never touched)
+        // and re-execute the region sequentially on this thread via the
+        // uninstrumented clone. Output and memory end up byte-identical
+        // to a never-parallelized run.
+        telemetry::count(telemetry::Counter::SpecMisspeculations);
+        if (ValT0)
+          telemetry::traceSpan("spec.rollback", ValT0, telemetry::nowNs(),
+                               {"tasks", NumTasks});
+        Journals.clear();
+        E.runFunction(Seq, {RuntimeValue::ofPtr(EnvPtr),
+                            RuntimeValue::ofInt(0),
+                            RuntimeValue::ofInt(1)});
+        return RuntimeValue();
+      });
+
+  // Typed speculative memory accessors. Width/extension semantics match
+  // the interpreter's raw Ld/St opcodes exactly (i8 zero-extends, i32
+  // sign-extends), so an instrumented task computes the same values its
+  // uninstrumented original would.
+  Engine.registerExternal(
+      "noelle_spec_load_i8",
+      [](ExecutionEngine &, const CallInst *,
+         const std::vector<RuntimeValue> &A) {
+        uint8_t B;
+        specLoadBytes(A[0].P, 1, &B);
+        return RuntimeValue::ofInt(static_cast<int64_t>(B));
+      });
+  Engine.registerExternal(
+      "noelle_spec_load_i32",
+      [](ExecutionEngine &, const CallInst *,
+         const std::vector<RuntimeValue> &A) {
+        uint8_t B[4];
+        specLoadBytes(A[0].P, 4, B);
+        int32_t V;
+        std::memcpy(&V, B, 4);
+        return RuntimeValue::ofInt(static_cast<int64_t>(V));
+      });
+  Engine.registerExternal(
+      "noelle_spec_load_i64",
+      [](ExecutionEngine &, const CallInst *,
+         const std::vector<RuntimeValue> &A) {
+        uint8_t B[8];
+        specLoadBytes(A[0].P, 8, B);
+        int64_t V;
+        std::memcpy(&V, B, 8);
+        return RuntimeValue::ofInt(V);
+      });
+  Engine.registerExternal(
+      "noelle_spec_load_f64",
+      [](ExecutionEngine &, const CallInst *,
+         const std::vector<RuntimeValue> &A) {
+        uint8_t B[8];
+        specLoadBytes(A[0].P, 8, B);
+        double V;
+        std::memcpy(&V, B, 8);
+        return RuntimeValue::ofFloat(V);
+      });
+  Engine.registerExternal(
+      "noelle_spec_store_i8",
+      [](ExecutionEngine &, const CallInst *,
+         const std::vector<RuntimeValue> &A) {
+        uint8_t B = static_cast<uint8_t>(A[1].I);
+        specStoreBytes(A[0].P, 1, &B);
+        return RuntimeValue();
+      });
+  Engine.registerExternal(
+      "noelle_spec_store_i32",
+      [](ExecutionEngine &, const CallInst *,
+         const std::vector<RuntimeValue> &A) {
+        int32_t V = static_cast<int32_t>(A[1].I);
+        uint8_t B[4];
+        std::memcpy(B, &V, 4);
+        specStoreBytes(A[0].P, 4, B);
+        return RuntimeValue();
+      });
+  Engine.registerExternal(
+      "noelle_spec_store_i64",
+      [](ExecutionEngine &, const CallInst *,
+         const std::vector<RuntimeValue> &A) {
+        uint8_t B[8];
+        std::memcpy(B, &A[1].I, 8);
+        specStoreBytes(A[0].P, 8, B);
+        return RuntimeValue();
+      });
+  Engine.registerExternal(
+      "noelle_spec_store_f64",
+      [](ExecutionEngine &, const CallInst *,
+         const std::vector<RuntimeValue> &A) {
+        uint8_t B[8];
+        std::memcpy(B, &A[1].F, 8);
+        specStoreBytes(A[0].P, 8, B);
+        return RuntimeValue();
+      });
+
+  Engine.registerExternal(
       "noelle_ss_create",
       [](ExecutionEngine &E, const CallInst *,
          const std::vector<RuntimeValue> &A) {
@@ -384,8 +642,18 @@ void noelle::declareParallelRuntime(nir::Module &M) {
   nir::Type *V = Ctx.getVoidTy();
   nir::Type *I = Ctx.getInt64Ty();
   nir::Type *P = Ctx.getPtrTy();
+  nir::Type *D = Ctx.getDoubleTy();
   Declare("noelle_dispatch", V, {P, P, I});
   Declare("noelle_dispatch_chunked", V, {P, P, I, I});
+  Declare("noelle_dispatch_spec", V, {P, P, P, I, I});
+  Declare("noelle_spec_load_i8", I, {P});
+  Declare("noelle_spec_load_i32", I, {P});
+  Declare("noelle_spec_load_i64", I, {P});
+  Declare("noelle_spec_load_f64", D, {P});
+  Declare("noelle_spec_store_i8", V, {P, I});
+  Declare("noelle_spec_store_i32", V, {P, I});
+  Declare("noelle_spec_store_i64", V, {P, I});
+  Declare("noelle_spec_store_f64", V, {P, D});
   Declare("noelle_ss_create", P, {I});
   Declare("noelle_ss_wait", V, {P, I, I});
   Declare("noelle_ss_signal", V, {P, I, I});

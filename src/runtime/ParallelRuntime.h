@@ -19,6 +19,27 @@
 ///       and run task(env, t, numTasks) for each. Tasks must not block
 ///       on one another. Per-task DispatchRecord accounting is identical
 ///       to noelle_dispatch.
+///   noelle_dispatch_spec(ptr task, ptr seq, ptr env, i64 numTasks,
+///                        i64 grain) -> void
+///       Speculative DOALL dispatch. Runs task(env, t, numTasks) like
+///       noelle_dispatch_chunked, but each logical task defers its
+///       stores into a private write-log journal (the task body routes
+///       memory accesses through the noelle_spec_* accessors below) and
+///       records the byte ranges it read/wrote. At the join the runtime
+///       validates the speculation: if no task's written bytes overlap
+///       another task's read or written bytes, the journals commit and
+///       execution is indistinguishable from a legal DOALL; otherwise
+///       all journals are discarded (memory was never touched) and the
+///       region re-executes sequentially via seq(env, 0, 1), the
+///       uninstrumented clone — output byte-identical to a
+///       never-parallelized run. grain <= 0 selects static dispatch.
+///   noelle_spec_load_i8/i32/i64/f64(ptr) -> i64/f64
+///   noelle_spec_store_i8/i32/i64/f64(ptr, v) -> void
+///       Journal-aware memory accessors used inside speculative tasks;
+///       width and extension semantics match the raw Ld/St opcodes (i8
+///       zero-extends, i32 sign-extends). Loads see the task's own
+///       deferred writes; outside a speculative dispatch they degrade
+///       to plain memory accesses.
 ///   noelle_ss_create(i64 count) -> ptr
 ///       Allocates `count` sequential-segment gates, all at iteration 0.
 ///   noelle_ss_wait(ptr gates, i64 ss, i64 iteration) -> void

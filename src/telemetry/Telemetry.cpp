@@ -78,6 +78,8 @@ const char *const CounterNames[NumCounters] = {
     "noelle.pdg.functions_built",
     "planner.feedback.entries_measured",
     "planner.feedback.speedup_shortfall",
+    "runtime.spec.commits",
+    "runtime.spec.misspeculations",
 };
 
 const char *const GaugeNames[NumGauges] = {

@@ -117,6 +117,8 @@ enum class Counter : uint16_t {
   PDGFunctionsBuilt, ///< per-function sub-PDGs constructed
   PlanMeasured,      ///< plan entries with measured speedup written back
   PlanShortfall,     ///< measured speedup < 0.8x of the plan's estimate
+  SpecCommits,       ///< speculative dispatches validated and committed
+  SpecMisspeculations, ///< speculative dispatches rolled back (conflict)
   kCount
 };
 

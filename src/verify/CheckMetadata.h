@@ -40,6 +40,8 @@
 #ifndef VERIFY_CHECKMETADATA_H
 #define VERIFY_CHECKMETADATA_H
 
+#include <string>
+
 namespace noelle {
 namespace verify {
 
@@ -50,6 +52,26 @@ inline constexpr const char *TaskWorkersKey = "noelle.task.workers";
 inline constexpr const char *TaskStageKey = "noelle.task.stage";
 inline constexpr const char *TaskStagesKey = "noelle.task.stages";
 inline constexpr const char *TaskSegmentsKey = "noelle.task.segments";
+/// Speculative DOALL ("doall-spec" tasks): the name of the
+/// uninstrumented sequential fallback clone the runtime re-executes on
+/// misspeculation, and the speculated-away loop-carried memory edges as
+/// "srcID:dstID" pairs joined with ','.
+inline constexpr const char *TaskSpecSeqKey = "noelle.task.spec.seq";
+inline constexpr const char *TaskSpecPremisesKey =
+    "noelle.task.spec.premises";
+
+/// Externals a speculative ("doall-spec") task may call: pure math with
+/// no memory effects and no observable output. Everything else (print_*,
+/// malloc/free, clock_ns, defined functions, the runtime itself) either
+/// touches memory outside the write log or commits an effect the
+/// rollback cannot undo. Shared by the SpecDOALL transform (which
+/// refuses loops calling anything else) and the --speculative audit
+/// (which re-checks the shipped task bodies).
+inline bool isSpecPureExternal(const std::string &Name) {
+  return Name == "sqrt" || Name == "fabs" || Name == "exp" ||
+         Name == "log" || Name == "sin" || Name == "cos" ||
+         Name == "pow" || Name == "floor";
+}
 
 inline constexpr const char *CheckOrigKey = "noelle.check.orig";
 inline constexpr const char *CheckSpillKey = "noelle.check.spill";

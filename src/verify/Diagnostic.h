@@ -67,6 +67,20 @@ enum class DiagKind {
   /// non-DSWP parent link, a nested entry that is not DOALL, or two
   /// entries claiming the same loop.
   PlanMalformed,
+  /// A speculative task contains a memory effect that bypasses the write
+  /// log: a raw load/store, or a call to anything other than the journal
+  /// accessors and pure math externals. Misspeculation validation cannot
+  /// see (and rollback cannot undo) such an access.
+  SpecUnjournaledAccess,
+  /// A speculative task's recovery path is broken: the sequential
+  /// fallback clone is missing, mis-tagged, or itself instrumented (so
+  /// re-execution after rollback would journal into a dead dispatch).
+  SpecRecoveryMissing,
+  /// A speculative premise is not supported by the evidence: the task
+  /// records no premises, no profile is embedded, the speculated pair
+  /// actually manifested in the profile, or the premise matches no
+  /// loop-carried memory dependence of the snapshot PDG.
+  SpecPremiseUnsupported,
 };
 
 inline const char *diagKindName(DiagKind K) {
@@ -101,6 +115,12 @@ inline const char *diagKindName(DiagKind K) {
     return "plan-illegal";
   case DiagKind::PlanMalformed:
     return "plan-malformed";
+  case DiagKind::SpecUnjournaledAccess:
+    return "spec-unjournaled-access";
+  case DiagKind::SpecRecoveryMissing:
+    return "spec-recovery-missing";
+  case DiagKind::SpecPremiseUnsupported:
+    return "spec-premise-unsupported";
   }
   return "unknown";
 }

@@ -67,7 +67,7 @@ public:
         IVs(LC.getIVManager()), Env(LC.getEnvironment()) {}
 
   void run() {
-    if (R.Kind == "doall" || R.Kind == "helix") {
+    if (R.Kind == "doall" || R.Kind == "helix" || R.Kind == "doall-spec") {
       for (const TaskInfo &T : R.Tasks) {
         checkIVRebase(T);
         checkReductions(T);
@@ -240,6 +240,8 @@ private:
 
       if (R.Kind == "doall")
         auditDoallEdge(*E, From, To, *FromId, *ToId);
+      else if (R.Kind == "doall-spec")
+        auditSpecEdge(*E, From, To, *FromId, *ToId);
       else if (R.Kind == "helix")
         auditHelixEdge(*E, From, To, *FromId, *ToId);
       else
@@ -268,6 +270,33 @@ private:
       report(DiagKind::UnprotectedDependence,
              edgeNoun(E) + " survives in a DOALL task with no discharging "
                            "mechanism (not an IV or reduction cycle)",
+             From, To, T.Fn->getName());
+    }
+  }
+
+  template <typename EdgeT>
+  void auditSpecEdge(const EdgeT &E, Instruction *From, Instruction *To,
+                     uint64_t FromId, uint64_t ToId) {
+    // Speculative DOALL discharges a surviving loop-carried memory
+    // dependence by premise: the task records the speculated-away pair
+    // and the runtime validates it at commit. Anything not recorded as a
+    // premise is exactly as unprotected as in plain DOALL — control and
+    // register carried dependences can never be premises.
+    for (const TaskInfo &T : R.Tasks) {
+      if (!T.realizes(FromId) || !T.realizes(ToId))
+        continue;
+      if (E.IsMemory && !E.IsControl) {
+        bool Covered = false;
+        for (const auto &[A, B] : specPremises(T))
+          if ((A == FromId && B == ToId) || (A == ToId && B == FromId))
+            Covered = true;
+        if (Covered)
+          continue;
+      }
+      report(DiagKind::UnprotectedDependence,
+             edgeNoun(E) + " survives in a speculative DOALL task without "
+                           "a recorded premise (the runtime would never "
+                           "validate it)",
              From, To, T.Fn->getName());
     }
   }
@@ -376,6 +405,14 @@ private:
     }
   }
 
+  const std::vector<std::pair<uint64_t, uint64_t>> &
+  specPremises(const TaskInfo &T) {
+    auto It = PremiseCache.find(&T);
+    if (It == PremiseCache.end())
+      It = PremiseCache.emplace(&T, parseSpecPremises(T.Fn)).first;
+    return It->second;
+  }
+
   const std::map<const Instruction *, nir::BitVector> &
   heldSegments(const TaskInfo &T) {
     auto It = HeldCache.find(&T);
@@ -395,6 +432,8 @@ private:
   std::map<const TaskInfo *,
            std::map<const Instruction *, nir::BitVector>>
       HeldCache;
+  std::map<const TaskInfo *, std::vector<std::pair<uint64_t, uint64_t>>>
+      PremiseCache;
 };
 
 } // namespace

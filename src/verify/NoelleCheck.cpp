@@ -7,6 +7,7 @@
 #include "tools/NoelleTools.h"
 #include "verify/LegalityChecker.h"
 #include "verify/RaceDetector.h"
+#include "verify/SpecCheck.h"
 #include "verify/TaskModel.h"
 
 using namespace noelle;
@@ -35,7 +36,7 @@ CheckReport noelle::verify::checkModule(nir::Module &M,
     }
   }
 
-  if (!Opts.RunLegality && !Opts.RunRaces)
+  if (!Opts.RunLegality && !Opts.RunRaces && !Opts.Speculative)
     return Rep;
 
   std::vector<ParallelRegion> Regions = discoverRegions(M, Rep);
@@ -60,6 +61,9 @@ CheckReport noelle::verify::checkModule(nir::Module &M,
 
   if (Opts.RunLegality)
     checkLegality(SnapNoelle, Regions, Rep);
+
+  if (Opts.Speculative)
+    checkSpeculation(M, SnapNoelle, Regions, Rep);
 
   if (Opts.RunRaces) {
     // The snapshot's whole-program PDG (embedded or rebuilt) carries no

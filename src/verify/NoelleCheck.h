@@ -47,6 +47,11 @@ struct CheckOptions {
   bool RunVerifier = true; ///< nir::verifyModule incl. SSA dominance
   bool RunLegality = true; ///< dependence-discharge audit
   bool RunRaces = true;    ///< static race detection
+  /// Audit the speculation machinery of "doall-spec" regions (journal
+  /// coverage, recovery path, premise evidence — verify/SpecCheck.h).
+  /// Off by default: modules without speculative tasks have nothing to
+  /// audit, and the pass needs the embedded memory-dependence profile.
+  bool Speculative = false;
   RaceDetectorOptions Races; ///< rule toggles for the race detector
 };
 

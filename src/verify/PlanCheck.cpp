@@ -4,7 +4,9 @@
 #include "xforms/DOALL.h"
 #include "xforms/DSWP.h"
 #include "xforms/HELIX.h"
+#include "xforms/SpecDOALL.h"
 
+#include <algorithm>
 #include <map>
 #include <set>
 
@@ -60,6 +62,11 @@ Legality entryLegality(Noelle &N, const PlanEntry &E, LoopContent &LC) {
     O.NumCores = std::max(1u, E.Workers);
     O.MinimumStageWeight = 0;
     return DSWP(N, O).applicable(LC);
+  }
+  case TechniqueKind::SpecDOALL: {
+    DOALLOptions O;
+    O.NumCores = std::max(1u, E.Workers);
+    return SpecDOALL(N, O).applicable(LC);
   }
   }
   return Legality();
@@ -164,6 +171,31 @@ CheckReport noelle::verify::checkPlan(nir::Module &M,
                   " is not applicable: " + L.Reason;
       D.InFunction = E.FunctionName;
       Rep.add(std::move(D));
+      continue;
+    }
+
+    // Speculative entries must record exactly the premises the module's
+    // embedded memory-dependence profile still supports: a premise the
+    // re-derivation no longer yields means the module or its profile
+    // changed under the plan, and the runtime would be validating
+    // different dependences than the plan was costed on.
+    if (E.Kind == TechniqueKind::SpecDOALL) {
+      auto Want = E.Premises;
+      auto Got = L.SpecPremises;
+      std::sort(Want.begin(), Want.end());
+      std::sort(Got.begin(), Got.end());
+      if (Want != Got) {
+        Diagnostic D;
+        D.Kind = DiagKind::PlanIllegal;
+        D.Message =
+            entryLabel(E, I) +
+            ": speculative premises do not match the profile evidence "
+            "(plan records " +
+            std::to_string(Want.size()) + ", re-derivation yields " +
+            std::to_string(Got.size()) + ")";
+        D.InFunction = E.FunctionName;
+        Rep.add(std::move(D));
+      }
     }
   }
   return Rep;

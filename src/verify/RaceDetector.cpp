@@ -336,6 +336,13 @@ void noelle::verify::detectRaces(nir::Module &M,
   RaceRuleStats Local;
   RaceRuleStats &S = Opts.Stats ? *Opts.Stats : Local;
   AndersenAliasAnalysis AA(M);
-  for (const ParallelRegion &R : Regions)
+  for (const ParallelRegion &R : Regions) {
+    // Speculative regions have no raw shared accesses to race on: every
+    // load/store was rewritten into a journal call, commits are
+    // serialized by the dispatcher, and cross-worker conflicts are the
+    // runtime validator's job (audited by verify/SpecCheck.h instead).
+    if (R.Kind == "doall-spec")
+      continue;
     RegionRaceScan(R, AA, Deps, Opts, Rep, S).run();
+  }
 }

@@ -8,6 +8,7 @@
 #include "noelle/DataFlow.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <deque>
 #include <set>
 
@@ -82,6 +83,10 @@ noelle::verify::discoverRegions(nir::Module &M, CheckReport &Rep) {
     T.Kind = F->getMetadata(TaskKindKey);
     if (T.Kind == "dswp-pipeline")
       continue; // Dispatch trampoline: no loop body, nothing to audit.
+    if (T.Kind == "doall-spec-seq")
+      continue; // Speculation recovery clone: runs alone after rollback,
+                // never concurrently; the --speculative audit reaches it
+                // through the spec task's noelle.task.spec.seq link.
 
     auto Origin = parseIdMetadata(F, TaskOriginKey);
     if (T.Kind.empty() || !Origin) {
@@ -157,6 +162,29 @@ noelle::verify::discoverRegions(nir::Module &M, CheckReport &Rep) {
 
 std::optional<uint64_t> noelle::verify::originOf(const Instruction *I) {
   return parseIdMetadata(I, CheckOrigKey);
+}
+
+std::vector<std::pair<uint64_t, uint64_t>>
+noelle::verify::parseSpecPremises(const Function *F) {
+  std::vector<std::pair<uint64_t, uint64_t>> Out;
+  std::string Text = F->getMetadata(TaskSpecPremisesKey);
+  size_t Pos = 0;
+  while (Pos < Text.size()) {
+    size_t Comma = Text.find(',', Pos);
+    std::string Tok = Text.substr(
+        Pos, Comma == std::string::npos ? std::string::npos : Comma - Pos);
+    size_t Colon = Tok.find(':');
+    if (Colon != std::string::npos) {
+      uint64_t A = std::strtoull(Tok.substr(0, Colon).c_str(), nullptr, 10);
+      uint64_t B = std::strtoull(Tok.substr(Colon + 1).c_str(), nullptr, 10);
+      if (A && B)
+        Out.push_back({A, B});
+    }
+    if (Comma == std::string::npos)
+      break;
+    Pos = Comma + 1;
+  }
+  return Out;
 }
 
 std::map<const BasicBlock *, uint64_t>

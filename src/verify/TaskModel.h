@@ -30,7 +30,8 @@ namespace verify {
 /// its instructions indexed by the original instruction they realize.
 struct TaskInfo {
   nir::Function *Fn = nullptr;
-  std::string Kind;   ///< doall | helix | dswp-stage | dswp-pipeline
+  std::string Kind;   ///< doall | helix | dswp-stage | dswp-pipeline |
+                      ///< doall-spec
   uint64_t Origin = 0;
   unsigned Workers = 1;     ///< concurrent executions of this function
   unsigned Stage = 0;       ///< dswp-stage index
@@ -78,7 +79,7 @@ struct TaskInfo {
 /// regions hold one task per stage (each run once) plus the dispatch
 /// trampoline (kept aside — it touches no shared memory).
 struct ParallelRegion {
-  std::string Kind; ///< doall | helix | dswp
+  std::string Kind; ///< doall | helix | dswp | doall-spec
   std::string SrcFn;
   uint64_t Origin = 0;
   std::vector<TaskInfo> Tasks; ///< dswp: ordered by stage index
@@ -100,6 +101,12 @@ bool sliceContains(const nir::Value *Root, const nir::Value *Target);
 /// The snapshot instruction \p I was cloned from, when the transform
 /// recorded provenance (CheckOrigKey metadata).
 std::optional<uint64_t> originOf(const nir::Instruction *I);
+
+/// The speculated-away loop-carried memory edges recorded on a
+/// "doall-spec" task (TaskSpecPremisesKey, "src:dst" pairs joined with
+/// ','). Malformed or zero-ID pairs are dropped.
+std::vector<std::pair<uint64_t, uint64_t>>
+parseSpecPremises(const nir::Function *F);
 
 /// For every block of \p F, the phase key of its innermost enclosing
 /// natural loop: the origin ID of the governing IV phi (the header phi

@@ -119,12 +119,16 @@ Legality DOALL::applicable(LoopContent &LC) {
     SCC *SF = Dag.sccOf(From);
     SCC *ST = Dag.sccOf(To);
     if (SF != ST) {
+      if (mayIgnoreCarriedDep(LC, *E, L))
+        continue;
       L.Reason = "loop-carried dependence crosses SCCs";
       return L;
     }
     if (isIVSCC(SF, IVs))
       continue;
     if (RM.getReductionFor(SF))
+      continue;
+    if (mayIgnoreCarriedDep(LC, *E, L))
       continue;
     L.Reason = "sequential SCC (loop-carried dependence is neither IV nor "
                "reduction)";
@@ -145,9 +149,13 @@ Legality DOALL::applicable(LoopContent &LC) {
   }
 
   for (BasicBlock *BB : LS.getBlocks())
-    for (const auto &I : BB->getInstList())
+    for (const auto &I : BB->getInstList()) {
       if (!nir::isa<PhiInst>(I.get()) && !I->isTerminator())
         ++L.BodyWeight;
+      if (nir::isa<nir::LoadInst>(I.get()) ||
+          nir::isa<nir::StoreInst>(I.get()))
+        ++L.MemOpWeight;
+    }
   L.Ok = true;
   return L;
 }
@@ -168,12 +176,13 @@ TechniqueCost DOALL::estimate(const Legality &L, const LoopPlan &P,
 }
 
 bool DOALL::apply(LoopContent &LC, const LoopPlan &P, Decision &D) {
-  D.Kind = TechniqueKind::DOALL;
+  D.Kind = getKind();
   Legality L = applicable(LC);
   if (!L) {
     D.Reason = L.Reason;
     return false;
   }
+  D.SpecPremises = L.SpecPremises;
   unsigned Workers = std::max(1u, P.Workers);
   unsigned Chunk = std::max(1u, P.ChunkGrain);
 
@@ -197,7 +206,7 @@ bool DOALL::apply(LoopContent &LC, const LoopPlan &P, Decision &D) {
   // --- Task side -------------------------------------------------------
   ClonedLoopTask Task = cloneLoopIntoTask(
       LS, Layout, F->getName() + ".doall" + std::to_string(LS.getID()));
-  Task.TaskFn->setMetadata(verify::TaskKindKey, "doall");
+  Task.TaskFn->setMetadata(verify::TaskKindKey, taskKind());
   Task.TaskFn->setMetadata(verify::TaskWorkersKey, std::to_string(Workers));
 
   // Re-base every IV for cyclic distribution: start' = start +
@@ -289,11 +298,24 @@ bool DOALL::apply(LoopContent &LC, const LoopPlan &P, Decision &D) {
     ExitB.createStore(Partial, Slot);
   }
 
+  // Speculation (SpecDOALL): instrument the task's memory accesses and
+  // build the sequential fallback before the loop body disappears.
+  nir::Function *SpecSeqFn = prepareSpeculation(LC, Layout, Task);
+  if (SpecSeqFn && !L.SpecPremises.empty()) {
+    std::string Premises;
+    for (const auto &[A, B] : L.SpecPremises) {
+      if (!Premises.empty())
+        Premises += ',';
+      Premises += std::to_string(A) + ':' + std::to_string(B);
+    }
+    Task.TaskFn->setMetadata(verify::TaskSpecPremisesKey, Premises);
+  }
+
   // --- Caller side -----------------------------------------------------
   // DOALL tasks never block on each other, so dispatch them through the
   // chunked (dynamically scheduled) runtime entry point.
-  BasicBlock *Dispatch =
-      replaceLoopWithDispatch(LS, Layout, Task.TaskFn, Workers, Chunk);
+  BasicBlock *Dispatch = replaceLoopWithDispatch(LS, Layout, Task.TaskFn,
+                                                 Workers, Chunk, SpecSeqFn);
   Value *EnvAlloca = Dispatch->front(); // first instruction: the env array
   IRBuilder CB(Ctx);
   CB.setInsertPoint(Dispatch->getTerminator());

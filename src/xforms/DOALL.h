@@ -46,7 +46,39 @@ public:
   }
   double minimumHotness() const override { return Opts.MinimumHotness; }
 
-private:
+protected:
+  /// Task-kind metadata stamped on generated task functions; the
+  /// speculative subclass overrides it with "doall-spec".
+  virtual const char *taskKind() const { return "doall"; }
+
+  /// Speculation hook consulted for every loop-carried dependence the
+  /// static discharge cannot clear: may \p E be admitted unprotected?
+  /// The default (plain DOALL) never speculates; SpecDOALL answers from
+  /// the memory-dependence profile and records the premise in
+  /// \p L.SpecPremises.
+  virtual bool mayIgnoreCarriedDep(LoopContent &LC, const PDG::EdgeT &E,
+                                   Legality &L) {
+    (void)LC;
+    (void)E;
+    (void)L;
+    return false;
+  }
+
+  /// Called after the task clone is fully specialized (IVs re-based,
+  /// reductions privatized) and before the loop is replaced with the
+  /// dispatch. A speculative subclass instruments \p Task's memory
+  /// accesses and returns the sequential fallback function, routing the
+  /// dispatch through noelle_dispatch_spec; returning null keeps the
+  /// plain chunked dispatch.
+  virtual nir::Function *prepareSpeculation(LoopContent &LC,
+                                            const EnvLayout &Layout,
+                                            ClonedLoopTask &Task) {
+    (void)LC;
+    (void)Layout;
+    (void)Task;
+    return nullptr;
+  }
+
   DOALLOptions Opts;
 };
 

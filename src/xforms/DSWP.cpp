@@ -227,22 +227,29 @@ bool DSWP::analyze(LoopContent &LC, unsigned Workers, PipelineAnalysis &A,
         static_cast<unsigned>(TotalWeight / Opts.MinimumStageWeight));
   if (NumStages < 2)
     return Fail("not profitable (stages too small to amortize queues)");
+  // Greedy chunking can fail to place a single boundary at a high stage
+  // target when the weight is concentrated in the last groups (the
+  // "leave one group per remaining stage" guard vetoes every split), so
+  // retry with progressively fewer stages: a 2-stage split exists
+  // whenever there are two groups at all.
   std::vector<unsigned> StageOfGroup(GroupOrder.size(), 0);
-  {
-    double Ideal = static_cast<double>(TotalWeight) / NumStages;
+  for (unsigned Target = NumStages; Target >= 2; --Target) {
+    double Ideal = static_cast<double>(TotalWeight) / Target;
     unsigned Stage = 0;
     double Acc = 0;
     for (unsigned I = 0; I < GroupOrder.size(); ++I) {
       StageOfGroup[I] = Stage;
       Acc += static_cast<double>(GroupWeight[I]);
       unsigned Remaining = static_cast<unsigned>(GroupOrder.size()) - I - 1;
-      if (Acc >= Ideal && Stage + 1 < NumStages &&
-          Remaining >= (NumStages - Stage - 1)) {
+      if (Acc >= Ideal && Stage + 1 < Target &&
+          Remaining >= (Target - Stage - 1)) {
         ++Stage;
         Acc = 0;
       }
     }
     NumStages = Stage + 1;
+    if (NumStages >= 2)
+      break;
   }
   if (NumStages < 2)
     return Fail("stage balancing collapsed to one stage");
@@ -337,6 +344,17 @@ Legality DSWP::applicable(LoopContent &LC) {
   L.NumGroups = A.NumGroups;
   L.TotalPipelineWeight = A.TotalWeight;
   L.MaxGroupWeight = A.MaxGroupWeight;
+  if (A.NumStages > 0) {
+    std::vector<unsigned> OpsPerStage(A.NumStages, 0);
+    for (const auto &Q : A.Queues) {
+      if (Q.FromStage < A.NumStages)
+        ++OpsPerStage[Q.FromStage]; // push
+      if (Q.ToStage < A.NumStages)
+        ++OpsPerStage[Q.ToStage]; // pop
+    }
+    L.MaxStageQueueOps =
+        *std::max_element(OpsPerStage.begin(), OpsPerStage.end());
+  }
   L.Ok = true;
   return L;
 }
@@ -359,8 +377,13 @@ TechniqueCost DSWP::estimate(const Legality &L, const LoopPlan &P,
       std::max(PipeWork / S,
                static_cast<double>(L.MaxGroupWeight) * Q.BodyScale);
   double Skeleton = Body > PipeWork ? Body - PipeWork : 0.0;
+  // Queue traffic is charged at the bottleneck stage: its own pushes
+  // and pops serialize with its compute, while other stages' queue ops
+  // overlap. This is at least the old average charge
+  // (2*SyncCost*NumQueues/S), and strictly more when the queue layout
+  // is skewed toward one stage.
   double QueueOps =
-      2.0 * Q.SyncCost * static_cast<double>(L.NumQueues) / S;
+      Q.SyncCost * static_cast<double>(L.MaxStageQueueOps);
   TechniqueCost C;
   C.SequentialTime = Q.Invocations * Q.TripCount * Body;
   C.ParallelTime =

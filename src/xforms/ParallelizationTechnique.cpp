@@ -4,6 +4,7 @@
 #include "xforms/DOALL.h"
 #include "xforms/DSWP.h"
 #include "xforms/HELIX.h"
+#include "xforms/SpecDOALL.h"
 
 using namespace noelle;
 
@@ -15,6 +16,8 @@ const char *noelle::techniqueName(TechniqueKind K) {
     return "helix";
   case TechniqueKind::DSWP:
     return "dswp";
+  case TechniqueKind::SpecDOALL:
+    return "spec-doall";
   }
   return "doall";
 }
@@ -30,6 +33,10 @@ bool noelle::techniqueFromName(const std::string &Name, TechniqueKind &K) {
   }
   if (Name == "dswp") {
     K = TechniqueKind::DSWP;
+    return true;
+  }
+  if (Name == "spec-doall") {
+    K = TechniqueKind::SpecDOALL;
     return true;
   }
   return false;
@@ -56,6 +63,11 @@ noelle::createTechnique(TechniqueKind K, Noelle &N, unsigned NumCores) {
     DSWPOptions O;
     O.NumCores = NumCores;
     return std::make_unique<DSWP>(N, O);
+  }
+  case TechniqueKind::SpecDOALL: {
+    DOALLOptions O;
+    O.NumCores = NumCores;
+    return std::make_unique<SpecDOALL>(N, O);
   }
   }
   return nullptr;

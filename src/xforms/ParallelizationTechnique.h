@@ -26,10 +26,10 @@
 
 namespace noelle {
 
-enum class TechniqueKind : uint8_t { DOALL, HELIX, DSWP };
+enum class TechniqueKind : uint8_t { DOALL, HELIX, DSWP, SpecDOALL };
 
 /// The lowercase names used in task metadata, plan serialization, and
-/// CLI flags ("doall" / "helix" / "dswp").
+/// CLI flags ("doall" / "helix" / "dswp" / "spec-doall").
 const char *techniqueName(TechniqueKind K);
 bool techniqueFromName(const std::string &Name, TechniqueKind &K);
 
@@ -44,6 +44,16 @@ struct Legality {
   /// count over the loop body (every technique fills this).
   uint64_t BodyWeight = 0;
 
+  /// Loads + stores per iteration (DOALL fills this alongside
+  /// BodyWeight); speculative DOALL charges its journal instrumentation
+  /// per memory access.
+  uint64_t MemOpWeight = 0;
+
+  /// Speculative DOALL: the loop-carried memory dependences admitted on
+  /// the profile's never-manifested evidence, as (srcID, dstID)
+  /// deterministic-instruction-ID pairs. Empty for static techniques.
+  std::vector<std::pair<uint64_t, uint64_t>> SpecPremises;
+
   // HELIX: sequential segments.
   unsigned NumSegments = 0;
   /// Total segment member count (phis included — what the legacy
@@ -57,6 +67,10 @@ struct Legality {
   unsigned NumGroups = 0;
   uint64_t TotalPipelineWeight = 0;
   uint64_t MaxGroupWeight = 0;
+  /// Queue operations (pushes + pops) of the busiest stage, per
+  /// iteration. The pipeline's throughput charge: queue traffic on
+  /// non-bottleneck stages overlaps with the bottleneck's compute.
+  unsigned MaxStageQueueOps = 0;
 
   explicit operator bool() const { return Ok; }
 };
@@ -83,6 +97,24 @@ struct CostQuery {
   /// profile block counts recover the true per-iteration work as
   /// BodyScale × static weight. 1.0 = trust the static count.
   double BodyScale = 1.0;
+  /// Retired-instruction scale: dynamic instructions the interpreter
+  /// retires per iteration (phis and terminators included) over the
+  /// static BodyWeight. SpawnCostPerTask/SyncCost are measured in
+  /// retired units, so estimates competing in the marginal zone where
+  /// spawn cost rivals body work (speculative DOALL's territory) use
+  /// this scale to price the body in the same currency. The static
+  /// techniques keep the BodyWeight convention — their decisions never
+  /// hinge on the unit mismatch, and their plans must stay
+  /// byte-identical.
+  double RetiredScale = 1.0;
+  /// Speculative DOALL: modeled probability that one dispatch of the
+  /// loop misspeculates and re-executes sequentially. The planner
+  /// derives it from the profile's evidence (rule of succession over
+  /// observed invocations); 0 disables the rollback charge.
+  double MisspecProbability = 0.0;
+  /// Extra interpreter work per instrumented memory access (the spec
+  /// accessor call, its cast, and the journal bookkeeping it models).
+  double SpecAccessCost = 2.0;
 };
 
 /// Modeled per-invocation execution time under a plan.
@@ -107,6 +139,9 @@ struct Decision {
   unsigned NumSequentialSegments = 0; ///< HELIX
   unsigned NumStages = 0;             ///< DSWP
   unsigned NumQueues = 0;             ///< DSWP
+  /// Speculative DOALL: the premises the transform committed to (copied
+  /// from Legality.SpecPremises so plans can record them).
+  std::vector<std::pair<uint64_t, uint64_t>> SpecPremises;
 };
 
 /// Base class of the parallelizing custom tools.

@@ -140,7 +140,8 @@ BasicBlock *noelle::replaceLoopWithDispatch(nir::LoopStructure &LS,
                                             const EnvLayout &Layout,
                                             Function *TaskFn,
                                             unsigned NumTasks,
-                                            unsigned ChunkGrain) {
+                                            unsigned ChunkGrain,
+                                            Function *SpecSeqFn) {
   Function *F = LS.getFunction();
   Module &M = *F->getParent();
   nir::Context &Ctx = M.getContext();
@@ -162,7 +163,14 @@ BasicBlock *noelle::replaceLoopWithDispatch(nir::LoopStructure &LS,
   for (Value *V : Layout.Env->getLiveIns())
     emitEnvStore(B, Env, Layout.liveInSlot(V), V);
 
-  if (ChunkGrain > 0) {
+  if (SpecSeqFn) {
+    Function *DispatchFn = M.getFunction("noelle_dispatch_spec");
+    B.createCall(DispatchFn,
+                 {TaskFn, SpecSeqFn, Env,
+                  Ctx.getInt64(static_cast<int64_t>(NumTasks)),
+                  Ctx.getInt64(static_cast<int64_t>(
+                      ChunkGrain > 0 ? ChunkGrain : 1))});
+  } else if (ChunkGrain > 0) {
     Function *DispatchFn = M.getFunction("noelle_dispatch_chunked");
     B.createCall(DispatchFn,
                  {TaskFn, Env, Ctx.getInt64(static_cast<int64_t>(NumTasks)),

@@ -85,11 +85,17 @@ ClonedLoopTask cloneLoopIntoTask(nir::LoopStructure &LS,
 /// the runtime schedules the NumTasks logical tasks dynamically in
 /// chunks of ChunkGrain indices (DOALL only — tasks must not block on
 /// one another).
+///
+/// When \p SpecSeqFn is non-null the dispatch is speculative:
+/// noelle_dispatch_spec(@task, @seq, env, NumTasks, ChunkGrain) runs
+/// the instrumented task under write-log journals and falls back to
+/// \p SpecSeqFn (the uninstrumented sequential clone) on conflict.
 nir::BasicBlock *replaceLoopWithDispatch(nir::LoopStructure &LS,
                                          const EnvLayout &Layout,
                                          nir::Function *TaskFn,
                                          unsigned NumTasks,
-                                         unsigned ChunkGrain = 0);
+                                         unsigned ChunkGrain = 0,
+                                         nir::Function *SpecSeqFn = nullptr);
 
 /// After live-out uses have been rewritten, patches phis in the loop's
 /// exit block (the dispatch block contributes the substituted value) and

@@ -19,7 +19,17 @@
 ///   - static race detection over the generated task functions.
 ///
 /// Options:
-///   --transform=doall|helix|dswp|all   which transform(s) to audit (all)
+///   --transform=doall|helix|dswp|spec|all
+///                                      which transform(s) to audit (all;
+///                                      "spec" profiles the module first
+///                                      and runs speculative DOALL)
+///   --speculative                      audit the speculation machinery:
+///                                      journal coverage, recovery path,
+///                                      premise evidence. Defaults the
+///                                      transform list to "spec"; in
+///                                      --plan mode, profiles the module
+///                                      and enumerates speculative plan
+///                                      entries
 ///   --cores=N                          worker count (4)
 ///   --opt                              run the optimizer pipeline before
 ///                                      the transforms (noelle-opt order)
@@ -57,6 +67,7 @@
 #include "ToolDriver.h"
 
 #include "frontend/MiniC.h"
+#include "noelle/MemDepProfiler.h"
 #include "noelle/Noelle.h"
 #include "opt/Passes.h"
 #include "planner/Planner.h"
@@ -65,6 +76,7 @@
 #include "xforms/DOALL.h"
 #include "xforms/DSWP.h"
 #include "xforms/HELIX.h"
+#include "xforms/SpecDOALL.h"
 
 #include <chrono>
 #include <cstdio>
@@ -79,6 +91,7 @@ namespace {
 
 struct CLIOptions {
   std::vector<std::string> Transforms;
+  bool Speculative = false;
   unsigned Cores = 4;
   bool Optimize = false;
   bool Lint = false;
@@ -94,8 +107,8 @@ struct CLIOptions {
 
 void printUsage() {
   std::fprintf(stderr,
-               "usage: noelle-check [--transform=doall|helix|dswp|all] "
-               "[--cores=N] [--opt] [--lint] [--no-races] "
+               "usage: noelle-check [--transform=doall|helix|dswp|spec|all] "
+               "[--speculative] [--cores=N] [--opt] [--lint] [--no-races] "
                "[--race-rules=LIST] [--stats] [--metrics=F] "
                "[--no-legality] [--plan] [--plan-file=F] "
                "[--list] <kernel-name | minic-file>\n");
@@ -156,7 +169,8 @@ bool parseArgs(int Argc, char **Argv, CLIOptions &Opts) {
       std::string T = Arg.substr(12);
       if (T == "all") {
         Opts.Transforms = {"doall", "helix", "dswp"};
-      } else if (T == "doall" || T == "helix" || T == "dswp") {
+      } else if (T == "doall" || T == "helix" || T == "dswp" ||
+                 T == "spec") {
         Opts.Transforms.push_back(T);
       } else {
         std::fprintf(stderr, "noelle-check: unknown transform '%s'\n",
@@ -171,6 +185,10 @@ bool parseArgs(int Argc, char **Argv, CLIOptions &Opts) {
         std::fprintf(stderr, "noelle-check: --cores must be positive\n");
         return false;
       }
+      continue;
+    }
+    if (Arg == "--speculative") {
+      Opts.Speculative = true;
       continue;
     }
     if (Arg == "--plan") {
@@ -222,8 +240,13 @@ bool parseArgs(int Argc, char **Argv, CLIOptions &Opts) {
     printUsage();
     return false;
   }
+  // --speculative with no explicit --transform audits the speculative
+  // pipeline alone; with explicit transforms it just arms the audit.
   if (Opts.Transforms.empty())
-    Opts.Transforms = {"doall", "helix", "dswp"};
+    Opts.Transforms = Opts.Speculative
+                          ? std::vector<std::string>{"spec"}
+                          : std::vector<std::string>{"doall", "helix",
+                                                     "dswp"};
   return true;
 }
 
@@ -241,6 +264,13 @@ unsigned checkPlanMode(const std::string &Source, const CLIOptions &Opts) {
   if (Opts.Optimize)
     opt::runPipeline(*M);
 
+  // Speculative plan entries need the profile both to be enumerated and
+  // to re-derive their premises during the audit. Embedding is hash-
+  // neutral (the content hash is metadata-agnostic), so a --plan-file's
+  // hash binding still holds.
+  if (Opts.Speculative)
+    profileMemDeps(*M).embed(*M);
+
   planner::ProgramPlan Plan;
   if (!Opts.PlanFile.empty()) {
     std::string Err;
@@ -252,6 +282,7 @@ unsigned checkPlanMode(const std::string &Source, const CLIOptions &Opts) {
     Noelle N(*M);
     planner::PlannerOptions PO;
     PO.MaxWorkers = Opts.Cores;
+    PO.EnableSpeculation = Opts.Speculative;
     Plan = planner::Planner(N, PO).plan();
   }
 
@@ -281,11 +312,23 @@ unsigned checkOne(const std::string &Source, const std::string &Transform,
   if (Opts.Optimize)
     opt::runPipeline(*M);
 
+  // Speculation needs its evidence base before the snapshot: profile the
+  // original module and embed the result, so both the snapshot text and
+  // the transformed module carry it.
+  if (Transform == "spec")
+    profileMemDeps(*M).embed(*M);
+
   verify::PreTransformSnapshot Snap = verify::captureForCheck(*M);
 
   Noelle N(*M);
   unsigned Parallelized = 0;
-  if (Transform == "doall") {
+  if (Transform == "spec") {
+    DOALLOptions DO;
+    DO.NumCores = Opts.Cores;
+    SpecDOALL Tool(N, DO);
+    for (const auto &D : Tool.run())
+      Parallelized += D.Parallelized;
+  } else if (Transform == "doall") {
     DOALLOptions DO;
     DO.NumCores = Opts.Cores;
     DOALL Tool(N, DO);
@@ -310,6 +353,7 @@ unsigned checkOne(const std::string &Source, const std::string &Transform,
   verify::CheckOptions CO;
   CO.RunLegality = Opts.Legality;
   CO.RunRaces = Opts.Races;
+  CO.Speculative = Opts.Speculative || Transform == "spec";
   CO.Races = Opts.RaceOpts;
   verify::RaceRuleStats Stats;
   if (Opts.Stats)

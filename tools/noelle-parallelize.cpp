@@ -14,8 +14,16 @@
 ///
 /// Options:
 ///   --cores=N            worker-count search ceiling (4)
-///   --technique=K        skip the planner: force doall|helix|dswp on
-///                        every eligible loop (the legacy per-tool sweep)
+///   --speculate          let the planner consider profile-guided
+///                        speculative DOALL: a memory-dependence profile
+///                        is collected (by running main()) and embedded
+///                        when the module carries none, speculative
+///                        candidates join the enumeration, and the
+///                        post-transform audit includes the
+///                        --speculative checks
+///   --technique=K        skip the planner: force doall|helix|dswp|
+///                        spec-doall on every eligible loop (the legacy
+///                        per-tool sweep)
 ///   --plan-file=<path>   apply a previously saved plan instead of
 ///                        computing one
 ///   --plan-only          stop after planning: print the plan, do not
@@ -43,6 +51,7 @@
 
 #include "interp/Interpreter.h"
 #include "ir/Verifier.h"
+#include "noelle/MemDepProfiler.h"
 #include "noelle/Noelle.h"
 #include "opt/Passes.h"
 #include "planner/Feedback.h"
@@ -67,6 +76,7 @@ struct CLIOptions {
   bool SavePlan = false;
   bool Nested = true;
   bool Profile = true;
+  bool Speculate = false;
   bool Check = true;
   bool Optimize = false;
   bool Run = false;
@@ -78,8 +88,9 @@ struct CLIOptions {
 void printUsage() {
   std::fprintf(
       stderr,
-      "usage: noelle-parallelize [--cores=N] [--technique=doall|helix|"
-      "dswp] [--plan-file=F] [--plan-only] [--emit-plan] [--save-plan] "
+      "usage: noelle-parallelize [--cores=N] [--speculate] "
+      "[--technique=doall|helix|dswp|spec-doall] [--plan-file=F] "
+      "[--plan-only] [--emit-plan] [--save-plan] "
       "[--overheads=F] [--no-nested] [--no-profile] [--no-check] "
       "[--opt] [--run] [--print] [--list] <kernel|file.minic|file.nir>\n");
 }
@@ -124,6 +135,10 @@ bool parseArgs(int Argc, char **Argv, CLIOptions &O) {
     }
     if (Arg == "--save-plan") {
       O.SavePlan = true;
+      continue;
+    }
+    if (Arg == "--speculate") {
+      O.Speculate = true;
       continue;
     }
     if (Arg == "--no-nested") {
@@ -202,6 +217,14 @@ int main(int Argc, char **Argv) {
   if (O.Optimize)
     opt::runPipeline(*M);
 
+  // Speculation (planner enumeration or a forced spec-doall sweep) needs
+  // the memory-dependence profile. Collect and embed it before the
+  // snapshot: embedding is hash-neutral, and the IDs it is keyed by are
+  // the same ones captureForCheck assigns.
+  bool WantSpec = O.Speculate || O.ForcedTechnique == "spec-doall";
+  if (WantSpec && !MemDepProfile::isEmbedded(*M))
+    profileMemDeps(*M).embed(*M);
+
   // Snapshot before anything mutates code: the audit's ground truth,
   // and the source of the deterministic IDs plans are keyed by.
   verify::PreTransformSnapshot Snap = verify::captureForCheck(*M);
@@ -216,7 +239,9 @@ int main(int Argc, char **Argv) {
     std::vector<Decision> Decisions = T->run();
     printDecisions(Decisions);
     if (O.Check) {
-      verify::CheckReport Rep = verify::checkModule(*M, Snap);
+      verify::CheckOptions CO;
+      CO.Speculative = WantSpec;
+      verify::CheckReport Rep = verify::checkModule(*M, Snap, CO);
       if (!Rep.clean()) {
         std::printf("%s", Rep.str().c_str());
         return 1;
@@ -241,6 +266,7 @@ int main(int Argc, char **Argv) {
   PO.MaxWorkers = O.Cores;
   PO.EnableNested = O.Nested;
   PO.UseProfiles = O.Profile;
+  PO.EnableSpeculation = O.Speculate;
   if (!O.OverheadsFile.empty()) {
     std::string Err;
     if (!planner::loadMeasuredOverheads(O.OverheadsFile, PO.Overheads,
@@ -290,7 +316,9 @@ int main(int Argc, char **Argv) {
     AnyEntryFailed |= !D.Parallelized;
 
   if (O.Check) {
-    verify::CheckReport Rep = verify::checkModule(*M, Snap);
+    verify::CheckOptions CO;
+    CO.Speculative = WantSpec;
+    verify::CheckReport Rep = verify::checkModule(*M, Snap, CO);
     if (!Rep.clean()) {
       std::printf("%s", Rep.str().c_str());
       return 1;
